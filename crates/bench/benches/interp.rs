@@ -1,0 +1,78 @@
+//! Interpreter throughput: elements per second through the IR executor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use oocp_ir::{
+    lin, run_program, var, ArrayBinding, ArrayRef, CostModel, ElemType, Expr, Index, MemVm,
+    Program, Stmt,
+};
+
+fn daxpy(n: i64) -> Program {
+    let mut p = Program::new("daxpy");
+    let x = p.array("x", ElemType::F64, vec![n]);
+    let y = p.array("y", ElemType::F64, vec![n]);
+    let i = p.fresh_var();
+    p.body = vec![Stmt::for_(
+        i,
+        lin(0),
+        lin(n),
+        1,
+        vec![Stmt::Store {
+            dst: ArrayRef::affine(y, vec![var(i)]),
+            value: Expr::add(
+                Expr::mul(Expr::ConstF(2.0), Expr::LoadF(ArrayRef::affine(x, vec![var(i)]))),
+                Expr::LoadF(ArrayRef::affine(y, vec![var(i)])),
+            ),
+        }],
+    )];
+    p
+}
+
+fn gather(n: i64) -> Program {
+    let mut p = Program::new("gather");
+    let a = p.array("a", ElemType::F64, vec![n]);
+    let b = p.array("b", ElemType::I64, vec![n]);
+    let y = p.array("y", ElemType::F64, vec![n]);
+    let i = p.fresh_var();
+    p.body = vec![Stmt::for_(
+        i,
+        lin(0),
+        lin(n),
+        1,
+        vec![Stmt::Store {
+            dst: ArrayRef::affine(y, vec![var(i)]),
+            value: Expr::LoadF(ArrayRef {
+                array: a,
+                idx: vec![Index::Ind {
+                    array: b,
+                    idx: vec![var(i)],
+                }],
+            }),
+        }],
+    )];
+    p
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let n = 100_000i64;
+    let mut group = c.benchmark_group("interp");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, prog) in [("daxpy", daxpy(n)), ("gather", gather(n))] {
+        let (binds, bytes) = ArrayBinding::sequential(&prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_program(
+                    &prog,
+                    &binds,
+                    &[],
+                    CostModel::default(),
+                    &mut vm,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! Four sweeps, each isolating one mechanism the paper motivates:
+//!
+//! 1. **Block-prefetch size** (the paper picks 4 pages "arbitrarily"):
+//!    how does B affect the streaming apps?
+//! 2. **Two-version loops** (the paper's proposed fix for APPBT's
+//!    symbolic-bound coverage loss): coverage and speedup with the fix.
+//! 3. **Release policy**: performance and memory footprint across
+//!    Off / Conservative / Aggressive.
+//! 4. **Disk count** (the "buy more disks for bandwidth" argument of
+//!    section 2.1): speedup as the stripe widens.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin ablations`
+
+use oocp_bench::{pct, run_workload, run_workload_with, Args, Mode};
+use oocp_core::ReleaseMode;
+use oocp_nas::{build, App};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.cfg;
+
+    println!("=== ablation 1: block-prefetch size (EMBAR + MGRID, speedup vs original) ===");
+    println!("{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}", "app", "B=1", "B=2", "B=4", "B=8", "B=16");
+    for app in [App::Embar, App::Mgrid] {
+        let w = build(app, cfg.bytes_for_ratio(args.ratio));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let mut cells = Vec::new();
+        for b in [1u64, 2, 4, 8, 16] {
+            let p = run_workload_with(
+                &w,
+                &cfg,
+                Mode::Prefetch,
+                cfg.compiler_params().with_block_pages(b),
+            );
+            cells.push(format!("{:.2}x", o.total() as f64 / p.total() as f64));
+        }
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            app.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4]
+        );
+    }
+
+    println!("\n=== ablation 2: two-version loops on APPBT (the paper's proposed fix) ===");
+    {
+        let w = build(App::Appbt, cfg.bytes_for_ratio(args.ratio));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        let p2 = run_workload(&w, &cfg, Mode::PrefetchTwoVersion);
+        println!(
+            "{:<12} {:>9} {:>10} {:>10}",
+            "version", "coverage", "speedup", "user time"
+        );
+        println!("{:<12} {:>9} {:>9.2}x {:>9.1}s", "original", "-", 1.0, o.time.user as f64 / 1e9);
+        for (name, r) in [("prefetch", &p), ("two-version", &p2)] {
+            println!(
+                "{:<12} {:>9} {:>9.2}x {:>9.1}s",
+                name,
+                pct(r.os.coverage()),
+                o.total() as f64 / r.total() as f64,
+                r.time.user as f64 / 1e9,
+            );
+        }
+    }
+
+    println!("\n=== ablation 3: release policy (BUK) ===");
+    {
+        let w = build(App::Buk, cfg.bytes_for_ratio(args.ratio));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        println!(
+            "{:<14} {:>9} {:>12} {:>12}",
+            "policy", "speedup", "avg free", "writebacks"
+        );
+        for (name, mode) in [
+            ("off", ReleaseMode::Off),
+            ("conservative", ReleaseMode::Conservative),
+            ("aggressive", ReleaseMode::Aggressive),
+        ] {
+            let p = run_workload_with(
+                &w,
+                &cfg,
+                Mode::Prefetch,
+                cfg.compiler_params().with_release_mode(mode),
+            );
+            println!(
+                "{:<14} {:>8.2}x {:>9.0} fr {:>12}",
+                name,
+                o.total() as f64 / p.total() as f64,
+                p.avg_free_frames,
+                p.os.writebacks,
+            );
+        }
+    }
+
+    println!("\n=== ablation 4: disk count (EMBAR, bandwidth scaling) ===");
+    {
+        println!("{:<7} {:>10} {:>10} {:>9} {:>10}", "disks", "O (s)", "P (s)", "speedup", "P util");
+        for disks in [1usize, 2, 4, 7, 14] {
+            let mut c = cfg;
+            c.machine = c.machine.with_ndisks(disks);
+            let w = build(App::Embar, c.bytes_for_ratio(args.ratio));
+            let o = run_workload(&w, &c, Mode::Original);
+            let p = run_workload(&w, &c, Mode::Prefetch);
+            println!(
+                "{:<7} {:>10.3} {:>10.3} {:>8.2}x {:>10}",
+                disks,
+                o.total() as f64 / 1e9,
+                p.total() as f64 / 1e9,
+                o.total() as f64 / p.total() as f64,
+                pct(p.disk_util),
+            );
+        }
+    }
+
+    println!("\n=== ablation 5: prefetch-distance sensitivity (CGM, latency estimate scaling) ===");
+    {
+        let w = build(App::Cgm, cfg.bytes_for_ratio(args.ratio));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        println!("{:<10} {:>9} {:>10}", "scale", "speedup", "coverage");
+        for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            let mut cp = cfg.compiler_params();
+            cp.fault_latency_ns = (cp.fault_latency_ns as f64 * scale) as u64;
+            let p = run_workload_with(&w, &cfg, Mode::Prefetch, cp);
+            println!(
+                "{:<10} {:>8.2}x {:>10}",
+                format!("{scale}x"),
+                o.total() as f64 / p.total() as f64,
+                pct(p.os.coverage()),
+            );
+        }
+    }
+}

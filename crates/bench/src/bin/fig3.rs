@@ -1,0 +1,107 @@
+//! Figure 3: overall performance improvement from prefetching.
+//!
+//! (a) normalized execution time of each NAS benchmark, original (O) vs
+//!     prefetching (P), broken into user / system-fault /
+//!     system-prefetch / idle time;
+//! (b) page-fault counts and I/O stall time, O vs P.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin fig3 [--mem-mb N] [--ratio R]`
+
+use oocp_bench::{pct, print_breakdown_row, run_workload, secs, Args, Mode};
+use oocp_nas::{build, App};
+use oocp_sim::time::TimeBreakdown;
+
+/// Render a stacked bar (width 60 = the original's total time):
+/// `#` user, `+` system (faults + prefetch), `.` idle.
+fn bar(t: &TimeBreakdown, norm: u64) -> String {
+    let scale = |ns: u64| (ns as f64 / norm.max(1) as f64 * 60.0).round() as usize;
+    format!(
+        "{}{}{}",
+        "#".repeat(scale(t.user)),
+        "+".repeat(scale(t.system())),
+        ".".repeat(scale(t.idle)),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.cfg;
+    println!(
+        "Figure 3 reproduction: out-of-core NAS suite, data ~{:.1}x memory ({} MB), {} disks",
+        args.ratio,
+        cfg.machine.memory_bytes() / (1 << 20),
+        cfg.machine.ndisks
+    );
+    println!(
+        "\n(a) normalized execution time (original O = 100%)\n{}",
+        "-".repeat(100)
+    );
+    let mut summary = Vec::new();
+    let mut csv_rows: Vec<String> = Vec::new();
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(args.ratio));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        for r in [&o, &p] {
+            if let Err(e) = &r.verified {
+                eprintln!("WARNING: {} {:?} failed verification: {e}", app.name(), r.mode);
+            }
+        }
+        let norm = o.total();
+        print_breakdown_row(app.name(), "O", &o.time, norm);
+        print_breakdown_row("", "P", &p.time, norm);
+        println!("{:>14} O |{}|", "", bar(&o.time, norm));
+        println!("{:>14} P |{}|", "", bar(&p.time, norm));
+        for r in [&o, &p] {
+            csv_rows.push(format!(
+                "{},{},{},{},{},{},{},{},{}",
+                app.name(),
+                r.mode.label(),
+                r.time.total(),
+                r.time.user,
+                r.time.sys_fault,
+                r.time.sys_prefetch,
+                r.time.idle,
+                r.os.hard_faults,
+                r.os.coverage(),
+            ));
+        }
+        summary.push((app, o, p));
+    }
+
+    println!("\n(bars: # user, + system, . idle; width 60 = original total)");
+    if let Some(path) = &args.csv {
+        oocp_bench::write_csv(
+            path,
+            "app,mode,total_ns,user_ns,sys_fault_ns,sys_prefetch_ns,idle_ns,hard_faults,coverage",
+            &csv_rows,
+        );
+    }
+    println!(
+        "\n(b) page faults and stall time\n{}\n{:<8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "-".repeat(100),
+        "app",
+        "faults O",
+        "faults P",
+        "elim",
+        "stall O (s)",
+        "stall P (s)",
+        "elim",
+        "speedup"
+    );
+    for (app, o, p) in &summary {
+        let fault_elim = 1.0 - p.os.hard_faults as f64 / o.os.hard_faults.max(1) as f64;
+        let stall_elim = 1.0 - p.time.idle as f64 / o.time.idle.max(1) as f64;
+        println!(
+            "{:<8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9} {:>8.2}x",
+            app.name(),
+            o.os.hard_faults,
+            p.os.hard_faults,
+            pct(fault_elim),
+            secs(o.time.idle),
+            secs(p.time.idle),
+            pct(stall_elim),
+            o.total() as f64 / p.total() as f64
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 8: BUK execution time across a range of problem sizes.
+//!
+//! The paper's case study: as the problem grows past available memory,
+//! the original program's execution time jumps discontinuously (every
+//! page touch becomes a disk access), while the prefetching version
+//! keeps growing linearly — and wins even *in-core* because it hides
+//! cold faults. BUK is used because its problem size can be set to any
+//! value.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin fig8`
+
+use oocp_bench::{run_workload, Args, Mode};
+use oocp_nas::buk;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.cfg;
+    let mem = cfg.machine.memory_bytes();
+    println!(
+        "Figure 8 reproduction: BUK size sweep ({} MB memory, cold-started)\n",
+        mem / (1 << 20)
+    );
+    println!(
+        "{:<9} {:>10} {:>12} {:>12} {:>9}",
+        "size/mem", "keys", "O (s)", "P (s)", "speedup"
+    );
+    let mut csv_rows: Vec<String> = Vec::new();
+    for pctg in [25u64, 50, 75, 100, 125, 150, 200, 300, 400] {
+        let target = mem * pctg / 100;
+        // 18 bytes per key (key + rank + bucket share).
+        let keys = (target / 18).max(4096) as i64;
+        let w = buk::build_sized(keys, (keys / 4).max(512), 2);
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        for r in [&o, &p] {
+            if let Err(e) = &r.verified {
+                eprintln!("WARNING: {:?} failed verification: {e}", r.mode);
+            }
+        }
+        println!(
+            "{:>7}%  {:>10} {:>12.3} {:>12.3} {:>8.2}x",
+            pctg,
+            keys,
+            o.total() as f64 / 1e9,
+            p.total() as f64 / 1e9,
+            o.total() as f64 / p.total() as f64,
+        );
+        csv_rows.push(format!("{pctg},{keys},{},{}", o.total(), p.total()));
+    }
+    if let Some(path) = &args.csv {
+        oocp_bench::write_csv(path, "size_pct_of_memory,keys,original_ns,prefetch_ns", &csv_rows);
+    }
+    println!("\n(watch for the discontinuity in the O column as size crosses 100% of memory)");
+}

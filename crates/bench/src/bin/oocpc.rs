@@ -1,0 +1,182 @@
+//! `oocpc` — the out-of-core prefetching compiler driver.
+//!
+//! Parses a kernel source file (see `oocp_ir::parse` for the language),
+//! runs the prefetching pass, prints the transformed program and the
+//! compile report, and optionally executes both versions on the
+//! simulated machine to compare them.
+//!
+//! ```console
+//! $ oocpc kernels/stencil.ook --run --mem-mb 4
+//! $ oocpc mykernel.ook --param n=100000 --block 8 --two-version
+//! ```
+
+use std::process::ExitCode;
+
+use oocp_core::{compile, CompilerParams};
+use oocp_ir::{parse_program, run_program, ArrayBinding, CostModel, PagedVm, Program};
+use oocp_os::{Machine, MachineParams};
+use oocp_rt::{FilterMode, Runtime};
+use oocp_sim::time::fmt_ns;
+
+struct Options {
+    file: String,
+    run: bool,
+    quiet: bool,
+    trace: usize,
+    mem_mb: u64,
+    block: u64,
+    two_version: bool,
+    params: Vec<(String, i64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oocpc <file> [--run] [--quiet] [--trace N] [--mem-mb N] \
+         [--block N] [--two-version] [--param name=value]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: String::new(),
+        run: false,
+        quiet: false,
+        trace: 0,
+        mem_mb: 8,
+        block: 4,
+        two_version: false,
+        params: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--run" => opts.run = true,
+            "--quiet" => opts.quiet = true,
+            "--two-version" => opts.two_version = true,
+            "--mem-mb" => {
+                opts.mem_mb = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--trace" => {
+                opts.trace = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--block" => {
+                opts.block = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--param" => {
+                let kv = argv.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let v: i64 = v.parse().unwrap_or_else(|_| usage());
+                opts.params.push((k.to_string(), v));
+            }
+            "--help" | "-h" => usage(),
+            f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
+            _ => usage(),
+        }
+    }
+    if opts.file.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn bind_params(prog: &Program, given: &[(String, i64)]) -> Result<Vec<i64>, String> {
+    let mut values = vec![None; prog.params.len()];
+    for (k, v) in given {
+        match prog.params.iter().position(|p| p == k) {
+            Some(i) => values[i] = Some(*v),
+            None => return Err(format!("program has no parameter {k}")),
+        }
+    }
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.ok_or_else(|| format!("missing --param {}=<value>", prog.params[i])))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oocpc: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("oocpc: {}:{e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let machine = MachineParams::paper_platform().with_memory_bytes(opts.mem_mb * 1024 * 1024);
+    let cparams = CompilerParams::new(
+        machine.page_bytes,
+        machine.memory_bytes(),
+        machine.disk.avg_access_ns() + machine.fault_overhead_ns,
+    )
+    .with_block_pages(opts.block)
+    .with_two_version(opts.two_version);
+    let (xformed, report) = compile(&prog, &cparams);
+
+    if !opts.quiet {
+        println!("=== source ===\n{prog}");
+        println!("=== transformed ===\n{xformed}");
+    }
+    println!("{report}");
+
+    if !opts.run {
+        return ExitCode::SUCCESS;
+    }
+    let pvals = match bind_params(&prog, &opts.params) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("oocpc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "running on {} MB memory, {} disks, data set {:.1} MB",
+        machine.memory_bytes() / (1 << 20),
+        machine.ndisks,
+        prog.data_bytes() as f64 / (1 << 20) as f64
+    );
+    let mut totals = Vec::new();
+    for (label, p) in [("original", &prog), ("prefetch", &xformed)] {
+        let (binds, bytes) = ArrayBinding::sequential(&prog, machine.page_bytes);
+        let mut m = Machine::new(machine, bytes);
+        if opts.trace > 0 {
+            m.enable_trace(opts.trace);
+        }
+        let mut rt = Runtime::new(m, FilterMode::Enabled);
+        run_program(p, &binds, &pvals, CostModel::default(), &mut rt);
+        rt.machine_mut().finish();
+        if opts.trace > 0 {
+            if let Some(trace) = rt.machine_mut().take_trace() {
+                println!("--- {label} timeline (last {} events) ---", trace.len());
+                for r in trace.records() {
+                    println!("  {:>12} {:<6} {:?}", fmt_ns(r.at), r.event.tag(), r.event);
+                }
+            }
+        }
+        let m = rt.machine();
+        println!(
+            "  {label:<9}: total {} (user {}, system {}, idle {}) | {} hard faults, coverage {:.1}%",
+            fmt_ns(m.breakdown().total()),
+            fmt_ns(m.breakdown().user),
+            fmt_ns(m.breakdown().system()),
+            fmt_ns(m.breakdown().idle),
+            m.stats().hard_faults,
+            m.stats().coverage() * 100.0,
+        );
+        totals.push(m.breakdown().total());
+        let _ = rt.page_bytes();
+    }
+    println!(
+        "  speedup  : {:.2}x",
+        totals[0] as f64 / totals[1] as f64
+    );
+    ExitCode::SUCCESS
+}

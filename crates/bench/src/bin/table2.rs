@@ -1,0 +1,30 @@
+//! Table 2: description of applications and data-set sizes.
+//!
+//! Prints each benchmark's description and the data-set size it gets at
+//! the experiment's memory ratio, the analogue of the paper's Table 2.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin table2`
+
+use oocp_bench::Args;
+use oocp_nas::{build, App};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.cfg;
+    println!(
+        "Table 2 reproduction: applications (data ~{:.1}x of {} MB memory)\n",
+        args.ratio,
+        cfg.machine.memory_bytes() / (1 << 20)
+    );
+    println!("{:<8} {:>10} {:>8} {:<60}", "app", "data (MB)", "arrays", "description");
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(args.ratio));
+        println!(
+            "{:<8} {:>10.1} {:>8} {:<60}",
+            app.name(),
+            w.data_bytes() as f64 / (1 << 20) as f64,
+            w.prog.arrays.len(),
+            app.description()
+        );
+    }
+}

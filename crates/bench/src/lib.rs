@@ -1,0 +1,340 @@
+//! Shared harness for the reproduction binaries.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure from the
+//! paper's evaluation (see `DESIGN.md` section 5 for the index). This
+//! library provides the common machinery: building a workload, running
+//! it on the simulated machine in the original (paged-VM) or
+//! prefetching configuration, and collecting every statistic the
+//! figures need.
+
+use oocp_core::{compile, CompileReport, CompilerParams};
+use oocp_ir::{run_program, ArrayBinding, CostModel, ExecStats, Program};
+use oocp_nas::Workload;
+use oocp_os::{MachineParams, OsStats};
+use oocp_rt::{FilterMode, Runtime, RtStats};
+use oocp_sim::time::{Ns, TimeBreakdown};
+
+/// How to run a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The unmodified program relying on paged virtual memory ("O").
+    Original,
+    /// Compiler-inserted prefetching with the run-time filter ("P").
+    Prefetch,
+    /// Prefetching with the run-time layer disabled (Figure 4(c)).
+    PrefetchNoFilter,
+    /// Prefetching with two-version loops (the paper's proposed fix).
+    PrefetchTwoVersion,
+    /// Prefetching with in-core adaptive suppression (paper section
+    /// 4.3.1 future work, implemented in the run-time layer).
+    PrefetchAdaptive,
+    /// Prefetching with memory-adaptive *code generation* (section
+    /// 4.3.1's compiler-side proposal: the program tests its data size
+    /// against an available-memory parameter at run time).
+    PrefetchAdaptiveCode,
+}
+
+impl Mode {
+    /// Short label used in table columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Original => "O",
+            Mode::Prefetch => "P",
+            Mode::PrefetchNoFilter => "P-nofilter",
+            Mode::PrefetchTwoVersion => "P-2ver",
+            Mode::PrefetchAdaptive => "P-adapt",
+            Mode::PrefetchAdaptiveCode => "P-acode",
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Mode the run used.
+    pub mode: Mode,
+    /// Simulated time ledger.
+    pub time: TimeBreakdown,
+    /// OS counters.
+    pub os: OsStats,
+    /// Run-time-layer counters.
+    pub rt: RtStats,
+    /// Aggregate disk counters.
+    pub disk: oocp_disk::DiskStats,
+    /// Average per-disk utilization.
+    pub disk_util: f64,
+    /// Time-weighted average free frames.
+    pub avg_free_frames: f64,
+    /// Interpreter dynamic counts.
+    pub exec: ExecStats,
+    /// Compile report (None for original runs).
+    pub report: Option<CompileReport>,
+    /// Whether the workload verifier accepted the results.
+    pub verified: Result<(), String>,
+}
+
+impl RunResult {
+    /// Total simulated execution time.
+    pub fn total(&self) -> Ns {
+        self.time.total()
+    }
+}
+
+/// Experiment-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Machine parameters.
+    pub machine: MachineParams,
+    /// Workload seed.
+    pub seed: u64,
+    /// Interpreter cost model.
+    pub cost: CostModel,
+    /// Warm-start: preload the data set before timing (Figure 6).
+    pub warm: bool,
+}
+
+impl Config {
+    /// The default experiment platform: the paper's Table 1 shape with
+    /// memory scaled down so the full suite runs quickly (data-set to
+    /// memory *ratios* are what the experiments control).
+    pub fn default_platform() -> Self {
+        let machine = MachineParams::paper_platform().with_memory_bytes(8 * 1024 * 1024);
+        Self {
+            machine,
+            seed: 20260706,
+            cost: CostModel::default(),
+            warm: false,
+        }
+    }
+
+    /// Compiler parameters matched to this machine.
+    pub fn compiler_params(&self) -> CompilerParams {
+        CompilerParams::new(
+            self.machine.page_bytes,
+            self.machine.memory_bytes(),
+            self.machine.disk.avg_access_ns() + self.machine.fault_overhead_ns,
+        )
+        .with_cost(self.cost)
+    }
+
+    /// Data-set size for a memory-ratio (e.g. 2.0 = twice memory).
+    pub fn bytes_for_ratio(&self, ratio: f64) -> u64 {
+        (self.machine.memory_bytes() as f64 * ratio) as u64
+    }
+}
+
+/// Compile (or not) and execute one workload; verify the results.
+pub fn run_workload(w: &Workload, cfg: &Config, mode: Mode) -> RunResult {
+    run_workload_with(w, cfg, mode, cfg.compiler_params())
+}
+
+/// [`run_workload`] with explicit compiler parameters (ablations).
+pub fn run_workload_with(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: CompilerParams,
+) -> RunResult {
+    run_workload_pressured(w, cfg, mode, cparams, Vec::new())
+}
+
+/// [`run_workload_with`] plus a memory-pressure schedule: the resident
+/// limit changes at the given simulated times (the multiprogramming
+/// model of the paper's future work).
+pub fn run_workload_pressured(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: CompilerParams,
+    pressure: Vec<(Ns, u64)>,
+) -> RunResult {
+    let (prog, report): (Program, Option<CompileReport>) = match mode {
+        Mode::Original => (w.prog.clone(), None),
+        Mode::Prefetch | Mode::PrefetchNoFilter | Mode::PrefetchAdaptive => {
+            let (p, r) = compile(&w.prog, &cparams);
+            (p, Some(r))
+        }
+        Mode::PrefetchTwoVersion => {
+            let (p, r) = compile(&w.prog, &cparams.with_two_version(true));
+            (p, Some(r))
+        }
+        Mode::PrefetchAdaptiveCode => {
+            let (p, r) = compile(&w.prog, &cparams.with_adaptive_in_core(true));
+            (p, Some(r))
+        }
+    };
+    let filter = if mode == Mode::PrefetchNoFilter {
+        FilterMode::Disabled
+    } else {
+        FilterMode::Enabled
+    };
+    // The machine is sized by the ORIGINAL program's layout so both
+    // versions see identical address spaces.
+    let (binds, bytes) = ArrayBinding::sequential(&w.prog, cfg.machine.page_bytes);
+    let mut machine = oocp_os::Machine::new(cfg.machine, bytes);
+    if !pressure.is_empty() {
+        machine.set_pressure_schedule(pressure);
+    }
+    let mut rt =
+        Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
+    w.init(&binds, &mut rt, cfg.seed);
+    if cfg.warm {
+        let m = rt.machine_mut();
+        let pages = m
+            .total_pages()
+            .min(cfg.machine.resident_limit - cfg.machine.high_water - 1);
+        m.preload(0, pages);
+    }
+    // Memory-adaptive programs take the available memory as an extra
+    // runtime parameter.
+    let mut param_values = w.param_values.clone();
+    if let Some(Some(ap)) = report.as_ref().map(|r| r.adaptive_param) {
+        debug_assert_eq!(ap, param_values.len());
+        param_values.push(cfg.machine.memory_bytes() as i64);
+    }
+    let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
+    rt.machine_mut().finish();
+    let verified = w.verify(&binds, &rt);
+    let m = rt.machine();
+    RunResult {
+        mode,
+        time: m.breakdown(),
+        os: *m.stats(),
+        disk: m.disk_stats(),
+        disk_util: m.disk_utilization(),
+        avg_free_frames: m.avg_free_frames(),
+        rt: *rt.stats(),
+        exec,
+        report,
+        verified,
+    }
+}
+
+/// Format a nanosecond count as seconds with 3 decimals.
+pub fn secs(ns: Ns) -> String {
+    format!("{:.3}", ns as f64 / 1e9)
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Percentage of `part` in `total` (0 when empty).
+pub fn share(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 / total as f64
+    }
+}
+
+/// Print a normalized stacked-bar style row (Figure 3(a) text form).
+pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns) {
+    let n = norm.max(1) as f64;
+    println!(
+        "{name:<8} {label:<11} total {:>6.1}% | user {:>6.1}% | sys-fault {:>5.1}% | sys-pf {:>5.1}% | idle {:>6.1}%",
+        t.total() as f64 / n * 100.0,
+        t.user as f64 / n * 100.0,
+        t.sys_fault as f64 / n * 100.0,
+        t.sys_prefetch as f64 / n * 100.0,
+        t.idle as f64 / n * 100.0,
+    );
+}
+
+/// Parse `--key value` style overrides shared by the binaries.
+///
+/// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
+/// `--csv <path>`.
+pub struct Args {
+    /// Parsed configuration.
+    pub cfg: Config,
+    /// Data-set to memory ratio (default 2.0, the paper's headline).
+    pub ratio: f64,
+    /// Optional CSV output path (binaries that support it write their
+    /// numeric rows there for plotting).
+    pub csv: Option<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut cfg = Config::default_platform();
+        let mut ratio = 2.0;
+        let mut csv = None;
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < argv.len() {
+            let v = &argv[i + 1];
+            match argv[i].as_str() {
+                "--mem-mb" => {
+                    let mb: u64 = v.parse().expect("--mem-mb takes an integer");
+                    cfg.machine = cfg.machine.with_memory_bytes(mb * 1024 * 1024);
+                }
+                "--seed" => cfg.seed = v.parse().expect("--seed takes an integer"),
+                "--ratio" => ratio = v.parse().expect("--ratio takes a float"),
+                "--disks" => {
+                    cfg.machine = cfg.machine.with_ndisks(v.parse().expect("--disks int"))
+                }
+                "--csv" => csv = Some(v.clone()),
+                other => panic!("unknown argument {other}"),
+            }
+            i += 2;
+        }
+        Self { cfg, ratio, csv }
+    }
+}
+
+/// Write CSV rows to `path` (header first); panics on I/O failure, which
+/// is the right behavior for an experiment script.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_nas::{build, App};
+
+    #[test]
+    fn original_and_prefetch_runs_verify_and_speed_up() {
+        let mut cfg = Config::default_platform();
+        cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+        let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        o.verified.as_ref().expect("original verifies");
+        p.verified.as_ref().expect("prefetch verifies");
+        assert!(
+            p.total() < o.total(),
+            "prefetching must win: P {} vs O {}",
+            p.total(),
+            o.total()
+        );
+        assert!(p.os.coverage() > 0.5, "coverage {:.2}", p.os.coverage());
+    }
+
+    #[test]
+    fn share_and_pct_helpers() {
+        assert_eq!(share(1, 4), 0.25);
+        assert_eq!(share(1, 0), 0.0);
+        assert_eq!(pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn write_csv_roundtrips() {
+        let path = std::env::temp_dir().join("oocp_csv_test.csv");
+        let path = path.to_str().unwrap();
+        write_csv(path, "a,b", &["1,2".to_string(), "3,4".to_string()]);
+        let got = std::fs::read_to_string(path).unwrap();
+        assert_eq!(got, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,167 @@
+//! Compiler configuration.
+
+use oocp_ir::CostModel;
+
+/// When the compiler inserts release hints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseMode {
+    /// Never insert releases.
+    Off,
+    /// The paper's conservative implementation: release only trailing
+    /// references of streaming groups — those that either advance in
+    /// every enclosing loop (data never re-traversed) or whose traversal
+    /// footprint exceeds memory (data could not have been retained
+    /// anyway). This is why only BUK and EMBAR show significant release
+    /// counts in Table 3.
+    Conservative,
+    /// Release every trailing spatial reference (the "more extensive use
+    /// of release operations" the paper leaves to future work).
+    Aggressive,
+}
+
+/// Parameters of the prefetching compiler pass.
+///
+/// The memory-hierarchy inputs mirror the substitution the paper made in
+/// Mowry's cache algorithm: cache size -> main memory size, line size ->
+/// page size, miss latency -> page-fault latency.
+#[derive(Clone, Copy, Debug)]
+pub struct CompilerParams {
+    /// Page size in bytes (the "line size").
+    pub page_bytes: u64,
+    /// Memory the locality analysis assumes is available for retaining
+    /// data (the "cache size"). The paper notes this analysis
+    /// *underestimates* retention; the run-time filter absorbs the
+    /// resulting unnecessary prefetches.
+    pub memory_bytes: u64,
+    /// Page-fault latency to hide (the "miss latency"), in nanoseconds.
+    pub fault_latency_ns: u64,
+    /// Cost model used to estimate work per iteration when computing
+    /// prefetch distances (the software-pipelining depth).
+    pub cost: CostModel,
+    /// Pages fetched per block prefetch for spatial references (the
+    /// paper uses 4; exposed as a parameter exactly as the paper says).
+    pub block_pages: u64,
+    /// Release-insertion policy.
+    pub release_mode: ReleaseMode,
+    /// Emit both pipelining choices behind a run-time trip-count test
+    /// when a loop bound is symbolic (the paper's proposed fix for the
+    /// APPBT coverage loss; off by default to match the evaluated
+    /// system).
+    pub two_version_loops: bool,
+    /// Assumed trip count for symbolic-bound loops when estimating work
+    /// per iteration.
+    pub assumed_trip: i64,
+    /// Upper bound on pages in a single prolog block prefetch, so the
+    /// pipeline fill cannot ask for more memory than the OS would grant.
+    pub max_prolog_pages: u64,
+    /// Upper bound on per-iteration prefetch distances (iterations), so
+    /// indirect prefetching cannot flood memory with speculative pages.
+    pub max_periter_distance: i64,
+    /// Generate memory-adaptive code (the paper's section 4.3.1
+    /// proposal): the output program gains an `__avail_bytes` parameter,
+    /// and hints for re-traversed data execute only when the data set
+    /// exceeds the available memory or during the first traversal (the
+    /// cold faults are still prefetched in).
+    pub adaptive_in_core: bool,
+}
+
+impl CompilerParams {
+    /// Defaults matched to `MachineParams`-style platforms: 4 KB pages,
+    /// latency of a mid-90s disk read plus fault overhead.
+    pub fn new(page_bytes: u64, memory_bytes: u64, fault_latency_ns: u64) -> Self {
+        Self {
+            page_bytes,
+            memory_bytes,
+            fault_latency_ns,
+            cost: CostModel::default(),
+            block_pages: 4,
+            release_mode: ReleaseMode::Conservative,
+            two_version_loops: false,
+            assumed_trip: 64,
+            max_prolog_pages: 256,
+            max_periter_distance: 256,
+            adaptive_in_core: false,
+        }
+    }
+
+    /// Set the block-prefetch size.
+    pub fn with_block_pages(mut self, n: u64) -> Self {
+        self.block_pages = n.max(1);
+        self
+    }
+
+    /// Set the release policy.
+    pub fn with_release_mode(mut self, m: ReleaseMode) -> Self {
+        self.release_mode = m;
+        self
+    }
+
+    /// Enable or disable two-version loops.
+    pub fn with_two_version(mut self, on: bool) -> Self {
+        self.two_version_loops = on;
+        self
+    }
+
+    /// Enable or disable memory-adaptive code generation.
+    pub fn with_adaptive_in_core(mut self, on: bool) -> Self {
+        self.adaptive_in_core = on;
+        self
+    }
+
+    /// Set the cost model used for distance estimation.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Validate the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.page_bytes.is_power_of_two(), "page size power of two");
+        assert!(self.memory_bytes >= self.page_bytes, "memory below one page");
+        assert!(self.block_pages >= 1, "block_pages must be positive");
+        assert!(self.assumed_trip >= 1, "assumed_trip must be positive");
+    }
+}
+
+impl Default for CompilerParams {
+    fn default() -> Self {
+        // 4 KB pages, 48 MB memory, ~15 ms fault latency: the paper
+        // platform's shape.
+        Self::new(4096, 48 * 1024 * 1024, 15_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        CompilerParams::default().validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = CompilerParams::default()
+            .with_block_pages(8)
+            .with_release_mode(ReleaseMode::Off)
+            .with_two_version(true);
+        assert_eq!(p.block_pages, 8);
+        assert_eq!(p.release_mode, ReleaseMode::Off);
+        assert!(p.two_version_loops);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_rejected() {
+        let p = CompilerParams {
+            page_bytes: 1000,
+            ..CompilerParams::default()
+        };
+        p.validate();
+    }
+}

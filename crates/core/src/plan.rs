@@ -1,0 +1,969 @@
+//! Planning: locality groups and per-group prefetch decisions.
+
+use std::collections::BTreeMap;
+
+use oocp_ir::{ArrayRef, Index, LinExpr, Program, Sym};
+
+use crate::analysis::{NestInfo, RefInfo};
+use crate::params::{CompilerParams, ReleaseMode};
+use crate::report::{Decision, GroupReport};
+
+/// Footprint stand-in for a loop whose trip count is unknown: "large",
+/// per the paper's default assumption.
+const LARGE_TRIP: i64 = 1 << 20;
+
+/// Strip-mined block-prefetch plan for one group.
+#[derive(Clone, Debug)]
+pub struct StripPlan {
+    /// Leading reference's subscripts (prefetch address template).
+    pub template: ArrayRef,
+    /// Trailing reference's subscripts when a release is paired in.
+    pub rel_template: Option<ArrayRef>,
+    /// Loops between the pipelining loop and the reference, outermost
+    /// first, with their lower bounds: at hint-emission time those loop
+    /// variables are replaced by their entry values.
+    pub inner_subst: Vec<(usize, LinExpr)>,
+    /// Pipelining loop variable.
+    pub loop_var: usize,
+    /// Pipelining loop step.
+    pub step: i64,
+    /// Iterations per page crossing.
+    pub period: i64,
+    /// Strip length in iterations (`block_pages * period`).
+    pub strip_len: i64,
+    /// Prefetch distance in iterations (a multiple of `strip_len`).
+    pub distance: i64,
+    /// Pages per steady-state block prefetch.
+    pub pages: u64,
+    /// Pages per release (the *floor* of the strip's span: releasing the
+    /// ceiling would free the boundary page the current strip is still
+    /// reading).
+    pub rel_pages: u64,
+    /// Pages for the prolog block prefetch (None = no prolog: the
+    /// pipelining loop is not the outermost loop of the nest).
+    pub prolog_pages: Option<u64>,
+    /// The pipelining choice relied on a symbolic bound.
+    pub uncertain: bool,
+}
+
+/// Per-iteration single-page prefetch plan.
+///
+/// Used for indirect references, dense references with page-or-larger
+/// strides, and *transposed sweeps* — spatial references whose inner
+/// loops jump by a page or more, where a strip-head block prefetch would
+/// cover the wrong subspace; the hint is then placed in the innermost
+/// varying loop with all inner variables live, and only the pipelining
+/// variable offset by the distance (Mowry's original innermost-loop
+/// placement).
+#[derive(Clone, Debug)]
+pub struct PerIterPlan {
+    /// Prefetch address template (original subscripts).
+    pub template: ArrayRef,
+    /// Loop whose body hosts the hint statement.
+    pub place_var: usize,
+    /// Loop variable offset by the distance in the hint target.
+    pub subst_var: usize,
+    /// Step of the `subst_var` loop.
+    pub step: i64,
+    /// Prefetch distance in iterations of the `subst_var` loop.
+    pub distance: i64,
+}
+
+/// All plans for one loop nest, keyed by pipelining-loop variable.
+///
+/// Ordered maps keep compilation deterministic across processes: with a
+/// hash map, the two-version guard's choice among several uncertain
+/// plans would depend on the hasher seed.
+#[derive(Clone, Debug, Default)]
+pub struct NestPlan {
+    /// Strip plans per loop variable.
+    pub strips: BTreeMap<usize, Vec<StripPlan>>,
+    /// Per-iteration plans per loop variable.
+    pub per_iter: BTreeMap<usize, Vec<PerIterPlan>>,
+    /// Report entries for this nest.
+    pub reports: Vec<GroupReport>,
+}
+
+impl NestPlan {
+    /// Whether any plan in the nest was made under a symbolic bound.
+    pub fn any_uncertain(&self) -> bool {
+        self.strips
+            .values()
+            .flatten()
+            .any(|p| p.uncertain)
+    }
+
+    /// Whether the nest has any hint-producing plan at all.
+    pub fn is_empty(&self) -> bool {
+        self.strips.is_empty() && self.per_iter.is_empty()
+    }
+}
+
+/// A locality group: references to the same array whose flattened index
+/// forms differ only by a constant (plus identical indirect references).
+struct Group<'a> {
+    members: Vec<&'a RefInfo>,
+}
+
+impl<'a> Group<'a> {
+    /// Leading member under direction `dir` (+1: max constant; -1: min).
+    fn leading(&self, dir: i64) -> &'a RefInfo {
+        self.members
+            .iter()
+            .max_by_key(|r| dir * r.flat.as_ref().map_or(0, |f| f.c))
+            .unwrap()
+    }
+
+    /// Trailing member under direction `dir`.
+    fn trailing(&self, dir: i64) -> &'a RefInfo {
+        self.members
+            .iter()
+            .min_by_key(|r| dir * r.flat.as_ref().map_or(0, |f| f.c))
+            .unwrap()
+    }
+}
+
+/// Group the references of a nest by locality.
+fn group_refs<'a>(refs: &'a [RefInfo]) -> Vec<Group<'a>> {
+    let mut groups: Vec<Group<'a>> = Vec::new();
+    'outer: for r in refs {
+        for g in &mut groups {
+            let lead = g.members[0];
+            if lead.array != r.array || lead.path != r.path {
+                continue;
+            }
+            let same = match (&lead.flat, &r.flat) {
+                // Affine: same linear part (constant offsets may differ).
+                (Some(a), Some(b)) => {
+                    let mut a0 = a.clone();
+                    a0.c = 0;
+                    let mut b0 = b.clone();
+                    b0.c = 0;
+                    a0 == b0
+                }
+                // Indirect: identical subscript structure.
+                (None, None) => lead.idx == r.idx,
+                _ => false,
+            };
+            if same {
+                g.members.push(r);
+                continue 'outer;
+            }
+        }
+        groups.push(Group { members: vec![r] });
+    }
+    groups
+}
+
+/// Render subscripts for the report.
+fn subscripts_str(prog: &Program, r: &RefInfo) -> String {
+    let mut s = String::new();
+    for ix in &r.idx {
+        match ix {
+            Index::Lin(e) => s.push_str(&format!("[{e}]")),
+            Index::Ind { array, idx } => {
+                let mut inner = prog.arrays[*array].name.clone();
+                for e in idx {
+                    inner.push_str(&format!("[{e}]"));
+                }
+                s.push_str(&format!("[{inner}]"));
+            }
+        }
+    }
+    s
+}
+
+/// Ceiling division for positive operands.
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Plan slab prefetching for a transposed reference: the reference's
+/// pipelining loop is `pf_var` (each of its iterations touches a whole
+/// lower-dimensional slab through the inner loops), and hints are
+/// emitted from the innermost varying loop (`carrier`) with the inner
+/// variables live and `pf_var` offset by `d`, so the *next* slab is
+/// fetched while the current one is processed.
+///
+/// When the carrier's own stride is below a page, the carrier is
+/// additionally strip-mined so one block hint covers each page run
+/// (otherwise every iteration would re-hint the same page and the
+/// filter cost would swamp the gain); at page-or-larger carrier strides
+/// each iteration needs its own page and a per-iteration hint is right.
+#[allow(clippy::too_many_arguments)]
+fn slab_plan(
+    plan: &mut NestPlan,
+    nest: &NestInfo,
+    flat: &LinExpr,
+    template: &ArrayRef,
+    carrier: usize,
+    pf_var: usize,
+    pf_step: i64,
+    d: i64,
+    params: &CompilerParams,
+) {
+    let cl = nest.loop_by_var(carrier).expect("carrier on path");
+    let carrier_stride =
+        (flat.coeff(Sym::Var(carrier)) * cl.step).unsigned_abs() * 8;
+    // Pre-substitute the pipelining variable: the lead comes from here,
+    // not from the strip distance.
+    let ahead =
+        super::transform::subst_ref(template, pf_var, &crate_var(pf_var).offset(d * pf_step));
+    if carrier_stride >= params.page_bytes || carrier_stride == 0 {
+        plan.per_iter.entry(carrier).or_default().push(PerIterPlan {
+            template: template.clone(),
+            place_var: carrier,
+            subst_var: pf_var,
+            step: pf_step,
+            distance: d,
+        });
+        return;
+    }
+    let period = ((params.page_bytes / carrier_stride.max(1)).max(1)) as i64;
+    let strip_len = params.block_pages as i64 * period;
+    plan.strips.entry(carrier).or_default().push(StripPlan {
+        template: ahead,
+        rel_template: None,
+        inner_subst: Vec::new(),
+        loop_var: carrier,
+        step: cl.step,
+        period,
+        strip_len,
+        distance: 0,
+        pages: params.block_pages,
+        rel_pages: 0,
+        prolog_pages: None,
+        uncertain: false,
+    });
+}
+
+/// Local alias avoiding an extra import churn.
+fn crate_var(v: usize) -> LinExpr {
+    LinExpr::sym(Sym::Var(v))
+}
+
+/// Build the plan for one nest.
+///
+/// `assume_small_trips` replaces unknown trip counts with a tiny value
+/// instead of "large" — used to produce the alternate version for
+/// two-version loops.
+pub fn plan_nest(
+    prog: &Program,
+    nest: &NestInfo,
+    params: &CompilerParams,
+    assume_small_trips: bool,
+) -> NestPlan {
+    // Without cross-nest context, every array is treated as last
+    // referenced here.
+    let last = vec![usize::MAX; prog.arrays.len()];
+    plan_nest_global(prog, nest, params, assume_small_trips, usize::MAX, &last)
+}
+
+/// [`plan_nest`] with cross-nest liveness: `nest_idx` is this nest's
+/// position and `last_ref_nest[a]` the last nest referencing array `a`.
+/// Conservative releases are suppressed for arrays a later nest still
+/// reads — releasing them would force write-backs and re-reads (the
+/// FFT stage pattern).
+pub fn plan_nest_global(
+    prog: &Program,
+    nest: &NestInfo,
+    params: &CompilerParams,
+    assume_small_trips: bool,
+    nest_idx: usize,
+    last_ref_nest: &[usize],
+) -> NestPlan {
+    let mut plan = NestPlan::default();
+    let page = params.page_bytes;
+    let elem_bytes = 8u64;
+    let unknown_trip = if assume_small_trips { 4 } else { LARGE_TRIP };
+
+    for group in group_refs(&nest.refs) {
+        let sample = group.members[0];
+        let decl = &prog.arrays[sample.array];
+        let mut report = GroupReport {
+            array: decl.name.clone(),
+            subscripts: subscripts_str(prog, sample),
+            members: group.members.len(),
+            decision: Decision::Skip {
+                reason: String::new(),
+            },
+        };
+
+        if decl.bytes() <= page {
+            report.decision = Decision::Skip {
+                reason: "array fits in one page".into(),
+            };
+            plan.reports.push(report);
+            continue;
+        }
+
+        match &sample.flat {
+            None => {
+                // Indirect reference: per-iteration single-page prefetch
+                // on the innermost loop whose variable appears in any
+                // subscript (directly or inside the indirection).
+                let carrier = sample.path.iter().rev().find(|&&v| {
+                    sample.idx.iter().any(|ix| match ix {
+                        Index::Lin(e) => e.mentions(Sym::Var(v)),
+                        Index::Ind { idx, .. } => {
+                            idx.iter().any(|e| e.mentions(Sym::Var(v)))
+                        }
+                    })
+                });
+                let Some(&carrier) = carrier else {
+                    report.decision = Decision::Skip {
+                        reason: "loop-invariant indirect reference".into(),
+                    };
+                    plan.reports.push(report);
+                    continue;
+                };
+                let li = nest.loop_by_var(carrier).expect("loop on path");
+                let mut d =
+                    (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64).ceil() as i64;
+                // Bound the number of outstanding indirect prefetches —
+                // an unbounded distance would only fill memory with
+                // speculative pages the OS then drops.
+                d = d.clamp(1, params.max_periter_distance);
+                if let Some(trip) = li.trip {
+                    d = d.min((trip - 1).max(1));
+                }
+                plan.per_iter.entry(carrier).or_default().push(PerIterPlan {
+                    template: ArrayRef {
+                        array: sample.array,
+                        idx: sample.idx.clone(),
+                    },
+                    place_var: carrier,
+                    subst_var: carrier,
+                    step: li.step,
+                    distance: d,
+                });
+                report.decision = Decision::PerIter {
+                    loop_var: carrier,
+                    distance: d,
+                    indirect: true,
+                };
+                plan.reports.push(report);
+            }
+            Some(flat) => {
+                // Affine reference: find the pipelining loop — the first
+                // surrounding loop whose cumulative footprint exceeds a
+                // page ("Instead, our compiler pipelines the prefetches
+                // across the first surrounding loop which touches more
+                // than a page of the given array"), refined so that the
+                // software pipeline actually *fits*: if the loop's known
+                // trip count is shorter than the prefetch distance (or
+                // one strip), the pipeline could never start there and
+                // the search continues outward.
+                let mut span_elems: i64 = 1;
+                let mut chosen: Option<usize> = None;
+                let mut uncertain = false;
+                for &v in sample.path.iter().rev() {
+                    let li = nest.loop_by_var(v).expect("loop on path");
+                    let stride = flat.coeff(Sym::Var(v)) * li.step;
+                    if stride == 0 {
+                        continue;
+                    }
+                    let trip = li.trip.unwrap_or(unknown_trip);
+                    span_elems =
+                        span_elems.saturating_add(stride.abs().saturating_mul((trip - 1).max(0)));
+                    if span_elems as u64 * elem_bytes <= page {
+                        continue;
+                    }
+                    // Candidate; prefer it if the pipeline fits.
+                    chosen = Some(v);
+                    uncertain = li.trip.is_none();
+                    let d_raw = (params.fault_latency_ns as f64
+                        / li.est_iter_ns.max(1) as f64)
+                        .ceil() as i64;
+                    let sb = (stride.unsigned_abs() * elem_bytes).max(1);
+                    let strip = if sb <= page {
+                        params.block_pages as i64 * ((page / sb).max(1)) as i64
+                    } else {
+                        1
+                    };
+                    let fits = li.trip.is_none_or(|t| d_raw < t && strip <= t);
+                    if fits {
+                        break;
+                    }
+                }
+                let Some(pf_var) = chosen else {
+                    report.decision = Decision::Skip {
+                        reason: "footprint within one page".into(),
+                    };
+                    plan.reports.push(report);
+                    continue;
+                };
+                let li = nest.loop_by_var(pf_var).expect("loop on path").clone();
+                let stride_elems = flat.coeff(Sym::Var(pf_var)) * li.step;
+                let dir = stride_elems.signum();
+                let stride_bytes = stride_elems.unsigned_abs() * elem_bytes;
+                let leader = group.leading(dir);
+                let template = ArrayRef {
+                    array: leader.array,
+                    idx: leader.idx.clone(),
+                };
+                // Loops strictly inside the pipelining loop on the path,
+                // with their lower bounds for hint-time substitution.
+                let inner_subst: Vec<(usize, LinExpr)> = sample
+                    .path
+                    .iter()
+                    .skip_while(|&&v| v != pf_var)
+                    .skip(1)
+                    .map(|&v| {
+                        let l = nest.loop_by_var(v).expect("loop on path");
+                        (v, l.lo.clone())
+                    })
+                    .collect();
+
+                if stride_bytes > page {
+                    // No spatial locality at this rate: single-page
+                    // prefetch per iteration, no blocking (paper: block
+                    // prefetches only for spatial references). The
+                    // distance is additionally bounded in *address*
+                    // terms: each iteration consumes whole pages, so
+                    // being a fixed small number of pages ahead hides
+                    // the latency without hinting past the data.
+                    let pages_per_iter = (stride_bytes.div_ceil(page)).max(1) as i64;
+                    let mut d = (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64)
+                        .ceil() as i64;
+                    d = d
+                        .min((16 / pages_per_iter).max(1))
+                        .clamp(1, params.max_periter_distance);
+                    if let Some(trip) = li.trip {
+                        d = d.min((trip - 1).max(1));
+                    }
+                    // If the reference also varies with loops inside the
+                    // pipelining loop (a middle-dimension line solve:
+                    // each iteration of the chosen loop touches a whole
+                    // lower-dimensional slab), one hint per chosen-loop
+                    // iteration could only name a single page of that
+                    // slab. Place the hint in the innermost varying loop
+                    // instead, with the inner variables live, so the
+                    // whole next slab is covered; the run-time filter
+                    // eats the duplicates.
+                    let carrier = *sample
+                        .path
+                        .iter()
+                        .rev()
+                        .find(|&&v| flat.coeff(Sym::Var(v)) != 0)
+                        .expect("varying loop exists");
+                    if carrier == pf_var {
+                        // No inner variation: pin inner loop variables
+                        // to their entry values and hint once per
+                        // iteration of the pipelining loop itself.
+                        let mut tmpl = template.clone();
+                        for (v, lo) in inner_subst.iter().rev() {
+                            tmpl = super::transform::subst_ref(&tmpl, *v, lo);
+                        }
+                        plan.per_iter.entry(pf_var).or_default().push(PerIterPlan {
+                            template: tmpl,
+                            place_var: pf_var,
+                            subst_var: pf_var,
+                            step: li.step,
+                            distance: d,
+                        });
+                    } else {
+                        // The reference also varies with inner loops:
+                        // hint from the carrier so the whole next slab
+                        // gets covered, at one hint per page-crossing
+                        // (see `slab_plan`).
+                        slab_plan(
+                            &mut plan, nest, flat, &template, carrier, pf_var, li.step, d,
+                            params,
+                        );
+                    }
+                    report.decision = Decision::PerIter {
+                        loop_var: pf_var,
+                        distance: d,
+                        indirect: false,
+                    };
+                    plan.reports.push(report);
+                    continue;
+                }
+
+                // Spatial locality at the pipelining loop. If an inner
+                // loop jumps by a page or more, a strip-head block
+                // prefetch would cover the wrong subspace (a transposed
+                // sweep, e.g. a line solve along the outer dimension);
+                // fall back to Mowry's innermost-loop hint placement
+                // with the inner loop variables live.
+                let period = ((page / stride_bytes.max(1)).max(1)) as i64;
+                let transposed = inner_subst.iter().any(|(v, _)| {
+                    let l = nest.loop_by_var(*v).expect("loop on path");
+                    (flat.coeff(Sym::Var(*v)) * l.step).unsigned_abs() * elem_bytes >= page
+                });
+                if transposed {
+                    let carrier = *sample
+                        .path
+                        .iter()
+                        .rev()
+                        .find(|&&v| flat.coeff(Sym::Var(v)) != 0)
+                        .expect("varying loop exists");
+                    let mut d = (params.fault_latency_ns as f64
+                        / li.est_iter_ns.max(1) as f64)
+                        .ceil() as i64;
+                    d = d.clamp(1, 16 * period);
+                    if let Some(trip) = li.trip {
+                        d = d.min((trip - 1).max(1));
+                    }
+                    slab_plan(
+                        &mut plan, nest, flat, &template, carrier, pf_var, li.step, d, params,
+                    );
+                    report.decision = Decision::PerIter {
+                        loop_var: pf_var,
+                        distance: d,
+                        indirect: false,
+                    };
+                    plan.reports.push(report);
+                    continue;
+                }
+
+                // Strip-mined block prefetching.
+                let strip_len = params.block_pages as i64 * period;
+                let pages = ceil_div(strip_len as u64 * stride_bytes, page).max(1);
+                let mut d = (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64)
+                    .ceil() as i64;
+                d = d.max(1);
+                // Round the distance up to a whole number of strips so
+                // each steady-state hint covers exactly one future strip.
+                let distance = (d + strip_len - 1) / strip_len * strip_len;
+                // Prolog block prefetch (the pipeline fill). For the
+                // outermost loop it runs once; for an inner pipelining
+                // loop it runs per entry (e.g. per stencil plane),
+                // hiding the first-strip faults that the steady-state
+                // schedule cannot reach — but only when the loop's trip
+                // count is known: with a symbolic bound the compiler
+                // cannot size the fill, and a guessed prolog per entry
+                // of a tiny loop is pure overhead (the APPBT case).
+                let is_outermost = sample.path.first() == Some(&pf_var);
+                let prolog_pages = (is_outermost || !uncertain).then(|| {
+                    ceil_div(distance as u64 * stride_bytes, page)
+                        .clamp(1, params.max_prolog_pages)
+                });
+                // Release policy.
+                let release = match params.release_mode {
+                    ReleaseMode::Off => false,
+                    ReleaseMode::Aggressive => true,
+                    ReleaseMode::Conservative => {
+                        // Dead beyond this nest: a later nest reading
+                        // the array would refault everything released.
+                        let dead_after = nest_idx == usize::MAX
+                            || last_ref_nest
+                                .get(sample.array)
+                                .is_none_or(|&l| l <= nest_idx);
+                        // Every loop enclosing the pipelining loop must
+                        // either advance the reference past the data its
+                        // own iteration touches (a disjoint, streaming
+                        // advance) or have a reuse distance larger than
+                        // the memory this array can expect — memory
+                        // shared among all arrays live in the nest, per
+                        // the cache-style locality analysis that the
+                        // paper notes "underestimates [memory's] ability
+                        // to retain data".
+                        let live_arrays = {
+                            let mut ids: Vec<usize> =
+                                nest.refs.iter().map(|r| r.array).collect();
+                            ids.sort_unstable();
+                            ids.dedup();
+                            ids.len().max(1) as u64
+                        };
+                        let eff_memory = params.memory_bytes / live_arrays;
+                        // Cumulative inner span, innermost -> outermost.
+                        let mut inner_span: i64 = 1;
+                        let mut streaming = true;
+                        for &v in sample.path.iter().rev() {
+                            let l = nest.loop_by_var(v).expect("loop on path");
+                            let stride = flat.coeff(Sym::Var(v)) * l.step;
+                            let trip = (l.trip.unwrap_or(unknown_trip) - 1).max(0);
+                            if !sample
+                                .path
+                                .iter()
+                                .skip_while(|&&w| w != pf_var)
+                                .any(|&w| w == v)
+                            {
+                                // Strictly outside the pipelining loop.
+                                let disjoint = stride.unsigned_abs() as i64 >= inner_span;
+                                let far_reuse =
+                                    inner_span as u64 * elem_bytes > eff_memory;
+                                if !disjoint && !far_reuse {
+                                    streaming = false;
+                                    break;
+                                }
+                            }
+                            inner_span = inner_span
+                                .saturating_add(stride.abs().saturating_mul(trip));
+                        }
+                        dead_after && streaming
+                    }
+                };
+                let rel_template = release.then(|| {
+                    let t = group.trailing(dir);
+                    ArrayRef {
+                        array: t.array,
+                        idx: t.idx.clone(),
+                    }
+                });
+                let rel_pages = (strip_len / period).max(0) as u64;
+                report.decision = Decision::Strip {
+                    loop_var: pf_var,
+                    period,
+                    strip_len,
+                    distance,
+                    pages,
+                    prolog_pages: prolog_pages.unwrap_or(0),
+                    release: release && rel_pages > 0,
+                    uncertain,
+                };
+                plan.reports.push(report);
+                plan.strips.entry(pf_var).or_default().push(StripPlan {
+                    template,
+                    rel_template: rel_template.filter(|_| rel_pages > 0),
+                    inner_subst,
+                    loop_var: pf_var,
+                    step: li.step,
+                    period,
+                    strip_len,
+                    distance,
+                    pages,
+                    rel_pages,
+                    prolog_pages,
+                    uncertain,
+                });
+            }
+        }
+    }
+
+    // Deduplicate identical strip plans (e.g. the same array referenced
+    // in two places with the same shape but different groups after path
+    // splitting would double-prefetch; keep the first).
+    for plans in plan.strips.values_mut() {
+        let mut seen: Vec<(usize, ArrayRef)> = Vec::new();
+        plans.retain(|p| {
+            let key = (p.loop_var, p.template.clone());
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::collect_nests;
+    use oocp_ir::{lin, var, ElemType, Expr, Program, Stmt};
+
+    fn plan_first(prog: &Program, params: &CompilerParams) -> NestPlan {
+        let nests = collect_nests(prog, &params.cost, params.assumed_trip);
+        plan_nest(prog, &nests[0], params, false)
+    }
+
+    /// Streaming y[i] = x[i] over n elements.
+    fn stream(n: i64) -> Program {
+        let mut p = Program::new("stream");
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let y = p.array("y", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(y, vec![var(i)]),
+                value: Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+            }],
+        )];
+        p
+    }
+
+    #[test]
+    fn streaming_refs_get_strip_plans_with_release() {
+        let prog = stream(1 << 20);
+        let params = CompilerParams::default();
+        let plan = plan_first(&prog, &params);
+        let strips = &plan.strips[&0];
+        assert_eq!(strips.len(), 2, "x and y each get a plan");
+        for s in strips {
+            // 8-byte stride: period = 512 iterations, strip = 4 pages.
+            assert_eq!(s.period, 512);
+            assert_eq!(s.strip_len, 2048);
+            assert_eq!(s.pages, 4);
+            assert!(s.distance % s.strip_len == 0);
+            assert!(s.prolog_pages.is_some(), "outermost loop gets a prolog");
+            assert!(s.rel_template.is_some(), "pure streaming is released");
+        }
+    }
+
+    #[test]
+    fn release_suppressed_when_retraversed_and_in_memory() {
+        // Outer time loop re-traverses a small-footprint array.
+        let mut p = Program::new("retraverse");
+        let n = 1 << 16; // 512 KB, well under default 48 MB memory
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let t = p.fresh_var();
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            t,
+            lin(0),
+            lin(10),
+            1,
+            vec![Stmt::for_(
+                i,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(x, vec![var(i)]),
+                    value: Expr::ConstF(1.0),
+                }],
+            )],
+        )];
+        let params = CompilerParams::default();
+        let plan = plan_first(&p, &params);
+        let strips = &plan.strips[&i];
+        assert!(strips[0].rel_template.is_none(), "retained data not released");
+        // With Aggressive mode the release comes back.
+        let plan = plan_first(&p, &params.with_release_mode(ReleaseMode::Aggressive));
+        assert!(plan.strips[&i][0].rel_template.is_some());
+    }
+
+    #[test]
+    fn release_restored_when_footprint_exceeds_memory() {
+        let mut p = Program::new("big-retraverse");
+        let n = 1 << 23; // 64 MB > 48 MB default memory
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let t = p.fresh_var();
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            t,
+            lin(0),
+            lin(4),
+            1,
+            vec![Stmt::for_(
+                i,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(x, vec![var(i)]),
+                    value: Expr::ConstF(1.0),
+                }],
+            )],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        assert!(plan.strips[&i][0].rel_template.is_some());
+    }
+
+    #[test]
+    fn group_locality_merges_offset_refs() {
+        // y[i] = x[i] + x[i+1]: one plan for x, leader x[i+1].
+        let mut p = Program::new("group");
+        let n = 1 << 20;
+        let x = p.array("x", ElemType::F64, vec![n + 1]);
+        let y = p.array("y", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(y, vec![var(i)]),
+                value: Expr::add(
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i).offset(1)])),
+                ),
+            }],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        let xplans: Vec<_> = plan.strips[&0]
+            .iter()
+            .filter(|s| s.template.array == x)
+            .collect();
+        assert_eq!(xplans.len(), 1, "group locality: one plan for x");
+        // Leader is x[i+1] (largest constant under forward direction).
+        match &xplans[0].template.idx[0] {
+            Index::Lin(e) => assert_eq!(e.c, 1),
+            _ => panic!("expected affine leader"),
+        }
+        let g = plan
+            .reports
+            .iter()
+            .find(|g| g.array == "x")
+            .expect("x reported");
+        assert_eq!(g.members, 2);
+    }
+
+    #[test]
+    fn small_inner_loop_pipelines_on_outer() {
+        // c[i][j] with 64-element rows (512 B < page): pipeline on i.
+        let mut p = Program::new("rows");
+        let c = p.array("c", ElemType::F64, vec![1 << 14, 64]);
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(1 << 14),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(64),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(c, vec![var(i), var(j)]),
+                    value: Expr::ConstF(0.0),
+                }],
+            )],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        assert!(plan.strips.contains_key(&i), "pipelined on the i loop");
+        assert!(!plan.strips.contains_key(&j));
+        let s = &plan.strips[&i][0];
+        // Row = 512 bytes: 8 rows per page.
+        assert_eq!(s.period, 8);
+        // Hint-time substitution pins j to its entry value.
+        assert_eq!(s.inner_subst, vec![(j, lin(0))]);
+    }
+
+    #[test]
+    fn symbolic_inner_bound_marks_uncertain() {
+        // Same shape but the j bound is a parameter: the compiler
+        // guesses "large" and pipelines on j, flagging the guess.
+        let mut p = Program::new("sym-rows");
+        let c = p.array("c", ElemType::F64, vec![1 << 14, 64]);
+        let nparam = p.param("n");
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(1 << 14),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                oocp_ir::param(nparam),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(c, vec![var(i), var(j)]),
+                    value: Expr::ConstF(0.0),
+                }],
+            )],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        assert!(plan.strips.contains_key(&j), "guessed large: pipelined on j");
+        assert!(plan.strips[&j][0].uncertain);
+        assert!(plan.any_uncertain());
+        // With small-trip assumption the choice flips to the outer loop.
+        let prog = p.clone();
+        let nests =
+            collect_nests(&prog, &CompilerParams::default().cost, 64);
+        let plan_b = plan_nest(&prog, &nests[0], &CompilerParams::default(), true);
+        assert!(plan_b.strips.contains_key(&i));
+    }
+
+    #[test]
+    fn large_stride_refs_get_per_iteration_prefetch() {
+        // x[i*4096]: stride 32 KB >= page: per-iteration, no blocking.
+        let mut p = Program::new("strided");
+        let x = p.array("x", ElemType::F64, vec![1 << 22]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(1 << 10),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i).scale(4096)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        assert!(plan.strips.is_empty());
+        assert_eq!(plan.per_iter[&0].len(), 1);
+        assert!(plan.per_iter[&0][0].distance >= 1);
+    }
+
+    #[test]
+    fn indirect_refs_get_per_iteration_prefetch() {
+        let mut p = Program::new("indirect");
+        let a = p.array("a", ElemType::F64, vec![1 << 20]);
+        let b = p.array("b", ElemType::I64, vec![1 << 20]);
+        let i = p.fresh_var();
+        let ind = ArrayRef {
+            array: a,
+            idx: vec![Index::Ind {
+                array: b,
+                idx: vec![var(i)],
+            }],
+        };
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(1 << 20),
+            1,
+            vec![Stmt::Store {
+                dst: ind.clone(),
+                value: Expr::add(Expr::LoadF(ind), Expr::ConstF(1.0)),
+            }],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        // b[i] gets a strip plan; a[b[i]] a per-iteration plan (load and
+        // store merged by group locality).
+        assert_eq!(plan.strips[&0].iter().filter(|s| s.template.array == b).count(), 1);
+        assert_eq!(plan.per_iter[&0].len(), 1);
+        assert!(plan.per_iter[&0][0].template.is_indirect());
+    }
+
+    #[test]
+    fn tiny_array_skipped() {
+        let mut p = Program::new("tiny");
+        let x = p.array("x", ElemType::F64, vec![64]); // 512 B
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(64),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        assert!(plan.is_empty());
+        assert!(matches!(
+            plan.reports[0].decision,
+            Decision::Skip { .. }
+        ));
+    }
+
+    #[test]
+    fn backward_loop_prefetches_downward() {
+        let mut p = Program::new("backward");
+        let n = 1 << 20;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(n - 1),
+            lin(-1),
+            -1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let plan = plan_first(&p, &CompilerParams::default());
+        let s = &plan.strips[&0][0];
+        assert_eq!(s.step, -1);
+        assert_eq!(s.period, 512);
+    }
+}

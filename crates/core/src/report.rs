@@ -1,0 +1,194 @@
+//! Human-readable record of the compiler's per-reference decisions.
+
+use std::fmt;
+
+/// What the pass decided to do for one locality group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// No prefetching (with the reason).
+    Skip {
+        /// Why the group was skipped.
+        reason: String,
+    },
+    /// Strip-mined block prefetching along a pipelining loop.
+    Strip {
+        /// Pipelining loop variable.
+        loop_var: usize,
+        /// Iterations per page crossing.
+        period: i64,
+        /// Strip length in iterations.
+        strip_len: i64,
+        /// Prefetch distance in iterations.
+        distance: i64,
+        /// Pages per block prefetch.
+        pages: u64,
+        /// Pages in the prolog block prefetch (0 = no prolog emitted).
+        prolog_pages: u64,
+        /// Whether a release of the trailing reference was paired in.
+        release: bool,
+        /// The pipelining choice relied on a symbolic loop bound.
+        uncertain: bool,
+    },
+    /// Single-page prefetch every iteration (indirect references and
+    /// dense references with page-or-larger strides).
+    PerIter {
+        /// Loop carrying the per-iteration prefetch.
+        loop_var: usize,
+        /// Prefetch distance in iterations.
+        distance: i64,
+        /// Whether the reference is indirect.
+        indirect: bool,
+    },
+}
+
+/// One locality group's report entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupReport {
+    /// Array name.
+    pub array: String,
+    /// Rendering of the reference's subscripts.
+    pub subscripts: String,
+    /// Number of references merged into the group (group locality).
+    pub members: usize,
+    /// The decision taken.
+    pub decision: Decision,
+}
+
+/// Full report of a compilation.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Per-group decisions, in nest order.
+    pub groups: Vec<GroupReport>,
+    /// Number of top-level loop nests processed.
+    pub nests: usize,
+    /// Whether any nest was emitted in two versions.
+    pub two_versioned: bool,
+    /// Index of the `__avail_bytes` parameter added by memory-adaptive
+    /// code generation (callers must append the available memory in
+    /// bytes to the program's parameter values).
+    pub adaptive_param: Option<usize>,
+}
+
+impl CompileReport {
+    /// Number of groups that received prefetches.
+    pub fn prefetched_groups(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| !matches!(g.decision, Decision::Skip { .. }))
+            .count()
+    }
+
+    /// Number of groups paired with a release.
+    pub fn released_groups(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| matches!(g.decision, Decision::Strip { release: true, .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compile report: {} nest(s), {} group(s), {} prefetched, {} released{}",
+            self.nests,
+            self.groups.len(),
+            self.prefetched_groups(),
+            self.released_groups(),
+            if self.two_versioned {
+                ", two-versioned"
+            } else {
+                ""
+            }
+        )?;
+        for g in &self.groups {
+            write!(f, "  {}{} (x{}): ", g.array, g.subscripts, g.members)?;
+            match &g.decision {
+                Decision::Skip { reason } => writeln!(f, "skip ({reason})")?,
+                Decision::Strip {
+                    loop_var,
+                    period,
+                    strip_len,
+                    distance,
+                    pages,
+                    prolog_pages,
+                    release,
+                    uncertain,
+                } => writeln!(
+                    f,
+                    "strip-mine i{loop_var} (period {period}, strip {strip_len}, \
+                     distance {distance}, {pages} pages/block, prolog {prolog_pages}\
+                     {}{})",
+                    if *release { ", +release" } else { "" },
+                    if *uncertain { ", uncertain bound" } else { "" }
+                )?,
+                Decision::PerIter {
+                    loop_var,
+                    distance,
+                    indirect,
+                } => writeln!(
+                    f,
+                    "per-iteration prefetch on i{loop_var} (distance {distance}{})",
+                    if *indirect { ", indirect" } else { "" }
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_display() {
+        let r = CompileReport {
+            groups: vec![
+                GroupReport {
+                    array: "a".into(),
+                    subscripts: "[i]".into(),
+                    members: 2,
+                    decision: Decision::Strip {
+                        loop_var: 0,
+                        period: 512,
+                        strip_len: 2048,
+                        distance: 2048,
+                        pages: 4,
+                        prolog_pages: 4,
+                        release: true,
+                        uncertain: false,
+                    },
+                },
+                GroupReport {
+                    array: "b".into(),
+                    subscripts: "[b[i]]".into(),
+                    members: 1,
+                    decision: Decision::PerIter {
+                        loop_var: 0,
+                        distance: 3,
+                        indirect: true,
+                    },
+                },
+                GroupReport {
+                    array: "s".into(),
+                    subscripts: "[0]".into(),
+                    members: 1,
+                    decision: Decision::Skip {
+                        reason: "fits in one page".into(),
+                    },
+                },
+            ],
+            nests: 1,
+            two_versioned: false,
+            adaptive_param: None,
+        };
+        assert_eq!(r.prefetched_groups(), 2);
+        assert_eq!(r.released_groups(), 1);
+        let s = r.to_string();
+        assert!(s.contains("strip-mine i0"));
+        assert!(s.contains("per-iteration prefetch"));
+        assert!(s.contains("skip (fits in one page)"));
+    }
+}

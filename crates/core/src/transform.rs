@@ -1,0 +1,942 @@
+//! The transformation: strip mining, software pipelining, hint insertion.
+
+use oocp_ir::{
+    lin, var, ArrayRef, CmpOp, Cond, Expr, HintTarget, Index, LinExpr, Loop, Program, Stmt, Sym,
+};
+
+use crate::analysis::collect_nests;
+use crate::normalize::normalize_loops;
+use crate::params::CompilerParams;
+use crate::plan::{plan_nest_global, NestPlan, PerIterPlan, StripPlan};
+use crate::report::CompileReport;
+
+/// Substitute loop variable `v` with linear form `e` throughout a
+/// reference's subscripts, including inside indirect inner subscripts.
+pub fn subst_ref(r: &ArrayRef, v: usize, e: &LinExpr) -> ArrayRef {
+    ArrayRef {
+        array: r.array,
+        idx: r
+            .idx
+            .iter()
+            .map(|ix| match ix {
+                Index::Lin(l) => Index::Lin(l.subst(Sym::Var(v), e)),
+                Index::Ind { array, idx } => Index::Ind {
+                    array: *array,
+                    idx: idx.iter().map(|l| l.subst(Sym::Var(v), e)).collect(),
+                },
+            })
+            .collect(),
+    }
+}
+
+/// Apply a plan's inner-loop substitutions (loop variables inside the
+/// pipelining loop are pinned to their entry values) from innermost to
+/// outermost, then replace the pipelining variable itself.
+fn hint_target(
+    template: &ArrayRef,
+    inner_subst: &[(usize, LinExpr)],
+    pf_var: usize,
+    replacement: &LinExpr,
+) -> HintTarget {
+    let mut t = template.clone();
+    for (v, lo) in inner_subst.iter().rev() {
+        t = subst_ref(&t, *v, lo);
+    }
+    t = subst_ref(&t, pf_var, replacement);
+    HintTarget { target: t }
+}
+
+/// Build the steady-state hint statement(s) for one strip plan at strip
+/// head `sv` (a fresh strip variable).
+fn strip_hints(p: &StripPlan, sv: usize, loop_lo: &LinExpr) -> Vec<Stmt> {
+    // Prefetch the strip `distance` ahead.
+    let pf = hint_target(
+        &p.template,
+        &p.inner_subst,
+        p.loop_var,
+        &var(sv).offset(p.distance * p.step),
+    );
+    match &p.rel_template {
+        None => vec![Stmt::Prefetch {
+            target: pf,
+            pages: p.pages,
+        }],
+        Some(rel) => {
+            // Release the strip just completed; guarded so no release
+            // precedes the first strip. The prefetch itself must run in
+            // both arms.
+            let rel_t = hint_target(
+                rel,
+                &p.inner_subst,
+                p.loop_var,
+                &var(sv).offset(-p.strip_len * p.step),
+            );
+            let guard = Cond {
+                lhs: Expr::Lin(var(sv)),
+                op: if p.step > 0 { CmpOp::Ge } else { CmpOp::Le },
+                rhs: Expr::Lin(loop_lo.offset(p.strip_len * p.step)),
+            };
+            vec![Stmt::If {
+                cond: guard,
+                then_: vec![Stmt::PrefetchRelease {
+                    pf: pf.clone(),
+                    pf_pages: p.pages,
+                    rel: rel_t,
+                    rel_pages: p.rel_pages,
+                }],
+                else_: vec![Stmt::Prefetch {
+                    target: pf,
+                    pages: p.pages,
+                }],
+            }]
+        }
+    }
+}
+
+/// Recursively build nested strip loops for the distinct rate classes of
+/// one loop, slowest (largest strip) outermost, with the original loop
+/// (and variable) innermost so the body is untouched.
+fn build_strips(
+    levels: &[Vec<&StripPlan>],
+    l: &Loop,
+    body: Vec<Stmt>,
+    cur_lo: LinExpr,
+    cur_hi_min: Option<LinExpr>,
+    orig_lo: &LinExpr,
+    fresh: &mut usize,
+) -> Stmt {
+    match levels.split_first() {
+        None => Stmt::For(Loop {
+            var: l.var,
+            lo: cur_lo,
+            hi: l.hi.clone(),
+            hi_min: cur_hi_min,
+            step: l.step,
+            body,
+        }),
+        Some((level, rest)) => {
+            let sv = *fresh;
+            *fresh += 1;
+            let strip_len = level[0].strip_len;
+            let mut strip_body: Vec<Stmt> = Vec::new();
+            for p in level {
+                strip_body.extend(strip_hints(p, sv, orig_lo));
+            }
+            let inner = build_strips(
+                rest,
+                l,
+                body,
+                var(sv),
+                Some(var(sv).offset(strip_len * l.step)),
+                orig_lo,
+                fresh,
+            );
+            strip_body.push(inner);
+            Stmt::For(Loop {
+                var: sv,
+                lo: cur_lo,
+                hi: l.hi.clone(),
+                hi_min: cur_hi_min,
+                step: strip_len * l.step,
+                body: strip_body,
+            })
+        }
+    }
+}
+
+/// Transform one loop according to the nest plan; returns the statements
+/// that replace it (prolog hints + the transformed loop).
+fn transform_loop(l: &Loop, plan: &NestPlan, params: &CompilerParams, fresh: &mut usize) -> Vec<Stmt> {
+    // Transform inner loops first.
+    let mut body = transform_block(&l.body, plan, params, fresh);
+
+    // Per-iteration hints live at the top of this loop's body.
+    if let Some(per_iter) = plan.per_iter.get(&l.var) {
+        let mut hints: Vec<Stmt> = Vec::with_capacity(per_iter.len());
+        for p in per_iter {
+            hints.push(per_iter_hint(p));
+        }
+        hints.extend(body);
+        body = hints;
+    }
+
+    let mut out = Vec::new();
+    match plan.strips.get(&l.var) {
+        None => {
+            out.push(Stmt::For(Loop {
+                var: l.var,
+                lo: l.lo.clone(),
+                hi: l.hi.clone(),
+                hi_min: l.hi_min.clone(),
+                step: l.step,
+                body,
+            }));
+        }
+        Some(strips) => {
+            // The compiler never strip-mines a loop that already carries
+            // a min-bound (its own output); input programs never do.
+            debug_assert!(l.hi_min.is_none(), "strip-mining a strip-mined loop");
+            // Prolog block prefetches (pipeline fill) for plans whose
+            // pipelining loop is the nest's outermost loop.
+            for p in strips {
+                if let Some(pages) = p.prolog_pages {
+                    out.push(Stmt::Prefetch {
+                        target: hint_target(&p.template, &p.inner_subst, p.loop_var, &l.lo),
+                        pages,
+                    });
+                }
+            }
+            // Group plans into rate classes by strip length, slowest
+            // (largest strip) outermost — the paper's i0/i1 nesting.
+            // Each inner strip length must DIVIDE its parent's so strips
+            // tile exactly (an inner strip that overran its parent's end
+            // would re-execute iterations); lengths are rounded down to
+            // the nearest divisor of the enclosing level.
+            let mut lens: Vec<i64> = strips.iter().map(|p| p.strip_len).collect();
+            lens.sort_unstable();
+            lens.dedup();
+            lens.reverse();
+            let mut level_len: Vec<(i64, i64)> = Vec::new(); // (original, adjusted)
+            for len in lens {
+                let adj = match level_len.last() {
+                    None => len,
+                    Some(&(_, prev)) => {
+                        let mut d = len.min(prev);
+                        while prev % d != 0 {
+                            d -= 1;
+                        }
+                        d
+                    }
+                };
+                level_len.push((len, adj));
+            }
+            // Re-derive each plan at its adjusted strip length.
+            let adjusted: Vec<StripPlan> = strips
+                .iter()
+                .map(|p| {
+                    let adj = level_len
+                        .iter()
+                        .find(|&&(orig, _)| orig == p.strip_len)
+                        .expect("every strip length classified")
+                        .1;
+                    let mut q = p.clone();
+                    if adj != q.strip_len {
+                        q.strip_len = adj;
+                        q.pages = (adj.max(1) as u64).div_ceil(q.period.max(1) as u64).max(1);
+                        q.rel_pages = (adj / q.period.max(1)).max(0) as u64;
+                        if q.rel_pages == 0 {
+                            q.rel_template = None;
+                        }
+                        q.distance = (q.distance + adj - 1) / adj * adj;
+                    }
+                    q
+                })
+                .collect();
+            let mut adj_lens: Vec<i64> = adjusted.iter().map(|p| p.strip_len).collect();
+            adj_lens.sort_unstable();
+            adj_lens.dedup();
+            adj_lens.reverse();
+            let levels: Vec<Vec<&StripPlan>> = adj_lens
+                .iter()
+                .map(|&len| adjusted.iter().filter(|p| p.strip_len == len).collect())
+                .collect();
+            out.push(build_strips(
+                &levels,
+                l,
+                body,
+                l.lo.clone(),
+                None,
+                &l.lo,
+                fresh,
+            ));
+        }
+    }
+    out
+}
+
+/// Build the per-iteration prefetch statement for a plan.
+fn per_iter_hint(p: &PerIterPlan) -> Stmt {
+    let ahead = var(p.subst_var).offset(p.distance * p.step);
+    let target = subst_ref(&p.template, p.subst_var, &ahead);
+    Stmt::Prefetch {
+        target: HintTarget { target },
+        pages: 1,
+    }
+}
+
+/// Transform a statement block.
+fn transform_block(
+    stmts: &[Stmt],
+    plan: &NestPlan,
+    params: &CompilerParams,
+    fresh: &mut usize,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::For(l) => out.extend(transform_loop(l, plan, params, fresh)),
+            Stmt::If { cond, then_, else_ } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_: transform_block(then_, plan, params, fresh),
+                else_: transform_block(else_, plan, params, fresh),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Arrays whose references in the nest never vary with its outermost
+/// loop: their data is re-traversed, so once it is resident (after the
+/// first traversal, or whenever memory can hold the whole data set),
+/// their hints are pure overhead.
+fn retraversed_arrays(nest: &crate::analysis::NestInfo) -> std::collections::HashSet<usize> {
+    use std::collections::HashSet;
+    let Some(outer) = nest.loops.first().map(|l| l.var) else {
+        return HashSet::new();
+    };
+    let mut varies: HashSet<usize> = HashSet::new();
+    let mut all: HashSet<usize> = HashSet::new();
+    for r in &nest.refs {
+        all.insert(r.array);
+        // An indirect reference's target pages depend on index *values*,
+        // which do not change across traversals; so for both affine and
+        // indirect references the question is whether any subscript
+        // expression mentions the outermost loop variable.
+        let v = r.idx.iter().any(|ix| match ix {
+            Index::Lin(e) => e.mentions(Sym::Var(outer)),
+            Index::Ind { idx, .. } => idx.iter().any(|e| e.mentions(Sym::Var(outer))),
+        });
+        if v {
+            varies.insert(r.array);
+        }
+    }
+    all.difference(&varies).copied().collect()
+}
+
+/// Memory-adaptive guard (paper section 4.3.1): wrap a hint so it only
+/// executes when the data set exceeds the available memory *or* during
+/// the nest's first outer traversal (cold faults still prefetched).
+///
+/// `avail < data_bytes || outer == outer_lo` rendered as nested Ifs.
+fn adaptive_guard(
+    hint: Stmt,
+    avail_param: usize,
+    data_bytes: u64,
+    outer_var: usize,
+    outer_lo: &LinExpr,
+) -> Stmt {
+    let out_of_core = Cond {
+        lhs: Expr::Lin(oocp_ir::param(avail_param)),
+        op: CmpOp::Lt,
+        rhs: Expr::Lin(lin(data_bytes as i64)),
+    };
+    let first_traversal = Cond {
+        lhs: Expr::Lin(var(outer_var)),
+        op: CmpOp::Eq,
+        rhs: Expr::Lin(outer_lo.clone()),
+    };
+    Stmt::If {
+        cond: out_of_core,
+        then_: vec![hint.clone()],
+        else_: vec![Stmt::If {
+            cond: first_traversal,
+            then_: vec![hint],
+            else_: vec![],
+        }],
+    }
+}
+
+/// Does a statement consist only of hints targeting guarded arrays?
+fn is_guardable_hint(s: &Stmt, guarded: &std::collections::HashSet<usize>) -> bool {
+    match s {
+        Stmt::Prefetch { target, .. } | Stmt::Release { target, .. } => {
+            guarded.contains(&target.target.array)
+        }
+        Stmt::PrefetchRelease { pf, rel, .. } => {
+            guarded.contains(&pf.target.array) && guarded.contains(&rel.target.array)
+        }
+        // The strip machinery emits `if (past first strip) { pf+rel }
+        // else { pf }` pairs; guard the whole conditional when both arms
+        // are guardable hints.
+        Stmt::If { then_, else_, .. } => {
+            !then_.is_empty()
+                && then_.iter().chain(else_).all(|s| is_guardable_hint(s, guarded))
+        }
+        _ => false,
+    }
+}
+
+/// Post-pass wrapping guardable hints inside the nest body.
+///
+/// `inside_loop` is false for the nest's top level, where the prolog
+/// block prefetches live: those are the cold-phase pipeline fill and
+/// stay unguarded (the paper keeps prefetching the cold faults).
+fn apply_adaptive_guards(
+    stmts: Vec<Stmt>,
+    guarded: &std::collections::HashSet<usize>,
+    avail_param: usize,
+    data_bytes: u64,
+    outer_var: usize,
+    outer_lo: &LinExpr,
+    inside_loop: bool,
+) -> Vec<Stmt> {
+    stmts
+        .into_iter()
+        .map(|s| {
+            if inside_loop && is_guardable_hint(&s, guarded) {
+                adaptive_guard(s, avail_param, data_bytes, outer_var, outer_lo)
+            } else {
+                match s {
+                    Stmt::For(mut l) => {
+                        l.body = apply_adaptive_guards(
+                            l.body, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            true,
+                        );
+                        Stmt::For(l)
+                    }
+                    Stmt::If { cond, then_, else_ } => Stmt::If {
+                        cond,
+                        then_: apply_adaptive_guards(
+                            then_, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            inside_loop,
+                        ),
+                        else_: apply_adaptive_guards(
+                            else_, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            inside_loop,
+                        ),
+                    },
+                    other => other,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Find the first uncertain strip plan's loop, for the two-version test.
+fn uncertain_loop(plan: &NestPlan) -> Option<(usize, i64)> {
+    plan.strips
+        .values()
+        .flatten()
+        .find(|p| p.uncertain)
+        .map(|p| (p.loop_var, p.period))
+}
+
+/// Run the full pass over a program.
+pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) {
+    params.validate();
+    // Normalize loops first so tile/offset induction variables are
+    // visible to the linear subscript analysis.
+    let prog = &normalize_loops(prog);
+    let nests = collect_nests(prog, &params.cost, params.assumed_trip);
+    let mut out = prog.clone();
+    let mut fresh = prog.num_vars;
+    let mut report = CompileReport {
+        nests: nests.len(),
+        ..CompileReport::default()
+    };
+
+    // Cross-nest liveness: the last nest that references each array.
+    let mut last_ref_nest = vec![0usize; prog.arrays.len()];
+    for (i, nest) in nests.iter().enumerate() {
+        for r in &nest.refs {
+            last_ref_nest[r.array] = i;
+        }
+    }
+
+    // Memory-adaptive codegen: the available memory arrives through an
+    // extra runtime parameter.
+    let avail_param = params.adaptive_in_core.then(|| {
+        report.adaptive_param = Some(out.params.len());
+        out.params.push("__avail_bytes".to_string());
+        out.params.len() - 1
+    });
+    let data_bytes = prog.data_bytes();
+
+    let mut nest_iter = nests.iter().enumerate();
+    let mut new_body = Vec::with_capacity(prog.body.len());
+    for s in &prog.body {
+        match s {
+            Stmt::For(l) => {
+                let (nidx, nest) = nest_iter.next().expect("one nest per top-level loop");
+                let plan =
+                    plan_nest_global(prog, nest, params, false, nidx, &last_ref_nest);
+                report.groups.extend(plan.reports.iter().cloned());
+
+                let two_version = params.two_version_loops
+                    && plan.any_uncertain()
+                    && uncertain_loop(&plan)
+                        .and_then(|(v, _)| nest.loop_by_var(v))
+                        // The trip-count test must be evaluable at nest
+                        // entry: bounds must not depend on loop vars.
+                        .map(|li| {
+                            li.lo.syms().chain(li.hi.syms()).all(|s| matches!(s, Sym::Param(_)))
+                        })
+                        .unwrap_or(false);
+
+                let guard_nest = |stmts: Vec<Stmt>| -> Vec<Stmt> {
+                    match avail_param {
+                        None => stmts,
+                        Some(ap) => {
+                            let guarded = retraversed_arrays(nest);
+                            if guarded.is_empty() {
+                                return stmts;
+                            }
+                            apply_adaptive_guards(
+                                stmts,
+                                &guarded,
+                                ap,
+                                data_bytes,
+                                l.var,
+                                &l.lo,
+                                false,
+                            )
+                        }
+                    }
+                };
+                if two_version {
+                    // Version A assumes symbolic trips are large;
+                    // version B assumes they are small. Select at run
+                    // time on the uncertain loop's actual trip count.
+                    let (uvar, period) = uncertain_loop(&plan).expect("uncertain plan");
+                    let li = nest.loop_by_var(uvar).expect("loop in nest").clone();
+                    let plan_b =
+                        plan_nest_global(prog, nest, params, true, nidx, &last_ref_nest);
+                    let a = guard_nest(transform_loop(l, &plan, params, &mut fresh));
+                    let b = guard_nest(transform_loop(l, &plan_b, params, &mut fresh));
+                    let trip = li.hi.sub(&li.lo).scale(li.step.signum());
+                    new_body.push(Stmt::If {
+                        cond: Cond {
+                            lhs: Expr::Lin(trip),
+                            op: CmpOp::Ge,
+                            rhs: Expr::Lin(lin(period * li.step.abs())),
+                        },
+                        then_: a,
+                        else_: b,
+                    });
+                    report.two_versioned = true;
+                } else {
+                    new_body.extend(guard_nest(transform_loop(l, &plan, params, &mut fresh)));
+                }
+            }
+            other => new_body.push(other.clone()),
+        }
+    }
+    out.body = new_body;
+    out.num_vars = fresh;
+    debug_assert!(
+        out.validate().is_empty(),
+        "compiler produced an invalid program: {:?}",
+        out.validate()
+    );
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ReleaseMode;
+    use oocp_ir::{
+        run_program, ArrayBinding, ArrayData, CostModel, ElemType, MemVm,
+    };
+
+    /// Run original and transformed on fresh MemVms with identical
+    /// initial data; assert byte-identical final memory.
+    fn assert_equivalent(prog: &Program, params: &CompilerParams, pvals: &[i64]) {
+        let (xformed, _) = run(prog, params);
+        let (binds, bytes) = ArrayBinding::sequential(prog, params.page_bytes);
+        let mut vm_a = MemVm::new(bytes, params.page_bytes);
+        let mut vm_b = MemVm::new(bytes, params.page_bytes);
+        // Deterministic nonzero initial data.
+        for (ai, a) in prog.arrays.iter().enumerate() {
+            for e in 0..a.len() as u64 {
+                let addr = binds[ai].base + e * 8;
+                match a.elem {
+                    ElemType::F64 => {
+                        let v = ((e % 97) as f64) * 0.5 - 10.0;
+                        vm_a.poke_f64(addr, v);
+                        vm_b.poke_f64(addr, v);
+                    }
+                    ElemType::I64 => {
+                        let v = (e % (a.len() as u64)) as i64;
+                        vm_a.poke_i64(addr, v);
+                        vm_b.poke_i64(addr, v);
+                    }
+                }
+            }
+        }
+        run_program(prog, &binds, pvals, CostModel::free(), &mut vm_a);
+        run_program(&xformed, &binds, pvals, CostModel::free(), &mut vm_b);
+        assert_eq!(vm_a.bytes(), vm_b.bytes(), "semantics changed by pass");
+        assert!(
+            vm_b.prefetches > 0,
+            "transformed program must actually prefetch"
+        );
+    }
+
+    fn small_page_params() -> CompilerParams {
+        // Small pages keep test arrays small while exercising the math.
+        let mut p = CompilerParams::new(4096, 1 << 20, 2_000_000);
+        p.cost = CostModel::default();
+        p
+    }
+
+    #[test]
+    fn streaming_loop_transforms_and_preserves_semantics() {
+        let mut p = Program::new("stream");
+        let n = 20_000;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let y = p.array("y", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(y, vec![var(i)]),
+                value: Expr::mul(
+                    Expr::ConstF(3.0),
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                ),
+            }],
+        )];
+        let params = small_page_params();
+        assert_equivalent(&p, &params, &[]);
+        let (xf, report) = run(&p, &params);
+        let (pf, _rel, pr) = xf.count_hints();
+        assert!(pf > 0, "prefetch statements inserted");
+        assert!(pr > 0, "bundled prefetch_release inserted for streaming");
+        assert_eq!(report.prefetched_groups(), 2);
+    }
+
+    #[test]
+    fn two_dim_small_rows_pipelines_outer_and_preserves_semantics() {
+        let mut p = Program::new("rows");
+        let (ni, nj) = (2_000, 64);
+        let c = p.array("c", ElemType::F64, vec![ni, nj]);
+        let b = p.array("b", ElemType::F64, vec![ni]);
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(ni),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(nj),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(c, vec![var(i), var(j)]),
+                    value: Expr::add(
+                        Expr::LoadF(ArrayRef::affine(b, vec![var(i)])),
+                        Expr::LoadF(ArrayRef::affine(c, vec![var(i), var(j)])),
+                    ),
+                }],
+            )],
+        )];
+        assert_equivalent(&p, &small_page_params(), &[]);
+    }
+
+    #[test]
+    fn indirect_histogram_preserves_semantics() {
+        let mut p = Program::new("hist");
+        let nkeys = 8_000;
+        let nbuckets = 2_000;
+        let count = p.array("count", ElemType::I64, vec![nbuckets]);
+        let key = p.array("key", ElemType::I64, vec![nkeys]);
+        let i = p.fresh_var();
+        let cref = ArrayRef {
+            array: count,
+            idx: vec![Index::Ind {
+                array: key,
+                idx: vec![var(i)],
+            }],
+        };
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(nkeys),
+            1,
+            vec![Stmt::Store {
+                dst: cref.clone(),
+                value: Expr::add(Expr::LoadI(cref), Expr::Lin(lin(1))),
+            }],
+        )];
+        // Initial keys are e % nbuckets via the equivalence harness'
+        // i64 init (e % len clamped by nbuckets range). Keys must be
+        // valid bucket indices: len(key) init = e % nkeys, may exceed
+        // nbuckets. Build custom data instead.
+        let params = small_page_params();
+        let (xformed, report) = run(&p, &params);
+        let (binds, bytes) = ArrayBinding::sequential(&p, params.page_bytes);
+        let mut vm_a = MemVm::new(bytes, params.page_bytes);
+        let mut vm_b = MemVm::new(bytes, params.page_bytes);
+        for e in 0..nkeys as u64 {
+            let k = (e * 7919 % nbuckets as u64) as i64;
+            vm_a.poke_i64(binds[key].base + e * 8, k);
+            vm_b.poke_i64(binds[key].base + e * 8, k);
+        }
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm_a);
+        run_program(&xformed, &binds, &[], CostModel::free(), &mut vm_b);
+        assert_eq!(vm_a.bytes(), vm_b.bytes());
+        assert!(vm_b.prefetches > 0);
+        assert!(report
+            .groups
+            .iter()
+            .any(|g| matches!(g.decision, crate::report::Decision::PerIter { indirect: true, .. })));
+    }
+
+    #[test]
+    fn backward_sweep_preserves_semantics() {
+        let mut p = Program::new("backward");
+        let n = 20_000;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(n - 1),
+            lin(0),
+            -1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::add(
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i).offset(-1)])),
+                    Expr::ConstF(1.0),
+                ),
+            }],
+        )];
+        assert_equivalent(&p, &small_page_params(), &[]);
+    }
+
+    #[test]
+    fn symbolic_bounds_preserve_semantics() {
+        let mut p = Program::new("symbolic");
+        let n = 30_000;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let np = p.param("n");
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            oocp_ir::param(np),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::add(
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                    Expr::ConstF(2.0),
+                ),
+            }],
+        )];
+        assert_equivalent(&p, &small_page_params(), &[25_000]);
+        // Also with a tiny runtime trip count (epilog/clamping paths).
+        assert_equivalent(&p, &small_page_params(), &[3]);
+    }
+
+    #[test]
+    fn strip_mining_covers_exact_iteration_space() {
+        // Non-divisible bounds: 10_007 iterations with strip 2048.
+        let mut p = Program::new("odd");
+        let n = 10_007;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::Lin(var(i)),
+            }],
+        )];
+        let params = small_page_params();
+        let (xf, _) = run(&p, &params);
+        let (binds, bytes) = ArrayBinding::sequential(&p, params.page_bytes);
+        let mut vm = MemVm::new(bytes, params.page_bytes);
+        run_program(&xf, &binds, &[], CostModel::free(), &mut vm);
+        for e in [0u64, 1, 2047, 2048, 4095, 10_006] {
+            assert_eq!(vm.peek_f64(binds[x].base + e * 8), e as f64, "elem {e}");
+        }
+    }
+
+    #[test]
+    fn two_version_emits_runtime_test() {
+        let mut p = Program::new("tv");
+        let c = p.array("c", ElemType::F64, vec![1 << 13, 64]);
+        let np = p.param("n");
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(1 << 13),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                oocp_ir::param(np),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(c, vec![var(i), var(j)]),
+                    value: Expr::ConstF(1.0),
+                }],
+            )],
+        )];
+        // Hmm: the j loop's bounds are param-only, but it is an inner
+        // loop; the two-version test is evaluable at nest entry.
+        let params = small_page_params().with_two_version(true);
+        let (xf, report) = run(&p, &params);
+        assert!(report.two_versioned);
+        assert!(matches!(xf.body[0], Stmt::If { .. }));
+        // Both versions must be semantically correct.
+        for n in [3i64, 64] {
+            let (binds, bytes) = ArrayBinding::sequential(&p, params.page_bytes);
+            let mut vm_a = MemVm::new(bytes, params.page_bytes);
+            let mut vm_b = MemVm::new(bytes, params.page_bytes);
+            run_program(&p, &binds, &[n], CostModel::free(), &mut vm_a);
+            run_program(&xf, &binds, &[n], CostModel::free(), &mut vm_b);
+            assert_eq!(vm_a.bytes(), vm_b.bytes(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn release_mode_off_emits_no_releases() {
+        let mut p = Program::new("norel");
+        let n = 1 << 16;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let params = small_page_params().with_release_mode(ReleaseMode::Off);
+        let (xf, _) = run(&p, &params);
+        let (_, rel, pr) = xf.count_hints();
+        assert_eq!(rel + pr, 0);
+    }
+
+    #[test]
+    fn adaptive_codegen_preserves_semantics_and_throttles_hints() {
+        // A time loop re-traversing a streamed array.
+        let mut p = Program::new("retraverse");
+        let n = 30_000;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let t = p.fresh_var();
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            t,
+            lin(0),
+            lin(4),
+            1,
+            vec![Stmt::for_(
+                i,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(x, vec![var(i)]),
+                    value: Expr::add(
+                        Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                        Expr::ConstF(1.0),
+                    ),
+                }],
+            )],
+        )];
+        let params = small_page_params().with_adaptive_in_core(true);
+        let (xf, report) = run(&p, &params);
+        let ap = report.adaptive_param.expect("adaptive param allocated");
+        assert_eq!(xf.params.len(), p.params.len() + 1);
+        assert!(xf.validate().is_empty());
+
+        let data = p.data_bytes() as i64;
+        let (binds, bytes) = ArrayBinding::sequential(&p, params.page_bytes);
+        // Reference result.
+        let mut vm_ref = MemVm::new(bytes, params.page_bytes);
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm_ref);
+
+        let mut hints_small_mem = 0;
+        let mut hints_big_mem = 0;
+        for (avail, hints_out) in [
+            (data / 4, &mut hints_small_mem), // out of core: hint every pass
+            (data * 4, &mut hints_big_mem),   // in core: first pass only
+        ] {
+            let mut pv = vec![0i64; xf.params.len()];
+            pv[ap] = avail;
+            let mut vm = MemVm::new(bytes, params.page_bytes);
+            run_program(&xf, &binds, &pv, CostModel::free(), &mut vm);
+            assert_eq!(vm.bytes(), vm_ref.bytes(), "avail={avail}");
+            *hints_out = vm.prefetches;
+        }
+        assert!(
+            hints_big_mem * 3 <= hints_small_mem,
+            "in-core run must issue far fewer hints: {hints_big_mem} vs {hints_small_mem}"
+        );
+        assert!(hints_big_mem > 0, "first traversal still prefetched");
+    }
+
+    #[test]
+    fn adaptive_codegen_leaves_single_traversal_programs_alone() {
+        // No re-traversal: all hints are cold-phase; no guards, and no
+        // hint-count difference between memory sizes.
+        let mut p = Program::new("stream-once");
+        let n = 30_000;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(1.0),
+            }],
+        )];
+        let params = small_page_params().with_adaptive_in_core(true);
+        let (xf, report) = run(&p, &params);
+        let ap = report.adaptive_param.unwrap();
+        let (binds, bytes) = ArrayBinding::sequential(&p, params.page_bytes);
+        let mut counts = Vec::new();
+        for avail in [1i64, i64::MAX / 2] {
+            let mut pv = vec![0i64; xf.params.len()];
+            pv[ap] = avail;
+            let mut vm = MemVm::new(bytes, params.page_bytes);
+            run_program(&xf, &binds, &pv, CostModel::free(), &mut vm);
+            counts.push(vm.prefetches);
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn output_program_is_valid_and_original_untouched() {
+        let mut p = Program::new("check");
+        let n = 1 << 16;
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let before = p.clone();
+        let (xf, _) = run(&p, &small_page_params());
+        assert_eq!(p, before, "input program must not be mutated");
+        assert!(xf.validate().is_empty());
+        assert!(xf.num_vars > p.num_vars, "strip variables allocated");
+    }
+}

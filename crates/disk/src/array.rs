@@ -1,0 +1,139 @@
+//! An array of identical disks addressed by index.
+
+use oocp_sim::time::Ns;
+
+use crate::model::{Disk, DiskParams, DiskStats, Request};
+
+/// A bank of `n` identical, independently-queued disks.
+///
+/// The paper's platform attaches seven disks and stripes file pages
+/// round-robin across all of them; the striping policy itself lives in
+/// the file-system crate — this type only provides indexed submission
+/// and aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct DiskArray {
+    disks: Vec<Disk>,
+}
+
+impl DiskArray {
+    /// Create `n` idle disks sharing the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero: a diskless machine cannot run the simulator.
+    pub fn new(n: usize, params: DiskParams) -> Self {
+        assert!(n > 0, "disk array must contain at least one disk");
+        Self {
+            disks: (0..n).map(|_| Disk::new(params)).collect(),
+        }
+    }
+
+    /// Number of disks in the array.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Whether the array is empty (never true; see [`DiskArray::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Submit a request to disk `id`; returns the completion time.
+    pub fn submit(&mut self, id: usize, now: Ns, req: Request) -> Ns {
+        self.disks[id].submit(now, req)
+    }
+
+    /// Statistics for one disk.
+    pub fn stats(&self, id: usize) -> &DiskStats {
+        self.disks[id].stats()
+    }
+
+    /// Aggregate statistics across the whole array.
+    pub fn total_stats(&self) -> DiskStats {
+        let mut total = DiskStats::default();
+        for d in &self.disks {
+            total.merge(d.stats());
+        }
+        total
+    }
+
+    /// Average per-disk utilization over `elapsed` (Figure 5(b)).
+    pub fn avg_utilization(&self, elapsed: Ns) -> f64 {
+        if self.disks.is_empty() {
+            return 0.0;
+        }
+        self.disks
+            .iter()
+            .map(|d| d.stats().utilization(elapsed))
+            .sum::<f64>()
+            / self.disks.len() as f64
+    }
+
+    /// Time at which the most-backlogged disk drains.
+    pub fn drain_time(&self) -> Ns {
+        self.disks.iter().map(|d| d.busy_until()).max().unwrap_or(0)
+    }
+
+    /// Underlying disk parameters (identical across the array).
+    pub fn params(&self) -> &DiskParams {
+        self.disks[0].params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ReqKind;
+
+    fn req(start: u64, n: u64) -> Request {
+        Request {
+            kind: ReqKind::PrefetchRead,
+            start_block: start,
+            nblocks: n,
+        }
+    }
+
+    #[test]
+    fn disks_queue_independently() {
+        let mut a = DiskArray::new(2, DiskParams::default());
+        let t0 = a.submit(0, 0, req(10_000, 1));
+        let t1 = a.submit(1, 0, req(10_000, 1));
+        // Same request on two idle disks completes at the same time:
+        // no cross-disk queueing.
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn total_stats_sum_over_disks() {
+        let mut a = DiskArray::new(3, DiskParams::default());
+        a.submit(0, 0, req(0, 1));
+        a.submit(1, 0, req(0, 2));
+        a.submit(2, 0, req(0, 3));
+        let s = a.total_stats();
+        assert_eq!(s.prefetch_reads, 3);
+        assert_eq!(s.prefetch_blocks, 6);
+    }
+
+    #[test]
+    fn avg_utilization_averages_over_all_disks() {
+        let mut a = DiskArray::new(2, DiskParams::default());
+        let done = a.submit(0, 0, req(0, 1));
+        // Disk 1 idle: average utilization is half of disk 0's.
+        let u = a.avg_utilization(done);
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_time_is_max_backlog() {
+        let mut a = DiskArray::new(2, DiskParams::default());
+        let t0 = a.submit(0, 0, req(100_000, 1));
+        let t1 = a.submit(1, 0, req(100_000, 8));
+        assert_eq!(a.drain_time(), t0.max(t1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        let _ = DiskArray::new(0, DiskParams::default());
+    }
+}

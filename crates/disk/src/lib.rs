@@ -1,0 +1,19 @@
+//! Disk service-time model for the out-of-core prefetching simulator.
+//!
+//! Models a mid-1990s SCSI disk of the kind attached to the Hector
+//! multiprocessor used in the paper: a distance-dependent seek, half a
+//! rotation of average rotational latency, and a fixed per-block transfer
+//! time. Requests are serviced strictly in arrival order — the paper notes
+//! that Hurricane's disk scheduler "treats prefetches the same as normal
+//! disk read requests", so there is deliberately no priority between
+//! demand reads, prefetch reads, and write-backs.
+//!
+//! Contiguous multi-block requests pay the positioning cost once, which is
+//! what makes the compiler's *block prefetches* (and the file system's
+//! extent-based layout) profitable.
+
+pub mod array;
+pub mod model;
+
+pub use array::DiskArray;
+pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};

@@ -1,0 +1,376 @@
+//! Single-disk model: geometry parameters, service times, statistics.
+
+use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
+
+/// Kind of request submitted to a disk.
+///
+/// Figure 5(a) of the paper breaks down disk traffic into exactly these
+/// three classes, so we track them separately from the start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read triggered by a page fault the application is stalled on.
+    DemandRead,
+    /// Read triggered by a non-binding prefetch hint.
+    PrefetchRead,
+    /// Write-back of a dirty page (eviction, release, or final flush).
+    Write,
+}
+
+/// A request for `nblocks` contiguous blocks starting at `start_block`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Traffic class of this request.
+    pub kind: ReqKind,
+    /// First block number on this disk.
+    pub start_block: u64,
+    /// Number of contiguous blocks; must be at least 1.
+    pub nblocks: u64,
+}
+
+/// Physical parameters of one disk.
+///
+/// Defaults approximate the 1996-era drives in the paper's Table 1
+/// platform: 4 KB blocks, ~5400 RPM, 2-22 ms seek, ~4 MB/s media rate.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskParams {
+    /// Bytes per block; the simulator uses one page per block.
+    pub block_bytes: u64,
+    /// Capacity in blocks (bounds seek distance scaling).
+    pub blocks: u64,
+    /// Minimum (track-to-track) seek time.
+    pub seek_min_ns: Ns,
+    /// Maximum (full-stroke) seek time.
+    pub seek_max_ns: Ns,
+    /// Time for one full platter rotation; average rotational latency is
+    /// half of this.
+    pub rotation_ns: Ns,
+    /// Media transfer time per block.
+    pub transfer_ns_per_block: Ns,
+    /// Blocks within this distance of the head count as the same
+    /// cylinder: no seek, and for an exactly-sequential continuation no
+    /// rotational delay either (the extent-based layout guarantee).
+    pub cylinder_blocks: u64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self {
+            block_bytes: 4096,
+            blocks: 512 * 1024, // 2 GB of 4 KB blocks
+            seek_min_ns: 2 * MILLISECOND,
+            seek_max_ns: 22 * MILLISECOND,
+            rotation_ns: 11_100 * MICROSECOND, // 5400 RPM
+            transfer_ns_per_block: MILLISECOND, // ~4 MB/s media rate
+            cylinder_blocks: 64,
+        }
+    }
+}
+
+impl DiskParams {
+    /// A 2020s SATA SSD: no mechanical positioning — modeled as a tiny
+    /// constant "seek", no rotation, ~500 MB/s media rate.
+    pub fn ssd() -> Self {
+        Self {
+            block_bytes: 4096,
+            blocks: 64 * 1024 * 1024, // 256 GB
+            seek_min_ns: 20_000,
+            seek_max_ns: 60_000,
+            rotation_ns: 0,
+            transfer_ns_per_block: 8_000, // ~500 MB/s
+            cylinder_blocks: u64::MAX,    // no distance penalty
+        }
+    }
+
+    /// A 2020s NVMe drive: ~10 us access, ~3 GB/s.
+    pub fn nvme() -> Self {
+        Self {
+            block_bytes: 4096,
+            blocks: 256 * 1024 * 1024, // 1 TB
+            seek_min_ns: 8_000,
+            seek_max_ns: 15_000,
+            rotation_ns: 0,
+            transfer_ns_per_block: 1_300, // ~3 GB/s
+            cylinder_blocks: u64::MAX,
+        }
+    }
+
+    /// Positioning plus transfer time for a request, given head position.
+    ///
+    /// * Sequential continuation (`start == head`): transfer only.
+    /// * Same cylinder: half a rotation plus transfer.
+    /// * Otherwise: distance-dependent seek (square-root profile, the
+    ///   standard approximation for the accelerate/decelerate arm) plus
+    ///   half a rotation plus transfer.
+    pub fn service_ns(&self, head: u64, req: &Request) -> Ns {
+        let transfer = self.transfer_ns_per_block * req.nblocks;
+        let dist = head.abs_diff(req.start_block);
+        if dist == 0 {
+            return transfer;
+        }
+        let half_rot = self.rotation_ns / 2;
+        if dist <= self.cylinder_blocks {
+            return half_rot + transfer;
+        }
+        let frac = (dist as f64 / self.blocks as f64).min(1.0).sqrt();
+        let seek = self.seek_min_ns
+            + ((self.seek_max_ns - self.seek_min_ns) as f64 * frac) as Ns;
+        seek + half_rot + transfer
+    }
+
+    /// Latency of an isolated average single-block read (used to seed the
+    /// compiler's fault-latency estimate).
+    pub fn avg_access_ns(&self) -> Ns {
+        let avg_seek = self.seek_min_ns + (self.seek_max_ns - self.seek_min_ns) / 3;
+        avg_seek + self.rotation_ns / 2 + self.transfer_ns_per_block
+    }
+}
+
+/// Counters maintained by each disk.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskStats {
+    /// Number of demand-read requests.
+    pub demand_reads: u64,
+    /// Number of prefetch-read requests.
+    pub prefetch_reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Blocks moved by demand reads.
+    pub demand_blocks: u64,
+    /// Blocks moved by prefetch reads.
+    pub prefetch_blocks: u64,
+    /// Blocks moved by writes.
+    pub write_blocks: u64,
+    /// Total time the arm/media were busy.
+    pub busy_ns: Ns,
+}
+
+impl DiskStats {
+    /// Total request count across classes.
+    pub fn requests(&self) -> u64 {
+        self.demand_reads + self.prefetch_reads + self.writes
+    }
+
+    /// Total blocks moved across classes.
+    pub fn blocks(&self) -> u64 {
+        self.demand_blocks + self.prefetch_blocks + self.write_blocks
+    }
+
+    /// Busy fraction over an elapsed wall-clock span.
+    pub fn utilization(&self, elapsed: Ns) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / elapsed as f64
+        }
+    }
+
+    /// Merge another disk's counters into this one (for array totals).
+    pub fn merge(&mut self, o: &DiskStats) {
+        self.demand_reads += o.demand_reads;
+        self.prefetch_reads += o.prefetch_reads;
+        self.writes += o.writes;
+        self.demand_blocks += o.demand_blocks;
+        self.prefetch_blocks += o.prefetch_blocks;
+        self.write_blocks += o.write_blocks;
+        self.busy_ns += o.busy_ns;
+    }
+}
+
+/// One disk: head position, FIFO busy horizon, and statistics.
+///
+/// Because service is strictly FIFO, the completion time of a request is
+/// fully determined at submission: `max(now, busy_until) + service`. The
+/// caller (the OS) schedules a completion event at the returned time.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    params: DiskParams,
+    head: u64,
+    busy_until: Ns,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Create an idle disk with the head parked at block 0.
+    pub fn new(params: DiskParams) -> Self {
+        Self {
+            params,
+            head: 0,
+            busy_until: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The disk's physical parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Submit a request at simulated time `now`; returns completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty or extends past the disk capacity —
+    /// the file system is responsible for allocating valid extents, so an
+    /// out-of-range request is a logic error, not a recoverable condition.
+    pub fn submit(&mut self, now: Ns, req: Request) -> Ns {
+        assert!(req.nblocks > 0, "empty disk request");
+        assert!(
+            req.start_block + req.nblocks <= self.params.blocks,
+            "request [{}, {}) exceeds disk capacity {}",
+            req.start_block,
+            req.start_block + req.nblocks,
+            self.params.blocks
+        );
+        let start = now.max(self.busy_until);
+        let service = self.params.service_ns(self.head, &req);
+        let done = start + service;
+        self.busy_until = done;
+        self.head = req.start_block + req.nblocks;
+        self.stats.busy_ns += service;
+        match req.kind {
+            ReqKind::DemandRead => {
+                self.stats.demand_reads += 1;
+                self.stats.demand_blocks += req.nblocks;
+            }
+            ReqKind::PrefetchRead => {
+                self.stats.prefetch_reads += 1;
+                self.stats.prefetch_blocks += req.nblocks;
+            }
+            ReqKind::Write => {
+                self.stats.writes += 1;
+                self.stats.write_blocks += req.nblocks;
+            }
+        }
+        done
+    }
+
+    /// Time at which all submitted requests will have completed.
+    pub fn busy_until(&self) -> Ns {
+        self.busy_until
+    }
+
+    /// Current head position (block number just past the last access).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: ReqKind, start: u64, n: u64) -> Request {
+        Request {
+            kind,
+            start_block: start,
+            nblocks: n,
+        }
+    }
+
+    #[test]
+    fn sequential_continuation_is_transfer_only() {
+        let p = DiskParams::default();
+        let t = p.service_ns(100, &req(ReqKind::DemandRead, 100, 4));
+        assert_eq!(t, 4 * p.transfer_ns_per_block);
+    }
+
+    #[test]
+    fn same_cylinder_pays_rotation_not_seek() {
+        let p = DiskParams::default();
+        let t = p.service_ns(100, &req(ReqKind::DemandRead, 110, 1));
+        assert_eq!(t, p.rotation_ns / 2 + p.transfer_ns_per_block);
+    }
+
+    #[test]
+    fn longer_seeks_cost_more() {
+        let p = DiskParams::default();
+        let near = p.service_ns(0, &req(ReqKind::DemandRead, 1_000, 1));
+        let far = p.service_ns(0, &req(ReqKind::DemandRead, 400_000, 1));
+        assert!(far > near);
+        assert!(far <= p.seek_max_ns + p.rotation_ns / 2 + p.transfer_ns_per_block);
+    }
+
+    #[test]
+    fn block_request_amortizes_positioning() {
+        let p = DiskParams::default();
+        let one = p.service_ns(0, &req(ReqKind::PrefetchRead, 10_000, 1));
+        let four = p.service_ns(0, &req(ReqKind::PrefetchRead, 10_000, 4));
+        // Four blocks in one request cost far less than four separate
+        // positioned reads.
+        assert!(four < 2 * one);
+    }
+
+    #[test]
+    fn fifo_queueing_delays_later_requests() {
+        let mut d = Disk::new(DiskParams::default());
+        let t1 = d.submit(0, req(ReqKind::DemandRead, 50_000, 1));
+        let t2 = d.submit(0, req(ReqKind::DemandRead, 50_001, 1));
+        assert!(t2 > t1, "second request must queue behind the first");
+        // The second is a sequential continuation: only transfer added.
+        assert_eq!(t2 - t1, d.params().transfer_ns_per_block);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let mut d = Disk::new(DiskParams::default());
+        let t1 = d.submit(0, req(ReqKind::DemandRead, 0, 1));
+        let much_later = t1 + 1_000_000_000;
+        let t2 = d.submit(much_later, req(ReqKind::DemandRead, 1, 1));
+        assert_eq!(t2, much_later + d.params().transfer_ns_per_block);
+    }
+
+    #[test]
+    fn stats_classify_by_kind() {
+        let mut d = Disk::new(DiskParams::default());
+        d.submit(0, req(ReqKind::DemandRead, 0, 1));
+        d.submit(0, req(ReqKind::PrefetchRead, 1, 4));
+        d.submit(0, req(ReqKind::Write, 5, 2));
+        let s = d.stats();
+        assert_eq!(s.demand_reads, 1);
+        assert_eq!(s.prefetch_reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.demand_blocks, 1);
+        assert_eq!(s.prefetch_blocks, 4);
+        assert_eq!(s.write_blocks, 2);
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.blocks(), 7);
+    }
+
+    #[test]
+    fn busy_time_equals_sum_of_services() {
+        let mut d = Disk::new(DiskParams::default());
+        let t1 = d.submit(0, req(ReqKind::DemandRead, 9_000, 1));
+        let t2 = d.submit(0, req(ReqKind::DemandRead, 200_000, 2));
+        assert_eq!(d.stats().busy_ns, t2, "back-to-back => busy till t2");
+        assert!(t1 < t2);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let mut d = Disk::new(DiskParams::default());
+        let done = d.submit(0, req(ReqKind::DemandRead, 0, 1));
+        let u = d.stats().utilization(done * 2);
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds disk capacity")]
+    fn out_of_range_request_panics() {
+        let mut d = Disk::new(DiskParams::default());
+        let blocks = d.params().blocks;
+        d.submit(0, req(ReqKind::DemandRead, blocks - 1, 2));
+    }
+
+    #[test]
+    fn avg_access_is_between_min_and_max_service() {
+        let p = DiskParams::default();
+        let avg = p.avg_access_ns();
+        assert!(avg > p.transfer_ns_per_block);
+        assert!(avg < p.seek_max_ns + p.rotation_ns + p.transfer_ns_per_block);
+    }
+}

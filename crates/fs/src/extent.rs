@@ -1,0 +1,202 @@
+//! Contiguous-extent allocator over one disk's block space.
+
+use std::collections::BTreeMap;
+
+/// A contiguous run of blocks on a single disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// First block of the run.
+    pub start: u64,
+    /// Number of blocks in the run; always non-zero once allocated.
+    pub len: u64,
+}
+
+impl Extent {
+    /// One past the last block of the run.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `block` lies within the run.
+    pub fn contains(&self, block: u64) -> bool {
+        (self.start..self.end()).contains(&block)
+    }
+}
+
+/// First-fit allocator of contiguous block extents with coalescing frees.
+///
+/// HFS stores contiguous file blocks in contiguous disk blocks to avoid
+/// seeks on sequential access; this allocator provides that guarantee by
+/// only ever handing out a single contiguous extent per request.
+///
+/// # Examples
+///
+/// ```
+/// use oocp_fs::ExtentAllocator;
+///
+/// let mut a = ExtentAllocator::new(100);
+/// let e = a.alloc(40).unwrap();
+/// assert_eq!(e.len, 40);
+/// a.free(e);
+/// assert_eq!(a.free_blocks(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExtentAllocator {
+    /// Free extents keyed by start block; invariant: non-adjacent,
+    /// non-overlapping, all non-empty.
+    free: BTreeMap<u64, u64>,
+    capacity: u64,
+    free_total: u64,
+}
+
+impl ExtentAllocator {
+    /// Create an allocator managing blocks `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        Self {
+            free,
+            capacity,
+            free_total: capacity,
+        }
+    }
+
+    /// Total block capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_total
+    }
+
+    /// Allocate a contiguous extent of `len` blocks (first fit).
+    ///
+    /// Returns `None` when no single free extent is large enough, even if
+    /// the total free space would suffice — contiguity is the contract.
+    pub fn alloc(&mut self, len: u64) -> Option<Extent> {
+        if len == 0 {
+            return None;
+        }
+        let (&start, &flen) = self.free.iter().find(|&(_, &l)| l >= len)?;
+        self.free.remove(&start);
+        if flen > len {
+            self.free.insert(start + len, flen - len);
+        }
+        self.free_total -= len;
+        Some(Extent { start, len })
+    }
+
+    /// Return an extent to the free pool, coalescing with neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent is empty, out of range, or overlaps free
+    /// space (double free) — all logic errors in the caller.
+    pub fn free(&mut self, ext: Extent) {
+        assert!(ext.len > 0, "freeing empty extent");
+        assert!(ext.end() <= self.capacity, "extent out of range");
+        // Check against the previous and next free runs for overlap and
+        // adjacency.
+        let mut start = ext.start;
+        let mut len = ext.len;
+        if let Some((&pstart, &plen)) = self.free.range(..ext.start).next_back() {
+            assert!(pstart + plen <= ext.start, "double free (overlaps predecessor)");
+            if pstart + plen == ext.start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        if let Some((&nstart, &nlen)) = self.free.range(ext.start..).next() {
+            assert!(ext.end() <= nstart, "double free (overlaps successor)");
+            if ext.end() == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+        self.free_total += ext.len;
+    }
+
+    /// Number of distinct free extents (fragmentation indicator).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_contiguous_and_first_fit() {
+        let mut a = ExtentAllocator::new(100);
+        let e1 = a.alloc(10).unwrap();
+        let e2 = a.alloc(10).unwrap();
+        assert_eq!(e1, Extent { start: 0, len: 10 });
+        assert_eq!(e2, Extent { start: 10, len: 10 });
+        assert_eq!(a.free_blocks(), 80);
+    }
+
+    #[test]
+    fn alloc_zero_and_oversized_fail() {
+        let mut a = ExtentAllocator::new(10);
+        assert!(a.alloc(0).is_none());
+        assert!(a.alloc(11).is_none());
+        assert!(a.alloc(10).is_some());
+        assert!(a.alloc(1).is_none());
+    }
+
+    #[test]
+    fn free_coalesces_with_both_neighbors() {
+        let mut a = ExtentAllocator::new(30);
+        let e1 = a.alloc(10).unwrap();
+        let e2 = a.alloc(10).unwrap();
+        let e3 = a.alloc(10).unwrap();
+        a.free(e1);
+        a.free(e3);
+        assert_eq!(a.fragments(), 2);
+        a.free(e2);
+        assert_eq!(a.fragments(), 1);
+        assert_eq!(a.free_blocks(), 30);
+        // After full coalescing the original capacity is allocatable.
+        assert_eq!(a.alloc(30), Some(Extent { start: 0, len: 30 }));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_allocs() {
+        let mut a = ExtentAllocator::new(30);
+        let e1 = a.alloc(10).unwrap();
+        let _e2 = a.alloc(10).unwrap();
+        let e3 = a.alloc(10).unwrap();
+        a.free(e1);
+        a.free(e3);
+        // 20 blocks free but max contiguous run is 10.
+        assert_eq!(a.free_blocks(), 20);
+        assert!(a.alloc(20).is_none());
+        assert!(a.alloc(10).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut a = ExtentAllocator::new(10);
+        let e = a.alloc(5).unwrap();
+        a.free(e);
+        a.free(e);
+    }
+
+    #[test]
+    fn extent_contains_and_end() {
+        let e = Extent { start: 5, len: 3 };
+        assert_eq!(e.end(), 8);
+        assert!(e.contains(5));
+        assert!(e.contains(7));
+        assert!(!e.contains(8));
+        assert!(!e.contains(4));
+    }
+}

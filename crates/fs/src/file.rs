@@ -1,0 +1,356 @@
+//! Striped files: round-robin page placement over per-disk extents.
+
+use std::fmt;
+
+use crate::extent::{Extent, ExtentAllocator};
+
+/// Handle to a file created by [`FileSystem::create_file`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Error type for file-system operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Not enough contiguous space on some disk for the file's stripe.
+    NoSpace {
+        /// Disk on which allocation failed.
+        disk: usize,
+        /// Blocks that were requested on that disk.
+        needed: u64,
+    },
+    /// A file id that does not name a live file.
+    BadFile(FileId),
+    /// A page index at or past the end of the file.
+    BadPage {
+        /// Offending file.
+        file: FileId,
+        /// Offending page index.
+        page: u64,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSpace { disk, needed } => {
+                write!(f, "no contiguous space for {needed} blocks on disk {disk}")
+            }
+            FsError::BadFile(id) => write!(f, "no such file: {id:?}"),
+            FsError::BadPage { file, page } => {
+                write!(f, "page {page} out of range for {file:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A run of file pages placed contiguously on one disk.
+///
+/// Produced by [`FileSystem::place_run`]; the OS turns each run into a
+/// single multi-block disk request, which is how block prefetches engage
+/// several disks at once while still paying one positioning cost per disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacedRun {
+    /// Disk holding the run.
+    pub disk: usize,
+    /// First disk block of the run.
+    pub start_block: u64,
+    /// Number of blocks (= file pages) in the run.
+    pub nblocks: u64,
+}
+
+struct FileMeta {
+    /// Per-disk extent backing this file's stripe; `extents[d]` holds the
+    /// pages `p` with `p % ndisks == d`, in order, contiguously.
+    extents: Vec<Extent>,
+    pages: u64,
+    live: bool,
+}
+
+/// The striped file system: one extent allocator per disk plus file
+/// metadata.
+///
+/// Page `p` of a file lives on disk `p % ndisks`, at block
+/// `extent[d].start + p / ndisks`. This is HFS's round-robin striping
+/// with extent-based per-disk layout.
+pub struct FileSystem {
+    disks: Vec<ExtentAllocator>,
+    files: Vec<FileMeta>,
+}
+
+impl FileSystem {
+    /// Create a file system over `ndisks` disks of `blocks_per_disk` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndisks` is zero.
+    pub fn new(ndisks: usize, blocks_per_disk: u64) -> Self {
+        assert!(ndisks > 0, "file system needs at least one disk");
+        Self {
+            disks: (0..ndisks)
+                .map(|_| ExtentAllocator::new(blocks_per_disk))
+                .collect(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Number of disks the file system stripes over.
+    pub fn ndisks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Free blocks remaining on disk `d`.
+    pub fn free_blocks(&self, d: usize) -> u64 {
+        self.disks[d].free_blocks()
+    }
+
+    /// Create a file of `pages` pages, striped across all disks.
+    ///
+    /// All-or-nothing: on failure, any partial per-disk allocations are
+    /// rolled back.
+    pub fn create_file(&mut self, pages: u64) -> Result<FileId, FsError> {
+        let n = self.disks.len() as u64;
+        let mut extents = Vec::with_capacity(self.disks.len());
+        for (d, alloc) in self.disks.iter_mut().enumerate() {
+            // Disk d holds pages d, d+n, d+2n, ...: ceil((pages - d) / n)
+            // of them when d < pages, none otherwise.
+            let count = if (d as u64) < pages {
+                (pages - d as u64).div_ceil(n)
+            } else {
+                0
+            };
+            if count == 0 {
+                extents.push(Extent { start: 0, len: 0 });
+                continue;
+            }
+            match alloc.alloc(count) {
+                Some(e) => extents.push(e),
+                None => {
+                    // Roll back previous disks' allocations.
+                    for (pd, pe) in extents.into_iter().enumerate() {
+                        if pe.len > 0 {
+                            self.disks[pd].free(pe);
+                        }
+                    }
+                    return Err(FsError::NoSpace {
+                        disk: d,
+                        needed: count,
+                    });
+                }
+            }
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta {
+            extents,
+            pages,
+            live: true,
+        });
+        Ok(id)
+    }
+
+    /// Delete a file, returning its blocks to the per-disk allocators.
+    pub fn delete_file(&mut self, id: FileId) -> Result<(), FsError> {
+        let meta = self
+            .files
+            .get_mut(id.0 as usize)
+            .filter(|m| m.live)
+            .ok_or(FsError::BadFile(id))?;
+        meta.live = false;
+        let extents = std::mem::take(&mut meta.extents);
+        for (d, e) in extents.into_iter().enumerate() {
+            if e.len > 0 {
+                self.disks[d].free(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Size of a file in pages.
+    pub fn file_pages(&self, id: FileId) -> Result<u64, FsError> {
+        self.meta(id).map(|m| m.pages)
+    }
+
+    /// Physical placement of one file page: `(disk, block)`.
+    pub fn place(&self, id: FileId, page: u64) -> Result<(usize, u64), FsError> {
+        let meta = self.meta(id)?;
+        if page >= meta.pages {
+            return Err(FsError::BadPage { file: id, page });
+        }
+        let n = self.disks.len() as u64;
+        let d = (page % n) as usize;
+        let block = meta.extents[d].start + page / n;
+        Ok((d, block))
+    }
+
+    /// Group a span of consecutive file pages into minimal per-disk runs.
+    ///
+    /// A span of `count` pages starting at `page` touches up to
+    /// `min(count, ndisks)` disks; on each disk the touched blocks are
+    /// contiguous thanks to the extent layout, so exactly one run per
+    /// touched disk is produced. Runs are returned ordered by disk.
+    pub fn place_run(
+        &self,
+        id: FileId,
+        page: u64,
+        count: u64,
+    ) -> Result<Vec<PlacedRun>, FsError> {
+        let meta = self.meta(id)?;
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if page + count > meta.pages {
+            return Err(FsError::BadPage {
+                file: id,
+                page: page + count - 1,
+            });
+        }
+        let n = self.disks.len() as u64;
+        let mut runs = Vec::with_capacity(n.min(count) as usize);
+        for d in 0..self.disks.len() as u64 {
+            // Pages on disk d within [page, page+count): those congruent
+            // to d mod n. First such page >= page:
+            let first = page + (d + n - page % n) % n;
+            if first >= page + count {
+                continue;
+            }
+            // Count of stripe rows touched on this disk.
+            let nblocks = (page + count - first).div_ceil(n);
+            runs.push(PlacedRun {
+                disk: d as usize,
+                start_block: meta.extents[d as usize].start + first / n,
+                nblocks,
+            });
+        }
+        Ok(runs)
+    }
+
+    fn meta(&self, id: FileId) -> Result<&FileMeta, FsError> {
+        self.files
+            .get(id.0 as usize)
+            .filter(|m| m.live)
+            .ok_or(FsError::BadFile(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_striping() {
+        let mut fs = FileSystem::new(3, 100);
+        let f = fs.create_file(10).unwrap();
+        for p in 0..10 {
+            let (d, _) = fs.place(f, p).unwrap();
+            assert_eq!(d, (p % 3) as usize);
+        }
+    }
+
+    #[test]
+    fn per_disk_blocks_are_contiguous() {
+        let mut fs = FileSystem::new(3, 100);
+        let f = fs.create_file(12).unwrap();
+        // Pages 0,3,6,9 live on disk 0 at consecutive blocks.
+        let blocks: Vec<u64> = (0..4).map(|i| fs.place(f, i * 3).unwrap().1).collect();
+        for w in blocks.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn place_run_covers_every_page_exactly_once() {
+        let mut fs = FileSystem::new(7, 1000);
+        let f = fs.create_file(100).unwrap();
+        for start in [0u64, 1, 5, 6, 93] {
+            for count in [1u64, 2, 4, 7, 14] {
+                if start + count > 100 {
+                    continue;
+                }
+                let runs = fs.place_run(f, start, count).unwrap();
+                let total: u64 = runs.iter().map(|r| r.nblocks).sum();
+                assert_eq!(total, count, "start={start} count={count}");
+                // Each page's individual placement must fall inside its run.
+                for p in start..start + count {
+                    let (d, b) = fs.place(f, p).unwrap();
+                    let run = runs.iter().find(|r| r.disk == d).unwrap();
+                    assert!(
+                        (run.start_block..run.start_block + run.nblocks).contains(&b),
+                        "page {p} not covered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn place_run_touches_at_most_min_count_ndisks() {
+        let mut fs = FileSystem::new(7, 1000);
+        let f = fs.create_file(100).unwrap();
+        assert_eq!(fs.place_run(f, 3, 4).unwrap().len(), 4);
+        assert_eq!(fs.place_run(f, 0, 7).unwrap().len(), 7);
+        assert_eq!(fs.place_run(f, 2, 21).unwrap().len(), 7);
+        assert!(fs.place_run(f, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_page_rejected() {
+        let mut fs = FileSystem::new(2, 100);
+        let f = fs.create_file(10).unwrap();
+        assert!(matches!(fs.place(f, 10), Err(FsError::BadPage { .. })));
+        assert!(matches!(
+            fs.place_run(f, 8, 3),
+            Err(FsError::BadPage { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_returns_space() {
+        let mut fs = FileSystem::new(2, 10);
+        let before: u64 = (0..2).map(|d| fs.free_blocks(d)).sum();
+        let f = fs.create_file(20).unwrap();
+        assert!(fs.create_file(1).is_err() || fs.free_blocks(0) + fs.free_blocks(1) < before);
+        fs.delete_file(f).unwrap();
+        let after: u64 = (0..2).map(|d| fs.free_blocks(d)).sum();
+        assert_eq!(before, after);
+        // Deleting twice is an error.
+        assert_eq!(fs.delete_file(f), Err(FsError::BadFile(f)));
+    }
+
+    #[test]
+    fn create_rolls_back_on_failure() {
+        let mut fs = FileSystem::new(2, 10);
+        // 30 pages needs 15 blocks per disk but only 10 exist.
+        let err = fs.create_file(30).unwrap_err();
+        assert!(matches!(err, FsError::NoSpace { .. }));
+        assert_eq!(fs.free_blocks(0), 10);
+        assert_eq!(fs.free_blocks(1), 10);
+        // And a fitting file still succeeds afterwards.
+        assert!(fs.create_file(20).is_ok());
+    }
+
+    #[test]
+    fn uneven_tail_pages_allocate_correct_counts() {
+        let mut fs = FileSystem::new(3, 100);
+        // 10 pages over 3 disks: disk0 gets 4 (0,3,6,9), others 3.
+        let f = fs.create_file(10).unwrap();
+        assert_eq!(fs.free_blocks(0), 96);
+        assert_eq!(fs.free_blocks(1), 97);
+        assert_eq!(fs.free_blocks(2), 97);
+        let (d, _) = fs.place(f, 9).unwrap();
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn multiple_files_do_not_overlap() {
+        let mut fs = FileSystem::new(2, 100);
+        let f1 = fs.create_file(10).unwrap();
+        let f2 = fs.create_file(10).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for f in [f1, f2] {
+            for p in 0..10 {
+                assert!(seen.insert(fs.place(f, p).unwrap()), "overlap at {f:?}:{p}");
+            }
+        }
+    }
+}

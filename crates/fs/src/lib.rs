@@ -1,0 +1,24 @@
+//! Striped, extent-based file system model.
+//!
+//! Reproduces the two properties of the Hurricane File System (HFS) the
+//! paper relies on:
+//!
+//! 1. **Striping** — the pages of a file are distributed round-robin
+//!    across all disks, so a block prefetch of `k` consecutive pages
+//!    engages up to `k` disks in parallel (this is where the "purchase
+//!    more disks for more bandwidth" argument is realized).
+//! 2. **Extent-based layout** — contiguous file blocks are stored in
+//!    contiguous disk blocks *per disk*, so a sequential scan of a file
+//!    does not seek (page `p` and page `p + ndisks` are physically
+//!    adjacent on the same disk).
+//!
+//! The crate provides an extent allocator with coalescing free lists, a
+//! file abstraction mapping file pages to `(disk, block)` placements, and
+//! run grouping that turns a span of file pages into the minimal set of
+//! contiguous per-disk requests.
+
+pub mod extent;
+pub mod file;
+
+pub use extent::{Extent, ExtentAllocator};
+pub use file::{FileId, FileSystem, FsError, PlacedRun};

@@ -1,0 +1,718 @@
+//! The interpreter: executes a program against a [`PagedVm`].
+
+use crate::expr::{BinOp, CmpOp, Cond, Expr, LinExpr, Sym, UnOp};
+use crate::program::{ArrayRef, ElemType, Index, Loop, Program, Stmt};
+use crate::vm::{CostModel, PagedVm};
+
+/// Placement of one array in the virtual address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayBinding {
+    /// Byte address of element 0.
+    pub base: u64,
+}
+
+impl ArrayBinding {
+    /// Lay out a program's arrays sequentially, each page-aligned,
+    /// returning the bindings and the total address-space size in bytes.
+    ///
+    /// The simulated machine and [`crate::vm::MemVm`] both use this
+    /// layout, so results can be compared byte-for-byte.
+    pub fn sequential(prog: &Program, page_bytes: u64) -> (Vec<ArrayBinding>, u64) {
+        let mut base = 0u64;
+        let mut binds = Vec::with_capacity(prog.arrays.len());
+        for a in &prog.arrays {
+            binds.push(ArrayBinding { base });
+            let pages = a.bytes().div_ceil(page_bytes).max(1);
+            base += pages * page_bytes;
+        }
+        (binds, base.max(page_bytes))
+    }
+}
+
+/// Dynamic counts of the executed program (calibration and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Timed array loads.
+    pub loads: u64,
+    /// Timed array stores.
+    pub stores: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Integer ALU operations (including address arithmetic).
+    pub iops: u64,
+    /// Loop iterations executed.
+    pub iters: u64,
+    /// Prefetch statements executed (including bundled).
+    pub prefetch_stmts: u64,
+    /// Release statements executed (including bundled).
+    pub release_stmts: u64,
+    /// Total pages named by prefetch hints.
+    pub prefetch_pages: u64,
+}
+
+/// Runtime value.
+#[derive(Clone, Copy, Debug)]
+enum V {
+    F(f64),
+    I(i64),
+}
+
+impl V {
+    fn as_f(self) -> f64 {
+        match self {
+            V::F(v) => v,
+            V::I(v) => v as f64,
+        }
+    }
+
+    fn as_i(self) -> i64 {
+        match self {
+            V::F(v) => v as i64,
+            V::I(v) => v,
+        }
+    }
+}
+
+/// Interpreter state for one run.
+pub struct Executor<'a, M: PagedVm> {
+    prog: &'a Program,
+    binds: &'a [ArrayBinding],
+    params: &'a [i64],
+    cost: CostModel,
+    vm: &'a mut M,
+    vars: Vec<i64>,
+    fscalars: Vec<f64>,
+    iscalars: Vec<i64>,
+    pending_ns: u64,
+    stats: ExecStats,
+}
+
+impl<'a, M: PagedVm> Executor<'a, M> {
+    /// Prepare an execution of `prog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding or parameter counts do not match the
+    /// program, or if the program fails validation.
+    pub fn new(
+        prog: &'a Program,
+        binds: &'a [ArrayBinding],
+        params: &'a [i64],
+        cost: CostModel,
+        vm: &'a mut M,
+    ) -> Self {
+        assert_eq!(
+            binds.len(),
+            prog.arrays.len(),
+            "one binding per array required"
+        );
+        assert_eq!(
+            params.len(),
+            prog.params.len(),
+            "one value per program parameter required"
+        );
+        let problems = prog.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid program {}: {}",
+            prog.name,
+            problems.join("; ")
+        );
+        Self {
+            prog,
+            binds,
+            params,
+            cost,
+            vm,
+            vars: vec![0; prog.num_vars],
+            fscalars: vec![0.0; prog.num_fscalars],
+            iscalars: vec![0; prog.num_iscalars],
+            pending_ns: 0,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Execute the program to completion, returning dynamic counts.
+    pub fn run(mut self) -> ExecStats {
+        let body = &self.prog.body;
+        self.exec_block(body);
+        self.flush();
+        self.stats
+    }
+
+    fn flush(&mut self) {
+        if self.pending_ns > 0 {
+            self.vm.tick_user(self.pending_ns);
+            self.pending_ns = 0;
+        }
+    }
+
+    fn charge_iops(&mut self, n: u64) {
+        self.stats.iops += n;
+        self.pending_ns += self.cost.ns_per_iop * n;
+    }
+
+    fn charge_flop(&mut self) {
+        self.stats.flops += 1;
+        self.pending_ns += self.cost.ns_per_flop;
+    }
+
+    fn eval_lin(&mut self, e: &LinExpr) -> i64 {
+        self.charge_iops(e.terms.len() as u64);
+        e.c + e
+            .terms
+            .iter()
+            .map(|&(k, s)| {
+                k * match s {
+                    Sym::Var(v) => self.vars[v],
+                    Sym::Param(p) => self.params[p],
+                }
+            })
+            .sum::<i64>()
+    }
+
+    /// Compute the byte address of a reference.
+    ///
+    /// With `clamp`, every subscript (including indirect inner ones) is
+    /// clamped into its dimension — used for hint targets, whose
+    /// addresses may legally run past the iteration space. Without it,
+    /// out-of-bounds subscripts panic (a kernel bug).
+    fn ref_addr(&mut self, r: &ArrayRef, clamp: bool) -> u64 {
+        let decl = &self.prog.arrays[r.array];
+        let rank = decl.dims.len();
+        let mut flat: i64 = 0;
+        for (d, ix) in r.idx.iter().enumerate() {
+            let mut sub = match ix {
+                Index::Lin(e) => self.eval_lin(e),
+                Index::Ind { array, idx } => {
+                    // One timed load of the index array element.
+                    let inner = ArrayRef::affine(*array, idx.clone());
+                    let addr = self.ref_addr(&inner, clamp);
+                    self.flush();
+                    self.stats.loads += 1;
+                    self.pending_ns += self.cost.ns_per_access;
+                    self.vm.load_i64(addr)
+                }
+            };
+            let dim = decl.dims[d];
+            if clamp {
+                sub = sub.clamp(0, dim - 1);
+            } else {
+                assert!(
+                    (0..dim).contains(&sub),
+                    "subscript {sub} out of range [0,{dim}) in dim {d} of array {} ({})",
+                    decl.name,
+                    self.prog.name
+                );
+            }
+            flat += sub * decl.stride(d);
+            self.charge_iops(if d + 1 < rank { 2 } else { 1 });
+        }
+        self.binds[r.array].base + flat as u64 * decl.elem.bytes()
+    }
+
+    fn load_ref(&mut self, r: &ArrayRef) -> V {
+        let elem = self.prog.arrays[r.array].elem;
+        let addr = self.ref_addr(r, false);
+        self.pending_ns += self.cost.ns_per_access;
+        self.flush();
+        self.stats.loads += 1;
+        match elem {
+            ElemType::F64 => V::F(self.vm.load_f64(addr)),
+            ElemType::I64 => V::I(self.vm.load_i64(addr)),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> V {
+        match e {
+            Expr::LoadF(r) | Expr::LoadI(r) => self.load_ref(r),
+            Expr::ScalarF(i) => V::F(self.fscalars[*i]),
+            Expr::ScalarI(i) => V::I(self.iscalars[*i]),
+            Expr::Lin(l) => V::I(self.eval_lin(l)),
+            Expr::ConstF(v) => V::F(*v),
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                match (va, vb) {
+                    (V::I(x), V::I(y)) => {
+                        self.charge_iops(1);
+                        V::I(match op {
+                            BinOp::Add => x.wrapping_add(y),
+                            BinOp::Sub => x.wrapping_sub(y),
+                            BinOp::Mul => x.wrapping_mul(y),
+                            BinOp::Div => {
+                                assert!(y != 0, "integer division by zero");
+                                x / y
+                            }
+                            BinOp::Rem => {
+                                assert!(y != 0, "integer remainder by zero");
+                                x % y
+                            }
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                        })
+                    }
+                    _ => {
+                        let (x, y) = (va.as_f(), vb.as_f());
+                        self.charge_flop();
+                        V::F(match op {
+                            BinOp::Add => x + y,
+                            BinOp::Sub => x - y,
+                            BinOp::Mul => x * y,
+                            BinOp::Div => x / y,
+                            BinOp::Rem => x % y,
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                        })
+                    }
+                }
+            }
+            Expr::Un(op, a) => {
+                let v = self.eval(a);
+                match (op, v) {
+                    (UnOp::Neg, V::I(x)) => {
+                        self.charge_iops(1);
+                        V::I(-x)
+                    }
+                    (UnOp::Abs, V::I(x)) => {
+                        self.charge_iops(1);
+                        V::I(x.abs())
+                    }
+                    (op, v) => {
+                        self.charge_flop();
+                        let x = v.as_f();
+                        V::F(match op {
+                            UnOp::Neg => -x,
+                            UnOp::Sqrt => x.sqrt(),
+                            UnOp::Ln => x.ln(),
+                            UnOp::Abs => x.abs(),
+                        })
+                    }
+                }
+            }
+            Expr::ToF(a) => {
+                let v = self.eval(a);
+                self.charge_flop();
+                V::F(v.as_f())
+            }
+            Expr::ToI(a) => {
+                let v = self.eval(a);
+                self.charge_iops(1);
+                V::I(v.as_i())
+            }
+        }
+    }
+
+    fn eval_cond(&mut self, c: &Cond) -> bool {
+        let l = self.eval(&c.lhs);
+        let r = self.eval(&c.rhs);
+        self.charge_iops(1);
+        match (l, r) {
+            (V::I(a), V::I(b)) => match c.op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            },
+            (a, b) => {
+                let (a, b) = (a.as_f(), b.as_f());
+                match c.op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                }
+            }
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.exec(s);
+        }
+    }
+
+    fn exec(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For(l) => self.exec_loop(l),
+            Stmt::Store { dst, value } => {
+                let v = self.eval(value);
+                let elem = self.prog.arrays[dst.array].elem;
+                let addr = self.ref_addr(dst, false);
+                self.pending_ns += self.cost.ns_per_access;
+                self.flush();
+                self.stats.stores += 1;
+                match elem {
+                    ElemType::F64 => self.vm.store_f64(addr, v.as_f()),
+                    ElemType::I64 => self.vm.store_i64(addr, v.as_i()),
+                }
+            }
+            Stmt::LetF { dst, value } => {
+                let v = self.eval(value);
+                self.fscalars[*dst] = v.as_f();
+            }
+            Stmt::LetI { dst, value } => {
+                let v = self.eval(value);
+                self.iscalars[*dst] = v.as_i();
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if self.eval_cond(cond) {
+                    self.exec_block(then_);
+                } else {
+                    self.exec_block(else_);
+                }
+            }
+            Stmt::Prefetch { target, pages } => {
+                let addr = self.ref_addr(&target.target, true);
+                self.pending_ns += self.cost.ns_per_hint_issue;
+                self.flush();
+                self.stats.prefetch_stmts += 1;
+                self.stats.prefetch_pages += pages;
+                self.vm.prefetch(addr, *pages);
+            }
+            Stmt::Release { target, pages } => {
+                let addr = self.ref_addr(&target.target, true);
+                self.pending_ns += self.cost.ns_per_hint_issue;
+                self.flush();
+                self.stats.release_stmts += 1;
+                self.vm.release(addr, *pages);
+            }
+            Stmt::PrefetchRelease {
+                pf,
+                pf_pages,
+                rel,
+                rel_pages,
+            } => {
+                let pf_addr = self.ref_addr(&pf.target, true);
+                let rel_addr = self.ref_addr(&rel.target, true);
+                self.pending_ns += self.cost.ns_per_hint_issue;
+                self.flush();
+                self.stats.prefetch_stmts += 1;
+                self.stats.release_stmts += 1;
+                self.stats.prefetch_pages += pf_pages;
+                self.vm
+                    .prefetch_release(pf_addr, *pf_pages, rel_addr, *rel_pages);
+            }
+        }
+    }
+
+    fn exec_loop(&mut self, l: &Loop) {
+        // Bounds are computed once at loop entry, Fortran-style.
+        let lo = self.eval_lin(&l.lo);
+        let mut hi = self.eval_lin(&l.hi);
+        if let Some(m) = &l.hi_min {
+            let m = self.eval_lin(m);
+            hi = if l.step > 0 { hi.min(m) } else { hi.max(m) };
+        }
+        let mut i = lo;
+        loop {
+            let more = if l.step > 0 { i < hi } else { i > hi };
+            if !more {
+                break;
+            }
+            self.vars[l.var] = i;
+            self.stats.iters += 1;
+            self.pending_ns += self.cost.ns_per_iter;
+            self.exec_block(&l.body);
+            i += l.step;
+        }
+    }
+}
+
+/// Convenience wrapper: build an executor and run it.
+pub fn run_program<M: PagedVm>(
+    prog: &Program,
+    binds: &[ArrayBinding],
+    params: &[i64],
+    cost: CostModel,
+    vm: &mut M,
+) -> ExecStats {
+    Executor::new(prog, binds, params, cost, vm).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{lin, var};
+    use crate::program::HintTarget;
+    use crate::vm::{ArrayData, MemVm};
+
+    /// y[i] = 2*x[i] + y[i] over n elements.
+    fn axpy(n: i64) -> Program {
+        let mut p = Program::new("axpy");
+        let x = p.array("x", ElemType::F64, vec![n]);
+        let y = p.array("y", ElemType::F64, vec![n]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(y, vec![var(i)]),
+                value: Expr::add(
+                    Expr::mul(
+                        Expr::ConstF(2.0),
+                        Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                    ),
+                    Expr::LoadF(ArrayRef::affine(y, vec![var(i)])),
+                ),
+            }],
+        )];
+        p
+    }
+
+    fn setup(prog: &Program) -> (Vec<ArrayBinding>, MemVm) {
+        let (binds, bytes) = ArrayBinding::sequential(prog, 4096);
+        (binds, MemVm::new(bytes, 4096))
+    }
+
+    #[test]
+    fn axpy_computes_correctly() {
+        let p = axpy(100);
+        let (binds, mut vm) = setup(&p);
+        for i in 0..100u64 {
+            vm.poke_f64(binds[0].base + i * 8, i as f64);
+            vm.poke_f64(binds[1].base + i * 8, 1.0);
+        }
+        let stats = run_program(&p, &binds, &[], CostModel::default(), &mut vm);
+        for i in 0..100u64 {
+            assert_eq!(vm.peek_f64(binds[1].base + i * 8), 2.0 * i as f64 + 1.0);
+        }
+        assert_eq!(stats.iters, 100);
+        assert_eq!(stats.loads, 200);
+        assert_eq!(stats.stores, 100);
+        assert!(vm.user_ns > 0);
+    }
+
+    #[test]
+    fn sequential_layout_is_page_aligned_and_disjoint() {
+        let p = axpy(1000); // 8000 bytes each: 2 pages
+        let (binds, total) = ArrayBinding::sequential(&p, 4096);
+        assert_eq!(binds[0].base, 0);
+        assert_eq!(binds[1].base, 8192);
+        assert_eq!(total, 16384);
+    }
+
+    #[test]
+    fn indirect_reference_reads_index_array() {
+        // a[b[i]] += 1 (histogram).
+        let mut p = Program::new("hist");
+        let a = p.array("a", ElemType::I64, vec![10]);
+        let b = p.array("b", ElemType::I64, vec![5]);
+        let i = p.fresh_var();
+        let aref = ArrayRef {
+            array: a,
+            idx: vec![Index::Ind {
+                array: b,
+                idx: vec![var(i)],
+            }],
+        };
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(5),
+            1,
+            vec![Stmt::Store {
+                dst: aref.clone(),
+                value: Expr::add(Expr::LoadI(aref), Expr::Lin(lin(1))),
+            }],
+        )];
+        let (binds, mut vm) = setup(&p);
+        let keys = [3i64, 7, 3, 0, 7];
+        for (i, &k) in keys.iter().enumerate() {
+            vm.poke_i64(binds[b].base + i as u64 * 8, k);
+        }
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+        let counts: Vec<i64> = (0..10)
+            .map(|i| vm.peek_i64(binds[a].base + i * 8))
+            .collect();
+        assert_eq!(counts, vec![1, 0, 0, 2, 0, 0, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn symbolic_bounds_come_from_params() {
+        let mut p = Program::new("sym");
+        let x = p.array("x", ElemType::F64, vec![100]);
+        let n = p.param("n");
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            crate::expr::param(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(1.0),
+            }],
+        )];
+        let (binds, mut vm) = setup(&p);
+        let stats = run_program(&p, &binds, &[7], CostModel::free(), &mut vm);
+        assert_eq!(stats.iters, 7);
+        assert_eq!(vm.peek_f64(binds[x].base + 6 * 8), 1.0);
+        assert_eq!(vm.peek_f64(binds[x].base + 7 * 8), 0.0);
+    }
+
+    #[test]
+    fn negative_step_runs_backwards() {
+        let mut p = Program::new("back");
+        let x = p.array("x", ElemType::I64, vec![10]);
+        let i = p.fresh_var();
+        // for (i = 9; i > -1; i--) x[i] = i
+        p.body = vec![Stmt::for_(
+            i,
+            lin(9),
+            lin(-1),
+            -1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::Lin(var(i)),
+            }],
+        )];
+        let (binds, mut vm) = setup(&p);
+        let stats = run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+        assert_eq!(stats.iters, 10);
+        assert_eq!(vm.peek_i64(binds[x].base + 9 * 8), 9);
+        assert_eq!(vm.peek_i64(binds[x].base), 0);
+    }
+
+    #[test]
+    fn hint_targets_are_clamped_not_fatal() {
+        let mut p = Program::new("clamp");
+        let x = p.array("x", ElemType::F64, vec![10]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(10),
+            1,
+            vec![Stmt::Prefetch {
+                target: HintTarget {
+                    // x[i + 100] runs far past the array; must clamp.
+                    target: ArrayRef::affine(x, vec![var(i).offset(100)]),
+                },
+                pages: 1,
+            }],
+        )];
+        let (binds, mut vm) = setup(&p);
+        let stats = run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+        assert_eq!(stats.prefetch_stmts, 10);
+        assert_eq!(vm.prefetches, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn demand_out_of_bounds_panics() {
+        let mut p = Program::new("oob");
+        let x = p.array("x", ElemType::F64, vec![10]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(11),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(x, vec![var(i)]),
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        let (binds, mut vm) = setup(&p);
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+    }
+
+    #[test]
+    fn scalars_and_conditionals_work() {
+        // s = 0; for i { if x[i] > 0.5 { s = s + x[i] } }
+        let mut p = Program::new("condsum");
+        let x = p.array("x", ElemType::F64, vec![4]);
+        let s = p.fresh_fscalar();
+        let i = p.fresh_var();
+        let sum = p.array("sum", ElemType::F64, vec![1]);
+        p.body = vec![
+            Stmt::LetF {
+                dst: s,
+                value: Expr::ConstF(0.0),
+            },
+            Stmt::for_(
+                i,
+                lin(0),
+                lin(4),
+                1,
+                vec![Stmt::If {
+                    cond: Cond {
+                        lhs: Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                        op: CmpOp::Gt,
+                        rhs: Expr::ConstF(0.5),
+                    },
+                    then_: vec![Stmt::LetF {
+                        dst: s,
+                        value: Expr::add(
+                            Expr::ScalarF(s),
+                            Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                        ),
+                    }],
+                    else_: vec![],
+                }],
+            ),
+            Stmt::Store {
+                dst: ArrayRef::affine(sum, vec![lin(0)]),
+                value: Expr::ScalarF(s),
+            },
+        ];
+        let (binds, mut vm) = setup(&p);
+        for (i, v) in [0.25, 0.75, 1.0, 0.1].iter().enumerate() {
+            vm.poke_f64(binds[x].base + i as u64 * 8, *v);
+        }
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+        assert_eq!(vm.peek_f64(binds[sum].base), 1.75);
+    }
+
+    #[test]
+    fn multidim_row_major_addressing() {
+        let mut p = Program::new("mat");
+        let c = p.array("c", ElemType::F64, vec![3, 4]);
+        let i = p.fresh_var();
+        let j = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(3),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(4),
+                1,
+                vec![Stmt::Store {
+                    dst: ArrayRef::affine(c, vec![var(i), var(j)]),
+                    value: Expr::Lin(var(i).scale(10).add(&var(j))),
+                }],
+            )],
+        )];
+        let (binds, mut vm) = setup(&p);
+        run_program(&p, &binds, &[], CostModel::free(), &mut vm);
+        // c[2][3] = 23 at flat index 2*4+3 = 11.
+        assert_eq!(vm.peek_f64(binds[c].base + 11 * 8), 23.0);
+        assert_eq!(vm.peek_f64(binds[c].base + 4 * 8), 10.0);
+    }
+
+    #[test]
+    fn cost_model_charges_user_time() {
+        let p = axpy(10);
+        let (binds, mut vm) = setup(&p);
+        let cost = CostModel {
+            ns_per_access: 100,
+            ns_per_flop: 10,
+            ns_per_iop: 1,
+            ns_per_iter: 1000,
+            ns_per_hint_issue: 0,
+        };
+        run_program(&p, &binds, &[], cost, &mut vm);
+        // 10 iterations: 10*1000 iter cost + 30 accesses * 100 + flops...
+        assert!(vm.user_ns >= 10 * 1000 + 30 * 100);
+    }
+}

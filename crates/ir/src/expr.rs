@@ -1,0 +1,396 @@
+//! Expressions: linear index forms and general arithmetic.
+
+use std::fmt;
+
+use crate::program::ArrayRef;
+
+/// A symbol a linear expression may reference: a loop variable or a
+/// compile-time-unknown program parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// Loop variable by id.
+    Var(usize),
+    /// Program parameter by id (value known only at run time).
+    Param(usize),
+}
+
+/// A linear (affine) integer expression `c + Σ coeff·sym`.
+///
+/// Linear forms appear wherever the compiler must reason symbolically:
+/// loop bounds, affine subscripts, and hint addresses. Terms are kept
+/// sorted by symbol with no zero coefficients and no duplicates, so
+/// structural equality is semantic equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// Constant term.
+    pub c: i64,
+    /// Sorted, deduplicated `(coefficient, symbol)` terms.
+    pub terms: Vec<(i64, Sym)>,
+}
+
+impl LinExpr {
+    /// Normalize: sort, merge duplicates, drop zero coefficients.
+    fn normalize(mut self) -> Self {
+        self.terms.sort_by_key(|&(_, s)| s);
+        let mut out: Vec<(i64, Sym)> = Vec::with_capacity(self.terms.len());
+        for (k, s) in self.terms {
+            match out.last_mut() {
+                Some((lk, ls)) if *ls == s => *lk += k,
+                _ => out.push((k, s)),
+            }
+        }
+        out.retain(|&(k, _)| k != 0);
+        self.terms = out;
+        self
+    }
+
+    /// The constant `n`.
+    pub fn constant(n: i64) -> Self {
+        Self { c: n, terms: vec![] }
+    }
+
+    /// A bare symbol.
+    pub fn sym(s: Sym) -> Self {
+        Self {
+            c: 0,
+            terms: vec![(1, s)],
+        }
+    }
+
+    /// Whether the expression is a compile-time constant.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.c)
+    }
+
+    /// Coefficient of `s` (zero if absent).
+    pub fn coeff(&self, s: Sym) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(_, t)| t == s)
+            .map_or(0, |&(k, _)| k)
+    }
+
+    /// Whether the expression mentions `s`.
+    pub fn mentions(&self, s: Sym) -> bool {
+        self.coeff(s) != 0
+    }
+
+    /// Whether the expression mentions any parameter (i.e. has a value
+    /// the compiler cannot know).
+    pub fn symbolic(&self) -> bool {
+        self.terms.iter().any(|&(_, s)| matches!(s, Sym::Param(_)))
+    }
+
+    /// All symbols mentioned.
+    pub fn syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.terms.iter().map(|&(_, s)| s)
+    }
+
+    /// Sum of two linear forms.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(&self, o: &LinExpr) -> LinExpr {
+        let mut t = self.terms.clone();
+        t.extend_from_slice(&o.terms);
+        LinExpr {
+            c: self.c + o.c,
+            terms: t,
+        }
+        .normalize()
+    }
+
+    /// Difference of two linear forms.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(&self, o: &LinExpr) -> LinExpr {
+        self.add(&o.scale(-1))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        LinExpr {
+            c: self.c * k,
+            terms: self.terms.iter().map(|&(a, s)| (a * k, s)).collect(),
+        }
+        .normalize()
+    }
+
+    /// Add a constant.
+    pub fn offset(&self, k: i64) -> LinExpr {
+        LinExpr {
+            c: self.c + k,
+            terms: self.terms.clone(),
+        }
+    }
+
+    /// Substitute symbol `s` with another linear form.
+    pub fn subst(&self, s: Sym, with: &LinExpr) -> LinExpr {
+        let k = self.coeff(s);
+        if k == 0 {
+            return self.clone();
+        }
+        let mut rest: Vec<(i64, Sym)> = self
+            .terms
+            .iter()
+            .copied()
+            .filter(|&(_, t)| t != s)
+            .collect();
+        let scaled = with.scale(k);
+        rest.extend_from_slice(&scaled.terms);
+        LinExpr {
+            c: self.c + scaled.c,
+            terms: rest,
+        }
+        .normalize()
+    }
+
+    /// Evaluate under an environment mapping each symbol to a value.
+    pub fn eval(&self, env: &dyn Fn(Sym) -> i64) -> i64 {
+        self.c + self.terms.iter().map(|&(k, s)| k * env(s)).sum::<i64>()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.c != 0 || self.terms.is_empty() {
+            write!(f, "{}", self.c)?;
+            first = false;
+        }
+        for &(k, s) in &self.terms {
+            if !first {
+                write!(f, "{}", if k < 0 { " - " } else { " + " })?;
+            } else if k < 0 {
+                write!(f, "-")?;
+            }
+            first = false;
+            let mag = k.unsigned_abs();
+            if mag != 1 {
+                write!(f, "{mag}*")?;
+            }
+            match s {
+                Sym::Var(v) => write!(f, "i{v}")?,
+                Sym::Param(p) => write!(f, "P{p}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: the constant linear form `n`.
+pub fn lin(n: i64) -> LinExpr {
+    LinExpr::constant(n)
+}
+
+/// Convenience: the loop variable `v` as a linear form.
+pub fn var(v: usize) -> LinExpr {
+    LinExpr::sym(Sym::Var(v))
+}
+
+/// Convenience: the parameter `p` as a linear form.
+pub fn param(p: usize) -> LinExpr {
+    LinExpr::sym(Sym::Param(p))
+}
+
+/// Binary arithmetic operators for general expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float division, or truncating integer division).
+    Div,
+    /// Remainder (integers only).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Unary operators for general expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Square root (floats).
+    Sqrt,
+    /// Natural logarithm (floats).
+    Ln,
+    /// Absolute value.
+    Abs,
+}
+
+/// Comparison operators for conditionals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A general (non-linear) expression evaluated per loop iteration.
+///
+/// Array loads inside expressions are the *references* the compiler
+/// analyzes; everything else is arithmetic that only contributes cost.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Load a floating-point array element.
+    LoadF(ArrayRef),
+    /// Load an integer array element.
+    LoadI(ArrayRef),
+    /// Read a floating-point scalar temporary.
+    ScalarF(usize),
+    /// Read an integer scalar temporary.
+    ScalarI(usize),
+    /// A linear form over loop variables and parameters (integer).
+    Lin(LinExpr),
+    /// Floating-point literal.
+    ConstF(f64),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Convert an integer expression to floating point.
+    ToF(Box<Expr>),
+    /// Truncate a floating-point expression to an integer.
+    ToI(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a binary node.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand for `a + b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// Shorthand for `a - b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// Shorthand for `a * b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// Shorthand for `a / b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Div, a, b)
+    }
+
+    /// Shorthand for a unary node.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Un(op, Box::new(a))
+    }
+
+    /// Walk the expression tree, applying `f` to every node.
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Un(_, a) | Expr::ToF(a) | Expr::ToI(a) => a.visit(f),
+            _ => {}
+        }
+    }
+}
+
+/// A comparison between two expressions, used by `Stmt::If`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexpr_normalizes_duplicates_and_zeros() {
+        let e = var(0).add(&var(0)).add(&lin(3)).sub(&var(0).scale(2));
+        assert_eq!(e, lin(3));
+        assert_eq!(e.as_const(), Some(3));
+    }
+
+    #[test]
+    fn coeff_and_mentions() {
+        let e = var(1).scale(4).add(&param(0).scale(-2)).offset(7);
+        assert_eq!(e.coeff(Sym::Var(1)), 4);
+        assert_eq!(e.coeff(Sym::Param(0)), -2);
+        assert_eq!(e.coeff(Sym::Var(9)), 0);
+        assert!(e.mentions(Sym::Var(1)));
+        assert!(!e.mentions(Sym::Var(0)));
+        assert!(e.symbolic());
+        assert!(!var(0).symbolic());
+    }
+
+    #[test]
+    fn subst_replaces_symbol() {
+        // 3*i + 1 with i := 2*j + 5 => 6*j + 16
+        let e = var(0).scale(3).offset(1);
+        let r = e.subst(Sym::Var(0), &var(1).scale(2).offset(5));
+        assert_eq!(r, var(1).scale(6).offset(16));
+    }
+
+    #[test]
+    fn subst_of_absent_symbol_is_identity() {
+        let e = var(0).offset(1);
+        assert_eq!(e.subst(Sym::Var(5), &lin(99)), e);
+    }
+
+    #[test]
+    fn eval_uses_environment() {
+        let e = var(0).scale(2).add(&param(1).scale(3)).offset(-1);
+        let v = e.eval(&|s| match s {
+            Sym::Var(0) => 10,
+            Sym::Param(1) => 4,
+            _ => 0,
+        });
+        assert_eq!(v, 2 * 10 + 3 * 4 - 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = var(0).scale(2).sub(&param(3)).offset(5);
+        assert_eq!(e.to_string(), "5 + 2*i0 - P3");
+        assert_eq!(lin(0).to_string(), "0");
+        assert_eq!(var(2).scale(-1).to_string(), "-i2");
+    }
+
+    #[test]
+    fn expr_visit_reaches_all_nodes() {
+        let e = Expr::add(
+            Expr::mul(Expr::ConstF(2.0), Expr::ScalarF(0)),
+            Expr::un(UnOp::Sqrt, Expr::ConstF(9.0)),
+        );
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, 6);
+    }
+}

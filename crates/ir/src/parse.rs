@@ -1,0 +1,949 @@
+//! Text frontend: parse kernel source into a [`Program`].
+//!
+//! The paper's system compiled Fortran through SUIF; this module gives
+//! the reproduction an equivalent front door — a small, C-like kernel
+//! language that covers everything the IR (and therefore the prefetching
+//! pass) supports: multi-dimensional arrays, counted loops (forward and
+//! backward, with symbolic bounds), one level of indirection, scalars,
+//! conditionals, and real arithmetic.
+//!
+//! ```text
+//! program saxpy {
+//!     param n;
+//!     double x[1000000];
+//!     double y[1000000];
+//!     for i = 0 to n {
+//!         y[i] = 2.0 * x[i] + y[i];
+//!     }
+//! }
+//! ```
+//!
+//! Grammar sketch (see the tests for living examples):
+//!
+//! ```text
+//! program  := "program" IDENT "{" item* "}"
+//! item     := "param" IDENT ";"
+//!           | type IDENT dims? ";"            // dims? absent => scalar
+//!           | stmt
+//! type     := "double" | "long"
+//! dims     := ("[" INT "]")+
+//! stmt     := "for" IDENT "=" expr ("to" | "downto") expr ("step" INT)?
+//!                 "{" stmt* "}"
+//!           | "if" expr cmp expr "{" stmt* "}" ("else" "{" stmt* "}")?
+//!           | lvalue "=" expr ";"
+//! lvalue   := IDENT subs?                     // array element or scalar
+//! subs     := ("[" expr "]")+
+//! expr     := arithmetic over +, -, *, /, %, unary -, calls
+//!             sqrt/ln/abs/min/max/float/int, numbers, identifiers
+//! cmp      := "<" | "<=" | ">" | ">=" | "==" | "!="
+//! ```
+//!
+//! `for v = a to b` iterates `a <= v < b` with step +1 (`step k` for
+//! +k); `downto` iterates `a >= v > b` with step -1 (or -k). Array
+//! subscripts must be affine in loop variables and parameters, except
+//! that a subscript may be a single element of a `long` array with
+//! affine subscripts — the `a[b[i]]` indirection of the paper.
+
+use std::fmt;
+
+use crate::expr::{BinOp, CmpOp, Cond, Expr, LinExpr, Sym, UnOp};
+use crate::program::{ArrayRef, ElemType, Index, Program, Stmt};
+
+/// A parse error with 1-based line/column position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse kernel source into a program.
+///
+/// # Examples
+///
+/// ```
+/// use oocp_ir::parse_program;
+///
+/// let prog = parse_program(
+///     "program axpy {
+///          param n;
+///          double x[1000];
+///          double y[1000];
+///          for i = 0 to n { y[i] = 2.0 * x[i] + y[i]; }
+///      }",
+/// )
+/// .unwrap();
+/// assert_eq!(prog.name, "axpy");
+/// assert_eq!(prog.arrays.len(), 2);
+/// assert_eq!(prog.params, vec!["n".to_string()]);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Punct(&'static str),
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(1, &mut i, &mut col),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                col += i - start;
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == '.' && !is_float && {
+                            is_float = true;
+                            true
+                        }))
+                {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                col += i - start;
+                let tok = if is_float {
+                    Tok::Float(s.parse().map_err(|_| ParseError {
+                        message: format!("bad float literal {s}"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                } else {
+                    Tok::Int(s.parse().map_err(|_| ParseError {
+                        message: format!("bad integer literal {s}"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                // Multi-character punctuation first.
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let punct = match two.as_str() {
+                    "<=" | ">=" | "==" | "!=" => Some(match two.as_str() {
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "==" => "==",
+                        _ => "!=",
+                    }),
+                    _ => None,
+                };
+                if let Some(p) = punct {
+                    advance(2, &mut i, &mut col);
+                    out.push(Spanned {
+                        tok: Tok::Punct(p),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+                let p = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '[' => "[",
+                    ']' => "]",
+                    '(' => "(",
+                    ')' => ")",
+                    ';' => ";",
+                    ',' => ",",
+                    '=' => "=",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '<' => "<",
+                    '>' => ">",
+                    other => {
+                        return Err(ParseError {
+                            message: format!("unexpected character {other:?}"),
+                            line: tline,
+                            col: tcol,
+                        })
+                    }
+                };
+                advance(1, &mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+/// What a name refers to.
+#[derive(Clone, Copy, Debug)]
+enum Binding {
+    Array(usize),
+    FScalar(usize),
+    IScalar(usize),
+    Param(usize),
+    LoopVar(usize),
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    prog: Program,
+    scope: Vec<(String, Binding)>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Spanned>) -> Self {
+        Self {
+            toks,
+            pos: 0,
+            prog: Program::new(""),
+            scope: Vec::new(),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        Err(ParseError {
+            message: message.into(),
+            line,
+            col,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected {p:?}, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected {kw:?}, found {other:?}")),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, b)| b)
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        self.eat_keyword("program")?;
+        self.prog.name = self.eat_ident()?;
+        self.eat_punct("{")?;
+        let body = self.items()?;
+        self.eat_punct("}")?;
+        if self.pos != self.toks.len() {
+            return self.err("trailing tokens after program");
+        }
+        self.prog.body = body;
+        let problems = self.prog.validate();
+        if !problems.is_empty() {
+            return self.err(format!("invalid program: {}", problems.join("; ")));
+        }
+        Ok(self.prog)
+    }
+
+    fn items(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct("}")) | None => break,
+                Some(Tok::Ident(kw)) if kw == "param" => {
+                    self.pos += 1;
+                    let name = self.eat_ident()?;
+                    let id = self.prog.param(&name);
+                    self.scope.push((name, Binding::Param(id)));
+                    self.eat_punct(";")?;
+                }
+                Some(Tok::Ident(kw)) if kw == "double" || kw == "long" => {
+                    let elem = if kw == "double" {
+                        ElemType::F64
+                    } else {
+                        ElemType::I64
+                    };
+                    self.pos += 1;
+                    let name = self.eat_ident()?;
+                    let mut dims = Vec::new();
+                    while matches!(self.peek(), Some(Tok::Punct("["))) {
+                        self.pos += 1;
+                        match self.bump() {
+                            Some(Tok::Int(n)) if n > 0 => dims.push(n),
+                            other => {
+                                return self
+                                    .err(format!("expected array dimension, found {other:?}"))
+                            }
+                        }
+                        self.eat_punct("]")?;
+                    }
+                    let binding = if dims.is_empty() {
+                        // Scalar declaration.
+                        match elem {
+                            ElemType::F64 => Binding::FScalar(self.prog.fresh_fscalar()),
+                            ElemType::I64 => Binding::IScalar(self.prog.fresh_iscalar()),
+                        }
+                    } else {
+                        Binding::Array(self.prog.array(&name, elem, dims))
+                    };
+                    self.scope.push((name, binding));
+                    self.eat_punct(";")?;
+                }
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Tok::Punct("}"))) {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.keyword_is("for") {
+            return self.for_stmt();
+        }
+        if self.keyword_is("if") {
+            return self.if_stmt();
+        }
+        // Assignment to scalar or array element.
+        let name = self.eat_ident()?;
+        match self.lookup(&name) {
+            Some(Binding::Array(a)) => {
+                let idx = self.subscripts(a)?;
+                self.eat_punct("=")?;
+                let value = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Store {
+                    dst: ArrayRef { array: a, idx },
+                    value,
+                })
+            }
+            Some(Binding::FScalar(s)) => {
+                self.eat_punct("=")?;
+                let value = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::LetF { dst: s, value })
+            }
+            Some(Binding::IScalar(s)) => {
+                self.eat_punct("=")?;
+                let value = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::LetI { dst: s, value })
+            }
+            Some(_) => self.err(format!("cannot assign to {name}")),
+            None => self.err(format!("unknown name {name}")),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("for")?;
+        let var_name = self.eat_ident()?;
+        self.eat_punct("=")?;
+        let lo = self.lin_expr()?;
+        let down = if self.keyword_is("to") {
+            self.pos += 1;
+            false
+        } else if self.keyword_is("downto") {
+            self.pos += 1;
+            true
+        } else {
+            return self.err("expected `to` or `downto`");
+        };
+        let hi = self.lin_expr()?;
+        let step_mag = if self.keyword_is("step") {
+            self.pos += 1;
+            match self.bump() {
+                Some(Tok::Int(n)) if n > 0 => n,
+                other => return self.err(format!("expected positive step, found {other:?}")),
+            }
+        } else {
+            1
+        };
+        let v = self.prog.fresh_var();
+        self.scope.push((var_name.clone(), Binding::LoopVar(v)));
+        let body = self.block()?;
+        // Pop the loop variable's scope entry (shadowing-safe).
+        let at = self
+            .scope
+            .iter()
+            .rposition(|(n, _)| *n == var_name)
+            .expect("just pushed");
+        self.scope.remove(at);
+        Ok(Stmt::for_(v, lo, hi, if down { -step_mag } else { step_mag }, body))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("if")?;
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            Some(Tok::Punct("<")) => CmpOp::Lt,
+            Some(Tok::Punct("<=")) => CmpOp::Le,
+            Some(Tok::Punct(">")) => CmpOp::Gt,
+            Some(Tok::Punct(">=")) => CmpOp::Ge,
+            Some(Tok::Punct("==")) => CmpOp::Eq,
+            Some(Tok::Punct("!=")) => CmpOp::Ne,
+            other => return self.err(format!("expected comparison, found {other:?}")),
+        };
+        let rhs = self.expr()?;
+        let then_ = self.block()?;
+        let else_ = if self.keyword_is("else") {
+            self.pos += 1;
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond: Cond { lhs, op, rhs },
+            then_,
+            else_,
+        })
+    }
+
+    /// `rank` subscripts for array `a`, each affine or a single
+    /// indirection through a `long` array.
+    fn subscripts(&mut self, a: usize) -> Result<Vec<Index>, ParseError> {
+        let rank = self.prog.arrays[a].dims.len();
+        let mut idx = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            self.eat_punct("[")?;
+            let e = self.expr()?;
+            self.eat_punct("]")?;
+            idx.push(self.expr_to_index(e)?);
+        }
+        Ok(idx)
+    }
+
+    fn expr_to_index(&self, e: Expr) -> Result<Index, ParseError> {
+        if let Some(l) = expr_to_lin(&e) {
+            return Ok(Index::Lin(l));
+        }
+        // A single load of an integer array with affine subscripts is
+        // the `a[b[i]]` indirection.
+        if let Expr::LoadI(r) = &e {
+            let mut lins = Vec::with_capacity(r.idx.len());
+            for ix in &r.idx {
+                match ix {
+                    Index::Lin(l) => lins.push(l.clone()),
+                    Index::Ind { .. } => {
+                        return self.err("only one level of indirection is supported")
+                    }
+                }
+            }
+            return Ok(Index::Ind {
+                array: r.array,
+                idx: lins,
+            });
+        }
+        self.err("subscript must be affine or a single long-array element")
+    }
+
+    fn lin_expr(&mut self) -> Result<LinExpr, ParseError> {
+        let e = self.expr()?;
+        match expr_to_lin(&e) {
+            Some(l) => Ok(l),
+            None => self.err("expected an affine expression"),
+        }
+    }
+
+    // expr := term (("+"|"-") term)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct("+")) => {
+                    self.pos += 1;
+                    e = fold(BinOp::Add, e, self.term()?);
+                }
+                Some(Tok::Punct("-")) => {
+                    self.pos += 1;
+                    e = fold(BinOp::Sub, e, self.term()?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    // term := factor (("*"|"/"|"%") factor)*
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => BinOp::Mul,
+                Some(Tok::Punct("/")) => BinOp::Div,
+                Some(Tok::Punct("%")) => BinOp::Rem,
+                _ => return Ok(e),
+            };
+            self.pos += 1;
+            e = fold(op, e, self.factor()?);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Punct("-")) => {
+                self.pos += 1;
+                let inner = self.factor()?;
+                Ok(match expr_to_lin(&inner) {
+                    Some(l) => Expr::Lin(l.scale(-1)),
+                    None => Expr::un(UnOp::Neg, inner),
+                })
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lin(LinExpr::constant(n)))
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::ConstF(v))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                // Intrinsic calls.
+                if matches!(self.peek(), Some(Tok::Punct("("))) {
+                    return self.call(&name);
+                }
+                match self.lookup(&name) {
+                    Some(Binding::LoopVar(v)) => Ok(Expr::Lin(LinExpr::sym(Sym::Var(v)))),
+                    Some(Binding::Param(p)) => Ok(Expr::Lin(LinExpr::sym(Sym::Param(p)))),
+                    Some(Binding::FScalar(s)) => Ok(Expr::ScalarF(s)),
+                    Some(Binding::IScalar(s)) => Ok(Expr::ScalarI(s)),
+                    Some(Binding::Array(a)) => {
+                        let idx = self.subscripts(a)?;
+                        let r = ArrayRef { array: a, idx };
+                        Ok(match self.prog.arrays[a].elem {
+                            ElemType::F64 => Expr::LoadF(r),
+                            ElemType::I64 => Expr::LoadI(r),
+                        })
+                    }
+                    None => self.err(format!("unknown name {name}")),
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn call(&mut self, name: &str) -> Result<Expr, ParseError> {
+        self.eat_punct("(")?;
+        let mut args = vec![self.expr()?];
+        while matches!(self.peek(), Some(Tok::Punct(","))) {
+            self.pos += 1;
+            args.push(self.expr()?);
+        }
+        self.eat_punct(")")?;
+        let arity = |n: usize| -> Result<(), ParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                self.err(format!("{name} takes {n} argument(s), got {}", args.len()))
+            }
+        };
+        match name {
+            "sqrt" => {
+                arity(1)?;
+                Ok(Expr::un(UnOp::Sqrt, args.remove(0)))
+            }
+            "ln" => {
+                arity(1)?;
+                Ok(Expr::un(UnOp::Ln, args.remove(0)))
+            }
+            "abs" => {
+                arity(1)?;
+                Ok(Expr::un(UnOp::Abs, args.remove(0)))
+            }
+            "float" => {
+                arity(1)?;
+                Ok(Expr::ToF(Box::new(args.remove(0))))
+            }
+            "int" => {
+                arity(1)?;
+                Ok(Expr::ToI(Box::new(args.remove(0))))
+            }
+            "min" => {
+                arity(2)?;
+                let b = args.pop().unwrap();
+                Ok(Expr::bin(BinOp::Min, args.pop().unwrap(), b))
+            }
+            "max" => {
+                arity(2)?;
+                let b = args.pop().unwrap();
+                Ok(Expr::bin(BinOp::Max, args.pop().unwrap(), b))
+            }
+            other => self.err(format!("unknown function {other}")),
+        }
+    }
+}
+
+/// Constant-fold a binary node when both sides are linear and the
+/// operation preserves linearity (keeps subscripts analyzable).
+fn fold(op: BinOp, a: Expr, b: Expr) -> Expr {
+    if let (Some(la), Some(lb)) = (expr_to_lin(&a), expr_to_lin(&b)) {
+        match op {
+            BinOp::Add => return Expr::Lin(la.add(&lb)),
+            BinOp::Sub => return Expr::Lin(la.sub(&lb)),
+            BinOp::Mul => {
+                if let Some(k) = la.as_const() {
+                    return Expr::Lin(lb.scale(k));
+                }
+                if let Some(k) = lb.as_const() {
+                    return Expr::Lin(la.scale(k));
+                }
+            }
+            _ => {}
+        }
+    }
+    Expr::bin(op, a, b)
+}
+
+/// View an expression as a linear form, if it is one.
+fn expr_to_lin(e: &Expr) -> Option<LinExpr> {
+    match e {
+        Expr::Lin(l) => Some(l.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_program, ArrayBinding};
+    use crate::vm::{ArrayData, CostModel, MemVm};
+
+    fn run(src: &str, params: &[i64]) -> (Program, Vec<ArrayBinding>, MemVm) {
+        let prog = parse_program(src).expect("parse");
+        let (binds, bytes) = ArrayBinding::sequential(&prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        run_program(&prog, &binds, params, CostModel::free(), &mut vm);
+        (prog, binds, vm)
+    }
+
+    #[test]
+    fn saxpy_parses_and_runs() {
+        let src = "
+            program saxpy {
+                double x[100];
+                double y[100];
+                for i = 0 to 100 {
+                    x[i] = float(i);
+                    y[i] = 2.0 * x[i] + 1.0;
+                }
+            }";
+        let (prog, binds, vm) = run(src, &[]);
+        assert_eq!(prog.name, "saxpy");
+        assert_eq!(vm.peek_f64(binds[1].base + 10 * 8), 21.0);
+    }
+
+    #[test]
+    fn symbolic_bounds_and_step() {
+        let src = "
+            program stepped {
+                param n;
+                long a[64];
+                for i = 0 to n step 2 {
+                    a[i] = i;
+                }
+            }";
+        let (_, binds, vm) = run(src, &[10]);
+        assert_eq!(vm.peek_i64(binds[0].base + 8 * 8), 8);
+        assert_eq!(vm.peek_i64(binds[0].base + 9 * 8), 0);
+        assert_eq!(vm.peek_i64(binds[0].base + 10 * 8), 0);
+    }
+
+    #[test]
+    fn downto_runs_backward() {
+        let src = "
+            program back {
+                long a[10];
+                for i = 9 downto -1 {
+                    a[i] = 9 - i;
+                }
+            }";
+        let (_, binds, vm) = run(src, &[]);
+        assert_eq!(vm.peek_i64(binds[0].base), 9);
+        assert_eq!(vm.peek_i64(binds[0].base + 9 * 8), 0);
+    }
+
+    #[test]
+    fn indirection_and_scalars() {
+        let src = "
+            program hist {
+                long key[16];
+                long count[8];
+                long k;
+                for i = 0 to 16 {
+                    key[i] = i % 8;
+                }
+                for i = 0 to 16 {
+                    count[key[i]] = count[key[i]] + 1;
+                }
+                k = 0;
+                for i = 0 to 8 {
+                    k = k + count[i];
+                }
+                count[0] = k;
+            }";
+        let (_, binds, vm) = run(src, &[]);
+        assert_eq!(vm.peek_i64(binds[1].base), 16, "total count");
+        assert_eq!(vm.peek_i64(binds[1].base + 8), 2);
+    }
+
+    #[test]
+    fn multidim_and_conditionals() {
+        let src = "
+            program cond {
+                double c[8][8];
+                for i = 0 to 8 {
+                    for j = 0 to 8 {
+                        if i == j {
+                            c[i][j] = 1.0;
+                        } else {
+                            c[i][j] = 0.0;
+                        }
+                    }
+                }
+            }";
+        let (_, binds, vm) = run(src, &[]);
+        assert_eq!(vm.peek_f64(binds[0].base + (3 * 8 + 3) * 8), 1.0);
+        assert_eq!(vm.peek_f64(binds[0].base + (3 * 8 + 4) * 8), 0.0);
+    }
+
+    #[test]
+    fn intrinsics_work() {
+        let src = "
+            program math {
+                double out[4];
+                out[0] = sqrt(16.0);
+                out[1] = abs(0.0 - 2.5);
+                out[2] = min(3.0, max(1.0, 2.0));
+                out[3] = float(int(3.7));
+            }";
+        let (_, binds, vm) = run(src, &[]);
+        assert_eq!(vm.peek_f64(binds[0].base), 4.0);
+        assert_eq!(vm.peek_f64(binds[0].base + 8), 2.5);
+        assert_eq!(vm.peek_f64(binds[0].base + 16), 2.0);
+        assert_eq!(vm.peek_f64(binds[0].base + 24), 3.0);
+    }
+
+    #[test]
+    fn affine_subscript_arithmetic_folds() {
+        let src = "
+            program fold {
+                double a[100];
+                param n;
+                for i = 0 to 10 {
+                    a[2 * i + 3] = 1.0;
+                    a[n - i] = 2.0;
+                }
+            }";
+        let prog = parse_program(src).expect("parse");
+        // Both subscripts must have been recognized as affine (no
+        // general expressions in subscript position).
+        assert!(prog.validate().is_empty());
+        let (_, binds, vm) = run(src, &[50]);
+        assert_eq!(vm.peek_f64(binds[0].base + 5 * 8), 1.0);
+        assert_eq!(vm.peek_f64(binds[0].base + 45 * 8), 2.0);
+    }
+
+    #[test]
+    fn shadowing_loop_variables() {
+        let src = "
+            program shadow {
+                long a[4];
+                for i = 0 to 4 {
+                    a[i] = i;
+                }
+                for i = 0 to 4 {
+                    a[i] = a[i] + 10;
+                }
+            }";
+        let (prog, binds, vm) = run(src, &[]);
+        assert_eq!(prog.num_vars, 2, "each for gets a fresh variable");
+        assert_eq!(vm.peek_i64(binds[0].base + 3 * 8), 13);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("program p {\n  double a[10];\n  b[0] = 1.0;\n}")
+            .expect_err("unknown name");
+        assert!(err.message.contains("unknown name b"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_on_nonaffine_subscript() {
+        let err = parse_program(
+            "program p { double a[10]; double s; for i = 0 to 4 { a[int(s)] = 1.0; } }",
+        )
+        .expect_err("non-affine subscript");
+        assert!(err.message.contains("subscript"));
+    }
+
+    #[test]
+    fn error_on_double_indirection() {
+        let err = parse_program(
+            "program p { double a[9]; long b[9]; long c[9];
+              for i = 0 to 4 { a[b[c[i]]] = 1.0; } }",
+        )
+        .expect_err("double indirection");
+        assert!(err.message.contains("one level"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "
+            program c { // a comment
+                long a[4]; // another
+                for i = 0 to 4 { a[i] = 7; } // trailing
+            }";
+        let (_, binds, vm) = run(src, &[]);
+        assert_eq!(vm.peek_i64(binds[0].base), 7);
+    }
+
+    #[test]
+    fn parsed_program_compiles_cleanly() {
+        // The parsed IR must be exactly what the prefetching pass
+        // expects: affine refs with analyzable subscripts.
+        let src = "
+            program stream {
+                double x[200000];
+                double y[200000];
+                for i = 0 to 200000 {
+                    y[i] = x[i] * 0.5 + y[i + 0];
+                }
+            }";
+        let prog = parse_program(src).expect("parse");
+        assert!(prog.validate().is_empty());
+        // Subscripts are Index::Lin, so the compiler can flatten them.
+        let Stmt::For(l) = &prog.body[0] else {
+            panic!("expected loop")
+        };
+        let Stmt::Store { dst, .. } = &l.body[0] else {
+            panic!("expected store")
+        };
+        assert!(matches!(dst.idx[0], Index::Lin(_)));
+    }
+}

@@ -1,0 +1,741 @@
+//! Programs: arrays, references, loops, and statements.
+
+use std::fmt;
+
+use crate::expr::{Cond, Expr, LinExpr};
+
+/// Element type of an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemType {
+    /// 64-bit IEEE float.
+    F64,
+    /// 64-bit signed integer.
+    I64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        8
+    }
+}
+
+/// Declaration of a (possibly multi-dimensional) array.
+///
+/// Dimensions are concrete at program-construction time (as in the NAS
+/// Fortran sources, where array extents are compile-time constants);
+/// loop bounds, in contrast, may be symbolic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name for diagnostics and pretty-printing.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemType,
+    /// Extent of each dimension, outermost first (row-major layout).
+    pub dims: Vec<i64>,
+}
+
+impl ArrayDecl {
+    /// Total number of elements.
+    pub fn len(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * self.elem.bytes()
+    }
+
+    /// Row-major stride (in elements) of dimension `d`.
+    pub fn stride(&self, d: usize) -> i64 {
+        self.dims[d + 1..].iter().product()
+    }
+}
+
+/// One subscript position of an array reference.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Index {
+    /// Affine subscript over loop variables and parameters.
+    Lin(LinExpr),
+    /// Indirect subscript: the value of an integer array element, itself
+    /// addressed by affine subscripts (one level of indirection, e.g.
+    /// the `b[i]` in `a[b[i]]`).
+    Ind {
+        /// The index array.
+        array: usize,
+        /// Affine subscripts into the index array.
+        idx: Vec<LinExpr>,
+    },
+}
+
+impl Index {
+    /// Whether this subscript is indirect.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Index::Ind { .. })
+    }
+}
+
+/// A reference to one array element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRef {
+    /// Array id (index into [`Program::arrays`]).
+    pub array: usize,
+    /// One subscript per dimension, outermost first.
+    pub idx: Vec<Index>,
+}
+
+impl ArrayRef {
+    /// Affine reference: all subscripts linear.
+    pub fn affine(array: usize, idx: Vec<LinExpr>) -> Self {
+        Self {
+            array,
+            idx: idx.into_iter().map(Index::Lin).collect(),
+        }
+    }
+
+    /// Whether any subscript is indirect.
+    pub fn is_indirect(&self) -> bool {
+        self.idx.iter().any(Index::is_indirect)
+    }
+}
+
+/// Address operand of a hint statement.
+///
+/// The compiler emits hints whose address is an array element (possibly
+/// past the end of the iteration space); the run-time layer clamps the
+/// element index into the array, which is legal precisely because hints
+/// are non-binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HintTarget {
+    /// The array whose page(s) are named.
+    pub target: ArrayRef,
+}
+
+/// A counted loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    /// Loop variable id (unique within the program).
+    pub var: usize,
+    /// Inclusive lower bound.
+    pub lo: LinExpr,
+    /// Exclusive upper bound (for positive steps); for negative steps the
+    /// loop runs from `lo` down while `var > hi`.
+    pub hi: LinExpr,
+    /// Optional second upper bound: the effective bound is
+    /// `min(hi, hi_min)` (or `max` for negative steps). Strip-mined
+    /// loops produced by the prefetching compiler use this for their
+    /// `min(strip_end, n)` inner bounds.
+    pub hi_min: Option<LinExpr>,
+    /// Non-zero step.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// A counted loop.
+    For(Loop),
+    /// Store `value` into an array element.
+    Store {
+        /// Destination element.
+        dst: ArrayRef,
+        /// Value to store (coerced to the array's element type).
+        value: Expr,
+    },
+    /// Assign a floating-point scalar temporary.
+    LetF {
+        /// Scalar id.
+        dst: usize,
+        /// Value.
+        value: Expr,
+    },
+    /// Assign an integer scalar temporary.
+    LetI {
+        /// Scalar id.
+        dst: usize,
+        /// Value.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken when the condition holds.
+        then_: Vec<Stmt>,
+        /// Taken otherwise.
+        else_: Vec<Stmt>,
+    },
+    /// Non-binding prefetch hint for `pages` pages starting at the page
+    /// containing the target element.
+    Prefetch {
+        /// Address operand.
+        target: HintTarget,
+        /// Number of pages (1 for single-page prefetches, more for the
+        /// block form).
+        pages: u64,
+    },
+    /// Non-binding release hint.
+    Release {
+        /// Address operand.
+        target: HintTarget,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// Bundled prefetch + release in one system call
+    /// (`prefetch_release_block` in Figure 2(b)).
+    PrefetchRelease {
+        /// Prefetch address operand.
+        pf: HintTarget,
+        /// Pages to prefetch.
+        pf_pages: u64,
+        /// Release address operand.
+        rel: HintTarget,
+        /// Pages to release.
+        rel_pages: u64,
+    },
+}
+
+impl Stmt {
+    /// Build a loop statement.
+    pub fn for_(var: usize, lo: LinExpr, hi: LinExpr, step: i64, body: Vec<Stmt>) -> Stmt {
+        Stmt::For(Loop {
+            var,
+            lo,
+            hi,
+            hi_min: None,
+            step,
+            body,
+        })
+    }
+
+    /// Build a loop statement with a `min(hi, hi_min)` upper bound.
+    pub fn for_min(
+        var: usize,
+        lo: LinExpr,
+        hi: LinExpr,
+        hi_min: LinExpr,
+        step: i64,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::For(Loop {
+            var,
+            lo,
+            hi,
+            hi_min: Some(hi_min),
+            step,
+            body,
+        })
+    }
+}
+
+/// A whole program: declarations plus a top-level statement list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (diagnostics).
+    pub name: String,
+    /// Array declarations; statement `ArrayRef::array` indexes this.
+    pub arrays: Vec<ArrayDecl>,
+    /// Names of runtime parameters; `Sym::Param` indexes this.
+    pub params: Vec<String>,
+    /// Number of loop variables used (ids must be `< num_vars`).
+    pub num_vars: usize,
+    /// Number of floating-point scalar temporaries.
+    pub num_fscalars: usize,
+    /// Number of integer scalar temporaries.
+    pub num_iscalars: usize,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            params: Vec::new(),
+            num_vars: 0,
+            num_fscalars: 0,
+            num_iscalars: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Declare an array, returning its id.
+    pub fn array(&mut self, name: &str, elem: ElemType, dims: Vec<i64>) -> usize {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array {name} has a non-positive dimension"
+        );
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            elem,
+            dims,
+        });
+        self.arrays.len() - 1
+    }
+
+    /// Declare a runtime parameter, returning its id.
+    pub fn param(&mut self, name: &str) -> usize {
+        self.params.push(name.to_string());
+        self.params.len() - 1
+    }
+
+    /// Allocate a fresh loop-variable id.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Allocate a fresh floating-point scalar id.
+    pub fn fresh_fscalar(&mut self) -> usize {
+        self.num_fscalars += 1;
+        self.num_fscalars - 1
+    }
+
+    /// Allocate a fresh integer scalar id.
+    pub fn fresh_iscalar(&mut self) -> usize {
+        self.num_iscalars += 1;
+        self.num_iscalars - 1
+    }
+
+    /// Total bytes of all arrays (the out-of-core data set size).
+    pub fn data_bytes(&self) -> u64 {
+        self.arrays.iter().map(ArrayDecl::bytes).sum()
+    }
+
+    /// Structural sanity checks: ids in range, loop steps non-zero,
+    /// subscript arity matching array rank.
+    ///
+    /// Returns a list of human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut check_ref = |r: &ArrayRef, problems: &mut Vec<String>| {
+            match self.arrays.get(r.array) {
+                None => problems.push(format!("reference to undeclared array #{}", r.array)),
+                Some(a) => {
+                    if r.idx.len() != a.dims.len() {
+                        problems.push(format!(
+                            "array {} has rank {} but reference has {} subscripts",
+                            a.name,
+                            a.dims.len(),
+                            r.idx.len()
+                        ));
+                    }
+                }
+            }
+            for ix in &r.idx {
+                if let Index::Ind { array, idx } = ix {
+                    match self.arrays.get(*array) {
+                        None => problems
+                            .push(format!("indirection through undeclared array #{array}")),
+                        Some(a) => {
+                            if a.elem != ElemType::I64 {
+                                problems.push(format!(
+                                    "indirection through non-integer array {}",
+                                    a.name
+                                ));
+                            }
+                            if idx.len() != a.dims.len() {
+                                problems.push(format!(
+                                    "index array {} rank mismatch",
+                                    a.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        fn walk(
+            stmts: &[Stmt],
+            prog: &Program,
+            check_ref: &mut dyn FnMut(&ArrayRef, &mut Vec<String>),
+            problems: &mut Vec<String>,
+        ) {
+            for s in stmts {
+                match s {
+                    Stmt::For(l) => {
+                        if l.step == 0 {
+                            problems.push(format!("loop i{} has zero step", l.var));
+                        }
+                        if l.var >= prog.num_vars {
+                            problems.push(format!("loop variable i{} out of range", l.var));
+                        }
+                        walk(&l.body, prog, check_ref, problems);
+                    }
+                    Stmt::Store { dst, value } => {
+                        check_ref(dst, problems);
+                        value.visit(&mut |e| {
+                            if let Expr::LoadF(r) | Expr::LoadI(r) = e {
+                                check_ref(r, problems);
+                            }
+                        });
+                    }
+                    Stmt::LetF { value, .. } | Stmt::LetI { value, .. } => {
+                        value.visit(&mut |e| {
+                            if let Expr::LoadF(r) | Expr::LoadI(r) = e {
+                                check_ref(r, problems);
+                            }
+                        });
+                    }
+                    Stmt::If { cond, then_, else_ } => {
+                        for e in [&cond.lhs, &cond.rhs] {
+                            e.visit(&mut |e| {
+                                if let Expr::LoadF(r) | Expr::LoadI(r) = e {
+                                    check_ref(r, problems);
+                                }
+                            });
+                        }
+                        walk(then_, prog, check_ref, problems);
+                        walk(else_, prog, check_ref, problems);
+                    }
+                    Stmt::Prefetch { target, pages } | Stmt::Release { target, pages } => {
+                        if *pages == 0 {
+                            problems.push("hint with zero pages".to_string());
+                        }
+                        check_ref(&target.target, problems);
+                    }
+                    Stmt::PrefetchRelease { pf, rel, .. } => {
+                        check_ref(&pf.target, problems);
+                        check_ref(&rel.target, problems);
+                    }
+                }
+            }
+        }
+        walk(&self.body, self, &mut check_ref, &mut problems);
+        problems
+    }
+
+    /// Count statements of each hint kind (test/diagnostic helper).
+    pub fn count_hints(&self) -> (usize, usize, usize) {
+        fn walk(stmts: &[Stmt], acc: &mut (usize, usize, usize)) {
+            for s in stmts {
+                match s {
+                    Stmt::For(l) => walk(&l.body, acc),
+                    Stmt::If { then_, else_, .. } => {
+                        walk(then_, acc);
+                        walk(else_, acc);
+                    }
+                    Stmt::Prefetch { .. } => acc.0 += 1,
+                    Stmt::Release { .. } => acc.1 += 1,
+                    Stmt::PrefetchRelease { .. } => acc.2 += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut acc = (0, 0, 0);
+        walk(&self.body, &mut acc);
+        acc
+    }
+}
+
+impl fmt::Display for Program {
+    /// Pretty-print as pseudo-C, in the style of the paper's Figure 2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} {{", self.name)?;
+        for (i, a) in self.arrays.iter().enumerate() {
+            let t = match a.elem {
+                ElemType::F64 => "double",
+                ElemType::I64 => "long",
+            };
+            write!(f, "  {t} {}/*#{i}*/", a.name)?;
+            for d in &a.dims {
+                write!(f, "[{d}]")?;
+            }
+            writeln!(f, ";")?;
+        }
+        fn sub(prog: &Program, r: &ArrayRef) -> String {
+            let mut s = prog.arrays[r.array].name.clone();
+            for ix in &r.idx {
+                match ix {
+                    Index::Lin(e) => s.push_str(&format!("[{e}]")),
+                    Index::Ind { array, idx } => {
+                        let mut inner = prog.arrays[*array].name.clone();
+                        for e in idx {
+                            inner.push_str(&format!("[{e}]"));
+                        }
+                        s.push_str(&format!("[{inner}]"));
+                    }
+                }
+            }
+            s
+        }
+        fn expr(prog: &Program, e: &Expr) -> String {
+            match e {
+                Expr::LoadF(r) | Expr::LoadI(r) => sub(prog, r),
+                Expr::ScalarF(i) => format!("f{i}"),
+                Expr::ScalarI(i) => format!("n{i}"),
+                Expr::Lin(l) => format!("{l}"),
+                Expr::ConstF(v) => format!("{v:?}"),
+                Expr::Bin(op, a, b) => {
+                    let o = match op {
+                        crate::expr::BinOp::Add => "+",
+                        crate::expr::BinOp::Sub => "-",
+                        crate::expr::BinOp::Mul => "*",
+                        crate::expr::BinOp::Div => "/",
+                        crate::expr::BinOp::Rem => "%",
+                        crate::expr::BinOp::Min => return format!(
+                            "min({}, {})",
+                            expr(prog, a),
+                            expr(prog, b)
+                        ),
+                        crate::expr::BinOp::Max => return format!(
+                            "max({}, {})",
+                            expr(prog, a),
+                            expr(prog, b)
+                        ),
+                    };
+                    format!("({} {o} {})", expr(prog, a), expr(prog, b))
+                }
+                Expr::Un(op, a) => {
+                    let o = match op {
+                        crate::expr::UnOp::Neg => "-",
+                        crate::expr::UnOp::Sqrt => "sqrt",
+                        crate::expr::UnOp::Ln => "log",
+                        crate::expr::UnOp::Abs => "fabs",
+                    };
+                    format!("{o}({})", expr(prog, a))
+                }
+                Expr::ToF(a) => format!("(double)({})", expr(prog, a)),
+                Expr::ToI(a) => format!("(long)({})", expr(prog, a)),
+            }
+        }
+        fn stmts(
+            prog: &Program,
+            list: &[Stmt],
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            for s in list {
+                match s {
+                    Stmt::For(l) => {
+                        let cmp = if l.step > 0 { "<" } else { ">" };
+                        let hi_str = match &l.hi_min {
+                            None => format!("{}", l.hi),
+                            Some(m) => format!(
+                                "{}({}, {m})",
+                                if l.step > 0 { "min" } else { "max" },
+                                l.hi
+                            ),
+                        };
+                        let inc = if l.step == 1 {
+                            format!("i{}++", l.var)
+                        } else {
+                            format!("i{} += {}", l.var, l.step)
+                        };
+                        writeln!(
+                            f,
+                            "{pad}for (i{v} = {lo}; i{v} {cmp} {hi_str}; {inc}) {{",
+                            v = l.var,
+                            lo = l.lo
+                        )?;
+                        stmts(prog, &l.body, depth + 1, f)?;
+                        writeln!(f, "{pad}}}")?;
+                    }
+                    Stmt::Store { dst, value } => {
+                        writeln!(f, "{pad}{} = {};", sub(prog, dst), expr(prog, value))?;
+                    }
+                    Stmt::LetF { dst, value } => {
+                        writeln!(f, "{pad}f{dst} = {};", expr(prog, value))?;
+                    }
+                    Stmt::LetI { dst, value } => {
+                        writeln!(f, "{pad}n{dst} = {};", expr(prog, value))?;
+                    }
+                    Stmt::If { cond, then_, else_ } => {
+                        let o = match cond.op {
+                            crate::expr::CmpOp::Lt => "<",
+                            crate::expr::CmpOp::Le => "<=",
+                            crate::expr::CmpOp::Gt => ">",
+                            crate::expr::CmpOp::Ge => ">=",
+                            crate::expr::CmpOp::Eq => "==",
+                            crate::expr::CmpOp::Ne => "!=",
+                        };
+                        writeln!(
+                            f,
+                            "{pad}if ({} {o} {}) {{",
+                            expr(prog, &cond.lhs),
+                            expr(prog, &cond.rhs)
+                        )?;
+                        stmts(prog, then_, depth + 1, f)?;
+                        if !else_.is_empty() {
+                            writeln!(f, "{pad}}} else {{")?;
+                            stmts(prog, else_, depth + 1, f)?;
+                        }
+                        writeln!(f, "{pad}}}")?;
+                    }
+                    Stmt::Prefetch { target, pages } => {
+                        if *pages == 1 {
+                            writeln!(f, "{pad}prefetch(&{});", sub(prog, &target.target))?;
+                        } else {
+                            writeln!(
+                                f,
+                                "{pad}prefetch_block(&{}, {pages});",
+                                sub(prog, &target.target)
+                            )?;
+                        }
+                    }
+                    Stmt::Release { target, pages } => {
+                        if *pages == 1 {
+                            writeln!(f, "{pad}release(&{});", sub(prog, &target.target))?;
+                        } else {
+                            writeln!(
+                                f,
+                                "{pad}release_block(&{}, {pages});",
+                                sub(prog, &target.target)
+                            )?;
+                        }
+                    }
+                    Stmt::PrefetchRelease {
+                        pf,
+                        pf_pages,
+                        rel,
+                        rel_pages,
+                    } => {
+                        writeln!(
+                            f,
+                            "{pad}prefetch_release_block(&{}, &{}, {pf_pages}/*pf*/, {rel_pages}/*rel*/);",
+                            sub(prog, &pf.target),
+                            sub(prog, &rel.target)
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        stmts(self, &self.body, 1, f)?;
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{lin, var};
+
+    fn simple_program() -> Program {
+        let mut p = Program::new("axpy");
+        let x = p.array("x", ElemType::F64, vec![100]);
+        let y = p.array("y", ElemType::F64, vec![100]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(100),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(y, vec![var(i)]),
+                value: Expr::add(
+                    Expr::mul(Expr::ConstF(2.0), Expr::LoadF(ArrayRef::affine(x, vec![var(i)]))),
+                    Expr::LoadF(ArrayRef::affine(y, vec![var(i)])),
+                ),
+            }],
+        )];
+        p
+    }
+
+    #[test]
+    fn valid_program_has_no_problems() {
+        assert!(simple_program().validate().is_empty());
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut p = simple_program();
+        if let Stmt::For(l) = &mut p.body[0] {
+            if let Stmt::Store { dst, .. } = &mut l.body[0] {
+                dst.idx.push(Index::Lin(lin(0)));
+            }
+        }
+        let problems = p.validate();
+        assert!(problems.iter().any(|s| s.contains("rank")));
+    }
+
+    #[test]
+    fn zero_step_detected() {
+        let mut p = simple_program();
+        if let Stmt::For(l) = &mut p.body[0] {
+            l.step = 0;
+        }
+        assert!(p.validate().iter().any(|s| s.contains("zero step")));
+    }
+
+    #[test]
+    fn indirection_through_float_array_detected() {
+        let mut p = Program::new("bad");
+        let a = p.array("a", ElemType::F64, vec![10]);
+        let b = p.array("b", ElemType::F64, vec![10]); // wrong: float index array
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(10),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef {
+                    array: a,
+                    idx: vec![Index::Ind {
+                        array: b,
+                        idx: vec![var(i)],
+                    }],
+                },
+                value: Expr::ConstF(0.0),
+            }],
+        )];
+        assert!(p
+            .validate()
+            .iter()
+            .any(|s| s.contains("non-integer array")));
+    }
+
+    #[test]
+    fn stride_is_row_major() {
+        let a = ArrayDecl {
+            name: "c".into(),
+            elem: ElemType::F64,
+            dims: vec![10, 20, 30],
+        };
+        assert_eq!(a.stride(0), 600);
+        assert_eq!(a.stride(1), 30);
+        assert_eq!(a.stride(2), 1);
+        assert_eq!(a.len(), 6000);
+        assert_eq!(a.bytes(), 48000);
+    }
+
+    #[test]
+    fn display_produces_pseudo_c() {
+        let p = simple_program();
+        let s = p.to_string();
+        assert!(s.contains("for (i0 = 0; i0 < 100; i0++)"));
+        assert!(s.contains("y[i0] = ((2.0 * x[i0]) + y[i0]);"));
+    }
+
+    #[test]
+    fn count_hints_walks_nesting() {
+        let mut p = simple_program();
+        let x = 0;
+        if let Stmt::For(l) = &mut p.body[0] {
+            l.body.push(Stmt::Prefetch {
+                target: HintTarget {
+                    target: ArrayRef::affine(x, vec![lin(0)]),
+                },
+                pages: 4,
+            });
+            l.body.push(Stmt::Release {
+                target: HintTarget {
+                    target: ArrayRef::affine(x, vec![lin(0)]),
+                },
+                pages: 1,
+            });
+        }
+        assert_eq!(p.count_hints(), (1, 1, 0));
+    }
+}

@@ -1,0 +1,175 @@
+//! APPBT: block-tridiagonal line solves with 5x5 blocks (NAS BT).
+//!
+//! The block dimension is a *runtime parameter* of the program, exactly
+//! reproducing the situation the paper identifies as its compiler's
+//! weak spot: "inner loops with small loop bounds, where the fact that
+//! the bound was small could not be determined at compile time" cause
+//! the software pipeline to be scheduled across the wrong loop and
+//! never get started (APPBT had the worst coverage in Figure 4(a)).
+//! Enabling `CompilerParams::two_version_loops` in the compiler applies
+//! the paper's proposed fix and restores the coverage — the ablation
+//! benchmark measures exactly this.
+
+use oocp_ir::{lin, param, var, ArrayRef, ElemType, Expr, Program, Stmt};
+
+use crate::util::{fill_f64, peek_f, InitRng};
+use crate::{App, Workload};
+
+/// Block dimension (the runtime value of the symbolic parameter).
+pub const BLOCK: i64 = 5;
+
+/// Build APPBT at approximately `target_bytes`.
+pub fn build(target_bytes: u64) -> Workload {
+    // Per cell: A 25*8 + u 5*8 + rhs 5*8 = 280 bytes.
+    let cells = (target_bytes / 280).max(2048) as i64;
+    build_sized(cells, 2)
+}
+
+/// Build APPBT over `cells` block rows with `iters` iterations.
+pub fn build_sized(cells: i64, iters: i64) -> Workload {
+    assert!(cells >= 16);
+    let mut p = Program::new("APPBT");
+    let amat = p.array("A", ElemType::F64, vec![cells, BLOCK * BLOCK]);
+    let uvec = p.array("u", ElemType::F64, vec![cells, BLOCK]);
+    let rhs = p.array("rhs", ElemType::F64, vec![cells, BLOCK]);
+    let result = p.array("result", ElemType::F64, vec![8]);
+    // The block size is symbolic: the compiler cannot see that the
+    // innermost loops are tiny.
+    let bs = p.param("bs");
+    let it = p.fresh_var();
+    let s = p.fresh_fscalar();
+    let s_acc = p.fresh_fscalar();
+
+    // One block solve sweep; `dir` = +1 forward (reads cell-1) or -1
+    // backward (reads cell+1).
+    let sweep = |p: &mut Program, dir: i64| -> Stmt {
+        let c = p.fresh_var();
+        let bi = p.fresh_var();
+        let bj = p.fresh_var();
+        let inner = vec![
+            Stmt::LetF {
+                dst: s,
+                value: Expr::LoadF(ArrayRef::affine(rhs, vec![var(c), var(bi)])),
+            },
+            Stmt::for_(
+                bj,
+                lin(0),
+                param(bs),
+                1,
+                vec![Stmt::LetF {
+                    dst: s,
+                    value: Expr::sub(
+                        Expr::ScalarF(s),
+                        Expr::mul(
+                            Expr::LoadF(ArrayRef::affine(
+                                amat,
+                                vec![var(c), var(bi).scale(BLOCK).add(&var(bj))],
+                            )),
+                            Expr::LoadF(ArrayRef::affine(uvec, vec![var(c).offset(-dir), var(bj)])),
+                        ),
+                    ),
+                }],
+            ),
+            Stmt::Store {
+                dst: ArrayRef::affine(uvec, vec![var(c), var(bi)]),
+                value: Expr::mul(Expr::ScalarF(s), Expr::ConstF(1.0 / (BLOCK as f64 + 2.0))),
+            },
+        ];
+        let bi_loop = Stmt::for_(bi, lin(0), param(bs), 1, inner);
+        if dir > 0 {
+            Stmt::for_(c, lin(1), lin(cells), 1, vec![bi_loop])
+        } else {
+            Stmt::for_(c, lin(cells - 2), lin(-1), -1, vec![bi_loop])
+        }
+    };
+
+    let fwd = sweep(&mut p, 1);
+    let bwd = sweep(&mut p, -1);
+    let mut body = vec![Stmt::for_(it, lin(0), lin(iters), 1, vec![fwd, bwd])];
+
+    // Checksum of u.
+    {
+        let c = p.fresh_var();
+        let bi = p.fresh_var();
+        body.push(Stmt::LetF {
+            dst: s_acc,
+            value: Expr::ConstF(0.0),
+        });
+        body.push(Stmt::for_(
+            c,
+            lin(0),
+            lin(cells),
+            1,
+            vec![Stmt::for_(
+                bi,
+                lin(0),
+                param(bs),
+                1,
+                vec![Stmt::LetF {
+                    dst: s_acc,
+                    value: Expr::add(
+                        Expr::ScalarF(s_acc),
+                        Expr::LoadF(ArrayRef::affine(uvec, vec![var(c), var(bi)])),
+                    ),
+                }],
+            )],
+        ));
+        body.push(Stmt::Store {
+            dst: ArrayRef::affine(result, vec![lin(0)]),
+            value: Expr::ScalarF(s_acc),
+        });
+    }
+    p.body = body;
+
+    let cells_u = cells as u64;
+    Workload::new(
+        App::Appbt,
+        p,
+        vec![BLOCK],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0xB7);
+            fill_f64(prog, binds, data, amat, |_| rng.next_f64() - 0.5);
+            let mut rng2 = InitRng::new(seed ^ 0xB8);
+            fill_f64(prog, binds, data, rhs, |_| rng2.next_f64());
+            fill_f64(prog, binds, data, uvec, |_| 0.0);
+            fill_f64(prog, binds, data, result, |_| 0.0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            let sum = peek_f(binds, data, result, 0);
+            if !sum.is_finite() || sum == 0.0 {
+                return Err(format!("checksum {sum} implausible"));
+            }
+            // The diagonal scaling keeps the recurrence bounded.
+            for e in [0u64, cells_u * BLOCK as u64 / 2, cells_u * BLOCK as u64 - 1] {
+                let v = peek_f(binds, data, uvec, e);
+                if !v.is_finite() || v.abs() > 1e6 {
+                    return Err(format!("u[{e}] = {v} out of range"));
+                }
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn appbt_runs_and_verifies() {
+        let w = build_sized(512, 2);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 31);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("APPBT verification");
+    }
+
+    #[test]
+    fn block_size_is_symbolic_in_the_program() {
+        let w = build_sized(512, 1);
+        assert_eq!(w.prog.params, vec!["bs".to_string()]);
+        assert_eq!(w.param_values, vec![BLOCK]);
+    }
+}

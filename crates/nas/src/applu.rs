@@ -1,0 +1,254 @@
+//! APPLU: SSOR-style forward and backward 3-D sweeps (NAS LU).
+//!
+//! Each iteration performs a lower-triangular sweep (ascending i, j, k,
+//! reading the -1 neighbors just written) and an upper-triangular sweep
+//! (descending, reading the +1 neighbors), the wavefront dependence
+//! structure of NAS LU's SSOR driver. The backward sweep exercises the
+//! compiler's negative-stride prefetching.
+
+use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, Program, Stmt};
+
+use crate::util::{fill_f64, peek_f, InitRng};
+use crate::{App, Workload};
+
+/// Relaxation factor.
+const OMEGA: f64 = 1.2;
+
+/// Build APPLU at approximately `target_bytes`.
+pub fn build(target_bytes: u64) -> Workload {
+    // u + rhs: 16 n^3 bytes.
+    let mut n = 16i64;
+    while 16 * (n + 8) * (n + 8) * (n + 8) <= target_bytes as i64 {
+        n += 8;
+    }
+    build_sized(n, 2)
+}
+
+/// Build APPLU on an `n`^3 grid with `iters` SSOR iterations.
+pub fn build_sized(n: i64, iters: i64) -> Workload {
+    assert!(n >= 8);
+    let mut p = Program::new("APPLU");
+    let u = p.array("u", ElemType::F64, vec![n, n, n]);
+    let rhs = p.array("rhs", ElemType::F64, vec![n, n, n]);
+    let result = p.array("result", ElemType::F64, vec![8]);
+    let it = p.fresh_var();
+    let s_acc = p.fresh_fscalar();
+
+    let sweep = |p: &mut Program, forward: bool| -> Stmt {
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        let sgn: i64 = if forward { -1 } else { 1 };
+        let at = |di: i64, dj: i64, dk: i64| -> Expr {
+            Expr::LoadF(ArrayRef::affine(
+                u,
+                vec![var(i).offset(di), var(j).offset(dj), var(k).offset(dk)],
+            ))
+        };
+        let tri = Expr::add(
+            Expr::add(at(sgn, 0, 0), at(0, sgn, 0)),
+            Expr::add(at(0, 0, sgn), Expr::ConstF(0.0)),
+        );
+        let update = Expr::add(
+            Expr::mul(Expr::ConstF(1.0 - OMEGA), at(0, 0, 0)),
+            Expr::mul(
+                Expr::ConstF(OMEGA / 4.0),
+                Expr::add(
+                    Expr::LoadF(ArrayRef::affine(rhs, vec![var(i), var(j), var(k)])),
+                    tri,
+                ),
+            ),
+        );
+        let store = Stmt::Store {
+            dst: ArrayRef::affine(u, vec![var(i), var(j), var(k)]),
+            value: update,
+        };
+        let (lo, hi, step) = if forward {
+            (lin(1), lin(n - 1), 1)
+        } else {
+            (lin(n - 2), lin(0), -1)
+        };
+        Stmt::for_(
+            i,
+            lo.clone(),
+            hi.clone(),
+            step,
+            vec![Stmt::for_(
+                j,
+                lo.clone(),
+                hi.clone(),
+                step,
+                vec![Stmt::for_(k, lo, hi, step, vec![store])],
+            )],
+        )
+    };
+
+    let fwd = sweep(&mut p, true);
+    let bwd = sweep(&mut p, false);
+    let mut body = vec![Stmt::for_(it, lin(0), lin(iters), 1, vec![fwd, bwd])];
+
+    // Checksum.
+    {
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        body.push(Stmt::LetF {
+            dst: s_acc,
+            value: Expr::ConstF(0.0),
+        });
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::for_(
+                    k,
+                    lin(0),
+                    lin(n),
+                    1,
+                    vec![Stmt::LetF {
+                        dst: s_acc,
+                        value: Expr::add(
+                            Expr::ScalarF(s_acc),
+                            Expr::LoadF(ArrayRef::affine(u, vec![var(i), var(j), var(k)])),
+                        ),
+                    }],
+                )],
+            )],
+        ));
+        body.push(Stmt::Store {
+            dst: ArrayRef::affine(result, vec![lin(0)]),
+            value: Expr::ScalarF(s_acc),
+        });
+    }
+    p.body = body;
+
+    let n_u = n as u64;
+    Workload::new(
+        App::Applu,
+        p,
+        vec![],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0x1_0);
+            fill_f64(prog, binds, data, u, |_| 0.0);
+            let nn = n_u;
+            fill_f64(prog, binds, data, rhs, |e| {
+                let k = e % nn;
+                let j = (e / nn) % nn;
+                let i = e / (nn * nn);
+                if i == 0 || j == 0 || k == 0 || i == nn - 1 || j == nn - 1 || k == nn - 1 {
+                    0.0
+                } else {
+                    rng.next_f64()
+                }
+            });
+            fill_f64(prog, binds, data, result, |_| 0.0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            let sum = peek_f(binds, data, result, 0);
+            if !sum.is_finite() || sum == 0.0 {
+                return Err(format!("checksum {sum} implausible"));
+            }
+            // Boundary faces untouched.
+            if peek_f(binds, data, u, 0) != 0.0
+                || peek_f(binds, data, u, n_u * n_u * n_u - 1) != 0.0
+            {
+                return Err("boundary corrupted".to_string());
+            }
+            // Interior moved.
+            let mid = (n_u / 2) * (n_u * n_u + n_u + 1);
+            if peek_f(binds, data, u, mid) == 0.0 {
+                return Err("interior untouched".to_string());
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn applu_runs_and_verifies() {
+        let w = build_sized(16, 2);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 13);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("APPLU verification");
+    }
+
+    #[test]
+    fn applu_matches_exact_rust_replay() {
+        // Reimplement the SSOR sweeps in plain Rust with the *same*
+        // expression association as the IR builder, and require
+        // bit-identical results.
+        let n = 14usize;
+        let iters = 2;
+        let w = build_sized(n as i64, iters as i64);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 77);
+
+        // Snapshot the initial data for the replay.
+        let nn = n * n * n;
+        let mut u = vec![0.0f64; nn];
+        let mut rhs = vec![0.0f64; nn];
+        for e in 0..nn as u64 {
+            u[e as usize] = peek_f(&binds, &vm, 0, e);
+            rhs[e as usize] = peek_f(&binds, &vm, 1, e);
+        }
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+
+        let at = |i: usize, j: usize, k: usize| i * n * n + j * n + k;
+        for _ in 0..iters {
+            // Forward sweep: reads the -1 neighbors just written.
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        let tri = (u[at(i - 1, j, k)] + u[at(i, j - 1, k)])
+                            + (u[at(i, j, k - 1)] + 0.0);
+                        u[at(i, j, k)] = (1.0 - OMEGA) * u[at(i, j, k)]
+                            + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
+                    }
+                }
+            }
+            // Backward sweep.
+            for i in (1..n - 1).rev() {
+                for j in (1..n - 1).rev() {
+                    for k in (1..n - 1).rev() {
+                        let tri = (u[at(i + 1, j, k)] + u[at(i, j + 1, k)])
+                            + (u[at(i, j, k + 1)] + 0.0);
+                        u[at(i, j, k)] = (1.0 - OMEGA) * u[at(i, j, k)]
+                            + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
+                    }
+                }
+            }
+        }
+        for e in 0..nn as u64 {
+            let got = peek_f(&binds, &vm, 0, e);
+            assert_eq!(
+                got.to_bits(),
+                u[e as usize].to_bits(),
+                "u[{e}]: interpreter {got} vs replay {}",
+                u[e as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn ssor_is_deterministic() {
+        let run = || {
+            let w = build_sized(12, 1);
+            let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+            let mut vm = MemVm::new(bytes, 4096);
+            w.init(&binds, &mut vm, 13);
+            run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+            peek_f(&binds, &vm, 2, 0)
+        };
+        assert_eq!(run(), run());
+    }
+}

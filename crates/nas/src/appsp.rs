@@ -1,0 +1,183 @@
+//! APPSP: scalar ADI line solves along each dimension (NAS SP).
+//!
+//! Each iteration performs forward-elimination and back-substitution
+//! passes along x (unit stride), y (stride n), and z (stride n^2),
+//! the alternating-direction-implicit structure of NAS SP. The z sweep's
+//! page-sized strides exercise the compiler's non-spatial
+//! (per-iteration, single-page) prefetching.
+
+use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, LinExpr, Program, Stmt};
+
+use crate::util::{fill_f64, peek_f, InitRng};
+use crate::{App, Workload};
+
+/// Off-diagonal coupling of the implicit systems (< 0.5 keeps the
+/// recurrences stable).
+const CPL: f64 = 0.3;
+
+/// Build APPSP at approximately `target_bytes`.
+pub fn build(target_bytes: u64) -> Workload {
+    // u + rhs: 16 n^3.
+    let mut n = 16i64;
+    while 16 * (n + 8) * (n + 8) * (n + 8) <= target_bytes as i64 {
+        n += 8;
+    }
+    build_sized(n, 2)
+}
+
+/// Build APPSP on an `n`^3 grid with `iters` ADI iterations.
+pub fn build_sized(n: i64, iters: i64) -> Workload {
+    assert!(n >= 8);
+    let mut p = Program::new("APPSP");
+    let u = p.array("u", ElemType::F64, vec![n, n, n]);
+    let rhs = p.array("rhs", ElemType::F64, vec![n, n, n]);
+    let result = p.array("result", ElemType::F64, vec![8]);
+    let it = p.fresh_var();
+    let s_acc = p.fresh_fscalar();
+
+    // A sweep along dimension `dim` (0 = i outermost stride n^2,
+    // 2 = k unit stride): forward elimination then back substitution
+    // along that dimension, looping over the other two.
+    let sweep = |p: &mut Program, dim: usize| -> Vec<Stmt> {
+        let (a, b, c) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        // (a, b) iterate the orthogonal plane; c runs along the line.
+        let make_idx = |line_var: usize, off: i64| -> Vec<LinExpr> {
+            let mut idx = vec![var(a), var(b)];
+            idx.insert(dim, var(line_var).offset(off));
+            idx
+        };
+        let fwd_body = Stmt::Store {
+            dst: ArrayRef::affine(u, make_idx(c, 0)),
+            value: Expr::add(
+                Expr::add(
+                    Expr::LoadF(ArrayRef::affine(u, make_idx(c, 0))),
+                    Expr::mul(
+                        Expr::ConstF(CPL),
+                        Expr::LoadF(ArrayRef::affine(u, make_idx(c, -1))),
+                    ),
+                ),
+                Expr::mul(
+                    Expr::ConstF(0.25),
+                    Expr::LoadF(ArrayRef::affine(rhs, make_idx(c, 0))),
+                ),
+            ),
+        };
+        let bwd_body = Stmt::Store {
+            dst: ArrayRef::affine(u, make_idx(c, 0)),
+            value: Expr::mul(
+                Expr::ConstF(1.0 / (1.0 + 2.0 * CPL)),
+                Expr::add(
+                    Expr::LoadF(ArrayRef::affine(u, make_idx(c, 0))),
+                    Expr::mul(
+                        Expr::ConstF(CPL),
+                        Expr::LoadF(ArrayRef::affine(u, make_idx(c, 1))),
+                    ),
+                ),
+            ),
+        };
+        let fwd = Stmt::for_(c, lin(1), lin(n), 1, vec![fwd_body]);
+        let bwd = Stmt::for_(c, lin(n - 2), lin(-1), -1, vec![bwd_body]);
+        vec![Stmt::for_(
+            a,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::for_(b, lin(0), lin(n), 1, vec![fwd, bwd])],
+        )]
+    };
+
+    let mut iter_body: Vec<Stmt> = Vec::new();
+    for dim in [2usize, 1, 0] {
+        iter_body.extend(sweep(&mut p, dim));
+    }
+    let mut body = vec![Stmt::for_(it, lin(0), lin(iters), 1, iter_body)];
+
+    // Checksum.
+    {
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        body.push(Stmt::LetF {
+            dst: s_acc,
+            value: Expr::ConstF(0.0),
+        });
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::for_(
+                    k,
+                    lin(0),
+                    lin(n),
+                    1,
+                    vec![Stmt::LetF {
+                        dst: s_acc,
+                        value: Expr::add(
+                            Expr::ScalarF(s_acc),
+                            Expr::LoadF(ArrayRef::affine(u, vec![var(i), var(j), var(k)])),
+                        ),
+                    }],
+                )],
+            )],
+        ));
+        body.push(Stmt::Store {
+            dst: ArrayRef::affine(result, vec![lin(0)]),
+            value: Expr::ScalarF(s_acc),
+        });
+    }
+    p.body = body;
+
+    Workload::new(
+        App::Appsp,
+        p,
+        vec![],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0x59);
+            fill_f64(prog, binds, data, u, |_| 0.0);
+            fill_f64(prog, binds, data, rhs, |_| rng.next_f64() - 0.25);
+            fill_f64(prog, binds, data, result, |_| 0.0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            let sum = peek_f(binds, data, result, 0);
+            if !sum.is_finite() || sum == 0.0 {
+                return Err(format!("checksum {sum} implausible"));
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn appsp_runs_and_verifies() {
+        let w = build_sized(16, 1);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 21);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("APPSP verification");
+    }
+
+    #[test]
+    fn sweeps_stay_bounded() {
+        // The recurrences are contractive; values must stay modest even
+        // after several iterations.
+        let w = build_sized(12, 4);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 21);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        for e in 0..(12u64 * 12 * 12) {
+            let v = peek_f(&binds, &vm, 0, e);
+            assert!(v.is_finite() && v.abs() < 1e6, "u[{e}] = {v}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! BUK: bucket sort of integer keys (NAS IS).
+//!
+//! The paper's case study (Figure 8): a counting sort whose histogram
+//! update `count[key[i]] += 1` is the canonical indirect
+//! read-modify-write. Ranks are computed with the standard stable
+//! counting-sort recipe: histogram, inclusive prefix sum, then a reverse
+//! pass assigning each key its final position.
+
+use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, Index, Program, Stmt};
+
+use crate::util::{fill_i64, peek_i, InitRng};
+use crate::{App, Workload};
+
+/// Build BUK at approximately `target_bytes` (keys + ranks + buckets).
+pub fn build(target_bytes: u64) -> Workload {
+    // Bytes: key 8N + rank 8N + count 8B with B = N/4 => 18N.
+    let n = (target_bytes / 18).max(4096) as i64;
+    let buckets = (n / 4).max(512);
+    build_sized(n, buckets, 2)
+}
+
+/// Build BUK with explicit sizes (used by the Figure 8 size sweep).
+pub fn build_sized(n: i64, buckets: i64, iters: i64) -> Workload {
+    let mut p = Program::new("BUK");
+    let key = p.array("key", ElemType::I64, vec![n]);
+    let rank = p.array("rank", ElemType::I64, vec![n]);
+    let count = p.array("count", ElemType::I64, vec![buckets]);
+    let it = p.fresh_var();
+    let i0 = p.fresh_var();
+    let i1 = p.fresh_var();
+    let i2 = p.fresh_var();
+    let i3 = p.fresh_var();
+
+    let cnt_at = |i: usize| ArrayRef::affine(count, vec![var(i)]);
+    let cnt_key = |i: usize| ArrayRef {
+        array: count,
+        idx: vec![Index::Ind {
+            array: key,
+            idx: vec![var(i)],
+        }],
+    };
+
+    p.body = vec![Stmt::for_(
+        it,
+        lin(0),
+        lin(iters),
+        1,
+        vec![
+            // Zero the buckets.
+            Stmt::for_(
+                i0,
+                lin(0),
+                lin(buckets),
+                1,
+                vec![Stmt::Store {
+                    dst: cnt_at(i0),
+                    value: Expr::Lin(lin(0)),
+                }],
+            ),
+            // Histogram: count[key[i]] += 1.
+            Stmt::for_(
+                i1,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::Store {
+                    dst: cnt_key(i1),
+                    value: Expr::add(Expr::LoadI(cnt_key(i1)), Expr::Lin(lin(1))),
+                }],
+            ),
+            // Inclusive prefix sum over the buckets.
+            Stmt::for_(
+                i2,
+                lin(1),
+                lin(buckets),
+                1,
+                vec![Stmt::Store {
+                    dst: cnt_at(i2),
+                    value: Expr::add(
+                        Expr::LoadI(cnt_at(i2)),
+                        Expr::LoadI(ArrayRef::affine(count, vec![var(i2).offset(-1)])),
+                    ),
+                }],
+            ),
+            // Reverse pass: stable final positions.
+            Stmt::for_(
+                i3,
+                lin(n - 1),
+                lin(-1),
+                -1,
+                vec![
+                    Stmt::Store {
+                        dst: cnt_key(i3),
+                        value: Expr::sub(Expr::LoadI(cnt_key(i3)), Expr::Lin(lin(1))),
+                    },
+                    Stmt::Store {
+                        dst: ArrayRef::affine(rank, vec![var(i3)]),
+                        value: Expr::LoadI(cnt_key(i3)),
+                    },
+                ],
+            ),
+        ],
+    )];
+
+    let nb = buckets as u64;
+    let nu = n as u64;
+    Workload::new(
+        App::Buk,
+        p,
+        vec![],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0xB0C4);
+            fill_i64(prog, binds, data, key, |_| rng.next_below(nb) as i64);
+            fill_i64(prog, binds, data, rank, |_| 0);
+            fill_i64(prog, binds, data, count, |_| 0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            // rank must place keys in non-decreasing order and be a
+            // permutation of 0..n.
+            let mut out = vec![-1i64; nu as usize];
+            for i in 0..nu {
+                let r = peek_i(binds, data, rank, i);
+                if !(0..nu as i64).contains(&r) {
+                    return Err(format!("rank[{i}] = {r} out of range"));
+                }
+                if out[r as usize] != -1 {
+                    return Err(format!("rank collision at position {r}"));
+                }
+                out[r as usize] = peek_i(binds, data, key, i);
+            }
+            for w in out.windows(2) {
+                if w[0] > w[1] {
+                    return Err(format!("not sorted: {} > {}", w[0], w[1]));
+                }
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn buk_sorts_correctly() {
+        let w = build_sized(4000, 500, 2);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 42);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("BUK verification");
+    }
+
+    #[test]
+    fn buk_verify_catches_corruption() {
+        let w = build_sized(1000, 100, 1);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 42);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        // Corrupt one rank.
+        use oocp_ir::ArrayData;
+        let rank_base = binds[1].base;
+        let v = vm.peek_i64(rank_base);
+        vm.poke_i64(rank_base + 8, v); // duplicate position
+        assert!(w.verify(&binds, &vm).is_err());
+    }
+
+    #[test]
+    fn default_sizing_close_to_target() {
+        let w = build(4 << 20);
+        let b = w.data_bytes();
+        assert!(b > 3 << 20 && b < 6 << 20, "{b}");
+    }
+}

@@ -1,0 +1,320 @@
+//! FFT: radix-2 Cooley-Tukey kernel (NAS FT's access patterns).
+//!
+//! A bit-reversal gather (indirect reads through a precomputed
+//! permutation table — real FFT codes do exactly this) followed by
+//! log2(N) butterfly stages whose strides double each stage: early
+//! stages have dense spatial locality, late stages touch pages
+//! `2^s` elements apart — the out-of-core FFT's hard pattern. Twiddle
+//! factors come from precomputed tables, as in production FFTs.
+
+use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, Index, Program, Stmt};
+
+use crate::util::{close, fill_f64, fill_i64, peek_f, pow2_at_most, InitRng};
+use crate::{App, Workload};
+
+/// Build FFT at approximately `target_bytes`.
+pub fn build(target_bytes: u64) -> Workload {
+    // Bytes: re,im,xre,xim = 32N; brev 8N; wre,wim 8N => 48N.
+    let n = pow2_at_most(target_bytes / 48, 1024) as i64;
+    build_sized(n)
+}
+
+/// Build a length-`n` (power of two) FFT.
+pub fn build_sized(n: i64) -> Workload {
+    assert!(n.count_ones() == 1 && n >= 8, "FFT length must be a power of two");
+    let log2n = n.trailing_zeros() as i64;
+
+    let mut p = Program::new("FFT");
+    let re = p.array("re", ElemType::F64, vec![n]);
+    let im = p.array("im", ElemType::F64, vec![n]);
+    let xre = p.array("xre", ElemType::F64, vec![n]);
+    let xim = p.array("xim", ElemType::F64, vec![n]);
+    let brev = p.array("brev", ElemType::I64, vec![n]);
+    let wre = p.array("wre", ElemType::F64, vec![n / 2]);
+    let wim = p.array("wim", ElemType::F64, vec![n / 2]);
+    let result = p.array("result", ElemType::F64, vec![8]);
+
+    let e_in = p.fresh_fscalar(); // input energy
+    let e_out = p.fresh_fscalar(); // output energy
+    let s_wr = p.fresh_fscalar();
+    let s_wi = p.fresh_fscalar();
+    let s_ar = p.fresh_fscalar();
+    let s_ai = p.fresh_fscalar();
+    let s_br = p.fresh_fscalar();
+    let s_bi = p.fresh_fscalar();
+    let s_tr = p.fresh_fscalar();
+    let s_ti = p.fresh_fscalar();
+
+    let mut body: Vec<Stmt> = Vec::new();
+
+    // Input energy: e_in = sum re^2 + im^2.
+    body.push(Stmt::LetF {
+        dst: e_in,
+        value: Expr::ConstF(0.0),
+    });
+    {
+        let i = p.fresh_var();
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::LetF {
+                dst: e_in,
+                value: Expr::add(
+                    Expr::ScalarF(e_in),
+                    Expr::add(
+                        Expr::mul(
+                            Expr::LoadF(ArrayRef::affine(re, vec![var(i)])),
+                            Expr::LoadF(ArrayRef::affine(re, vec![var(i)])),
+                        ),
+                        Expr::mul(
+                            Expr::LoadF(ArrayRef::affine(im, vec![var(i)])),
+                            Expr::LoadF(ArrayRef::affine(im, vec![var(i)])),
+                        ),
+                    ),
+                ),
+            }],
+        ));
+    }
+
+    // Bit-reversal gather: x[i] = input[brev[i]].
+    for (dst, src) in [(xre, re), (xim, im)] {
+        let i = p.fresh_var();
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(dst, vec![var(i)]),
+                value: Expr::LoadF(ArrayRef {
+                    array: src,
+                    idx: vec![Index::Ind {
+                        array: brev,
+                        idx: vec![var(i)],
+                    }],
+                }),
+            }],
+        ));
+    }
+
+    // Butterfly stages.
+    for s in 0..log2n {
+        let half = 1i64 << s;
+        let size = half * 2;
+        let tw_stride = n / size;
+        let k = p.fresh_var();
+        let j = p.fresh_var();
+        let at = |a: usize, off: i64| {
+            ArrayRef::affine(a, vec![var(k).add(&var(j)).offset(off)])
+        };
+        let wat = |a: usize| ArrayRef::affine(a, vec![var(j).scale(tw_stride)]);
+        let stage_body = vec![
+            Stmt::LetF {
+                dst: s_wr,
+                value: Expr::LoadF(wat(wre)),
+            },
+            Stmt::LetF {
+                dst: s_wi,
+                value: Expr::LoadF(wat(wim)),
+            },
+            Stmt::LetF {
+                dst: s_ar,
+                value: Expr::LoadF(at(xre, 0)),
+            },
+            Stmt::LetF {
+                dst: s_ai,
+                value: Expr::LoadF(at(xim, 0)),
+            },
+            Stmt::LetF {
+                dst: s_br,
+                value: Expr::LoadF(at(xre, half)),
+            },
+            Stmt::LetF {
+                dst: s_bi,
+                value: Expr::LoadF(at(xim, half)),
+            },
+            // t = w * b (complex).
+            Stmt::LetF {
+                dst: s_tr,
+                value: Expr::sub(
+                    Expr::mul(Expr::ScalarF(s_wr), Expr::ScalarF(s_br)),
+                    Expr::mul(Expr::ScalarF(s_wi), Expr::ScalarF(s_bi)),
+                ),
+            },
+            Stmt::LetF {
+                dst: s_ti,
+                value: Expr::add(
+                    Expr::mul(Expr::ScalarF(s_wr), Expr::ScalarF(s_bi)),
+                    Expr::mul(Expr::ScalarF(s_wi), Expr::ScalarF(s_br)),
+                ),
+            },
+            Stmt::Store {
+                dst: at(xre, half),
+                value: Expr::sub(Expr::ScalarF(s_ar), Expr::ScalarF(s_tr)),
+            },
+            Stmt::Store {
+                dst: at(xim, half),
+                value: Expr::sub(Expr::ScalarF(s_ai), Expr::ScalarF(s_ti)),
+            },
+            Stmt::Store {
+                dst: at(xre, 0),
+                value: Expr::add(Expr::ScalarF(s_ar), Expr::ScalarF(s_tr)),
+            },
+            Stmt::Store {
+                dst: at(xim, 0),
+                value: Expr::add(Expr::ScalarF(s_ai), Expr::ScalarF(s_ti)),
+            },
+        ];
+        body.push(Stmt::for_(
+            k,
+            lin(0),
+            lin(n),
+            size,
+            vec![Stmt::for_(j, lin(0), lin(half), 1, stage_body)],
+        ));
+    }
+
+    // Output energy.
+    body.push(Stmt::LetF {
+        dst: e_out,
+        value: Expr::ConstF(0.0),
+    });
+    {
+        let i = p.fresh_var();
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::LetF {
+                dst: e_out,
+                value: Expr::add(
+                    Expr::ScalarF(e_out),
+                    Expr::add(
+                        Expr::mul(
+                            Expr::LoadF(ArrayRef::affine(xre, vec![var(i)])),
+                            Expr::LoadF(ArrayRef::affine(xre, vec![var(i)])),
+                        ),
+                        Expr::mul(
+                            Expr::LoadF(ArrayRef::affine(xim, vec![var(i)])),
+                            Expr::LoadF(ArrayRef::affine(xim, vec![var(i)])),
+                        ),
+                    ),
+                ),
+            }],
+        ));
+    }
+    body.push(Stmt::Store {
+        dst: ArrayRef::affine(result, vec![lin(0)]),
+        value: Expr::ScalarF(e_in),
+    });
+    body.push(Stmt::Store {
+        dst: ArrayRef::affine(result, vec![lin(1)]),
+        value: Expr::ScalarF(e_out),
+    });
+    p.body = body;
+
+    let n_u = n as u64;
+    Workload::new(
+        App::Fft,
+        p,
+        vec![],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0xF7);
+            fill_f64(prog, binds, data, re, |_| rng.next_f64() - 0.5);
+            let mut rng2 = InitRng::new(seed ^ 0xF8);
+            fill_f64(prog, binds, data, im, |_| rng2.next_f64() - 0.5);
+            fill_f64(prog, binds, data, xre, |_| 0.0);
+            fill_f64(prog, binds, data, xim, |_| 0.0);
+            let bits = n_u.trailing_zeros();
+            fill_i64(prog, binds, data, brev, |e| {
+                (e.reverse_bits() >> (64 - bits)) as i64
+            });
+            fill_f64(prog, binds, data, wre, |e| {
+                (-2.0 * std::f64::consts::PI * e as f64 / n_u as f64).cos()
+            });
+            fill_f64(prog, binds, data, wim, |e| {
+                (-2.0 * std::f64::consts::PI * e as f64 / n_u as f64).sin()
+            });
+            fill_f64(prog, binds, data, result, |_| 0.0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            let e_in = peek_f(binds, data, result, 0);
+            let e_out = peek_f(binds, data, result, 1);
+            // Parseval: sum |X|^2 = N * sum |x|^2.
+            if !close(e_out, n_u as f64 * e_in, 1e-6) {
+                return Err(format!(
+                    "Parseval violated: out {e_out}, want {}",
+                    n_u as f64 * e_in
+                ));
+            }
+            // DC bin: X[0] = sum x[i].
+            let mut dc_re = 0.0;
+            let mut dc_im = 0.0;
+            for i in 0..n_u {
+                dc_re += peek_f(binds, data, re, i);
+                dc_im += peek_f(binds, data, im, i);
+            }
+            let got_re = peek_f(binds, data, xre, 0);
+            let got_im = peek_f(binds, data, xim, 0);
+            if !close(got_re, dc_re, 1e-6) || !close(got_im, dc_im, 1e-6) {
+                return Err(format!(
+                    "DC bin mismatch: got ({got_re}, {got_im}), want ({dc_re}, {dc_im})"
+                ));
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn fft_satisfies_parseval_and_dc() {
+        let w = build_sized(4096);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 3);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("FFT verification");
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_on_small_input() {
+        let n = 16usize;
+        let w = build_sized(n as i64);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 9);
+        // Capture the input.
+        let input: Vec<(f64, f64)> = (0..n as u64)
+            .map(|i| {
+                (
+                    peek_f(&binds, &vm, 0, i),
+                    peek_f(&binds, &vm, 1, i),
+                )
+            })
+            .collect();
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        // Naive DFT comparison for every bin.
+        for k in 0..n {
+            let (mut er, mut ei) = (0.0f64, 0.0f64);
+            for (j, &(xr, xi)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                er += xr * ang.cos() - xi * ang.sin();
+                ei += xr * ang.sin() + xi * ang.cos();
+            }
+            let gr = peek_f(&binds, &vm, 2, k as u64);
+            let gi = peek_f(&binds, &vm, 3, k as u64);
+            assert!(
+                close(gr, er, 1e-9) && close(gi, ei, 1e-9),
+                "bin {k}: got ({gr}, {gi}), want ({er}, {ei})"
+            );
+        }
+    }
+}

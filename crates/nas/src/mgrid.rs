@@ -1,0 +1,340 @@
+//! MGRID: simplified 3-D multigrid V-cycles (NAS MG).
+//!
+//! A grid hierarchy of `u` (solution) and `r` (right-hand side /
+//! restricted residual) arrays; each V-cycle smooths with a 7-point
+//! stencil on the way down, restricts the residual by injection,
+//! smooths the coarsest grid, then prolongates corrections back up —
+//! multi-resolution stencil traffic over arrays of rapidly varying
+//! footprint, as in the paper's MGRID.
+
+use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, LinExpr, Program, Stmt};
+
+use crate::util::{fill_f64, peek_f, InitRng};
+use crate::{App, Workload};
+
+/// Weight of the Jacobi/GS-style relaxation.
+const OMEGA: f64 = 0.8;
+
+/// Build MGRID at approximately `target_bytes`.
+pub fn build(target_bytes: u64) -> Workload {
+    // Hierarchy bytes ~= 2 arrays * 8 bytes * n^3 * (1 + 1/8 + 1/64)
+    // ~= 18.3 n^3 for the fixed three-level hierarchy.
+    let mut n = 16i64;
+    while 18 * (n + 4) * (n + 4) * (n + 4) <= target_bytes as i64 {
+        n += 4;
+    }
+    build_sized(n, 2)
+}
+
+/// Build MGRID on an `n`^3 finest grid (multiple of 4, >= 16) running
+/// `cycles` V-cycles over a three-level hierarchy.
+pub fn build_sized(n: i64, cycles: i64) -> Workload {
+    assert!(n % 4 == 0 && n >= 16, "grid must be a multiple of 4, >= 16");
+    let levels = 3usize;
+    let dims: Vec<i64> = (0..levels).map(|l| n >> l).collect();
+
+    let mut p = Program::new("MGRID");
+    let u: Vec<usize> = dims
+        .iter()
+        .map(|&d| p.array(&format!("u{d}"), ElemType::F64, vec![d, d, d]))
+        .collect();
+    let r: Vec<usize> = dims
+        .iter()
+        .map(|&d| p.array(&format!("r{d}"), ElemType::F64, vec![d, d, d]))
+        .collect();
+
+    let s_acc = p.fresh_fscalar();
+
+    // One smoothing pass at level l: Gauss-Seidel 7-point in place.
+    let smooth = |p: &mut Program, l: usize| -> Stmt {
+        let d = dims[l];
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        let at = |di: i64, dj: i64, dk: i64| -> Expr {
+            Expr::LoadF(ArrayRef::affine(
+                u[l],
+                vec![var(i).offset(di), var(j).offset(dj), var(k).offset(dk)],
+            ))
+        };
+        let neigh = Expr::add(
+            Expr::add(
+                Expr::add(at(-1, 0, 0), at(1, 0, 0)),
+                Expr::add(at(0, -1, 0), at(0, 1, 0)),
+            ),
+            Expr::add(at(0, 0, -1), at(0, 0, 1)),
+        );
+        // u = (1-w) u + (w/6)(neigh - h^2 r); fold h^2 into r at init.
+        let update = Expr::add(
+            Expr::mul(Expr::ConstF(1.0 - OMEGA), at(0, 0, 0)),
+            Expr::mul(
+                Expr::ConstF(OMEGA / 6.0),
+                Expr::sub(
+                    neigh,
+                    Expr::LoadF(ArrayRef::affine(r[l], vec![var(i), var(j), var(k)])),
+                ),
+            ),
+        );
+        Stmt::for_(
+            i,
+            lin(1),
+            lin(d - 1),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(1),
+                lin(d - 1),
+                1,
+                vec![Stmt::for_(
+                    k,
+                    lin(1),
+                    lin(d - 1),
+                    1,
+                    vec![Stmt::Store {
+                        dst: ArrayRef::affine(u[l], vec![var(i), var(j), var(k)]),
+                        value: update,
+                    }],
+                )],
+            )],
+        )
+    };
+
+    // Residual restriction (injection) from level l to l+1, and zero the
+    // coarse solution.
+    let restrict = |p: &mut Program, l: usize| -> Vec<Stmt> {
+        let dc = dims[l + 1];
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        let fine = |di: i64, dj: i64, dk: i64| -> Expr {
+            Expr::LoadF(ArrayRef::affine(
+                u[l],
+                vec![
+                    var(i).scale(2).offset(di),
+                    var(j).scale(2).offset(dj),
+                    var(k).scale(2).offset(dk),
+                ],
+            ))
+        };
+        let neigh = Expr::add(
+            Expr::add(
+                Expr::add(fine(-1, 0, 0), fine(1, 0, 0)),
+                Expr::add(fine(0, -1, 0), fine(0, 1, 0)),
+            ),
+            Expr::add(fine(0, 0, -1), fine(0, 0, 1)),
+        );
+        // residual = r_f - (6 u - neigh)
+        let resid = Expr::sub(
+            Expr::LoadF(ArrayRef::affine(
+                r[l],
+                vec![
+                    var(i).scale(2),
+                    var(j).scale(2),
+                    var(k).scale(2),
+                ],
+            )),
+            Expr::sub(Expr::mul(Expr::ConstF(6.0), fine(0, 0, 0)), neigh),
+        );
+        let body = vec![
+            Stmt::Store {
+                dst: ArrayRef::affine(r[l + 1], vec![var(i), var(j), var(k)]),
+                value: resid,
+            },
+            Stmt::Store {
+                dst: ArrayRef::affine(u[l + 1], vec![var(i), var(j), var(k)]),
+                value: Expr::ConstF(0.0),
+            },
+        ];
+        vec![Stmt::for_(
+            i,
+            lin(1),
+            lin(dc - 1),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(1),
+                lin(dc - 1),
+                1,
+                vec![Stmt::for_(k, lin(1), lin(dc - 1), 1, body)],
+            )],
+        )]
+    };
+
+    // Prolongate (injection) correction from level l+1 back to l.
+    let prolong = |p: &mut Program, l: usize| -> Stmt {
+        let dc = dims[l + 1];
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        let fine_idx: Vec<LinExpr> = vec![var(i).scale(2), var(j).scale(2), var(k).scale(2)];
+        Stmt::for_(
+            i,
+            lin(1),
+            lin(dc - 1),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(1),
+                lin(dc - 1),
+                1,
+                vec![Stmt::for_(
+                    k,
+                    lin(1),
+                    lin(dc - 1),
+                    1,
+                    vec![Stmt::Store {
+                        dst: ArrayRef::affine(u[l], fine_idx.clone()),
+                        value: Expr::add(
+                            Expr::LoadF(ArrayRef::affine(u[l], fine_idx.clone())),
+                            Expr::LoadF(ArrayRef::affine(
+                                u[l + 1],
+                                vec![var(i), var(j), var(k)],
+                            )),
+                        ),
+                    }],
+                )],
+            )],
+        )
+    };
+
+    let mut body: Vec<Stmt> = Vec::new();
+    let cyc = p.fresh_var();
+    let mut cycle_body: Vec<Stmt> = Vec::new();
+    // Downward leg.
+    for l in 0..levels - 1 {
+        cycle_body.push(smooth(&mut p, l));
+        cycle_body.extend(restrict(&mut p, l));
+    }
+    // Coarsest grid: extra smoothing.
+    cycle_body.push(smooth(&mut p, levels - 1));
+    cycle_body.push(smooth(&mut p, levels - 1));
+    // Upward leg.
+    for l in (0..levels - 1).rev() {
+        cycle_body.push(prolong(&mut p, l));
+        cycle_body.push(smooth(&mut p, l));
+    }
+    body.push(Stmt::for_(cyc, lin(0), lin(cycles), 1, cycle_body));
+
+    // Final solution checksum over the finest grid.
+    let result = p.array("result", ElemType::F64, vec![8]);
+    {
+        let (i, j, k) = (p.fresh_var(), p.fresh_var(), p.fresh_var());
+        body.push(Stmt::LetF {
+            dst: s_acc,
+            value: Expr::ConstF(0.0),
+        });
+        body.push(Stmt::for_(
+            i,
+            lin(0),
+            lin(n),
+            1,
+            vec![Stmt::for_(
+                j,
+                lin(0),
+                lin(n),
+                1,
+                vec![Stmt::for_(
+                    k,
+                    lin(0),
+                    lin(n),
+                    1,
+                    vec![Stmt::LetF {
+                        dst: s_acc,
+                        value: Expr::add(
+                            Expr::ScalarF(s_acc),
+                            Expr::mul(
+                                Expr::LoadF(ArrayRef::affine(u[0], vec![var(i), var(j), var(k)])),
+                                Expr::LoadF(ArrayRef::affine(u[0], vec![var(i), var(j), var(k)])),
+                            ),
+                        ),
+                    }],
+                )],
+            )],
+        ));
+        body.push(Stmt::Store {
+            dst: ArrayRef::affine(result, vec![lin(0)]),
+            value: Expr::ScalarF(s_acc),
+        });
+    }
+    p.body = body;
+
+    let n_u = n as u64;
+    let u0 = u[0];
+    let r0 = r[0];
+    Workload::new(
+        App::Mgrid,
+        p,
+        vec![],
+        Box::new(move |prog, binds, data, seed| {
+            let mut rng = InitRng::new(seed ^ 0x316D);
+            // Zero solution, random interior right-hand side, zero
+            // boundaries (and zero all coarse levels).
+            for a in 0..prog.arrays.len() {
+                if prog.arrays[a].name.starts_with('u') || prog.arrays[a].name.starts_with('r') {
+                    fill_f64(prog, binds, data, a, |_| 0.0);
+                }
+            }
+            let nn = n_u;
+            fill_f64(prog, binds, data, r0, |e| {
+                let k = e % nn;
+                let j = (e / nn) % nn;
+                let i = e / (nn * nn);
+                if i == 0 || j == 0 || k == 0 || i == nn - 1 || j == nn - 1 || k == nn - 1 {
+                    0.0
+                } else {
+                    rng.next_f64() - 0.5
+                }
+            });
+            fill_f64(prog, binds, data, result, |_| 0.0);
+        }),
+        Box::new(move |_prog, binds, data| {
+            let norm = peek_f(binds, data, result, 0);
+            if !norm.is_finite() || norm <= 0.0 {
+                return Err(format!("solution norm {norm} implausible"));
+            }
+            // Boundaries must remain exactly zero.
+            for e in [0u64, n_u - 1, n_u * n_u - 1, n_u * n_u * n_u - 1] {
+                let v = peek_f(binds, data, u0, e);
+                if v != 0.0 {
+                    return Err(format!("boundary corrupted at {e}: {v}"));
+                }
+            }
+            // And an interior point must have moved.
+            let mid = (n_u / 2) * n_u * n_u + (n_u / 2) * n_u + n_u / 2;
+            if peek_f(binds, data, u0, mid) == 0.0 {
+                return Err("interior untouched by V-cycle".to_string());
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{run_program, ArrayBinding, CostModel, MemVm};
+
+    #[test]
+    fn mgrid_runs_and_verifies() {
+        let w = build_sized(16, 2);
+        let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+        let mut vm = MemVm::new(bytes, 4096);
+        w.init(&binds, &mut vm, 5);
+        run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+        w.verify(&binds, &vm).expect("MGRID verification");
+    }
+
+    #[test]
+    fn smoothing_reduces_residual() {
+        // Run 1 vs 2 cycles; the solution norm should grow toward the
+        // solution (starting from zero) and stay finite.
+        let norms: Vec<f64> = [1, 2]
+            .iter()
+            .map(|&c| {
+                let w = build_sized(16, c);
+                let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+                let mut vm = MemVm::new(bytes, 4096);
+                w.init(&binds, &mut vm, 5);
+                run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
+                let result = w.prog.arrays.len() - 1;
+                peek_f(&binds, &vm, result, 0)
+            })
+            .collect();
+        assert!(norms[0] > 0.0 && norms[1] > 0.0);
+        assert!(norms.iter().all(|x| x.is_finite()));
+    }
+}

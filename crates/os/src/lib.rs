@@ -1,0 +1,35 @@
+//! Operating-system substrate: paged virtual memory with non-binding
+//! prefetch and release hints.
+//!
+//! This crate models the Hurricane-side half of the paper: a paged VM
+//! whose demand faults cost the full disk latency, extended with the
+//! paper's two hint operations:
+//!
+//! * **prefetch** — a non-binding request to bring pages into memory.
+//!   Already-resident pages make the hint (partially) unnecessary; pages
+//!   on the free list are *reclaimed* (useful, no I/O); hints are dropped
+//!   entirely when no memory is free.
+//! * **release** — a hint that pages will not be referenced again soon.
+//!   Released pages move to the front of the free list (dirty ones are
+//!   cleaned first) but stay mapped until their frame is reused, so a
+//!   premature release costs only a soft fault.
+//!
+//! The machine keeps the *data* of the whole virtual address space in a
+//! backing store so that programs really execute; page residency is pure
+//! metadata driving the timing model. Every simulated nanosecond is
+//! attributed to user / system-fault / system-prefetch / idle, matching
+//! the stacked bars of Figure 3(a).
+
+pub mod bitvec;
+pub mod machine;
+pub mod params;
+pub mod posix;
+pub mod stats;
+pub mod trace;
+
+pub use bitvec::ResidencyBits;
+pub use machine::{Machine, Segment};
+pub use params::MachineParams;
+pub use posix::{madvise, Advice, MadviseError};
+pub use stats::{FaultKind, OsStats};
+pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -1,0 +1,127 @@
+//! POSIX-flavored `madvise` shim over the hint operations.
+//!
+//! The paper notes that "the `MADV_WILLNEED` and `MADV_DONTNEED` hints to
+//! the `madvise()` interface can potentially be used to implement
+//! prefetch and release in UNIX" — this module provides exactly that
+//! mapping, so code written against the familiar POSIX surface can drive
+//! the simulated machine.
+
+use std::fmt;
+
+use crate::machine::Machine;
+
+/// `madvise` advice values supported by the shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// `MADV_NORMAL`: no special treatment (a no-op here).
+    Normal,
+    /// `MADV_WILLNEED`: expect access soon — mapped to a non-binding
+    /// prefetch of the covered pages.
+    WillNeed,
+    /// `MADV_DONTNEED`: do not expect access soon — mapped to a
+    /// non-binding release of the covered pages.
+    DontNeed,
+}
+
+/// Error from the shim (mirrors `EINVAL`/`ENOMEM` usage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MadviseError {
+    /// Zero-length range (`EINVAL`).
+    EmptyRange,
+    /// Range extends past the address space (`ENOMEM`).
+    OutOfRange,
+}
+
+impl fmt::Display for MadviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MadviseError::EmptyRange => write!(f, "madvise: empty range (EINVAL)"),
+            MadviseError::OutOfRange => write!(f, "madvise: range out of bounds (ENOMEM)"),
+        }
+    }
+}
+
+impl std::error::Error for MadviseError {}
+
+/// Apply `advice` to the byte range `[addr, addr + len)`.
+///
+/// Page rounding follows `madvise(2)`: the range is expanded to page
+/// boundaries (the start rounds down, the end rounds up).
+pub fn madvise(
+    m: &mut Machine,
+    addr: u64,
+    len: u64,
+    advice: Advice,
+) -> Result<(), MadviseError> {
+    if len == 0 {
+        return Err(MadviseError::EmptyRange);
+    }
+    let page = m.params().page_bytes;
+    let first = addr / page;
+    let last = (addr + len - 1) / page;
+    if last >= m.total_pages() {
+        return Err(MadviseError::OutOfRange);
+    }
+    let count = last - first + 1;
+    match advice {
+        Advice::Normal => {}
+        Advice::WillNeed => m.sys_prefetch(first, count),
+        Advice::DontNeed => m.sys_release(first, count),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    fn machine() -> Machine {
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        Machine::new(p, 128 * 4096)
+    }
+
+    #[test]
+    fn willneed_prefetches_the_covered_pages() {
+        let mut m = machine();
+        // 3 bytes straddling a page boundary cover 2 pages.
+        madvise(&mut m, 4096 - 2, 4, Advice::WillNeed).unwrap();
+        assert_eq!(m.stats().prefetch_pages_requested, 2);
+        assert_eq!(m.stats().prefetch_pages_issued, 2);
+    }
+
+    #[test]
+    fn dontneed_releases_resident_pages() {
+        let mut m = machine();
+        m.touch(0, 8, true);
+        madvise(&mut m, 0, 1, Advice::DontNeed).unwrap();
+        assert_eq!(m.stats().release_pages_effective, 1);
+        // Data survives (non-binding semantics): the page was written
+        // back, not discarded.
+        assert_eq!(m.load_f64(0), 0.0);
+    }
+
+    #[test]
+    fn normal_is_a_noop() {
+        let mut m = machine();
+        madvise(&mut m, 0, 4096, Advice::Normal).unwrap();
+        assert_eq!(m.stats().hint_syscalls, 0);
+    }
+
+    #[test]
+    fn errors_mirror_posix() {
+        let mut m = machine();
+        assert_eq!(
+            madvise(&mut m, 0, 0, Advice::WillNeed),
+            Err(MadviseError::EmptyRange)
+        );
+        assert_eq!(
+            madvise(&mut m, 127 * 4096, 2 * 4096, Advice::WillNeed),
+            Err(MadviseError::OutOfRange)
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Counters the evaluation figures are built from.
+
+use oocp_sim::stats::RunningStat;
+use oocp_sim::time::Ns;
+
+/// Classification of a first demand touch of a page-in, matching
+/// Figure 4(a)'s breakdown of "the original page faults".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The page had been prefetched and was resident when first touched:
+    /// the original fault was eliminated.
+    PrefetchedHit,
+    /// The page had been prefetched but the touch still faulted (the
+    /// prefetch was issued too late, or the page was flushed or dropped
+    /// before use).
+    PrefetchedFault,
+    /// The page was never prefetched; the fault survived untouched.
+    NonPrefetchedFault,
+}
+
+/// Counters maintained by the machine during a run.
+///
+/// All figures and tables of the paper's evaluation are computed from
+/// these (plus the per-disk counters in the disk crate).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsStats {
+    /// Distribution of hard-fault disk waits (mean/min/max), the
+    /// latency the whole scheme exists to hide.
+    pub fault_wait: RunningStat,
+    /// Hard faults: demand reads the application stalled on.
+    pub hard_faults: u64,
+    /// Soft faults: reclaims from the free list (no disk I/O).
+    pub soft_faults: u64,
+    /// Faults that found the page in flight from a prefetch and stalled
+    /// only for the residual latency.
+    pub prefetched_faults_inflight: u64,
+    /// Faults on pages that had been prefetched but were flushed or
+    /// dropped before first use.
+    pub prefetched_faults_lost: u64,
+    /// First touches that found a prefetched page resident (original
+    /// faults fully eliminated).
+    pub prefetched_hits: u64,
+    /// First touches of demand-faulted, never-prefetched pages.
+    pub non_prefetched_faults: u64,
+    /// Prefetch/release system calls received by the OS.
+    pub hint_syscalls: u64,
+    /// Pages requested across all prefetch hints received.
+    pub prefetch_pages_requested: u64,
+    /// Prefetch pages that started disk I/O.
+    pub prefetch_pages_issued: u64,
+    /// Prefetch pages found already resident and in active use —
+    /// "unnecessary prefetches issued to the system" (Figure 4(b) left).
+    pub prefetch_pages_unnecessary: u64,
+    /// Prefetch pages that reclaimed a free-list page (useful, no I/O).
+    pub prefetch_pages_reclaimed: u64,
+    /// Prefetch pages found already in flight.
+    pub prefetch_pages_inflight: u64,
+    /// Prefetch pages dropped because no memory was free.
+    pub prefetch_pages_dropped: u64,
+    /// Pages named by release hints.
+    pub release_pages: u64,
+    /// Release pages that actually moved a resident page to the free list.
+    pub release_pages_effective: u64,
+    /// Dirty-page write-backs scheduled (evictions, releases, final flush).
+    pub writebacks: u64,
+    /// Pages evicted by the pageout daemon's clock scan.
+    pub daemon_evictions: u64,
+    /// Total stall time attributable to prefetched-but-late pages.
+    pub late_prefetch_stall_ns: Ns,
+}
+
+impl OsStats {
+    /// Total first-touch page-in events — the denominator of
+    /// Figure 4(a), i.e. what the faults *would have been* without any
+    /// prefetching ("original page faults").
+    pub fn original_faults(&self) -> u64 {
+        self.prefetched_hits + self.prefetched_faults() + self.non_prefetched_faults
+    }
+
+    /// Faults that had been prefetched but still stalled the application.
+    pub fn prefetched_faults(&self) -> u64 {
+        self.prefetched_faults_inflight + self.prefetched_faults_lost
+    }
+
+    /// Fraction of original faults covered by a prefetch (Figure 4(a)'s
+    /// coverage factor). Zero when nothing faulted.
+    pub fn coverage(&self) -> f64 {
+        let total = self.original_faults();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.prefetched_hits + self.prefetched_faults()) as f64 / total as f64
+    }
+
+    /// Fraction of prefetch pages issued to the OS that were unnecessary
+    /// (Figure 4(b), left column).
+    pub fn unnecessary_issued_fraction(&self) -> f64 {
+        let seen = self.prefetch_pages_requested;
+        if seen == 0 {
+            0.0
+        } else {
+            self.prefetch_pages_unnecessary as f64 / seen as f64
+        }
+    }
+
+    /// Record a first-touch classification.
+    pub fn classify(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::PrefetchedHit => self.prefetched_hits += 1,
+            FaultKind::PrefetchedFault => {} // split into the two detailed counters by the caller
+            FaultKind::NonPrefetchedFault => self.non_prefetched_faults += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_math() {
+        let s = OsStats {
+            prefetched_hits: 75,
+            prefetched_faults_inflight: 10,
+            prefetched_faults_lost: 5,
+            non_prefetched_faults: 10,
+            ..OsStats::default()
+        };
+        assert_eq!(s.original_faults(), 100);
+        assert_eq!(s.prefetched_faults(), 15);
+        assert!((s.coverage() - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = OsStats::default();
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.unnecessary_issued_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unnecessary_fraction() {
+        let s = OsStats {
+            prefetch_pages_requested: 200,
+            prefetch_pages_unnecessary: 4,
+            ..OsStats::default()
+        };
+        assert!((s.unnecessary_issued_fraction() - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Event tracing: a bounded log of paging activity.
+//!
+//! The paper's authors "added extensive instrumentation to enable us to
+//! produce the detailed statistics shown in subsequent sections"; this
+//! module is the analogous facility. When enabled, the machine records
+//! every paging-relevant event with its simulated timestamp into a
+//! bounded ring buffer, which experiments and the `oocpc --trace` flag
+//! can dump as a timeline.
+
+use oocp_sim::time::Ns;
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Demand fault that went to disk (page, waited nanoseconds).
+    HardFault {
+        /// Faulting page.
+        page: u64,
+        /// Nanoseconds stalled waiting for the read.
+        waited: Ns,
+    },
+    /// Reclaim from the free list (no disk I/O).
+    SoftFault {
+        /// Faulting page.
+        page: u64,
+    },
+    /// Prefetch pages issued to disk.
+    PrefetchIssue {
+        /// First page of the issued span.
+        page: u64,
+        /// Pages in the span.
+        count: u64,
+    },
+    /// Prefetch page dropped for lack of memory.
+    PrefetchDrop {
+        /// The dropped page.
+        page: u64,
+    },
+    /// Pages released to the free list.
+    Release {
+        /// First page.
+        page: u64,
+        /// Pages released.
+        count: u64,
+    },
+    /// Page evicted by the pageout daemon's clock scan.
+    Eviction {
+        /// The evicted page.
+        page: u64,
+    },
+    /// Dirty page scheduled for write-back.
+    Writeback {
+        /// The written page.
+        page: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short tag for timeline rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::HardFault { .. } => "FAULT",
+            TraceEvent::SoftFault { .. } => "SOFT",
+            TraceEvent::PrefetchIssue { .. } => "PF",
+            TraceEvent::PrefetchDrop { .. } => "DROP",
+            TraceEvent::Release { .. } => "REL",
+            TraceEvent::Eviction { .. } => "EVICT",
+            TraceEvent::Writeback { .. } => "WB",
+        }
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: Ns,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring buffer of trace records.
+///
+/// When full, the oldest records are overwritten (the usual flight-
+/// recorder behavior); [`Trace::dropped`] reports how many were lost.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    start: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Create a trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, at: Ns, event: TraceEvent) {
+        let rec = TraceRecord { at, event };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.start] = rec;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records lost to ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records in chronological order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.start..]);
+        out.extend_from_slice(&self.buf[..self.start]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: u64) -> TraceEvent {
+        TraceEvent::SoftFault { page: p }
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut t = Trace::new(4);
+        for i in 0..3 {
+            t.push(i * 10, ev(i));
+        }
+        let r = t.records();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].at, 0);
+        assert_eq!(r[2].at, 20);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.push(i, ev(i));
+        }
+        let r = t.records();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].at, 2, "oldest surviving record");
+        assert_eq!(r[2].at, 4);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        use std::collections::HashSet;
+        let tags: HashSet<_> = [
+            TraceEvent::HardFault { page: 0, waited: 0 }.tag(),
+            TraceEvent::SoftFault { page: 0 }.tag(),
+            TraceEvent::PrefetchIssue { page: 0, count: 1 }.tag(),
+            TraceEvent::PrefetchDrop { page: 0 }.tag(),
+            TraceEvent::Release { page: 0, count: 1 }.tag(),
+            TraceEvent::Eviction { page: 0 }.tag(),
+            TraceEvent::Writeback { page: 0 }.tag(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(tags.len(), 7);
+    }
+}

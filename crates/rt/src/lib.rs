@@ -1,0 +1,507 @@
+//! The run-time layer: user-level filtering of compiler-inserted hints.
+//!
+//! The paper found that the compiler must conservatively insert far more
+//! prefetches than are necessary (its loop-level analysis underestimates
+//! how much data main memory retains), and that issuing each of those as
+//! a system call erases the benefit — half of the applications ran
+//! *slower* than the original without this layer (Figure 4(c)). The fix
+//! is a user-level filter: the OS shares one page of residency bits with
+//! the application, and the run-time layer drops prefetches whose pages
+//! are believed resident for ~1% of the cost of a system call.
+//!
+//! For block prefetches the layer checks each page until the first one
+//! not in memory, then passes all remaining pages to the OS in a single
+//! call — "at most one system call is required for a block prefetch".
+//!
+//! [`Runtime`] wraps the simulated machine and implements
+//! [`oocp_ir::PagedVm`], so the interpreter's loads, stores, and hints
+//! flow through here exactly as compiled application code would.
+
+use oocp_ir::{ArrayBinding, ArrayData, PagedVm, Program};
+use oocp_os::{Machine, MachineParams};
+use oocp_sim::time::{Ns, MICROSECOND};
+
+/// Whether the user-level filter is active.
+///
+/// `Disabled` reproduces Figure 4(c)'s "no run-time layer" configuration:
+/// every compiler-inserted hint becomes a system call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterMode {
+    /// Filter hints through the shared bit vector (normal operation).
+    Enabled,
+    /// Pass every hint to the OS (ablation).
+    Disabled,
+}
+
+/// Counters kept by the run-time layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtStats {
+    /// Prefetch operations executed by the application (compiler-
+    /// inserted dynamic prefetches, before any filtering).
+    pub prefetch_ops: u64,
+    /// Pages named by those operations.
+    pub prefetch_pages: u64,
+    /// Pages dropped at user level because their bit said "in memory"
+    /// (Figure 4(b), right column).
+    pub pages_filtered: u64,
+    /// Prefetch operations fully satisfied by the filter (no syscall).
+    pub ops_fully_filtered: u64,
+    /// Prefetch system calls actually issued.
+    pub prefetch_syscalls: u64,
+    /// Release operations executed by the application.
+    pub release_ops: u64,
+    /// Release system calls issued (bundled calls count once).
+    pub release_syscalls: u64,
+    /// Bit-vector page checks performed.
+    pub bit_checks: u64,
+    /// Hint operations suppressed by the in-core adaptive mode.
+    pub suppressed_ops: u64,
+}
+
+impl RtStats {
+    /// Fraction of compiler-inserted prefetched pages that the filter
+    /// dropped (Figure 4(b), right column).
+    pub fn filtered_fraction(&self) -> f64 {
+        if self.prefetch_pages == 0 {
+            0.0
+        } else {
+            self.pages_filtered as f64 / self.prefetch_pages as f64
+        }
+    }
+}
+
+/// The run-time layer bound to a machine.
+pub struct Runtime {
+    machine: Machine,
+    mode: FilterMode,
+    /// User-level cost of one bit-vector check (~1% of a hint syscall).
+    check_ns: Ns,
+    stats: RtStats,
+    /// In-core adaptive mode (the paper's section 4.3.1 future work):
+    /// when the data set fits in memory and the cold faults are done,
+    /// suppress hint processing entirely.
+    adaptive: bool,
+    /// Consecutive fully-filtered prefetch operations observed.
+    filtered_streak: u32,
+    /// Suppression engaged (terminal for the run).
+    suppressing: bool,
+}
+
+impl Runtime {
+    /// Default per-check cost on the paper platform: 2.5 us, ~1% of the
+    /// default hint syscall. On other platforms the cost scales with
+    /// the machine (see [`Runtime::new`]).
+    pub const DEFAULT_CHECK_NS: Ns = 2_500;
+
+    /// Wrap a machine, registering the shared bit vector.
+    ///
+    /// The per-check cost is derived from the machine: the paper reports
+    /// that "the overhead of dropping an unnecessary prefetch in the
+    /// run-time layer is roughly 1% as expensive as issuing it to the
+    /// OS", and that *ratio* is what carries across platforms (a bit
+    /// test is a couple of instructions on any machine).
+    pub fn new(machine: Machine, mode: FilterMode) -> Self {
+        // Registration itself is a one-time syscall; its cost is noise
+        // and is folded into program startup (not modeled).
+        let check_ns = (machine.params().hint_syscall_ns / 100).max(1);
+        Self {
+            machine,
+            mode,
+            check_ns,
+            stats: RtStats::default(),
+            adaptive: false,
+            filtered_streak: 0,
+            suppressing: false,
+        }
+    }
+
+    /// Build a machine sized for `prog`'s data set and wrap it.
+    ///
+    /// Returns the runtime together with the array bindings laid out by
+    /// [`ArrayBinding::sequential`] (the layout the machine's backing
+    /// store uses).
+    pub fn for_program(
+        params: MachineParams,
+        prog: &Program,
+        mode: FilterMode,
+    ) -> (Self, Vec<ArrayBinding>) {
+        let (binds, bytes) = ArrayBinding::sequential(prog, params.page_bytes);
+        let machine = Machine::new(params, bytes);
+        (Self::new(machine, mode), binds)
+    }
+
+    /// Override the per-check cost.
+    pub fn with_check_ns(mut self, ns: Ns) -> Self {
+        self.check_ns = ns;
+        self
+    }
+
+    /// Enable in-core adaptive suppression (paper section 4.3.1): if the
+    /// data set fits in memory, once a run of prefetches has been fully
+    /// filtered (the cold faults are in), stop processing hints at all.
+    /// The suppression test itself costs two instructions (~100 ns).
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Consecutive fully-filtered operations before suppression engages.
+    const SUPPRESS_STREAK: u32 = 32;
+
+    /// Cost of the suppressed-hint fast path (a flag test).
+    const SUPPRESS_NS: Ns = 100;
+
+    /// Whether adaptive suppression may ever engage for this run.
+    fn in_core(&self) -> bool {
+        self.machine.total_pages() + self.machine.params().high_water
+            <= self.machine.params().resident_limit
+    }
+
+    /// Record a fully-filtered op; engage suppression after a streak.
+    fn note_fully_filtered(&mut self) {
+        if self.adaptive && self.in_core() {
+            self.filtered_streak += 1;
+            if self.filtered_streak >= Self::SUPPRESS_STREAK {
+                self.suppressing = true;
+            }
+        }
+    }
+
+    /// Fast path for a suppressed hint.
+    fn suppress(&mut self) {
+        self.stats.suppressed_ops += 1;
+        self.machine.tick_user(Self::SUPPRESS_NS);
+    }
+
+    /// Run-time-layer counters.
+    pub fn stats(&self) -> &RtStats {
+        &self.stats
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the wrapped machine (warm-starting, finishing).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Consume the runtime, returning the machine.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Check one page's residency bit, charging the user-level cost.
+    fn check(&mut self, page: u64) -> bool {
+        self.stats.bit_checks += 1;
+        self.machine.tick_user(self.check_ns);
+        self.machine.bits().test(page)
+    }
+}
+
+impl PagedVm for Runtime {
+    fn page_bytes(&self) -> u64 {
+        self.machine.params().page_bytes
+    }
+
+    fn tick_user(&mut self, ns: u64) {
+        self.machine.tick_user(ns);
+    }
+
+    fn load_f64(&mut self, addr: u64) -> f64 {
+        self.machine.load_f64(addr)
+    }
+
+    fn store_f64(&mut self, addr: u64, v: f64) {
+        self.machine.store_f64(addr, v);
+    }
+
+    fn load_i64(&mut self, addr: u64) -> i64 {
+        self.machine.load_i64(addr)
+    }
+
+    fn store_i64(&mut self, addr: u64, v: i64) {
+        self.machine.store_i64(addr, v);
+    }
+
+    fn prefetch(&mut self, addr: u64, pages: u64) {
+        self.stats.prefetch_ops += 1;
+        if self.suppressing {
+            self.suppress();
+            return;
+        }
+        let start = self.machine.page_of(addr);
+        // Clamp the hint to the address space (hints near the end of an
+        // array may name pages past it; they are non-binding).
+        let pages = pages.min(self.machine.total_pages().saturating_sub(start));
+        self.stats.prefetch_pages += pages;
+        if pages == 0 {
+            return;
+        }
+        match self.mode {
+            FilterMode::Disabled => {
+                self.stats.prefetch_syscalls += 1;
+                self.machine.sys_prefetch(start, pages);
+            }
+            FilterMode::Enabled => {
+                // Check pages until one is not believed resident; pass
+                // the remainder to the OS in one call.
+                let mut k = 0;
+                while k < pages && self.check(start + k) {
+                    self.stats.pages_filtered += 1;
+                    k += 1;
+                }
+                if k == pages {
+                    self.stats.ops_fully_filtered += 1;
+                    self.note_fully_filtered();
+                } else {
+                    self.stats.prefetch_syscalls += 1;
+                    self.filtered_streak = 0;
+                    self.machine.sys_prefetch(start + k, pages - k);
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, addr: u64, pages: u64) {
+        if self.suppressing {
+            self.stats.release_ops += 1;
+            self.suppress();
+            return;
+        }
+        self.stats.release_ops += 1;
+        self.stats.release_syscalls += 1;
+        let start = self.machine.page_of(addr);
+        self.machine.sys_release(start, pages);
+    }
+
+    fn prefetch_release(&mut self, pf_addr: u64, pf_pages: u64, rel_addr: u64, rel_pages: u64) {
+        self.stats.prefetch_ops += 1;
+        self.stats.release_ops += 1;
+        if self.suppressing {
+            self.suppress();
+            return;
+        }
+        let pf_start = self.machine.page_of(pf_addr);
+        let rel_start = self.machine.page_of(rel_addr);
+        let pf_pages = pf_pages.min(self.machine.total_pages().saturating_sub(pf_start));
+        self.stats.prefetch_pages += pf_pages;
+        if pf_pages == 0 {
+            self.stats.release_syscalls += 1;
+            self.machine.sys_release(rel_start, rel_pages);
+            return;
+        }
+        match self.mode {
+            FilterMode::Disabled => {
+                self.stats.prefetch_syscalls += 1;
+                self.stats.release_syscalls += 1;
+                self.machine
+                    .sys_prefetch_release(pf_start, pf_pages, rel_start, rel_pages);
+            }
+            FilterMode::Enabled => {
+                let mut k = 0;
+                while k < pf_pages && self.check(pf_start + k) {
+                    self.stats.pages_filtered += 1;
+                    k += 1;
+                }
+                if k == pf_pages {
+                    // Prefetch fully filtered; the release half still
+                    // requires a call.
+                    self.stats.ops_fully_filtered += 1;
+                    self.stats.release_syscalls += 1;
+                    self.machine.sys_release(rel_start, rel_pages);
+                } else {
+                    self.stats.prefetch_syscalls += 1;
+                    self.stats.release_syscalls += 1;
+                    self.machine.sys_prefetch_release(
+                        pf_start + k,
+                        pf_pages - k,
+                        rel_start,
+                        rel_pages,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl ArrayData for Runtime {
+    fn peek_f64(&self, addr: u64) -> f64 {
+        self.machine.peek_f64(addr)
+    }
+
+    fn poke_f64(&mut self, addr: u64, v: f64) {
+        self.machine.poke_f64(addr, v);
+    }
+
+    fn peek_i64(&self, addr: u64) -> i64 {
+        self.machine.peek_i64(addr)
+    }
+
+    fn poke_i64(&mut self, addr: u64, v: i64) {
+        self.machine.poke_i64(addr, v);
+    }
+}
+
+/// One microsecond, re-exported for check-cost sweeps in benches.
+pub const US: Ns = MICROSECOND;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(mode: FilterMode) -> Runtime {
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        Runtime::new(Machine::new(p, 256 * 4096), mode)
+    }
+
+    #[test]
+    fn filter_drops_resident_prefetch_without_syscall() {
+        let mut r = rt(FilterMode::Enabled);
+        r.load_f64(0); // page 0 resident
+        let sys_before = r.machine().stats().hint_syscalls;
+        r.prefetch(0, 1);
+        assert_eq!(r.stats().pages_filtered, 1);
+        assert_eq!(r.stats().ops_fully_filtered, 1);
+        assert_eq!(r.machine().stats().hint_syscalls, sys_before);
+    }
+
+    #[test]
+    fn filter_passes_nonresident_prefetch() {
+        let mut r = rt(FilterMode::Enabled);
+        r.prefetch(0, 1);
+        assert_eq!(r.stats().pages_filtered, 0);
+        assert_eq!(r.stats().prefetch_syscalls, 1);
+        assert_eq!(r.machine().stats().prefetch_pages_issued, 1);
+    }
+
+    #[test]
+    fn block_prefetch_truncates_to_nonresident_suffix() {
+        let mut r = rt(FilterMode::Enabled);
+        // Make pages 0 and 1 resident; 2 and 3 absent.
+        r.load_f64(0);
+        r.load_f64(4096);
+        r.prefetch(0, 4);
+        assert_eq!(r.stats().pages_filtered, 2);
+        assert_eq!(r.stats().prefetch_syscalls, 1);
+        // The OS saw a 2-page request starting at page 2.
+        assert_eq!(r.machine().stats().prefetch_pages_requested, 2);
+        assert_eq!(r.machine().stats().prefetch_pages_issued, 2);
+    }
+
+    #[test]
+    fn one_syscall_max_per_block_even_with_interior_holes() {
+        let mut r = rt(FilterMode::Enabled);
+        // Page 0 absent, page 1 resident, page 2 absent: scan stops at
+        // page 0 and passes all 3 pages to the OS; the OS then counts
+        // the resident one as unnecessary.
+        r.load_f64(4096);
+        r.prefetch(0, 3);
+        assert_eq!(r.stats().prefetch_syscalls, 1);
+        assert_eq!(r.machine().stats().prefetch_pages_requested, 3);
+        assert_eq!(r.machine().stats().prefetch_pages_unnecessary, 1);
+        assert_eq!(r.machine().stats().prefetch_pages_issued, 2);
+    }
+
+    #[test]
+    fn disabled_mode_always_syscalls() {
+        let mut r = rt(FilterMode::Disabled);
+        r.load_f64(0);
+        r.prefetch(0, 1);
+        assert_eq!(r.stats().pages_filtered, 0);
+        assert_eq!(r.stats().prefetch_syscalls, 1);
+        assert_eq!(r.machine().stats().prefetch_pages_unnecessary, 1);
+    }
+
+    #[test]
+    fn filter_cost_is_charged_as_user_time() {
+        let mut r = rt(FilterMode::Enabled);
+        r.load_f64(0);
+        let user_before = r.machine().breakdown().user;
+        r.prefetch(0, 1);
+        let user_after = r.machine().breakdown().user;
+        assert_eq!(user_after - user_before, Runtime::DEFAULT_CHECK_NS);
+    }
+
+    #[test]
+    fn filter_check_is_two_orders_cheaper_than_syscall() {
+        let r = rt(FilterMode::Enabled);
+        let syscall = r.machine().params().hint_syscall_ns;
+        assert!(r.check_ns * 50 <= syscall + r.machine().params().hint_per_page_ns);
+    }
+
+    #[test]
+    fn bundled_call_with_filtered_prefetch_still_releases() {
+        let mut r = rt(FilterMode::Enabled);
+        r.load_f64(0); // page 0 resident (prefetch target)
+        r.load_f64(4096); // page 1 resident (release target)
+        r.prefetch_release(0, 1, 4096, 1);
+        assert_eq!(r.stats().ops_fully_filtered, 1);
+        assert_eq!(r.machine().stats().release_pages_effective, 1);
+    }
+
+    #[test]
+    fn filtered_fraction_math() {
+        let mut r = rt(FilterMode::Enabled);
+        r.load_f64(0);
+        r.prefetch(0, 1); // filtered
+        r.prefetch(8192, 1); // issued
+        assert!((r.stats().filtered_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_mode_suppresses_after_streak_when_in_core() {
+        // 64-frame machine, 16-page space: in-core.
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        let mut r =
+            Runtime::new(Machine::new(p, 16 * 4096), FilterMode::Enabled).with_adaptive(true);
+        // Fault everything in (the cold phase).
+        for pg in 0..16u64 {
+            r.load_f64(pg * 4096);
+        }
+        // Fully-filtered prefetches build the streak...
+        for _ in 0..Runtime::SUPPRESS_STREAK {
+            r.prefetch(0, 1);
+        }
+        let checks_before = r.stats().bit_checks;
+        // ...after which hints are suppressed without even a bit check.
+        for _ in 0..100 {
+            r.prefetch(0, 1);
+        }
+        assert_eq!(r.stats().suppressed_ops, 100);
+        assert_eq!(r.stats().bit_checks, checks_before);
+    }
+
+    #[test]
+    fn adaptive_mode_never_engages_out_of_core() {
+        let mut r = rt(FilterMode::Enabled); // 64 frames, 256 pages: out of core
+        r = r.with_adaptive(true);
+        r.load_f64(0);
+        for _ in 0..(Runtime::SUPPRESS_STREAK * 2) {
+            r.prefetch(0, 1); // fully filtered every time
+        }
+        assert_eq!(r.stats().suppressed_ops, 0, "must not suppress out of core");
+    }
+
+    #[test]
+    fn for_program_lays_out_and_sizes_machine() {
+        let mut prog = Program::new("p");
+        prog.array("x", oocp_ir::ElemType::F64, vec![1000]);
+        prog.array("y", oocp_ir::ElemType::F64, vec![1000]);
+        let (rt, binds) =
+            Runtime::for_program(MachineParams::small(), &prog, FilterMode::Enabled);
+        assert_eq!(binds.len(), 2);
+        assert_eq!(binds[1].base % 4096, 0);
+        assert!(rt.machine().total_pages() >= 4);
+    }
+}

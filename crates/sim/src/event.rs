@@ -1,0 +1,172 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+/// Internal heap entry: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    at: Ns,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the `BinaryHeap` max-heap pops the *earliest* entry.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Ties on the timestamp are broken by insertion order, which makes the
+/// whole simulation deterministic: two events scheduled for the same
+/// nanosecond always pop in the order they were pushed.
+///
+/// # Examples
+///
+/// ```
+/// use oocp_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(20, "late");
+/// q.schedule(10, "early");
+/// assert_eq!(q.pop(), Some((10, "early")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute simulated time `at`.
+    pub fn schedule(&mut self, at: Ns, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest pending event along with its timestamp.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Pop the earliest event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Ns) -> Option<(Ns, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 'c');
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        assert_eq!(q.pop_due(5), None);
+        assert_eq!(q.pop_due(10), Some((10, 'a')));
+        assert_eq!(q.pop_due(15), None);
+        assert_eq!(q.pop_due(100), Some((20, 'b')));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn len_tracks_pending_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(7, 'x');
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.pop(), Some((7, 'x')));
+        assert_eq!(q.peek_time(), None);
+    }
+}

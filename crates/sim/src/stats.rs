@@ -1,0 +1,196 @@
+//! Running-statistics helpers for sampled simulation quantities.
+
+/// Online mean/min/max accumulator for sampled values.
+///
+/// Used for quantities sampled over the run, e.g. free-memory level
+/// (Table 3) and disk queue depth. Mean is computed with Welford's
+/// algorithm so long runs do not lose precision.
+///
+/// # Examples
+///
+/// ```
+/// use oocp_sim::RunningStat;
+///
+/// let mut s = RunningStat::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStat {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        if self.count == 1 {
+            self.mean = v;
+            self.min = v;
+            self.max = v;
+        } else {
+            self.mean += (v - self.mean) / self.count as f64;
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity.
+///
+/// The disk-utilization and free-memory figures are averages over
+/// *time*, not over samples: a value that persists for 1 ms must weigh
+/// 1000x more than one persisting for 1 us. Call [`TimeWeighted::set`]
+/// whenever the quantity changes; the integral is maintained lazily.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: u64,
+    integral: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// Create with initial value `v` as of time `now`.
+    pub fn start(now: u64, v: f64) -> Self {
+        Self {
+            value: v,
+            last_change: now,
+            integral: 0.0,
+            started: true,
+        }
+    }
+
+    /// Update the quantity to `v` as of time `now`.
+    pub fn set(&mut self, now: u64, v: f64) {
+        if !self.started {
+            *self = Self::start(now, v);
+            return;
+        }
+        debug_assert!(now >= self.last_change, "time must be monotone");
+        self.integral += self.value * (now - self.last_change) as f64;
+        self.value = v;
+        self.last_change = now;
+    }
+
+    /// Current value of the quantity.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted mean over `[start, now]`.
+    ///
+    /// Returns the current value when no time has elapsed.
+    pub fn mean_until(&self, now: u64) -> f64 {
+        if !self.started || now <= self.last_change && self.integral == 0.0 {
+            return self.value;
+        }
+        let total = self.integral + self.value * (now.saturating_sub(self.last_change)) as f64;
+        let span = now as f64; // `start` is time 0 for all simulator uses.
+        if span == 0.0 {
+            self.value
+        } else {
+            total / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stat_reports_zero_and_none() {
+        let s = RunningStat::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn stat_tracks_extremes() {
+        let mut s = RunningStat::new();
+        for v in [5.0, -1.0, 3.0, 10.0] {
+            s.push(v);
+        }
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(10.0));
+        assert!((s.mean() - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_is_stable_for_many_samples() {
+        let mut s = RunningStat::new();
+        for _ in 0..1_000_000 {
+            s.push(1e9);
+        }
+        assert!((s.mean() - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        // Value 10 for 90 ns, then 0 for 10 ns => mean 9.0 over 100 ns.
+        let mut t = TimeWeighted::start(0, 10.0);
+        t.set(90, 0.0);
+        assert!((t.mean_until(100) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_handles_zero_span() {
+        let t = TimeWeighted::start(0, 3.5);
+        assert_eq!(t.mean_until(0), 3.5);
+    }
+
+    #[test]
+    fn time_weighted_set_before_start_initializes() {
+        let mut t = TimeWeighted::default();
+        t.set(50, 2.0);
+        t.set(150, 4.0);
+        // From t=50..150 value 2.0; mean over [0,150] counts [0,50) as
+        // contributing nothing to the integral but the span divisor is
+        // anchored at 0, so mean = (2*100)/150.
+        assert!((t.mean_until(150) - (200.0 / 150.0)).abs() < 1e-12);
+    }
+}

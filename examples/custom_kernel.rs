@@ -1,0 +1,100 @@
+//! Writing your own out-of-core kernel against the public API.
+//!
+//! Builds a 2-D Jacobi-style relaxation in the IR by hand (the same way
+//! the NAS builders do), prints the program before and after the
+//! prefetching compiler pass — the analogue of the paper's Figure 2 —
+//! and runs both versions on the simulated machine.
+//!
+//! Run with: `cargo run --release --example custom_kernel`
+
+use oocp::compiler::{compile, CompilerParams};
+use oocp::ir::{
+    lin, run_program, var, ArrayData, ArrayRef, CostModel, ElemType, Expr, Program, Stmt,
+};
+use oocp::os::MachineParams;
+use oocp::rt::{FilterMode, Runtime};
+
+/// new[i][j] = 0.25 * (old[i-1][j] + old[i+1][j] + old[i][j-1] + old[i][j+1])
+fn jacobi(n: i64, m: i64) -> Program {
+    let mut p = Program::new("jacobi2d");
+    let old = p.array("old", ElemType::F64, vec![n, m]);
+    let new = p.array("new", ElemType::F64, vec![n, m]);
+    let i = p.fresh_var();
+    let j = p.fresh_var();
+    let at = |di: i64, dj: i64| {
+        Expr::LoadF(ArrayRef::affine(
+            old,
+            vec![var(i).offset(di), var(j).offset(dj)],
+        ))
+    };
+    p.body = vec![Stmt::for_(
+        i,
+        lin(1),
+        lin(n - 1),
+        1,
+        vec![Stmt::for_(
+            j,
+            lin(1),
+            lin(m - 1),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(new, vec![var(i), var(j)]),
+                value: Expr::mul(
+                    Expr::ConstF(0.25),
+                    Expr::add(
+                        Expr::add(at(-1, 0), at(1, 0)),
+                        Expr::add(at(0, -1), at(0, 1)),
+                    ),
+                ),
+            }],
+        )],
+    )];
+    p
+}
+
+fn main() {
+    // Rows of 96 doubles (768 B) are smaller than a 4 KB page: the
+    // compiler must pipeline across the *outer* loop, exactly the
+    // small-inner-loop situation of the paper's Figure 2.
+    let (n, m) = (4096, 96);
+    let prog = jacobi(n, m);
+    println!("=== source program ===\n{prog}");
+
+    let machine = MachineParams::small();
+    let cparams = CompilerParams::new(
+        machine.page_bytes,
+        machine.memory_bytes(),
+        machine.disk.avg_access_ns() + machine.fault_overhead_ns,
+    );
+    let (xformed, report) = compile(&prog, &cparams);
+    println!("=== after the prefetching pass (cf. paper Figure 2(b)) ===\n{xformed}");
+    println!("{report}");
+
+    // Run both on the simulated machine and compare.
+    let mut results = Vec::new();
+    for p in [&prog, &xformed] {
+        let (mut rt, binds) = Runtime::for_program(machine, &prog, FilterMode::Enabled);
+        for e in 0..(n * m) as u64 {
+            rt.poke_f64(binds[0].base + e * 8, (e % 1013) as f64);
+        }
+        run_program(p, &binds, &[], CostModel::default(), &mut rt);
+        rt.machine_mut().finish();
+        let mid = binds[1].base + ((n / 2) * m + m / 2) as u64 * 8;
+        results.push((rt.machine().now(), rt.peek_f64(mid)));
+    }
+    println!(
+        "original   : {:>9.3}s  (probe value {})",
+        results[0].0 as f64 / 1e9,
+        results[0].1
+    );
+    println!(
+        "prefetching: {:>9.3}s  (probe value {})",
+        results[1].0 as f64 / 1e9,
+        results[1].1
+    );
+    assert_eq!(results[0].1, results[1].1, "results must be identical");
+    println!(
+        "speedup    : {:>8.2}x  (identical results)",
+        results[0].0 as f64 / results[1].0 as f64
+    );
+}

@@ -1,0 +1,66 @@
+//! BUK case study (the paper's Figure 8): sorting across the memory
+//! boundary.
+//!
+//! Runs the bucket-sort benchmark over a range of problem sizes
+//! straddling the machine's memory. The original program's execution
+//! time jumps discontinuously once the data no longer fits; the
+//! compiled-with-prefetching program keeps scaling smoothly — without
+//! the programmer writing a single line of I/O code.
+//!
+//! Run with: `cargo run --release --example out_of_core_sort`
+
+use oocp::compiler::{compile, CompilerParams};
+use oocp::ir::{run_program, ArrayBinding, CostModel};
+use oocp::nas::buk;
+use oocp::os::{Machine, MachineParams};
+use oocp::rt::{FilterMode, Runtime};
+
+fn main() {
+    let machine = MachineParams::small(); // 2 MB of application memory
+    let mem = machine.memory_bytes();
+    println!(
+        "bucket sort across the out-of-core boundary ({} KB memory, {} disks)\n",
+        mem / 1024,
+        machine.ndisks
+    );
+    println!(
+        "{:>9} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "size/mem", "keys", "paged (s)", "prefetch(s)", "speedup", "verified"
+    );
+
+    for pctg in [50u64, 75, 100, 150, 200, 300] {
+        let keys = (mem * pctg / 100 / 18).max(4096) as i64;
+        let w = buk::build_sized(keys, (keys / 4).max(512), 2);
+        let cparams = CompilerParams::new(
+            machine.page_bytes,
+            mem,
+            machine.disk.avg_access_ns() + machine.fault_overhead_ns,
+        );
+        let (prefetching, _) = compile(&w.prog, &cparams);
+
+        let mut totals = Vec::new();
+        let mut all_ok = true;
+        for prog in [&w.prog, &prefetching] {
+            let (binds, bytes) = ArrayBinding::sequential(&w.prog, machine.page_bytes);
+            let mut rt = Runtime::new(Machine::new(machine, bytes), FilterMode::Enabled);
+            w.init(&binds, &mut rt, 1996);
+            run_program(prog, &binds, &w.param_values, CostModel::default(), &mut rt);
+            rt.machine_mut().finish();
+            all_ok &= w.verify(&binds, &rt).is_ok();
+            totals.push(rt.machine().now());
+        }
+        println!(
+            "{:>8}% {:>10} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            pctg,
+            keys,
+            totals[0] as f64 / 1e9,
+            totals[1] as f64 / 1e9,
+            totals[0] as f64 / totals[1] as f64,
+            if all_ok { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nThe 'paged' column jumps at 100% — the out-of-core cliff — while the\n\
+         prefetching build scales almost linearly past it."
+    );
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation, plus the
+# ablations and future-work explorations. Output mirrors EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+for bin in table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8 ablations futurework modern; do
+    echo "================================================================"
+    echo "== $bin"
+    echo "================================================================"
+    cargo run --release -q -p oocp-bench --bin "$bin" -- "$@"
+    echo
+done

@@ -1,0 +1,14 @@
+//! Facade crate for the out-of-core prefetching reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! downstream users can depend on a single crate. See `README.md` for a
+//! quickstart and `DESIGN.md` for the system inventory.
+
+pub use oocp_core as compiler;
+pub use oocp_disk as disk;
+pub use oocp_fs as fs;
+pub use oocp_ir as ir;
+pub use oocp_nas as nas;
+pub use oocp_os as os;
+pub use oocp_rt as rt;
+pub use oocp_sim as sim;

@@ -1,0 +1,147 @@
+//! Semantic-equivalence integration tests.
+//!
+//! The non-binding-prefetch property (paper Figure 1): the compiler's
+//! output must compute exactly what the input computes — on a flat
+//! memory, and on the full simulated paged machine with eviction,
+//! prefetch, and release traffic. These tests run every NAS kernel
+//! through the compiler and compare the final bytes of every array
+//! across (a) original on flat memory, (b) transformed on flat memory,
+//! and (c) transformed on the paged machine under memory pressure.
+
+use oocp::compiler::{compile_program, CompilerParams, ReleaseMode};
+use oocp::ir::{run_program, ArrayBinding, ArrayData, CostModel, MemVm};
+use oocp::nas::{build, App, Workload};
+use oocp::os::{Machine, MachineParams};
+use oocp::rt::{FilterMode, Runtime};
+
+/// A tight machine: ~1 MB of memory so kernels are heavily out-of-core.
+fn tight_machine(space_bytes: u64) -> Machine {
+    let mut p = MachineParams::small();
+    p.resident_limit = 256;
+    p.demand_reserve = 8;
+    p.low_water = 16;
+    p.high_water = 48;
+    Machine::new(p, space_bytes)
+}
+
+fn compiler_params() -> CompilerParams {
+    CompilerParams::new(4096, 256 * 4096, 5_000_000)
+}
+
+/// Run `w` three ways and compare final array bytes.
+fn assert_workload_equivalent(w: &Workload, cparams: &CompilerParams) {
+    let (binds, bytes) = ArrayBinding::sequential(&w.prog, 4096);
+    let xformed = compile_program(&w.prog, cparams);
+    let (pf, rel, pr) = xformed.count_hints();
+    assert!(
+        pf + pr > 0,
+        "{}: compiler inserted no prefetches",
+        w.app.name()
+    );
+    let _ = rel;
+
+    // (a) Original on flat memory.
+    let mut vm_a = MemVm::new(bytes, 4096);
+    w.init(&binds, &mut vm_a, 99);
+    run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm_a);
+    w.verify(&binds, &vm_a)
+        .unwrap_or_else(|e| panic!("{} original: {e}", w.app.name()));
+
+    // (b) Transformed on flat memory.
+    let mut vm_b = MemVm::new(bytes, 4096);
+    w.init(&binds, &mut vm_b, 99);
+    run_program(&xformed, &binds, &w.param_values, CostModel::free(), &mut vm_b);
+    assert_eq!(
+        vm_a.bytes(),
+        vm_b.bytes(),
+        "{}: transformed program diverged on flat memory",
+        w.app.name()
+    );
+
+    // (c) Transformed on the paged machine under pressure.
+    let mut rt = Runtime::new(tight_machine(bytes), FilterMode::Enabled);
+    w.init(&binds, &mut rt, 99);
+    run_program(&xformed, &binds, &w.param_values, CostModel::free(), &mut rt);
+    rt.machine_mut().finish();
+    w.verify(&binds, &rt)
+        .unwrap_or_else(|e| panic!("{} on machine: {e}", w.app.name()));
+    for (ai, a) in w.prog.arrays.iter().enumerate() {
+        for probe in [0u64, (a.len() as u64 - 1) / 2, a.len() as u64 - 1] {
+            let addr = binds[ai].base + probe * 8;
+            assert_eq!(
+                vm_a.peek_i64(addr),
+                rt.peek_i64(addr),
+                "{}: array {} diverged at element {probe} on the machine",
+                w.app.name(),
+                a.name
+            );
+        }
+    }
+}
+
+const SMALL: u64 = 2 << 20; // 2 MB data sets keep the suite fast
+
+#[test]
+fn buk_equivalent() {
+    assert_workload_equivalent(&build(App::Buk, SMALL), &compiler_params());
+}
+
+#[test]
+fn cgm_equivalent() {
+    assert_workload_equivalent(&build(App::Cgm, SMALL), &compiler_params());
+}
+
+#[test]
+fn embar_equivalent() {
+    assert_workload_equivalent(&build(App::Embar, SMALL), &compiler_params());
+}
+
+#[test]
+fn fft_equivalent() {
+    assert_workload_equivalent(&build(App::Fft, SMALL), &compiler_params());
+}
+
+#[test]
+fn mgrid_equivalent() {
+    assert_workload_equivalent(&build(App::Mgrid, SMALL), &compiler_params());
+}
+
+#[test]
+fn applu_equivalent() {
+    assert_workload_equivalent(&build(App::Applu, SMALL), &compiler_params());
+}
+
+#[test]
+fn appsp_equivalent() {
+    assert_workload_equivalent(&build(App::Appsp, SMALL), &compiler_params());
+}
+
+#[test]
+fn appbt_equivalent() {
+    assert_workload_equivalent(&build(App::Appbt, SMALL), &compiler_params());
+}
+
+#[test]
+fn suite_equivalent_with_aggressive_releases() {
+    // Aggressive release mode must never change results either.
+    let params = compiler_params().with_release_mode(ReleaseMode::Aggressive);
+    for app in [App::Buk, App::Mgrid, App::Appsp] {
+        assert_workload_equivalent(&build(app, SMALL), &params);
+    }
+}
+
+#[test]
+fn suite_equivalent_with_two_version_loops() {
+    let params = compiler_params().with_two_version(true);
+    for app in [App::Appbt, App::Cgm] {
+        assert_workload_equivalent(&build(app, SMALL), &params);
+    }
+}
+
+#[test]
+fn suite_equivalent_with_odd_block_sizes() {
+    for block in [1, 3, 16] {
+        let params = compiler_params().with_block_pages(block);
+        assert_workload_equivalent(&build(App::Embar, SMALL), &params);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-crate accounting invariants.
+//!
+//! Every statistic the evaluation figures report is tied together by
+//! conservation laws; these tests run real workloads through the full
+//! stack and check the books balance.
+
+use oocp::compiler::{compile_program, CompilerParams};
+use oocp::ir::{run_program, ArrayBinding, CostModel};
+use oocp::nas::{build, App};
+use oocp::os::{Machine, MachineParams};
+use oocp::rt::{FilterMode, Runtime};
+
+struct Run {
+    rt: Runtime,
+}
+
+fn run(app: App, prefetch: bool, filter: FilterMode) -> Run {
+    let mut p = MachineParams::small();
+    p.resident_limit = 512; // 2 MB
+    let w = build(app, 4 << 20); // 4 MB data: 2x memory
+    let prog = if prefetch {
+        let cp = CompilerParams::new(p.page_bytes, 512 * 4096, 10_000_000);
+        compile_program(&w.prog, &cp)
+    } else {
+        w.prog.clone()
+    };
+    let (binds, bytes) = ArrayBinding::sequential(&w.prog, p.page_bytes);
+    let mut rt = Runtime::new(Machine::new(p, bytes), filter);
+    w.init(&binds, &mut rt, 7);
+    run_program(&prog, &binds, &w.param_values, CostModel::default(), &mut rt);
+    rt.machine_mut().finish();
+    w.verify(&binds, &rt).expect("workload verifies");
+    Run { rt }
+}
+
+#[test]
+fn time_breakdown_partitions_makespan() {
+    for app in [App::Buk, App::Mgrid] {
+        for prefetch in [false, true] {
+            let r = run(app, prefetch, FilterMode::Enabled);
+            let m = r.rt.machine();
+            assert_eq!(
+                m.breakdown().total(),
+                m.now(),
+                "{:?} prefetch={prefetch}: ledger does not cover the clock",
+                app
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_classification_partitions_page_ins() {
+    let r = run(App::Cgm, true, FilterMode::Enabled);
+    let s = r.rt.machine().stats();
+    assert_eq!(
+        s.original_faults(),
+        s.prefetched_hits + s.prefetched_faults_inflight + s.prefetched_faults_lost
+            + s.non_prefetched_faults
+    );
+    assert!(s.original_faults() > 0);
+}
+
+#[test]
+fn prefetch_page_outcomes_partition_requests() {
+    for app in [App::Buk, App::Embar, App::Appsp] {
+        let r = run(app, true, FilterMode::Enabled);
+        let s = r.rt.machine().stats();
+        assert_eq!(
+            s.prefetch_pages_requested,
+            s.prefetch_pages_issued
+                + s.prefetch_pages_unnecessary
+                + s.prefetch_pages_reclaimed
+                + s.prefetch_pages_inflight
+                + s.prefetch_pages_dropped,
+            "{:?}: prefetch page outcomes must partition the requests",
+            app
+        );
+    }
+}
+
+#[test]
+fn rt_filter_accounts_for_every_page() {
+    let r = run(App::Buk, true, FilterMode::Enabled);
+    let rt_stats = r.rt.stats();
+    let os_stats = r.rt.machine().stats();
+    // Pages the runtime passed to the OS == pages the OS saw.
+    assert_eq!(
+        rt_stats.prefetch_pages - rt_stats.pages_filtered,
+        os_stats.prefetch_pages_requested
+    );
+    // Fully-filtered ops plus issuing ops cover all prefetch ops.
+    assert_eq!(
+        rt_stats.ops_fully_filtered + rt_stats.prefetch_syscalls,
+        rt_stats.prefetch_ops
+    );
+}
+
+#[test]
+fn disabled_filter_passes_everything() {
+    let r = run(App::Buk, true, FilterMode::Disabled);
+    let rt_stats = r.rt.stats();
+    assert_eq!(rt_stats.pages_filtered, 0);
+    assert_eq!(
+        rt_stats.prefetch_pages,
+        r.rt.machine().stats().prefetch_pages_requested
+    );
+}
+
+#[test]
+fn demand_reads_match_unmapped_faults() {
+    for prefetch in [false, true] {
+        let r = run(App::Applu, prefetch, FilterMode::Enabled);
+        let s = r.rt.machine().stats();
+        let d = r.rt.machine().disk_stats();
+        // Every demand disk read comes from a fault on an unmapped page
+        // (in-flight faults wait on the prefetch's read instead).
+        assert_eq!(
+            d.demand_reads,
+            s.prefetched_faults_lost + s.non_prefetched_faults,
+            "prefetch={prefetch}"
+        );
+        assert_eq!(d.demand_blocks, d.demand_reads, "demand reads are 1 page");
+    }
+}
+
+#[test]
+fn prefetch_reads_match_issued_pages() {
+    let r = run(App::Embar, true, FilterMode::Enabled);
+    let s = r.rt.machine().stats();
+    let d = r.rt.machine().disk_stats();
+    assert_eq!(d.prefetch_blocks, s.prefetch_pages_issued);
+    // Striping packs several pages per request; requests never exceed
+    // pages.
+    assert!(d.prefetch_reads <= d.prefetch_blocks);
+}
+
+#[test]
+fn writes_match_writebacks() {
+    let r = run(App::Buk, true, FilterMode::Enabled);
+    let s = r.rt.machine().stats();
+    let d = r.rt.machine().disk_stats();
+    assert_eq!(d.writes, s.writebacks);
+}
+
+#[test]
+fn original_run_issues_no_hints() {
+    let r = run(App::Mgrid, false, FilterMode::Enabled);
+    let s = r.rt.machine().stats();
+    assert_eq!(s.hint_syscalls, 0);
+    assert_eq!(s.prefetch_pages_requested, 0);
+    assert_eq!(r.rt.machine().disk_stats().prefetch_reads, 0);
+    assert_eq!(r.rt.machine().breakdown().sys_prefetch, 0);
+}
+
+#[test]
+fn frames_never_exceed_limit() {
+    let r = run(App::Appbt, true, FilterMode::Enabled);
+    let m = r.rt.machine();
+    assert!(m.resident_pages() + m.inflight_pages() <= m.params().resident_limit);
+}
+
+#[test]
+fn idle_time_shrinks_with_prefetching() {
+    let o = run(App::Cgm, false, FilterMode::Enabled);
+    let p = run(App::Cgm, true, FilterMode::Enabled);
+    let oi = o.rt.machine().breakdown().idle;
+    let pi = p.rt.machine().breakdown().idle;
+    assert!(
+        pi * 2 < oi,
+        "prefetching should eliminate over half the stall: {pi} vs {oi}"
+    );
+}

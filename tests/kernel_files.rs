@@ -1,0 +1,49 @@
+//! The sample kernels in `kernels/` must parse, compile, and be
+//! semantically preserved by the prefetching pass.
+
+use oocp::compiler::{compile, CompilerParams};
+use oocp::ir::{parse_program, run_program, ArrayBinding, CostModel, MemVm};
+
+fn check(file: &str, params: &[i64]) {
+    let src = std::fs::read_to_string(format!("kernels/{file}")).expect("kernel file");
+    let prog = parse_program(&src).unwrap_or_else(|e| panic!("{file}: {e}"));
+    assert!(prog.validate().is_empty(), "{file}: invalid IR");
+    let cparams = CompilerParams::new(4096, 4 << 20, 10_000_000);
+    let (xformed, report) = compile(&prog, &cparams);
+    assert!(
+        report.prefetched_groups() > 0,
+        "{file}: nothing was prefetched"
+    );
+    let (binds, bytes) = ArrayBinding::sequential(&prog, 4096);
+    let mut vm_a = MemVm::new(bytes, 4096);
+    let mut vm_b = MemVm::new(bytes, 4096);
+    run_program(&prog, &binds, params, CostModel::free(), &mut vm_a);
+    run_program(&xformed, &binds, params, CostModel::free(), &mut vm_b);
+    assert_eq!(vm_a.bytes(), vm_b.bytes(), "{file}: semantics changed");
+    assert!(vm_b.prefetches > 0, "{file}: no dynamic prefetches");
+}
+
+#[test]
+fn stencil_kernel() {
+    check("stencil.ook", &[]);
+}
+
+#[test]
+fn histogram_kernel() {
+    check("histogram.ook", &[500_000]);
+}
+
+#[test]
+fn sumreduce_kernel() {
+    check("sumreduce.ook", &[]);
+}
+
+#[test]
+fn transpose_kernel() {
+    check("transpose.ook", &[]);
+}
+
+#[test]
+fn matmul_kernel() {
+    check("matmul.ook", &[]);
+}

@@ -1,0 +1,253 @@
+//! The paper's headline claims, encoded as regression tests.
+//!
+//! Each test states one sentence from the paper's abstract or evaluation
+//! and asserts the corresponding *shape* on a scaled-down platform
+//! (2 MB of memory, data ≈2x memory). Absolute numbers are not asserted —
+//! they are simulator-dependent — but orderings, factors, and categories
+//! are.
+
+use oocp_bench::{run_workload, Config, Mode};
+use oocp_nas::{build, App};
+
+fn small_cfg() -> Config {
+    let mut cfg = Config::default_platform();
+    cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+    cfg
+}
+
+/// "Our experimental results demonstrate that our fully-automatic scheme
+/// effectively hides the I/O latency in out-of-core versions of the
+/// entire NAS Parallel benchmark suite" — every app must see most of its
+/// stall removed or at least a meaningful win, and none may regress
+/// (the paper's worst case was +9%).
+#[test]
+fn no_application_regresses_and_most_speed_up() {
+    let cfg = small_cfg();
+    let mut wins = 0;
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        o.verified.as_ref().unwrap_or_else(|e| panic!("{}: O: {e}", app.name()));
+        p.verified.as_ref().unwrap_or_else(|e| panic!("{}: P: {e}", app.name()));
+        let speedup = o.total() as f64 / p.total() as f64;
+        // APPBT breaks even at best until the two-version fix (the
+        // paper's worst case was +9%; ours sits at ~1.0x at the headline
+        // scale and can dip slightly at this reduced one).
+        assert!(
+            speedup > 0.85,
+            "{} regressed badly: {speedup:.2}x",
+            app.name()
+        );
+        if speedup >= 1.5 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 5, "only {wins} applications sped up >=1.5x");
+}
+
+/// "more than half of the I/O stall time has been eliminated in seven of
+/// the eight applications".
+#[test]
+fn stall_time_is_mostly_eliminated() {
+    let cfg = small_cfg();
+    let mut eliminated = 0;
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        if (p.time.idle as f64) < 0.5 * o.time.idle as f64 {
+            eliminated += 1;
+        }
+    }
+    assert!(
+        eliminated >= 7,
+        "stall halved in only {eliminated} of 8 applications"
+    );
+}
+
+/// "For all cases except APPBT, the coverage factor is greater than 75%."
+/// (Our APPSP is also below the paper's coverage; see EXPERIMENTS.md.)
+#[test]
+fn coverage_is_high_except_the_symbolic_bound_apps() {
+    let cfg = small_cfg();
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        let floor = match app {
+            App::Appbt | App::Appsp => 0.40,
+            // MGRID's plane-boundary effects cost more at this reduced
+            // scale (64% here vs ~88% at the headline scale; see
+            // EXPERIMENTS.md).
+            App::Mgrid => 0.60,
+            _ => 0.75,
+        };
+        assert!(
+            p.os.coverage() >= floor,
+            "{}: coverage {:.1}% below {floor}",
+            app.name(),
+            p.os.coverage() * 100.0
+        );
+    }
+}
+
+/// "half of the applications (BUK, CGM, FFT and APPSP) run slower than
+/// the original non-prefetching versions when the run-time layer is
+/// removed. ... Hence the run-time layer is clearly essential."
+#[test]
+fn removing_the_runtime_layer_is_catastrophic_for_the_same_four_apps() {
+    let cfg = small_cfg();
+    for app in [App::Buk, App::Cgm, App::Fft, App::Appsp] {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let pn = run_workload(&w, &cfg, Mode::PrefetchNoFilter);
+        assert!(
+            pn.total() > o.total(),
+            "{}: expected slowdown without the filter",
+            app.name()
+        );
+    }
+}
+
+/// "over 96% of the prefetches were unnecessary for all but EMBAR (where
+/// the access patterns are simple enough that the compiler's analysis is
+/// perfect)".
+#[test]
+fn embar_is_the_only_app_with_near_perfect_analysis() {
+    let cfg = small_cfg();
+    let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+    let p = run_workload(&w, &cfg, Mode::Prefetch);
+    assert!(
+        p.rt.filtered_fraction() < 0.05,
+        "EMBAR filtered fraction {:.1}% should be tiny",
+        p.rt.filtered_fraction() * 100.0
+    );
+    for app in [App::Buk, App::Cgm, App::Fft] {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        assert!(
+            p.rt.filtered_fraction() > 0.90,
+            "{}: filtered fraction {:.1}% should be large",
+            app.name(),
+            p.rt.filtered_fraction() * 100.0
+        );
+    }
+}
+
+/// "almost all of the prefetches issued to the system by the run-time
+/// layer are useful" (Figure 4(b) left column).
+#[test]
+fn prefetches_reaching_the_os_are_useful() {
+    let cfg = small_cfg();
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        assert!(
+            p.os.unnecessary_issued_fraction() < 0.25,
+            "{}: {:.1}% of issued pages unnecessary",
+            app.name(),
+            p.os.unnecessary_issued_fraction() * 100.0
+        );
+    }
+}
+
+/// "In almost all cases, the total disk requests do not increase as a
+/// result of prefetching".
+#[test]
+fn disk_requests_do_not_explode() {
+    let cfg = small_cfg();
+    for app in App::ALL {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let o = run_workload(&w, &cfg, Mode::Original);
+        let p = run_workload(&w, &cfg, Mode::Prefetch);
+        assert!(
+            p.disk.requests() as f64 <= 1.25 * o.disk.requests() as f64,
+            "{}: requests grew {} -> {}",
+            app.name(),
+            o.disk.requests(),
+            p.disk.requests()
+        );
+    }
+}
+
+/// Figure 8: "the original version of BUK suffers a large discontinuity
+/// in execution time once the problem no longer fits in memory. In
+/// contrast, the prefetching version suffers no such discontinuity."
+#[test]
+fn buk_cliff_exists_for_paging_not_for_prefetching() {
+    let cfg = small_cfg();
+    let mem = cfg.machine.memory_bytes();
+    let t = |pctg: u64, mode: Mode| {
+        let keys = (mem * pctg / 100 / 18) as i64;
+        let w = oocp_nas::buk::build_sized(keys, (keys / 4).max(512), 2);
+        run_workload(&w, &cfg, mode).total() as f64
+    };
+    // Per-key time below vs above the boundary.
+    let o_below = t(75, Mode::Original) / 75.0;
+    let o_above = t(150, Mode::Original) / 150.0;
+    let p_below = t(75, Mode::Prefetch) / 75.0;
+    let p_above = t(150, Mode::Prefetch) / 150.0;
+    assert!(
+        o_above > 1.6 * o_below,
+        "paging cliff missing: {o_below:.3} -> {o_above:.3} per-size"
+    );
+    assert!(
+        p_above < 1.3 * p_below,
+        "prefetching should stay near-linear: {p_below:.3} -> {p_above:.3}"
+    );
+}
+
+/// Section 4.1.1 / ablation: the paper's proposed two-version fix must
+/// repair APPBT's coverage.
+#[test]
+fn two_version_loops_fix_appbt() {
+    let cfg = small_cfg();
+    let w = build(App::Appbt, cfg.bytes_for_ratio(2.0));
+    let p = run_workload(&w, &cfg, Mode::Prefetch);
+    let p2 = run_workload(&w, &cfg, Mode::PrefetchTwoVersion);
+    p2.verified.as_ref().expect("two-version result verifies");
+    assert!(
+        p2.os.coverage() > p.os.coverage() + 0.2,
+        "coverage {:.2} -> {:.2} not a fix",
+        p.os.coverage(),
+        p2.os.coverage()
+    );
+    assert!(p2.total() < p.total(), "the fix must also be faster");
+}
+
+/// Table 3: releases keep memory free for the release-heavy apps.
+#[test]
+fn releases_keep_memory_free() {
+    let cfg = small_cfg();
+    let frames = cfg.machine.resident_limit as f64;
+    let free_frac = |app| {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        run_workload(&w, &cfg, Mode::Prefetch).avg_free_frames / frames
+    };
+    let embar = free_frac(App::Embar);
+    let appbt = free_frac(App::Appbt);
+    assert!(embar > 0.6, "EMBAR should keep most memory free: {embar:.2}");
+    assert!(
+        appbt < 0.4,
+        "APPBT (no releases) should hold memory: {appbt:.2}"
+    );
+}
+
+/// Memory-adaptive code generation (section 4.3.1) must not change
+/// results and must reduce hint traffic on in-core re-traversals.
+#[test]
+fn adaptive_codegen_verifies_and_reduces_hints() {
+    let mut cfg = small_cfg();
+    cfg.warm = true;
+    let w = build(App::Cgm, cfg.bytes_for_ratio(0.25));
+    let p = run_workload(&w, &cfg, Mode::Prefetch);
+    let c = run_workload(&w, &cfg, Mode::PrefetchAdaptiveCode);
+    c.verified.as_ref().expect("adaptive-code result verifies");
+    assert!(
+        c.rt.prefetch_ops < p.rt.prefetch_ops,
+        "adaptive code should execute fewer hints: {} vs {}",
+        c.rt.prefetch_ops,
+        p.rt.prefetch_ops
+    );
+    assert!(c.total() <= p.total());
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the storage substrates: the extent
+//! allocator against a reference bitmap model, striping coverage for
+//! arbitrary geometry, and disk service-time laws.
+
+use std::collections::HashSet;
+
+use oocp::disk::{DiskParams, ReqKind, Request};
+use oocp::fs::{ExtentAllocator, FileSystem};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..64).prop_map(AllocOp::Alloc),
+            (0usize..32).prop_map(AllocOp::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The allocator never double-allocates a block, never loses one,
+    /// and its free count always matches a reference bitmap.
+    #[test]
+    fn extent_allocator_matches_bitmap_model(ops in alloc_ops()) {
+        const CAP: u64 = 512;
+        let mut a = ExtentAllocator::new(CAP);
+        let mut held: Vec<oocp::fs::Extent> = Vec::new();
+        let mut model: HashSet<u64> = HashSet::new(); // allocated blocks
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Some(e) = a.alloc(len) {
+                        prop_assert_eq!(e.len, len);
+                        for b in e.start..e.end() {
+                            prop_assert!(model.insert(b), "double allocation of {}", b);
+                        }
+                        held.push(e);
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !held.is_empty() {
+                        let e = held.remove(n % held.len());
+                        for b in e.start..e.end() {
+                            prop_assert!(model.remove(&b), "freeing unallocated {}", b);
+                        }
+                        a.free(e);
+                    }
+                }
+            }
+            prop_assert_eq!(a.free_blocks(), CAP - model.len() as u64);
+        }
+        // Free everything: the allocator must coalesce back to one run.
+        for e in held.drain(..) {
+            a.free(e);
+        }
+        prop_assert_eq!(a.free_blocks(), CAP);
+        prop_assert_eq!(a.fragments(), 1);
+        prop_assert!(a.alloc(CAP).is_some(), "full capacity reallocatable");
+    }
+
+    /// `place_run` covers every page exactly once, for any geometry.
+    #[test]
+    fn striping_covers_spans_exactly(
+        ndisks in 1usize..12,
+        pages in 1u64..500,
+        start_frac in 0.0f64..1.0,
+        count in 1u64..64,
+    ) {
+        let mut fs = FileSystem::new(ndisks, 4096);
+        let f = fs.create_file(pages).unwrap();
+        let start = ((pages - 1) as f64 * start_frac) as u64;
+        let count = count.min(pages - start);
+        let runs = fs.place_run(f, start, count).unwrap();
+        let total: u64 = runs.iter().map(|r| r.nblocks).sum();
+        prop_assert_eq!(total, count);
+        prop_assert!(runs.len() <= ndisks.min(count as usize));
+        // Each page's individual placement is inside exactly one run.
+        for p in start..start + count {
+            let (d, b) = fs.place(f, p).unwrap();
+            let hits = runs
+                .iter()
+                .filter(|r| r.disk == d && (r.start_block..r.start_block + r.nblocks).contains(&b))
+                .count();
+            prop_assert_eq!(hits, 1, "page {} covered {} times", p, hits);
+        }
+    }
+
+    /// Disk laws: completions are monotone in submission order, busy
+    /// time equals the sum of services, and a request never completes
+    /// before its own transfer time.
+    #[test]
+    fn disk_service_laws(
+        reqs in prop::collection::vec((0u64..500_000, 1u64..8), 1..50),
+        gap in 0u64..1_000_000,
+    ) {
+        let p = DiskParams::default();
+        let mut d = oocp::disk::Disk::new(p);
+        let mut last_done = 0u64;
+        let mut now = 0u64;
+        for (start, n) in reqs {
+            let done = d.submit(
+                now,
+                Request {
+                    kind: ReqKind::DemandRead,
+                    start_block: start,
+                    nblocks: n,
+                },
+            );
+            prop_assert!(done >= last_done, "FIFO: completions are ordered");
+            prop_assert!(
+                done >= now + p.transfer_ns_per_block * n,
+                "cannot beat the media rate"
+            );
+            prop_assert!(
+                done <= now.max(last_done)
+                    + p.seek_max_ns + p.rotation_ns + p.transfer_ns_per_block * n,
+                "bounded by worst-case positioning"
+            );
+            last_done = done;
+            now += gap;
+        }
+        prop_assert!(d.stats().busy_ns <= last_done);
+    }
+}
