@@ -1,42 +1,30 @@
 //! Compile-time benchmarks: the pass must stay fast enough to run on
 //! every build of an application suite.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oocp_bench::microbench::{bench, black_box};
 use oocp_core::{compile, CompilerParams};
 use oocp_nas::{build, App};
 
-fn bench_compile_apps(c: &mut Criterion) {
+fn main() {
     let params = CompilerParams::default();
-    let mut group = c.benchmark_group("compile");
     for app in [App::Buk, App::Mgrid, App::Appbt, App::Fft] {
         let w = build(app, 8 << 20);
-        group.bench_function(app.name(), |b| {
-            b.iter(|| black_box(compile(&w.prog, &params)))
+        bench(&format!("compile/{}", app.name()), || {
+            black_box(compile(&w.prog, &params));
         });
     }
-    group.finish();
-}
 
-fn bench_compile_suite(c: &mut Criterion) {
-    let params = CompilerParams::default();
     let suite: Vec<_> = App::ALL.iter().map(|&a| build(a, 8 << 20)).collect();
-    c.bench_function("compile/whole_suite", |b| {
-        b.iter(|| {
-            for w in &suite {
-                black_box(compile(&w.prog, &params));
-            }
-        })
+    bench("compile/whole_suite", || {
+        for w in &suite {
+            black_box(compile(&w.prog, &params));
+        }
     });
-}
 
-fn bench_two_version(c: &mut Criterion) {
     // Two-version compilation doubles the transformed nests.
     let w = build(App::Appbt, 8 << 20);
-    let params = CompilerParams::default().with_two_version(true);
-    c.bench_function("compile/appbt_two_version", |b| {
-        b.iter(|| black_box(compile(&w.prog, &params)))
+    let two_ver = CompilerParams::default().with_two_version(true);
+    bench("compile/appbt_two_version", || {
+        black_box(compile(&w.prog, &two_ver));
     });
 }
-
-criterion_group!(benches, bench_compile_apps, bench_compile_suite, bench_two_version);
-criterion_main!(benches);

@@ -1,80 +1,70 @@
 //! Disk model and file-system microbenchmarks.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oocp_bench::microbench::{bench, bench_with_setup, black_box};
 use oocp_disk::{Disk, DiskParams, ReqKind, Request};
 use oocp_fs::{ExtentAllocator, FileSystem};
 
-fn bench_disk_submit(c: &mut Criterion) {
-    c.bench_function("disk/submit_sequential", |b| {
-        b.iter_with_setup(
-            || Disk::new(DiskParams::default()),
-            |mut d| {
-                for i in 0..1000u64 {
-                    d.submit(
-                        0,
-                        Request {
-                            kind: ReqKind::PrefetchRead,
-                            start_block: i,
-                            nblocks: 1,
-                        },
-                    );
-                }
-                black_box(d.stats().busy_ns)
-            },
-        )
-    });
-    c.bench_function("disk/submit_random", |b| {
-        b.iter_with_setup(
-            || Disk::new(DiskParams::default()),
-            |mut d| {
-                let mut pos = 1u64;
-                for _ in 0..1000u64 {
-                    pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    d.submit(
-                        0,
-                        Request {
-                            kind: ReqKind::DemandRead,
-                            start_block: pos % 500_000,
-                            nblocks: 1,
-                        },
-                    );
-                }
-                black_box(d.stats().busy_ns)
-            },
-        )
-    });
-}
+fn main() {
+    bench_with_setup(
+        "disk/submit_sequential",
+        || Disk::new(DiskParams::default()),
+        |mut d| {
+            for i in 0..1000u64 {
+                d.submit(
+                    0,
+                    Request {
+                        kind: ReqKind::PrefetchRead,
+                        start_block: i,
+                        nblocks: 1,
+                    },
+                );
+            }
+            black_box(d.stats().busy_ns);
+        },
+    );
 
-fn bench_place_run(c: &mut Criterion) {
+    bench_with_setup(
+        "disk/submit_random",
+        || Disk::new(DiskParams::default()),
+        |mut d| {
+            let mut pos = 1u64;
+            for _ in 0..1000u64 {
+                pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1);
+                d.submit(
+                    0,
+                    Request {
+                        kind: ReqKind::DemandRead,
+                        start_block: pos % 500_000,
+                        nblocks: 1,
+                    },
+                );
+            }
+            black_box(d.stats().busy_ns);
+        },
+    );
+
     let mut fs = FileSystem::new(7, 1 << 20);
     let f = fs.create_file(100_000).unwrap();
-    c.bench_function("fs/place_run_14_pages", |b| {
-        b.iter(|| black_box(fs.place_run(f, black_box(4321), 14).unwrap()))
+    bench("fs/place_run_14_pages", || {
+        black_box(fs.place_run(f, black_box(4321), 14).unwrap());
     });
-}
 
-fn bench_extent_churn(c: &mut Criterion) {
-    c.bench_function("fs/extent_alloc_free_churn", |b| {
-        b.iter(|| {
-            let mut a = ExtentAllocator::new(1 << 20);
-            let mut held = Vec::new();
-            for i in 0..200u64 {
-                if let Some(e) = a.alloc(64 + i % 128) {
-                    held.push(e);
-                }
-                if i % 3 == 0 {
-                    if let Some(e) = held.pop() {
-                        a.free(e);
-                    }
+    bench("fs/extent_alloc_free_churn", || {
+        let mut a = ExtentAllocator::new(1 << 20);
+        let mut held = Vec::new();
+        for i in 0..200u64 {
+            if let Some(e) = a.alloc(64 + i % 128) {
+                held.push(e);
+            }
+            if i % 3 == 0 {
+                if let Some(e) = held.pop() {
+                    a.free(e);
                 }
             }
-            for e in held {
-                a.free(e);
-            }
-            black_box(a.free_blocks())
-        })
+        }
+        for e in held {
+            a.free(e);
+        }
+        black_box(a.free_blocks());
     });
 }
-
-criterion_group!(benches, bench_disk_submit, bench_place_run, bench_extent_churn);
-criterion_main!(benches);

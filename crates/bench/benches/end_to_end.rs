@@ -2,26 +2,20 @@
 //! original-vs-prefetching runs of small NAS instances. These track the
 //! full stack (compiler + interpreter + OS + disks) as a whole.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oocp_bench::microbench::{bench, black_box};
 use oocp_bench::{run_workload, Config, Mode};
 use oocp_nas::{build, App};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let mut cfg = Config::default_platform();
     cfg.machine = cfg.machine.with_memory_bytes(1024 * 1024);
-    let mut group = c.benchmark_group("end_to_end_2x_1mb");
-    group.sample_size(10);
     for app in [App::Buk, App::Embar] {
         let w = build(app, cfg.bytes_for_ratio(2.0));
-        group.bench_function(format!("{}_original", app.name()), |b| {
-            b.iter(|| black_box(run_workload(&w, &cfg, Mode::Original).total()))
+        bench(&format!("end_to_end_2x_1mb/{}_original", app.name()), || {
+            black_box(run_workload(&w, &cfg, Mode::Original).total());
         });
-        group.bench_function(format!("{}_prefetch", app.name()), |b| {
-            b.iter(|| black_box(run_workload(&w, &cfg, Mode::Prefetch).total()))
+        bench(&format!("end_to_end_2x_1mb/{}_prefetch", app.name()), || {
+            black_box(run_workload(&w, &cfg, Mode::Prefetch).total());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

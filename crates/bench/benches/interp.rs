@@ -1,6 +1,6 @@
 //! Interpreter throughput: elements per second through the IR executor.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use oocp_bench::microbench::{bench, black_box};
 use oocp_ir::{
     lin, run_program, var, ArrayBinding, ArrayRef, CostModel, ElemType, Expr, Index, MemVm,
     Program, Stmt,
@@ -52,27 +52,13 @@ fn gather(n: i64) -> Program {
     p
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn main() {
     let n = 100_000i64;
-    let mut group = c.benchmark_group("interp");
-    group.throughput(Throughput::Elements(n as u64));
     for (name, prog) in [("daxpy", daxpy(n)), ("gather", gather(n))] {
         let (binds, bytes) = ArrayBinding::sequential(&prog, 4096);
         let mut vm = MemVm::new(bytes, 4096);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(run_program(
-                    &prog,
-                    &binds,
-                    &[],
-                    CostModel::default(),
-                    &mut vm,
-                ))
-            })
+        bench(&format!("interp/{name} ({n} elems)"), || {
+            black_box(run_program(&prog, &binds, &[], CostModel::default(), &mut vm));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_interp);
-criterion_main!(benches);

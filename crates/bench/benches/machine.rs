@@ -4,7 +4,7 @@
 //! these benches track the cost (in host time) of the per-access
 //! residency check, the fault path, and the hint paths.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oocp_bench::microbench::{bench, bench_with_setup, black_box};
 use oocp_os::{Machine, MachineParams};
 use oocp_rt::{FilterMode, Runtime};
 
@@ -14,76 +14,54 @@ fn small_machine(pages: u64) -> Machine {
     Machine::new(p, pages * 4096)
 }
 
-fn bench_touch_hit(c: &mut Criterion) {
+fn main() {
     let mut m = small_machine(512);
     m.touch(0, 8, false);
-    c.bench_function("machine/touch_resident", |b| {
-        b.iter(|| black_box(m.touch(black_box(16), 8, false)))
+    bench("machine/touch_resident", || {
+        black_box(m.touch(black_box(16), 8, false));
     });
-}
 
-fn bench_fault_evict_cycle(c: &mut Criterion) {
     // 2048 pages through 1024 frames: every touch round-robins through
     // fault + eviction machinery.
-    c.bench_function("machine/fault_evict_cycle_2048_pages", |b| {
-        b.iter(|| {
-            let mut m = small_machine(2048);
-            for p in 0..2048u64 {
-                m.touch(p * 4096, 8, true);
+    bench("machine/fault_evict_cycle_2048_pages", || {
+        let mut m = small_machine(2048);
+        for p in 0..2048u64 {
+            m.touch(p * 4096, 8, true);
+        }
+        black_box(m.stats().hard_faults);
+    });
+
+    bench_with_setup(
+        "machine/sys_prefetch_block4",
+        || small_machine(4096),
+        |mut m| {
+            for p in (0..512u64).step_by(4) {
+                m.sys_prefetch(p, 4);
             }
-            black_box(m.stats().hard_faults)
-        })
-    });
-}
+            black_box(m.stats().prefetch_pages_issued);
+        },
+    );
 
-fn bench_sys_prefetch(c: &mut Criterion) {
-    c.bench_function("machine/sys_prefetch_block4", |b| {
-        b.iter_with_setup(
-            || small_machine(4096),
-            |mut m| {
-                for p in (0..512u64).step_by(4) {
-                    m.sys_prefetch(p, 4);
-                }
-                black_box(m.stats().prefetch_pages_issued)
-            },
-        )
-    });
-}
-
-fn bench_filter_check(c: &mut Criterion) {
     let mut rt = Runtime::new(small_machine(512), FilterMode::Enabled);
     use oocp_ir::PagedVm;
     rt.load_f64(0);
-    c.bench_function("rt/filtered_prefetch_resident_page", |b| {
-        b.iter(|| rt.prefetch(black_box(0), 1))
+    bench("rt/filtered_prefetch_resident_page", || {
+        rt.prefetch(black_box(0), 1);
     });
-}
 
-fn bench_release_reclaim(c: &mut Criterion) {
-    c.bench_function("machine/release_then_reclaim_256_pages", |b| {
-        b.iter_with_setup(
-            || {
-                let mut m = small_machine(512);
-                for p in 0..256u64 {
-                    m.touch(p * 4096, 8, false);
-                }
-                m
-            },
-            |mut m| {
-                m.sys_release(0, 256);
-                m.sys_prefetch(0, 256);
-                black_box(m.stats().prefetch_pages_reclaimed)
-            },
-        )
-    });
+    bench_with_setup(
+        "machine/release_then_reclaim_256_pages",
+        || {
+            let mut m = small_machine(512);
+            for p in 0..256u64 {
+                m.touch(p * 4096, 8, false);
+            }
+            m
+        },
+        |mut m| {
+            m.sys_release(0, 256);
+            m.sys_prefetch(0, 256);
+            black_box(m.stats().prefetch_pages_reclaimed);
+        },
+    );
 }
-
-criterion_group!(
-    benches,
-    bench_touch_hit,
-    bench_fault_evict_cycle,
-    bench_sys_prefetch,
-    bench_filter_check,
-    bench_release_reclaim
-);
-criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Chaos harness: the five NAS kernels under deterministic fault
+//! injection.
+//!
+//! The paper's central contract is that prefetch and release are
+//! *hints*: the OS may drop them at any time and the application must
+//! still compute the right answer, only slower. This binary stresses
+//! that contract with the fault-injection stack — transient I/O
+//! errors, tail-latency stragglers, a whole-array brownout, residency
+//! bit-vector desync, and a memory-pressure storm — and checks three
+//! things for every kernel and plan:
+//!
+//! 1. **Correctness**: the run verifies and its final address-space
+//!    checksum is bit-identical to the fault-free run.
+//! 2. **Robustness mechanisms engaged**: faults were actually injected,
+//!    demand reads retried, erroring hints were dropped silently, and
+//!    (under the full chaos plan) the runtime entered and later exited
+//!    degraded demand-paging-only mode.
+//! 3. **Determinism**: re-running the same plan with the same seed
+//!    reproduces every counter exactly.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin chaos`
+
+use oocp_bench::{run_workload, run_workload_faulted, secs, Args, Mode, RunResult};
+use oocp_nas::{build, App};
+use oocp_os::FaultPlan;
+use oocp_sim::time::MILLISECOND;
+
+/// Fault seed, independent of the workload seed so `--seed` sweeps the
+/// data while the fault schedule stays fixed.
+const FAULT_SEED: u64 = 0xC4A05;
+
+fn plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "errors",
+            FaultPlan::none(FAULT_SEED).with_errors(0.02, 0.05, 0.02),
+        ),
+        (
+            "stragglers",
+            FaultPlan::none(FAULT_SEED).with_stragglers(0.10, 8.0, 20 * MILLISECOND),
+        ),
+        (
+            "chaos",
+            // Brownout (and matching pressure storm) from 0.2 s to
+            // 1.0 s of simulated time: long enough that the hint path
+            // degrades, bounded so the run recovers and exits.
+            FaultPlan::chaos(FAULT_SEED, 200 * MILLISECOND, 800 * MILLISECOND, 64),
+        ),
+    ]
+}
+
+fn row(app: App, name: &str, r: &RunResult, base: &RunResult) {
+    println!(
+        "{:<8} {:<10} time {:>8}s (x{:.2}) | faults {:>5} | retries {:>4} | hdrop {:>4} | degr {}/{} | stale fixed {:>3} | {}",
+        format!("{app:?}"),
+        name,
+        secs(r.total()),
+        r.total() as f64 / base.total().max(1) as f64,
+        r.disk.faults_injected,
+        r.os.io_retries,
+        r.os.hints_dropped_on_error,
+        r.rt.degraded_entries,
+        r.rt.degraded_exits,
+        r.os.bitvec_stale_fixed,
+        if r.checksum == base.checksum { "data OK" } else { "DATA MISMATCH" },
+    );
+}
+
+/// The counters that must reproduce exactly between same-seed runs.
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{}",
+        r.total(),
+        r.os,
+        r.rt,
+        r.disk,
+        r.checksum
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = args.cfg;
+    // Small memory keeps the sweep quick; ratios are what matter.
+    if std::env::args().all(|a| a != "--mem-mb") {
+        cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+    }
+    let apps = [App::Embar, App::Buk, App::Cgm, App::Fft, App::Mgrid];
+
+    let mut total_faults = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_hdrops = 0u64;
+    let mut degraded_entries = 0u64;
+    let mut degraded_exits = 0u64;
+    let mut mismatches = 0u32;
+    let mut rows = Vec::new();
+
+    for app in apps {
+        let w = build(app, cfg.bytes_for_ratio(args.ratio));
+        let base = run_workload(&w, &cfg, Mode::Prefetch);
+        base.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{app:?} fault-free run failed to verify: {e}"));
+        println!(
+            "{:<8} {:<10} time {:>8}s (x1.00) | fault-free baseline",
+            format!("{app:?}"),
+            "none",
+            secs(base.total()),
+        );
+        for (name, plan) in plans() {
+            let r = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
+            r.verified
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{app:?}/{name} failed to verify: {e}"));
+            if r.checksum != base.checksum {
+                mismatches += 1;
+            }
+            total_faults += r.disk.faults_injected;
+            total_retries += r.os.io_retries;
+            total_hdrops += r.os.hints_dropped_on_error;
+            degraded_entries += r.rt.degraded_entries;
+            degraded_exits += r.rt.degraded_exits;
+            row(app, name, &r, &base);
+            if let Some(csv) = &args.csv {
+                rows.push(format!(
+                    "{app:?},{name},{},{},{},{},{},{},{}",
+                    r.total(),
+                    r.disk.faults_injected,
+                    r.os.io_retries,
+                    r.os.hints_dropped_on_error,
+                    r.rt.degraded_entries,
+                    r.rt.degraded_exits,
+                    (r.checksum == base.checksum) as u8
+                ));
+                let _ = csv; // written once below
+            }
+        }
+    }
+
+    // Determinism: the same plan and seed must reproduce every counter.
+    let w = build(App::Buk, cfg.bytes_for_ratio(args.ratio));
+    let plan = plans().pop().expect("plans is non-empty").1;
+    let a = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
+    let b = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
+    let deterministic = fingerprint(&a) == fingerprint(&b);
+
+    println!("---");
+    println!(
+        "totals: faults {total_faults}, retries {total_retries}, hints dropped {total_hdrops}, \
+         degraded {degraded_entries} in / {degraded_exits} out, \
+         checksum mismatches {mismatches}, deterministic {deterministic}"
+    );
+
+    if let Some(csv) = &args.csv {
+        oocp_bench::write_csv(
+            csv,
+            "app,plan,total_ns,faults_injected,io_retries,hints_dropped,degraded_entries,degraded_exits,data_ok",
+            &rows,
+        );
+    }
+
+    assert_eq!(mismatches, 0, "faults must never change results");
+    assert!(total_faults > 0, "the sweep must actually inject faults");
+    assert!(total_retries > 0, "demand reads must retry under errors");
+    assert!(total_hdrops > 0, "erroring hints must be dropped silently");
+    assert!(
+        degraded_entries > 0 && degraded_exits > 0,
+        "the chaos brownout must push the runtime into degraded mode and back out \
+         (entries {degraded_entries}, exits {degraded_exits})"
+    );
+    assert!(deterministic, "same-seed chaos runs must be identical");
+    println!("chaos sweep passed: faults only cost time, never correctness");
+}

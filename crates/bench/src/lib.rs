@@ -7,10 +7,12 @@
 //! prefetching configuration, and collecting every statistic the
 //! figures need.
 
+pub mod microbench;
+
 use oocp_core::{compile, CompileReport, CompilerParams};
-use oocp_ir::{run_program, ArrayBinding, CostModel, ExecStats, Program};
+use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
 use oocp_nas::Workload;
-use oocp_os::{MachineParams, OsStats};
+use oocp_os::{FaultPlan, MachineParams, OsStats};
 use oocp_rt::{FilterMode, Runtime, RtStats};
 use oocp_sim::time::{Ns, TimeBreakdown};
 
@@ -71,6 +73,10 @@ pub struct RunResult {
     pub report: Option<CompileReport>,
     /// Whether the workload verifier accepted the results.
     pub verified: Result<(), String>,
+    /// FNV-1a checksum of the final address-space contents. Two runs of
+    /// the same workload that agree here computed bit-identical data —
+    /// the correctness oracle for fault-injection sweeps.
+    pub checksum: u64,
 }
 
 impl RunResult {
@@ -148,6 +154,31 @@ pub fn run_workload_pressured(
     cparams: CompilerParams,
     pressure: Vec<(Ns, u64)>,
 ) -> RunResult {
+    run_workload_inner(w, cfg, mode, cparams, pressure, None)
+}
+
+/// [`run_workload`] with a fault plan installed on the machine before
+/// the run starts: disk errors, stragglers, brownouts, bit-vector
+/// desync, and pressure storms all per the plan. The run must still
+/// verify and produce the same [`RunResult::checksum`] as a fault-free
+/// run — faults may only cost time.
+pub fn run_workload_faulted(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    plan: &FaultPlan,
+) -> RunResult {
+    run_workload_inner(w, cfg, mode, cfg.compiler_params(), Vec::new(), Some(plan))
+}
+
+fn run_workload_inner(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: CompilerParams,
+    pressure: Vec<(Ns, u64)>,
+    plan: Option<&FaultPlan>,
+) -> RunResult {
     let (prog, report): (Program, Option<CompileReport>) = match mode {
         Mode::Original => (w.prog.clone(), None),
         Mode::Prefetch | Mode::PrefetchNoFilter | Mode::PrefetchAdaptive => {
@@ -175,6 +206,9 @@ pub fn run_workload_pressured(
     if !pressure.is_empty() {
         machine.set_pressure_schedule(pressure);
     }
+    if let Some(plan) = plan {
+        machine.set_fault_plan(plan);
+    }
     let mut rt =
         Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
     w.init(&binds, &mut rt, cfg.seed);
@@ -195,6 +229,7 @@ pub fn run_workload_pressured(
     let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
     rt.machine_mut().finish();
     let verified = w.verify(&binds, &rt);
+    let checksum = data_checksum(&rt, bytes);
     let m = rt.machine();
     RunResult {
         mode,
@@ -207,7 +242,26 @@ pub fn run_workload_pressured(
         exec,
         report,
         verified,
+        checksum,
     }
+}
+
+/// FNV-1a over the whole simulated address space, read word-by-word
+/// through the zero-cost peek path (does not perturb the run — it is
+/// taken after `finish()`).
+fn data_checksum(rt: &Runtime, bytes: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut addr = 0;
+    while addr + 8 <= bytes {
+        for b in (rt.peek_i64(addr) as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        addr += 8;
+    }
+    h
 }
 
 /// Format a nanosecond count as seconds with 3 decimals.

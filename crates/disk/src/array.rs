@@ -2,6 +2,7 @@
 
 use oocp_sim::time::Ns;
 
+use crate::fault::{FaultInjector, FaultPlan, Injection, IoError};
 use crate::model::{Disk, DiskParams, DiskStats, Request};
 
 /// A bank of `n` identical, independently-queued disks.
@@ -9,10 +10,12 @@ use crate::model::{Disk, DiskParams, DiskStats, Request};
 /// The paper's platform attaches seven disks and stripes file pages
 /// round-robin across all of them; the striping policy itself lives in
 /// the file-system crate — this type only provides indexed submission
-/// and aggregate statistics.
+/// and aggregate statistics. An optional [`FaultInjector`] sits in
+/// front of the queues and may fail or delay individual requests.
 #[derive(Clone, Debug)]
 pub struct DiskArray {
     disks: Vec<Disk>,
+    injector: Option<FaultInjector>,
 }
 
 impl DiskArray {
@@ -25,7 +28,24 @@ impl DiskArray {
         assert!(n > 0, "disk array must contain at least one disk");
         Self {
             disks: (0..n).map(|_| Disk::new(params)).collect(),
+            injector: None,
         }
+    }
+
+    /// Install a fault plan; subsequent [`DiskArray::try_submit`] calls
+    /// consult it. A plan with no disk-level faults enabled is not
+    /// installed at all (the fault-free fast path stays branch-free).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_active() {
+            Some(FaultInjector::new(plan, self.disks.len()))
+        } else {
+            None
+        };
+    }
+
+    /// The installed fault plan, if any disk-level faults are active.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(|i| i.plan())
     }
 
     /// Number of disks in the array.
@@ -39,8 +59,37 @@ impl DiskArray {
     }
 
     /// Submit a request to disk `id`; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed or injector-failed requests; fault-aware
+    /// callers use [`DiskArray::try_submit`].
     pub fn submit(&mut self, id: usize, now: Ns, req: Request) -> Ns {
-        self.disks[id].submit(now, req)
+        self.try_submit(id, now, req)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Submit a request to disk `id`, consulting the fault injector.
+    ///
+    /// On an injected failure the request never reaches the media: the
+    /// head does not move, no busy time accrues, and only the disk's
+    /// `faults_injected` counter advances. Stragglers are served with
+    /// stretched service time.
+    pub fn try_submit(&mut self, id: usize, now: Ns, req: Request) -> Result<Ns, IoError> {
+        match self
+            .injector
+            .as_mut()
+            .map_or(Injection::None, |inj| inj.decide(id, now, &req))
+        {
+            Injection::Fail(e) => {
+                self.disks[id].note_injected_fault();
+                Err(e)
+            }
+            Injection::Straggle { mult, add_ns } => {
+                self.disks[id].try_submit_slowed(now, req, mult, add_ns)
+            }
+            Injection::None => self.disks[id].try_submit(now, req),
+        }
     }
 
     /// Statistics for one disk.

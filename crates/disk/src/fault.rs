@@ -1,0 +1,426 @@
+//! Deterministic fault injection for the disk layer.
+//!
+//! A [`FaultPlan`] describes, per request class, the misbehaviour a run
+//! should experience: transient read/write errors, tail-latency
+//! stragglers, whole-disk brownout windows, and (interpreted by the
+//! layers above) residency bit-vector staleness and memory-pressure
+//! storms. Every random decision is drawn from per-disk [`SimRng`]
+//! streams seeded from `plan.seed`, so a given plan replayed against
+//! the same request sequence injects byte-identical faults — chaos runs
+//! are as reproducible as fault-free ones.
+//!
+//! The plan is only a *schedule* of misfortune. Interpreting it is
+//! split across the stack the way real systems split it: the disk
+//! model fails or delays individual requests, the OS retries or drops
+//! them, and the runtime decides whether the hint path is still worth
+//! using. Nothing here may affect computed results — that is the
+//! non-binding-hint contract under test.
+
+use std::fmt;
+
+use oocp_sim::rng::SimRng;
+use oocp_sim::time::{Ns, MILLISECOND};
+
+use crate::model::{ReqKind, Request};
+
+/// Typed error for a failed disk request.
+///
+/// `EmptyRequest` and `OutOfRange` are logic errors (the file system
+/// handed out a bad extent); `Transient` and `Brownout` are injected
+/// runtime faults the OS is expected to survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// A request for zero blocks.
+    EmptyRequest,
+    /// The request extends past the disk capacity.
+    OutOfRange {
+        /// First requested block.
+        start_block: u64,
+        /// Requested block count.
+        nblocks: u64,
+        /// Disk capacity in blocks.
+        capacity: u64,
+    },
+    /// A one-shot media/transport error; retrying may succeed.
+    Transient {
+        /// Index of the failing disk.
+        disk: usize,
+    },
+    /// The disk is inside a brownout window and fails every request
+    /// until `until`; retrying before then is futile.
+    Brownout {
+        /// Index of the failing disk.
+        disk: usize,
+        /// Simulated time at which the brownout lifts.
+        until: Ns,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IoError::EmptyRequest => write!(f, "empty disk request"),
+            IoError::OutOfRange {
+                start_block,
+                nblocks,
+                capacity,
+            } => write!(
+                f,
+                "request [{}, {}) exceeds disk capacity {}",
+                start_block,
+                start_block + nblocks,
+                capacity
+            ),
+            IoError::Transient { disk } => {
+                write!(f, "transient I/O error on disk {disk}")
+            }
+            IoError::Brownout { disk, until } => {
+                write!(f, "disk {disk} browned out until {until} ns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// A time window during which one disk (or the whole array) fails
+/// every request with [`IoError::Brownout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Brownout {
+    /// Affected disk, or `None` for the whole array.
+    pub disk: Option<usize>,
+    /// Window start (inclusive), simulated time.
+    pub from: Ns,
+    /// Window end (exclusive), simulated time.
+    pub until: Ns,
+}
+
+impl Brownout {
+    /// Whether the window covers disk `id` at time `now`.
+    pub fn covers(&self, id: usize, now: Ns) -> bool {
+        self.disk.is_none_or(|d| d == id) && self.from <= now && now < self.until
+    }
+}
+
+/// A memory-pressure storm: between `from` and `until` the machine's
+/// resident-frame limit is squeezed to `limit_frames` (the
+/// multiprogramming model — another job grabbing memory — which is
+/// exactly the condition under which the paper's OS starts dropping
+/// prefetch hints). Interpreted by the OS/bench layers via
+/// `Machine::set_pressure_schedule`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PressureStorm {
+    /// Storm start, simulated time.
+    pub from: Ns,
+    /// Storm end (frames restored), simulated time.
+    pub until: Ns,
+    /// Resident-frame limit during the storm.
+    pub limit_frames: u64,
+}
+
+/// A complete, seeded description of the faults a run should suffer.
+///
+/// All probabilities are per-request and in `[0, 1]`. The default plan
+/// (via [`FaultPlan::none`]) injects nothing; builder methods switch on
+/// individual fault classes.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the per-disk decision streams.
+    pub seed: u64,
+    /// Probability a demand read fails transiently.
+    pub demand_read_error_prob: f64,
+    /// Probability a prefetch read fails transiently.
+    pub prefetch_read_error_prob: f64,
+    /// Probability a write-back fails transiently.
+    pub write_error_prob: f64,
+    /// Probability a request becomes a tail-latency straggler.
+    pub straggler_prob: f64,
+    /// Multiplier applied to a straggler's service time (>= 1.0).
+    pub straggler_mult: f64,
+    /// Additive latency tacked onto a straggler.
+    pub straggler_add_ns: Ns,
+    /// Whole-disk outage windows.
+    pub brownouts: Vec<Brownout>,
+    /// Probability the OS "loses" a residency-bit clear, leaving the
+    /// shared bit vector stale (interpreted by the OS layer).
+    pub bitvec_stale_prob: f64,
+    /// Memory-pressure windows (interpreted by the OS/bench layers).
+    pub pressure_storms: Vec<PressureStorm>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the fault-free baseline).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            demand_read_error_prob: 0.0,
+            prefetch_read_error_prob: 0.0,
+            write_error_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_mult: 1.0,
+            straggler_add_ns: 0,
+            brownouts: Vec::new(),
+            bitvec_stale_prob: 0.0,
+            pressure_storms: Vec::new(),
+        }
+    }
+
+    /// Enable transient errors per request class.
+    pub fn with_errors(mut self, demand: f64, prefetch: f64, write: f64) -> Self {
+        self.demand_read_error_prob = demand;
+        self.prefetch_read_error_prob = prefetch;
+        self.write_error_prob = write;
+        self
+    }
+
+    /// Enable tail-latency stragglers: with probability `prob` a
+    /// request's service time is multiplied by `mult` and extended by
+    /// `add_ns`.
+    pub fn with_stragglers(mut self, prob: f64, mult: f64, add_ns: Ns) -> Self {
+        self.straggler_prob = prob;
+        self.straggler_mult = mult;
+        self.straggler_add_ns = add_ns;
+        self
+    }
+
+    /// Add a brownout window.
+    pub fn with_brownout(mut self, b: Brownout) -> Self {
+        self.brownouts.push(b);
+        self
+    }
+
+    /// Enable residency bit-vector staleness.
+    pub fn with_bitvec_staleness(mut self, prob: f64) -> Self {
+        self.bitvec_stale_prob = prob;
+        self
+    }
+
+    /// Add a memory-pressure storm window.
+    pub fn with_pressure_storm(mut self, s: PressureStorm) -> Self {
+        self.pressure_storms.push(s);
+        self
+    }
+
+    /// A ready-made "everything at once" plan for chaos runs: transient
+    /// errors on every class, 5% stragglers at 8x latency, one
+    /// whole-array brownout, stale bits, and one pressure storm.
+    pub fn chaos(seed: u64, brownout_from: Ns, brownout_len: Ns, storm_frames: u64) -> Self {
+        Self::none(seed)
+            .with_errors(0.02, 0.05, 0.02)
+            .with_stragglers(0.05, 8.0, 20 * MILLISECOND)
+            .with_brownout(Brownout {
+                disk: None,
+                from: brownout_from,
+                until: brownout_from + brownout_len,
+            })
+            .with_bitvec_staleness(0.02)
+            .with_pressure_storm(PressureStorm {
+                from: brownout_from,
+                until: brownout_from + brownout_len,
+                limit_frames: storm_frames,
+            })
+    }
+
+    /// Whether any disk-level fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.demand_read_error_prob > 0.0
+            || self.prefetch_read_error_prob > 0.0
+            || self.write_error_prob > 0.0
+            || self.straggler_prob > 0.0
+            || !self.brownouts.is_empty()
+    }
+
+    /// Error probability for a request class.
+    pub fn error_prob(&self, kind: ReqKind) -> f64 {
+        match kind {
+            ReqKind::DemandRead => self.demand_read_error_prob,
+            ReqKind::PrefetchRead => self.prefetch_read_error_prob,
+            ReqKind::Write => self.write_error_prob,
+        }
+    }
+}
+
+/// The outcome of consulting the injector for one request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Injection {
+    /// Serve the request normally.
+    None,
+    /// Fail the request with this error.
+    Fail(IoError),
+    /// Serve the request, but stretch its service time:
+    /// `service' = service * mult + add_ns`.
+    Straggle {
+        /// Service-time multiplier (>= 1.0).
+        mult: f64,
+        /// Additive latency.
+        add_ns: Ns,
+    },
+}
+
+/// Per-array fault decision engine.
+///
+/// Each disk gets its own decision stream so the injected fault
+/// sequence on disk `i` depends only on `(plan.seed, i)` and the
+/// order of requests submitted to disk `i` — adding a disk or
+/// reordering traffic on one disk never perturbs another's faults.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    streams: Vec<SimRng>,
+}
+
+impl FaultInjector {
+    /// Build an injector for an array of `ndisks` disks.
+    pub fn new(plan: FaultPlan, ndisks: usize) -> Self {
+        let streams = (0..ndisks as u64)
+            // Offset each stream with a large odd constant so per-disk
+            // sequences are decorrelated even for adjacent seeds.
+            .map(|i| SimRng::new(plan.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        Self { plan, streams }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of one request on disk `id` at time `now`.
+    ///
+    /// Brownout windows are checked first (they are time-driven, not
+    /// random); then the per-class error draw; then the straggler draw.
+    /// Both draws are always consumed so the stream position depends
+    /// only on the request count, keeping sibling fault classes
+    /// independent of each other's probabilities.
+    pub fn decide(&mut self, id: usize, now: Ns, req: &Request) -> Injection {
+        for b in &self.plan.brownouts {
+            if b.covers(id, now) {
+                return Injection::Fail(IoError::Brownout {
+                    disk: id,
+                    until: b.until,
+                });
+            }
+        }
+        let g = &mut self.streams[id];
+        let error_draw = g.next_f64();
+        let straggle_draw = g.next_f64();
+        if error_draw < self.plan.error_prob(req.kind) {
+            return Injection::Fail(IoError::Transient { disk: id });
+        }
+        if straggle_draw < self.plan.straggler_prob {
+            return Injection::Straggle {
+                mult: self.plan.straggler_mult,
+                add_ns: self.plan.straggler_add_ns,
+            };
+        }
+        Injection::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(kind: ReqKind) -> Request {
+        Request {
+            kind,
+            start_block: 0,
+            nblocks: 1,
+        }
+    }
+
+    #[test]
+    fn null_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none(7), 2);
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(0, 0, &read(ReqKind::DemandRead)), Injection::None);
+            assert_eq!(inj.decide(1, 0, &read(ReqKind::Write)), Injection::None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::none(42).with_errors(0.3, 0.3, 0.3).with_stragglers(
+            0.2,
+            4.0,
+            1000,
+        );
+        let mut a = FaultInjector::new(plan.clone(), 3);
+        let mut b = FaultInjector::new(plan, 3);
+        for i in 0..500usize {
+            let d = i % 3;
+            let r = read(ReqKind::PrefetchRead);
+            assert_eq!(a.decide(d, i as Ns, &r), b.decide(d, i as Ns, &r));
+        }
+    }
+
+    #[test]
+    fn per_disk_streams_are_independent() {
+        let plan = FaultPlan::none(9).with_errors(0.5, 0.5, 0.5);
+        let mut a = FaultInjector::new(plan.clone(), 2);
+        let mut b = FaultInjector::new(plan, 2);
+        // Interleave traffic differently on disk 1; disk 0's fault
+        // sequence must be unaffected.
+        let r = read(ReqKind::DemandRead);
+        let seq_a: Vec<_> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    b.decide(1, 0, &r);
+                }
+                a.decide(0, 0, &r)
+            })
+            .collect();
+        let seq_b: Vec<_> = (0..100).map(|_| b.decide(0, 0, &r)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn brownout_windows_fail_deterministically() {
+        let plan = FaultPlan::none(1).with_brownout(Brownout {
+            disk: Some(1),
+            from: 100,
+            until: 200,
+        });
+        let mut inj = FaultInjector::new(plan, 2);
+        let r = read(ReqKind::DemandRead);
+        assert_eq!(inj.decide(1, 99, &r), Injection::None);
+        assert_eq!(
+            inj.decide(1, 100, &r),
+            Injection::Fail(IoError::Brownout { disk: 1, until: 200 })
+        );
+        assert_eq!(
+            inj.decide(1, 199, &r),
+            Injection::Fail(IoError::Brownout { disk: 1, until: 200 })
+        );
+        assert_eq!(inj.decide(1, 200, &r), Injection::None);
+        // Other disks unaffected.
+        assert_eq!(inj.decide(0, 150, &r), Injection::None);
+    }
+
+    #[test]
+    fn error_rates_track_probabilities() {
+        let plan = FaultPlan::none(1234).with_errors(0.25, 0.0, 0.0);
+        let mut inj = FaultInjector::new(plan, 1);
+        let n = 10_000;
+        let failures = (0..n)
+            .filter(|_| {
+                matches!(
+                    inj.decide(0, 0, &read(ReqKind::DemandRead)),
+                    Injection::Fail(_)
+                )
+            })
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate} far from 0.25");
+        // Prefetch reads never fail under this plan.
+        let pf_failures = (0..n)
+            .filter(|_| {
+                matches!(
+                    inj.decide(0, 0, &read(ReqKind::PrefetchRead)),
+                    Injection::Fail(_)
+                )
+            })
+            .count();
+        assert_eq!(pf_failures, 0);
+    }
+}

@@ -13,7 +13,9 @@
 //! extent-based layout) profitable.
 
 pub mod array;
+pub mod fault;
 pub mod model;
 
 pub use array::DiskArray;
+pub use fault::{Brownout, FaultInjector, FaultPlan, Injection, IoError, PressureStorm};
 pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};

@@ -2,6 +2,8 @@
 
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
+use crate::fault::IoError;
+
 /// Kind of request submitted to a disk.
 ///
 /// Figure 5(a) of the paper breaks down disk traffic into exactly these
@@ -142,6 +144,12 @@ pub struct DiskStats {
     pub write_blocks: u64,
     /// Total time the arm/media were busy.
     pub busy_ns: Ns,
+    /// Requests failed by the fault injector (transient or brownout).
+    pub faults_injected: u64,
+    /// Requests served with injected straggler latency.
+    pub stragglers_injected: u64,
+    /// Total extra service time injected into stragglers.
+    pub straggle_extra_ns: Ns,
 }
 
 impl DiskStats {
@@ -173,6 +181,9 @@ impl DiskStats {
         self.prefetch_blocks += o.prefetch_blocks;
         self.write_blocks += o.write_blocks;
         self.busy_ns += o.busy_ns;
+        self.faults_injected += o.faults_injected;
+        self.stragglers_injected += o.stragglers_injected;
+        self.straggle_extra_ns += o.straggle_extra_ns;
     }
 }
 
@@ -212,17 +223,45 @@ impl Disk {
     /// Panics if the request is empty or extends past the disk capacity —
     /// the file system is responsible for allocating valid extents, so an
     /// out-of-range request is a logic error, not a recoverable condition.
+    /// Callers that want a typed error instead (the OS's retry path) use
+    /// [`Disk::try_submit`].
     pub fn submit(&mut self, now: Ns, req: Request) -> Ns {
-        assert!(req.nblocks > 0, "empty disk request");
-        assert!(
-            req.start_block + req.nblocks <= self.params.blocks,
-            "request [{}, {}) exceeds disk capacity {}",
-            req.start_block,
-            req.start_block + req.nblocks,
-            self.params.blocks
-        );
+        self.try_submit(now, req).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Submit a request, reporting malformed requests as typed errors.
+    pub fn try_submit(&mut self, now: Ns, req: Request) -> Result<Ns, IoError> {
+        self.try_submit_slowed(now, req, 1.0, 0)
+    }
+
+    /// Submit with injected straggler latency: the computed service time
+    /// is multiplied by `mult` and extended by `add_ns` (the fault
+    /// injector's tail-latency model). `mult = 1.0, add_ns = 0` is a
+    /// normal submission.
+    pub fn try_submit_slowed(
+        &mut self,
+        now: Ns,
+        req: Request,
+        mult: f64,
+        add_ns: Ns,
+    ) -> Result<Ns, IoError> {
+        if req.nblocks == 0 {
+            return Err(IoError::EmptyRequest);
+        }
+        if req.start_block + req.nblocks > self.params.blocks {
+            return Err(IoError::OutOfRange {
+                start_block: req.start_block,
+                nblocks: req.nblocks,
+                capacity: self.params.blocks,
+            });
+        }
         let start = now.max(self.busy_until);
-        let service = self.params.service_ns(self.head, &req);
+        let base = self.params.service_ns(self.head, &req);
+        let service = (base as f64 * mult.max(1.0)) as Ns + add_ns;
+        if service > base {
+            self.stats.stragglers_injected += 1;
+            self.stats.straggle_extra_ns += service - base;
+        }
         let done = start + service;
         self.busy_until = done;
         self.head = req.start_block + req.nblocks;
@@ -241,7 +280,13 @@ impl Disk {
                 self.stats.write_blocks += req.nblocks;
             }
         }
-        done
+        Ok(done)
+    }
+
+    /// Record a request the fault injector failed before it reached the
+    /// media (the arm never moves; only the counter advances).
+    pub fn note_injected_fault(&mut self) {
+        self.stats.faults_injected += 1;
     }
 
     /// Time at which all submitted requests will have completed.

@@ -1,0 +1,142 @@
+//! Typed errors for the OS layer's I/O request path.
+//!
+//! The simulated machine historically panicked on any I/O trouble; with
+//! fault injection in the disk layer, errors in the request path are
+//! ordinary outcomes that must carry enough context to act on: retry
+//! (transient), wait (brownout), drop (prefetch hints), or surface to
+//! the caller (demand reads that exhausted their retry budget).
+
+use std::fmt;
+
+use oocp_disk::IoError;
+use oocp_fs::FsError;
+use oocp_sim::time::Ns;
+
+/// An error surfaced by the machine's request path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsError {
+    /// A disk request failed and is not being retried.
+    Io(IoError),
+    /// The file system could not place the request.
+    Fs(FsError),
+    /// A demand read or write-back failed, every retry failed too, and
+    /// the backoff budget is spent.
+    RetriesExhausted {
+        /// The error from the final attempt.
+        last: IoError,
+        /// Total submission attempts (first try plus retries).
+        attempts: u32,
+        /// Total time spent waiting between attempts.
+        waited_ns: Ns,
+        /// The virtual page whose I/O failed.
+        page: u64,
+    },
+    /// The backing file could not be created: the disk array is smaller
+    /// than the requested address space.
+    BackingExhausted {
+        /// Pages of address space requested.
+        pages: u64,
+        /// Capacity of each disk in blocks.
+        capacity_blocks: u64,
+    },
+    /// No frame could be found for a demand fault even after forcing
+    /// the pageout daemon — the resident limit is over-committed by
+    /// in-flight I/O.
+    OutOfFrames {
+        /// Pages currently resident.
+        resident: u64,
+        /// Pages currently in flight.
+        inflight: u64,
+        /// The resident-frame limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OsError::Io(e) => write!(f, "I/O error: {e}"),
+            OsError::Fs(e) => write!(f, "file system error: {e}"),
+            OsError::RetriesExhausted {
+                last,
+                attempts,
+                waited_ns,
+                page,
+            } => write!(
+                f,
+                "page {page}: I/O retries exhausted after {attempts} attempts \
+                 ({waited_ns} ns waited): {last}"
+            ),
+            OsError::BackingExhausted {
+                pages,
+                capacity_blocks,
+            } => write!(
+                f,
+                "disk array too small for the requested address space \
+                 ({pages} pages, {capacity_blocks} blocks per disk)"
+            ),
+            OsError::OutOfFrames {
+                resident,
+                inflight,
+                limit,
+            } => write!(
+                f,
+                "out of frames: {resident} resident, {inflight} in flight, limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Io(e) => Some(e),
+            OsError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for OsError {
+    fn from(e: IoError) -> Self {
+        OsError::Io(e)
+    }
+}
+
+impl From<FsError> for OsError {
+    fn from(e: FsError) -> Self {
+        OsError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = OsError::RetriesExhausted {
+            last: IoError::Transient { disk: 3 },
+            attempts: 7,
+            waited_ns: 123,
+            page: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page 42"));
+        assert!(s.contains("7 attempts"));
+        assert!(s.contains("disk 3"));
+
+        let e = OsError::OutOfFrames {
+            resident: 10,
+            inflight: 2,
+            limit: 12,
+        };
+        assert!(e.to_string().contains("out of frames"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let io: OsError = IoError::EmptyRequest.into();
+        assert_eq!(io, OsError::Io(IoError::EmptyRequest));
+    }
+}

@@ -21,6 +21,7 @@
 //! the stacked bars of Figure 3(a).
 
 pub mod bitvec;
+pub mod error;
 pub mod machine;
 pub mod params;
 pub mod posix;
@@ -28,6 +29,11 @@ pub mod stats;
 pub mod trace;
 
 pub use bitvec::ResidencyBits;
+pub use error::OsError;
+// Fault-injection types, re-exported so layers above the OS (the
+// run-time filter, the bench harness) can build plans without a direct
+// disk-crate dependency.
+pub use oocp_disk::{Brownout, FaultPlan, IoError, PressureStorm};
 pub use machine::{Machine, Segment};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};

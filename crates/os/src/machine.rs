@@ -3,12 +3,14 @@
 
 use std::collections::VecDeque;
 
-use oocp_disk::{DiskArray, ReqKind, Request};
+use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request};
 use oocp_fs::{FileId, FileSystem};
+use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
 use oocp_sim::time::{Ns, TimeBreakdown, TimeCategory};
 
 use crate::bitvec::ResidencyBits;
+use crate::error::OsError;
 use crate::params::MachineParams;
 use crate::stats::OsStats;
 use crate::trace::{Trace, TraceEvent};
@@ -118,6 +120,13 @@ pub struct Machine {
     pressure: Vec<(Ns, u64)>,
     /// Optional event trace (flight recorder).
     trace: Option<Trace>,
+    /// Bit-vector desync injection (from the fault plan): probability a
+    /// residency-bit clear is "lost", and the stream deciding when.
+    chaos_bits: Option<(f64, SimRng)>,
+    /// The installed fault plan (kept whole so layers above can read
+    /// OS-level knobs like bit-vector staleness, which the disk array's
+    /// injector does not carry).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -132,15 +141,29 @@ impl Machine {
     /// Panics if the parameters are inconsistent (see
     /// [`MachineParams::validate`]) or the disks cannot hold the space.
     pub fn new(params: MachineParams, space_bytes: u64) -> Self {
+        Self::try_new(params, space_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Machine::new`], but reports an undersized disk array as a
+    /// typed error instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on inconsistent parameters — those are programming
+    /// errors in experiment setup, not runtime conditions.
+    pub fn try_new(params: MachineParams, space_bytes: u64) -> Result<Self, OsError> {
         params.validate();
         let total_pages = space_bytes.div_ceil(params.page_bytes).max(1);
         let mut fs = FileSystem::new(params.ndisks, params.disk.blocks);
         let swap = fs
             .create_file(total_pages)
-            .expect("disk array too small for the requested address space");
+            .map_err(|_| OsError::BackingExhausted {
+                pages: total_pages,
+                capacity_blocks: params.disk.blocks,
+            })?;
         let bits = ResidencyBits::new(total_pages, params.page_bytes);
         let limit = params.resident_limit;
-        Self {
+        Ok(Self {
             params,
             now: 0,
             breakdown: TimeBreakdown::new(),
@@ -161,7 +184,42 @@ impl Machine {
             finished: false,
             pressure: Vec::new(),
             trace: None,
+            chaos_bits: None,
+            fault_plan: None,
+        })
+    }
+
+    /// Install a fault plan: disk-level faults go to the disk array's
+    /// injector, bit-vector staleness stays here, and pressure storms
+    /// are converted into a pressure schedule. Replaces any previously
+    /// installed plan.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.chaos_bits = (plan.bitvec_stale_prob > 0.0).then(|| {
+            (
+                plan.bitvec_stale_prob,
+                SimRng::new(plan.seed ^ 0xB17_5EED_0DD5),
+            )
+        });
+        if !plan.pressure_storms.is_empty() {
+            let restore = self.params.resident_limit;
+            let mut schedule: Vec<(Ns, u64)> = plan
+                .pressure_storms
+                .iter()
+                .flat_map(|s| [(s.from, s.limit_frames), (s.until, restore)])
+                .collect();
+            schedule.sort_by_key(|&(at, _)| at);
+            self.set_pressure_schedule(schedule);
         }
+        self.disks.set_fault_plan(plan.clone());
+        let has_effect = plan.is_active()
+            || plan.bitvec_stale_prob > 0.0
+            || !plan.pressure_storms.is_empty();
+        self.fault_plan = has_effect.then(|| plan.clone());
+    }
+
+    /// The installed fault plan, if it injects anything at all.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Enable event tracing with a bounded ring of `capacity` records.
@@ -181,6 +239,17 @@ impl Machine {
         if let Some(t) = &mut self.trace {
             t.push(self.now, event);
         }
+    }
+
+    /// Record a runtime degradation transition in the trace (the state
+    /// machine itself lives in the run-time layer, which has no trace
+    /// of its own).
+    pub fn note_degraded(&mut self, entered: bool) {
+        self.trace_event(if entered {
+            TraceEvent::DegradedEnter
+        } else {
+            TraceEvent::DegradedExit
+        });
     }
 
     /// Machine parameters.
@@ -298,12 +367,45 @@ impl Machine {
 
     /// Mark `vpage` as out-of-memory in the shared bit vector
     /// (idempotent).
+    ///
+    /// Under an installed fault plan the clear is probabilistically
+    /// "lost": the page-level bookkeeping updates but the shared bit
+    /// vector keeps the bit set (and its reference count elevated) —
+    /// the user/kernel desync the runtime's periodic resync exists to
+    /// repair. A stale set bit is the dangerous direction: the filter
+    /// will suppress prefetches for a page that is actually gone.
     fn bit_out(&mut self, vpage: u64) {
         let p = &mut self.pages[vpage as usize];
         if p.bit_noted {
             p.bit_noted = false;
+            if let Some((prob, rng)) = &mut self.chaos_bits {
+                if rng.next_f64() < *prob {
+                    self.stats.bitvec_stale_injected += 1;
+                    return;
+                }
+            }
             self.bits.note_gone(vpage);
         }
+    }
+
+    /// Rebuild the shared bit vector from page-level residency state,
+    /// clearing any bits left stale by injected desync. Returns the
+    /// number of stale bits fixed. Cheap enough (one pass over page
+    /// metadata) for the runtime to call periodically.
+    pub fn resync_bits(&mut self) -> u64 {
+        let before = self.bits.set_bits();
+        let mut fresh = ResidencyBits::new(self.total_pages(), self.params.page_bytes);
+        for (i, p) in self.pages.iter().enumerate() {
+            if p.bit_noted {
+                fresh.note_resident(i as u64);
+            }
+        }
+        let fixed = before.saturating_sub(fresh.set_bits());
+        self.bits = fresh;
+        self.stats.bitvec_resyncs += 1;
+        self.stats.bitvec_stale_fixed += fixed;
+        self.trace_event(TraceEvent::BitvecResync { fixed });
+        fixed
     }
 
     // ------------------------------------------------------------------
@@ -380,23 +482,84 @@ impl Machine {
         None
     }
 
+    /// Submit a request with bounded retry and exponential backoff.
+    ///
+    /// Used for the two request classes the application *needs* (demand
+    /// reads and write-backs); prefetch reads are hints and never come
+    /// through here. A transient error waits the current backoff (which
+    /// doubles per retry); a brownout waits out the reported window.
+    /// Waits are charged as idle time. The error surfaces once the
+    /// retry count or the wait budget is exhausted.
+    fn submit_with_retry(&mut self, disk: usize, req: Request, vpage: u64) -> Result<Ns, OsError> {
+        let mut attempts: u32 = 1;
+        let mut waited: Ns = 0;
+        let mut backoff = self.params.io_backoff_base_ns.max(1);
+        loop {
+            match self.disks.try_submit(disk, self.now, req) {
+                Ok(done) => return Ok(done),
+                Err(e @ (IoError::EmptyRequest | IoError::OutOfRange { .. })) => {
+                    // Logic errors: retrying cannot help.
+                    return Err(OsError::Io(e));
+                }
+                Err(e) => {
+                    self.stats.io_errors_observed += 1;
+                    self.trace_event(TraceEvent::IoError { page: vpage, disk });
+                    let wait = match e {
+                        IoError::Brownout { until, .. } => {
+                            until.saturating_sub(self.now).max(backoff)
+                        }
+                        _ => backoff,
+                    };
+                    if attempts > self.params.io_max_retries
+                        || waited.saturating_add(wait) > self.params.io_retry_budget_ns
+                    {
+                        return Err(OsError::RetriesExhausted {
+                            last: e,
+                            attempts,
+                            waited_ns: waited,
+                            page: vpage,
+                        });
+                    }
+                    self.charge(TimeCategory::Idle, wait);
+                    self.stats.io_retries += 1;
+                    self.stats.io_retry_wait_ns += wait;
+                    self.trace_event(TraceEvent::IoRetry { page: vpage, wait });
+                    waited += wait;
+                    backoff = backoff.saturating_mul(2);
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
     /// Schedule a write-back of `vpage`'s current contents.
+    ///
+    /// Failures are retried with backoff; if retries exhaust, the
+    /// write-back is abandoned and counted — the simulator's backing
+    /// store is authoritative, so abandonment affects the durability
+    /// ledger, never the computed results.
     fn writeback(&mut self, vpage: u64) {
         let (disk, block) = self
             .fs
             .place(self.swap, vpage)
             .expect("resident page must have backing blocks");
-        self.disks.submit(
+        match self.submit_with_retry(
             disk,
-            self.now,
             Request {
                 kind: ReqKind::Write,
                 start_block: block,
                 nblocks: 1,
             },
-        );
-        self.stats.writebacks += 1;
-        self.trace_event(TraceEvent::Writeback { page: vpage });
+            vpage,
+        ) {
+            Ok(_) => {
+                self.stats.writebacks += 1;
+                self.trace_event(TraceEvent::Writeback { page: vpage });
+            }
+            Err(_) => {
+                self.stats.writebacks_abandoned += 1;
+            }
+        }
     }
 
     /// Move a resident page to the free list (daemon eviction path).
@@ -459,26 +622,31 @@ impl Machine {
         }
     }
 
-    /// Allocate a frame for a demand fault; always succeeds.
-    fn alloc_frame_demand(&mut self) {
+    /// Allocate a frame for a demand fault.
+    ///
+    /// Fails (with full occupancy context) only when every frame is
+    /// pinned by in-flight I/O and nothing is reclaimable even after
+    /// forcing the pageout daemon.
+    fn alloc_frame_demand(&mut self) -> Result<(), OsError> {
         if self.truly_free() > 0 {
-            return;
+            return Ok(());
         }
         if let Some(p) = self.pop_free_list() {
             self.reclaim(p);
-            return;
+            return Ok(());
         }
         // Nothing free and nothing reclaimable: force the daemon to build
         // a pool, then reclaim.
         self.run_daemon();
         if let Some(p) = self.pop_free_list() {
             self.reclaim(p);
-            return;
+            return Ok(());
         }
-        panic!(
-            "out of frames: {} resident, {} in flight, limit {}",
-            self.resident, self.inflight, self.params.resident_limit
-        );
+        Err(OsError::OutOfFrames {
+            resident: self.resident,
+            inflight: self.inflight,
+            limit: self.params.resident_limit,
+        })
     }
 
     /// Allocate a frame for a prefetch; `false` means the hint is dropped
@@ -504,7 +672,23 @@ impl Machine {
     /// faulting as needed. `write` marks the pages dirty.
     ///
     /// Returns the number of pages that hard-faulted (test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a demand read fails even after the OS's bounded
+    /// retries (possible only under an installed fault plan whose
+    /// error rate or brownout length defeats the retry budget). Fault-
+    /// aware callers use [`Machine::try_touch`].
     pub fn touch(&mut self, addr: u64, len: u64, write: bool) -> u64 {
+        self.try_touch(addr, len, write)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Machine::touch`], but surfaces exhausted-retry demand-read
+    /// failures as typed errors. Pages before the failing one remain
+    /// touched; the failing page is left unmapped, so the access can be
+    /// retried later.
+    pub fn try_touch(&mut self, addr: u64, len: u64, write: bool) -> Result<u64, OsError> {
         debug_assert!(!self.finished, "touch after finish()");
         if !self.pressure.is_empty() {
             self.apply_pressure();
@@ -513,15 +697,15 @@ impl Machine {
         let last = self.page_of(addr + len.max(1) - 1);
         let mut faults = 0;
         for vpage in first..=last {
-            if self.touch_page(vpage, write) {
+            if self.touch_page(vpage, write)? {
                 faults += 1;
             }
         }
-        faults
+        Ok(faults)
     }
 
     /// Touch one page; returns whether it hard-faulted (stalled on disk).
-    fn touch_page(&mut self, vpage: u64, write: bool) -> bool {
+    fn touch_page(&mut self, vpage: u64, write: bool) -> Result<bool, OsError> {
         self.settle(vpage);
         let page = self.pages[vpage as usize];
         match page.state {
@@ -548,7 +732,7 @@ impl Machine {
                     referenced: true,
                     on_free_list: false,
                 };
-                false
+                Ok(false)
             }
             PageState::Resident {
                 dirty,
@@ -579,7 +763,7 @@ impl Machine {
                 // cleared it). The stale deque entry is pruned lazily.
                 self.bit_in(vpage);
                 self.note_free_level();
-                false
+                Ok(false)
             }
             PageState::InFlight { arrival } => {
                 // Fault on a page whose prefetch is still in progress:
@@ -599,7 +783,7 @@ impl Machine {
                     referenced: true,
                     on_free_list: false,
                 };
-                true
+                Ok(true)
             }
             PageState::Unmapped => {
                 // Hard fault: full kernel overhead plus the whole disk
@@ -613,20 +797,17 @@ impl Machine {
                 } else {
                     self.stats.non_prefetched_faults += 1;
                 }
-                self.alloc_frame_demand();
-                let (disk, block) = self
-                    .fs
-                    .place(self.swap, vpage)
-                    .expect("touched page must be inside the address space");
-                let done = self.disks.submit(
+                self.alloc_frame_demand()?;
+                let (disk, block) = self.fs.place(self.swap, vpage).map_err(OsError::Fs)?;
+                let done = self.submit_with_retry(
                     disk,
-                    self.now,
                     Request {
                         kind: ReqKind::DemandRead,
                         start_block: block,
                         nblocks: 1,
                     },
-                );
+                    vpage,
+                )?;
                 let waited = self.stall_until(done);
                 self.stats.fault_wait.push(waited as f64);
                 self.trace_event(TraceEvent::HardFault {
@@ -645,7 +826,7 @@ impl Machine {
                 self.bit_in(vpage);
                 self.run_daemon();
                 self.note_free_level();
-                true
+                Ok(true)
             }
         }
     }
@@ -794,7 +975,9 @@ impl Machine {
                 .place_run(self.swap, span_start, count)
                 .expect("prefetch span inside the address space");
             for run in runs {
-                let done = self.disks.submit(
+                let n = self.fs.ndisks() as u64;
+                let first = span_start + (run.disk as u64 + n - span_start % n) % n;
+                match self.disks.try_submit(
                     run.disk,
                     self.now,
                     Request {
@@ -802,15 +985,44 @@ impl Machine {
                         start_block: run.start_block,
                         nblocks: run.nblocks,
                     },
-                );
-                // Every page of the run arrives when the request
-                // completes.
-                let n = self.fs.ndisks() as u64;
-                let first = span_start + (run.disk as u64 + n - span_start % n) % n;
-                for i in 0..run.nblocks {
-                    let vpage = first + i * n;
-                    self.pages[vpage as usize].state =
-                        PageState::InFlight { arrival: done };
+                ) {
+                    Ok(done) => {
+                        // Every page of the run arrives when the
+                        // request completes.
+                        for i in 0..run.nblocks {
+                            let vpage = first + i * n;
+                            self.pages[vpage as usize].state =
+                                PageState::InFlight { arrival: done };
+                        }
+                    }
+                    Err(_) => {
+                        // Prefetches are hints: no retry, no surfaced
+                        // error. Revert the pages to dropped-hint
+                        // bookkeeping (they keep their prefetch tag so
+                        // a later fault is classified "prefetched but
+                        // lost", exactly like a memory-pressure drop).
+                        self.stats.io_errors_observed += 1;
+                        self.trace_event(TraceEvent::IoError {
+                            page: first,
+                            disk: run.disk,
+                        });
+                        self.trace_event(TraceEvent::HintDropOnError {
+                            page: first,
+                            count: run.nblocks,
+                        });
+                        for i in 0..run.nblocks {
+                            let vpage = first + i * n;
+                            debug_assert!(matches!(
+                                self.pages[vpage as usize].state,
+                                PageState::Unmapped
+                            ));
+                            self.inflight -= 1;
+                            self.bit_out(vpage);
+                            self.stats.prefetch_pages_issued -= 1;
+                            self.stats.prefetch_pages_dropped += 1;
+                            self.stats.hints_dropped_on_error += 1;
+                        }
+                    }
                 }
             }
         }
@@ -1049,6 +1261,145 @@ mod tests {
         p.high_water = 8;
         // 64 pages of address space.
         Machine::new(p, 64 * 4096)
+    }
+
+    #[test]
+    fn demand_read_retries_through_transient_errors() {
+        let mut m = tiny();
+        // Every demand read fails 50% of the time: with 6 retries the
+        // probability all 64 pages give up is negligible, and retry
+        // counters must show the recovery work.
+        m.set_fault_plan(&FaultPlan::none(11).with_errors(0.5, 0.0, 0.0));
+        for p in 0..64u64 {
+            m.store_f64(p * 4096, p as f64);
+        }
+        let s = m.stats();
+        assert!(s.io_errors_observed > 0, "errors were injected");
+        assert!(s.io_retries > 0, "retries happened");
+        assert!(s.io_retry_wait_ns > 0, "backoff waits charged");
+        assert_eq!(m.breakdown().total(), m.now(), "ledger covers retries");
+        for p in 0..64u64 {
+            assert_eq!(m.peek_f64(p * 4096), p as f64, "data intact");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let mut p = MachineParams::small();
+        p.resident_limit = 32;
+        p.demand_reserve = 2;
+        p.low_water = 4;
+        p.high_water = 8;
+        p.io_max_retries = 2;
+        let mut m = Machine::new(p, 64 * 4096);
+        // Permanent brownout on the whole array: the budget cannot
+        // cover it, so the error must surface with context.
+        m.set_fault_plan(&FaultPlan::none(3).with_brownout(oocp_disk::Brownout {
+            disk: None,
+            from: 0,
+            until: Ns::MAX,
+        }));
+        match m.try_touch(0, 8, false) {
+            Err(OsError::RetriesExhausted { page, attempts, .. }) => {
+                assert_eq!(page, 0);
+                assert!(attempts >= 1);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // The failing page is left unmapped; frame accounting intact.
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.breakdown().total(), m.now());
+    }
+
+    #[test]
+    fn brownout_window_is_waited_out() {
+        let mut m = tiny();
+        let until = 50 * 1_000_000; // 50 ms, well inside the 2 s budget
+        m.set_fault_plan(&FaultPlan::none(5).with_brownout(oocp_disk::Brownout {
+            disk: None,
+            from: 0,
+            until,
+        }));
+        m.touch(0, 8, false);
+        assert!(m.now() >= until, "demand read waited out the brownout");
+        assert_eq!(m.stats().hard_faults, 1);
+        assert!(m.stats().io_retries >= 1);
+    }
+
+    #[test]
+    fn failed_prefetch_drops_hint_silently() {
+        let mut m = tiny();
+        // All prefetch reads fail; demand traffic is untouched.
+        m.set_fault_plan(&FaultPlan::none(17).with_errors(0.0, 1.0, 0.0));
+        m.sys_prefetch(0, 8);
+        let s = m.stats();
+        assert_eq!(s.hints_dropped_on_error, 8);
+        assert_eq!(s.prefetch_pages_issued, 0, "issues reverted to drops");
+        assert_eq!(s.prefetch_pages_dropped, 8);
+        assert_eq!(m.inflight_pages(), 0, "no phantom in-flight pages");
+        assert_eq!(s.io_retries, 0, "hints are never retried");
+        // The data is still reachable by demand faulting.
+        m.store_f64(0, 2.5);
+        assert_eq!(m.load_f64(0), 2.5);
+        // Partition invariant survives the reverts.
+        let s = m.stats();
+        assert_eq!(
+            s.prefetch_pages_requested,
+            s.prefetch_pages_issued
+                + s.prefetch_pages_unnecessary
+                + s.prefetch_pages_reclaimed
+                + s.prefetch_pages_inflight
+                + s.prefetch_pages_dropped
+        );
+    }
+
+    #[test]
+    fn stale_bits_accumulate_and_resync_fixes_them() {
+        let mut m = tiny();
+        m.set_fault_plan(&FaultPlan::none(23).with_bitvec_staleness(1.0));
+        // Touch then release pages: every release "loses" its bit clear.
+        for p in 0..16u64 {
+            m.touch(p * 4096, 8, false);
+        }
+        m.sys_release(0, 16);
+        let s = m.stats();
+        assert!(s.bitvec_stale_injected > 0, "desync was injected");
+        // The vector still claims residency for released pages.
+        assert!(m.bits().test(0), "stale bit visible before resync");
+        let fixed = m.resync_bits();
+        assert!(fixed > 0, "resync found stale bits");
+        assert!(!m.bits().test(0), "resync cleared the stale bit");
+        assert_eq!(m.stats().bitvec_resyncs, 1);
+        // A second resync finds nothing.
+        assert_eq!(m.resync_bits(), 0);
+    }
+
+    #[test]
+    fn same_seed_fault_runs_are_identical() {
+        let run = || {
+            let mut m = tiny();
+            m.set_fault_plan(
+                &FaultPlan::none(99)
+                    .with_errors(0.2, 0.2, 0.2)
+                    .with_stragglers(0.2, 4.0, 1_000_000),
+            );
+            for p in 0..64u64 {
+                m.store_f64(p * 4096, p as f64);
+            }
+            m.sys_prefetch(0, 32);
+            m.finish();
+            (
+                m.now(),
+                m.stats().io_errors_observed,
+                m.stats().io_retries,
+                m.stats().hints_dropped_on_error,
+                m.disk_stats().faults_injected,
+                m.disk_stats().stragglers_injected,
+            )
+        };
+        let a = run();
+        assert!(a.1 > 0 || a.4 > 0, "plan actually injected something");
+        assert_eq!(a, run(), "same seed, same everything");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machine configuration parameters.
 
 use oocp_disk::DiskParams;
-use oocp_sim::time::{Ns, MICROSECOND};
+use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 /// Configuration of the simulated machine: memory geometry, OS overheads,
 /// and the disk subsystem.
@@ -43,6 +43,15 @@ pub struct MachineParams {
     /// Whether to stall at exit until all dirty pages are flushed and the
     /// disks drain (the paper's apps write their results back out).
     pub drain_at_exit: bool,
+    /// Retries granted to a failed demand read or write-back before the
+    /// error surfaces (prefetch reads never retry — they are hints).
+    pub io_max_retries: u32,
+    /// First retry backoff; doubles on each subsequent retry of the same
+    /// request (a brownout error instead waits out the stated window).
+    pub io_backoff_base_ns: Ns,
+    /// Total time one request may spend waiting between retries before
+    /// the error surfaces regardless of the retry count.
+    pub io_retry_budget_ns: Ns,
 }
 
 impl MachineParams {
@@ -70,6 +79,9 @@ impl MachineParams {
             ndisks: 7,
             disk: DiskParams::default(),
             drain_at_exit: true,
+            io_max_retries: 6,
+            io_backoff_base_ns: 2 * MILLISECOND,
+            io_retry_budget_ns: 2000 * MILLISECOND,
         }
     }
 
@@ -91,6 +103,9 @@ impl MachineParams {
             ndisks: 1,
             disk: DiskParams::ssd(),
             drain_at_exit: true,
+            io_max_retries: 6,
+            io_backoff_base_ns: 100 * MICROSECOND,
+            io_retry_budget_ns: 500 * MILLISECOND,
         }
     }
 

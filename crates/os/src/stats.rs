@@ -67,6 +67,26 @@ pub struct OsStats {
     pub daemon_evictions: u64,
     /// Total stall time attributable to prefetched-but-late pages.
     pub late_prefetch_stall_ns: Ns,
+    /// Disk errors observed by the OS request path (before retries).
+    pub io_errors_observed: u64,
+    /// Retry attempts made for failed demand reads and write-backs.
+    pub io_retries: u64,
+    /// Time spent waiting between retry attempts (charged as idle).
+    pub io_retry_wait_ns: Ns,
+    /// Prefetch pages whose disk read failed; the hint was dropped
+    /// silently (hints are non-binding, so no retry and no error).
+    pub hints_dropped_on_error: u64,
+    /// Write-backs abandoned after exhausting retries (the backing
+    /// store is authoritative in the simulator, so this costs nothing
+    /// but is reported for the durability ledger).
+    pub writebacks_abandoned: u64,
+    /// Residency-bit clears lost to injected desync (the stale bit
+    /// stays set until a resync rebuilds the vector).
+    pub bitvec_stale_injected: u64,
+    /// Bit-vector resyncs performed.
+    pub bitvec_resyncs: u64,
+    /// Stale bits fixed across all resyncs.
+    pub bitvec_stale_fixed: u64,
 }
 
 impl OsStats {
@@ -103,6 +123,26 @@ impl OsStats {
         }
     }
 
+    /// Fraction of prefetch pages issued to disk whose read failed.
+    /// Zero when no prefetch I/O was issued.
+    pub fn hint_error_fraction(&self) -> f64 {
+        let issued = self.prefetch_pages_issued + self.hints_dropped_on_error;
+        if issued == 0 {
+            0.0
+        } else {
+            self.hints_dropped_on_error as f64 / issued as f64
+        }
+    }
+
+    /// Mean retries per observed I/O error. Zero when no errors occurred.
+    pub fn retries_per_error(&self) -> f64 {
+        if self.io_errors_observed == 0 {
+            0.0
+        } else {
+            self.io_retries as f64 / self.io_errors_observed as f64
+        }
+    }
+
     /// Record a first-touch classification.
     pub fn classify(&mut self, kind: FaultKind) {
         match kind {
@@ -136,6 +176,21 @@ mod tests {
         let s = OsStats::default();
         assert_eq!(s.coverage(), 0.0);
         assert_eq!(s.unnecessary_issued_fraction(), 0.0);
+        assert_eq!(s.hint_error_fraction(), 0.0);
+        assert_eq!(s.retries_per_error(), 0.0);
+    }
+
+    #[test]
+    fn fault_ratios_guard_and_compute() {
+        let s = OsStats {
+            prefetch_pages_issued: 90,
+            hints_dropped_on_error: 10,
+            io_errors_observed: 4,
+            io_retries: 6,
+            ..OsStats::default()
+        };
+        assert!((s.hint_error_fraction() - 0.10).abs() < 1e-12);
+        assert!((s.retries_per_error() - 1.5).abs() < 1e-12);
     }
 
     #[test]

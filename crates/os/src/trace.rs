@@ -53,6 +53,37 @@ pub enum TraceEvent {
         /// The written page.
         page: u64,
     },
+    /// A disk request failed (injected fault observed by the OS).
+    IoError {
+        /// Page whose I/O failed (u64::MAX for non-page requests).
+        page: u64,
+        /// The failing disk.
+        disk: usize,
+    },
+    /// A failed demand read or write-back is being retried after a
+    /// backoff wait.
+    IoRetry {
+        /// Page being retried.
+        page: u64,
+        /// Nanoseconds waited before this attempt.
+        wait: Ns,
+    },
+    /// A prefetch read failed and the hint was dropped silently.
+    HintDropOnError {
+        /// First page of the failed run.
+        page: u64,
+        /// Pages in the failed run.
+        count: u64,
+    },
+    /// The shared residency bit vector was rebuilt from page states.
+    BitvecResync {
+        /// Stale bits cleared by the rebuild.
+        fixed: u64,
+    },
+    /// The runtime entered degraded (demand-paging-only) mode.
+    DegradedEnter,
+    /// The runtime left degraded mode and resumed hinting.
+    DegradedExit,
 }
 
 impl TraceEvent {
@@ -66,6 +97,12 @@ impl TraceEvent {
             TraceEvent::Release { .. } => "REL",
             TraceEvent::Eviction { .. } => "EVICT",
             TraceEvent::Writeback { .. } => "WB",
+            TraceEvent::IoError { .. } => "IOERR",
+            TraceEvent::IoRetry { .. } => "RETRY",
+            TraceEvent::HintDropOnError { .. } => "HDROP",
+            TraceEvent::BitvecResync { .. } => "RESYNC",
+            TraceEvent::DegradedEnter => "DEGR+",
+            TraceEvent::DegradedExit => "DEGR-",
         }
     }
 }
@@ -188,9 +225,15 @@ mod tests {
             TraceEvent::Release { page: 0, count: 1 }.tag(),
             TraceEvent::Eviction { page: 0 }.tag(),
             TraceEvent::Writeback { page: 0 }.tag(),
+            TraceEvent::IoError { page: 0, disk: 0 }.tag(),
+            TraceEvent::IoRetry { page: 0, wait: 0 }.tag(),
+            TraceEvent::HintDropOnError { page: 0, count: 1 }.tag(),
+            TraceEvent::BitvecResync { fixed: 0 }.tag(),
+            TraceEvent::DegradedEnter.tag(),
+            TraceEvent::DegradedExit.tag(),
         ]
         .into_iter()
         .collect();
-        assert_eq!(tags.len(), 7);
+        assert_eq!(tags.len(), 13);
     }
 }

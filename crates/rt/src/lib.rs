@@ -56,6 +56,22 @@ pub struct RtStats {
     pub bit_checks: u64,
     /// Hint operations suppressed by the in-core adaptive mode.
     pub suppressed_ops: u64,
+    /// Times the runtime fell back to demand-paging-only mode because
+    /// the hint path was erroring.
+    pub degraded_entries: u64,
+    /// Times the runtime recovered from degraded mode.
+    pub degraded_exits: u64,
+    /// Simulated time spent in completed degraded episodes.
+    pub degraded_ns: Ns,
+    /// Hint operations dropped at user level while degraded (a flag
+    /// test, cheaper than even a bit-vector check).
+    pub hints_dropped_degraded: u64,
+    /// Probe hints issued while degraded to test whether the hint path
+    /// has recovered.
+    pub degraded_probes: u64,
+    /// Bit-vector resyncs triggered by the periodic hint-op cadence
+    /// (recovery resyncs on degraded-mode exit are counted by the OS).
+    pub periodic_resyncs: u64,
 }
 
 impl RtStats {
@@ -66,6 +82,27 @@ impl RtStats {
             0.0
         } else {
             self.pages_filtered as f64 / self.prefetch_pages as f64
+        }
+    }
+
+    /// Fraction of hint operations dropped because the runtime was in
+    /// degraded mode. Zero when no hints ran.
+    pub fn degraded_drop_fraction(&self) -> f64 {
+        let ops = self.prefetch_ops + self.release_ops;
+        if ops == 0 {
+            0.0
+        } else {
+            self.hints_dropped_degraded as f64 / ops as f64
+        }
+    }
+
+    /// Mean simulated length of a completed degraded episode. Zero when
+    /// the runtime never recovered from one.
+    pub fn mean_degraded_episode_ns(&self) -> f64 {
+        if self.degraded_exits == 0 {
+            0.0
+        } else {
+            self.degraded_ns as f64 / self.degraded_exits as f64
         }
     }
 }
@@ -85,6 +122,24 @@ pub struct Runtime {
     filtered_streak: u32,
     /// Suppression engaged (terminal for the run).
     suppressing: bool,
+    /// Degraded (demand-paging-only) mode engaged: the hint path was
+    /// erroring, so hints are dropped at user level until probes show
+    /// the path has recovered. Hints are non-binding, so this only
+    /// costs time, never correctness.
+    degraded: bool,
+    /// Simulated time the current degraded episode began.
+    degraded_since: Ns,
+    /// Sliding window of recent hint-syscall outcomes, newest in bit 0
+    /// (1 = the syscall observed a dropped-on-error hint).
+    win_err: u32,
+    /// Valid samples in `win_err` (saturates at [`Runtime::DEGRADE_WINDOW`]).
+    win_len: u32,
+    /// Consecutive clean probes observed while degraded.
+    clean_probes: u32,
+    /// Prefetch-bearing ops since the last probe while degraded.
+    since_probe: u32,
+    /// Hint operations seen (drives the periodic resync cadence).
+    hint_seq: u64,
 }
 
 impl Runtime {
@@ -112,6 +167,13 @@ impl Runtime {
             adaptive: false,
             filtered_streak: 0,
             suppressing: false,
+            degraded: false,
+            degraded_since: 0,
+            win_err: 0,
+            win_len: 0,
+            clean_probes: 0,
+            since_probe: 0,
+            hint_seq: 0,
         }
     }
 
@@ -173,6 +235,115 @@ impl Runtime {
         self.machine.tick_user(Self::SUPPRESS_NS);
     }
 
+    /// Sliding-window size for hint-path error observation.
+    const DEGRADE_WINDOW: u32 = 32;
+
+    /// Samples required before the error rate is trusted.
+    const DEGRADE_MIN_SAMPLES: u32 = 8;
+
+    /// Window error rate that triggers degraded mode: 1/2.
+    /// (Entered when `2 * errors >= samples`.)
+    const DEGRADE_NUM: u32 = 2;
+
+    /// Prefetch-bearing ops between recovery probes while degraded.
+    const PROBE_INTERVAL: u32 = 16;
+
+    /// Consecutive clean probes required to leave degraded mode.
+    const EXIT_CLEAN_PROBES: u32 = 4;
+
+    /// Hint ops between periodic bit-vector resyncs (only performed
+    /// when the installed fault plan can desync the vector).
+    const RESYNC_INTERVAL: u64 = 256;
+
+    /// Whether the runtime is currently in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Per-hint-op bookkeeping shared by all three hint entry points.
+    /// Returns `true` when the op must be dropped cheaply because the
+    /// runtime is degraded; `false` means "process the hint normally"
+    /// (including the every-Nth probe issued while degraded).
+    /// `probe_eligible` is set for prefetch-bearing ops — only those can
+    /// observe hint-path health, so only those serve as probes.
+    fn begin_hint_op(&mut self, probe_eligible: bool) -> bool {
+        if self.mode != FilterMode::Enabled {
+            return false;
+        }
+        self.hint_seq += 1;
+        if self.hint_seq.is_multiple_of(Self::RESYNC_INTERVAL)
+            && self
+                .machine
+                .fault_plan()
+                .is_some_and(|p| p.bitvec_stale_prob > 0.0)
+        {
+            self.stats.periodic_resyncs += 1;
+            self.machine.resync_bits();
+        }
+        if !self.degraded {
+            return false;
+        }
+        if probe_eligible {
+            self.since_probe += 1;
+            if self.since_probe >= Self::PROBE_INTERVAL {
+                self.since_probe = 0;
+                return false; // issue this one for real, as a probe
+            }
+        }
+        self.stats.hints_dropped_degraded += 1;
+        self.machine.tick_user(Self::SUPPRESS_NS);
+        true
+    }
+
+    /// Record the outcome of a prefetch syscall: `err` is whether the
+    /// OS dropped any of its pages on an I/O error. Drives both the
+    /// entry window and the probe-based exit path.
+    fn note_hint_outcome(&mut self, err: bool) {
+        if self.degraded {
+            self.stats.degraded_probes += 1;
+            if err {
+                self.clean_probes = 0;
+            } else {
+                self.clean_probes += 1;
+                if self.clean_probes >= Self::EXIT_CLEAN_PROBES {
+                    self.exit_degraded();
+                }
+            }
+        } else {
+            // Shifting past the window width drops the oldest sample.
+            self.win_err = (self.win_err << 1) | err as u32;
+            self.win_len = (self.win_len + 1).min(Self::DEGRADE_WINDOW);
+            if self.win_len >= Self::DEGRADE_MIN_SAMPLES
+                && Self::DEGRADE_NUM * self.win_err.count_ones() >= self.win_len
+            {
+                self.enter_degraded();
+            }
+        }
+    }
+
+    /// Fall back to demand-paging-only mode.
+    fn enter_degraded(&mut self) {
+        self.degraded = true;
+        self.degraded_since = self.machine.now();
+        self.clean_probes = 0;
+        self.since_probe = 0;
+        self.stats.degraded_entries += 1;
+        self.machine.note_degraded(true);
+    }
+
+    /// Resume hinting: the probe streak showed the path is healthy.
+    /// The bit vector may have drifted while hints were erroring, so it
+    /// is resynced before the filter trusts it again.
+    fn exit_degraded(&mut self) {
+        self.degraded = false;
+        self.stats.degraded_exits += 1;
+        self.stats.degraded_ns += self.machine.now().saturating_sub(self.degraded_since);
+        self.win_err = 0;
+        self.win_len = 0;
+        self.machine.resync_bits();
+        self.machine.note_degraded(false);
+    }
+
     /// Run-time-layer counters.
     pub fn stats(&self) -> &RtStats {
         &self.stats
@@ -232,6 +403,9 @@ impl PagedVm for Runtime {
             self.suppress();
             return;
         }
+        if self.begin_hint_op(true) {
+            return;
+        }
         let start = self.machine.page_of(addr);
         // Clamp the hint to the address space (hints near the end of an
         // array may name pages past it; they are non-binding).
@@ -259,7 +433,9 @@ impl PagedVm for Runtime {
                 } else {
                     self.stats.prefetch_syscalls += 1;
                     self.filtered_streak = 0;
+                    let drops = self.machine.stats().hints_dropped_on_error;
                     self.machine.sys_prefetch(start + k, pages - k);
+                    self.note_hint_outcome(self.machine.stats().hints_dropped_on_error > drops);
                 }
             }
         }
@@ -272,6 +448,11 @@ impl PagedVm for Runtime {
             return;
         }
         self.stats.release_ops += 1;
+        // Releases cannot observe prefetch-read health, so they never
+        // serve as recovery probes.
+        if self.begin_hint_op(false) {
+            return;
+        }
         self.stats.release_syscalls += 1;
         let start = self.machine.page_of(addr);
         self.machine.sys_release(start, pages);
@@ -282,6 +463,9 @@ impl PagedVm for Runtime {
         self.stats.release_ops += 1;
         if self.suppressing {
             self.suppress();
+            return;
+        }
+        if self.begin_hint_op(true) {
             return;
         }
         let pf_start = self.machine.page_of(pf_addr);
@@ -315,12 +499,14 @@ impl PagedVm for Runtime {
                 } else {
                     self.stats.prefetch_syscalls += 1;
                     self.stats.release_syscalls += 1;
+                    let drops = self.machine.stats().hints_dropped_on_error;
                     self.machine.sys_prefetch_release(
                         pf_start + k,
                         pf_pages - k,
                         rel_start,
                         rel_pages,
                     );
+                    self.note_hint_outcome(self.machine.stats().hints_dropped_on_error > drops);
                 }
             }
         }
@@ -491,6 +677,123 @@ mod tests {
             r.prefetch(0, 1); // fully filtered every time
         }
         assert_eq!(r.stats().suppressed_ops, 0, "must not suppress out of core");
+    }
+
+    #[test]
+    fn degrades_under_hint_errors_and_recovers_after_brownout() {
+        use oocp_os::{Brownout, FaultPlan};
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        let brownout_end: Ns = 20_000_000; // 20 ms
+        let mut m = Machine::new(p, 256 * 4096);
+        m.set_fault_plan(
+            &FaultPlan::none(7).with_brownout(Brownout {
+                disk: None,
+                from: 0,
+                until: brownout_end,
+            }),
+        );
+        let mut r = Runtime::new(m, FilterMode::Enabled);
+        // Every prefetch syscall fails during the brownout; the error
+        // window fills and the runtime falls back to demand paging.
+        for pg in 0..Runtime::DEGRADE_MIN_SAMPLES as u64 {
+            r.prefetch(pg * 4096, 1);
+        }
+        assert!(r.degraded(), "window full of errors must degrade");
+        assert_eq!(r.stats().degraded_entries, 1);
+        // A demand read retries through the brownout, carrying the
+        // clock past its end.
+        r.load_f64(0);
+        assert!(r.machine().now() >= brownout_end);
+        // Hints keep flowing; most are dropped at user level, but every
+        // PROBE_INTERVAL-th is issued for real. Four clean probes in a
+        // row end the episode.
+        let mut i = 1u64;
+        while r.degraded() && i < 512 {
+            r.prefetch((i % 200) * 4096, 1);
+            i += 1;
+        }
+        assert!(!r.degraded(), "probes past the brownout must recover");
+        assert_eq!(r.stats().degraded_exits, 1);
+        assert!(r.stats().degraded_ns > 0);
+        assert!(r.stats().hints_dropped_degraded > 0);
+        assert!(r.stats().degraded_probes >= Runtime::EXIT_CLEAN_PROBES as u64);
+        // Recovery resynced the shared bit vector.
+        assert!(r.machine().stats().bitvec_resyncs >= 1);
+        assert!(r.stats().mean_degraded_episode_ns() > 0.0);
+        assert!(r.stats().degraded_drop_fraction() > 0.0);
+    }
+
+    #[test]
+    fn degraded_mode_drops_releases_without_syscalls() {
+        use oocp_os::{Brownout, FaultPlan};
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        let mut m = Machine::new(p, 256 * 4096);
+        m.set_fault_plan(&FaultPlan::none(11).with_brownout(Brownout {
+            disk: None,
+            from: 0,
+            until: Ns::MAX,
+        }));
+        let mut r = Runtime::new(m, FilterMode::Enabled);
+        for pg in 0..Runtime::DEGRADE_MIN_SAMPLES as u64 {
+            r.prefetch(pg * 4096, 1);
+        }
+        assert!(r.degraded());
+        let sys_before = r.stats().release_syscalls;
+        for pg in 0..10u64 {
+            r.release(pg * 4096, 1);
+        }
+        assert_eq!(r.stats().release_ops, 10);
+        assert_eq!(r.stats().release_syscalls, sys_before, "no syscalls while degraded");
+        assert_eq!(r.stats().hints_dropped_degraded, 10);
+    }
+
+    #[test]
+    fn periodic_resync_runs_on_hint_cadence_under_staleness() {
+        use oocp_os::FaultPlan;
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        let mut m = Machine::new(p, 256 * 4096);
+        m.set_fault_plan(&FaultPlan::none(13).with_bitvec_staleness(1.0));
+        let mut r = Runtime::new(m, FilterMode::Enabled);
+        for i in 0..Runtime::RESYNC_INTERVAL {
+            r.prefetch((i % 200) * 4096, 1);
+        }
+        assert_eq!(r.stats().periodic_resyncs, 1);
+        assert!(r.machine().stats().bitvec_resyncs >= 1);
+        // Without staleness in the plan the cadence stays quiet.
+        let m2 = Machine::new(p, 256 * 4096);
+        let mut r2 = Runtime::new(m2, FilterMode::Enabled);
+        for i in 0..Runtime::RESYNC_INTERVAL {
+            r2.prefetch((i % 200) * 4096, 1);
+        }
+        assert_eq!(r2.stats().periodic_resyncs, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_never_degrade() {
+        let mut r = rt(FilterMode::Enabled);
+        for i in 0..500u64 {
+            r.prefetch((i % 250) * 4096, 1);
+            if i % 3 == 0 {
+                r.release((i % 250) * 4096, 1);
+            }
+        }
+        assert!(!r.degraded());
+        assert_eq!(r.stats().degraded_entries, 0);
+        assert_eq!(r.stats().hints_dropped_degraded, 0);
+        assert_eq!(r.stats().degraded_drop_fraction(), 0.0);
+        assert_eq!(r.stats().mean_degraded_episode_ns(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build and every test must pass.
+# Run this before committing and before any experiment sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+# Clippy needs its component installed; offline or minimal toolchains
+# may not have it, and the gate should not fail for that.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy (workspace, deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy not available; skipping lint"
+fi
+
+echo "ci: all gates passed"

@@ -3,7 +3,12 @@
 # ablations and future-work explorations. Output mirrors EXPERIMENTS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-for bin in table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8 ablations futurework modern; do
+
+# Gate on the tier-1 checks first: a sweep over a broken build wastes
+# hours and produces tables nobody should trust.
+./scripts/ci.sh
+
+for bin in table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8 ablations futurework modern chaos; do
     echo "================================================================"
     echo "== $bin"
     echo "================================================================"

@@ -5,6 +5,10 @@
 //! preserves semantics byte-for-byte, both on flat memory and on the
 //! paged machine. This is the strongest statement of the non-binding
 //! prefetch property: *no* program in the IR's space may be miscompiled.
+//!
+//! Cases are driven by the simulator's own deterministic `SimRng`
+//! rather than an external property-testing crate, so the suite builds
+//! offline and every failure reports a replayable seed.
 
 use oocp::compiler::{compile, CompilerParams, ReleaseMode};
 use oocp::ir::{
@@ -13,7 +17,7 @@ use oocp::ir::{
 };
 use oocp::os::{Machine, MachineParams};
 use oocp::rt::{FilterMode, Runtime};
-use proptest::prelude::*;
+use oocp::sim::SimRng;
 
 /// Small deterministic generator for program synthesis.
 struct Gen(u64);
@@ -218,18 +222,26 @@ fn random_params(seed: u64) -> CompilerParams {
         .with_two_version(g.chance(30))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+const CASES: u64 = 192;
 
-    /// Compilation preserves semantics on flat memory for random
-    /// programs and random compiler parameters.
-    #[test]
-    fn compiled_program_is_equivalent_on_flat_memory(seed in any::<u64>()) {
+/// Compilation preserves semantics on flat memory for random programs
+/// and random compiler parameters.
+#[test]
+fn compiled_program_is_equivalent_on_flat_memory() {
+    let mut seeds = SimRng::new(0xC0FF_EE00_0001);
+    for case in 0..CASES {
+        let seed = seeds.next_u64();
         let gp = random_program(seed);
-        prop_assert!(gp.prog.validate().is_empty(), "generator made invalid IR");
+        assert!(
+            gp.prog.validate().is_empty(),
+            "case {case} seed {seed}: generator made invalid IR"
+        );
         let params = random_params(seed);
         let (xformed, _) = compile(&gp.prog, &params);
-        prop_assert!(xformed.validate().is_empty(), "compiler made invalid IR");
+        assert!(
+            xformed.validate().is_empty(),
+            "case {case} seed {seed}: compiler made invalid IR"
+        );
 
         let (binds, bytes) = ArrayBinding::sequential(&gp.prog, 4096);
         let mut vm_a = MemVm::new(bytes, 4096);
@@ -238,12 +250,16 @@ proptest! {
         init_data(&gp, &binds, &mut vm_b, seed);
         run_program(&gp.prog, &binds, &gp.param_values, CostModel::free(), &mut vm_a);
         run_program(&xformed, &binds, &gp.param_values, CostModel::free(), &mut vm_b);
-        prop_assert_eq!(vm_a.bytes(), vm_b.bytes());
+        assert_eq!(vm_a.bytes(), vm_b.bytes(), "case {case} seed {seed} diverged");
     }
+}
 
-    /// Ditto on the paged machine with eviction and hint traffic.
-    #[test]
-    fn compiled_program_is_equivalent_on_paged_machine(seed in any::<u64>()) {
+/// Ditto on the paged machine with eviction and hint traffic.
+#[test]
+fn compiled_program_is_equivalent_on_paged_machine() {
+    let mut seeds = SimRng::new(0xC0FF_EE00_0002);
+    for case in 0..CASES {
+        let seed = seeds.next_u64();
         let gp = random_program(seed);
         let params = random_params(seed.rotate_left(13));
         let (xformed, _) = compile(&gp.prog, &params);
@@ -268,26 +284,27 @@ proptest! {
         for (ai, a) in gp.prog.arrays.iter().enumerate() {
             for e in 0..a.len() as u64 {
                 let addr = binds[ai].base + e * 8;
-                prop_assert_eq!(
+                assert_eq!(
                     vm_a.peek_i64(addr),
                     rt.peek_i64(addr),
-                    "array {} elem {}", a.name.clone(), e
+                    "case {case} seed {seed}: array {} elem {e}",
+                    a.name
                 );
             }
         }
         // Accounting invariants hold for arbitrary programs.
         let m = rt.machine();
-        prop_assert_eq!(m.breakdown().total(), m.now());
+        assert_eq!(m.breakdown().total(), m.now(), "case {case} seed {seed}");
         let s = m.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.prefetch_pages_requested,
             s.prefetch_pages_issued + s.prefetch_pages_unnecessary
                 + s.prefetch_pages_reclaimed + s.prefetch_pages_inflight
-                + s.prefetch_pages_dropped
+                + s.prefetch_pages_dropped,
+            "case {case} seed {seed}"
         );
     }
 }
-
 
 /// Regression seeds found by the property tests.
 #[test]

@@ -1,0 +1,131 @@
+//! Property-based testing of the fault-injection stack.
+//!
+//! The contract under test is the paper's central one: prefetch and
+//! release are *hints*, so no injected fault — transient I/O errors,
+//! stragglers, brownouts, stale residency bits — may ever change what a
+//! program computes. Faults may only cost time.
+//!
+//! Plans are generated with the simulator's deterministic `SimRng` so
+//! the suite builds offline; every failure names a replayable seed.
+
+use std::collections::HashMap;
+
+use oocp::os::{Brownout, FaultPlan, Machine, MachineParams};
+use oocp::sim::time::MILLISECOND;
+use oocp::sim::SimRng;
+use oocp_bench::{run_workload, run_workload_faulted, Config, Mode};
+use oocp_nas::{build, App};
+
+/// A random plan drawn from `g`: modest error rates (the retry budget
+/// is sized for transient faults, not a dead array), optional
+/// stragglers, an optional bounded brownout, optional bit staleness.
+fn random_plan(g: &mut SimRng) -> FaultPlan {
+    let mut plan = FaultPlan::none(g.next_u64()).with_errors(
+        g.next_f64() * 0.05,
+        g.next_f64() * 0.10,
+        g.next_f64() * 0.05,
+    );
+    if g.next_f64() < 0.5 {
+        plan = plan.with_stragglers(
+            g.next_f64() * 0.10,
+            2.0 + g.next_f64() * 8.0,
+            g.next_below(20) * MILLISECOND,
+        );
+    }
+    if g.next_f64() < 0.5 {
+        let from = g.next_below(500) * MILLISECOND;
+        plan = plan.with_brownout(Brownout {
+            disk: None,
+            from,
+            until: from + 200 * MILLISECOND,
+        });
+    }
+    if g.next_f64() < 0.5 {
+        plan = plan.with_bitvec_staleness(g.next_f64() * 0.10);
+    }
+    plan
+}
+
+/// Any seeded fault plan leaves every kernel's final data bit-identical
+/// to the fault-free run, and the run still verifies.
+#[test]
+fn faulted_kernels_match_fault_free_results() {
+    let mut g = SimRng::new(0xFA_0001);
+    let mut cfg = Config::default_platform();
+    cfg.machine = cfg.machine.with_memory_bytes(1024 * 1024);
+    for app in [App::Embar, App::Buk] {
+        let w = build(app, cfg.bytes_for_ratio(2.0));
+        let base = run_workload(&w, &cfg, Mode::Prefetch);
+        base.verified.as_ref().expect("fault-free run verifies");
+        for case in 0..4 {
+            let plan = random_plan(&mut g);
+            let r = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
+            r.verified.as_ref().unwrap_or_else(|e| {
+                panic!("{app:?} case {case} plan {plan:?}: failed to verify: {e}")
+            });
+            assert_eq!(
+                r.checksum, base.checksum,
+                "{app:?} case {case}: faults changed the results; plan {plan:?}"
+            );
+        }
+    }
+}
+
+const PAGES: u64 = 96;
+const FRAMES: u64 = 24;
+
+/// Faulted machines never let simulated time run backwards and keep
+/// the time ledger covering the clock exactly; data survives.
+#[test]
+fn simulated_time_is_monotone_under_faults() {
+    let mut g = SimRng::new(0xFA_0002);
+    for case in 0..64 {
+        let plan = random_plan(&mut g);
+        let mut p = MachineParams::small();
+        p.resident_limit = FRAMES;
+        p.demand_reserve = 2;
+        p.low_water = 3;
+        p.high_water = 6;
+        let mut m = Machine::new(p, PAGES * 4096);
+        m.set_fault_plan(&plan);
+        let mut shadow: HashMap<u64, i64> = HashMap::new();
+        let mut last = m.now();
+        let len = 50 + g.next_below(200);
+        for step in 0..len {
+            match g.next_below(5) {
+                0 => {
+                    let addr = g.next_below(PAGES * 4096 / 8) * 8;
+                    let got = m.load_i64(addr);
+                    let want = shadow.get(&addr).copied().unwrap_or(0);
+                    assert_eq!(got, want, "case {case} step {step}: load corrupted");
+                }
+                1 => {
+                    let addr = g.next_below(PAGES * 4096 / 8) * 8;
+                    let v = g.next_u64() as i64;
+                    m.store_i64(addr, v);
+                    shadow.insert(addr, v);
+                }
+                2 => m.sys_prefetch(g.next_below(PAGES), 1 + g.next_below(7)),
+                3 => m.sys_release(g.next_below(PAGES), 1 + g.next_below(7)),
+                _ => m.tick_user(1 + g.next_below(999_999)),
+            }
+            assert!(
+                m.now() >= last,
+                "case {case} step {step}: time ran backwards ({} < {last})",
+                m.now()
+            );
+            last = m.now();
+            assert_eq!(
+                m.breakdown().total(),
+                m.now(),
+                "case {case} step {step}: ledger lost time"
+            );
+        }
+        m.finish();
+        assert!(m.now() >= last, "case {case}: finish ran time backwards");
+        assert_eq!(m.breakdown().total(), m.now(), "case {case}: final ledger");
+        for (&addr, &v) in &shadow {
+            assert_eq!(m.peek_i64(addr), v, "case {case}: addr {addr} corrupted");
+        }
+    }
+}

@@ -5,11 +5,14 @@
 //! corrupted (against a shadow model), (b) frame accounting never
 //! exceeds physical memory, (c) the time ledger always covers the
 //! clock, and (d) the machine never wedges.
+//!
+//! Sequences are generated with the simulator's deterministic `SimRng`
+//! so the suite builds offline; every failure names a replayable seed.
 
 use std::collections::HashMap;
 
 use oocp::os::{Machine, MachineParams};
-use proptest::prelude::*;
+use oocp::sim::SimRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -24,19 +27,23 @@ enum Op {
 const PAGES: u64 = 96;
 const FRAMES: u64 = 24;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let addr = 0u64..(PAGES * 4096 / 8);
-    let page = 0u64..PAGES;
-    let count = 1u64..8;
-    prop_oneof![
-        addr.clone().prop_map(|e| Op::Load(e * 8)),
-        (addr, any::<i64>()).prop_map(|(e, v)| Op::Store(e * 8, v)),
-        (page.clone(), count.clone()).prop_map(|(p, n)| Op::Prefetch(p, n)),
-        (page.clone(), count.clone()).prop_map(|(p, n)| Op::Release(p, n)),
-        (page.clone(), count.clone(), page, 1u64..4)
-            .prop_map(|(p, n, rp, rn)| Op::PrefetchRelease(p, n, rp, rn)),
-        (1u64..1_000_000u64).prop_map(Op::Tick),
-    ]
+fn random_op(g: &mut SimRng) -> Op {
+    let elem = |g: &mut SimRng| g.next_below(PAGES * 4096 / 8) * 8;
+    let page = |g: &mut SimRng| g.next_below(PAGES);
+    let count = |g: &mut SimRng| 1 + g.next_below(7);
+    match g.next_below(6) {
+        0 => Op::Load(elem(g)),
+        1 => Op::Store(elem(g), g.next_u64() as i64),
+        2 => Op::Prefetch(page(g), count(g)),
+        3 => Op::Release(page(g), count(g)),
+        4 => Op::PrefetchRelease(page(g), count(g), page(g), 1 + g.next_below(3)),
+        _ => Op::Tick(1 + g.next_below(999_999)),
+    }
+}
+
+fn random_ops(g: &mut SimRng, max_len: u64) -> Vec<Op> {
+    let len = 1 + g.next_below(max_len) as usize;
+    (0..len).map(|_| random_op(g)).collect()
 }
 
 fn machine() -> Machine {
@@ -48,11 +55,11 @@ fn machine() -> Machine {
     Machine::new(p, PAGES * 4096)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn machine_survives_arbitrary_op_sequences(ops in prop::collection::vec(op_strategy(), 1..250)) {
+#[test]
+fn machine_survives_arbitrary_op_sequences() {
+    let mut g = SimRng::new(0x05_0001);
+    for case in 0..256 {
+        let ops = random_ops(&mut g, 250);
         let mut m = machine();
         let mut shadow: HashMap<u64, i64> = HashMap::new();
         for op in &ops {
@@ -60,7 +67,7 @@ proptest! {
                 Op::Load(addr) => {
                     let got = m.load_i64(addr);
                     let want = shadow.get(&addr).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "load at {} corrupted", addr);
+                    assert_eq!(got, want, "case {case}: load at {addr} corrupted");
                 }
                 Op::Store(addr, v) => {
                     m.store_i64(addr, v);
@@ -72,35 +79,40 @@ proptest! {
                 Op::Tick(ns) => m.tick_user(ns),
             }
             // Frame accounting never exceeds physical memory.
-            prop_assert!(
+            assert!(
                 m.resident_pages() + m.inflight_pages() <= FRAMES,
-                "frames overflow: {} resident + {} inflight",
+                "case {case}: frames overflow: {} resident + {} inflight",
                 m.resident_pages(),
                 m.inflight_pages()
             );
             // The ledger always covers the clock exactly.
-            prop_assert_eq!(m.breakdown().total(), m.now());
+            assert_eq!(m.breakdown().total(), m.now(), "case {case}");
         }
         m.finish();
-        prop_assert_eq!(m.breakdown().total(), m.now());
+        assert_eq!(m.breakdown().total(), m.now(), "case {case}");
         // After finish, all stored data survives on "disk".
         for (&addr, &v) in &shadow {
-            prop_assert_eq!(m.peek_i64(addr), v);
+            assert_eq!(m.peek_i64(addr), v, "case {case}: addr {addr}");
         }
         // Page-in classification is a partition.
         let s = m.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.original_faults(),
-            s.prefetched_hits + s.prefetched_faults() + s.non_prefetched_faults
+            s.prefetched_hits + s.prefetched_faults() + s.non_prefetched_faults,
+            "case {case}"
         );
     }
+}
 
-    /// The residency bit vector never lies in the dangerous direction:
-    /// a set bit for an unmapped page would make the filter drop a
-    /// needed prefetch forever. (A clear bit for a resident page only
-    /// costs a redundant system call.)
-    #[test]
-    fn bit_vector_is_safe(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// The residency bit vector never lies in the dangerous direction:
+/// a set bit for an unmapped page would make the filter drop a
+/// needed prefetch forever. (A clear bit for a resident page only
+/// costs a redundant system call.)
+#[test]
+fn bit_vector_is_safe() {
+    let mut g = SimRng::new(0x05_0002);
+    for case in 0..256 {
+        let ops = random_ops(&mut g, 200);
         let mut m = machine();
         for op in &ops {
             match *op {
@@ -119,9 +131,9 @@ proptest! {
             // active pages we just touched.
             let probe = 4096 * (PAGES - 1);
             m.load_i64(probe);
-            prop_assert!(
+            assert!(
                 m.bits().test(PAGES - 1),
-                "just-touched page must be visible in the bit vector"
+                "case {case}: just-touched page must be visible in the bit vector"
             );
         }
     }

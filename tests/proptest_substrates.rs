@@ -1,12 +1,15 @@
 //! Property-based tests for the storage substrates: the extent
 //! allocator against a reference bitmap model, striping coverage for
 //! arbitrary geometry, and disk service-time laws.
+//!
+//! Randomness comes from the simulator's deterministic `SimRng` so the
+//! suite builds offline; every failure names a replayable case index.
 
 use std::collections::HashSet;
 
 use oocp::disk::{DiskParams, ReqKind, Request};
 use oocp::fs::{ExtentAllocator, FileSystem};
-use proptest::prelude::*;
+use oocp::sim::SimRng;
 
 #[derive(Clone, Debug)]
 enum AllocOp {
@@ -14,24 +17,27 @@ enum AllocOp {
     FreeNth(usize),
 }
 
-fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u64..64).prop_map(AllocOp::Alloc),
-            (0usize..32).prop_map(AllocOp::FreeNth),
-        ],
-        1..200,
-    )
+fn alloc_ops(g: &mut SimRng) -> Vec<AllocOp> {
+    let len = 1 + g.next_below(199) as usize;
+    (0..len)
+        .map(|_| {
+            if g.next_below(2) == 0 {
+                AllocOp::Alloc(1 + g.next_below(63))
+            } else {
+                AllocOp::FreeNth(g.next_below(32) as usize)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The allocator never double-allocates a block, never loses one,
-    /// and its free count always matches a reference bitmap.
-    #[test]
-    fn extent_allocator_matches_bitmap_model(ops in alloc_ops()) {
-        const CAP: u64 = 512;
+/// The allocator never double-allocates a block, never loses one,
+/// and its free count always matches a reference bitmap.
+#[test]
+fn extent_allocator_matches_bitmap_model() {
+    const CAP: u64 = 512;
+    let mut g = SimRng::new(0xF5_0001);
+    for case in 0..256 {
+        let ops = alloc_ops(&mut g);
         let mut a = ExtentAllocator::new(CAP);
         let mut held: Vec<oocp::fs::Extent> = Vec::new();
         let mut model: HashSet<u64> = HashSet::new(); // allocated blocks
@@ -39,9 +45,9 @@ proptest! {
             match op {
                 AllocOp::Alloc(len) => {
                     if let Some(e) = a.alloc(len) {
-                        prop_assert_eq!(e.len, len);
+                        assert_eq!(e.len, len, "case {case}");
                         for b in e.start..e.end() {
-                            prop_assert!(model.insert(b), "double allocation of {}", b);
+                            assert!(model.insert(b), "case {case}: double allocation of {b}");
                         }
                         held.push(e);
                     }
@@ -50,39 +56,42 @@ proptest! {
                     if !held.is_empty() {
                         let e = held.remove(n % held.len());
                         for b in e.start..e.end() {
-                            prop_assert!(model.remove(&b), "freeing unallocated {}", b);
+                            assert!(model.remove(&b), "case {case}: freeing unallocated {b}");
                         }
                         a.free(e);
                     }
                 }
             }
-            prop_assert_eq!(a.free_blocks(), CAP - model.len() as u64);
+            assert_eq!(a.free_blocks(), CAP - model.len() as u64, "case {case}");
         }
         // Free everything: the allocator must coalesce back to one run.
         for e in held.drain(..) {
             a.free(e);
         }
-        prop_assert_eq!(a.free_blocks(), CAP);
-        prop_assert_eq!(a.fragments(), 1);
-        prop_assert!(a.alloc(CAP).is_some(), "full capacity reallocatable");
+        assert_eq!(a.free_blocks(), CAP, "case {case}");
+        assert_eq!(a.fragments(), 1, "case {case}");
+        assert!(a.alloc(CAP).is_some(), "case {case}: full capacity reallocatable");
     }
+}
 
-    /// `place_run` covers every page exactly once, for any geometry.
-    #[test]
-    fn striping_covers_spans_exactly(
-        ndisks in 1usize..12,
-        pages in 1u64..500,
-        start_frac in 0.0f64..1.0,
-        count in 1u64..64,
-    ) {
+/// `place_run` covers every page exactly once, for any geometry.
+#[test]
+fn striping_covers_spans_exactly() {
+    let mut g = SimRng::new(0xF5_0002);
+    for case in 0..256 {
+        let ndisks = 1 + g.next_below(11) as usize;
+        let pages = 1 + g.next_below(499);
+        let start_frac = g.next_f64();
+        let count = 1 + g.next_below(63);
+
         let mut fs = FileSystem::new(ndisks, 4096);
         let f = fs.create_file(pages).unwrap();
         let start = ((pages - 1) as f64 * start_frac) as u64;
         let count = count.min(pages - start);
         let runs = fs.place_run(f, start, count).unwrap();
         let total: u64 = runs.iter().map(|r| r.nblocks).sum();
-        prop_assert_eq!(total, count);
-        prop_assert!(runs.len() <= ndisks.min(count as usize));
+        assert_eq!(total, count, "case {case}");
+        assert!(runs.len() <= ndisks.min(count as usize), "case {case}");
         // Each page's individual placement is inside exactly one run.
         for p in start..start + count {
             let (d, b) = fs.place(f, p).unwrap();
@@ -90,18 +99,24 @@ proptest! {
                 .iter()
                 .filter(|r| r.disk == d && (r.start_block..r.start_block + r.nblocks).contains(&b))
                 .count();
-            prop_assert_eq!(hits, 1, "page {} covered {} times", p, hits);
+            assert_eq!(hits, 1, "case {case}: page {p} covered {hits} times");
         }
     }
+}
 
-    /// Disk laws: completions are monotone in submission order, busy
-    /// time equals the sum of services, and a request never completes
-    /// before its own transfer time.
-    #[test]
-    fn disk_service_laws(
-        reqs in prop::collection::vec((0u64..500_000, 1u64..8), 1..50),
-        gap in 0u64..1_000_000,
-    ) {
+/// Disk laws: completions are monotone in submission order, busy
+/// time equals the sum of services, and a request never completes
+/// before its own transfer time.
+#[test]
+fn disk_service_laws() {
+    let mut g = SimRng::new(0xF5_0003);
+    for case in 0..256 {
+        let nreqs = 1 + g.next_below(49) as usize;
+        let reqs: Vec<(u64, u64)> = (0..nreqs)
+            .map(|_| (g.next_below(500_000), 1 + g.next_below(7)))
+            .collect();
+        let gap = g.next_below(1_000_000);
+
         let p = DiskParams::default();
         let mut d = oocp::disk::Disk::new(p);
         let mut last_done = 0u64;
@@ -115,19 +130,19 @@ proptest! {
                     nblocks: n,
                 },
             );
-            prop_assert!(done >= last_done, "FIFO: completions are ordered");
-            prop_assert!(
+            assert!(done >= last_done, "case {case}: FIFO: completions are ordered");
+            assert!(
                 done >= now + p.transfer_ns_per_block * n,
-                "cannot beat the media rate"
+                "case {case}: cannot beat the media rate"
             );
-            prop_assert!(
+            assert!(
                 done <= now.max(last_done)
                     + p.seek_max_ns + p.rotation_ns + p.transfer_ns_per_block * n,
-                "bounded by worst-case positioning"
+                "case {case}: bounded by worst-case positioning"
             );
             last_done = done;
             now += gap;
         }
-        prop_assert!(d.stats().busy_ns <= last_done);
+        assert!(d.stats().busy_ns <= last_done, "case {case}");
     }
 }
