@@ -10,14 +10,7 @@ fn main() {
         || Disk::new(DiskParams::default()),
         |mut d| {
             for i in 0..1000u64 {
-                d.submit(
-                    0,
-                    Request {
-                        kind: ReqKind::PrefetchRead,
-                        start_block: i,
-                        nblocks: 1,
-                    },
-                );
+                d.submit(0, Request::new(ReqKind::PrefetchRead, i, 1));
             }
             black_box(d.stats().busy_ns);
         },
@@ -30,14 +23,7 @@ fn main() {
             let mut pos = 1u64;
             for _ in 0..1000u64 {
                 pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1);
-                d.submit(
-                    0,
-                    Request {
-                        kind: ReqKind::DemandRead,
-                        start_block: pos % 500_000,
-                        nblocks: 1,
-                    },
-                );
+                d.submit(0, Request::new(ReqKind::DemandRead, pos % 500_000, 1));
             }
             black_box(d.stats().busy_ns);
         },

@@ -11,11 +11,17 @@ fn main() {
     cfg.machine = cfg.machine.with_memory_bytes(1024 * 1024);
     for app in [App::Buk, App::Embar] {
         let w = build(app, cfg.bytes_for_ratio(2.0));
-        bench(&format!("end_to_end_2x_1mb/{}_original", app.name()), || {
-            black_box(run_workload(&w, &cfg, Mode::Original).total());
-        });
-        bench(&format!("end_to_end_2x_1mb/{}_prefetch", app.name()), || {
-            black_box(run_workload(&w, &cfg, Mode::Prefetch).total());
-        });
+        bench(
+            &format!("end_to_end_2x_1mb/{}_original", app.name()),
+            || {
+                black_box(run_workload(&w, &cfg, Mode::Original).total());
+            },
+        );
+        bench(
+            &format!("end_to_end_2x_1mb/{}_prefetch", app.name()),
+            || {
+                black_box(run_workload(&w, &cfg, Mode::Prefetch).total());
+            },
+        );
     }
 }

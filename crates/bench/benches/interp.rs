@@ -19,7 +19,10 @@ fn daxpy(n: i64) -> Program {
         vec![Stmt::Store {
             dst: ArrayRef::affine(y, vec![var(i)]),
             value: Expr::add(
-                Expr::mul(Expr::ConstF(2.0), Expr::LoadF(ArrayRef::affine(x, vec![var(i)]))),
+                Expr::mul(
+                    Expr::ConstF(2.0),
+                    Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                ),
                 Expr::LoadF(ArrayRef::affine(y, vec![var(i)])),
             ),
         }],
@@ -58,7 +61,13 @@ fn main() {
         let (binds, bytes) = ArrayBinding::sequential(&prog, 4096);
         let mut vm = MemVm::new(bytes, 4096);
         bench(&format!("interp/{name} ({n} elems)"), || {
-            black_box(run_program(&prog, &binds, &[], CostModel::default(), &mut vm));
+            black_box(run_program(
+                &prog,
+                &binds,
+                &[],
+                CostModel::default(),
+                &mut vm,
+            ));
         });
     }
 }

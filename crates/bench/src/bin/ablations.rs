@@ -22,7 +22,10 @@ fn main() {
     let cfg = args.cfg;
 
     println!("=== ablation 1: block-prefetch size (EMBAR + MGRID, speedup vs original) ===");
-    println!("{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}", "app", "B=1", "B=2", "B=4", "B=8", "B=16");
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "app", "B=1", "B=2", "B=4", "B=8", "B=16"
+    );
     for app in [App::Embar, App::Mgrid] {
         let w = build(app, cfg.bytes_for_ratio(args.ratio));
         let o = run_workload(&w, &cfg, Mode::Original);
@@ -57,7 +60,13 @@ fn main() {
             "{:<12} {:>9} {:>10} {:>10}",
             "version", "coverage", "speedup", "user time"
         );
-        println!("{:<12} {:>9} {:>9.2}x {:>9.1}s", "original", "-", 1.0, o.time.user as f64 / 1e9);
+        println!(
+            "{:<12} {:>9} {:>9.2}x {:>9.1}s",
+            "original",
+            "-",
+            1.0,
+            o.time.user as f64 / 1e9
+        );
         for (name, r) in [("prefetch", &p), ("two-version", &p2)] {
             println!(
                 "{:<12} {:>9} {:>9.2}x {:>9.1}s",
@@ -100,7 +109,10 @@ fn main() {
 
     println!("\n=== ablation 4: disk count (EMBAR, bandwidth scaling) ===");
     {
-        println!("{:<7} {:>10} {:>10} {:>9} {:>10}", "disks", "O (s)", "P (s)", "speedup", "P util");
+        println!(
+            "{:<7} {:>10} {:>10} {:>9} {:>10}",
+            "disks", "O (s)", "P (s)", "speedup", "P util"
+        );
         for disks in [1usize, 2, 4, 7, 14] {
             let mut c = cfg;
             c.machine = c.machine.with_ndisks(disks);

@@ -85,6 +85,12 @@ fn main() {
     if std::env::args().all(|a| a != "--mem-mb") {
         cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
     }
+    println!(
+        "sched policy: {} (queue depth {}, coalesce {})",
+        cfg.machine.sched.policy.label(),
+        cfg.machine.sched.queue_depth,
+        cfg.machine.sched.coalesce,
+    );
     let apps = [App::Embar, App::Buk, App::Cgm, App::Fft, App::Mgrid];
 
     let mut total_faults = 0u64;

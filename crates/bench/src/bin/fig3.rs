@@ -44,7 +44,11 @@ fn main() {
         let p = run_workload(&w, &cfg, Mode::Prefetch);
         for r in [&o, &p] {
             if let Err(e) = &r.verified {
-                eprintln!("WARNING: {} {:?} failed verification: {e}", app.name(), r.mode);
+                eprintln!(
+                    "WARNING: {} {:?} failed verification: {e}",
+                    app.name(),
+                    r.mode
+                );
             }
         }
         let norm = o.total();

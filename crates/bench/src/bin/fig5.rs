@@ -33,7 +33,11 @@ fn main() {
             let r = run_workload(&w, &cfg, mode);
             println!(
                 "{:<8} {:<3} {:>12} {:>14} {:>10} {:>12} {:>12}",
-                if mode == Mode::Original { app.name() } else { "" },
+                if mode == Mode::Original {
+                    app.name()
+                } else {
+                    ""
+                },
                 mode.label(),
                 r.disk.demand_reads,
                 r.disk.prefetch_reads,

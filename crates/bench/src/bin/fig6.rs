@@ -45,7 +45,5 @@ fn main() {
             wo.total() as f64 / wp.total() as f64,
         );
     }
-    println!(
-        "\n(cold: input read from disk during the run; warm: data preloaded before timing)"
-    );
+    println!("\n(cold: input read from disk during the run; warm: data preloaded before timing)");
 }

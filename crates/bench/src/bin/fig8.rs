@@ -48,7 +48,11 @@ fn main() {
         csv_rows.push(format!("{pctg},{keys},{},{}", o.total(), p.total()));
     }
     if let Some(path) = &args.csv {
-        oocp_bench::write_csv(path, "size_pct_of_memory,keys,original_ns,prefetch_ns", &csv_rows);
+        oocp_bench::write_csv(
+            path,
+            "size_pct_of_memory,keys,original_ns,prefetch_ns",
+            &csv_rows,
+        );
     }
     println!("\n(watch for the discontinuity in the O column as size crosses 100% of memory)");
 }

@@ -27,9 +27,7 @@ fn main() {
     let mut cfg = args.cfg;
 
     println!("=== A. in-core adaptivity (warm-started, data ~25% of memory) ===");
-    println!(
-        "run-time suppression (P-adapt) vs compiler-generated memory test (P-acode)\n"
-    );
+    println!("run-time suppression (P-adapt) vs compiler-generated memory test (P-acode)\n");
     println!(
         "{:<8} {:>9} {:>9} {:>10} {:>10} | {:>8} {:>9} {:>9}",
         "app", "O (s)", "P (s)", "P-adapt", "P-acode", "P ovhd", "adapt", "acode"
@@ -78,8 +76,18 @@ fn main() {
         let calm_o = run_workload(&w, &cfg, Mode::Original);
         let calm_p = run_workload(&w, &cfg, Mode::Prefetch);
         let rows = [
-            ("  paged VM", Mode::Original, ReleaseMode::Conservative, calm_o.total()),
-            ("  prefetch", Mode::Prefetch, ReleaseMode::Conservative, calm_p.total()),
+            (
+                "  paged VM",
+                Mode::Original,
+                ReleaseMode::Conservative,
+                calm_o.total(),
+            ),
+            (
+                "  prefetch",
+                Mode::Prefetch,
+                ReleaseMode::Conservative,
+                calm_p.total(),
+            ),
             (
                 "  prefetch+aggr.rel",
                 Mode::Prefetch,

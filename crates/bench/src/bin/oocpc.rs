@@ -55,13 +55,22 @@ fn parse_args() -> Options {
             "--quiet" => opts.quiet = true,
             "--two-version" => opts.two_version = true,
             "--mem-mb" => {
-                opts.mem_mb = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.mem_mb = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--trace" => {
-                opts.trace = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.trace = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--block" => {
-                opts.block = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.block = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--param" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
@@ -174,9 +183,6 @@ fn main() -> ExitCode {
         totals.push(m.breakdown().total());
         let _ = rt.page_bytes();
     }
-    println!(
-        "  speedup  : {:.2}x",
-        totals[0] as f64 / totals[1] as f64
-    );
+    println!("  speedup  : {:.2}x", totals[0] as f64 / totals[1] as f64);
     ExitCode::SUCCESS
 }

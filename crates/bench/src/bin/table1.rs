@@ -23,27 +23,58 @@ fn main() {
         m.memory_bytes() / (1 << 20),
         m.resident_limit
     );
-    println!("  pageout watermarks         : low {} / high {}", m.low_water, m.high_water);
+    println!(
+        "  pageout watermarks         : low {} / high {}",
+        m.low_water, m.high_water
+    );
     println!("  demand reserve             : {} frames", m.demand_reserve);
     println!("operating system");
-    println!("  page-fault overhead        : {}", fmt_ns(m.fault_overhead_ns));
-    println!("  soft-fault (reclaim)       : {}", fmt_ns(m.soft_fault_overhead_ns));
-    println!("  hint system call           : {}", fmt_ns(m.hint_syscall_ns));
-    println!("  hint per-page cost         : {}", fmt_ns(m.hint_per_page_ns));
+    println!(
+        "  page-fault overhead        : {}",
+        fmt_ns(m.fault_overhead_ns)
+    );
+    println!(
+        "  soft-fault (reclaim)       : {}",
+        fmt_ns(m.soft_fault_overhead_ns)
+    );
+    println!(
+        "  hint system call           : {}",
+        fmt_ns(m.hint_syscall_ns)
+    );
+    println!(
+        "  hint per-page cost         : {}",
+        fmt_ns(m.hint_per_page_ns)
+    );
     println!(
         "  run-time filter check      : {}",
         fmt_ns(oocp_rt::Runtime::DEFAULT_CHECK_NS)
     );
     println!("disks");
     println!("  count (striped round-robin): {}", m.ndisks);
-    println!("  seek (min..max)            : {}..{}", fmt_ns(m.disk.seek_min_ns), fmt_ns(m.disk.seek_max_ns));
-    println!("  rotation                   : {}", fmt_ns(m.disk.rotation_ns));
-    println!("  transfer per page          : {}", fmt_ns(m.disk.transfer_ns_per_block));
-    println!("  avg isolated access        : {}", fmt_ns(m.disk.avg_access_ns()));
+    println!(
+        "  seek (min..max)            : {}..{}",
+        fmt_ns(m.disk.seek_min_ns),
+        fmt_ns(m.disk.seek_max_ns)
+    );
+    println!(
+        "  rotation                   : {}",
+        fmt_ns(m.disk.rotation_ns)
+    );
+    println!(
+        "  transfer per page          : {}",
+        fmt_ns(m.disk.transfer_ns_per_block)
+    );
+    println!(
+        "  avg isolated access        : {}",
+        fmt_ns(m.disk.avg_access_ns())
+    );
     println!("processor cost model (per operation)");
     println!("  memory access              : {}", fmt_ns(c.ns_per_access));
     println!("  floating-point op          : {}", fmt_ns(c.ns_per_flop));
     println!("  integer op                 : {}", fmt_ns(c.ns_per_iop));
     println!("  loop bookkeeping           : {}", fmt_ns(c.ns_per_iter));
-    println!("  hint issue (user side)     : {}", fmt_ns(c.ns_per_hint_issue));
+    println!(
+        "  hint issue (user side)     : {}",
+        fmt_ns(c.ns_per_hint_issue)
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
         args.ratio,
         cfg.machine.memory_bytes() / (1 << 20)
     );
-    println!("{:<8} {:>10} {:>8} {:<60}", "app", "data (MB)", "arrays", "description");
+    println!(
+        "{:<8} {:>10} {:>8} {:<60}",
+        "app", "data (MB)", "arrays", "description"
+    );
     for app in App::ALL {
         let w = build(app, cfg.bytes_for_ratio(args.ratio));
         println!(

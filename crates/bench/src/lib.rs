@@ -13,7 +13,7 @@ use oocp_core::{compile, CompileReport, CompilerParams};
 use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
 use oocp_nas::Workload;
 use oocp_os::{FaultPlan, MachineParams, OsStats};
-use oocp_rt::{FilterMode, Runtime, RtStats};
+use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
 
 /// How to run a workload.
@@ -162,12 +162,7 @@ pub fn run_workload_pressured(
 /// desync, and pressure storms all per the plan. The run must still
 /// verify and produce the same [`RunResult::checksum`] as a fault-free
 /// run — faults may only cost time.
-pub fn run_workload_faulted(
-    w: &Workload,
-    cfg: &Config,
-    mode: Mode,
-    plan: &FaultPlan,
-) -> RunResult {
+pub fn run_workload_faulted(w: &Workload, cfg: &Config, mode: Mode, plan: &FaultPlan) -> RunResult {
     run_workload_inner(w, cfg, mode, cfg.compiler_params(), Vec::new(), Some(plan))
 }
 
@@ -209,8 +204,7 @@ fn run_workload_inner(
     if let Some(plan) = plan {
         machine.set_fault_plan(plan);
     }
-    let mut rt =
-        Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
+    let mut rt = Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
     w.init(&binds, &mut rt, cfg.seed);
     if cfg.warm {
         let m = rt.machine_mut();
@@ -299,15 +293,20 @@ pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns)
 /// Parse `--key value` style overrides shared by the binaries.
 ///
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
-/// `--csv <path>`.
+/// `--csv <path>`, `--sched <policy>`, `--queue-depth <n>`,
+/// `--coalesce`, `--smoke`.
 pub struct Args {
-    /// Parsed configuration.
+    /// Parsed configuration (including any `--sched`/`--queue-depth`/
+    /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
     pub cfg: Config,
     /// Data-set to memory ratio (default 2.0, the paper's headline).
     pub ratio: f64,
     /// Optional CSV output path (binaries that support it write their
     /// numeric rows there for plotting).
     pub csv: Option<String>,
+    /// Quick-gate mode: binaries that support it shrink to a single
+    /// small kernel so CI can run them on every change.
+    pub smoke: bool,
 }
 
 impl Args {
@@ -316,10 +315,27 @@ impl Args {
         let mut cfg = Config::default_platform();
         let mut ratio = 2.0;
         let mut csv = None;
+        let mut smoke = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
-        while i + 1 < argv.len() {
-            let v = &argv[i + 1];
+        while i < argv.len() {
+            // Flags without a value first.
+            match argv[i].as_str() {
+                "--coalesce" => {
+                    cfg.machine.sched = cfg.machine.sched.with_coalesce(true);
+                    i += 1;
+                    continue;
+                }
+                "--smoke" => {
+                    smoke = true;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            let v = argv
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{} takes a value", argv[i]));
             match argv[i].as_str() {
                 "--mem-mb" => {
                     let mb: u64 = v.parse().expect("--mem-mb takes an integer");
@@ -327,15 +343,27 @@ impl Args {
                 }
                 "--seed" => cfg.seed = v.parse().expect("--seed takes an integer"),
                 "--ratio" => ratio = v.parse().expect("--ratio takes a float"),
-                "--disks" => {
-                    cfg.machine = cfg.machine.with_ndisks(v.parse().expect("--disks int"))
-                }
+                "--disks" => cfg.machine = cfg.machine.with_ndisks(v.parse().expect("--disks int")),
                 "--csv" => csv = Some(v.clone()),
+                "--sched" => {
+                    let policy = oocp_os::SchedPolicy::parse(v)
+                        .unwrap_or_else(|| panic!("unknown scheduling policy {v}"));
+                    cfg.machine.sched = cfg.machine.sched.with_policy(policy);
+                }
+                "--queue-depth" => {
+                    let depth: usize = v.parse().expect("--queue-depth takes an integer");
+                    cfg.machine.sched = cfg.machine.sched.with_queue_depth(depth);
+                }
                 other => panic!("unknown argument {other}"),
             }
             i += 2;
         }
-        Self { cfg, ratio, csv }
+        Self {
+            cfg,
+            ratio,
+            csv,
+            smoke,
+        }
     }
 }
 
@@ -343,8 +371,7 @@ impl Args {
 /// is the right behavior for an experiment script.
 pub fn write_csv(path: &str, header: &str, rows: &[String]) {
     use std::io::Write;
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     writeln!(f, "{header}").unwrap();
     for r in rows {
         writeln!(f, "{r}").unwrap();

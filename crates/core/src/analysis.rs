@@ -1,8 +1,6 @@
 //! Reference collection and locality analysis.
 
-use oocp_ir::{
-    ArrayRef, CostModel, Expr, Index, LinExpr, Loop, Program, Stmt, Sym,
-};
+use oocp_ir::{ArrayRef, CostModel, Expr, Index, LinExpr, Loop, Program, Stmt, Sym};
 
 /// Snapshot of one enclosing loop at a reference site.
 #[derive(Clone, Debug)]
@@ -185,8 +183,8 @@ fn walk_loop(
         hi: l.hi.clone(),
         step: l.step,
         trip: trip_count(&l.lo, &l.hi, l.step),
-        est_iter_ns: (cost.ns_per_iter as f64 + est_block_ns(&l.body, cost, assumed_trip))
-            .max(1.0) as u64,
+        est_iter_ns: (cost.ns_per_iter as f64 + est_block_ns(&l.body, cost, assumed_trip)).max(1.0)
+            as u64,
     };
     nest.loops.push(info);
     path.push(l.var);
@@ -240,7 +238,11 @@ fn record_ref(prog: &Program, r: &ArrayRef, is_store: bool, path: &[usize], nest
             let inner = RefInfo {
                 array: *array,
                 idx: idx.iter().cloned().map(Index::Lin).collect(),
-                flat: flatten(prog, *array, &idx.iter().cloned().map(Index::Lin).collect::<Vec<_>>()),
+                flat: flatten(
+                    prog,
+                    *array,
+                    &idx.iter().cloned().map(Index::Lin).collect::<Vec<_>>(),
+                ),
                 is_store: false,
                 path: path.to_vec(),
             };
@@ -282,12 +284,7 @@ mod tests {
     fn flatten_row_major() {
         let mut p = Program::new("t");
         let c = p.array("c", ElemType::F64, vec![10, 20]);
-        let f = flatten(
-            &p,
-            c,
-            &[Index::Lin(var(0)), Index::Lin(var(1).offset(3))],
-        )
-        .unwrap();
+        let f = flatten(&p, c, &[Index::Lin(var(0)), Index::Lin(var(1).offset(3))]).unwrap();
         // i*20 + j + 3
         assert_eq!(f, var(0).scale(20).add(&var(1)).offset(3));
     }
@@ -365,10 +362,7 @@ mod tests {
         // Refs: store a[i], inner b[i], indirect a[b[i]].
         assert_eq!(nest.refs.len(), 3);
         assert!(nest.refs.iter().any(|r| r.array == b && r.flat.is_some()));
-        assert!(nest
-            .refs
-            .iter()
-            .any(|r| r.array == a && r.flat.is_none()));
+        assert!(nest.refs.iter().any(|r| r.array == a && r.flat.is_none()));
     }
 
     #[test]

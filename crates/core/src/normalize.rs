@@ -209,12 +209,20 @@ mod tests {
         let p = tiled(4096, 64);
         let n = normalize_loops(&p);
         // Inner loop now runs 0..64 and the subscript mentions i0.
-        let Stmt::For(outer) = &n.body[0] else { panic!() };
-        let Stmt::For(inner) = &outer.body[0] else { panic!() };
+        let Stmt::For(outer) = &n.body[0] else {
+            panic!()
+        };
+        let Stmt::For(inner) = &outer.body[0] else {
+            panic!()
+        };
         assert_eq!(inner.lo.as_const(), Some(0));
         assert_eq!(inner.hi.as_const(), Some(64));
-        let Stmt::Store { dst, .. } = &inner.body[0] else { panic!() };
-        let Index::Lin(sub) = &dst.idx[0] else { panic!() };
+        let Stmt::Store { dst, .. } = &inner.body[0] else {
+            panic!()
+        };
+        let Index::Lin(sub) = &dst.idx[0] else {
+            panic!()
+        };
         assert_eq!(sub.coeff(Sym::Var(outer.var)), 1, "tile var visible");
         assert_eq!(sub.coeff(Sym::Var(inner.var)), 1);
     }
@@ -261,14 +269,22 @@ mod tests {
             )],
         )];
         let n = normalize_loops(&p);
-        let Stmt::For(outer) = &n.body[0] else { panic!() };
+        let Stmt::For(outer) = &n.body[0] else {
+            panic!()
+        };
         assert_eq!(outer.step, -1, "backward loop untouched");
         assert_eq!(outer.lo, param(np));
-        let Stmt::For(inner) = &outer.body[0] else { panic!() };
+        let Stmt::For(inner) = &outer.body[0] else {
+            panic!()
+        };
         assert_eq!(inner.lo.as_const(), Some(0));
         assert_eq!(inner.hi.as_const(), Some(5));
-        let Stmt::Store { dst, .. } = &inner.body[0] else { panic!() };
-        let Index::Lin(sub) = &dst.idx[0] else { panic!() };
+        let Stmt::Store { dst, .. } = &inner.body[0] else {
+            panic!()
+        };
+        let Index::Lin(sub) = &dst.idx[0] else {
+            panic!()
+        };
         // x[2j] with j -> j'+5 becomes x[2j' + 10].
         assert_eq!(sub.c, 10);
         // Semantics check with n = 7.

@@ -121,7 +121,10 @@ impl CompilerParams {
     /// Panics on nonsensical configurations.
     pub fn validate(&self) {
         assert!(self.page_bytes.is_power_of_two(), "page size power of two");
-        assert!(self.memory_bytes >= self.page_bytes, "memory below one page");
+        assert!(
+            self.memory_bytes >= self.page_bytes,
+            "memory below one page"
+        );
         assert!(self.block_pages >= 1, "block_pages must be positive");
         assert!(self.assumed_trip >= 1, "assumed_trip must be positive");
     }

@@ -87,10 +87,7 @@ pub struct NestPlan {
 impl NestPlan {
     /// Whether any plan in the nest was made under a symbolic bound.
     pub fn any_uncertain(&self) -> bool {
-        self.strips
-            .values()
-            .flatten()
-            .any(|p| p.uncertain)
+        self.strips.values().flatten().any(|p| p.uncertain)
     }
 
     /// Whether the nest has any hint-producing plan at all.
@@ -203,8 +200,7 @@ fn slab_plan(
     params: &CompilerParams,
 ) {
     let cl = nest.loop_by_var(carrier).expect("carrier on path");
-    let carrier_stride =
-        (flat.coeff(Sym::Var(carrier)) * cl.step).unsigned_abs() * 8;
+    let carrier_stride = (flat.coeff(Sym::Var(carrier)) * cl.step).unsigned_abs() * 8;
     // Pre-substitute the pipelining variable: the lead comes from here,
     // not from the strip distance.
     let ahead =
@@ -305,9 +301,7 @@ pub fn plan_nest_global(
                 let carrier = sample.path.iter().rev().find(|&&v| {
                     sample.idx.iter().any(|ix| match ix {
                         Index::Lin(e) => e.mentions(Sym::Var(v)),
-                        Index::Ind { idx, .. } => {
-                            idx.iter().any(|e| e.mentions(Sym::Var(v)))
-                        }
+                        Index::Ind { idx, .. } => idx.iter().any(|e| e.mentions(Sym::Var(v))),
                     })
                 });
                 let Some(&carrier) = carrier else {
@@ -372,8 +366,7 @@ pub fn plan_nest_global(
                     // Candidate; prefer it if the pipeline fits.
                     chosen = Some(v);
                     uncertain = li.trip.is_none();
-                    let d_raw = (params.fault_latency_ns as f64
-                        / li.est_iter_ns.max(1) as f64)
+                    let d_raw = (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64)
                         .ceil() as i64;
                     let sb = (stride.unsigned_abs() * elem_bytes).max(1);
                     let strip = if sb <= page {
@@ -468,8 +461,7 @@ pub fn plan_nest_global(
                         // gets covered, at one hint per page-crossing
                         // (see `slab_plan`).
                         slab_plan(
-                            &mut plan, nest, flat, &template, carrier, pf_var, li.step, d,
-                            params,
+                            &mut plan, nest, flat, &template, carrier, pf_var, li.step, d, params,
                         );
                     }
                     report.decision = Decision::PerIter {
@@ -499,8 +491,7 @@ pub fn plan_nest_global(
                         .rev()
                         .find(|&&v| flat.coeff(Sym::Var(v)) != 0)
                         .expect("varying loop exists");
-                    let mut d = (params.fault_latency_ns as f64
-                        / li.est_iter_ns.max(1) as f64)
+                    let mut d = (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64)
                         .ceil() as i64;
                     d = d.clamp(1, 16 * period);
                     if let Some(trip) = li.trip {
@@ -521,8 +512,8 @@ pub fn plan_nest_global(
                 // Strip-mined block prefetching.
                 let strip_len = params.block_pages as i64 * period;
                 let pages = ceil_div(strip_len as u64 * stride_bytes, page).max(1);
-                let mut d = (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64)
-                    .ceil() as i64;
+                let mut d =
+                    (params.fault_latency_ns as f64 / li.est_iter_ns.max(1) as f64).ceil() as i64;
                 d = d.max(1);
                 // Round the distance up to a whole number of strips so
                 // each steady-state hint covers exactly one future strip.
@@ -537,8 +528,7 @@ pub fn plan_nest_global(
                 // of a tiny loop is pure overhead (the APPBT case).
                 let is_outermost = sample.path.first() == Some(&pf_var);
                 let prolog_pages = (is_outermost || !uncertain).then(|| {
-                    ceil_div(distance as u64 * stride_bytes, page)
-                        .clamp(1, params.max_prolog_pages)
+                    ceil_div(distance as u64 * stride_bytes, page).clamp(1, params.max_prolog_pages)
                 });
                 // Release policy.
                 let release = match params.release_mode {
@@ -561,8 +551,7 @@ pub fn plan_nest_global(
                         // paper notes "underestimates [memory's] ability
                         // to retain data".
                         let live_arrays = {
-                            let mut ids: Vec<usize> =
-                                nest.refs.iter().map(|r| r.array).collect();
+                            let mut ids: Vec<usize> = nest.refs.iter().map(|r| r.array).collect();
                             ids.sort_unstable();
                             ids.dedup();
                             ids.len().max(1) as u64
@@ -583,15 +572,14 @@ pub fn plan_nest_global(
                             {
                                 // Strictly outside the pipelining loop.
                                 let disjoint = stride.unsigned_abs() as i64 >= inner_span;
-                                let far_reuse =
-                                    inner_span as u64 * elem_bytes > eff_memory;
+                                let far_reuse = inner_span as u64 * elem_bytes > eff_memory;
                                 if !disjoint && !far_reuse {
                                     streaming = false;
                                     break;
                                 }
                             }
-                            inner_span = inner_span
-                                .saturating_add(stride.abs().saturating_mul(trip));
+                            inner_span =
+                                inner_span.saturating_add(stride.abs().saturating_mul(trip));
                         }
                         dead_after && streaming
                     }
@@ -726,7 +714,10 @@ mod tests {
         let params = CompilerParams::default();
         let plan = plan_first(&p, &params);
         let strips = &plan.strips[&i];
-        assert!(strips[0].rel_template.is_none(), "retained data not released");
+        assert!(
+            strips[0].rel_template.is_none(),
+            "retained data not released"
+        );
         // With Aggressive mode the release comes back.
         let plan = plan_first(&p, &params.with_release_mode(ReleaseMode::Aggressive));
         assert!(plan.strips[&i][0].rel_template.is_some());
@@ -858,13 +849,15 @@ mod tests {
             )],
         )];
         let plan = plan_first(&p, &CompilerParams::default());
-        assert!(plan.strips.contains_key(&j), "guessed large: pipelined on j");
+        assert!(
+            plan.strips.contains_key(&j),
+            "guessed large: pipelined on j"
+        );
         assert!(plan.strips[&j][0].uncertain);
         assert!(plan.any_uncertain());
         // With small-trip assumption the choice flips to the outer loop.
         let prog = p.clone();
-        let nests =
-            collect_nests(&prog, &CompilerParams::default().cost, 64);
+        let nests = collect_nests(&prog, &CompilerParams::default().cost, 64);
         let plan_b = plan_nest(&prog, &nests[0], &CompilerParams::default(), true);
         assert!(plan_b.strips.contains_key(&i));
     }
@@ -917,7 +910,13 @@ mod tests {
         let plan = plan_first(&p, &CompilerParams::default());
         // b[i] gets a strip plan; a[b[i]] a per-iteration plan (load and
         // store merged by group locality).
-        assert_eq!(plan.strips[&0].iter().filter(|s| s.template.array == b).count(), 1);
+        assert_eq!(
+            plan.strips[&0]
+                .iter()
+                .filter(|s| s.template.array == b)
+                .count(),
+            1
+        );
         assert_eq!(plan.per_iter[&0].len(), 1);
         assert!(plan.per_iter[&0][0].template.is_indirect());
     }
@@ -939,10 +938,7 @@ mod tests {
         )];
         let plan = plan_first(&p, &CompilerParams::default());
         assert!(plan.is_empty());
-        assert!(matches!(
-            plan.reports[0].decision,
-            Decision::Skip { .. }
-        ));
+        assert!(matches!(plan.reports[0].decision, Decision::Skip { .. }));
     }
 
     #[test]

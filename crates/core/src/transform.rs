@@ -146,7 +146,12 @@ fn build_strips(
 
 /// Transform one loop according to the nest plan; returns the statements
 /// that replace it (prolog hints + the transformed loop).
-fn transform_loop(l: &Loop, plan: &NestPlan, params: &CompilerParams, fresh: &mut usize) -> Vec<Stmt> {
+fn transform_loop(
+    l: &Loop,
+    plan: &NestPlan,
+    params: &CompilerParams,
+    fresh: &mut usize,
+) -> Vec<Stmt> {
     // Transform inner loops first.
     let mut body = transform_block(&l.body, plan, params, fresh);
 
@@ -361,7 +366,10 @@ fn is_guardable_hint(s: &Stmt, guarded: &std::collections::HashSet<usize>) -> bo
         // are guardable hints.
         Stmt::If { then_, else_, .. } => {
             !then_.is_empty()
-                && then_.iter().chain(else_).all(|s| is_guardable_hint(s, guarded))
+                && then_
+                    .iter()
+                    .chain(else_)
+                    .all(|s| is_guardable_hint(s, guarded))
         }
         _ => false,
     }
@@ -390,7 +398,12 @@ fn apply_adaptive_guards(
                 match s {
                     Stmt::For(mut l) => {
                         l.body = apply_adaptive_guards(
-                            l.body, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            l.body,
+                            guarded,
+                            avail_param,
+                            data_bytes,
+                            outer_var,
+                            outer_lo,
                             true,
                         );
                         Stmt::For(l)
@@ -398,11 +411,21 @@ fn apply_adaptive_guards(
                     Stmt::If { cond, then_, else_ } => Stmt::If {
                         cond,
                         then_: apply_adaptive_guards(
-                            then_, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            then_,
+                            guarded,
+                            avail_param,
+                            data_bytes,
+                            outer_var,
+                            outer_lo,
                             inside_loop,
                         ),
                         else_: apply_adaptive_guards(
-                            else_, guarded, avail_param, data_bytes, outer_var, outer_lo,
+                            else_,
+                            guarded,
+                            avail_param,
+                            data_bytes,
+                            outer_var,
+                            outer_lo,
                             inside_loop,
                         ),
                     },
@@ -459,8 +482,7 @@ pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) 
         match s {
             Stmt::For(l) => {
                 let (nidx, nest) = nest_iter.next().expect("one nest per top-level loop");
-                let plan =
-                    plan_nest_global(prog, nest, params, false, nidx, &last_ref_nest);
+                let plan = plan_nest_global(prog, nest, params, false, nidx, &last_ref_nest);
                 report.groups.extend(plan.reports.iter().cloned());
 
                 let two_version = params.two_version_loops
@@ -470,7 +492,10 @@ pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) 
                         // The trip-count test must be evaluable at nest
                         // entry: bounds must not depend on loop vars.
                         .map(|li| {
-                            li.lo.syms().chain(li.hi.syms()).all(|s| matches!(s, Sym::Param(_)))
+                            li.lo
+                                .syms()
+                                .chain(li.hi.syms())
+                                .all(|s| matches!(s, Sym::Param(_)))
                         })
                         .unwrap_or(false);
 
@@ -483,13 +508,7 @@ pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) 
                                 return stmts;
                             }
                             apply_adaptive_guards(
-                                stmts,
-                                &guarded,
-                                ap,
-                                data_bytes,
-                                l.var,
-                                &l.lo,
-                                false,
+                                stmts, &guarded, ap, data_bytes, l.var, &l.lo, false,
                             )
                         }
                     }
@@ -500,8 +519,7 @@ pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) 
                     // time on the uncertain loop's actual trip count.
                     let (uvar, period) = uncertain_loop(&plan).expect("uncertain plan");
                     let li = nest.loop_by_var(uvar).expect("loop in nest").clone();
-                    let plan_b =
-                        plan_nest_global(prog, nest, params, true, nidx, &last_ref_nest);
+                    let plan_b = plan_nest_global(prog, nest, params, true, nidx, &last_ref_nest);
                     let a = guard_nest(transform_loop(l, &plan, params, &mut fresh));
                     let b = guard_nest(transform_loop(l, &plan_b, params, &mut fresh));
                     let trip = li.hi.sub(&li.lo).scale(li.step.signum());
@@ -536,9 +554,7 @@ pub fn run(prog: &Program, params: &CompilerParams) -> (Program, CompileReport) 
 mod tests {
     use super::*;
     use crate::params::ReleaseMode;
-    use oocp_ir::{
-        run_program, ArrayBinding, ArrayData, CostModel, ElemType, MemVm,
-    };
+    use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ElemType, MemVm};
 
     /// Run original and transformed on fresh MemVms with identical
     /// initial data; assert byte-identical final memory.
@@ -683,10 +699,10 @@ mod tests {
         run_program(&xformed, &binds, &[], CostModel::free(), &mut vm_b);
         assert_eq!(vm_a.bytes(), vm_b.bytes());
         assert!(vm_b.prefetches > 0);
-        assert!(report
-            .groups
-            .iter()
-            .any(|g| matches!(g.decision, crate::report::Decision::PerIter { indirect: true, .. })));
+        assert!(report.groups.iter().any(|g| matches!(
+            g.decision,
+            crate::report::Decision::PerIter { indirect: true, .. }
+        )));
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub enum IoError {
         /// Simulated time at which the brownout lifts.
         until: Ns,
     },
+    /// The disk's bounded request queue is full. This is backpressure,
+    /// not a fault: nothing reached the media and no retry budget
+    /// should be charged. A slot is guaranteed free by `retry_at`.
+    QueueFull {
+        /// Index of the saturated disk.
+        disk: usize,
+        /// Earliest simulated time at which a queue slot frees.
+        retry_at: Ns,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -76,6 +85,9 @@ impl fmt::Display for IoError {
             }
             IoError::Brownout { disk, until } => {
                 write!(f, "disk {disk} browned out until {until} ns")
+            }
+            IoError::QueueFull { disk, retry_at } => {
+                write!(f, "disk {disk} queue full; retry at {retry_at} ns")
             }
         }
     }
@@ -322,29 +334,26 @@ mod tests {
     use super::*;
 
     fn read(kind: ReqKind) -> Request {
-        Request {
-            kind,
-            start_block: 0,
-            nblocks: 1,
-        }
+        Request::new(kind, 0, 1)
     }
 
     #[test]
     fn null_plan_injects_nothing() {
         let mut inj = FaultInjector::new(FaultPlan::none(7), 2);
         for _ in 0..1000 {
-            assert_eq!(inj.decide(0, 0, &read(ReqKind::DemandRead)), Injection::None);
+            assert_eq!(
+                inj.decide(0, 0, &read(ReqKind::DemandRead)),
+                Injection::None
+            );
             assert_eq!(inj.decide(1, 0, &read(ReqKind::Write)), Injection::None);
         }
     }
 
     #[test]
     fn same_seed_same_decisions() {
-        let plan = FaultPlan::none(42).with_errors(0.3, 0.3, 0.3).with_stragglers(
-            0.2,
-            4.0,
-            1000,
-        );
+        let plan = FaultPlan::none(42)
+            .with_errors(0.3, 0.3, 0.3)
+            .with_stragglers(0.2, 4.0, 1000);
         let mut a = FaultInjector::new(plan.clone(), 3);
         let mut b = FaultInjector::new(plan, 3);
         for i in 0..500usize {
@@ -386,11 +395,17 @@ mod tests {
         assert_eq!(inj.decide(1, 99, &r), Injection::None);
         assert_eq!(
             inj.decide(1, 100, &r),
-            Injection::Fail(IoError::Brownout { disk: 1, until: 200 })
+            Injection::Fail(IoError::Brownout {
+                disk: 1,
+                until: 200
+            })
         );
         assert_eq!(
             inj.decide(1, 199, &r),
-            Injection::Fail(IoError::Brownout { disk: 1, until: 200 })
+            Injection::Fail(IoError::Brownout {
+                disk: 1,
+                until: 200
+            })
         );
         assert_eq!(inj.decide(1, 200, &r), Injection::None);
         // Other disks unaffected.

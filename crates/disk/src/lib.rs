@@ -3,19 +3,24 @@
 //! Models a mid-1990s SCSI disk of the kind attached to the Hector
 //! multiprocessor used in the paper: a distance-dependent seek, half a
 //! rotation of average rotational latency, and a fixed per-block transfer
-//! time. Requests are serviced strictly in arrival order — the paper notes
-//! that Hurricane's disk scheduler "treats prefetches the same as normal
-//! disk read requests", so there is deliberately no priority between
-//! demand reads, prefetch reads, and write-backs.
+//! time. Every disk owns a real request queue driven by a pluggable
+//! scheduling policy ([`sched`]): the default FCFS configuration
+//! reproduces the paper's baseline — Hurricane's scheduler "treats
+//! prefetches the same as normal disk read requests" — while SSTF/SCAN
+//! elevator ordering and demand-over-prefetch priority model the design
+//! axis the paper leaves as future work.
 //!
 //! Contiguous multi-block requests pay the positioning cost once, which is
 //! what makes the compiler's *block prefetches* (and the file system's
-//! extent-based layout) profitable.
+//! extent-based layout) profitable; the scheduler can additionally
+//! coalesce adjacent same-class reads into one such transfer.
 
 pub mod array;
 pub mod fault;
 pub mod model;
+pub mod sched;
 
 pub use array::DiskArray;
 pub use fault::{Brownout, FaultInjector, FaultPlan, Injection, IoError, PressureStorm};
 pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};
+pub use sched::{SchedConfig, SchedPolicy, Ticket};

@@ -1,0 +1,429 @@
+//! Pluggable per-disk I/O scheduling: policies, queue configuration,
+//! and completion tickets.
+//!
+//! The paper notes that Hurricane's disk scheduler "treats prefetches
+//! the same as normal disk read requests" and leaves demand-over-
+//! prefetch prioritization as future work (section 6). This module
+//! makes that design axis explicit: every [`crate::Disk`] owns a real
+//! request queue, and a [`SchedPolicy`] decides which queued request is
+//! dispatched whenever the media goes idle.
+//!
+//! Four policies are provided:
+//!
+//! * [`SchedPolicy::Fcfs`] — strict arrival order, the paper's
+//!   baseline. With the default [`SchedConfig`] (unbounded queue, no
+//!   coalescing) the simulated timing is bit-identical to the original
+//!   queueless model, because FIFO dispatch commutes with computing
+//!   completions at submission.
+//! * [`SchedPolicy::Sstf`] — shortest seek time first: the eligible
+//!   request whose start block is closest to the head.
+//! * [`SchedPolicy::Scan`] — the elevator: sweep toward increasing
+//!   block addresses serving eligible requests in address order, then
+//!   reverse when nothing remains ahead of the head.
+//! * [`SchedPolicy::DemandPriority`] — demand reads preempt queued
+//!   prefetches (and write-backs), with an aging bound: a prefetch
+//!   that has waited longer than [`SchedConfig::prefetch_age_ns`] is
+//!   dispatched next regardless, so hint traffic cannot starve.
+//!
+//! Scheduling is **timing-only** by construction: a policy chooses
+//! *when* a request reaches the media, never *whether* or *what* it
+//! reads, so computed results are identical across policies (the
+//! property `tests/proptest_sched.rs` checks).
+
+use oocp_sim::time::{Ns, MILLISECOND};
+
+use crate::model::ReqKind;
+
+/// Which queued request a disk dispatches when the media goes idle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// First come, first served — arrival order (the paper's baseline).
+    #[default]
+    Fcfs,
+    /// Shortest seek time first: nearest start block to the head.
+    Sstf,
+    /// Elevator: serve in address order along the current sweep
+    /// direction, reversing at the ends.
+    Scan,
+    /// Demand reads first, then write-backs, then prefetches; a
+    /// prefetch older than the aging bound jumps the priority order.
+    DemandPriority,
+}
+
+impl SchedPolicy {
+    /// All policies, in sweep order.
+    pub const ALL: [SchedPolicy; 4] = [
+        SchedPolicy::Fcfs,
+        SchedPolicy::Sstf,
+        SchedPolicy::Scan,
+        SchedPolicy::DemandPriority,
+    ];
+
+    /// Short label used in table columns and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::Sstf => "sstf",
+            SchedPolicy::Scan => "scan",
+            SchedPolicy::DemandPriority => "demand-prio",
+        }
+    }
+
+    /// Parse a CLI label (as printed by [`SchedPolicy::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fcfs" => Some(SchedPolicy::Fcfs),
+            "sstf" => Some(SchedPolicy::Sstf),
+            "scan" => Some(SchedPolicy::Scan),
+            "demand-prio" | "demand" => Some(SchedPolicy::DemandPriority),
+            _ => None,
+        }
+    }
+}
+
+/// Per-disk queue configuration.
+///
+/// The default reproduces the original queueless model exactly: FCFS
+/// dispatch, an unbounded queue (backpressure never fires), and no
+/// coalescing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedConfig {
+    /// Dispatch policy.
+    pub policy: SchedPolicy,
+    /// Maximum undispatched requests per disk; an enqueue beyond this
+    /// is rejected with [`crate::IoError::QueueFull`]. Must be >= 1.
+    pub queue_depth: usize,
+    /// Merge an arriving read with an adjacent queued read of the same
+    /// class into one multi-block transfer (never across the
+    /// cylinder-span bound, so the merged request still pays a single
+    /// positioning — the extent-layout guarantee).
+    pub coalesce: bool,
+    /// Aging bound for [`SchedPolicy::DemandPriority`]: a queued
+    /// prefetch that has waited this long is dispatched ahead of
+    /// demand traffic (starvation bound).
+    pub prefetch_age_ns: Ns,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            policy: SchedPolicy::Fcfs,
+            queue_depth: usize::MAX,
+            coalesce: false,
+            prefetch_age_ns: 50 * MILLISECOND,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Same configuration with a different policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same configuration with a bounded queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Same configuration with coalescing switched on or off.
+    #[must_use]
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Same configuration with a different prefetch aging bound.
+    #[must_use]
+    pub fn with_prefetch_age_ns(mut self, ns: Ns) -> Self {
+        self.prefetch_age_ns = ns;
+        self
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero (a disk that can never accept a
+    /// request is a configuration error, not a backpressure state).
+    pub fn validate(&self) {
+        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
+    }
+}
+
+/// Opaque handle to a tracked (non-blocking) disk request.
+///
+/// Returned by [`crate::DiskArray::try_track`]; redeemed with
+/// [`crate::DiskArray::poll`] or [`crate::DiskArray::wait_for`]. A
+/// ticket for an `n`-block read carries `n` completion units, so each
+/// of the `n` pages it loads can be settled independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    pub(crate) disk: usize,
+    pub(crate) seq: u64,
+}
+
+impl Ticket {
+    /// The disk the tracked request was queued on.
+    pub fn disk(&self) -> usize {
+        self.disk
+    }
+}
+
+/// One undispatched request sitting in a disk's queue.
+#[derive(Clone, Debug)]
+pub(crate) struct Pending {
+    pub(crate) req: crate::model::Request,
+    /// Enqueue time; a request is eligible for dispatch at `start` only
+    /// if it had already arrived (`arrival <= start`).
+    pub(crate) arrival: Ns,
+    /// Straggler service-time multiplier decided at enqueue (fault
+    /// streams consume draws in submission order, policy-independent).
+    pub(crate) mult: f64,
+    /// Straggler additive latency decided at enqueue.
+    pub(crate) add_ns: Ns,
+    /// `(ticket seq, completion units)` — more than one entry after
+    /// coalescing; zero units means posted (no completion tracking).
+    pub(crate) tickets: Vec<(u64, u64)>,
+}
+
+/// Outcome of a policy pick: which queue index to dispatch, plus
+/// whether the choice preempted older lower-priority traffic or was
+/// forced by the aging bound.
+pub(crate) struct Picked {
+    pub(crate) idx: usize,
+    /// A demand read was dispatched ahead of an older queued
+    /// non-demand request.
+    pub(crate) preempted: bool,
+    /// A prefetch exceeded the aging bound and bypassed eligible
+    /// higher-priority traffic.
+    pub(crate) aged: bool,
+}
+
+impl SchedPolicy {
+    /// Choose which queued request to dispatch at time `start`.
+    ///
+    /// Only requests that have already arrived (`arrival <= start`) are
+    /// eligible; the caller guarantees at least one is. Ties break by
+    /// queue order (= arrival order), keeping every policy
+    /// deterministic.
+    pub(crate) fn pick(
+        self,
+        q: &[Pending],
+        head: u64,
+        start: Ns,
+        age_limit: Ns,
+        scan_up: &mut bool,
+    ) -> Picked {
+        let idxs: Vec<usize> = (0..q.len()).filter(|i| q[*i].arrival <= start).collect();
+        debug_assert!(!idxs.is_empty(), "dispatch with no eligible request");
+        match self {
+            SchedPolicy::Fcfs => Picked {
+                idx: idxs[0],
+                preempted: false,
+                aged: false,
+            },
+            SchedPolicy::Sstf => {
+                let idx = *idxs
+                    .iter()
+                    .min_by_key(|&&i| q[i].req.start_block.abs_diff(head))
+                    .expect("eligible set is non-empty");
+                Picked {
+                    idx,
+                    preempted: false,
+                    aged: false,
+                }
+            }
+            SchedPolicy::Scan => {
+                let idx = Self::pick_scan(q, &idxs, head, scan_up);
+                Picked {
+                    idx,
+                    preempted: false,
+                    aged: false,
+                }
+            }
+            SchedPolicy::DemandPriority => Self::pick_demand_priority(q, &idxs, start, age_limit),
+        }
+    }
+
+    /// Elevator pick: nearest eligible request along the current sweep
+    /// direction; reverse the direction when the sweep is exhausted.
+    fn pick_scan(q: &[Pending], idxs: &[usize], head: u64, scan_up: &mut bool) -> usize {
+        for _ in 0..2 {
+            let found = if *scan_up {
+                idxs.iter()
+                    .filter(|&&i| q[i].req.start_block >= head)
+                    .min_by_key(|&&i| q[i].req.start_block)
+            } else {
+                idxs.iter()
+                    .filter(|&&i| q[i].req.start_block <= head)
+                    .max_by_key(|&&i| q[i].req.start_block)
+            };
+            if let Some(&i) = found {
+                return i;
+            }
+            *scan_up = !*scan_up;
+        }
+        // Unreachable: one of the two sweeps always covers a non-empty
+        // eligible set. Fall back to FCFS for safety.
+        idxs[0]
+    }
+
+    /// Demand > write > prefetch, FCFS within a class; a prefetch past
+    /// the aging bound jumps the order so hints cannot starve.
+    fn pick_demand_priority(q: &[Pending], idxs: &[usize], start: Ns, age_limit: Ns) -> Picked {
+        let class = |i: usize| q[i].req.kind;
+        let oldest_of = |kind: ReqKind| idxs.iter().copied().find(|&i| class(i) == kind);
+        let oldest_pf = oldest_of(ReqKind::PrefetchRead);
+        if let Some(pf) = oldest_pf {
+            if start.saturating_sub(q[pf].arrival) > age_limit {
+                // Starvation bound: the aged prefetch goes next. Count
+                // it only when it actually bypassed something.
+                let bypassed = idxs.iter().any(|&i| class(i) != ReqKind::PrefetchRead);
+                return Picked {
+                    idx: pf,
+                    preempted: false,
+                    aged: bypassed,
+                };
+            }
+        }
+        for kind in [ReqKind::DemandRead, ReqKind::Write, ReqKind::PrefetchRead] {
+            if let Some(i) = oldest_of(kind) {
+                let preempted = kind == ReqKind::DemandRead
+                    && idxs
+                        .iter()
+                        .any(|&j| j < i && class(j) != ReqKind::DemandRead);
+                return Picked {
+                    idx: i,
+                    preempted,
+                    aged: false,
+                };
+            }
+        }
+        unreachable!("eligible set is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Request;
+
+    fn pend(kind: ReqKind, start_block: u64, arrival: Ns) -> Pending {
+        Pending {
+            req: Request::new(kind, start_block, 1),
+            arrival,
+            mult: 1.0,
+            add_ns: 0,
+            tickets: vec![(0, 0)],
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(SchedPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_config_is_the_paper_baseline() {
+        let c = SchedConfig::default();
+        assert_eq!(c.policy, SchedPolicy::Fcfs);
+        assert_eq!(c.queue_depth, usize::MAX);
+        assert!(!c.coalesce);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        SchedConfig::default().with_queue_depth(0).validate();
+    }
+
+    #[test]
+    fn fcfs_picks_first_eligible() {
+        let q = vec![
+            pend(ReqKind::PrefetchRead, 900, 0),
+            pend(ReqKind::DemandRead, 10, 1),
+        ];
+        let mut up = true;
+        let p = SchedPolicy::Fcfs.pick(&q, 0, 5, Ns::MAX, &mut up);
+        assert_eq!(p.idx, 0);
+    }
+
+    #[test]
+    fn sstf_picks_nearest_to_head() {
+        let q = vec![
+            pend(ReqKind::DemandRead, 9_000, 0),
+            pend(ReqKind::DemandRead, 110, 0),
+            pend(ReqKind::DemandRead, 4_000, 0),
+        ];
+        let mut up = true;
+        let p = SchedPolicy::Sstf.pick(&q, 100, 0, Ns::MAX, &mut up);
+        assert_eq!(p.idx, 1, "block 110 is nearest to head 100");
+    }
+
+    #[test]
+    fn scan_sweeps_up_then_reverses() {
+        let q = vec![
+            pend(ReqKind::DemandRead, 50, 0),
+            pend(ReqKind::DemandRead, 200, 0),
+            pend(ReqKind::DemandRead, 500, 0),
+        ];
+        let mut up = true;
+        // Head at 100 moving up: 200 first, not the nearer 50.
+        assert_eq!(SchedPolicy::Scan.pick(&q, 100, 0, Ns::MAX, &mut up).idx, 1);
+        // Head at 600 moving up: nothing ahead, so reverse to 500.
+        let p = SchedPolicy::Scan.pick(&q, 600, 0, Ns::MAX, &mut up);
+        assert_eq!(p.idx, 2);
+        assert!(!up, "direction flipped to downward");
+    }
+
+    #[test]
+    fn demand_priority_jumps_older_prefetches() {
+        let q = vec![
+            pend(ReqKind::PrefetchRead, 10, 0),
+            pend(ReqKind::Write, 20, 1),
+            pend(ReqKind::DemandRead, 900, 2),
+        ];
+        let mut up = true;
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut up);
+        assert_eq!(p.idx, 2, "demand read first");
+        assert!(p.preempted, "it bypassed older queued traffic");
+        assert!(!p.aged);
+    }
+
+    #[test]
+    fn aged_prefetch_beats_demand() {
+        let age = 1_000;
+        let q = vec![
+            pend(ReqKind::PrefetchRead, 10, 0),
+            pend(ReqKind::DemandRead, 900, 5),
+        ];
+        let mut up = true;
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age + 1, age, &mut up);
+        assert_eq!(p.idx, 0, "prefetch waited past the bound");
+        assert!(p.aged);
+        // Under the bound the demand read still wins.
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age, age, &mut up);
+        assert_eq!(p.idx, 1);
+    }
+
+    #[test]
+    fn not_yet_arrived_requests_are_ineligible() {
+        let q = vec![
+            pend(ReqKind::DemandRead, 10, 100),
+            pend(ReqKind::DemandRead, 20, 0),
+        ];
+        let mut up = true;
+        // At start=50 only the second request has arrived.
+        let p = SchedPolicy::Sstf.pick(&q, 10, 50, Ns::MAX, &mut up);
+        assert_eq!(p.idx, 1);
+    }
+}

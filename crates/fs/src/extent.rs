@@ -104,7 +104,10 @@ impl ExtentAllocator {
         let mut start = ext.start;
         let mut len = ext.len;
         if let Some((&pstart, &plen)) = self.free.range(..ext.start).next_back() {
-            assert!(pstart + plen <= ext.start, "double free (overlaps predecessor)");
+            assert!(
+                pstart + plen <= ext.start,
+                "double free (overlaps predecessor)"
+            );
             if pstart + plen == ext.start {
                 self.free.remove(&pstart);
                 start = pstart;

@@ -189,12 +189,7 @@ impl FileSystem {
     /// `min(count, ndisks)` disks; on each disk the touched blocks are
     /// contiguous thanks to the extent layout, so exactly one run per
     /// touched disk is produced. Runs are returned ordered by disk.
-    pub fn place_run(
-        &self,
-        id: FileId,
-        page: u64,
-        count: u64,
-    ) -> Result<Vec<PlacedRun>, FsError> {
+    pub fn place_run(&self, id: FileId, page: u64, count: u64) -> Result<Vec<PlacedRun>, FsError> {
         let meta = self.meta(id)?;
         if count == 0 {
             return Ok(Vec::new());

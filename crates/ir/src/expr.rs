@@ -46,7 +46,10 @@ impl LinExpr {
 
     /// The constant `n`.
     pub fn constant(n: i64) -> Self {
-        Self { c: n, terms: vec![] }
+        Self {
+            c: n,
+            terms: vec![],
+        }
     }
 
     /// A bare symbol.

@@ -25,8 +25,6 @@ pub mod vm;
 
 pub use exec::{run_program, ArrayBinding, ExecStats, Executor};
 pub use expr::{lin, param, var, BinOp, CmpOp, Cond, Expr, LinExpr, Sym, UnOp};
-pub use program::{
-    ArrayDecl, ArrayRef, ElemType, HintTarget, Index, Loop, Program, Stmt,
-};
 pub use parse::{parse_program, ParseError};
+pub use program::{ArrayDecl, ArrayRef, ElemType, HintTarget, Index, Loop, Program, Stmt};
 pub use vm::{ArrayData, CostModel, MemVm, PagedVm};

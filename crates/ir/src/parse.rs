@@ -488,7 +488,13 @@ impl Parser {
             .rposition(|(n, _)| *n == var_name)
             .expect("just pushed");
         self.scope.remove(at);
-        Ok(Stmt::for_(v, lo, hi, if down { -step_mag } else { step_mag }, body))
+        Ok(Stmt::for_(
+            v,
+            lo,
+            hi,
+            if down { -step_mag } else { step_mag },
+            body,
+        ))
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {

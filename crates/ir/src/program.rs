@@ -334,8 +334,9 @@ impl Program {
             for ix in &r.idx {
                 if let Index::Ind { array, idx } = ix {
                     match self.arrays.get(*array) {
-                        None => problems
-                            .push(format!("indirection through undeclared array #{array}")),
+                        None => {
+                            problems.push(format!("indirection through undeclared array #{array}"))
+                        }
                         Some(a) => {
                             if a.elem != ElemType::I64 {
                                 problems.push(format!(
@@ -344,10 +345,7 @@ impl Program {
                                 ));
                             }
                             if idx.len() != a.dims.len() {
-                                problems.push(format!(
-                                    "index array {} rank mismatch",
-                                    a.name
-                                ));
+                                problems.push(format!("index array {} rank mismatch", a.name));
                             }
                         }
                     }
@@ -482,16 +480,12 @@ impl fmt::Display for Program {
                         crate::expr::BinOp::Mul => "*",
                         crate::expr::BinOp::Div => "/",
                         crate::expr::BinOp::Rem => "%",
-                        crate::expr::BinOp::Min => return format!(
-                            "min({}, {})",
-                            expr(prog, a),
-                            expr(prog, b)
-                        ),
-                        crate::expr::BinOp::Max => return format!(
-                            "max({}, {})",
-                            expr(prog, a),
-                            expr(prog, b)
-                        ),
+                        crate::expr::BinOp::Min => {
+                            return format!("min({}, {})", expr(prog, a), expr(prog, b))
+                        }
+                        crate::expr::BinOp::Max => {
+                            return format!("max({}, {})", expr(prog, a), expr(prog, b))
+                        }
                     };
                     format!("({} {o} {})", expr(prog, a), expr(prog, b))
                 }
@@ -521,11 +515,9 @@ impl fmt::Display for Program {
                         let cmp = if l.step > 0 { "<" } else { ">" };
                         let hi_str = match &l.hi_min {
                             None => format!("{}", l.hi),
-                            Some(m) => format!(
-                                "{}({}, {m})",
-                                if l.step > 0 { "min" } else { "max" },
-                                l.hi
-                            ),
+                            Some(m) => {
+                                format!("{}({}, {m})", if l.step > 0 { "min" } else { "max" }, l.hi)
+                            }
                         };
                         let inc = if l.step == 1 {
                             format!("i{}++", l.var)
@@ -634,7 +626,10 @@ mod tests {
             vec![Stmt::Store {
                 dst: ArrayRef::affine(y, vec![var(i)]),
                 value: Expr::add(
-                    Expr::mul(Expr::ConstF(2.0), Expr::LoadF(ArrayRef::affine(x, vec![var(i)]))),
+                    Expr::mul(
+                        Expr::ConstF(2.0),
+                        Expr::LoadF(ArrayRef::affine(x, vec![var(i)])),
+                    ),
                     Expr::LoadF(ArrayRef::affine(y, vec![var(i)])),
                 ),
             }],
@@ -690,10 +685,7 @@ mod tests {
                 value: Expr::ConstF(0.0),
             }],
         )];
-        assert!(p
-            .validate()
-            .iter()
-            .any(|s| s.contains("non-integer array")));
+        assert!(p.validate().iter().any(|s| s.contains("non-integer array")));
     }
 
     #[test]

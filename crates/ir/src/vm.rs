@@ -184,7 +184,11 @@ impl PagedVm for MemVm {
 
 impl ArrayData for MemVm {
     fn peek_f64(&self, addr: u64) -> f64 {
-        f64::from_le_bytes(self.data[addr as usize..addr as usize + 8].try_into().unwrap())
+        f64::from_le_bytes(
+            self.data[addr as usize..addr as usize + 8]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     fn poke_f64(&mut self, addr: u64, v: f64) {
@@ -192,7 +196,11 @@ impl ArrayData for MemVm {
     }
 
     fn peek_i64(&self, addr: u64) -> i64 {
-        i64::from_le_bytes(self.data[addr as usize..addr as usize + 8].try_into().unwrap())
+        i64::from_le_bytes(
+            self.data[addr as usize..addr as usize + 8]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     fn poke_i64(&mut self, addr: u64, v: i64) {

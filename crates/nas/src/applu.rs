@@ -209,10 +209,10 @@ mod tests {
             for i in 1..n - 1 {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
-                        let tri = (u[at(i - 1, j, k)] + u[at(i, j - 1, k)])
-                            + (u[at(i, j, k - 1)] + 0.0);
-                        u[at(i, j, k)] = (1.0 - OMEGA) * u[at(i, j, k)]
-                            + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
+                        let tri =
+                            (u[at(i - 1, j, k)] + u[at(i, j - 1, k)]) + (u[at(i, j, k - 1)] + 0.0);
+                        u[at(i, j, k)] =
+                            (1.0 - OMEGA) * u[at(i, j, k)] + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
                     }
                 }
             }
@@ -220,10 +220,10 @@ mod tests {
             for i in (1..n - 1).rev() {
                 for j in (1..n - 1).rev() {
                     for k in (1..n - 1).rev() {
-                        let tri = (u[at(i + 1, j, k)] + u[at(i, j + 1, k)])
-                            + (u[at(i, j, k + 1)] + 0.0);
-                        u[at(i, j, k)] = (1.0 - OMEGA) * u[at(i, j, k)]
-                            + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
+                        let tri =
+                            (u[at(i + 1, j, k)] + u[at(i, j + 1, k)]) + (u[at(i, j, k + 1)] + 0.0);
+                        u[at(i, j, k)] =
+                            (1.0 - OMEGA) * u[at(i, j, k)] + OMEGA / 4.0 * (rhs[at(i, j, k)] + tri);
                     }
                 }
             }

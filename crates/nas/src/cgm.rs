@@ -137,10 +137,7 @@ pub fn build_sized(rows: i64, iters: i64) -> Workload {
                         dst: pq,
                         value: Expr::add(
                             Expr::ScalarF(pq),
-                            Expr::mul(
-                                Expr::LoadF(vec_at(pv, i_pq)),
-                                Expr::LoadF(vec_at(qv, i_pq)),
-                            ),
+                            Expr::mul(Expr::LoadF(vec_at(pv, i_pq)), Expr::LoadF(vec_at(qv, i_pq))),
                         ),
                     }],
                 ),

@@ -43,9 +43,8 @@ pub fn build_sized(n: i64, iters: i64) -> Workload {
     let tt = p.fresh_fscalar();
     let ts = p.fresh_fscalar();
 
-    let uref = |v: usize, scale: i64, off: i64| {
-        ArrayRef::affine(u, vec![var(v).scale(scale).offset(off)])
-    };
+    let uref =
+        |v: usize, scale: i64, off: i64| ArrayRef::affine(u, vec![var(v).scale(scale).offset(off)]);
 
     p.body = vec![
         Stmt::LetF {

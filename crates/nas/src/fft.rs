@@ -21,7 +21,10 @@ pub fn build(target_bytes: u64) -> Workload {
 
 /// Build a length-`n` (power of two) FFT.
 pub fn build_sized(n: i64) -> Workload {
-    assert!(n.count_ones() == 1 && n >= 8, "FFT length must be a power of two");
+    assert!(
+        n.count_ones() == 1 && n >= 8,
+        "FFT length must be a power of two"
+    );
     let log2n = n.trailing_zeros() as i64;
 
     let mut p = Program::new("FFT");
@@ -106,9 +109,7 @@ pub fn build_sized(n: i64) -> Workload {
         let tw_stride = n / size;
         let k = p.fresh_var();
         let j = p.fresh_var();
-        let at = |a: usize, off: i64| {
-            ArrayRef::affine(a, vec![var(k).add(&var(j)).offset(off)])
-        };
+        let at = |a: usize, off: i64| ArrayRef::affine(a, vec![var(k).add(&var(j)).offset(off)]);
         let wat = |a: usize| ArrayRef::affine(a, vec![var(j).scale(tw_stride)]);
         let stage_body = vec![
             Stmt::LetF {
@@ -293,12 +294,7 @@ mod tests {
         w.init(&binds, &mut vm, 9);
         // Capture the input.
         let input: Vec<(f64, f64)> = (0..n as u64)
-            .map(|i| {
-                (
-                    peek_f(&binds, &vm, 0, i),
-                    peek_f(&binds, &vm, 1, i),
-                )
-            })
+            .map(|i| (peek_f(&binds, &vm, 0, i), peek_f(&binds, &vm, 1, i)))
             .collect();
         run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm);
         // Naive DFT comparison for every bin.

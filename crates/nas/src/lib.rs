@@ -19,8 +19,8 @@
 //! (≈2x for the headline runs, 10-35% for the in-core study, 4-10x for
 //! the large study), mirroring the paper's problem-size methodology.
 
-pub mod applu;
 pub mod appbt;
+pub mod applu;
 pub mod appsp;
 pub mod buk;
 pub mod cgm;
@@ -102,8 +102,7 @@ impl App {
 pub type InitFn = Box<dyn Fn(&Program, &[ArrayBinding], &mut dyn ArrayData, u64)>;
 
 /// Verification function: checks results after the run.
-pub type VerifyFn =
-    Box<dyn Fn(&Program, &[ArrayBinding], &dyn ArrayData) -> Result<(), String>>;
+pub type VerifyFn = Box<dyn Fn(&Program, &[ArrayBinding], &dyn ArrayData) -> Result<(), String>>;
 
 /// A sized, runnable benchmark instance.
 pub struct Workload {

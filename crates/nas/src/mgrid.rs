@@ -123,11 +123,7 @@ pub fn build_sized(n: i64, cycles: i64) -> Workload {
         let resid = Expr::sub(
             Expr::LoadF(ArrayRef::affine(
                 r[l],
-                vec![
-                    var(i).scale(2),
-                    var(j).scale(2),
-                    var(k).scale(2),
-                ],
+                vec![var(i).scale(2), var(j).scale(2), var(k).scale(2)],
             )),
             Expr::sub(Expr::mul(Expr::ConstF(6.0), fine(0, 0, 0)), neigh),
         );
@@ -180,10 +176,7 @@ pub fn build_sized(n: i64, cycles: i64) -> Workload {
                         dst: ArrayRef::affine(u[l], fine_idx.clone()),
                         value: Expr::add(
                             Expr::LoadF(ArrayRef::affine(u[l], fine_idx.clone())),
-                            Expr::LoadF(ArrayRef::affine(
-                                u[l + 1],
-                                vec![var(i), var(j), var(k)],
-                            )),
+                            Expr::LoadF(ArrayRef::affine(u[l + 1], vec![var(i), var(j), var(k)])),
                         ),
                     }],
                 )],

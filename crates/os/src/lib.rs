@@ -33,8 +33,8 @@ pub use error::OsError;
 // Fault-injection types, re-exported so layers above the OS (the
 // run-time filter, the bench harness) can build plans without a direct
 // disk-crate dependency.
-pub use oocp_disk::{Brownout, FaultPlan, IoError, PressureStorm};
 pub use machine::{Machine, Segment};
+pub use oocp_disk::{Brownout, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};

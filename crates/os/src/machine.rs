@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request};
+use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
 use oocp_fs::{FileId, FileSystem};
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
@@ -29,10 +29,11 @@ pub struct Segment {
 enum PageState {
     /// Not in memory; a touch is a hard fault.
     Unmapped,
-    /// Prefetch read in progress, completing at `arrival`. Demand reads
-    /// never appear here: a single-threaded application stalls inline on
-    /// its own fault, so the page is resident by the time it runs again.
-    InFlight { arrival: Ns },
+    /// Prefetch read in progress; `ticket` redeems one completion unit
+    /// per page against the disk array. Demand reads never appear here:
+    /// a single-threaded application stalls inline on its own fault, so
+    /// the page is resident by the time it runs again.
+    InFlight { ticket: Ticket },
     /// In memory. `on_free_list` pages are reclaimable but still mapped,
     /// so touching one is only a soft fault.
     Resident {
@@ -163,6 +164,8 @@ impl Machine {
             })?;
         let bits = ResidencyBits::new(total_pages, params.page_bytes);
         let limit = params.resident_limit;
+        let mut disks = DiskArray::new(params.ndisks, params.disk);
+        disks.set_sched(params.sched);
         Ok(Self {
             params,
             now: 0,
@@ -174,7 +177,7 @@ impl Machine {
             resident: 0,
             inflight: 0,
             clock_hand: 0,
-            disks: DiskArray::new(params.ndisks, params.disk),
+            disks,
             fs,
             swap,
             bits,
@@ -211,9 +214,8 @@ impl Machine {
             self.set_pressure_schedule(schedule);
         }
         self.disks.set_fault_plan(plan.clone());
-        let has_effect = plan.is_active()
-            || plan.bitvec_stale_prob > 0.0
-            || !plan.pressure_storms.is_empty();
+        let has_effect =
+            plan.is_active() || plan.bitvec_stale_prob > 0.0 || !plan.pressure_storms.is_empty();
         self.fault_plan = has_effect.then(|| plan.clone());
     }
 
@@ -424,10 +426,11 @@ impl Machine {
         self.reclaimable
     }
 
-    /// Materialize an in-flight page whose I/O has already completed.
+    /// Materialize an in-flight page whose I/O has already completed,
+    /// redeeming one of its ticket's completion units.
     fn settle(&mut self, vpage: u64) {
-        if let PageState::InFlight { arrival } = self.pages[vpage as usize].state {
-            if arrival <= self.now {
+        if let PageState::InFlight { ticket } = self.pages[vpage as usize].state {
+            if self.disks.poll(ticket, self.now).is_some() {
                 self.pages[vpage as usize].state = PageState::Resident {
                     dirty: false,
                     referenced: false,
@@ -486,20 +489,42 @@ impl Machine {
     ///
     /// Used for the two request classes the application *needs* (demand
     /// reads and write-backs); prefetch reads are hints and never come
-    /// through here. A transient error waits the current backoff (which
-    /// doubles per retry); a brownout waits out the reported window.
-    /// Waits are charged as idle time. The error surfaces once the
-    /// retry count or the wait budget is exhausted.
+    /// through here. Demand reads block (the faulting thread stalls
+    /// inline); writes are posted fire-and-forget and return 0. A
+    /// transient error waits the current backoff (which doubles per
+    /// retry); a brownout waits out the reported window. A full queue is
+    /// backpressure, not a fault: the OS waits until the scheduler
+    /// promises a free slot without consuming any retry budget. Waits
+    /// are charged as idle time. The error surfaces once the retry
+    /// count or the wait budget is exhausted.
     fn submit_with_retry(&mut self, disk: usize, req: Request, vpage: u64) -> Result<Ns, OsError> {
         let mut attempts: u32 = 1;
         let mut waited: Ns = 0;
         let mut backoff = self.params.io_backoff_base_ns.max(1);
         loop {
-            match self.disks.try_submit(disk, self.now, req) {
+            let outcome = if req.kind == ReqKind::Write {
+                self.disks.try_post(disk, self.now, req).map(|()| 0)
+            } else {
+                self.disks.try_submit(disk, self.now, req)
+            };
+            match outcome {
                 Ok(done) => return Ok(done),
                 Err(e @ (IoError::EmptyRequest | IoError::OutOfRange { .. })) => {
                     // Logic errors: retrying cannot help.
                     return Err(OsError::Io(e));
+                }
+                Err(IoError::QueueFull { retry_at, disk: d }) => {
+                    // Each wait ends with at least one slot free, so a
+                    // blocked demand access always makes progress.
+                    let wait = retry_at.saturating_sub(self.now).max(1);
+                    self.charge(TimeCategory::Idle, wait);
+                    self.stats.queue_full_waits += 1;
+                    self.stats.queue_full_wait_ns += wait;
+                    self.trace_event(TraceEvent::QueueFullWait {
+                        page: vpage,
+                        disk: d,
+                        wait,
+                    });
                 }
                 Err(e) => {
                     self.stats.io_errors_observed += 1;
@@ -543,15 +568,7 @@ impl Machine {
             .fs
             .place(self.swap, vpage)
             .expect("resident page must have backing blocks");
-        match self.submit_with_retry(
-            disk,
-            Request {
-                kind: ReqKind::Write,
-                start_block: block,
-                nblocks: 1,
-            },
-            vpage,
-        ) {
+        match self.submit_with_retry(disk, Request::new(ReqKind::Write, block, 1), vpage) {
             Ok(_) => {
                 self.stats.writebacks += 1;
                 self.trace_event(TraceEvent::Writeback { page: vpage });
@@ -740,7 +757,10 @@ impl Machine {
                 ..
             } => {
                 // Soft fault: reclaim from the free list, no disk I/O.
-                self.charge(TimeCategory::SystemFault, self.params.soft_fault_overhead_ns);
+                self.charge(
+                    TimeCategory::SystemFault,
+                    self.params.soft_fault_overhead_ns,
+                );
                 self.stats.soft_faults += 1;
                 self.reclaimable -= 1;
                 self.trace_event(TraceEvent::SoftFault { page: vpage });
@@ -765,16 +785,20 @@ impl Machine {
                 self.note_free_level();
                 Ok(false)
             }
-            PageState::InFlight { arrival } => {
+            PageState::InFlight { ticket } => {
                 // Fault on a page whose prefetch is still in progress:
-                // stall for the residual latency only.
+                // stall for the residual latency only. `wait_for`
+                // redeems this page's completion unit, so the page
+                // transitions directly (a settle would redeem twice).
                 self.charge(TimeCategory::SystemFault, self.params.fault_overhead_ns);
                 self.stats.hard_faults += 1;
                 self.stats.prefetched_faults_inflight += 1;
+                let arrival = self.disks.wait_for(ticket);
                 let waited = self.stall_until(arrival);
                 self.stats.fault_wait.push(waited as f64);
                 self.stats.late_prefetch_stall_ns += waited;
-                self.settle(vpage);
+                self.inflight -= 1;
+                self.resident += 1;
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
                 p.prefetch_tag = false;
@@ -801,11 +825,7 @@ impl Machine {
                 let (disk, block) = self.fs.place(self.swap, vpage).map_err(OsError::Fs)?;
                 let done = self.submit_with_retry(
                     disk,
-                    Request {
-                        kind: ReqKind::DemandRead,
-                        start_block: block,
-                        nblocks: 1,
-                    },
+                    Request::new(ReqKind::DemandRead, block, 1),
                     vpage,
                 )?;
                 let waited = self.stall_until(done);
@@ -847,13 +867,7 @@ impl Machine {
 
     /// Bundled prefetch + release in one system call (the compiler's
     /// `prefetch_release_block`).
-    pub fn sys_prefetch_release(
-        &mut self,
-        pf_page: u64,
-        pf_n: u64,
-        rel_page: u64,
-        rel_n: u64,
-    ) {
+    pub fn sys_prefetch_release(&mut self, pf_page: u64, pf_n: u64, rel_page: u64, rel_n: u64) {
         self.hint_call(Some((pf_page, pf_n)), Some((rel_page, rel_n)));
     }
 
@@ -977,22 +991,38 @@ impl Machine {
             for run in runs {
                 let n = self.fs.ndisks() as u64;
                 let first = span_start + (run.disk as u64 + n - span_start % n) % n;
-                match self.disks.try_submit(
+                match self.disks.try_track(
                     run.disk,
                     self.now,
-                    Request {
-                        kind: ReqKind::PrefetchRead,
-                        start_block: run.start_block,
-                        nblocks: run.nblocks,
-                    },
+                    Request::new(ReqKind::PrefetchRead, run.start_block, run.nblocks),
                 ) {
-                    Ok(done) => {
-                        // Every page of the run arrives when the
-                        // request completes.
+                    Ok(ticket) => {
+                        // Every page of the run redeems one unit of the
+                        // run's ticket when the request completes.
                         for i in 0..run.nblocks {
                             let vpage = first + i * n;
-                            self.pages[vpage as usize].state =
-                                PageState::InFlight { arrival: done };
+                            self.pages[vpage as usize].state = PageState::InFlight { ticket };
+                        }
+                    }
+                    Err(IoError::QueueFull { .. }) => {
+                        // Backpressure, not a fault: the hint is
+                        // silently dropped (the non-binding contract),
+                        // with no error counted and no retry.
+                        self.trace_event(TraceEvent::HintDropQueueFull {
+                            page: first,
+                            count: run.nblocks,
+                        });
+                        for i in 0..run.nblocks {
+                            let vpage = first + i * n;
+                            debug_assert!(matches!(
+                                self.pages[vpage as usize].state,
+                                PageState::Unmapped
+                            ));
+                            self.inflight -= 1;
+                            self.bit_out(vpage);
+                            self.stats.prefetch_pages_issued -= 1;
+                            self.stats.prefetch_pages_dropped += 1;
+                            self.stats.hints_dropped_queue_full += 1;
                         }
                     }
                     Err(_) => {
@@ -1173,9 +1203,17 @@ impl Machine {
                 }
             }
         }
+        // Dispatch everything still queued regardless of the stall
+        // policy, so busy-time/utilization stats cover all accepted
+        // work; only the *stall* is optional.
+        let drain = self.disks.drain_all();
         if self.params.drain_at_exit {
-            let drain = self.disks.drain_time();
             self.stall_until(drain);
+            // Everything has completed: settle stragglers so frame
+            // accounting ends clean.
+            for vpage in 0..self.total_pages() {
+                self.settle(vpage);
+            }
         }
         self.note_free_level();
     }
@@ -1186,7 +1224,11 @@ impl Machine {
 
     /// Read an `f64` at `addr` without touching residency (init/verify).
     pub fn peek_f64(&self, addr: u64) -> f64 {
-        f64::from_le_bytes(self.data[addr as usize..addr as usize + 8].try_into().unwrap())
+        f64::from_le_bytes(
+            self.data[addr as usize..addr as usize + 8]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     /// Write an `f64` at `addr` without touching residency (init only).
@@ -1196,7 +1238,11 @@ impl Machine {
 
     /// Read an `i64` at `addr` without touching residency (init/verify).
     pub fn peek_i64(&self, addr: u64) -> i64 {
-        i64::from_le_bytes(self.data[addr as usize..addr as usize + 8].try_into().unwrap())
+        i64::from_le_bytes(
+            self.data[addr as usize..addr as usize + 8]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     /// Write an `i64` at `addr` without touching residency (init only).
@@ -1518,8 +1564,8 @@ mod tests {
     #[test]
     fn prefetch_dropped_when_memory_full() {
         let mut m = tiny(); // 32 frames, reserve 2
-        // Fill memory with demand touches (they may push some pages to
-        // the free list via the daemon; consume the free list too).
+                            // Fill memory with demand touches (they may push some pages to
+                            // the free list via the daemon; consume the free list too).
         for p in 0..32 {
             m.touch(p * 4096, 8, true);
         }
@@ -1559,7 +1605,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "a dropped-then-touched page must classify as prefetched fault");
+        assert!(
+            found,
+            "a dropped-then-touched page must classify as prefetched fault"
+        );
     }
 
     #[test]
@@ -1581,8 +1630,8 @@ mod tests {
     #[test]
     fn eviction_cycle_with_small_memory() {
         let mut m = tiny(); // 32 frames, 64 pages
-        // Stream through all 64 pages twice; must not panic and must
-        // evict.
+                            // Stream through all 64 pages twice; must not panic and must
+                            // evict.
         for round in 0..2 {
             for p in 0..64 {
                 m.touch(p * 4096, 8, true);

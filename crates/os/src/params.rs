@@ -1,6 +1,6 @@
 //! Machine configuration parameters.
 
-use oocp_disk::DiskParams;
+use oocp_disk::{DiskParams, SchedConfig};
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 /// Configuration of the simulated machine: memory geometry, OS overheads,
@@ -40,6 +40,10 @@ pub struct MachineParams {
     pub ndisks: usize,
     /// Physical parameters of each disk.
     pub disk: DiskParams,
+    /// Per-disk I/O scheduler configuration (policy, queue depth,
+    /// coalescing). The default is the paper baseline: unbounded FCFS
+    /// with no coalescing.
+    pub sched: SchedConfig,
     /// Whether to stall at exit until all dirty pages are flushed and the
     /// disks drain (the paper's apps write their results back out).
     pub drain_at_exit: bool,
@@ -78,6 +82,7 @@ impl MachineParams {
             hint_per_page_ns: 25 * MICROSECOND,
             ndisks: 7,
             disk: DiskParams::default(),
+            sched: SchedConfig::default(),
             drain_at_exit: true,
             io_max_retries: 6,
             io_backoff_base_ns: 2 * MILLISECOND,
@@ -102,6 +107,7 @@ impl MachineParams {
             hint_per_page_ns: 120,
             ndisks: 1,
             disk: DiskParams::ssd(),
+            sched: SchedConfig::default(),
             drain_at_exit: true,
             io_max_retries: 6,
             io_backoff_base_ns: 100 * MICROSECOND,
@@ -138,15 +144,19 @@ impl MachineParams {
         self.resident_limit = (bytes / self.page_bytes).max(8);
         self.high_water = self.high_water.min(self.resident_limit / 4);
         self.low_water = self.low_water.min(self.high_water / 2).max(1);
-        self.demand_reserve = self
-            .demand_reserve
-            .min((self.resident_limit / 16).max(1));
+        self.demand_reserve = self.demand_reserve.min((self.resident_limit / 16).max(1));
         self
     }
 
     /// Same configuration with a different disk count.
     pub fn with_ndisks(mut self, n: usize) -> Self {
         self.ndisks = n;
+        self
+    }
+
+    /// Same configuration with a different I/O scheduler.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -185,6 +195,7 @@ impl MachineParams {
             self.disk.block_bytes, self.page_bytes,
             "disk block size must equal the page size"
         );
+        self.sched.validate();
     }
 }
 

@@ -47,12 +47,7 @@ impl std::error::Error for MadviseError {}
 ///
 /// Page rounding follows `madvise(2)`: the range is expanded to page
 /// boundaries (the start rounds down, the end rounds up).
-pub fn madvise(
-    m: &mut Machine,
-    addr: u64,
-    len: u64,
-    advice: Advice,
-) -> Result<(), MadviseError> {
+pub fn madvise(m: &mut Machine, addr: u64, len: u64, advice: Advice) -> Result<(), MadviseError> {
     if len == 0 {
         return Err(MadviseError::EmptyRange);
     }

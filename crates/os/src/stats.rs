@@ -76,6 +76,14 @@ pub struct OsStats {
     /// Prefetch pages whose disk read failed; the hint was dropped
     /// silently (hints are non-binding, so no retry and no error).
     pub hints_dropped_on_error: u64,
+    /// Prefetch pages dropped because the target disk's bounded request
+    /// queue was full (backpressure, not a fault — no error counted).
+    pub hints_dropped_queue_full: u64,
+    /// Times a demand read or write-back blocked on a full disk queue
+    /// before being accepted.
+    pub queue_full_waits: u64,
+    /// Time spent waiting for disk-queue slots (charged as idle).
+    pub queue_full_wait_ns: Ns,
     /// Write-backs abandoned after exhausting retries (the backing
     /// store is authoritative in the simulator, so this costs nothing
     /// but is reported for the durability ledger).

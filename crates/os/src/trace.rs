@@ -75,6 +75,24 @@ pub enum TraceEvent {
         /// Pages in the failed run.
         count: u64,
     },
+    /// A prefetch hint was dropped because the disk queue was full
+    /// (scheduler backpressure; not counted as an I/O error).
+    HintDropQueueFull {
+        /// First page of the rejected run.
+        page: u64,
+        /// Pages in the rejected run.
+        count: u64,
+    },
+    /// A demand read or write-back blocked until a disk-queue slot
+    /// freed (scheduler backpressure; no retry budget consumed).
+    QueueFullWait {
+        /// Page whose request was blocked.
+        page: u64,
+        /// The saturated disk.
+        disk: usize,
+        /// Nanoseconds waited for the slot.
+        wait: Ns,
+    },
     /// The shared residency bit vector was rebuilt from page states.
     BitvecResync {
         /// Stale bits cleared by the rebuild.
@@ -100,6 +118,8 @@ impl TraceEvent {
             TraceEvent::IoError { .. } => "IOERR",
             TraceEvent::IoRetry { .. } => "RETRY",
             TraceEvent::HintDropOnError { .. } => "HDROP",
+            TraceEvent::HintDropQueueFull { .. } => "QDROP",
+            TraceEvent::QueueFullWait { .. } => "QFULL",
             TraceEvent::BitvecResync { .. } => "RESYNC",
             TraceEvent::DegradedEnter => "DEGR+",
             TraceEvent::DegradedExit => "DEGR-",
@@ -228,12 +248,19 @@ mod tests {
             TraceEvent::IoError { page: 0, disk: 0 }.tag(),
             TraceEvent::IoRetry { page: 0, wait: 0 }.tag(),
             TraceEvent::HintDropOnError { page: 0, count: 1 }.tag(),
+            TraceEvent::HintDropQueueFull { page: 0, count: 1 }.tag(),
+            TraceEvent::QueueFullWait {
+                page: 0,
+                disk: 0,
+                wait: 0,
+            }
+            .tag(),
             TraceEvent::BitvecResync { fixed: 0 }.tag(),
             TraceEvent::DegradedEnter.tag(),
             TraceEvent::DegradedExit.tag(),
         ]
         .into_iter()
         .collect();
-        assert_eq!(tags.len(), 13);
+        assert_eq!(tags.len(), 15);
     }
 }

@@ -689,13 +689,11 @@ mod tests {
         p.high_water = 16;
         let brownout_end: Ns = 20_000_000; // 20 ms
         let mut m = Machine::new(p, 256 * 4096);
-        m.set_fault_plan(
-            &FaultPlan::none(7).with_brownout(Brownout {
-                disk: None,
-                from: 0,
-                until: brownout_end,
-            }),
-        );
+        m.set_fault_plan(&FaultPlan::none(7).with_brownout(Brownout {
+            disk: None,
+            from: 0,
+            until: brownout_end,
+        }));
         let mut r = Runtime::new(m, FilterMode::Enabled);
         // Every prefetch syscall fails during the brownout; the error
         // window fills and the runtime falls back to demand paging.
@@ -751,7 +749,11 @@ mod tests {
             r.release(pg * 4096, 1);
         }
         assert_eq!(r.stats().release_ops, 10);
-        assert_eq!(r.stats().release_syscalls, sys_before, "no syscalls while degraded");
+        assert_eq!(
+            r.stats().release_syscalls,
+            sys_before,
+            "no syscalls while degraded"
+        );
         assert_eq!(r.stats().hints_dropped_degraded, 10);
     }
 
@@ -801,8 +803,7 @@ mod tests {
         let mut prog = Program::new("p");
         prog.array("x", oocp_ir::ElemType::F64, vec![1000]);
         prog.array("y", oocp_ir::ElemType::F64, vec![1000]);
-        let (rt, binds) =
-            Runtime::for_program(MachineParams::small(), &prog, FilterMode::Enabled);
+        let (rt, binds) = Runtime::for_program(MachineParams::small(), &prog, FilterMode::Enabled);
         assert_eq!(binds.len(), 2);
         assert_eq!(binds[1].base % 4096, 0);
         assert!(rt.machine().total_pages() >= 4);

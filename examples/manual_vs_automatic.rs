@@ -66,7 +66,12 @@ fn manual(machine: MachineParams, base: u64, lookahead_pages: u64) -> (u64, f64)
     for p in 0..pages {
         // Prefetch a window ahead and drop the window behind.
         let ahead = (p + lookahead_pages).min(pages - 1);
-        let _ = madvise(&mut m, ahead * machine.page_bytes, machine.page_bytes, Advice::WillNeed);
+        let _ = madvise(
+            &mut m,
+            ahead * machine.page_bytes,
+            machine.page_bytes,
+            Advice::WillNeed,
+        );
         if p >= 2 {
             let _ = madvise(
                 &mut m,
@@ -121,7 +126,10 @@ fn main() {
 
     assert_eq!(s1, s2, "manual variants must agree");
     println!("streaming sum over 16 MB, 8 MB memory, 7 disks\n");
-    println!("  paged VM              : {:>8.3}s   (baseline)", paged as f64 / 1e9);
+    println!(
+        "  paged VM              : {:>8.3}s   (baseline)",
+        paged as f64 / 1e9
+    );
     println!(
         "  manual madvise (+24pg): {:>8.3}s   ({:.2}x) — one syscall per page",
         manual_good as f64 / 1e9,

@@ -4,11 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "== cargo build --release"
-cargo build --release
+cargo build --release --workspace --bins
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== schedsweep smoke (policy sweep correctness gate)"
+cargo run --release -q -p oocp-bench --bin schedsweep -- --smoke
 
 # Clippy needs its component installed; offline or minimal toolchains
 # may not have it, and the gate should not fail for that.

@@ -43,14 +43,26 @@ fn assert_workload_equivalent(w: &Workload, cparams: &CompilerParams) {
     // (a) Original on flat memory.
     let mut vm_a = MemVm::new(bytes, 4096);
     w.init(&binds, &mut vm_a, 99);
-    run_program(&w.prog, &binds, &w.param_values, CostModel::free(), &mut vm_a);
+    run_program(
+        &w.prog,
+        &binds,
+        &w.param_values,
+        CostModel::free(),
+        &mut vm_a,
+    );
     w.verify(&binds, &vm_a)
         .unwrap_or_else(|e| panic!("{} original: {e}", w.app.name()));
 
     // (b) Transformed on flat memory.
     let mut vm_b = MemVm::new(bytes, 4096);
     w.init(&binds, &mut vm_b, 99);
-    run_program(&xformed, &binds, &w.param_values, CostModel::free(), &mut vm_b);
+    run_program(
+        &xformed,
+        &binds,
+        &w.param_values,
+        CostModel::free(),
+        &mut vm_b,
+    );
     assert_eq!(
         vm_a.bytes(),
         vm_b.bytes(),
@@ -61,7 +73,13 @@ fn assert_workload_equivalent(w: &Workload, cparams: &CompilerParams) {
     // (c) Transformed on the paged machine under pressure.
     let mut rt = Runtime::new(tight_machine(bytes), FilterMode::Enabled);
     w.init(&binds, &mut rt, 99);
-    run_program(&xformed, &binds, &w.param_values, CostModel::free(), &mut rt);
+    run_program(
+        &xformed,
+        &binds,
+        &w.param_values,
+        CostModel::free(),
+        &mut rt,
+    );
     rt.machine_mut().finish();
     w.verify(&binds, &rt)
         .unwrap_or_else(|e| panic!("{} on machine: {e}", w.app.name()));

@@ -27,7 +27,13 @@ fn run(app: App, prefetch: bool, filter: FilterMode) -> Run {
     let (binds, bytes) = ArrayBinding::sequential(&w.prog, p.page_bytes);
     let mut rt = Runtime::new(Machine::new(p, bytes), filter);
     w.init(&binds, &mut rt, 7);
-    run_program(&prog, &binds, &w.param_values, CostModel::default(), &mut rt);
+    run_program(
+        &prog,
+        &binds,
+        &w.param_values,
+        CostModel::default(),
+        &mut rt,
+    );
     rt.machine_mut().finish();
     w.verify(&binds, &rt).expect("workload verifies");
     Run { rt }
@@ -55,7 +61,9 @@ fn fault_classification_partitions_page_ins() {
     let s = r.rt.machine().stats();
     assert_eq!(
         s.original_faults(),
-        s.prefetched_hits + s.prefetched_faults_inflight + s.prefetched_faults_lost
+        s.prefetched_hits
+            + s.prefetched_faults_inflight
+            + s.prefetched_faults_lost
             + s.non_prefetched_faults
     );
     assert!(s.original_faults() > 0);

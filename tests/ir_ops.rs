@@ -2,8 +2,8 @@
 //! form, exercised end to end with value checks.
 
 use oocp::ir::{
-    lin, param, run_program, var, ArrayBinding, ArrayData, ArrayRef, BinOp, CmpOp, CostModel,
-    Cond, ElemType, Expr, MemVm, Program, Stmt, UnOp,
+    lin, param, run_program, var, ArrayBinding, ArrayData, ArrayRef, BinOp, CmpOp, Cond, CostModel,
+    ElemType, Expr, MemVm, Program, Stmt, UnOp,
 };
 
 /// Build a program that stores `expr` into `out[slot]` and run it.
@@ -38,10 +38,22 @@ fn eval_int(build: impl FnOnce(&mut Program) -> Expr) -> i64 {
 
 #[test]
 fn float_binops() {
-    assert_eq!(eval_expr(|_| Expr::add(Expr::ConstF(2.0), Expr::ConstF(3.0))), 5.0);
-    assert_eq!(eval_expr(|_| Expr::sub(Expr::ConstF(2.0), Expr::ConstF(3.0))), -1.0);
-    assert_eq!(eval_expr(|_| Expr::mul(Expr::ConstF(2.5), Expr::ConstF(4.0))), 10.0);
-    assert_eq!(eval_expr(|_| Expr::div(Expr::ConstF(1.0), Expr::ConstF(4.0))), 0.25);
+    assert_eq!(
+        eval_expr(|_| Expr::add(Expr::ConstF(2.0), Expr::ConstF(3.0))),
+        5.0
+    );
+    assert_eq!(
+        eval_expr(|_| Expr::sub(Expr::ConstF(2.0), Expr::ConstF(3.0))),
+        -1.0
+    );
+    assert_eq!(
+        eval_expr(|_| Expr::mul(Expr::ConstF(2.5), Expr::ConstF(4.0))),
+        10.0
+    );
+    assert_eq!(
+        eval_expr(|_| Expr::div(Expr::ConstF(1.0), Expr::ConstF(4.0))),
+        0.25
+    );
     assert_eq!(
         eval_expr(|_| Expr::bin(BinOp::Min, Expr::ConstF(2.0), Expr::ConstF(-3.0))),
         -3.0

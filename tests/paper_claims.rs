@@ -28,8 +28,12 @@ fn no_application_regresses_and_most_speed_up() {
         let w = build(app, cfg.bytes_for_ratio(2.0));
         let o = run_workload(&w, &cfg, Mode::Original);
         let p = run_workload(&w, &cfg, Mode::Prefetch);
-        o.verified.as_ref().unwrap_or_else(|e| panic!("{}: O: {e}", app.name()));
-        p.verified.as_ref().unwrap_or_else(|e| panic!("{}: P: {e}", app.name()));
+        o.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: O: {e}", app.name()));
+        p.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: P: {e}", app.name()));
         let speedup = o.total() as f64 / p.total() as f64;
         // APPBT breaks even at best until the two-version fix (the
         // paper's worst case was +9%; ours sits at ~1.0x at the headline
@@ -226,7 +230,10 @@ fn releases_keep_memory_free() {
     };
     let embar = free_frac(App::Embar);
     let appbt = free_frac(App::Appbt);
-    assert!(embar > 0.6, "EMBAR should keep most memory free: {embar:.2}");
+    assert!(
+        embar > 0.6,
+        "EMBAR should keep most memory free: {embar:.2}"
+    );
     assert!(
         appbt < 0.4,
         "APPBT (no releases) should hold memory: {appbt:.2}"

@@ -81,9 +81,9 @@ fn random_program(seed: u64) -> GenProgram {
 
     // Optional index array for one level of indirection: values are
     // initialized in-range for the smallest float array.
-    let idx_arr = g.chance(50).then(|| {
-        p.array("idx", ElemType::I64, vec![max_trip + 8])
-    });
+    let idx_arr = g
+        .chance(50)
+        .then(|| p.array("idx", ElemType::I64, vec![max_trip + 8]));
 
     // One loop bound may be symbolic.
     let sym = g.chance(30).then(|| p.param("n"));
@@ -91,11 +91,7 @@ fn random_program(seed: u64) -> GenProgram {
     let vars: Vec<usize> = (0..depth).map(|_| p.fresh_var()).collect();
 
     // A random in-bounds reference in the current loop context.
-    let min_float_dim0 = arrays
-        .iter()
-        .map(|&a| p.arrays[a].dims[0])
-        .min()
-        .unwrap();
+    let min_float_dim0 = arrays.iter().map(|&a| p.arrays[a].dims[0]).min().unwrap();
     let make_ref = |g: &mut Gen, p: &Program| -> ArrayRef {
         let a = arrays[g.below(arrays.len() as u64) as usize];
         let rank = p.arrays[a].dims.len();
@@ -163,7 +159,11 @@ fn random_program(seed: u64) -> GenProgram {
         let triangular = d > 0 && !backward && g.chance(30);
         let hi = match (d, sym) {
             (0, Some(param_id)) if !backward => oocp::ir::param(param_id),
-            _ => lin(trip.max(if triangular { *trips[..d].iter().max().unwrap() } else { 0 })),
+            _ => lin(trip.max(if triangular {
+                *trips[..d].iter().max().unwrap()
+            } else {
+                0
+            })),
         };
         body = vec![if backward {
             Stmt::for_(v, lin(trip - 1), lin(-1), -1, body)
@@ -216,10 +216,14 @@ fn random_params(seed: u64) -> CompilerParams {
         1 => ReleaseMode::Conservative,
         _ => ReleaseMode::Aggressive,
     };
-    CompilerParams::new(4096, (g.range(16, 256) * 4096) as u64, g.range(100_000, 20_000_000) as u64)
-        .with_block_pages(g.range(1, 8) as u64)
-        .with_release_mode(mode)
-        .with_two_version(g.chance(30))
+    CompilerParams::new(
+        4096,
+        (g.range(16, 256) * 4096) as u64,
+        g.range(100_000, 20_000_000) as u64,
+    )
+    .with_block_pages(g.range(1, 8) as u64)
+    .with_release_mode(mode)
+    .with_two_version(g.chance(30))
 }
 
 const CASES: u64 = 192;
@@ -248,9 +252,25 @@ fn compiled_program_is_equivalent_on_flat_memory() {
         let mut vm_b = MemVm::new(bytes, 4096);
         init_data(&gp, &binds, &mut vm_a, seed);
         init_data(&gp, &binds, &mut vm_b, seed);
-        run_program(&gp.prog, &binds, &gp.param_values, CostModel::free(), &mut vm_a);
-        run_program(&xformed, &binds, &gp.param_values, CostModel::free(), &mut vm_b);
-        assert_eq!(vm_a.bytes(), vm_b.bytes(), "case {case} seed {seed} diverged");
+        run_program(
+            &gp.prog,
+            &binds,
+            &gp.param_values,
+            CostModel::free(),
+            &mut vm_a,
+        );
+        run_program(
+            &xformed,
+            &binds,
+            &gp.param_values,
+            CostModel::free(),
+            &mut vm_b,
+        );
+        assert_eq!(
+            vm_a.bytes(),
+            vm_b.bytes(),
+            "case {case} seed {seed} diverged"
+        );
     }
 }
 
@@ -267,7 +287,13 @@ fn compiled_program_is_equivalent_on_paged_machine() {
         let (binds, bytes) = ArrayBinding::sequential(&gp.prog, 4096);
         let mut vm_a = MemVm::new(bytes, 4096);
         init_data(&gp, &binds, &mut vm_a, seed);
-        run_program(&gp.prog, &binds, &gp.param_values, CostModel::free(), &mut vm_a);
+        run_program(
+            &gp.prog,
+            &binds,
+            &gp.param_values,
+            CostModel::free(),
+            &mut vm_a,
+        );
 
         let mut mp = MachineParams::small();
         mp.resident_limit = 64;
@@ -276,7 +302,13 @@ fn compiled_program_is_equivalent_on_paged_machine() {
         mp.high_water = 16;
         let mut rt = Runtime::new(Machine::new(mp, bytes), FilterMode::Enabled);
         init_data(&gp, &binds, &mut rt, seed);
-        run_program(&xformed, &binds, &gp.param_values, CostModel::default(), &mut rt);
+        run_program(
+            &xformed,
+            &binds,
+            &gp.param_values,
+            CostModel::default(),
+            &mut rt,
+        );
         rt.machine_mut().finish();
 
         // Compare every float array byte-for-byte via probes over all
@@ -298,8 +330,10 @@ fn compiled_program_is_equivalent_on_paged_machine() {
         let s = m.stats();
         assert_eq!(
             s.prefetch_pages_requested,
-            s.prefetch_pages_issued + s.prefetch_pages_unnecessary
-                + s.prefetch_pages_reclaimed + s.prefetch_pages_inflight
+            s.prefetch_pages_issued
+                + s.prefetch_pages_unnecessary
+                + s.prefetch_pages_reclaimed
+                + s.prefetch_pages_inflight
                 + s.prefetch_pages_dropped,
             "case {case} seed {seed}"
         );
@@ -318,10 +352,25 @@ fn regression_seeds() {
         let mut vm_b = MemVm::new(bytes, 4096);
         init_data(&gp, &binds, &mut vm_a, seed);
         init_data(&gp, &binds, &mut vm_b, seed);
-        run_program(&gp.prog, &binds, &gp.param_values, CostModel::free(), &mut vm_a);
-        run_program(&xformed, &binds, &gp.param_values, CostModel::free(), &mut vm_b);
+        run_program(
+            &gp.prog,
+            &binds,
+            &gp.param_values,
+            CostModel::free(),
+            &mut vm_a,
+        );
+        run_program(
+            &xformed,
+            &binds,
+            &gp.param_values,
+            CostModel::free(),
+            &mut vm_b,
+        );
         if vm_a.bytes() != vm_b.bytes() {
-            eprintln!("SEED {seed} FAILS\n=== original ===\n{}\n=== transformed ===\n{}", gp.prog, xformed);
+            eprintln!(
+                "SEED {seed} FAILS\n=== original ===\n{}\n=== transformed ===\n{}",
+                gp.prog, xformed
+            );
             panic!("seed {seed} diverged");
         }
     }

@@ -70,7 +70,10 @@ fn extent_allocator_matches_bitmap_model() {
         }
         assert_eq!(a.free_blocks(), CAP, "case {case}");
         assert_eq!(a.fragments(), 1, "case {case}");
-        assert!(a.alloc(CAP).is_some(), "case {case}: full capacity reallocatable");
+        assert!(
+            a.alloc(CAP).is_some(),
+            "case {case}: full capacity reallocatable"
+        );
     }
 }
 
@@ -122,22 +125,20 @@ fn disk_service_laws() {
         let mut last_done = 0u64;
         let mut now = 0u64;
         for (start, n) in reqs {
-            let done = d.submit(
-                now,
-                Request {
-                    kind: ReqKind::DemandRead,
-                    start_block: start,
-                    nblocks: n,
-                },
+            let done = d.submit(now, Request::new(ReqKind::DemandRead, start, n));
+            assert!(
+                done >= last_done,
+                "case {case}: FIFO: completions are ordered"
             );
-            assert!(done >= last_done, "case {case}: FIFO: completions are ordered");
             assert!(
                 done >= now + p.transfer_ns_per_block * n,
                 "case {case}: cannot beat the media rate"
             );
             assert!(
                 done <= now.max(last_done)
-                    + p.seek_max_ns + p.rotation_ns + p.transfer_ns_per_block * n,
+                    + p.seek_max_ns
+                    + p.rotation_ns
+                    + p.transfer_ns_per_block * n,
                 "case {case}: bounded by worst-case positioning"
             );
             last_done = done;
