@@ -56,6 +56,7 @@ fn main() {
                 seed: 20260706,
                 cost: *cost,
                 warm: false,
+                metrics: false,
             };
             let w = build(app, cfg.bytes_for_ratio(2.0));
             let o = run_workload(&w, &cfg, Mode::Original);

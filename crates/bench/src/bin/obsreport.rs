@@ -1,0 +1,166 @@
+//! `obsreport` — the observability layer's own figure: a Figure-5-style
+//! time-attribution table, the prefetch lifecycle ledger, and latency
+//! percentiles for the five NAS kernels, each run in the original and
+//! prefetching configurations with metrics enabled.
+//!
+//! Beyond printing, this binary *checks* the two invariants the
+//! observability tentpole promises:
+//!
+//! 1. every elapsed nanosecond lands in exactly one attribution bucket
+//!    (compute / fault overhead / hint overhead / demand stall /
+//!    late-prefetch stall / backpressure / drain), summing to the
+//!    elapsed time within 0.1%;
+//! 2. the ledger's terminal outcomes partition the prefetch issue
+//!    decisions exactly — Figure 6/7's "where did every prefetch go"
+//!    accounting with no leakage.
+//!
+//! With `--json <path>` it also writes the machine-readable run report,
+//! re-reads the file, re-parses it with the zero-dependency JSON
+//! parser, and re-validates the invariants on the parsed document —
+//! the end-to-end exporter check CI runs via `--smoke`.
+//!
+//! Run: `cargo run --release -p oocp-bench --bin obsreport`
+//! CI:  `... --bin obsreport -- --smoke --json /tmp/report.json`
+
+use oocp_bench::{report, run_workload, secs, Args, Mode, RunResult};
+use oocp_nas::{build, App};
+use oocp_obs::TimeAttribution;
+
+fn pct(part: u64, total: u64) -> String {
+    format!("{:>5.1}", TimeAttribution::frac(part, total) * 100.0)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = args.cfg;
+    // The whole point is the observability snapshot; force it on even
+    // without `--json`.
+    cfg.metrics = true;
+    if std::env::args().all(|a| a != "--mem-mb") {
+        cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+    }
+    let apps: &[App] = if args.smoke {
+        &[App::Embar]
+    } else {
+        &[App::Embar, App::Buk, App::Cgm, App::Fft, App::Mgrid]
+    };
+
+    println!("time attribution, percent of elapsed (Figure 5 form):\n");
+    println!(
+        "{:<8} {:<4} {:>9} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "app", "mode", "total(s)", "cmp%", "flt%", "hnt%", "dem%", "late%", "bkp%", "drn%"
+    );
+    let mut results: Vec<(String, RunResult)> = Vec::new();
+    for &app in apps {
+        let w = build(app, cfg.bytes_for_ratio(args.ratio));
+        for mode in [Mode::Original, Mode::Prefetch] {
+            let r = run_workload(&w, &cfg, mode);
+            r.verified
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{app:?}/{} failed to verify: {e}", mode.label()));
+            let a = r.attr;
+            assert!(
+                a.sums_to(r.total(), 0.001),
+                "{app:?}/{}: attribution {} != elapsed {}",
+                mode.label(),
+                a.total(),
+                r.total()
+            );
+            let t = r.total();
+            println!(
+                "{:<8} {:<4} {:>9} | {} {} {} {} {} {} {}",
+                app.name(),
+                mode.label(),
+                secs(t),
+                pct(a.compute_ns, t),
+                pct(a.fault_overhead_ns, t),
+                pct(a.hint_overhead_ns, t),
+                pct(a.demand_stall_ns, t),
+                pct(a.late_prefetch_stall_ns, t),
+                pct(a.backpressure_stall_ns, t),
+                pct(a.drain_idle_ns, t),
+            );
+            results.push((format!("{}/{}", app.name(), mode.label()), r));
+        }
+    }
+
+    println!("\nprefetch lifecycle ledger (every issue decision accounted for):\n");
+    println!(
+        "{:<8} {:>8} | {:>8} {:>6} {:>7} {:>6} {:>6} {:>7} {:>6} {:>5}",
+        "app",
+        "entries",
+        "timely",
+        "late",
+        "no-mem",
+        "q-full",
+        "io-err",
+        "evicted",
+        "unused",
+        "open"
+    );
+    for (name, r) in &results {
+        if r.mode != Mode::Prefetch {
+            continue;
+        }
+        let obs = r.obs.as_ref().expect("metrics were enabled");
+        assert!(
+            obs.partition_ok(),
+            "{name}: ledger outcomes {} + open {} != entries {}",
+            obs.ledger.sum(),
+            obs.ledger_open,
+            obs.ledger_entries
+        );
+        let l = &obs.ledger;
+        println!(
+            "{:<8} {:>8} | {:>8} {:>6} {:>7} {:>6} {:>6} {:>7} {:>6} {:>5}",
+            name.split('/').next().unwrap(),
+            obs.ledger_entries,
+            l.timely_hits,
+            l.late_inflight,
+            l.dropped_no_memory,
+            l.dropped_queue_full,
+            l.dropped_io_error,
+            l.evicted_unused,
+            l.unused_at_end,
+            obs.ledger_open,
+        );
+    }
+
+    println!("\nlatency percentiles, prefetch runs (ns):\n");
+    println!(
+        "{:<8} {:>22} {:>22} {:>22}",
+        "app", "fault-wait p50/p99", "lead-time p50/p99", "arrival-to-use p50/p99"
+    );
+    for (name, r) in &results {
+        if r.mode != Mode::Prefetch {
+            continue;
+        }
+        let obs = r.obs.as_ref().expect("metrics were enabled");
+        let pair = |h: &oocp_obs::LatencyHist| format!("{:>10}/{:<10}", h.p50(), h.p99());
+        println!(
+            "{:<8} {:>22} {:>22} {:>22}",
+            name.split('/').next().unwrap(),
+            pair(&obs.fault_wait),
+            pair(&obs.lead_time),
+            pair(&obs.arrival_to_use),
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let pairs: Vec<(String, &RunResult)> =
+            results.iter().map(|(n, r)| (n.clone(), r)).collect();
+        let doc = report::report_json(&pairs);
+        report::write_report(path, &doc);
+        // End-to-end exporter check: what landed on disk must parse
+        // with our own parser and still satisfy every invariant.
+        let text = std::fs::read_to_string(path).expect("re-read emitted report");
+        let parsed = oocp_obs::json::parse(&text).expect("emitted report must be valid JSON");
+        report::validate_report(&parsed).expect("parsed report must satisfy invariants");
+        println!("\nJSON report round-trip OK: {path} parses and validates");
+    }
+
+    println!(
+        "\nobservability report OK: {} runs, every ns attributed, every prefetch accounted for",
+        results.len()
+    );
+}

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use oocp_core::{compile, CompilerParams};
 use oocp_ir::{parse_program, run_program, ArrayBinding, CostModel, PagedVm, Program};
-use oocp_os::{Machine, MachineParams};
+use oocp_os::{chrome_trace_json, Machine, MachineParams};
 use oocp_rt::{FilterMode, Runtime};
 use oocp_sim::time::fmt_ns;
 
@@ -23,6 +23,7 @@ struct Options {
     run: bool,
     quiet: bool,
     trace: usize,
+    trace_out: Option<String>,
     mem_mb: u64,
     block: u64,
     two_version: bool,
@@ -31,8 +32,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: oocpc <file> [--run] [--quiet] [--trace N] [--mem-mb N] \
-         [--block N] [--two-version] [--param name=value]..."
+        "usage: oocpc <file> [--run] [--quiet] [--trace N] [--trace-out FILE] \
+         [--mem-mb N] [--block N] [--two-version] [--param name=value]..."
     );
     std::process::exit(2);
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Options {
         run: false,
         quiet: false,
         trace: 0,
+        trace_out: None,
         mem_mb: 8,
         block: 4,
         two_version: false,
@@ -66,6 +68,7 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--trace-out" => opts.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--block" => {
                 opts.block = argv
                     .next()
@@ -152,21 +155,49 @@ fn main() -> ExitCode {
         machine.ndisks,
         prog.data_bytes() as f64 / (1 << 20) as f64
     );
+    // `--trace-out` needs a ring deep enough to hold the whole run, not
+    // just the tail the `--trace N` printout shows.
+    let trace_cap = if opts.trace_out.is_some() {
+        opts.trace.max(1 << 16)
+    } else {
+        opts.trace
+    };
     let mut totals = Vec::new();
     for (label, p) in [("original", &prog), ("prefetch", &xformed)] {
         let (binds, bytes) = ArrayBinding::sequential(&prog, machine.page_bytes);
         let mut m = Machine::new(machine, bytes);
-        if opts.trace > 0 {
-            m.enable_trace(opts.trace);
+        if trace_cap > 0 {
+            m.enable_trace(trace_cap);
         }
         let mut rt = Runtime::new(m, FilterMode::Enabled);
         run_program(p, &binds, &pvals, CostModel::default(), &mut rt);
         rt.machine_mut().finish();
-        if opts.trace > 0 {
+        if trace_cap > 0 {
             if let Some(trace) = rt.machine_mut().take_trace() {
-                println!("--- {label} timeline (last {} events) ---", trace.len());
-                for r in trace.records() {
-                    println!("  {:>12} {:<6} {:?}", fmt_ns(r.at), r.event.tag(), r.event);
+                if opts.trace > 0 {
+                    println!(
+                        "--- {label} timeline (last {} events, {} older dropped) ---",
+                        trace.len(),
+                        trace.dropped()
+                    );
+                    for r in &trace {
+                        println!("  {:>12} {:<6} {:?}", fmt_ns(r.at), r.event.tag(), r.event);
+                    }
+                }
+                // The prefetch run is the timeline worth inspecting in
+                // Perfetto: its spans correlate issue/arrive/consume.
+                if label == "prefetch" {
+                    if let Some(path) = &opts.trace_out {
+                        if let Err(e) = std::fs::write(path, chrome_trace_json(&trace)) {
+                            eprintln!("oocpc: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!(
+                            "wrote Chrome trace ({} events, {} dropped) to {path}",
+                            trace.len(),
+                            trace.dropped()
+                        );
+                    }
                 }
             }
         }

@@ -22,7 +22,7 @@
 //! Run: `cargo run --release -p oocp-bench --bin schedsweep`
 //! CI:  `... --bin schedsweep -- --smoke` (one small kernel).
 
-use oocp_bench::{run_workload, secs, Args, Mode};
+use oocp_bench::{report, run_workload, secs, Args, Mode, RunResult};
 use oocp_nas::{build, App};
 use oocp_os::{SchedConfig, SchedPolicy};
 
@@ -81,6 +81,7 @@ fn main() {
     let mut total_aged = 0u64;
     let mut total_queue_full = 0u64;
     let mut rows = Vec::new();
+    let mut results: Vec<(String, RunResult)> = Vec::new();
 
     for &app in apps {
         let w = build(app, cfg.bytes_for_ratio(args.ratio));
@@ -94,8 +95,9 @@ fn main() {
                 .as_ref()
                 .unwrap_or_else(|e| panic!("{app:?}/{name} failed to verify: {e}"));
             // Demand-stall time the application actually saw (the sum
-            // of all hard-fault waits).
-            let stall = (r.os.fault_wait.mean() * r.os.fault_wait.count() as f64) as u64;
+            // of all hard-fault waits, tracked exactly — reconstructing
+            // it as mean * count rounds each sample's contribution).
+            let stall = r.os.fault_wait.sum() as u64;
             let mean_wait = r.disk.mean_demand_wait_ns();
             if name == "fcfs" {
                 fcfs_checksum = r.checksum;
@@ -146,6 +148,9 @@ fn main() {
                 r.disk.queue_full_rejections,
                 (name == "fcfs" || r.checksum == fcfs_checksum) as u8,
             ));
+            if args.json.is_some() {
+                results.push((format!("{app:?}/{name}"), r));
+            }
         }
     }
 
@@ -165,6 +170,14 @@ fn main() {
             "app,policy,total_ns,demand_stall_ns,mean_demand_wait_ns,queue_hwm,coalesced,preemptions,aged,queue_full,data_ok",
             &rows,
         );
+    }
+
+    if let Some(path) = &args.json {
+        let pairs: Vec<(String, &RunResult)> =
+            results.iter().map(|(n, r)| (n.clone(), r)).collect();
+        let doc = report::report_json(&pairs);
+        report::validate_report(&doc).expect("schedsweep report must satisfy its invariants");
+        report::write_report(path, &doc);
     }
 
     assert_eq!(mismatches, 0, "scheduling policy must be timing-only");

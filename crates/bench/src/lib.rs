@@ -8,11 +8,13 @@
 //! figures need.
 
 pub mod microbench;
+pub mod report;
 
 use oocp_core::{compile, CompileReport, CompilerParams};
 use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
 use oocp_nas::Workload;
-use oocp_os::{FaultPlan, MachineParams, OsStats};
+use oocp_obs::TimeAttribution;
+use oocp_os::{FaultPlan, MachineParams, MetricsReport, OsStats};
 use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
 
@@ -77,6 +79,13 @@ pub struct RunResult {
     /// the same workload that agree here computed bit-identical data —
     /// the correctness oracle for fault-injection sweeps.
     pub checksum: u64,
+    /// Figure-5 attribution of every elapsed nanosecond (always
+    /// collected; built from the OS's exact stall accumulators, so
+    /// `attr.total() == time.total()`).
+    pub attr: TimeAttribution,
+    /// Observability snapshot: latency histograms and the prefetch-
+    /// lifecycle ledger. Present when [`Config::metrics`] was set.
+    pub obs: Option<MetricsReport>,
 }
 
 impl RunResult {
@@ -97,6 +106,9 @@ pub struct Config {
     pub cost: CostModel,
     /// Warm-start: preload the data set before timing (Figure 6).
     pub warm: bool,
+    /// Enable the machine's observability layer (timing-neutral; fills
+    /// [`RunResult::obs`]).
+    pub metrics: bool,
 }
 
 impl Config {
@@ -110,6 +122,7 @@ impl Config {
             seed: 20260706,
             cost: CostModel::default(),
             warm: false,
+            metrics: false,
         }
     }
 
@@ -205,6 +218,9 @@ fn run_workload_inner(
         machine.set_fault_plan(plan);
     }
     let mut rt = Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
+    if cfg.metrics {
+        rt = rt.with_metrics();
+    }
     w.init(&binds, &mut rt, cfg.seed);
     if cfg.warm {
         let m = rt.machine_mut();
@@ -232,6 +248,8 @@ fn run_workload_inner(
         disk: m.disk_stats(),
         disk_util: m.disk_utilization(),
         avg_free_frames: m.avg_free_frames(),
+        attr: m.attribution(),
+        obs: m.metrics_report(),
         rt: *rt.stats(),
         exec,
         report,
@@ -293,8 +311,8 @@ pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns)
 /// Parse `--key value` style overrides shared by the binaries.
 ///
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
-/// `--csv <path>`, `--sched <policy>`, `--queue-depth <n>`,
-/// `--coalesce`, `--smoke`.
+/// `--csv <path>`, `--json <path>`, `--sched <policy>`,
+/// `--queue-depth <n>`, `--coalesce`, `--smoke`.
 pub struct Args {
     /// Parsed configuration (including any `--sched`/`--queue-depth`/
     /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
@@ -304,6 +322,10 @@ pub struct Args {
     /// Optional CSV output path (binaries that support it write their
     /// numeric rows there for plotting).
     pub csv: Option<String>,
+    /// Optional JSON run-report output path (see [`report`]). Giving
+    /// `--json` also enables [`Config::metrics`], so the report carries
+    /// histograms and the lifecycle ledger.
+    pub json: Option<String>,
     /// Quick-gate mode: binaries that support it shrink to a single
     /// small kernel so CI can run them on every change.
     pub smoke: bool,
@@ -315,6 +337,7 @@ impl Args {
         let mut cfg = Config::default_platform();
         let mut ratio = 2.0;
         let mut csv = None;
+        let mut json = None;
         let mut smoke = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -345,6 +368,10 @@ impl Args {
                 "--ratio" => ratio = v.parse().expect("--ratio takes a float"),
                 "--disks" => cfg.machine = cfg.machine.with_ndisks(v.parse().expect("--disks int")),
                 "--csv" => csv = Some(v.clone()),
+                "--json" => {
+                    json = Some(v.clone());
+                    cfg.metrics = true;
+                }
                 "--sched" => {
                     let policy = oocp_os::SchedPolicy::parse(v)
                         .unwrap_or_else(|| panic!("unknown scheduling policy {v}"));
@@ -362,6 +389,7 @@ impl Args {
             cfg,
             ratio,
             csv,
+            json,
             smoke,
         }
     }

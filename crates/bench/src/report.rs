@@ -1,0 +1,302 @@
+//! JSON run reports: a machine-readable export of everything a run
+//! measured, shared by the bench binaries' `--json <path>` flag.
+//!
+//! The format is a stable, self-describing document (`schema` names the
+//! version) holding, per run: the time breakdown, the Figure-5
+//! attribution, fault counters, per-class disk histograms, and — when
+//! the observability layer was enabled — the latency histograms and the
+//! prefetch-lifecycle ledger. [`validate_report`] re-checks the two
+//! cross-layer invariants (attribution sums to elapsed, ledger outcomes
+//! partition the entries) on the *serialized* document, so a CI gate
+//! can parse an emitted file and prove the exporter did not lose or
+//! double-count anything.
+
+use oocp_obs::{Json, LatencyHist, TimeAttribution};
+
+use crate::RunResult;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "oocp-run-report-v1";
+
+/// Serialize a latency histogram: summary statistics plus the sparse
+/// nonzero log2 buckets as `[index, count]` pairs.
+pub fn hist_json(h: &LatencyHist) -> Json {
+    let buckets: Vec<Json> = h
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+        .collect();
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("sum_ns", Json::U64(h.sum_ns())),
+        ("min_ns", Json::U64(h.min())),
+        ("max_ns", Json::U64(h.max())),
+        ("mean_ns", Json::F64(h.mean())),
+        ("p50_ns", Json::U64(h.p50())),
+        ("p95_ns", Json::U64(h.p95())),
+        ("p99_ns", Json::U64(h.p99())),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+fn attr_json(a: &TimeAttribution) -> Json {
+    Json::obj([
+        ("compute_ns", Json::U64(a.compute_ns)),
+        ("fault_overhead_ns", Json::U64(a.fault_overhead_ns)),
+        ("hint_overhead_ns", Json::U64(a.hint_overhead_ns)),
+        ("demand_stall_ns", Json::U64(a.demand_stall_ns)),
+        (
+            "late_prefetch_stall_ns",
+            Json::U64(a.late_prefetch_stall_ns),
+        ),
+        ("backpressure_stall_ns", Json::U64(a.backpressure_stall_ns)),
+        ("drain_idle_ns", Json::U64(a.drain_idle_ns)),
+        ("total_ns", Json::U64(a.total())),
+    ])
+}
+
+/// Serialize one run.
+pub fn run_json(name: &str, r: &RunResult) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(name.to_string())),
+        ("mode", Json::Str(r.mode.label().to_string())),
+        ("elapsed_ns", Json::U64(r.time.total())),
+        ("verified", Json::Bool(r.verified.is_ok())),
+        ("checksum", Json::U64(r.checksum)),
+        (
+            "time",
+            Json::obj([
+                ("user_ns", Json::U64(r.time.user)),
+                ("sys_fault_ns", Json::U64(r.time.sys_fault)),
+                ("sys_prefetch_ns", Json::U64(r.time.sys_prefetch)),
+                ("idle_ns", Json::U64(r.time.idle)),
+            ]),
+        ),
+        ("attribution", attr_json(&r.attr)),
+        (
+            "faults",
+            Json::obj([
+                ("hard", Json::U64(r.os.hard_faults)),
+                ("soft", Json::U64(r.os.soft_faults)),
+                ("prefetched_hits", Json::U64(r.os.prefetched_hits)),
+                ("coverage", Json::F64(r.os.coverage())),
+            ]),
+        ),
+        (
+            "disk",
+            Json::obj([
+                ("demand_reads", Json::U64(r.disk.demand_reads)),
+                ("prefetch_reads", Json::U64(r.disk.prefetch_reads)),
+                ("writes", Json::U64(r.disk.writes)),
+                ("utilization", Json::F64(r.disk_util)),
+                ("queue_wait", hist_json(&r.disk.queue_wait_hist)),
+                ("demand_service", hist_json(&r.disk.demand_service_hist)),
+                ("prefetch_service", hist_json(&r.disk.prefetch_service_hist)),
+                ("write_service", hist_json(&r.disk.write_service_hist)),
+            ]),
+        ),
+    ];
+    if let Some(obs) = &r.obs {
+        fields.push((
+            "obs",
+            Json::obj([
+                ("fault_wait", hist_json(&obs.fault_wait)),
+                ("queue_wait", hist_json(&obs.queue_wait)),
+                ("lead_time", hist_json(&obs.lead_time)),
+                ("arrival_to_use", hist_json(&obs.arrival_to_use)),
+                (
+                    "ledger",
+                    Json::obj([
+                        ("entries", Json::U64(obs.ledger_entries)),
+                        ("open", Json::U64(obs.ledger_open)),
+                        ("timely_hits", Json::U64(obs.ledger.timely_hits)),
+                        ("late_inflight", Json::U64(obs.ledger.late_inflight)),
+                        ("dropped_no_memory", Json::U64(obs.ledger.dropped_no_memory)),
+                        (
+                            "dropped_queue_full",
+                            Json::U64(obs.ledger.dropped_queue_full),
+                        ),
+                        ("dropped_io_error", Json::U64(obs.ledger.dropped_io_error)),
+                        ("evicted_unused", Json::U64(obs.ledger.evicted_unused)),
+                        ("unused_at_end", Json::U64(obs.ledger.unused_at_end)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
+}
+
+/// Assemble the full report document.
+pub fn report_json(runs: &[(String, &RunResult)]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        (
+            "runs",
+            Json::Arr(runs.iter().map(|(n, r)| run_json(n, r)).collect()),
+        ),
+    ])
+}
+
+/// Write the document to `path`; panics on I/O failure (experiment
+/// scripts want loud failures, as with [`crate::write_csv`]).
+pub fn write_report(path: &str, doc: &Json) {
+    std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn field_u64(run: &Json, obj: &str, key: &str) -> Result<u64, String> {
+    run.get(obj)
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing {obj}.{key}"))
+}
+
+/// Re-check the cross-layer invariants on a serialized report.
+///
+/// * every run's seven attribution buckets sum to its `total_ns`
+///   exactly, and that total matches `elapsed_ns` within 0.1%;
+/// * when observability data is present, the seven ledger outcomes plus
+///   the open count sum to the entries *exactly* (a partition, not an
+///   approximation), and the histogram bucket counts sum to `count`.
+///
+/// Intended for CI: parse the file a binary just wrote and prove the
+/// exporter preserved the invariants end to end.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema is not {SCHEMA}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing runs array")?;
+    for run in runs {
+        let name = run
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let elapsed = run
+            .get("elapsed_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{name}: missing elapsed_ns"))?;
+        let mut sum = 0u64;
+        for key in [
+            "compute_ns",
+            "fault_overhead_ns",
+            "hint_overhead_ns",
+            "demand_stall_ns",
+            "late_prefetch_stall_ns",
+            "backpressure_stall_ns",
+            "drain_idle_ns",
+        ] {
+            sum += field_u64(run, "attribution", key)?;
+        }
+        if sum != field_u64(run, "attribution", "total_ns")? {
+            return Err(format!("{name}: attribution buckets do not sum to total"));
+        }
+        let eps = (elapsed as f64 * 0.001).max(1.0);
+        if (sum as f64 - elapsed as f64).abs() > eps {
+            return Err(format!(
+                "{name}: attribution total {sum} vs elapsed {elapsed} exceeds 0.1%"
+            ));
+        }
+        if let Some(obs) = run.get("obs") {
+            let ledger = obs
+                .get("ledger")
+                .ok_or_else(|| format!("{name}: no ledger"))?;
+            let get = |k: &str| {
+                ledger
+                    .get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{name}: missing ledger.{k}"))
+            };
+            let closed = get("timely_hits")?
+                + get("late_inflight")?
+                + get("dropped_no_memory")?
+                + get("dropped_queue_full")?
+                + get("dropped_io_error")?
+                + get("evicted_unused")?
+                + get("unused_at_end")?;
+            if closed + get("open")? != get("entries")? {
+                return Err(format!("{name}: ledger outcomes do not partition entries"));
+            }
+            for h in ["fault_wait", "queue_wait", "lead_time", "arrival_to_use"] {
+                let hist = obs.get(h).ok_or_else(|| format!("{name}: missing {h}"))?;
+                let count = hist
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{name}: {h} has no count"))?;
+                let bucket_sum: u64 = hist
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("{name}: {h} has no buckets"))?
+                    .iter()
+                    .filter_map(|pair| pair.as_arr()?.get(1)?.as_u64())
+                    .sum();
+                if bucket_sum != count {
+                    return Err(format!("{name}: {h} buckets sum {bucket_sum} != {count}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_workload, Config, Mode};
+    use oocp_nas::{build, App};
+
+    fn sample() -> (Config, RunResult) {
+        let mut cfg = Config::default_platform();
+        cfg.machine = cfg.machine.with_memory_bytes(1024 * 1024);
+        cfg.metrics = true;
+        let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+        let r = run_workload(&w, &cfg, Mode::Prefetch);
+        (cfg, r)
+    }
+
+    #[test]
+    fn emitted_report_parses_and_validates() {
+        let (_, r) = sample();
+        let doc = report_json(&[("embar".to_string(), &r)]);
+        let text = doc.to_string();
+        let back = oocp_obs::json::parse(&text).expect("report must be valid JSON");
+        validate_report(&back).expect("invariants must survive serialization");
+    }
+
+    #[test]
+    fn validation_rejects_corrupted_attribution() {
+        let (_, r) = sample();
+        let mut doc = report_json(&[("embar".to_string(), &r)]);
+        // Corrupt a bucket in place.
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[1].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    for (k, v) in run.iter_mut() {
+                        if k == "attribution" {
+                            if let Json::Obj(attr) = v {
+                                attr[0].1 = Json::U64(12345);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate_report(&doc).is_err());
+    }
+
+    #[test]
+    fn report_without_metrics_still_validates() {
+        let mut cfg = Config::default_platform();
+        cfg.machine = cfg.machine.with_memory_bytes(1024 * 1024);
+        let w = build(App::Embar, cfg.bytes_for_ratio(1.0));
+        let r = run_workload(&w, &cfg, Mode::Original);
+        assert!(r.obs.is_none());
+        let doc = report_json(&[("embar".to_string(), &r)]);
+        validate_report(&doc).expect("attribution-only report validates");
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use oocp_obs::LatencyHist;
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 use crate::fault::IoError;
@@ -198,6 +199,15 @@ pub struct DiskStats {
     pub prefetch_aged: u64,
     /// Enqueue attempts rejected because the bounded queue was full.
     pub queue_full_rejections: u64,
+    /// Queueing-delay distribution across all classes (arrival to
+    /// dispatch). Log2 buckets; sums are exact.
+    pub queue_wait_hist: LatencyHist,
+    /// Media-time distribution of demand reads.
+    pub demand_service_hist: LatencyHist,
+    /// Media-time distribution of prefetch reads.
+    pub prefetch_service_hist: LatencyHist,
+    /// Media-time distribution of writes.
+    pub write_service_hist: LatencyHist,
 }
 
 impl DiskStats {
@@ -266,6 +276,10 @@ impl DiskStats {
         self.preemptions += o.preemptions;
         self.prefetch_aged += o.prefetch_aged;
         self.queue_full_rejections += o.queue_full_rejections;
+        self.queue_wait_hist.merge(&o.queue_wait_hist);
+        self.demand_service_hist.merge(&o.demand_service_hist);
+        self.prefetch_service_hist.merge(&o.prefetch_service_hist);
+        self.write_service_hist.merge(&o.write_service_hist);
     }
 }
 
@@ -562,18 +576,22 @@ impl Disk {
         self.head = p.req.start_block + p.req.nblocks;
         self.stats.busy_ns += service;
         let wait = start - p.arrival;
+        self.stats.queue_wait_hist.record(wait);
         match p.req.kind {
             ReqKind::DemandRead => {
                 self.stats.demand_wait_ns += wait;
                 self.stats.demand_service_ns += service;
+                self.stats.demand_service_hist.record(service);
             }
             ReqKind::PrefetchRead => {
                 self.stats.prefetch_wait_ns += wait;
                 self.stats.prefetch_service_ns += service;
+                self.stats.prefetch_service_hist.record(service);
             }
             ReqKind::Write => {
                 self.stats.write_wait_ns += wait;
                 self.stats.write_service_ns += service;
+                self.stats.write_service_hist.record(service);
             }
         }
         if preempted {

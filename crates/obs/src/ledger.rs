@@ -1,0 +1,337 @@
+//! The prefetch-lifecycle ledger: Figure 6/7's effectiveness partition
+//! as a first-class, checked invariant.
+//!
+//! Every prefetch page that reaches the OS's issue decision opens a
+//! ledger entry. The entry closes with exactly one outcome:
+//!
+//! * **timely hit** — the read completed before the first demand touch;
+//!   the original fault was fully eliminated.
+//! * **late (in-flight)** — the application touched the page while the
+//!   read was still in progress and stalled for the residual latency.
+//! * **dropped (no memory)** — the OS dropped the hint because no frame
+//!   was free (the paper: "the OS simply drops prefetches when all
+//!   memory is in use").
+//! * **dropped (queue full)** — scheduler backpressure rejected the
+//!   disk request and the non-binding hint was discarded.
+//! * **dropped (I/O error)** — the prefetch read failed and the hint
+//!   was silently dropped.
+//! * **evicted unused** — the read completed but the page was evicted
+//!   before its first use; the I/O was wasted.
+//! * **unused at end** — the read completed (or was still in flight)
+//!   but the run finished before any touch; also wasted work.
+//!
+//! The outcome counts always sum to the entries opened — a partition,
+//! not a set of independent counters — and the ledger carries the two
+//! lead-time histograms 3PO-style timeliness tuning needs: issue to
+//! arrival, and arrival to first use.
+
+use std::collections::HashMap;
+
+use oocp_sim::time::Ns;
+
+use crate::hist::LatencyHist;
+
+/// Closed-outcome counts. The partition invariant is
+/// [`LedgerCounts::sum`] `==` [`PrefetchLedger::entries`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerCounts {
+    /// Arrived before first touch; touch was a free hit.
+    pub timely_hits: u64,
+    /// Touched while the read was still in flight (residual stall).
+    pub late_inflight: u64,
+    /// Dropped at hint time: no free frame.
+    pub dropped_no_memory: u64,
+    /// Dropped at submit time: bounded disk queue was full.
+    pub dropped_queue_full: u64,
+    /// Dropped at submit time: the disk read failed.
+    pub dropped_io_error: u64,
+    /// Arrived but evicted before first use (wasted I/O).
+    pub evicted_unused: u64,
+    /// Never touched by the end of the run (wasted I/O).
+    pub unused_at_end: u64,
+}
+
+impl LedgerCounts {
+    /// Total closed entries across every outcome.
+    pub fn sum(&self) -> u64 {
+        self.timely_hits
+            + self.late_inflight
+            + self.dropped_no_memory
+            + self.dropped_queue_full
+            + self.dropped_io_error
+            + self.evicted_unused
+            + self.unused_at_end
+    }
+
+    /// Entries whose disk read actually started (everything except the
+    /// pre-issue drops).
+    pub fn issued(&self) -> u64 {
+        self.sum() - self.dropped_no_memory - self.dropped_queue_full - self.dropped_io_error
+    }
+
+    /// Entries whose I/O completed but bought nothing.
+    pub fn wasted(&self) -> u64 {
+        self.evicted_unused + self.unused_at_end
+    }
+}
+
+/// An open entry: issued, not yet consumed, dropped, or evicted.
+#[derive(Clone, Copy, Debug)]
+struct Open {
+    issued_at: Ns,
+    /// Completion time of the disk read, once known.
+    arrived_at: Option<Ns>,
+}
+
+/// Tracks every prefetch page from issue to its terminal outcome.
+///
+/// Keyed by virtual page: at most one entry per page can be open at a
+/// time (a page cannot be re-prefetched while it is in flight or
+/// resident-untouched — the OS classifies those hints as in-flight or
+/// unnecessary and never re-issues).
+///
+/// # Examples
+///
+/// ```
+/// use oocp_obs::PrefetchLedger;
+///
+/// let mut l = PrefetchLedger::new();
+/// l.issued(7, 1_000);
+/// l.arrived(7, 5_000);
+/// l.consumed(7, 9_000);
+/// l.finalize();
+/// assert_eq!(l.counts().timely_hits, 1);
+/// assert_eq!(l.counts().sum(), l.entries());
+/// assert_eq!(l.lead_time().sum_ns(), 4_000);
+/// assert_eq!(l.arrival_to_use().sum_ns(), 4_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PrefetchLedger {
+    open: HashMap<u64, Open>,
+    counts: LedgerCounts,
+    entries: u64,
+    lead_time: LatencyHist,
+    arrival_to_use: LatencyHist,
+}
+
+impl PrefetchLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Entries ever opened (the partition denominator).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Entries still open (in flight or resident-unused).
+    pub fn open_entries(&self) -> u64 {
+        self.open.len() as u64
+    }
+
+    /// Closed-outcome counts.
+    pub fn counts(&self) -> &LedgerCounts {
+        &self.counts
+    }
+
+    /// Issue-to-arrival latency distribution (how far ahead of the disk
+    /// the prefetcher ran).
+    pub fn lead_time(&self) -> &LatencyHist {
+        &self.lead_time
+    }
+
+    /// Arrival-to-first-use distribution for timely hits (how much
+    /// slack the prefetch distance had; large values suggest prefetches
+    /// are issued earlier than necessary and hold memory longer than
+    /// they need to).
+    pub fn arrival_to_use(&self) -> &LatencyHist {
+        &self.arrival_to_use
+    }
+
+    /// The partition invariant: every opened entry is closed with
+    /// exactly one outcome (true only after [`PrefetchLedger::finalize`]
+    /// or while no entries are open).
+    pub fn partition_ok(&self) -> bool {
+        self.counts.sum() + self.open.len() as u64 == self.entries
+    }
+
+    /// A prefetch page's disk read was issued at `now`.
+    pub fn issued(&mut self, page: u64, now: Ns) {
+        self.entries += 1;
+        let prev = self.open.insert(
+            page,
+            Open {
+                issued_at: now,
+                arrived_at: None,
+            },
+        );
+        debug_assert!(prev.is_none(), "page {page} already has an open entry");
+    }
+
+    /// A prefetch page was dropped before issue for lack of memory.
+    pub fn dropped_no_memory(&mut self) {
+        self.entries += 1;
+        self.counts.dropped_no_memory += 1;
+    }
+
+    /// An issued page was reverted: the bounded disk queue was full.
+    pub fn dropped_queue_full(&mut self, page: u64) {
+        if self.open.remove(&page).is_some() {
+            self.counts.dropped_queue_full += 1;
+        }
+    }
+
+    /// An issued page was reverted: its disk read failed.
+    pub fn dropped_io_error(&mut self, page: u64) {
+        if self.open.remove(&page).is_some() {
+            self.counts.dropped_io_error += 1;
+        }
+    }
+
+    /// The page's disk read completed at `arrival` (recorded lazily,
+    /// whenever the OS first observes the completion; the timestamp is
+    /// the exact simulated completion time, so lead time is exact even
+    /// when observation is late). Idempotent.
+    pub fn arrived(&mut self, page: u64, arrival: Ns) {
+        if let Some(e) = self.open.get_mut(&page) {
+            if e.arrived_at.is_none() {
+                e.arrived_at = Some(arrival);
+                self.lead_time.record(arrival.saturating_sub(e.issued_at));
+            }
+        }
+    }
+
+    /// First demand touch found the page resident: a timely hit.
+    /// No-ops when no entry is open for the page (e.g. the hit came
+    /// from a free-list reclaim that never did I/O).
+    pub fn consumed(&mut self, page: u64, now: Ns) {
+        if let Some(e) = self.open.remove(&page) {
+            self.counts.timely_hits += 1;
+            if let Some(at) = e.arrived_at {
+                self.arrival_to_use.record(now.saturating_sub(at));
+            }
+        }
+    }
+
+    /// First demand touch found the page still in flight and stalled
+    /// until `arrival`. Records the lead time if the arrival had not
+    /// been observed yet; arrival-to-use is zero by definition (the
+    /// touch consumes the page the moment it lands).
+    pub fn consumed_late(&mut self, page: u64, arrival: Ns) {
+        if let Some(e) = self.open.remove(&page) {
+            self.counts.late_inflight += 1;
+            if e.arrived_at.is_none() {
+                self.lead_time.record(arrival.saturating_sub(e.issued_at));
+            }
+            self.arrival_to_use.record(0);
+        }
+    }
+
+    /// The page was unmapped before its first use: wasted I/O.
+    /// No-ops when no entry is open for the page.
+    pub fn evicted(&mut self, page: u64) {
+        if self.open.remove(&page).is_some() {
+            self.counts.evicted_unused += 1;
+        }
+    }
+
+    /// Close every still-open entry as unused-at-end. Call once when
+    /// the run finishes; afterwards the partition is total.
+    pub fn finalize(&mut self) {
+        self.counts.unused_at_end += self.open.len() as u64;
+        self.open.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_outcome_closes_exactly_one_entry() {
+        let mut l = PrefetchLedger::new();
+        l.issued(1, 10);
+        l.arrived(1, 20);
+        l.consumed(1, 30); // timely
+
+        l.issued(2, 10);
+        l.consumed_late(2, 50); // late
+
+        l.dropped_no_memory();
+
+        l.issued(3, 10);
+        l.dropped_queue_full(3);
+
+        l.issued(4, 10);
+        l.dropped_io_error(4);
+
+        l.issued(5, 10);
+        l.arrived(5, 15);
+        l.evicted(5);
+
+        l.issued(6, 10);
+        l.finalize(); // unused at end
+
+        let c = *l.counts();
+        assert_eq!(c.timely_hits, 1);
+        assert_eq!(c.late_inflight, 1);
+        assert_eq!(c.dropped_no_memory, 1);
+        assert_eq!(c.dropped_queue_full, 1);
+        assert_eq!(c.dropped_io_error, 1);
+        assert_eq!(c.evicted_unused, 1);
+        assert_eq!(c.unused_at_end, 1);
+        assert_eq!(l.entries(), 7);
+        assert!(l.partition_ok());
+        assert_eq!(c.issued(), 4);
+        assert_eq!(c.wasted(), 2);
+    }
+
+    #[test]
+    fn lead_time_is_exact_and_recorded_once() {
+        let mut l = PrefetchLedger::new();
+        l.issued(9, 100);
+        l.arrived(9, 350);
+        l.arrived(9, 999); // idempotent: second observation ignored
+        l.consumed(9, 400);
+        assert_eq!(l.lead_time().count(), 1);
+        assert_eq!(l.lead_time().sum_ns(), 250);
+        assert_eq!(l.arrival_to_use().sum_ns(), 50);
+    }
+
+    #[test]
+    fn late_consume_records_lead_from_stall_arrival() {
+        let mut l = PrefetchLedger::new();
+        l.issued(3, 1000);
+        l.consumed_late(3, 1700);
+        assert_eq!(l.lead_time().sum_ns(), 700);
+        assert_eq!(l.arrival_to_use().max(), 0);
+    }
+
+    #[test]
+    fn closing_unknown_pages_is_harmless() {
+        let mut l = PrefetchLedger::new();
+        l.consumed(42, 10);
+        l.evicted(42);
+        l.dropped_queue_full(42);
+        l.dropped_io_error(42);
+        assert_eq!(l.entries(), 0);
+        assert_eq!(l.counts().sum(), 0);
+        assert!(l.partition_ok());
+    }
+
+    #[test]
+    fn reissue_after_eviction_reopens() {
+        let mut l = PrefetchLedger::new();
+        l.issued(7, 10);
+        l.evicted(7);
+        l.issued(7, 100);
+        l.arrived(7, 150);
+        l.consumed(7, 160);
+        l.finalize();
+        assert_eq!(l.entries(), 2);
+        assert_eq!(l.counts().evicted_unused, 1);
+        assert_eq!(l.counts().timely_hits, 1);
+        assert!(l.partition_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Cross-layer observability for the out-of-core prefetching simulator.
+//!
+//! The paper's headline results are *breakdowns*, not single numbers:
+//! Figure 5 decomposes execution time into compute / I/O stall /
+//! prefetch overhead, and Figures 6-8 classify prefetches as timely,
+//! late, or dropped. This crate provides the zero-dependency building
+//! blocks every layer records into:
+//!
+//! * [`LatencyHist`] — fixed-bucket log2 latency histograms with exact
+//!   sums and p50/p95/p99/max estimation, cheap enough to keep always-on
+//!   in the disk model and optionally in the OS.
+//! * [`PrefetchLedger`] — follows every issued prefetch page from issue
+//!   through {timely hit, late-but-inflight, dropped, wasted}, keeping
+//!   the Figure 6/7 effectiveness partition as a checked invariant.
+//! * [`TimeAttribution`] — bins every simulated nanosecond of a run
+//!   into compute / demand stall / late-prefetch stall / overhead
+//!   buckets that sum exactly to end-to-end elapsed time.
+//! * [`json`] — a hand-rolled JSON value type (writer *and* parser) so
+//!   run reports and Chrome trace-event files need no external crates.
+//!
+//! Everything here is passive bookkeeping: recording never advances the
+//! simulated clock, so enabling observability cannot change a single
+//! simulated timestamp or computed result (property-tested at the
+//! workspace level).
+
+pub mod attr;
+pub mod hist;
+pub mod json;
+pub mod ledger;
+
+pub use attr::TimeAttribution;
+pub use hist::LatencyHist;
+pub use json::Json;
+pub use ledger::{LedgerCounts, PrefetchLedger};

@@ -22,7 +22,9 @@
 
 pub mod bitvec;
 pub mod error;
+pub mod export;
 pub mod machine;
+pub mod metrics;
 pub mod params;
 pub mod posix;
 pub mod stats;
@@ -30,11 +32,16 @@ pub mod trace;
 
 pub use bitvec::ResidencyBits;
 pub use error::OsError;
+pub use export::chrome_trace_json;
 // Fault-injection types, re-exported so layers above the OS (the
 // run-time filter, the bench harness) can build plans without a direct
 // disk-crate dependency.
 pub use machine::{Machine, Segment};
+pub use metrics::{MetricsReport, ObsMetrics};
+// Observability types that appear in this crate's public API, re-
+// exported for the same reason as the fault-injection types above.
 pub use oocp_disk::{Brownout, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy};
+pub use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger, TimeAttribution};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};

@@ -5,12 +5,14 @@ use std::collections::VecDeque;
 
 use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
 use oocp_fs::{FileId, FileSystem};
+use oocp_obs::TimeAttribution;
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
 use oocp_sim::time::{Ns, TimeBreakdown, TimeCategory};
 
 use crate::bitvec::ResidencyBits;
 use crate::error::OsError;
+use crate::metrics::{MetricsReport, ObsMetrics};
 use crate::params::MachineParams;
 use crate::stats::OsStats;
 use crate::trace::{Trace, TraceEvent};
@@ -55,6 +57,11 @@ struct Page {
     /// The page is currently counted as "in memory" in the shared bit
     /// vector (idempotence guard for the per-bit reference counts).
     bit_noted: bool,
+    /// Lifecycle span id of the outstanding prefetch (0 = none).
+    /// Assigned when a prefetch read is issued for the page and cleared
+    /// when the span terminates (consume, drop, revert, or reclaim);
+    /// correlates the issue/arrive/consume trace events.
+    span: u64,
 }
 
 impl Page {
@@ -64,6 +71,7 @@ impl Page {
             prefetch_tag: false,
             touched: false,
             bit_noted: false,
+            span: 0,
         }
     }
 }
@@ -121,6 +129,14 @@ pub struct Machine {
     pressure: Vec<(Ns, u64)>,
     /// Optional event trace (flight recorder).
     trace: Option<Trace>,
+    /// Optional observability layer: latency histograms and the
+    /// prefetch-lifecycle ledger. Purely passive — never advances the
+    /// clock or changes a paging decision.
+    metrics: Option<ObsMetrics>,
+    /// Next prefetch-lifecycle span id (always allocated, metrics or
+    /// not, so span ids in traces are stable across instrumentation
+    /// choices; 0 means "no span").
+    next_span: u64,
     /// Bit-vector desync injection (from the fault plan): probability a
     /// residency-bit clear is "lost", and the stream deciding when.
     chaos_bits: Option<(f64, SimRng)>,
@@ -187,6 +203,8 @@ impl Machine {
             finished: false,
             pressure: Vec::new(),
             trace: None,
+            metrics: None,
+            next_span: 1,
             chaos_bits: None,
             fault_plan: None,
         })
@@ -241,6 +259,45 @@ impl Machine {
         if let Some(t) = &mut self.trace {
             t.push(self.now, event);
         }
+    }
+
+    /// Enable the observability layer: latency histograms for fault and
+    /// backpressure waits plus the prefetch-lifecycle ledger. Idempotent
+    /// (re-enabling keeps accumulated state). Timing-neutral: the layer
+    /// only records what already happened and never influences paging.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(ObsMetrics::default());
+        }
+    }
+
+    /// The live observability state, if enabled.
+    pub fn metrics(&self) -> Option<&ObsMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Flat snapshot of the observability state, if enabled.
+    pub fn metrics_report(&self) -> Option<MetricsReport> {
+        self.metrics.as_ref().map(|m| m.report())
+    }
+
+    /// Figure-5 time attribution of every nanosecond elapsed so far.
+    ///
+    /// Works with or without [`Machine::enable_metrics`] — it is built
+    /// from the always-on [`OsStats`] accumulators — and partitions
+    /// [`Machine::now`] exactly:
+    /// `attribution().total() == breakdown().total() == now()`.
+    pub fn attribution(&self) -> TimeAttribution {
+        let b = self.breakdown;
+        TimeAttribution::new(
+            b.user,
+            b.sys_fault,
+            b.sys_prefetch,
+            b.idle,
+            self.stats.fault_wait.sum() as Ns,
+            self.stats.late_prefetch_stall_ns,
+            self.stats.queue_full_wait_ns + self.stats.io_retry_wait_ns,
+        )
     }
 
     /// Record a runtime degradation transition in the trace (the state
@@ -430,7 +487,7 @@ impl Machine {
     /// redeeming one of its ticket's completion units.
     fn settle(&mut self, vpage: u64) {
         if let PageState::InFlight { ticket } = self.pages[vpage as usize].state {
-            if self.disks.poll(ticket, self.now).is_some() {
+            if let Some(done) = self.disks.poll(ticket, self.now) {
                 self.pages[vpage as usize].state = PageState::Resident {
                     dirty: false,
                     referenced: false,
@@ -439,6 +496,17 @@ impl Machine {
                 self.pages[vpage as usize].touched = false;
                 self.inflight -= 1;
                 self.resident += 1;
+                // `done` is the read's exact completion time even when
+                // this observation is late (completions settle lazily).
+                if let Some(mx) = &mut self.metrics {
+                    mx.ledger.arrived(vpage, done);
+                }
+                let span = self.pages[vpage as usize].span;
+                self.trace_event(TraceEvent::PrefetchArrive {
+                    page: vpage,
+                    span,
+                    arrival: done,
+                });
             }
         }
     }
@@ -466,6 +534,12 @@ impl Machine {
         self.pages[vpage as usize].state = PageState::Unmapped;
         self.resident -= 1;
         self.bit_out(vpage);
+        // If a prefetch loaded this page and it was never touched, its
+        // I/O is now provably wasted (no-op for demand-loaded pages).
+        if let Some(mx) = &mut self.metrics {
+            mx.ledger.evicted(vpage);
+        }
+        self.pages[vpage as usize].span = 0;
     }
 
     /// Pop the next live free-list page, skipping stale entries.
@@ -520,6 +594,9 @@ impl Machine {
                     self.charge(TimeCategory::Idle, wait);
                     self.stats.queue_full_waits += 1;
                     self.stats.queue_full_wait_ns += wait;
+                    if let Some(mx) = &mut self.metrics {
+                        mx.queue_wait.record(wait);
+                    }
                     self.trace_event(TraceEvent::QueueFullWait {
                         page: vpage,
                         disk: d,
@@ -528,7 +605,10 @@ impl Machine {
                 }
                 Err(e) => {
                     self.stats.io_errors_observed += 1;
-                    self.trace_event(TraceEvent::IoError { page: vpage, disk });
+                    self.trace_event(TraceEvent::IoError {
+                        page: Some(vpage),
+                        disk,
+                    });
                     let wait = match e {
                         IoError::Brownout { until, .. } => {
                             until.saturating_sub(self.now).max(backoff)
@@ -736,6 +816,16 @@ impl Machine {
                 if !page.touched {
                     if page.prefetch_tag {
                         self.stats.prefetched_hits += 1;
+                        if let Some(mx) = &mut self.metrics {
+                            mx.ledger.consumed(vpage, self.now);
+                        }
+                        if page.span != 0 {
+                            self.trace_event(TraceEvent::PrefetchConsume {
+                                page: vpage,
+                                span: page.span,
+                                late: false,
+                            });
+                        }
                     } else {
                         // Loaded by a demand fault; already classified
                         // at fault time.
@@ -744,6 +834,7 @@ impl Machine {
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
                 p.prefetch_tag = false;
+                p.span = 0;
                 p.state = PageState::Resident {
                     dirty: dirty || write,
                     referenced: true,
@@ -770,10 +861,21 @@ impl Machine {
                     // before first use, but still mapped: the original
                     // fault was eliminated.
                     self.stats.prefetched_hits += 1;
+                    if let Some(mx) = &mut self.metrics {
+                        mx.ledger.consumed(vpage, self.now);
+                    }
+                    if page.span != 0 {
+                        self.trace_event(TraceEvent::PrefetchConsume {
+                            page: vpage,
+                            span: page.span,
+                            late: false,
+                        });
+                    }
                 }
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
                 p.prefetch_tag = false;
+                p.span = 0;
                 p.state = PageState::Resident {
                     dirty: dirty || write,
                     referenced: true,
@@ -797,11 +899,23 @@ impl Machine {
                 let waited = self.stall_until(arrival);
                 self.stats.fault_wait.push(waited as f64);
                 self.stats.late_prefetch_stall_ns += waited;
+                if let Some(mx) = &mut self.metrics {
+                    mx.fault_wait.record(waited);
+                    mx.ledger.consumed_late(vpage, arrival);
+                }
+                if page.span != 0 {
+                    self.trace_event(TraceEvent::PrefetchConsume {
+                        page: vpage,
+                        span: page.span,
+                        late: true,
+                    });
+                }
                 self.inflight -= 1;
                 self.resident += 1;
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
                 p.prefetch_tag = false;
+                p.span = 0;
                 p.state = PageState::Resident {
                     dirty: write,
                     referenced: true,
@@ -830,6 +944,9 @@ impl Machine {
                 )?;
                 let waited = self.stall_until(done);
                 self.stats.fault_wait.push(waited as f64);
+                if let Some(mx) = &mut self.metrics {
+                    mx.fault_wait.record(waited);
+                }
                 self.trace_event(TraceEvent::HardFault {
                     page: vpage,
                     waited,
@@ -842,6 +959,7 @@ impl Machine {
                 };
                 p.touched = true;
                 p.prefetch_tag = false;
+                p.span = 0;
                 self.resident += 1;
                 self.bit_in(vpage);
                 self.run_daemon();
@@ -958,6 +1076,9 @@ impl Machine {
                 PageState::Unmapped => {
                     if !self.alloc_frame_prefetch() {
                         self.stats.prefetch_pages_dropped += 1;
+                        if let Some(mx) = &mut self.metrics {
+                            mx.ledger.dropped_no_memory();
+                        }
                         self.trace_event(TraceEvent::PrefetchDrop { page: vpage });
                         // Leave any prior prefetch_tag: a dropped hint
                         // still marks the fault as "prefetched" for
@@ -967,7 +1088,17 @@ impl Machine {
                     }
                     self.inflight += 1;
                     self.stats.prefetch_pages_issued += 1;
-                    self.pages[vpage as usize].prefetch_tag = true;
+                    // Span ids are allocated in page order, so a
+                    // contiguous issue span holds consecutive ids (the
+                    // PrefetchIssue trace event relies on this).
+                    let sid = self.next_span;
+                    self.next_span += 1;
+                    let p = &mut self.pages[vpage as usize];
+                    p.prefetch_tag = true;
+                    p.span = sid;
+                    if let Some(mx) = &mut self.metrics {
+                        mx.ledger.issued(vpage, self.now);
+                    }
                     self.bit_in(vpage);
                     match spans.last_mut() {
                         Some((s, c)) if *s + *c == vpage => *c += 1,
@@ -980,9 +1111,11 @@ impl Machine {
         // disk (the striping turns k consecutive pages into <= k
         // single-positioning requests on distinct disks).
         for (span_start, count) in spans {
+            let first_span = self.pages[span_start as usize].span;
             self.trace_event(TraceEvent::PrefetchIssue {
                 page: span_start,
                 count,
+                span: first_span,
             });
             let runs = self
                 .fs
@@ -1020,6 +1153,10 @@ impl Machine {
                             ));
                             self.inflight -= 1;
                             self.bit_out(vpage);
+                            if let Some(mx) = &mut self.metrics {
+                                mx.ledger.dropped_queue_full(vpage);
+                            }
+                            self.pages[vpage as usize].span = 0;
                             self.stats.prefetch_pages_issued -= 1;
                             self.stats.prefetch_pages_dropped += 1;
                             self.stats.hints_dropped_queue_full += 1;
@@ -1033,7 +1170,7 @@ impl Machine {
                         // lost", exactly like a memory-pressure drop).
                         self.stats.io_errors_observed += 1;
                         self.trace_event(TraceEvent::IoError {
-                            page: first,
+                            page: Some(first),
                             disk: run.disk,
                         });
                         self.trace_event(TraceEvent::HintDropOnError {
@@ -1048,6 +1185,10 @@ impl Machine {
                             ));
                             self.inflight -= 1;
                             self.bit_out(vpage);
+                            if let Some(mx) = &mut self.metrics {
+                                mx.ledger.dropped_io_error(vpage);
+                            }
+                            self.pages[vpage as usize].span = 0;
                             self.stats.prefetch_pages_issued -= 1;
                             self.stats.prefetch_pages_dropped += 1;
                             self.stats.hints_dropped_on_error += 1;
@@ -1085,6 +1226,7 @@ impl Machine {
                     prefetch_tag: false,
                     touched: true,
                     bit_noted: false,
+                    span: 0,
                 };
                 self.resident += 1;
                 self.bit_in(vpage);
@@ -1214,6 +1356,11 @@ impl Machine {
             for vpage in 0..self.total_pages() {
                 self.settle(vpage);
             }
+        }
+        // Close the lifecycle ledger: prefetched pages never touched by
+        // now are wasted I/O, and the partition becomes total.
+        if let Some(mx) = &mut self.metrics {
+            mx.ledger.finalize();
         }
         self.note_free_level();
     }
@@ -1815,6 +1962,145 @@ mod tests {
         m.touch(10 * 4096, 8, false);
         let t2 = m.take_trace().expect("still tracing");
         assert!(t2.records().iter().any(|r| r.event.tag() == "FAULT"));
+    }
+
+    #[test]
+    fn ledger_partitions_every_prefetch_outcome() {
+        let mut m = tiny();
+        m.enable_metrics();
+        // Timely hit: prefetch, wait, touch.
+        m.sys_prefetch(0, 1);
+        m.tick_user(10 * oocp_sim::time::SECOND);
+        m.touch(0, 8, false);
+        // Late in-flight: prefetch and touch immediately.
+        m.sys_prefetch(1, 1);
+        m.touch(4096, 8, false);
+        let r = m.metrics_report().expect("metrics enabled");
+        assert_eq!(r.ledger.timely_hits, 1);
+        assert_eq!(r.ledger.late_inflight, 1);
+        assert!(r.partition_ok());
+        assert_eq!(r.lead_time.count(), 2, "both reads have lead times");
+        assert_eq!(r.arrival_to_use.count(), 2);
+        assert_eq!(r.fault_wait.count(), 1, "only the late touch stalled");
+        m.finish();
+        let r = m.metrics_report().unwrap();
+        assert_eq!(r.ledger_open, 0, "finish closes every entry");
+        assert!(r.partition_ok());
+    }
+
+    #[test]
+    fn ledger_counts_drops_and_finalizes_unused() {
+        let mut m = tiny();
+        m.enable_metrics();
+        for p in 0..32 {
+            m.touch(p * 4096, 8, false);
+        }
+        for p in 0..32 {
+            m.touch(p * 4096, 8, false);
+        }
+        m.sys_prefetch(40, 20); // memory full: some drop
+        let r = m.metrics_report().unwrap();
+        assert!(r.ledger.dropped_no_memory > 0);
+        assert_eq!(
+            r.ledger.dropped_no_memory,
+            m.stats().prefetch_pages_dropped,
+            "ledger and OsStats agree on drops"
+        );
+        m.finish();
+        let r = m.metrics_report().unwrap();
+        assert!(r.partition_ok());
+        assert_eq!(
+            r.ledger_entries,
+            m.stats().prefetch_pages_issued + m.stats().prefetch_pages_dropped,
+            "every issue decision opened exactly one entry"
+        );
+    }
+
+    #[test]
+    fn ledger_closes_error_dropped_hints() {
+        let mut m = tiny();
+        m.enable_metrics();
+        m.set_fault_plan(&FaultPlan::none(17).with_errors(0.0, 1.0, 0.0));
+        m.sys_prefetch(0, 8);
+        m.finish();
+        let r = m.metrics_report().unwrap();
+        assert_eq!(r.ledger.dropped_io_error, 8);
+        assert!(r.partition_ok());
+    }
+
+    #[test]
+    fn attribution_partitions_elapsed_exactly() {
+        let mut m = tiny();
+        for p in 0..64 {
+            m.touch(p * 4096, 8, true);
+            m.tick_user(5_000);
+        }
+        m.sys_prefetch(0, 4);
+        m.touch(0, 8, false); // may stall on the in-flight prefetch
+        m.finish();
+        let a = m.attribution();
+        assert_eq!(a.total(), m.now(), "buckets sum to elapsed exactly");
+        assert!(a.sums_to(m.breakdown().total(), 0.0));
+        assert!(a.compute_ns > 0 && a.demand_stall_ns > 0);
+    }
+
+    #[test]
+    fn metrics_are_timing_neutral() {
+        let run = |metrics: bool| {
+            let mut m = tiny();
+            if metrics {
+                m.enable_metrics();
+            }
+            m.set_fault_plan(&FaultPlan::none(7).with_errors(0.1, 0.1, 0.0));
+            for p in 0..64u64 {
+                m.store_f64(p * 4096, p as f64);
+            }
+            m.sys_prefetch(0, 16);
+            m.sys_release(0, 8);
+            m.touch(0, 8, false);
+            m.finish();
+            let d = m.disk_stats();
+            (
+                m.now(),
+                m.stats().hard_faults,
+                d.demand_reads + d.prefetch_reads + d.writes,
+            )
+        };
+        assert_eq!(run(false), run(true), "metrics never perturb timing");
+    }
+
+    #[test]
+    fn prefetch_trace_spans_correlate_issue_arrive_consume() {
+        let mut m = tiny();
+        m.enable_trace(1024);
+        m.sys_prefetch(0, 2);
+        m.tick_user(10 * oocp_sim::time::SECOND);
+        m.touch(0, 8, false);
+        m.touch(4096, 8, false);
+        let trace = m.take_trace().unwrap();
+        let mut issued = Vec::new();
+        let mut arrived = Vec::new();
+        let mut consumed = Vec::new();
+        for r in trace.iter() {
+            match r.event {
+                TraceEvent::PrefetchIssue { span, count, .. } => issued.extend(span..span + count),
+                TraceEvent::PrefetchArrive { span, arrival, .. } => {
+                    assert!(arrival <= r.at, "arrival observed at or after completion");
+                    arrived.push(span)
+                }
+                TraceEvent::PrefetchConsume { span, late, .. } => {
+                    assert!(!late);
+                    consumed.push(span)
+                }
+                _ => {}
+            }
+        }
+        issued.sort_unstable();
+        arrived.sort_unstable();
+        consumed.sort_unstable();
+        assert_eq!(issued, vec![1, 2]);
+        assert_eq!(arrived, issued, "every span arrives");
+        assert_eq!(consumed, issued, "every span is consumed");
     }
 
     #[test]

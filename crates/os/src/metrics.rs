@@ -1,0 +1,94 @@
+//! Optional observability state carried by the machine.
+//!
+//! Everything in this module is *passive*: the machine records into it
+//! at the same points it already updates [`crate::stats::OsStats`], and
+//! nothing here ever advances the simulated clock or changes a paging
+//! decision. Enabling metrics must be timing-neutral — a run with
+//! metrics on produces byte-identical results and timestamps to the
+//! same run with metrics off (the bench crate proptests this).
+
+use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger};
+
+/// Live observability state (histograms plus the prefetch ledger).
+///
+/// Created by [`crate::Machine::enable_metrics`]; read through
+/// [`crate::Machine::metrics`] or snapshotted as a [`MetricsReport`].
+#[derive(Clone, Debug, Default)]
+pub struct ObsMetrics {
+    /// Demand-fault stall distribution: every hard-fault disk wait,
+    /// including the residual waits on in-flight prefetched pages.
+    pub fault_wait: LatencyHist,
+    /// Waits for disk-queue slots (scheduler backpressure on demand
+    /// reads and write-backs).
+    pub queue_wait: LatencyHist,
+    /// The prefetch-lifecycle ledger (Figure 6/7 partition).
+    pub ledger: PrefetchLedger,
+}
+
+impl ObsMetrics {
+    /// Snapshot the current state as a flat, `Copy` report.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            fault_wait: self.fault_wait,
+            queue_wait: self.queue_wait,
+            ledger: *self.ledger.counts(),
+            ledger_entries: self.ledger.entries(),
+            ledger_open: self.ledger.open_entries(),
+            lead_time: *self.ledger.lead_time(),
+            arrival_to_use: *self.ledger.arrival_to_use(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`ObsMetrics`], flattened for export.
+///
+/// `Copy` so bench results can carry it around freely; the partition
+/// invariant `ledger.sum() + ledger_open == ledger_entries` holds for
+/// every snapshot, and `ledger_open == 0` after
+/// [`crate::Machine::finish`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsReport {
+    /// Demand-fault stall distribution.
+    pub fault_wait: LatencyHist,
+    /// Disk-queue-slot wait distribution.
+    pub queue_wait: LatencyHist,
+    /// Closed lifecycle outcomes.
+    pub ledger: LedgerCounts,
+    /// Lifecycle entries ever opened (partition denominator).
+    pub ledger_entries: u64,
+    /// Entries still open at snapshot time.
+    pub ledger_open: u64,
+    /// Prefetch issue-to-arrival distribution.
+    pub lead_time: LatencyHist,
+    /// Arrival-to-first-use distribution for timely hits.
+    pub arrival_to_use: LatencyHist,
+}
+
+impl MetricsReport {
+    /// The checked partition invariant.
+    pub fn partition_ok(&self) -> bool {
+        self.ledger.sum() + self.ledger_open == self.ledger_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_snapshots_ledger_partition() {
+        let mut m = ObsMetrics::default();
+        m.fault_wait.record(1_000);
+        m.ledger.issued(3, 10);
+        m.ledger.arrived(3, 500);
+        m.ledger.consumed(3, 900);
+        m.ledger.issued(4, 20);
+        let r = m.report();
+        assert_eq!(r.ledger_entries, 2);
+        assert_eq!(r.ledger_open, 1);
+        assert_eq!(r.ledger.timely_hits, 1);
+        assert!(r.partition_ok());
+        assert_eq!(r.fault_wait.count(), 1);
+        assert_eq!(r.lead_time.sum_ns(), 490);
+    }
+}

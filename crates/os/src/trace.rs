@@ -30,6 +30,34 @@ pub enum TraceEvent {
         page: u64,
         /// Pages in the span.
         count: u64,
+        /// Span id of the first page. The remaining pages of the span
+        /// hold consecutive ids `span + 1 .. span + count` (ids are
+        /// allocated in page order at the issue decision), so one issue
+        /// record names every lifecycle span it opens.
+        span: u64,
+    },
+    /// A prefetch read completed and the page became resident.
+    PrefetchArrive {
+        /// The arrived page.
+        page: u64,
+        /// Lifecycle span id assigned at issue.
+        span: u64,
+        /// Exact simulated completion time of the disk read. The record
+        /// itself is stamped when the OS first *observes* the completion
+        /// (completions settle lazily), which keeps the ring
+        /// chronological; this field carries the true arrival.
+        arrival: Ns,
+    },
+    /// First demand touch of a prefetched page (the span's terminal
+    /// consume).
+    PrefetchConsume {
+        /// The consumed page.
+        page: u64,
+        /// Lifecycle span id assigned at issue.
+        span: u64,
+        /// The touch found the read still in flight and stalled for the
+        /// residual latency (a late prefetch).
+        late: bool,
     },
     /// Prefetch page dropped for lack of memory.
     PrefetchDrop {
@@ -55,8 +83,9 @@ pub enum TraceEvent {
     },
     /// A disk request failed (injected fault observed by the OS).
     IoError {
-        /// Page whose I/O failed (u64::MAX for non-page requests).
-        page: u64,
+        /// Page whose I/O failed, or `None` for requests not tied to a
+        /// single page.
+        page: Option<u64>,
         /// The failing disk.
         disk: usize,
     },
@@ -111,6 +140,8 @@ impl TraceEvent {
             TraceEvent::HardFault { .. } => "FAULT",
             TraceEvent::SoftFault { .. } => "SOFT",
             TraceEvent::PrefetchIssue { .. } => "PF",
+            TraceEvent::PrefetchArrive { .. } => "PFARR",
+            TraceEvent::PrefetchConsume { .. } => "PFUSE",
             TraceEvent::PrefetchDrop { .. } => "DROP",
             TraceEvent::Release { .. } => "REL",
             TraceEvent::Eviction { .. } => "EVICT",
@@ -191,12 +222,29 @@ impl Trace {
         self.capacity
     }
 
-    /// Records in chronological order.
+    /// Iterate the records in chronological order without copying the
+    /// buffer — the ring's two slices are chained in place. Prefer this
+    /// over [`Trace::records`] anywhere a pass over the timeline
+    /// suffices (rendering, counting, export).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Records in chronological order, as an owned vector.
     pub fn records(&self) -> Vec<TraceRecord> {
-        let mut out = Vec::with_capacity(self.buf.len());
-        out.extend_from_slice(&self.buf[self.start..]);
-        out.extend_from_slice(&self.buf[..self.start]);
-        out
+        self.iter().copied().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter =
+        std::iter::Chain<std::slice::Iter<'a, TraceRecord>, std::slice::Iter<'a, TraceRecord>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
     }
 }
 
@@ -240,12 +288,33 @@ mod tests {
         let tags: HashSet<_> = [
             TraceEvent::HardFault { page: 0, waited: 0 }.tag(),
             TraceEvent::SoftFault { page: 0 }.tag(),
-            TraceEvent::PrefetchIssue { page: 0, count: 1 }.tag(),
+            TraceEvent::PrefetchIssue {
+                page: 0,
+                count: 1,
+                span: 1,
+            }
+            .tag(),
+            TraceEvent::PrefetchArrive {
+                page: 0,
+                span: 1,
+                arrival: 0,
+            }
+            .tag(),
+            TraceEvent::PrefetchConsume {
+                page: 0,
+                span: 1,
+                late: false,
+            }
+            .tag(),
             TraceEvent::PrefetchDrop { page: 0 }.tag(),
             TraceEvent::Release { page: 0, count: 1 }.tag(),
             TraceEvent::Eviction { page: 0 }.tag(),
             TraceEvent::Writeback { page: 0 }.tag(),
-            TraceEvent::IoError { page: 0, disk: 0 }.tag(),
+            TraceEvent::IoError {
+                page: Some(0),
+                disk: 0,
+            }
+            .tag(),
             TraceEvent::IoRetry { page: 0, wait: 0 }.tag(),
             TraceEvent::HintDropOnError { page: 0, count: 1 }.tag(),
             TraceEvent::HintDropQueueFull { page: 0, count: 1 }.tag(),
@@ -261,6 +330,39 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(tags.len(), 15);
+        assert_eq!(tags.len(), 17);
+    }
+
+    #[test]
+    fn iter_matches_records_across_wraparound() {
+        let mut t = Trace::new(4);
+        for i in 0..11 {
+            t.push(i * 7, ev(i));
+        }
+        let from_iter: Vec<TraceRecord> = t.iter().copied().collect();
+        assert_eq!(from_iter, t.records());
+        assert_eq!(from_iter.len(), 4);
+        assert!(from_iter.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(t.dropped(), 7);
+        // The borrowing IntoIterator sees the same sequence.
+        let from_ref: Vec<TraceRecord> = (&t).into_iter().copied().collect();
+        assert_eq!(from_ref, from_iter);
+    }
+
+    #[test]
+    fn dropped_counts_every_overwrite_exactly() {
+        let mut t = Trace::new(2);
+        assert_eq!(t.dropped(), 0);
+        t.push(0, ev(0));
+        t.push(1, ev(1));
+        assert_eq!(t.dropped(), 0, "filling to capacity drops nothing");
+        for i in 2..100 {
+            t.push(i, ev(i));
+        }
+        assert_eq!(t.dropped(), 98);
+        assert_eq!(t.len(), 2);
+        let r = t.records();
+        assert_eq!(r[0].at, 98);
+        assert_eq!(r[1].at, 99);
     }
 }

@@ -207,6 +207,25 @@ impl Runtime {
         self
     }
 
+    /// Enable the machine's observability layer (latency histograms and
+    /// the prefetch-lifecycle ledger). Timing-neutral; see
+    /// [`Machine::enable_metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.machine.enable_metrics();
+        self
+    }
+
+    /// Snapshot of the machine's observability state, if enabled.
+    pub fn metrics_report(&self) -> Option<oocp_os::MetricsReport> {
+        self.machine.metrics_report()
+    }
+
+    /// Figure-5 attribution of the machine's elapsed time (available
+    /// with or without metrics enabled).
+    pub fn attribution(&self) -> oocp_os::TimeAttribution {
+        self.machine.attribution()
+    }
+
     /// Consecutive fully-filtered operations before suppression engages.
     const SUPPRESS_STREAK: u32 = 32;
 

@@ -17,6 +17,7 @@
 /// }
 /// assert_eq!(s.count(), 3);
 /// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.sum(), 6.0);
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.max(), Some(3.0));
 /// ```
@@ -24,6 +25,7 @@
 pub struct RunningStat {
     count: u64,
     mean: f64,
+    sum: f64,
     min: f64,
     max: f64,
 }
@@ -37,6 +39,7 @@ impl RunningStat {
     /// Record one sample.
     pub fn push(&mut self, v: f64) {
         self.count += 1;
+        self.sum += v;
         if self.count == 1 {
             self.mean = v;
             self.min = v;
@@ -64,6 +67,17 @@ impl RunningStat {
         } else {
             self.mean
         }
+    }
+
+    /// Exact sum of the samples.
+    ///
+    /// For integer-valued samples (all the simulator's nanosecond
+    /// quantities) the accumulation is exact up to 2^53 — unlike
+    /// reconstructing a total as `mean() * count()`, which rounds
+    /// through Welford's incremental mean. Every place that needs a
+    /// total must use this, never the mean.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Smallest sample, if any.
@@ -167,6 +181,22 @@ mod tests {
             s.push(1e9);
         }
         assert!((s.mean() - 1e9).abs() < 1e-3);
+        assert_eq!(s.sum(), 1e15, "integer-valued sums are exact");
+    }
+
+    #[test]
+    fn sum_is_exact_where_mean_times_count_drifts() {
+        // Alternating large/small integer samples: Welford's mean
+        // rounds, so mean*count need not equal the true total; the
+        // explicit accumulator must.
+        let mut s = RunningStat::new();
+        let mut expect = 0u64;
+        for i in 0..10_000u64 {
+            let v = if i % 2 == 0 { 1_000_000_007 } else { 13 };
+            s.push(v as f64);
+            expect += v;
+        }
+        assert_eq!(s.sum(), expect as f64);
     }
 
     #[test]

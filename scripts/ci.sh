@@ -16,6 +16,14 @@ cargo test -q
 echo "== schedsweep smoke (policy sweep correctness gate)"
 cargo run --release -q -p oocp-bench --bin schedsweep -- --smoke
 
+echo "== obsreport smoke (observability invariants + JSON round-trip)"
+# The binary asserts the attribution and ledger invariants itself, and
+# --json makes it re-read, re-parse, and re-validate the emitted file.
+OBS_JSON="$(mktemp /tmp/oocp-report-XXXXXX.json)"
+trap 'rm -f "$OBS_JSON"' EXIT
+cargo run --release -q -p oocp-bench --bin obsreport -- --smoke --json "$OBS_JSON"
+test -s "$OBS_JSON" || { echo "obsreport wrote an empty report"; exit 1; }
+
 # Clippy needs its component installed; offline or minimal toolchains
 # may not have it, and the gate should not fail for that.
 if cargo clippy --version >/dev/null 2>&1; then

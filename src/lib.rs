@@ -9,6 +9,7 @@ pub use oocp_disk as disk;
 pub use oocp_fs as fs;
 pub use oocp_ir as ir;
 pub use oocp_nas as nas;
+pub use oocp_obs as obs;
 pub use oocp_os as os;
 pub use oocp_rt as rt;
 pub use oocp_sim as sim;
