@@ -162,7 +162,8 @@ fn main() {
             csv,
             "app,plan,total_ns,faults_injected,io_retries,hints_dropped,degraded_entries,degraded_exits,data_ok",
             &rows,
-        );
+        )
+        .unwrap_or_else(|e| oocp_bench::exit_on(e));
     }
 
     assert_eq!(mismatches, 0, "faults must never change results");

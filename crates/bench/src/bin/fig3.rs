@@ -79,7 +79,8 @@ fn main() {
             path,
             "app,mode,total_ns,user_ns,sys_fault_ns,sys_prefetch_ns,idle_ns,hard_faults,coverage",
             &csv_rows,
-        );
+        )
+        .unwrap_or_else(|e| oocp_bench::exit_on(e));
     }
     println!(
         "\n(b) page faults and stall time\n{}\n{:<8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}",

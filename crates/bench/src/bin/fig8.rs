@@ -52,7 +52,8 @@ fn main() {
             path,
             "size_pct_of_memory,keys,original_ns,prefetch_ns",
             &csv_rows,
-        );
+        )
+        .unwrap_or_else(|e| oocp_bench::exit_on(e));
     }
     println!("\n(watch for the discontinuity in the O column as size crosses 100% of memory)");
 }

@@ -150,10 +150,15 @@ fn main() {
         let pairs: Vec<(String, &RunResult)> =
             results.iter().map(|(n, r)| (n.clone(), r)).collect();
         let doc = report::report_json(&pairs);
-        report::write_report(path, &doc);
+        report::write_report(path, &doc).unwrap_or_else(|e| oocp_bench::exit_on(e));
         // End-to-end exporter check: what landed on disk must parse
-        // with our own parser and still satisfy every invariant.
-        let text = std::fs::read_to_string(path).expect("re-read emitted report");
+        // with our own parser and still satisfy every invariant. These
+        // are exporter bugs if they fail, so they stay loud — but the
+        // re-read itself is an I/O path and exits with a message.
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot re-read {path}: {e}");
+            std::process::exit(1);
+        });
         let parsed = oocp_obs::json::parse(&text).expect("emitted report must be valid JSON");
         report::validate_report(&parsed).expect("parsed report must satisfy invariants");
         println!("\nJSON report round-trip OK: {path} parses and validates");

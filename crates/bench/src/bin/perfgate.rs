@@ -1,0 +1,613 @@
+//! `perfgate` — the performance-trajectory gate.
+//!
+//! The paper's claims are longitudinal: speedups, stall breakdowns, and
+//! prefetch coverage across the out-of-core suite. This binary makes
+//! that trajectory machine-checkable across commits:
+//!
+//! * `--capture` runs the canonical benchmark matrix — the 8 NAS
+//!   kernels plus the 5 `kernels/*.ook` sample kernels, each under the
+//!   canonical configurations (original, prefetch without the run-time
+//!   filter, prefetch+rt on FCFS, prefetch+rt on demand-priority
+//!   scheduling) — and writes a versioned `oocp-bench-v1` baseline
+//!   (`BENCH_<n>.json`, see `scripts/bench.sh`).
+//! * `--compare FILE` re-runs the same matrix and diffs every metric
+//!   against the stored baseline. The simulator is deterministic, so
+//!   the contract is identical-by-default; intentional changes are
+//!   declared with `--allow metric=pct` or a `perf-allowances.toml`.
+//! * On failure it attributes the regression: which Figure-5 bucket and
+//!   which ledger outcome moved, and — via a traced re-run pair — the
+//!   first prefetch span at which the canonical and current executions
+//!   diverge (`oocp_obs::tracediff`).
+//! * `--validate FILE` schema-checks a baseline; `tracediff A B`
+//!   aligns two exported Chrome traces by span id.
+//!
+//! Exit status: 0 clean, 1 gate failure, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use oocp_bench::{report, run_ir_traced, run_workload_traced, secs, Config, Mode, RunResult};
+use oocp_ir::parse_program;
+use oocp_nas::{build, App};
+use oocp_obs::baseline::{
+    self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding,
+};
+use oocp_obs::{tracediff, Json};
+use oocp_os::{chrome_trace_json, SchedPolicy, Trace};
+
+/// Ring capacity for tracediff re-runs: deep enough to hold every event
+/// of a matrix cell, so span alignment sees the whole timeline.
+const TRACE_CAP: usize = 1 << 18;
+
+/// One canonical configuration of the capture matrix.
+#[derive(Clone, Copy)]
+struct ConfigSpec {
+    name: &'static str,
+    mode: Mode,
+    policy: SchedPolicy,
+}
+
+/// The canonical configurations. `orig` runs only make sense on FCFS
+/// (no prefetch traffic to schedule); the prefetching modes run with
+/// and without the run-time layer and under both interesting policies.
+const CONFIGS: [ConfigSpec; 4] = [
+    ConfigSpec {
+        name: "orig+fcfs",
+        mode: Mode::Original,
+        policy: SchedPolicy::Fcfs,
+    },
+    ConfigSpec {
+        name: "pfnf+fcfs",
+        mode: Mode::PrefetchNoFilter,
+        policy: SchedPolicy::Fcfs,
+    },
+    ConfigSpec {
+        name: "pf+fcfs",
+        mode: Mode::Prefetch,
+        policy: SchedPolicy::Fcfs,
+    },
+    ConfigSpec {
+        name: "pf+dprio",
+        mode: Mode::Prefetch,
+        policy: SchedPolicy::DemandPriority,
+    },
+];
+
+/// One kernel of the matrix: a NAS benchmark or a sample `.ook` file.
+#[derive(Clone, Copy)]
+enum Kernel {
+    Nas(App),
+    Ook {
+        file: &'static str,
+        params: &'static [i64],
+        mem_mb: u64,
+    },
+}
+
+impl Kernel {
+    fn name(&self) -> String {
+        match self {
+            Kernel::Nas(app) => app.name().to_string(),
+            Kernel::Ook { file, .. } => format!("ook:{}", file.trim_end_matches(".ook")),
+        }
+    }
+}
+
+/// The canonical kernel set: the full NAS suite at the 2x-memory
+/// headline ratio, plus every sample kernel at the memory size its
+/// header comment documents.
+fn kernels() -> Vec<Kernel> {
+    let mut v: Vec<Kernel> = App::ALL.iter().map(|&a| Kernel::Nas(a)).collect();
+    v.extend([
+        Kernel::Ook {
+            file: "histogram.ook",
+            params: &[500_000],
+            mem_mb: 2,
+        },
+        Kernel::Ook {
+            file: "matmul.ook",
+            params: &[],
+            mem_mb: 1,
+        },
+        Kernel::Ook {
+            file: "stencil.ook",
+            params: &[],
+            mem_mb: 4,
+        },
+        Kernel::Ook {
+            file: "sumreduce.ook",
+            params: &[],
+            mem_mb: 2,
+        },
+        Kernel::Ook {
+            file: "transpose.ook",
+            params: &[],
+            mem_mb: 4,
+        },
+    ]);
+    v
+}
+
+/// Scheduler overrides a compare run may apply on top of the canonical
+/// configuration (the controlled way to regress a run on purpose).
+#[derive(Clone, Copy, Default)]
+struct Overrides {
+    queue_depth: Option<usize>,
+    coalesce: bool,
+    sched: Option<SchedPolicy>,
+}
+
+impl Overrides {
+    fn any(&self) -> bool {
+        self.queue_depth.is_some() || self.coalesce || self.sched.is_some()
+    }
+
+    fn apply(&self, cfg: &mut Config) {
+        if let Some(d) = self.queue_depth {
+            cfg.machine.sched = cfg.machine.sched.with_queue_depth(d);
+        }
+        if self.coalesce {
+            cfg.machine.sched = cfg.machine.sched.with_coalesce(true);
+        }
+        if let Some(p) = self.sched {
+            cfg.machine.sched = cfg.machine.sched.with_policy(p);
+        }
+    }
+}
+
+struct Options {
+    capture: bool,
+    compare: Option<String>,
+    validate: Option<String>,
+    tracediff: Option<(String, String)>,
+    out: String,
+    index: u64,
+    only: Option<String>,
+    kernels_dir: String,
+    allow: Vec<Allowance>,
+    allowances_file: Option<String>,
+    overrides: Overrides,
+    no_tracediff: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfgate --capture [--out FILE] [--index N]\n\
+         \x20      perfgate --compare FILE [--allow metric=pct]... [--allowances FILE]\n\
+         \x20                             [--only KERNEL] [--sched POLICY] [--queue-depth N]\n\
+         \x20                             [--coalesce] [--no-tracediff]\n\
+         \x20      perfgate --validate FILE\n\
+         \x20      perfgate tracediff A.json B.json\n\
+         common: [--kernels DIR] (default: kernels)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        capture: false,
+        compare: None,
+        validate: None,
+        tracediff: None,
+        out: "BENCH_1.json".to_string(),
+        index: 1,
+        only: None,
+        kernels_dir: "kernels".to_string(),
+        allow: Vec::new(),
+        allowances_file: None,
+        overrides: Overrides::default(),
+        no_tracediff: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(a) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--capture" => o.capture = true,
+            "--compare" => o.compare = Some(value()),
+            "--validate" => o.validate = Some(value()),
+            "--out" => o.out = value(),
+            "--index" => o.index = value().parse().unwrap_or_else(|_| usage()),
+            "--only" => o.only = Some(value()),
+            "--kernels" => o.kernels_dir = value(),
+            "--allow" => match baseline::parse_allowance_arg(&value()) {
+                Ok(al) => o.allow.push(al),
+                Err(e) => {
+                    eprintln!("perfgate: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--allowances" => o.allowances_file = Some(value()),
+            "--queue-depth" => {
+                o.overrides.queue_depth = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--coalesce" => o.overrides.coalesce = true,
+            "--sched" => {
+                o.overrides.sched = Some(SchedPolicy::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--no-tracediff" => o.no_tracediff = true,
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') => positional.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    if positional.first().map(String::as_str) == Some("tracediff") {
+        if positional.len() != 3 {
+            usage();
+        }
+        o.tracediff = Some((positional[1].clone(), positional[2].clone()));
+    } else if !positional.is_empty() {
+        usage();
+    }
+    let modes = [
+        o.capture,
+        o.compare.is_some(),
+        o.validate.is_some(),
+        o.tracediff.is_some(),
+    ];
+    if modes.iter().filter(|m| **m).count() != 1 {
+        usage();
+    }
+    o
+}
+
+/// Canonical per-cell configuration (before compare overrides).
+fn cell_config(kernel: &Kernel, spec: &ConfigSpec) -> Config {
+    let mut cfg = Config::default_platform();
+    cfg.metrics = true;
+    let mem_mb = match kernel {
+        Kernel::Nas(_) => 2,
+        Kernel::Ook { mem_mb, .. } => *mem_mb,
+    };
+    cfg.machine = cfg.machine.with_memory_bytes(mem_mb * 1024 * 1024);
+    cfg.machine.sched = cfg.machine.sched.with_policy(spec.policy);
+    cfg
+}
+
+/// Execute one matrix cell; `traced` additionally captures the event
+/// timeline for span alignment.
+fn run_cell(
+    kernel: &Kernel,
+    spec: &ConfigSpec,
+    kernels_dir: &str,
+    overrides: &Overrides,
+    traced: bool,
+) -> Result<(RunResult, Option<Trace>), String> {
+    let mut cfg = cell_config(kernel, spec);
+    overrides.apply(&mut cfg);
+    let cap = if traced { TRACE_CAP } else { 0 };
+    let (r, trace) = match kernel {
+        Kernel::Nas(app) => {
+            let w = build(*app, cfg.bytes_for_ratio(2.0));
+            run_workload_traced(&w, &cfg, spec.mode, cap)
+        }
+        Kernel::Ook { file, params, .. } => {
+            let path = format!("{kernels_dir}/{file}");
+            let src =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let prog = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            run_ir_traced(&prog, params, &cfg, spec.mode, cap)
+        }
+    };
+    if let Err(e) = &r.verified {
+        return Err(format!(
+            "{}/{} failed to verify: {e}",
+            kernel.name(),
+            spec.name
+        ));
+    }
+    Ok((r, trace))
+}
+
+/// Run the whole (possibly filtered) matrix and distill baseline runs.
+fn run_matrix(
+    only: &Option<String>,
+    kernels_dir: &str,
+    overrides: &Overrides,
+) -> Result<Vec<BaselineRun>, String> {
+    let mut runs = Vec::new();
+    for kernel in kernels().iter().filter(|k| selected(k, only)) {
+        for spec in &CONFIGS {
+            let (r, _) = run_cell(kernel, spec, kernels_dir, overrides, false)?;
+            eprintln!(
+                "  ran {:<14} {:<10} elapsed {}s",
+                kernel.name(),
+                spec.name,
+                secs(r.total())
+            );
+            runs.push(report::baseline_run(&kernel.name(), spec.name, &r));
+        }
+    }
+    if runs.is_empty() {
+        return Err(match only {
+            Some(f) => format!("--only {f} matches no kernel"),
+            None => "matrix produced no runs".to_string(),
+        });
+    }
+    Ok(runs)
+}
+
+fn selected(kernel: &Kernel, only: &Option<String>) -> bool {
+    match only {
+        None => true,
+        Some(f) => kernel.name().to_lowercase().contains(&f.to_lowercase()),
+    }
+}
+
+fn read_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    oocp_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn capture(o: &Options) -> Result<(), String> {
+    eprintln!("perfgate: capturing baseline (matrix of 13 kernels x 4 configs)");
+    let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default())?;
+    let b = Baseline {
+        index: o.index,
+        seed: Config::default_platform().seed,
+        runs,
+    };
+    let doc = baseline::baseline_json(&b);
+    // Prove what we wrote is what a compare will read.
+    baseline::parse_baseline(&doc).map_err(|e| format!("capture self-check failed: {e}"))?;
+    report::write_report(&o.out, &doc).map_err(|e| e.to_string())?;
+    println!(
+        "captured baseline index {} with {} runs to {}",
+        b.index,
+        b.runs.len(),
+        o.out
+    );
+    Ok(())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let b = baseline::parse_baseline(&read_json(path)?)?;
+    let mut kernels: Vec<&str> = b.runs.iter().map(|r| r.kernel.as_str()).collect();
+    kernels.sort_unstable();
+    kernels.dedup();
+    let mut configs: Vec<&str> = b.runs.iter().map(|r| r.config.as_str()).collect();
+    configs.sort_unstable();
+    configs.dedup();
+    println!(
+        "{path}: valid {} (index {}, {} runs, {} kernels x {} configs)",
+        baseline::SCHEMA,
+        b.index,
+        b.runs.len(),
+        kernels.len(),
+        configs.len()
+    );
+    Ok(())
+}
+
+/// All findings of one matrix cell, for the drill-down printout.
+fn cell_findings<'a>(report: &'a CompareReport, key: &str) -> Vec<&'a Finding> {
+    report.findings.iter().filter(|f| f.key == key).collect()
+}
+
+fn fmt_value(metric: &str, v: u64) -> String {
+    if metric.ends_with("_ns") || metric.contains(".p") {
+        format!("{}s", secs(v))
+    } else {
+        v.to_string()
+    }
+}
+
+fn print_finding(f: &Finding) {
+    let tag = match f.kind {
+        DriftKind::Regression => "regressed",
+        DriftKind::Improvement => "improved",
+        DriftKind::Shift => "shifted",
+    };
+    let allowed = if f.allowed { " [allowed]" } else { "" };
+    // A relative percentage over a zero base is noise; say "from zero".
+    let delta = if f.old == 0 {
+        "from 0".to_string()
+    } else if f.new == 0 {
+        "to 0".to_string()
+    } else {
+        format!("{:+.1}%", f.pct())
+    };
+    println!(
+        "    {:<28} {tag:>9} {delta:>8}  ({} -> {}){allowed}",
+        f.metric,
+        fmt_value(&f.metric, f.old),
+        fmt_value(&f.metric, f.new),
+    );
+}
+
+/// Print the regression attribution for every cell with drift: the
+/// elapsed move first, then the attribution buckets and ledger
+/// outcomes that explain it, largest relative move first.
+fn print_drilldown(report: &CompareReport) {
+    let mut keys: Vec<&str> = report.findings.iter().map(|f| f.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for key in keys {
+        let mut fs = cell_findings(report, key);
+        let gate = if fs.iter().any(|f| !f.allowed) {
+            "GATE"
+        } else {
+            "allowed"
+        };
+        println!("  [{gate}] {key}: {} metrics moved", fs.len());
+        fs.sort_by(|a, b| {
+            (a.metric != "elapsed_ns")
+                .cmp(&(b.metric != "elapsed_ns"))
+                .then(b.pct().abs().total_cmp(&a.pct().abs()))
+        });
+        for f in fs.iter().take(8) {
+            print_finding(f);
+        }
+        if fs.len() > 8 {
+            println!("    ... and {} more", fs.len() - 8);
+        }
+    }
+}
+
+/// Align the canonical and the overridden execution of one failing cell
+/// by prefetch span id and print the first divergent lifecycle event.
+fn print_tracediff(o: &Options, key: &str) -> Result<(), String> {
+    let (kname, cname) = key.split_once('/').ok_or("malformed cell key")?;
+    let kernel = *kernels()
+        .iter()
+        .find(|k| k.name() == kname)
+        .ok_or_else(|| format!("unknown kernel {kname}"))?;
+    let spec = *CONFIGS
+        .iter()
+        .find(|c| c.name == cname)
+        .ok_or_else(|| format!("unknown config {cname}"))?;
+    let (_, base_trace) = run_cell(&kernel, &spec, &o.kernels_dir, &Overrides::default(), true)?;
+    let (_, cur_trace) = run_cell(&kernel, &spec, &o.kernels_dir, &o.overrides, true)?;
+    let (a, b) = (
+        chrome_trace_json(&base_trace.ok_or("canonical run produced no trace")?),
+        chrome_trace_json(&cur_trace.ok_or("current run produced no trace")?),
+    );
+    let (div, sa, sb) = tracediff::diff_documents(&a, &b)?;
+    match div {
+        Some(d) => println!(
+            "tracediff {key} (canonical vs current, {} vs {} spans): first divergence at {d}",
+            sa.spans, sb.spans
+        ),
+        None if sa != sb => println!(
+            "tracediff {key}: span timelines identical; event counts differ \
+             ({} vs {} events outside prefetch spans)",
+            sa.events, sb.events
+        ),
+        None if o.overrides.any() => println!(
+            "tracediff {key}: timelines identical under overrides — the drift is \
+             outside the traced window"
+        ),
+        None => println!(
+            "tracediff {key}: no compare overrides were given, so both re-runs used \
+             the canonical config and agree; the regression is a code-level change \
+             relative to the committed baseline (re-capture once intended)"
+        ),
+    }
+    Ok(())
+}
+
+fn compare(o: &Options, path: &str) -> Result<bool, String> {
+    let base = baseline::parse_baseline(&read_json(path)?)?;
+    let mut allow = o.allow.clone();
+    if let Some(f) = &o.allowances_file {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        allow.extend(baseline::parse_allowances_toml(&text).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let seed = Config::default_platform().seed;
+    if base.seed != seed {
+        return Err(format!(
+            "baseline was captured with seed {} but this build runs seed {seed}; \
+             re-capture with scripts/bench.sh",
+            base.seed
+        ));
+    }
+    let base_index = base.index;
+    eprintln!("perfgate: comparing against {path} (index {base_index})");
+    let current = run_matrix(&o.only, &o.kernels_dir, &o.overrides)?;
+    // Cells excluded by --only are out of scope, not missing.
+    let scoped = Baseline {
+        runs: base
+            .runs
+            .iter()
+            .filter(|r| {
+                kernels()
+                    .iter()
+                    .any(|k| k.name() == r.kernel && selected(k, &o.only))
+            })
+            .cloned()
+            .collect(),
+        ..base
+    };
+    let report = baseline::compare(&scoped, &current, &allow);
+
+    for key in &report.missing {
+        println!("  MISSING {key}: baseline cell not produced by this run");
+    }
+    for key in &report.extra {
+        println!("  extra {key}: not in baseline (will be captured next bench.sh)");
+    }
+    for key in &report.checksum_divergence {
+        println!("  CHECKSUM {key}: final data diverged from baseline — correctness, not perf");
+    }
+    print_drilldown(&report);
+
+    if report.passed() {
+        println!(
+            "perfgate: PASS — {} cells identical to baseline {base_index} ({} allowed drifts)",
+            report.runs_compared,
+            report.findings.len()
+        );
+        return Ok(true);
+    }
+    let failures = report.gate_failures();
+    println!(
+        "perfgate: FAIL — {failures} gate failure(s) across {} compared cells",
+        report.runs_compared
+    );
+    if !o.no_tracediff {
+        // Attribute one failing cell down to the timeline. Prefer a
+        // prefetching configuration — original runs have no spans to
+        // align, so their diff is vacuously "identical".
+        let failing: Vec<String> = report
+            .unallowed()
+            .map(|f| f.key.clone())
+            .chain(report.checksum_divergence.iter().cloned())
+            .collect();
+        let pick = failing
+            .iter()
+            .find(|k| k.contains("/pf"))
+            .or_else(|| failing.first());
+        if let Some(first) = pick {
+            if let Err(e) = print_tracediff(o, first) {
+                eprintln!("perfgate: tracediff unavailable for {first}: {e}");
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn tracediff_files(a: &str, b: &str) -> Result<bool, String> {
+    let ta = std::fs::read_to_string(a).map_err(|e| format!("cannot read {a}: {e}"))?;
+    let tb = std::fs::read_to_string(b).map_err(|e| format!("cannot read {b}: {e}"))?;
+    let (div, sa, sb) = tracediff::diff_documents(&ta, &tb)?;
+    println!(
+        "{a}: {} events, {} prefetch spans\n{b}: {} events, {} prefetch spans",
+        sa.events, sa.spans, sb.events, sb.spans
+    );
+    match div {
+        Some(d) => {
+            println!("first divergence at {d}");
+            Ok(false)
+        }
+        None if sa != sb => {
+            println!("spans identical, but event counts differ outside the prefetch lifecycle");
+            Ok(false)
+        }
+        None => {
+            println!("traces are span-identical");
+            Ok(true)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let outcome = if o.capture {
+        capture(&o).map(|()| true)
+    } else if let Some(path) = &o.validate {
+        validate(path).map(|()| true)
+    } else if let Some((a, b)) = &o.tracediff {
+        tracediff_files(a, b)
+    } else if let Some(path) = &o.compare {
+        compare(&o, path)
+    } else {
+        usage();
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

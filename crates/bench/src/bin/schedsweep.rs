@@ -169,7 +169,8 @@ fn main() {
             csv,
             "app,policy,total_ns,demand_stall_ns,mean_demand_wait_ns,queue_hwm,coalesced,preemptions,aged,queue_full,data_ok",
             &rows,
-        );
+        )
+        .unwrap_or_else(|e| oocp_bench::exit_on(e));
     }
 
     if let Some(path) = &args.json {
@@ -177,7 +178,7 @@ fn main() {
             results.iter().map(|(n, r)| (n.clone(), r)).collect();
         let doc = report::report_json(&pairs);
         report::validate_report(&doc).expect("schedsweep report must satisfy its invariants");
-        report::write_report(path, &doc);
+        report::write_report(path, &doc).unwrap_or_else(|e| oocp_bench::exit_on(e));
     }
 
     assert_eq!(mismatches, 0, "scheduling policy must be timing-only");

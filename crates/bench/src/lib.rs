@@ -14,9 +14,41 @@ use oocp_core::{compile, CompileReport, CompilerParams};
 use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
 use oocp_nas::Workload;
 use oocp_obs::TimeAttribution;
-use oocp_os::{FaultPlan, MachineParams, MetricsReport, OsStats};
+use oocp_os::{FaultPlan, MachineParams, MetricsReport, OsStats, Trace};
 use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
+
+/// A file the harness could not create or write, with the path kept
+/// for the error message. The bench binaries report these and exit
+/// non-zero instead of panicking — an unwritable `--json` path is an
+/// operator mistake, not a harness bug.
+#[derive(Debug)]
+pub struct WriteError {
+    /// Path that failed.
+    pub path: String,
+    /// Underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot write {}: {}", self.path, self.source)
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The binaries' shared handler for a failed output write: print the
+/// error and exit non-zero. A doomed `--csv`/`--json` path should fail
+/// the run cleanly, not unwind through a panic backtrace.
+pub fn exit_on(e: WriteError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
 
 /// How to run a workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,7 +199,7 @@ pub fn run_workload_pressured(
     cparams: CompilerParams,
     pressure: Vec<(Ns, u64)>,
 ) -> RunResult {
-    run_workload_inner(w, cfg, mode, cparams, pressure, None)
+    run_workload_inner(w, cfg, mode, cparams, pressure, None, 0).0
 }
 
 /// [`run_workload`] with a fault plan installed on the machine before
@@ -176,7 +208,36 @@ pub fn run_workload_pressured(
 /// verify and produce the same [`RunResult::checksum`] as a fault-free
 /// run — faults may only cost time.
 pub fn run_workload_faulted(w: &Workload, cfg: &Config, mode: Mode, plan: &FaultPlan) -> RunResult {
-    run_workload_inner(w, cfg, mode, cfg.compiler_params(), Vec::new(), Some(plan))
+    run_workload_inner(
+        w,
+        cfg,
+        mode,
+        cfg.compiler_params(),
+        Vec::new(),
+        Some(plan),
+        0,
+    )
+    .0
+}
+
+/// [`run_workload`] with the machine's event trace enabled: returns the
+/// run plus the captured timeline (ring capacity `trace_cap` records).
+/// The trace is what the perfgate tracediff aligns by prefetch span id.
+pub fn run_workload_traced(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    trace_cap: usize,
+) -> (RunResult, Option<Trace>) {
+    run_workload_inner(
+        w,
+        cfg,
+        mode,
+        cfg.compiler_params(),
+        Vec::new(),
+        None,
+        trace_cap,
+    )
 }
 
 fn run_workload_inner(
@@ -186,7 +247,8 @@ fn run_workload_inner(
     cparams: CompilerParams,
     pressure: Vec<(Ns, u64)>,
     plan: Option<&FaultPlan>,
-) -> RunResult {
+    trace_cap: usize,
+) -> (RunResult, Option<Trace>) {
     let (prog, report): (Program, Option<CompileReport>) = match mode {
         Mode::Original => (w.prog.clone(), None),
         Mode::Prefetch | Mode::PrefetchNoFilter | Mode::PrefetchAdaptive => {
@@ -217,6 +279,9 @@ fn run_workload_inner(
     if let Some(plan) = plan {
         machine.set_fault_plan(plan);
     }
+    if trace_cap > 0 {
+        machine.enable_trace(trace_cap);
+    }
     let mut rt = Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
     if cfg.metrics {
         rt = rt.with_metrics();
@@ -240,8 +305,9 @@ fn run_workload_inner(
     rt.machine_mut().finish();
     let verified = w.verify(&binds, &rt);
     let checksum = data_checksum(&rt, bytes);
+    let trace = rt.machine_mut().take_trace();
     let m = rt.machine();
-    RunResult {
+    let result = RunResult {
         mode,
         time: m.breakdown(),
         os: *m.stats(),
@@ -255,13 +321,87 @@ fn run_workload_inner(
         report,
         verified,
         checksum,
+    };
+    (result, trace)
+}
+
+/// Run a bare IR [`Program`] (e.g. a parsed `kernels/*.ook` file) on
+/// the simulated machine, same contract as [`run_workload`] but without
+/// a workload's initializer or verifier: the program starts from a
+/// zeroed address space (the sample kernels initialize their own data),
+/// `verified` is trivially `Ok`, and the checksum still fingerprints the
+/// final address-space contents.
+///
+/// Only the non-adaptive modes make sense here ([`Mode::Original`],
+/// [`Mode::Prefetch`], [`Mode::PrefetchNoFilter`],
+/// [`Mode::PrefetchTwoVersion`]); the adaptive modes need a workload's
+/// parameter plumbing.
+pub fn run_ir_program(prog: &Program, param_values: &[i64], cfg: &Config, mode: Mode) -> RunResult {
+    run_ir_traced(prog, param_values, cfg, mode, 0).0
+}
+
+/// [`run_ir_program`] with the event trace enabled (see
+/// [`run_workload_traced`]).
+pub fn run_ir_traced(
+    prog: &Program,
+    param_values: &[i64],
+    cfg: &Config,
+    mode: Mode,
+    trace_cap: usize,
+) -> (RunResult, Option<Trace>) {
+    let cparams = cfg.compiler_params();
+    let (run_prog, report): (Program, Option<CompileReport>) = match mode {
+        Mode::Original => (prog.clone(), None),
+        Mode::PrefetchTwoVersion => {
+            let (p, r) = compile(prog, &cparams.with_two_version(true));
+            (p, Some(r))
+        }
+        _ => {
+            let (p, r) = compile(prog, &cparams);
+            (p, Some(r))
+        }
+    };
+    let filter = if mode == Mode::PrefetchNoFilter {
+        FilterMode::Disabled
+    } else {
+        FilterMode::Enabled
+    };
+    let (binds, bytes) = ArrayBinding::sequential(prog, cfg.machine.page_bytes);
+    let mut machine = oocp_os::Machine::new(cfg.machine, bytes);
+    if trace_cap > 0 {
+        machine.enable_trace(trace_cap);
     }
+    let mut rt = Runtime::new(machine, filter);
+    if cfg.metrics {
+        rt = rt.with_metrics();
+    }
+    let exec = run_program(&run_prog, &binds, param_values, cfg.cost, &mut rt);
+    rt.machine_mut().finish();
+    let checksum = data_checksum(&rt, bytes);
+    let trace = rt.machine_mut().take_trace();
+    let m = rt.machine();
+    let result = RunResult {
+        mode,
+        time: m.breakdown(),
+        os: *m.stats(),
+        disk: m.disk_stats(),
+        disk_util: m.disk_utilization(),
+        avg_free_frames: m.avg_free_frames(),
+        attr: m.attribution(),
+        obs: m.metrics_report(),
+        rt: *rt.stats(),
+        exec,
+        report,
+        verified: Ok(()),
+        checksum,
+    };
+    (result, trace)
 }
 
 /// FNV-1a over the whole simulated address space, read word-by-word
 /// through the zero-cost peek path (does not perturb the run — it is
 /// taken after `finish()`).
-fn data_checksum(rt: &Runtime, bytes: u64) -> u64 {
+pub fn data_checksum(rt: &Runtime, bytes: u64) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
@@ -395,16 +535,24 @@ impl Args {
     }
 }
 
-/// Write CSV rows to `path` (header first); panics on I/O failure, which
-/// is the right behavior for an experiment script.
-pub fn write_csv(path: &str, header: &str, rows: &[String]) {
-    use std::io::Write;
-    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-    writeln!(f, "{header}").unwrap();
+/// Write CSV rows to `path` (header first). An unwritable path is
+/// reported as a typed [`WriteError`] so binaries can print it and exit
+/// non-zero instead of panicking.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> Result<(), WriteError> {
+    let mut text =
+        String::with_capacity(header.len() + rows.iter().map(|r| r.len() + 1).sum::<usize>() + 1);
+    text.push_str(header);
+    text.push('\n');
     for r in rows {
-        writeln!(f, "{r}").unwrap();
+        text.push_str(r);
+        text.push('\n');
     }
+    std::fs::write(path, text).map_err(|source| WriteError {
+        path: path.to_string(),
+        source,
+    })?;
     eprintln!("wrote {path} ({} rows)", rows.len());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -441,9 +589,37 @@ mod tests {
     fn write_csv_roundtrips() {
         let path = std::env::temp_dir().join("oocp_csv_test.csv");
         let path = path.to_str().unwrap();
-        write_csv(path, "a,b", &["1,2".to_string(), "3,4".to_string()]);
+        write_csv(path, "a,b", &["1,2".to_string(), "3,4".to_string()]).unwrap();
         let got = std::fs::read_to_string(path).unwrap();
         assert_eq!(got, "a,b\n1,2\n3,4\n");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_csv_reports_unwritable_path() {
+        let err = write_csv("/nonexistent-dir/x.csv", "a", &[]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("/nonexistent-dir/x.csv"),
+            "names the path: {msg}"
+        );
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn ir_program_runs_match_workload_contract() {
+        use oocp_ir::parse_program;
+        let src = "program t {\n    long a[4096];\n    for i = 0 to 4096 { a[i] = i; }\n    for i = 0 to 4096 { a[i] = a[i] + 1; }\n}\n";
+        let prog = parse_program(src).unwrap();
+        let mut cfg = Config::default_platform();
+        cfg.machine = cfg.machine.with_memory_bytes(16 * 4096);
+        cfg.metrics = true;
+        let o = run_ir_program(&prog, &[], &cfg, Mode::Original);
+        let (p, trace) = run_ir_traced(&prog, &[], &cfg, Mode::Prefetch, 1 << 14);
+        assert_eq!(o.checksum, p.checksum, "modes agree on the data");
+        assert!(p.attr.sums_to(p.total(), 0.0), "attribution exact");
+        assert!(p.obs.is_some(), "metrics flow through the IR path");
+        let trace = trace.expect("trace was enabled");
+        assert!(!trace.span_lifecycles().is_empty(), "prefetch spans traced");
     }
 }

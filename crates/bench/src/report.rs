@@ -11,9 +11,10 @@
 //! can parse an emitted file and prove the exporter did not lose or
 //! double-count anything.
 
+use oocp_obs::baseline::{BaselineRun, HistSummary};
 use oocp_obs::{Json, LatencyHist, TimeAttribution};
 
-use crate::RunResult;
+use crate::{RunResult, WriteError};
 
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "oocp-run-report-v1";
@@ -140,11 +141,49 @@ pub fn report_json(runs: &[(String, &RunResult)]) -> Json {
     ])
 }
 
-/// Write the document to `path`; panics on I/O failure (experiment
-/// scripts want loud failures, as with [`crate::write_csv`]).
-pub fn write_report(path: &str, doc: &Json) {
-    std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+/// Write the document to `path`. An unwritable path comes back as a
+/// typed [`WriteError`] (path + cause) so callers exit with a message
+/// instead of panicking, as with [`crate::write_csv`].
+pub fn write_report(path: &str, doc: &Json) -> Result<(), WriteError> {
+    std::fs::write(path, format!("{doc}\n")).map_err(|source| WriteError {
+        path: path.to_string(),
+        source,
+    })?;
     eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// Distill one run into a trajectory entry for the `oocp-bench-v1`
+/// baseline schema (see `oocp_obs::baseline`): the perfgate-gated
+/// subset of [`run_json`], keyed by kernel and configuration label.
+/// Runs without the observability layer contribute zeroed ledger and
+/// histogram summaries, which compare exactly like any other value.
+pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
+    let (ledger, ledger_entries, fault_wait, lead_time, arrival_to_use) = match &r.obs {
+        Some(obs) => (
+            obs.ledger,
+            obs.ledger_entries,
+            HistSummary::of(&obs.fault_wait),
+            HistSummary::of(&obs.lead_time),
+            HistSummary::of(&obs.arrival_to_use),
+        ),
+        None => Default::default(),
+    };
+    BaselineRun {
+        kernel: kernel.to_string(),
+        config: config.to_string(),
+        elapsed_ns: r.time.total(),
+        checksum: r.checksum,
+        attr: r.attr,
+        hard_faults: r.os.hard_faults,
+        soft_faults: r.os.soft_faults,
+        prefetched_hits: r.os.prefetched_hits,
+        ledger,
+        ledger_entries,
+        fault_wait,
+        lead_time,
+        arrival_to_use,
+    }
 }
 
 fn field_u64(run: &Json, obj: &str, key: &str) -> Result<u64, String> {
@@ -287,6 +326,24 @@ mod tests {
             }
         }
         assert!(validate_report(&doc).is_err());
+    }
+
+    #[test]
+    fn baseline_entry_roundtrips_and_self_compares_clean() {
+        use oocp_obs::baseline;
+        let (_, r) = sample();
+        let entry = baseline_run("EMBAR", "pf+fcfs", &r);
+        assert_eq!(entry.attr.total(), entry.elapsed_ns, "attribution exact");
+        let b = baseline::Baseline {
+            index: 1,
+            seed: 1,
+            runs: vec![entry],
+        };
+        let text = baseline::baseline_json(&b).to_string();
+        let back = baseline::parse_baseline(&oocp_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, b);
+        let report = baseline::compare(&back, &b.runs, &[]);
+        assert!(report.passed(), "a capture matches itself exactly");
     }
 
     #[test]

@@ -213,6 +213,40 @@ impl FaultPlan {
         self
     }
 
+    /// Draw a random but bounded plan from `g`: modest error rates
+    /// (the OS retry budget is sized for transient faults, not a dead
+    /// array), optional stragglers, an optional bounded brownout, and
+    /// optional residency-bit staleness. This is the one shared
+    /// generator for every suite that needs "a plausible bad day" —
+    /// the fault property tests and the baseline round-trip test draw
+    /// from it so they agree on what fault space is covered.
+    pub fn sample(g: &mut SimRng) -> Self {
+        let mut plan = Self::none(g.next_u64()).with_errors(
+            g.next_f64() * 0.05,
+            g.next_f64() * 0.10,
+            g.next_f64() * 0.05,
+        );
+        if g.next_f64() < 0.5 {
+            plan = plan.with_stragglers(
+                g.next_f64() * 0.10,
+                2.0 + g.next_f64() * 8.0,
+                g.next_below(20) * MILLISECOND,
+            );
+        }
+        if g.next_f64() < 0.5 {
+            let from = g.next_below(500) * MILLISECOND;
+            plan = plan.with_brownout(Brownout {
+                disk: None,
+                from,
+                until: from + 200 * MILLISECOND,
+            });
+        }
+        if g.next_f64() < 0.5 {
+            plan = plan.with_bitvec_staleness(g.next_f64() * 0.10);
+        }
+        plan
+    }
+
     /// A ready-made "everything at once" plan for chaos runs: transient
     /// errors on every class, 5% stragglers at 8x latency, one
     /// whole-array brownout, stale bits, and one pressure storm.

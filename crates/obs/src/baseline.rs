@@ -1,0 +1,777 @@
+//! Versioned performance baselines: the across-run half of the
+//! observability story.
+//!
+//! The within-run layer (attribution, ledger, histograms) explains one
+//! execution; this module makes those numbers *comparable across
+//! commits*. A capture run of the benchmark matrix is serialized as an
+//! `oocp-bench-v1` document (`BENCH_<n>.json` at the repo root); a
+//! later compare run re-executes the same matrix and diffs every metric
+//! against the stored trajectory entry. The simulator is deterministic,
+//! so the default contract is *identical-by-default*: any drift at all
+//! is a gate finding unless an explicit [`Allowance`] (from a
+//! `--allow metric=pct` flag or a checked-in `perf-allowances.toml`)
+//! declares the change intentional and bounds it.
+//!
+//! Direction matters for reading a report, not for gating: a lower
+//! elapsed time is an *improvement* and a higher one a *regression*,
+//! but both are drift and both fail the gate until the baseline is
+//! re-captured — that is what keeps the committed trajectory honest.
+
+use crate::{Json, LatencyHist, LedgerCounts, TimeAttribution};
+
+/// Schema identifier written into every baseline document.
+pub const SCHEMA: &str = "oocp-bench-v1";
+
+/// Compact summary of a [`LatencyHist`]: the quantiles the trajectory
+/// tracks, without the 64 raw buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Summarize a live histogram.
+    pub fn of(h: &LatencyHist) -> Self {
+        Self {
+            count: h.count(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("p50_ns", Json::U64(self.p50)),
+            ("p95_ns", Json::U64(self.p95)),
+            ("p99_ns", Json::U64(self.p99)),
+        ])
+    }
+
+    fn parse(v: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(Self {
+            count: req_u64(v, "count", ctx)?,
+            p50: req_u64(v, "p50_ns", ctx)?,
+            p95: req_u64(v, "p95_ns", ctx)?,
+            p99: req_u64(v, "p99_ns", ctx)?,
+        })
+    }
+}
+
+/// One benchmark execution in the trajectory: a (kernel, config) cell
+/// of the capture matrix with every gated metric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BaselineRun {
+    /// Kernel name (`EMBAR` … for the NAS suite, `ook:stencil` … for
+    /// the sample kernels).
+    pub kernel: String,
+    /// Canonical configuration label (e.g. `pf+fcfs`).
+    pub config: String,
+    /// End-to-end simulated time.
+    pub elapsed_ns: u64,
+    /// FNV-1a checksum of the final address space — never allowable:
+    /// a checksum change is a correctness divergence, not a regression.
+    pub checksum: u64,
+    /// Figure-5 attribution of the elapsed time.
+    pub attr: TimeAttribution,
+    /// Demand faults that went to disk.
+    pub hard_faults: u64,
+    /// Reclaims from the free list.
+    pub soft_faults: u64,
+    /// Faults absorbed by a completed prefetch.
+    pub prefetched_hits: u64,
+    /// Lifecycle ledger outcomes (all zero for non-prefetching runs).
+    pub ledger: LedgerCounts,
+    /// Ledger entries opened (partition denominator).
+    pub ledger_entries: u64,
+    /// Demand-fault stall distribution.
+    pub fault_wait: HistSummary,
+    /// Prefetch issue-to-arrival distribution.
+    pub lead_time: HistSummary,
+    /// Arrival-to-first-use distribution.
+    pub arrival_to_use: HistSummary,
+}
+
+/// How a metric's drift reads in a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// An increase is worse (elapsed time, stalls, drops).
+    HigherWorse,
+    /// A decrease is worse (coverage-style counters).
+    LowerWorse,
+    /// Neither direction is inherently bad; drift still gates.
+    Neutral,
+}
+
+/// The gated metrics of one run, in a stable order, with the direction
+/// each one reads in. `checksum` is deliberately absent — it is
+/// compared separately and can never be allowed.
+pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
+    use Direction::*;
+    let a = &r.attr;
+    vec![
+        ("elapsed_ns", r.elapsed_ns, HigherWorse),
+        ("attr.compute_ns", a.compute_ns, Neutral),
+        ("attr.fault_overhead_ns", a.fault_overhead_ns, HigherWorse),
+        ("attr.hint_overhead_ns", a.hint_overhead_ns, HigherWorse),
+        ("attr.demand_stall_ns", a.demand_stall_ns, HigherWorse),
+        (
+            "attr.late_prefetch_stall_ns",
+            a.late_prefetch_stall_ns,
+            HigherWorse,
+        ),
+        (
+            "attr.backpressure_stall_ns",
+            a.backpressure_stall_ns,
+            HigherWorse,
+        ),
+        ("attr.drain_idle_ns", a.drain_idle_ns, HigherWorse),
+        ("faults.hard", r.hard_faults, HigherWorse),
+        ("faults.soft", r.soft_faults, Neutral),
+        ("faults.prefetched_hits", r.prefetched_hits, LowerWorse),
+        ("ledger.entries", r.ledger_entries, Neutral),
+        ("ledger.timely_hits", r.ledger.timely_hits, LowerWorse),
+        ("ledger.late_inflight", r.ledger.late_inflight, HigherWorse),
+        (
+            "ledger.dropped_no_memory",
+            r.ledger.dropped_no_memory,
+            HigherWorse,
+        ),
+        (
+            "ledger.dropped_queue_full",
+            r.ledger.dropped_queue_full,
+            HigherWorse,
+        ),
+        (
+            "ledger.dropped_io_error",
+            r.ledger.dropped_io_error,
+            HigherWorse,
+        ),
+        (
+            "ledger.evicted_unused",
+            r.ledger.evicted_unused,
+            HigherWorse,
+        ),
+        ("ledger.unused_at_end", r.ledger.unused_at_end, HigherWorse),
+        ("hist.fault_wait.count", r.fault_wait.count, Neutral),
+        ("hist.fault_wait.p50", r.fault_wait.p50, HigherWorse),
+        ("hist.fault_wait.p95", r.fault_wait.p95, HigherWorse),
+        ("hist.fault_wait.p99", r.fault_wait.p99, HigherWorse),
+        ("hist.lead_time.count", r.lead_time.count, Neutral),
+        ("hist.lead_time.p50", r.lead_time.p50, Neutral),
+        ("hist.lead_time.p95", r.lead_time.p95, Neutral),
+        ("hist.lead_time.p99", r.lead_time.p99, Neutral),
+        ("hist.arrival_to_use.count", r.arrival_to_use.count, Neutral),
+        ("hist.arrival_to_use.p50", r.arrival_to_use.p50, Neutral),
+        ("hist.arrival_to_use.p95", r.arrival_to_use.p95, Neutral),
+        ("hist.arrival_to_use.p99", r.arrival_to_use.p99, Neutral),
+    ]
+}
+
+impl BaselineRun {
+    /// The matrix key a run is matched by across captures.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.kernel, self.config)
+    }
+}
+
+/// A full trajectory entry: one capture of the benchmark matrix.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Trajectory index (the `<n>` of `BENCH_<n>.json`).
+    pub index: u64,
+    /// Workload seed the matrix was captured with.
+    pub seed: u64,
+    /// One entry per (kernel, config) cell.
+    pub runs: Vec<BaselineRun>,
+}
+
+fn attr_json(a: &TimeAttribution) -> Json {
+    Json::obj([
+        ("compute_ns", Json::U64(a.compute_ns)),
+        ("fault_overhead_ns", Json::U64(a.fault_overhead_ns)),
+        ("hint_overhead_ns", Json::U64(a.hint_overhead_ns)),
+        ("demand_stall_ns", Json::U64(a.demand_stall_ns)),
+        (
+            "late_prefetch_stall_ns",
+            Json::U64(a.late_prefetch_stall_ns),
+        ),
+        ("backpressure_stall_ns", Json::U64(a.backpressure_stall_ns)),
+        ("drain_idle_ns", Json::U64(a.drain_idle_ns)),
+        ("total_ns", Json::U64(a.total())),
+    ])
+}
+
+fn run_json(r: &BaselineRun) -> Json {
+    Json::obj([
+        ("kernel", Json::Str(r.kernel.clone())),
+        ("config", Json::Str(r.config.clone())),
+        ("elapsed_ns", Json::U64(r.elapsed_ns)),
+        ("checksum", Json::U64(r.checksum)),
+        ("attr", attr_json(&r.attr)),
+        (
+            "faults",
+            Json::obj([
+                ("hard", Json::U64(r.hard_faults)),
+                ("soft", Json::U64(r.soft_faults)),
+                ("prefetched_hits", Json::U64(r.prefetched_hits)),
+            ]),
+        ),
+        (
+            "ledger",
+            Json::obj([
+                ("entries", Json::U64(r.ledger_entries)),
+                ("timely_hits", Json::U64(r.ledger.timely_hits)),
+                ("late_inflight", Json::U64(r.ledger.late_inflight)),
+                ("dropped_no_memory", Json::U64(r.ledger.dropped_no_memory)),
+                ("dropped_queue_full", Json::U64(r.ledger.dropped_queue_full)),
+                ("dropped_io_error", Json::U64(r.ledger.dropped_io_error)),
+                ("evicted_unused", Json::U64(r.ledger.evicted_unused)),
+                ("unused_at_end", Json::U64(r.ledger.unused_at_end)),
+            ]),
+        ),
+        (
+            "hist",
+            Json::obj([
+                ("fault_wait", r.fault_wait.to_json()),
+                ("lead_time", r.lead_time.to_json()),
+                ("arrival_to_use", r.arrival_to_use.to_json()),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize a baseline as an `oocp-bench-v1` document.
+pub fn baseline_json(b: &Baseline) -> Json {
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("index", Json::U64(b.index)),
+        ("seed", Json::U64(b.seed)),
+        ("runs", Json::Arr(b.runs.iter().map(run_json).collect())),
+    ])
+}
+
+fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing {key}"))
+}
+
+fn req_obj<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing {key}"))
+}
+
+fn parse_run(v: &Json) -> Result<BaselineRun, String> {
+    let kernel = v
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or("run: missing kernel")?
+        .to_string();
+    let config = v
+        .get("config")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{kernel}: missing config"))?
+        .to_string();
+    let ctx = format!("{kernel}/{config}");
+    let attr_v = req_obj(v, "attr", &ctx)?;
+    let attr = TimeAttribution {
+        compute_ns: req_u64(attr_v, "compute_ns", &ctx)?,
+        fault_overhead_ns: req_u64(attr_v, "fault_overhead_ns", &ctx)?,
+        hint_overhead_ns: req_u64(attr_v, "hint_overhead_ns", &ctx)?,
+        demand_stall_ns: req_u64(attr_v, "demand_stall_ns", &ctx)?,
+        late_prefetch_stall_ns: req_u64(attr_v, "late_prefetch_stall_ns", &ctx)?,
+        backpressure_stall_ns: req_u64(attr_v, "backpressure_stall_ns", &ctx)?,
+        drain_idle_ns: req_u64(attr_v, "drain_idle_ns", &ctx)?,
+    };
+    let faults = req_obj(v, "faults", &ctx)?;
+    let ledger_v = req_obj(v, "ledger", &ctx)?;
+    let ledger = LedgerCounts {
+        timely_hits: req_u64(ledger_v, "timely_hits", &ctx)?,
+        late_inflight: req_u64(ledger_v, "late_inflight", &ctx)?,
+        dropped_no_memory: req_u64(ledger_v, "dropped_no_memory", &ctx)?,
+        dropped_queue_full: req_u64(ledger_v, "dropped_queue_full", &ctx)?,
+        dropped_io_error: req_u64(ledger_v, "dropped_io_error", &ctx)?,
+        evicted_unused: req_u64(ledger_v, "evicted_unused", &ctx)?,
+        unused_at_end: req_u64(ledger_v, "unused_at_end", &ctx)?,
+    };
+    let hist = req_obj(v, "hist", &ctx)?;
+    let run = BaselineRun {
+        elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
+        checksum: req_u64(v, "checksum", &ctx)?,
+        attr,
+        hard_faults: req_u64(faults, "hard", &ctx)?,
+        soft_faults: req_u64(faults, "soft", &ctx)?,
+        prefetched_hits: req_u64(faults, "prefetched_hits", &ctx)?,
+        ledger,
+        ledger_entries: req_u64(ledger_v, "entries", &ctx)?,
+        fault_wait: HistSummary::parse(req_obj(hist, "fault_wait", &ctx)?, &ctx)?,
+        lead_time: HistSummary::parse(req_obj(hist, "lead_time", &ctx)?, &ctx)?,
+        arrival_to_use: HistSummary::parse(req_obj(hist, "arrival_to_use", &ctx)?, &ctx)?,
+        kernel,
+        config,
+    };
+    // Schema-level invariants: the attribution must still cover the
+    // elapsed time exactly, and the serialized total must agree.
+    if run.attr.total() != run.elapsed_ns {
+        return Err(format!(
+            "{ctx}: attribution sums to {} but elapsed is {}",
+            run.attr.total(),
+            run.elapsed_ns
+        ));
+    }
+    if req_u64(attr_v, "total_ns", &ctx)? != run.elapsed_ns {
+        return Err(format!("{ctx}: attr.total_ns disagrees with elapsed_ns"));
+    }
+    Ok(run)
+}
+
+/// Parse and validate an `oocp-bench-v1` document.
+///
+/// Beyond shape checking this enforces the cross-layer invariants on
+/// every entry (attribution covers elapsed exactly) and rejects
+/// duplicate (kernel, config) keys — a trajectory entry must be a
+/// function from matrix cell to measurement.
+pub fn parse_baseline(doc: &Json) -> Result<Baseline, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is {s}, expected {SCHEMA}")),
+        None => return Err("missing schema field".into()),
+    }
+    let runs_v = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing runs array")?;
+    let mut runs = Vec::with_capacity(runs_v.len());
+    for v in runs_v {
+        runs.push(parse_run(v)?);
+    }
+    let mut keys: Vec<String> = runs.iter().map(BaselineRun::key).collect();
+    keys.sort();
+    if let Some(dup) = keys.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!("duplicate matrix cell {}", dup[0]));
+    }
+    if runs.is_empty() {
+        return Err("baseline holds no runs".into());
+    }
+    Ok(Baseline {
+        index: req_u64(doc, "index", "baseline")?,
+        seed: req_u64(doc, "seed", "baseline")?,
+        runs,
+    })
+}
+
+/// A declared, bounded, intentional change to one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allowance {
+    /// Metric name, exactly as in [`metrics`]; a trailing `*` makes it
+    /// a prefix pattern (`hist.*`), and `all` matches every metric.
+    pub metric: String,
+    /// Permitted relative drift in percent (both directions).
+    pub pct: f64,
+}
+
+impl Allowance {
+    /// Whether this allowance covers `metric`.
+    pub fn covers(&self, metric: &str) -> bool {
+        if self.metric == "all" {
+            return true;
+        }
+        match self.metric.strip_suffix('*') {
+            Some(prefix) => metric.starts_with(prefix),
+            None => self.metric == metric,
+        }
+    }
+}
+
+/// Parse a `--allow metric=pct` argument.
+pub fn parse_allowance_arg(s: &str) -> Result<Allowance, String> {
+    let (metric, pct) = s
+        .split_once('=')
+        .ok_or_else(|| format!("allowance '{s}' is not metric=pct"))?;
+    let pct: f64 = pct
+        .trim()
+        .parse()
+        .map_err(|_| format!("allowance '{s}': '{pct}' is not a number"))?;
+    if !(pct >= 0.0 && pct.is_finite()) {
+        return Err(format!(
+            "allowance '{s}': percentage must be finite and >= 0"
+        ));
+    }
+    Ok(Allowance {
+        metric: metric.trim().to_string(),
+        pct,
+    })
+}
+
+/// Parse a `perf-allowances.toml` file: a flat list of `metric = pct`
+/// lines. `#` comments, blank lines, and `[section]` headers are
+/// ignored; keys may be bare or double-quoted. This is the whole
+/// dialect — the file is a declaration list, not a config language.
+pub fn parse_allowances_toml(text: &str) -> Result<Vec<Allowance>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected 'metric = pct'", lineno + 1))?;
+        let key = key.trim().trim_matches('"').to_string();
+        if key.is_empty() {
+            return Err(format!("line {}: empty metric name", lineno + 1));
+        }
+        let pct: f64 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: '{}' is not a number", lineno + 1, val.trim()))?;
+        if !(pct >= 0.0 && pct.is_finite()) {
+            return Err(format!(
+                "line {}: percentage must be finite and >= 0",
+                lineno + 1
+            ));
+        }
+        out.push(Allowance { metric: key, pct });
+    }
+    Ok(out)
+}
+
+/// How one metric's drift reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Moved in the metric's worse direction.
+    Regression,
+    /// Moved in the metric's better direction (still drift).
+    Improvement,
+    /// Direction-neutral change.
+    Shift,
+}
+
+/// One metric that moved between baseline and current run.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Matrix cell (`KERNEL/config`).
+    pub key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub old: u64,
+    /// Current value.
+    pub new: u64,
+    /// How the move reads.
+    pub kind: DriftKind,
+    /// Covered by an allowance (does not fail the gate).
+    pub allowed: bool,
+}
+
+impl Finding {
+    /// Relative drift in percent, against a floor-1 base so zero
+    /// baselines still produce a finite number.
+    pub fn pct(&self) -> f64 {
+        let base = self.old.max(1) as f64;
+        (self.new as f64 - self.old as f64) / base * 100.0
+    }
+}
+
+/// The result of diffing a capture against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Every metric that moved, allowed or not.
+    pub findings: Vec<Finding>,
+    /// Matrix cells whose checksum changed — correctness divergence,
+    /// never allowable.
+    pub checksum_divergence: Vec<String>,
+    /// Baseline cells the current capture did not produce.
+    pub missing: Vec<String>,
+    /// Current cells the baseline does not know.
+    pub extra: Vec<String>,
+    /// Cells present on both sides.
+    pub runs_compared: usize,
+}
+
+impl CompareReport {
+    /// Findings that fail the gate (not covered by an allowance).
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// Number of gate failures: unallowed drift, checksum divergence,
+    /// and baseline cells that went missing.
+    pub fn gate_failures(&self) -> usize {
+        self.unallowed().count() + self.checksum_divergence.len() + self.missing.len()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.gate_failures() == 0
+    }
+}
+
+fn drift_kind(dir: Direction, old: u64, new: u64) -> DriftKind {
+    match dir {
+        Direction::Neutral => DriftKind::Shift,
+        Direction::HigherWorse if new > old => DriftKind::Regression,
+        Direction::HigherWorse => DriftKind::Improvement,
+        Direction::LowerWorse if new < old => DriftKind::Regression,
+        Direction::LowerWorse => DriftKind::Improvement,
+    }
+}
+
+/// Diff `current` against `base`, metric by metric.
+///
+/// Cells are matched by [`BaselineRun::key`]. Every differing metric
+/// produces a [`Finding`]; an allowance marks it tolerated when the
+/// relative drift stays within the declared percentage. Checksums are
+/// compared unconditionally and can never be allowed.
+pub fn compare(base: &Baseline, current: &[BaselineRun], allow: &[Allowance]) -> CompareReport {
+    let mut report = CompareReport::default();
+    for cur in current {
+        if !base.runs.iter().any(|b| b.key() == cur.key()) {
+            report.extra.push(cur.key());
+        }
+    }
+    for old in &base.runs {
+        let key = old.key();
+        let Some(new) = current.iter().find(|c| c.key() == key) else {
+            report.missing.push(key);
+            continue;
+        };
+        report.runs_compared += 1;
+        if old.checksum != new.checksum {
+            report.checksum_divergence.push(key.clone());
+        }
+        let old_m = metrics(old);
+        let new_m = metrics(new);
+        for ((name, ov, dir), (_, nv, _)) in old_m.into_iter().zip(new_m) {
+            if ov == nv {
+                continue;
+            }
+            let rel = (nv as f64 - ov as f64).abs() / ov.max(1) as f64 * 100.0;
+            let allowed = allow.iter().any(|a| a.covers(name) && rel <= a.pct);
+            report.findings.push(Finding {
+                key: key.clone(),
+                metric: name.to_string(),
+                old: ov,
+                new: nv,
+                kind: drift_kind(dir, ov, nv),
+                allowed,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(kernel: &str, config: &str) -> BaselineRun {
+        let attr = TimeAttribution {
+            compute_ns: 700,
+            fault_overhead_ns: 50,
+            hint_overhead_ns: 30,
+            demand_stall_ns: 120,
+            late_prefetch_stall_ns: 40,
+            backpressure_stall_ns: 10,
+            drain_idle_ns: 50,
+        };
+        BaselineRun {
+            kernel: kernel.to_string(),
+            config: config.to_string(),
+            elapsed_ns: attr.total(),
+            checksum: 0xDEAD_BEEF,
+            attr,
+            hard_faults: 12,
+            soft_faults: 3,
+            prefetched_hits: 88,
+            ledger: LedgerCounts {
+                timely_hits: 80,
+                late_inflight: 8,
+                dropped_no_memory: 2,
+                ..LedgerCounts::default()
+            },
+            ledger_entries: 90,
+            fault_wait: HistSummary {
+                count: 12,
+                p50: 100,
+                p95: 200,
+                p99: 400,
+            },
+            lead_time: HistSummary {
+                count: 88,
+                p50: 1000,
+                p95: 2000,
+                p99: 4000,
+            },
+            arrival_to_use: HistSummary {
+                count: 80,
+                p50: 500,
+                p95: 900,
+                p99: 1100,
+            },
+        }
+    }
+
+    fn sample_baseline() -> Baseline {
+        Baseline {
+            index: 1,
+            seed: 42,
+            runs: vec![
+                sample_run("EMBAR", "pf+fcfs"),
+                sample_run("BUK", "orig+fcfs"),
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let b = sample_baseline();
+        let text = baseline_json(&b).to_string();
+        let back = parse_baseline(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn parse_rejects_bad_schema_and_duplicates() {
+        let mut b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("other-schema".into());
+        }
+        assert!(parse_baseline(&doc).is_err());
+        b.runs.push(sample_run("EMBAR", "pf+fcfs"));
+        assert!(parse_baseline(&baseline_json(&b))
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn parse_rejects_attribution_leak() {
+        let b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, v)) = run.iter_mut().find(|(k, _)| k == "elapsed_ns") {
+                        *v = Json::U64(999_999);
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc).unwrap_err().contains("attribution"));
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let b = sample_baseline();
+        let report = compare(&b, &b.runs, &[]);
+        assert!(report.passed());
+        assert!(report.findings.is_empty());
+        assert_eq!(report.runs_compared, 2);
+        assert!(report.missing.is_empty() && report.extra.is_empty());
+    }
+
+    #[test]
+    fn drift_fails_gate_and_classifies_direction() {
+        let b = sample_baseline();
+        let mut cur = b.runs.clone();
+        cur[0].elapsed_ns += 100;
+        cur[0].attr.demand_stall_ns += 100;
+        cur[0].prefetched_hits -= 10;
+        let report = compare(&b, &cur, &[]);
+        assert!(!report.passed());
+        let by_metric = |m: &str| {
+            report
+                .findings
+                .iter()
+                .find(|f| f.metric == m)
+                .unwrap_or_else(|| panic!("no finding for {m}"))
+        };
+        assert_eq!(by_metric("elapsed_ns").kind, DriftKind::Regression);
+        assert_eq!(
+            by_metric("attr.demand_stall_ns").kind,
+            DriftKind::Regression
+        );
+        assert_eq!(
+            by_metric("faults.prefetched_hits").kind,
+            DriftKind::Regression
+        );
+        // A speedup is an improvement but still drift.
+        let mut faster = b.runs.clone();
+        faster[1].elapsed_ns -= 10;
+        faster[1].attr.compute_ns -= 10;
+        let report = compare(&b, &faster, &[]);
+        assert!(!report.passed());
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .find(|f| f.metric == "elapsed_ns")
+                .unwrap()
+                .kind,
+            DriftKind::Improvement
+        );
+    }
+
+    #[test]
+    fn allowances_tolerate_declared_drift() {
+        let b = sample_baseline();
+        let mut cur = b.runs.clone();
+        cur[0].elapsed_ns += 20; // 2% of 1000
+        cur[0].attr.compute_ns += 20;
+        let allow = vec![
+            parse_allowance_arg("elapsed_ns=5").unwrap(),
+            parse_allowance_arg("attr.*=5").unwrap(),
+        ];
+        let report = compare(&b, &cur, &allow);
+        assert!(report.passed(), "2% drift under a 5% allowance passes");
+        assert_eq!(report.findings.len(), 2, "findings are still reported");
+        // The same drift without coverage fails.
+        assert!(!compare(&b, &cur, &[]).passed());
+        // An allowance never covers a checksum change.
+        cur[0].checksum ^= 1;
+        let report = compare(&b, &cur, &[parse_allowance_arg("all=100").unwrap()]);
+        assert!(!report.passed());
+        assert_eq!(
+            report.checksum_divergence,
+            vec!["EMBAR/pf+fcfs".to_string()]
+        );
+    }
+
+    #[test]
+    fn missing_cells_fail_and_extra_cells_warn() {
+        let b = sample_baseline();
+        let cur = vec![b.runs[0].clone(), sample_run("FFT", "pf+fcfs")];
+        let report = compare(&b, &cur, &[]);
+        assert_eq!(report.missing, vec!["BUK/orig+fcfs".to_string()]);
+        assert_eq!(report.extra, vec!["FFT/pf+fcfs".to_string()]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn allowance_toml_dialect() {
+        let text = r#"
+# intentional: scheduler rework lands this PR
+[allow]
+elapsed_ns = 5.0
+"hist.fault_wait.p99" = 25   # tail only
+ledger.* = 10
+"#;
+        let got = parse_allowances_toml(text).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].metric, "elapsed_ns");
+        assert_eq!(got[1].pct, 25.0);
+        assert!(got[2].covers("ledger.timely_hits"));
+        assert!(!got[2].covers("elapsed_ns"));
+        assert!(parse_allowances_toml("bogus line").is_err());
+        assert!(parse_allowances_toml("x = -3").is_err());
+    }
+}

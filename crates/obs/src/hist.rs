@@ -33,7 +33,7 @@ pub const BUCKETS: usize = 64;
 /// assert_eq!(h.max(), 1000);
 /// assert_eq!(h.p50(), 3);
 /// ```
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHist {
     counts: [u64; BUCKETS],
     count: u64,

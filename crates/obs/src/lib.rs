@@ -17,6 +17,13 @@
 //!   buckets that sum exactly to end-to-end elapsed time.
 //! * [`json`] — a hand-rolled JSON value type (writer *and* parser) so
 //!   run reports and Chrome trace-event files need no external crates.
+//! * [`baseline`] — the *across-run* layer: versioned `oocp-bench-v1`
+//!   performance baselines (`BENCH_<n>.json`), an identical-by-default
+//!   diff with explicit per-metric allowances, and drift
+//!   classification for the perfgate regression gate.
+//! * [`tracediff`] — aligns two Chrome trace exports by prefetch span
+//!   id and reports the first divergent lifecycle event, turning a
+//!   metric regression into a timeline location.
 //!
 //! Everything here is passive bookkeeping: recording never advances the
 //! simulated clock, so enabling observability cannot change a single
@@ -24,11 +31,15 @@
 //! workspace level).
 
 pub mod attr;
+pub mod baseline;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod tracediff;
 
 pub use attr::TimeAttribution;
+pub use baseline::{Allowance, Baseline, BaselineRun, CompareReport, HistSummary};
 pub use hist::LatencyHist;
 pub use json::Json;
 pub use ledger::{LedgerCounts, PrefetchLedger};
+pub use tracediff::{Divergence, SpanRecord};

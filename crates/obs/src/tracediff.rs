@@ -1,0 +1,362 @@
+//! Trace-level regression attribution: align two Chrome trace-event
+//! documents by prefetch span id and report where they first diverge.
+//!
+//! A perfgate failure tells you *which metric* moved; this module tells
+//! you *where in the timeline* the two executions stopped agreeing. The
+//! exporter (`oocp_os::chrome_trace_json`) gives every prefetch
+//! lifecycle an async span id allocated deterministically in issue
+//! order, so two runs of the same kernel can be aligned span-by-span:
+//! the first span whose issue time, disk arrival, or first-use event
+//! differs is the earliest observable point of divergence, and
+//! everything after it is downstream noise.
+
+use crate::Json;
+
+/// One prefetch lifecycle reconstructed from a Chrome trace: the `"b"`
+/// (issue), `"n"` (disk arrival), and `"e"` (first use) events sharing
+/// an async span id. Timestamps are the trace's microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanRecord {
+    /// Async span id (deterministic issue order).
+    pub id: u64,
+    /// Page the span covers.
+    pub page: Option<u64>,
+    /// Issue timestamp.
+    pub begin: Option<f64>,
+    /// Disk-read completion timestamp.
+    pub arrive: Option<f64>,
+    /// First-demand-touch timestamp; `None` for spans that were
+    /// dropped, evicted, or never used.
+    pub end: Option<f64>,
+    /// Whether the first touch found the read still in flight.
+    pub late: Option<bool>,
+}
+
+/// Counts of the non-span events, for the "nothing diverged inside the
+/// spans" fallback comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// All events except thread-name metadata.
+    pub events: usize,
+    /// Prefetch lifecycle spans.
+    pub spans: usize,
+}
+
+fn ts_of(e: &Json) -> Option<f64> {
+    e.get("ts").and_then(Json::as_f64)
+}
+
+fn page_of(e: &Json) -> Option<u64> {
+    e.get("args")
+        .and_then(|a| a.get("page"))
+        .and_then(Json::as_u64)
+}
+
+/// Extract the span records of a parsed Chrome trace document, sorted
+/// by span id. Errors name what is structurally missing — a document
+/// without a `traceEvents` array is not a trace.
+pub fn index_spans(doc: &Json) -> Result<Vec<SpanRecord>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no traceEvents array")?;
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    fn find(spans: &mut Vec<SpanRecord>, id: u64) -> usize {
+        match spans.iter().position(|s| s.id == id) {
+            Some(i) => i,
+            None => {
+                spans.push(SpanRecord {
+                    id,
+                    ..SpanRecord::default()
+                });
+                spans.len() - 1
+            }
+        }
+    }
+    for e in events {
+        let Some(ph) = e.get("ph").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(id) = e.get("id").and_then(Json::as_u64) else {
+            continue;
+        };
+        match ph {
+            "b" => {
+                let i = find(&mut spans, id);
+                spans[i].begin = ts_of(e);
+                spans[i].page = page_of(e);
+            }
+            "n" => {
+                let i = find(&mut spans, id);
+                spans[i].arrive = ts_of(e);
+            }
+            "e" => {
+                let i = find(&mut spans, id);
+                spans[i].end = ts_of(e);
+                spans[i].late = e
+                    .get("args")
+                    .and_then(|a| a.get("late"))
+                    .and_then(|l| match l {
+                        Json::Bool(b) => Some(*b),
+                        _ => None,
+                    });
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by_key(|s| s.id);
+    Ok(spans)
+}
+
+/// Count events and spans of a parsed trace document.
+pub fn summarize(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no traceEvents array")?;
+    let real = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+        .count();
+    Ok(TraceSummary {
+        events: real,
+        spans: index_spans(doc)?.len(),
+    })
+}
+
+/// The first observable difference between two aligned traces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// Span id where the traces stop agreeing.
+    pub span: u64,
+    /// Which lifecycle field differs (`present`, `page`, `issue`,
+    /// `arrival`, `first_use`, `late`).
+    pub field: &'static str,
+    /// The field's value in trace A, rendered.
+    pub a: String,
+    /// The field's value in trace B, rendered.
+    pub b: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "span {}: {} {} -> {}",
+            self.span, self.field, self.a, self.b
+        )
+    }
+}
+
+fn show_ts(v: Option<f64>) -> String {
+    match v {
+        Some(t) => format!("{t}us"),
+        None => "absent".to_string(),
+    }
+}
+
+fn field_diff(a: &SpanRecord, b: &SpanRecord) -> Option<(&'static str, String, String)> {
+    if a.page != b.page {
+        return Some(("page", format!("{:?}", a.page), format!("{:?}", b.page)));
+    }
+    if a.begin != b.begin {
+        return Some(("issue", show_ts(a.begin), show_ts(b.begin)));
+    }
+    if a.arrive != b.arrive {
+        return Some(("arrival", show_ts(a.arrive), show_ts(b.arrive)));
+    }
+    if a.end != b.end {
+        return Some(("first_use", show_ts(a.end), show_ts(b.end)));
+    }
+    if a.late != b.late {
+        return Some(("late", format!("{:?}", a.late), format!("{:?}", b.late)));
+    }
+    None
+}
+
+/// Walk two span indexes (sorted by id) and report the first span where
+/// they disagree — a span present on only one side, or the lowest-id
+/// span with a differing lifecycle field. Span ids are allocated in
+/// issue order, so the lowest diverging id is the *earliest* decision
+/// at which the two executions split.
+pub fn first_divergence(a: &[SpanRecord], b: &[SpanRecord]) -> Option<Divergence> {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) if x.id == y.id => {
+                if let Some((field, av, bv)) = field_diff(x, y) {
+                    return Some(Divergence {
+                        span: x.id,
+                        field,
+                        a: av,
+                        b: bv,
+                    });
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x.id < y.id => {
+                return Some(Divergence {
+                    span: x.id,
+                    field: "present",
+                    a: "yes".into(),
+                    b: "no".into(),
+                })
+            }
+            (Some(_), Some(y)) => {
+                return Some(Divergence {
+                    span: y.id,
+                    field: "present",
+                    a: "no".into(),
+                    b: "yes".into(),
+                })
+            }
+            (Some(x), None) => {
+                return Some(Divergence {
+                    span: x.id,
+                    field: "present",
+                    a: "yes".into(),
+                    b: "no".into(),
+                })
+            }
+            (None, Some(y)) => {
+                return Some(Divergence {
+                    span: y.id,
+                    field: "present",
+                    a: "no".into(),
+                    b: "yes".into(),
+                })
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    None
+}
+
+/// Convenience: parse two Chrome trace documents and diff them.
+///
+/// Returns `Ok(None)` when the span timelines are identical; the
+/// summaries let the caller also report event-count differences outside
+/// the prefetch spans.
+pub fn diff_documents(
+    a: &str,
+    b: &str,
+) -> Result<(Option<Divergence>, TraceSummary, TraceSummary), String> {
+    let da = crate::json::parse(a).map_err(|e| format!("trace A: {e}"))?;
+    let db = crate::json::parse(b).map_err(|e| format!("trace B: {e}"))?;
+    let sa = summarize(&da)?;
+    let sb = summarize(&db)?;
+    let div = first_divergence(&index_spans(&da)?, &index_spans(&db)?);
+    Ok((div, sa, sb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (id, page, begin_us, arrival_us, (end_us, late)) per span.
+    type SpanTuple = (u64, u64, f64, Option<f64>, Option<(f64, bool)>);
+
+    fn span_doc(spans: &[SpanTuple]) -> Json {
+        let mut events = vec![Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+        ])];
+        for &(id, page, begin, arrive, end) in spans {
+            events.push(Json::obj([
+                ("name", Json::Str("prefetch".into())),
+                ("ph", Json::Str("b".into())),
+                ("id", Json::U64(id)),
+                ("ts", Json::F64(begin)),
+                ("args", Json::obj([("page", Json::U64(page))])),
+            ]));
+            if let Some(at) = arrive {
+                events.push(Json::obj([
+                    ("name", Json::Str("prefetch".into())),
+                    ("ph", Json::Str("n".into())),
+                    ("id", Json::U64(id)),
+                    ("ts", Json::F64(at)),
+                ]));
+            }
+            if let Some((at, late)) = end {
+                events.push(Json::obj([
+                    ("name", Json::Str("prefetch".into())),
+                    ("ph", Json::Str("e".into())),
+                    ("id", Json::U64(id)),
+                    ("ts", Json::F64(at)),
+                    (
+                        "args",
+                        Json::obj([("page", Json::U64(page)), ("late", Json::Bool(late))]),
+                    ),
+                ]));
+            }
+        }
+        Json::obj([("traceEvents", Json::Arr(events))])
+    }
+
+    #[test]
+    fn index_reconstructs_lifecycles() {
+        let doc = span_doc(&[
+            (2, 20, 5.0, Some(8.0), Some((12.0, false))),
+            (1, 10, 1.0, None, None),
+        ]);
+        let spans = index_spans(&doc).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 1, "sorted by id");
+        assert_eq!(spans[0].end, None, "unconsumed span stays open");
+        assert_eq!(spans[1].arrive, Some(8.0));
+        assert_eq!(spans[1].late, Some(false));
+        let s = summarize(&doc).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.events, 4, "metadata not counted");
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let doc = span_doc(&[(1, 10, 1.0, Some(2.0), Some((3.0, false)))]);
+        let spans = index_spans(&doc).unwrap();
+        assert_eq!(first_divergence(&spans, &spans), None);
+    }
+
+    #[test]
+    fn earliest_differing_span_wins() {
+        let a = span_doc(&[
+            (1, 10, 1.0, Some(2.0), Some((3.0, false))),
+            (2, 11, 4.0, Some(5.0), Some((6.0, false))),
+        ]);
+        let b = span_doc(&[
+            (1, 10, 1.0, Some(2.5), Some((3.0, false))),
+            (2, 11, 4.0, Some(9.0), None),
+        ]);
+        let d = first_divergence(&index_spans(&a).unwrap(), &index_spans(&b).unwrap()).unwrap();
+        assert_eq!(d.span, 1);
+        assert_eq!(d.field, "arrival");
+        assert_eq!(d.a, "2us");
+        assert_eq!(d.b, "2.5us");
+    }
+
+    #[test]
+    fn missing_span_is_a_divergence() {
+        let a = span_doc(&[(1, 10, 1.0, None, None), (2, 11, 2.0, None, None)]);
+        let b = span_doc(&[(1, 10, 1.0, None, None)]);
+        let d = first_divergence(&index_spans(&a).unwrap(), &index_spans(&b).unwrap()).unwrap();
+        assert_eq!(d.span, 2);
+        assert_eq!(d.field, "present");
+        // Symmetric case: extra span on the B side.
+        let d = first_divergence(&index_spans(&b).unwrap(), &index_spans(&a).unwrap()).unwrap();
+        assert_eq!((d.span, d.a.as_str(), d.b.as_str()), (2, "no", "yes"));
+    }
+
+    #[test]
+    fn diff_documents_end_to_end() {
+        let a = span_doc(&[(1, 10, 1.0, Some(2.0), None)]).to_string();
+        let b = span_doc(&[(1, 10, 1.0, Some(7.0), None)]).to_string();
+        let (div, sa, sb) = diff_documents(&a, &b).unwrap();
+        assert_eq!(div.unwrap().field, "arrival");
+        assert_eq!(sa.spans, 1);
+        assert_eq!(sb.events, 2);
+        assert_eq!(diff_documents(&a, &a).unwrap().0, None);
+        assert!(diff_documents("not json", &b).is_err());
+        assert!(diff_documents("{}", &b).is_err(), "no traceEvents");
+    }
+}

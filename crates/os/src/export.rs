@@ -298,4 +298,29 @@ mod tests {
         let json = chrome_trace_json(&sample_trace());
         assert!(json.contains("\"page\":null"));
     }
+
+    #[test]
+    fn exported_spans_match_in_process_alignment() {
+        // The tracediff consumer (`oocp_obs::tracediff::index_spans`)
+        // must reconstruct from the exported JSON exactly the spans the
+        // in-process alignment sees.
+        let trace = sample_trace();
+        let doc = oocp_obs::json::parse(&chrome_trace_json(&trace)).unwrap();
+        let from_json = oocp_obs::tracediff::index_spans(&doc).unwrap();
+        let in_process = trace.span_lifecycles();
+        assert_eq!(from_json.len(), in_process.len());
+        for (j, p) in from_json.iter().zip(&in_process) {
+            assert_eq!(j.id, p.span);
+            assert_eq!(j.page, Some(p.page));
+            assert_eq!(
+                j.begin.is_some(),
+                p.issued_at.is_some(),
+                "span {}: issue presence",
+                p.span
+            );
+            assert_eq!(j.arrive.map(|us| (us * 1000.0) as u64), p.arrival);
+            assert_eq!(j.end.map(|us| (us * 1000.0) as u64), p.consumed_at);
+            assert_eq!(j.late, p.late);
+        }
+    }
 }

@@ -45,4 +45,4 @@ pub use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger, TimeAttribution};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};
-pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use trace::{SpanLifecycle, Trace, TraceEvent, TraceRecord};

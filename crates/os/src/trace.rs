@@ -158,6 +158,30 @@ impl TraceEvent {
     }
 }
 
+/// One prefetch lifecycle aligned by span id, reassembled from a
+/// trace's issue/arrive/consume records.
+///
+/// Span ids are allocated in issue order, so two traces of the same
+/// kernel can be compared lifecycle-by-lifecycle — the basis of the
+/// perfgate tracediff (`oocp_obs::tracediff` does the same alignment on
+/// exported Chrome traces; this is the in-process view).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanLifecycle {
+    /// Lifecycle span id.
+    pub span: u64,
+    /// Page the span covers.
+    pub page: u64,
+    /// When the hint was issued (`None` if the issue record was lost to
+    /// ring overflow).
+    pub issued_at: Option<Ns>,
+    /// Exact disk-read completion time.
+    pub arrival: Option<Ns>,
+    /// First demand touch, when the page was used at all.
+    pub consumed_at: Option<Ns>,
+    /// Whether the first touch found the read still in flight.
+    pub late: Option<bool>,
+}
+
 /// A timestamped trace record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -234,6 +258,53 @@ impl Trace {
     /// Records in chronological order, as an owned vector.
     pub fn records(&self) -> Vec<TraceRecord> {
         self.iter().copied().collect()
+    }
+
+    /// Reassemble the prefetch lifecycles, aligned by span id and
+    /// sorted ascending.
+    ///
+    /// A multi-page [`TraceEvent::PrefetchIssue`] opens `count`
+    /// consecutive spans (ids `span .. span + count`, one per page);
+    /// arrive and consume records then attach to their span. Records
+    /// referring to spans whose issue fell off the ring still produce a
+    /// lifecycle, with `issued_at` unknown.
+    pub fn span_lifecycles(&self) -> Vec<SpanLifecycle> {
+        let mut spans: Vec<SpanLifecycle> = Vec::new();
+        fn entry(spans: &mut Vec<SpanLifecycle>, span: u64, page: u64) -> &mut SpanLifecycle {
+            match spans.iter().position(|s| s.span == span) {
+                Some(i) => &mut spans[i],
+                None => {
+                    spans.push(SpanLifecycle {
+                        span,
+                        page,
+                        ..SpanLifecycle::default()
+                    });
+                    spans.last_mut().expect("just pushed")
+                }
+            }
+        }
+        for rec in self.iter() {
+            match rec.event {
+                TraceEvent::PrefetchIssue { page, count, span } => {
+                    for k in 0..count {
+                        entry(&mut spans, span + k, page + k).issued_at = Some(rec.at);
+                    }
+                }
+                TraceEvent::PrefetchArrive {
+                    page,
+                    span,
+                    arrival,
+                } => entry(&mut spans, span, page).arrival = Some(arrival),
+                TraceEvent::PrefetchConsume { page, span, late } => {
+                    let e = entry(&mut spans, span, page);
+                    e.consumed_at = Some(rec.at);
+                    e.late = Some(late);
+                }
+                _ => {}
+            }
+        }
+        spans.sort_by_key(|s| s.span);
+        spans
     }
 }
 
@@ -347,6 +418,56 @@ mod tests {
         // The borrowing IntoIterator sees the same sequence.
         let from_ref: Vec<TraceRecord> = (&t).into_iter().copied().collect();
         assert_eq!(from_ref, from_iter);
+    }
+
+    #[test]
+    fn span_lifecycles_align_by_id() {
+        let mut t = Trace::new(64);
+        t.push(
+            5,
+            TraceEvent::PrefetchIssue {
+                page: 10,
+                count: 3,
+                span: 7,
+            },
+        );
+        t.push(
+            9,
+            TraceEvent::PrefetchArrive {
+                page: 11,
+                span: 8,
+                arrival: 8,
+            },
+        );
+        t.push(
+            12,
+            TraceEvent::PrefetchConsume {
+                page: 11,
+                span: 8,
+                late: true,
+            },
+        );
+        // Arrive for a span whose issue was never recorded.
+        t.push(
+            20,
+            TraceEvent::PrefetchArrive {
+                page: 99,
+                span: 42,
+                arrival: 19,
+            },
+        );
+        let spans = t.span_lifecycles();
+        assert_eq!(spans.len(), 4, "3-page issue opens 3 spans, plus orphan");
+        assert_eq!(spans[0].span, 7);
+        assert_eq!(spans[0].page, 10);
+        assert_eq!(spans[0].issued_at, Some(5));
+        assert_eq!(spans[0].arrival, None);
+        assert_eq!(spans[1].span, 8);
+        assert_eq!(spans[1].arrival, Some(8), "true completion time, not stamp");
+        assert_eq!(spans[1].consumed_at, Some(12));
+        assert_eq!(spans[1].late, Some(true));
+        assert_eq!(spans[3].span, 42);
+        assert_eq!(spans[3].issued_at, None, "orphan keeps unknown issue");
     }
 
     #[test]

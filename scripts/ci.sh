@@ -20,9 +20,49 @@ echo "== obsreport smoke (observability invariants + JSON round-trip)"
 # The binary asserts the attribution and ledger invariants itself, and
 # --json makes it re-read, re-parse, and re-validate the emitted file.
 OBS_JSON="$(mktemp /tmp/oocp-report-XXXXXX.json)"
-trap 'rm -f "$OBS_JSON"' EXIT
+TRACE_JSON="$(mktemp /tmp/oocp-trace-XXXXXX.json)"
+trap 'rm -f "$OBS_JSON" "$TRACE_JSON"' EXIT
 cargo run --release -q -p oocp-bench --bin obsreport -- --smoke --json "$OBS_JSON"
 test -s "$OBS_JSON" || { echo "obsreport wrote an empty report"; exit 1; }
+
+echo "== oocpc --trace-out smoke (Chrome trace export parses)"
+# Compile-and-run one sample kernel with the trace exporter on; the
+# emitted file must be non-empty and must parse with our own JSON
+# parser — `perfgate tracediff` of a file against itself does exactly
+# that parse (twice) and exits 0 only for a well-formed span timeline.
+cargo run --release -q -p oocp-bench --bin oocpc -- kernels/stencil.ook \
+    --run --quiet --mem-mb 4 --trace-out "$TRACE_JSON"
+test -s "$TRACE_JSON" || { echo "oocpc wrote an empty trace"; exit 1; }
+cargo run --release -q -p oocp-bench --bin perfgate -- tracediff "$TRACE_JSON" "$TRACE_JSON"
+
+echo "== perfgate --compare (performance-trajectory gate)"
+# Compare the live tree against the newest checked-in baseline. The
+# simulator is deterministic, so any diff is a real behaviour change:
+# either fix it, or grant an explicit allowance / re-capture with
+# scripts/bench.sh and explain the move in the commit.
+BENCH="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [ -n "$BENCH" ]; then
+    cargo run --release -q -p oocp-bench --bin perfgate -- \
+        --compare "$BENCH" --allowances perf-allowances.toml
+    echo "== perfgate negative gate (a deliberate slowdown must fail)"
+    # Strangle the disk queue on one kernel; the gate must catch it,
+    # name an attribution bucket, and report a span-level divergence.
+    if cargo run --release -q -p oocp-bench --bin perfgate -- \
+        --compare "$BENCH" --only EMBAR --queue-depth 1 > /tmp/oocp-neg.$$ 2>&1; then
+        cat /tmp/oocp-neg.$$
+        rm -f /tmp/oocp-neg.$$
+        echo "perfgate failed to flag a deliberate regression"; exit 1
+    fi
+    grep -q "attr\." /tmp/oocp-neg.$$ || {
+        cat /tmp/oocp-neg.$$; rm -f /tmp/oocp-neg.$$
+        echo "perfgate failure did not attribute a time bucket"; exit 1; }
+    grep -q "tracediff" /tmp/oocp-neg.$$ || {
+        cat /tmp/oocp-neg.$$; rm -f /tmp/oocp-neg.$$
+        echo "perfgate failure did not run tracediff"; exit 1; }
+    rm -f /tmp/oocp-neg.$$
+else
+    echo "no BENCH_<n>.json baseline found; run scripts/bench.sh to capture one"
+fi
 
 # Clippy needs its component installed; offline or minimal toolchains
 # may not have it, and the gate should not fail for that.

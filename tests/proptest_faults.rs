@@ -10,40 +10,15 @@
 
 use std::collections::HashMap;
 
-use oocp::os::{Brownout, FaultPlan, Machine, MachineParams};
-use oocp::sim::time::MILLISECOND;
+use oocp::os::{FaultPlan, Machine, MachineParams};
 use oocp::sim::SimRng;
 use oocp_bench::{run_workload, run_workload_faulted, Config, Mode};
 use oocp_nas::{build, App};
 
-/// A random plan drawn from `g`: modest error rates (the retry budget
-/// is sized for transient faults, not a dead array), optional
-/// stragglers, an optional bounded brownout, optional bit staleness.
+/// The shared bounded-plan generator (also used by the baseline
+/// round-trip test, so both suites cover the same fault space).
 fn random_plan(g: &mut SimRng) -> FaultPlan {
-    let mut plan = FaultPlan::none(g.next_u64()).with_errors(
-        g.next_f64() * 0.05,
-        g.next_f64() * 0.10,
-        g.next_f64() * 0.05,
-    );
-    if g.next_f64() < 0.5 {
-        plan = plan.with_stragglers(
-            g.next_f64() * 0.10,
-            2.0 + g.next_f64() * 8.0,
-            g.next_below(20) * MILLISECOND,
-        );
-    }
-    if g.next_f64() < 0.5 {
-        let from = g.next_below(500) * MILLISECOND;
-        plan = plan.with_brownout(Brownout {
-            disk: None,
-            from,
-            until: from + 200 * MILLISECOND,
-        });
-    }
-    if g.next_f64() < 0.5 {
-        plan = plan.with_bitvec_staleness(g.next_f64() * 0.10);
-    }
-    plan
+    FaultPlan::sample(g)
 }
 
 /// Any seeded fault plan leaves every kernel's final data bit-identical

@@ -225,6 +225,109 @@ fn kernel_metrics_are_timing_neutral() {
     }
 }
 
+/// `LatencyHist::merge` is the histogram's monoid operation — `perfgate`
+/// and the report aggregators lean on it, so pin down its algebra on
+/// random sample sets: commutativity, associativity, exact count/sum/
+/// min/max aggregation, and quantile sanity (a merged p95/p99 can land
+/// in no bucket above the highest bucket any part used).
+#[test]
+fn latency_hist_merge_algebra() {
+    use oocp::obs::LatencyHist;
+
+    let random_hist = |g: &mut SimRng| {
+        let mut h = LatencyHist::default();
+        let n = g.next_below(200);
+        for _ in 0..n {
+            // Spread samples across the full log2 range, not just the
+            // low buckets: pick a scale, then a value at that scale.
+            let bits = g.next_below(40);
+            h.record(g.next_below((1u64 << bits).max(1)));
+        }
+        h
+    };
+    let mut g = SimRng::new(0x0B_0004);
+    for case in 0..128 {
+        let (a, b, c) = (
+            random_hist(&mut g),
+            random_hist(&mut g),
+            random_hist(&mut g),
+        );
+
+        // Commutativity: a ⊕ b == b ⊕ a, bit-for-bit.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "case {case}: merge must commute");
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "case {case}: merge must associate");
+
+        // Exact aggregates: count and sum add; min/max combine.
+        assert_eq!(
+            ab_c.count(),
+            a.count() + b.count() + c.count(),
+            "case {case}"
+        );
+        assert_eq!(
+            ab_c.sum_ns(),
+            a.sum_ns() + b.sum_ns() + c.sum_ns(),
+            "case {case}"
+        );
+        if ab_c.count() > 0 {
+            assert_eq!(
+                ab_c.min(),
+                [&a, &b, &c]
+                    .iter()
+                    .filter(|h| h.count() > 0)
+                    .map(|h| h.min())
+                    .min()
+                    .expect("some part is non-empty"),
+                "case {case}: min must be the min of the parts"
+            );
+            assert_eq!(
+                ab_c.max(),
+                [&a, &b, &c]
+                    .iter()
+                    .map(|h| h.max())
+                    .max()
+                    .expect("non-empty"),
+                "case {case}: max must be the max of the parts"
+            );
+        }
+
+        // Quantile bound: a quantile of the merge is a bucket upper
+        // edge (clamped to the true max), so it can never exceed the
+        // largest bucket edge any part's own samples reached.
+        let part_ceiling = [&a, &b, &c]
+            .iter()
+            .filter(|h| h.count() > 0)
+            .map(|h| LatencyHist::bucket_bound(LatencyHist::bucket_of(h.max())))
+            .max()
+            .unwrap_or(0);
+        for q in [ab_c.p50(), ab_c.p95(), ab_c.p99()] {
+            assert!(
+                q <= part_ceiling,
+                "case {case}: merged quantile {q} above every part's bucket \
+                 ceiling {part_ceiling}"
+            );
+        }
+        // And each merged quantile is at least the smallest part's p50
+        // floor: monotone in rank, never below the global min.
+        if ab_c.count() > 0 {
+            assert!(ab_c.p50() >= ab_c.min(), "case {case}");
+            assert!(ab_c.p95() >= ab_c.p50(), "case {case}: quantiles monotone");
+            assert!(ab_c.p99() >= ab_c.p95(), "case {case}: quantiles monotone");
+        }
+    }
+}
+
 /// The Chrome-trace exporter emits valid JSON for arbitrary traces:
 /// parseable by the zero-dependency parser, `traceEvents` an array, and
 /// the ring's drop count surfaced verbatim.
