@@ -18,11 +18,23 @@
 //! 3. **Determinism**: re-running the same plan with the same seed
 //!    reproduces every counter exactly.
 //!
+//! With `--crash` the binary instead sweeps simulated *power loss*:
+//! each kernel is killed at several points of its run (optionally
+//! tearing the writes caught mid-air), recovered through the writeback
+//! journal, and re-run from an application restart — which must match
+//! the never-crashed reference bit for bit. `--no-journal` disables
+//! the journal and inverts the expectation: the sweep must then lose
+//! pages (exit non-zero), proving the oracle has teeth. CI runs both
+//! directions.
+//!
 //! Run: `cargo run --release -p oocp-bench --bin chaos`
 
-use oocp_bench::{run_workload, run_workload_faulted, secs, Args, Mode, RunResult};
+use oocp_bench::{
+    run_workload, run_workload_crash_recover, run_workload_faulted, secs, Args, Config, Mode,
+    RunResult,
+};
 use oocp_nas::{build, App};
-use oocp_os::FaultPlan;
+use oocp_os::{CrashPoint, CrashSpec, FaultPlan};
 use oocp_sim::time::MILLISECOND;
 
 /// Fault seed, independent of the workload seed so `--seed` sweeps the
@@ -78,12 +90,114 @@ fn fingerprint(r: &RunResult) -> String {
     )
 }
 
+/// The `--crash` sweep: power loss x recovery x restart for every
+/// kernel, against the fault-free reference. Returns the number of
+/// *lost* pages (unrecoverable after recovery), which must be zero
+/// with the journal and non-zero without it.
+fn crash_sweep(cfg: &Config, ratio: f64, smoke: bool, journal: bool) -> u64 {
+    let apps = if smoke {
+        vec![App::Embar]
+    } else {
+        vec![App::Embar, App::Buk, App::Cgm, App::Fft, App::Mgrid]
+    };
+    let mut lost = 0u64;
+    let mut violations = 0u32;
+    for app in apps {
+        let w = build(app, cfg.bytes_for_ratio(ratio));
+        let base = run_workload(&w, cfg, Mode::Prefetch);
+        base.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{app:?} crash-free run failed to verify: {e}"));
+        let total_ops = base.disk.demand_reads + base.disk.prefetch_reads + base.disk.writes;
+        let (points, torns): (Vec<CrashPoint>, &[bool]) = if journal {
+            (
+                vec![
+                    CrashPoint::AtOp((total_ops / 2).max(1)),
+                    CrashPoint::AtOp((total_ops * 9 / 10).max(1)),
+                    CrashPoint::AtTime(base.total() / 2),
+                ],
+                &[false, true],
+            )
+        } else {
+            // A write is only vulnerable while it is actually in the
+            // air, so the negative sweep fans out over the write-heavy
+            // span of the run until a torn crash catches one mid-air.
+            (
+                (4..=18)
+                    .map(|i| CrashPoint::AtOp((total_ops * i / 20).max(1)))
+                    .collect(),
+                &[true],
+            )
+        };
+        for (i, &point) in points.iter().enumerate() {
+            for &torn in torns {
+                let plan = FaultPlan::none(FAULT_SEED + i as u64).with_crash(CrashSpec {
+                    point,
+                    torn_writes: torn,
+                });
+                let run = run_workload_crash_recover(&w, cfg, Mode::Prefetch, &plan);
+                let rec = &run.recovery;
+                let cut_off = run.crashed.flush.as_ref().map_or(0, |f| f.vpages.len());
+                let ok = run.rerun.verified.is_ok()
+                    && run.rerun.checksum == base.checksum
+                    && run.rerun.flush.is_none();
+                println!(
+                    "{:<8} {:<18} torn {:<5} | died {:>8}s, {:>4} dirty cut off | \
+                     replayed {:>4} discarded {:>4} torn-found {:>3} lost {:>3} | \
+                     recovery {:>8}s | restart {}",
+                    format!("{app:?}"),
+                    format!("{point:?}"),
+                    torn,
+                    secs(rec.crashed_at),
+                    cut_off,
+                    rec.pages_replayed,
+                    rec.pages_discarded,
+                    rec.torn_detected,
+                    rec.unrecoverable,
+                    secs(rec.recovery_ns),
+                    if ok { "matches reference" } else { "DIVERGED" },
+                );
+                lost += rec.unrecoverable;
+                if journal && (!ok || rec.unrecoverable > 0) {
+                    violations += 1;
+                }
+                if rec.crashed_at == 0 {
+                    violations += 1;
+                    println!("  ^ crash never tripped");
+                }
+            }
+        }
+    }
+    assert_eq!(
+        violations, 0,
+        "crash oracle violated: with the journal, recovery + restart must \
+         always reproduce the reference"
+    );
+    lost
+}
+
 fn main() {
     let args = Args::parse();
     let mut cfg = args.cfg;
     // Small memory keeps the sweep quick; ratios are what matter.
     if std::env::args().all(|a| a != "--mem-mb") {
         cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+    }
+    if args.crash {
+        let journal = !args.no_journal;
+        let lost = crash_sweep(&cfg, args.ratio, args.smoke, journal);
+        println!("---");
+        if journal {
+            println!("crash sweep passed: power loss costs time, never data");
+        } else if lost > 0 {
+            // The negative gate *wants* this exit: a disabled journal
+            // must lose data, or the oracle isn't testing anything.
+            println!("journal disabled: {lost} pages unrecoverable (expected) — exiting non-zero");
+            std::process::exit(1);
+        } else {
+            println!("journal disabled but nothing was lost: the negative gate has no teeth");
+        }
+        return;
     }
     println!(
         "sched policy: {} (queue depth {}, coalesce {})",

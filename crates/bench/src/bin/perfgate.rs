@@ -295,6 +295,12 @@ fn run_cell(
             spec.name
         ));
     }
+    // A matrix cell must also flush its dirty pages cleanly — a typed
+    // FlushError here means the final writeback lost data, which is a
+    // correctness failure, not a perf number.
+    if let Some(f) = &r.flush {
+        return Err(format!("{}/{}: {f}", kernel.name(), spec.name));
+    }
     Ok((r, trace))
 }
 

@@ -14,7 +14,9 @@ use oocp_core::{compile, CompileReport, CompilerParams};
 use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
 use oocp_nas::Workload;
 use oocp_obs::TimeAttribution;
-use oocp_os::{FaultPlan, MachineParams, MetricsReport, OsStats, Trace};
+use oocp_os::{
+    FaultPlan, FlushError, MachineParams, MetricsReport, OsStats, RecoveryReport, Trace,
+};
 use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
 
@@ -118,6 +120,10 @@ pub struct RunResult {
     /// Observability snapshot: latency histograms and the prefetch-
     /// lifecycle ledger. Present when [`Config::metrics`] was set.
     pub obs: Option<MetricsReport>,
+    /// Dirty pages that never durably reached the disks (write-backs
+    /// abandoned after exhausted retries, or pages cut off by a
+    /// simulated power loss). `None` means every result flushed clean.
+    pub flush: Option<FlushError>,
 }
 
 impl RunResult {
@@ -240,19 +246,16 @@ pub fn run_workload_traced(
     )
 }
 
-fn run_workload_inner(
+/// Compile (or pass through) a workload's program for `mode`.
+fn prepare_program(
     w: &Workload,
-    cfg: &Config,
     mode: Mode,
-    cparams: CompilerParams,
-    pressure: Vec<(Ns, u64)>,
-    plan: Option<&FaultPlan>,
-    trace_cap: usize,
-) -> (RunResult, Option<Trace>) {
-    let (prog, report): (Program, Option<CompileReport>) = match mode {
+    cparams: &CompilerParams,
+) -> (Program, Option<CompileReport>) {
+    match mode {
         Mode::Original => (w.prog.clone(), None),
         Mode::Prefetch | Mode::PrefetchNoFilter | Mode::PrefetchAdaptive => {
-            let (p, r) = compile(&w.prog, &cparams);
+            let (p, r) = compile(&w.prog, cparams);
             (p, Some(r))
         }
         Mode::PrefetchTwoVersion => {
@@ -263,7 +266,48 @@ fn run_workload_inner(
             let (p, r) = compile(&w.prog, &cparams.with_adaptive_in_core(true));
             (p, Some(r))
         }
-    };
+    }
+}
+
+/// Snapshot a finished runtime into a [`RunResult`].
+fn collect_result(
+    mode: Mode,
+    rt: &Runtime,
+    exec: ExecStats,
+    report: Option<CompileReport>,
+    verified: Result<(), String>,
+    checksum: u64,
+    flush: Option<FlushError>,
+) -> RunResult {
+    let m = rt.machine();
+    RunResult {
+        mode,
+        time: m.breakdown(),
+        os: *m.stats(),
+        disk: m.disk_stats(),
+        disk_util: m.disk_utilization(),
+        avg_free_frames: m.avg_free_frames(),
+        attr: m.attribution(),
+        obs: m.metrics_report(),
+        rt: *rt.stats(),
+        exec,
+        report,
+        verified,
+        checksum,
+        flush,
+    }
+}
+
+fn run_workload_inner(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: CompilerParams,
+    pressure: Vec<(Ns, u64)>,
+    plan: Option<&FaultPlan>,
+    trace_cap: usize,
+) -> (RunResult, Option<Trace>) {
+    let (prog, report) = prepare_program(w, mode, &cparams);
     let filter = if mode == Mode::PrefetchNoFilter {
         FilterMode::Disabled
     } else {
@@ -302,27 +346,101 @@ fn run_workload_inner(
         param_values.push(cfg.machine.memory_bytes() as i64);
     }
     let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
-    rt.machine_mut().finish();
+    let flush = rt.machine_mut().try_finish().err();
     let verified = w.verify(&binds, &rt);
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
-    let m = rt.machine();
-    let result = RunResult {
-        mode,
-        time: m.breakdown(),
-        os: *m.stats(),
-        disk: m.disk_stats(),
-        disk_util: m.disk_utilization(),
-        avg_free_frames: m.avg_free_frames(),
-        attr: m.attribution(),
-        obs: m.metrics_report(),
-        rt: *rt.stats(),
-        exec,
-        report,
-        verified,
-        checksum,
-    };
+    let result = collect_result(mode, &rt, exec, report, verified, checksum, flush);
     (result, trace)
+}
+
+/// A crash-recovery round trip of one workload. The fault plan must
+/// schedule a power loss: the first leg runs into it (completing in
+/// zombie mode so the interpreter never panics), the machine is then
+/// recovered — journal rings scanned, committed intents replayed, torn
+/// and uncommitted pages rolled back to their last durable version —
+/// and the workload restarts from scratch on the recovered machine.
+///
+/// The write-ahead journal gives *per-page* atomicity, not cross-page
+/// snapshot consistency, so the correctness oracle is application-
+/// restart semantics: the re-run (same workload, same seed) must
+/// produce bit-identical results to a run that never crashed.
+pub struct CrashRun {
+    /// The run that hit the power loss. Its in-memory checksum is
+    /// intact (the crash affects durability, never computation), but
+    /// [`RunResult::flush`] reports everything that failed to land.
+    pub crashed: RunResult,
+    /// What recovery found and did.
+    pub recovery: RecoveryReport,
+    /// The post-recovery restart. Its stats carry the `recovery_*`
+    /// counters of the machine it ran on.
+    pub rerun: RunResult,
+}
+
+/// Run `w` into a scheduled power loss, recover, and re-run. See
+/// [`CrashRun`].
+///
+/// # Panics
+///
+/// Panics if `plan` schedules no crash.
+pub fn run_workload_crash_recover(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    plan: &FaultPlan,
+) -> CrashRun {
+    assert!(
+        plan.crash.is_some(),
+        "run_workload_crash_recover needs a plan with a scheduled crash"
+    );
+    let cparams = cfg.compiler_params();
+    let (prog, report) = prepare_program(w, mode, &cparams);
+    let filter = if mode == Mode::PrefetchNoFilter {
+        FilterMode::Disabled
+    } else {
+        FilterMode::Enabled
+    };
+    let (binds, bytes) = ArrayBinding::sequential(&w.prog, cfg.machine.page_bytes);
+    let mut param_values = w.param_values.clone();
+    if let Some(Some(ap)) = report.as_ref().map(|r| r.adaptive_param) {
+        debug_assert_eq!(ap, param_values.len());
+        param_values.push(cfg.machine.memory_bytes() as i64);
+    }
+
+    // Leg 1: run into the crash.
+    let mut machine = oocp_os::Machine::new(cfg.machine, bytes);
+    machine.set_fault_plan(plan);
+    let mut rt = Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
+    if cfg.metrics {
+        rt = rt.with_metrics();
+    }
+    w.init(&binds, &mut rt, cfg.seed);
+    let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
+    let flush = rt.machine_mut().try_finish().err();
+    let verified = w.verify(&binds, &rt);
+    let checksum = data_checksum(&rt, bytes);
+    let crashed = collect_result(mode, &rt, exec, report.clone(), verified, checksum, flush);
+
+    // Recovery.
+    let (machine, recovery) = rt.into_machine().recover();
+
+    // Leg 2: application restart on the recovered machine.
+    let mut rt = Runtime::new(machine, filter).with_adaptive(mode == Mode::PrefetchAdaptive);
+    if cfg.metrics {
+        rt = rt.with_metrics();
+    }
+    w.init(&binds, &mut rt, cfg.seed);
+    let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
+    let flush = rt.machine_mut().try_finish().err();
+    let verified = w.verify(&binds, &rt);
+    let checksum = data_checksum(&rt, bytes);
+    let rerun = collect_result(mode, &rt, exec, report, verified, checksum, flush);
+
+    CrashRun {
+        crashed,
+        recovery,
+        rerun,
+    }
 }
 
 /// Run a bare IR [`Program`] (e.g. a parsed `kernels/*.ook` file) on
@@ -376,25 +494,10 @@ pub fn run_ir_traced(
         rt = rt.with_metrics();
     }
     let exec = run_program(&run_prog, &binds, param_values, cfg.cost, &mut rt);
-    rt.machine_mut().finish();
+    let flush = rt.machine_mut().try_finish().err();
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
-    let m = rt.machine();
-    let result = RunResult {
-        mode,
-        time: m.breakdown(),
-        os: *m.stats(),
-        disk: m.disk_stats(),
-        disk_util: m.disk_utilization(),
-        avg_free_frames: m.avg_free_frames(),
-        attr: m.attribution(),
-        obs: m.metrics_report(),
-        rt: *rt.stats(),
-        exec,
-        report,
-        verified: Ok(()),
-        checksum,
-    };
+    let result = collect_result(mode, &rt, exec, report, Ok(()), checksum, flush);
     (result, trace)
 }
 
@@ -452,7 +555,8 @@ pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns)
 ///
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
 /// `--csv <path>`, `--json <path>`, `--sched <policy>`,
-/// `--queue-depth <n>`, `--coalesce`, `--smoke`.
+/// `--queue-depth <n>`, `--coalesce`, `--smoke`, `--crash`,
+/// `--no-journal`.
 pub struct Args {
     /// Parsed configuration (including any `--sched`/`--queue-depth`/
     /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
@@ -469,6 +573,13 @@ pub struct Args {
     /// Quick-gate mode: binaries that support it shrink to a single
     /// small kernel so CI can run them on every change.
     pub smoke: bool,
+    /// Crash sweep mode (the chaos binary): simulate power loss at
+    /// several points of each kernel and check verified recovery.
+    pub crash: bool,
+    /// Disable the writeback journal (`cfg.machine.journal = false`).
+    /// Combined with `--crash` this is the *negative* gate: torn writes
+    /// must then lose data, proving the crash oracle has teeth.
+    pub no_journal: bool,
 }
 
 impl Args {
@@ -479,6 +590,8 @@ impl Args {
         let mut csv = None;
         let mut json = None;
         let mut smoke = false;
+        let mut crash = false;
+        let mut no_journal = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -491,6 +604,17 @@ impl Args {
                 }
                 "--smoke" => {
                     smoke = true;
+                    i += 1;
+                    continue;
+                }
+                "--crash" => {
+                    crash = true;
+                    i += 1;
+                    continue;
+                }
+                "--no-journal" => {
+                    no_journal = true;
+                    cfg.machine.journal = false;
                     i += 1;
                     continue;
                 }
@@ -531,6 +655,8 @@ impl Args {
             csv,
             json,
             smoke,
+            crash,
+            no_journal,
         }
     }
 }

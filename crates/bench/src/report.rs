@@ -98,6 +98,22 @@ pub fn run_json(name: &str, r: &RunResult) -> Json {
                 ("write_service", hist_json(&r.disk.write_service_hist)),
             ]),
         ),
+        (
+            "recovery",
+            Json::obj([
+                ("journal_appends", Json::U64(r.os.journal_appends)),
+                ("journal_stalls", Json::U64(r.os.journal_stalls)),
+                ("pages_replayed", Json::U64(r.os.recovery_pages_replayed)),
+                ("pages_discarded", Json::U64(r.os.recovery_pages_discarded)),
+                ("torn_detected", Json::U64(r.os.recovery_torn_detected)),
+                ("unrecoverable", Json::U64(r.os.recovery_unrecoverable)),
+                ("recovery_ns", Json::U64(r.os.recovery_ns)),
+                (
+                    "flush_failed_vpages",
+                    Json::U64(r.flush.as_ref().map_or(0, |f| f.vpages.len() as u64)),
+                ),
+            ]),
+        ),
     ];
     if let Some(obs) = &r.obs {
         fields.push((
@@ -183,6 +199,13 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
         fault_wait,
         lead_time,
         arrival_to_use,
+        journal_appends: r.os.journal_appends,
+        journal_stalls: r.os.journal_stalls,
+        recovery_replayed: r.os.recovery_pages_replayed,
+        recovery_discarded: r.os.recovery_pages_discarded,
+        recovery_torn: r.os.recovery_torn_detected,
+        recovery_unrecoverable: r.os.recovery_unrecoverable,
+        recovery_ns: r.os.recovery_ns,
     }
 }
 

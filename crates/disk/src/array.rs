@@ -72,6 +72,11 @@ impl DiskArray {
         self.injector.as_ref().map(|i| i.plan())
     }
 
+    /// Simulated time of the scheduled power loss, once it has tripped.
+    pub fn crashed_at(&self) -> Option<Ns> {
+        self.injector.as_ref().and_then(|i| i.crashed_at())
+    }
+
     /// Number of disks in the array.
     pub fn len(&self) -> usize {
         self.disks.len()

@@ -63,6 +63,13 @@ pub enum IoError {
         /// Earliest simulated time at which a queue slot frees.
         retry_at: Ns,
     },
+    /// Whole-machine power loss at simulated time `at`. Every request
+    /// on every disk fails from that point on; retrying is futile and
+    /// the only way forward is a recovery pass over durable state.
+    Crashed {
+        /// Simulated time of the power loss.
+        at: Ns,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -89,6 +96,9 @@ impl fmt::Display for IoError {
             IoError::QueueFull { disk, retry_at } => {
                 write!(f, "disk {disk} queue full; retry at {retry_at} ns")
             }
+            IoError::Crashed { at } => {
+                write!(f, "simulated power loss at {at} ns")
+            }
         }
     }
 }
@@ -112,6 +122,32 @@ impl Brownout {
     pub fn covers(&self, id: usize, now: Ns) -> bool {
         self.disk.is_none_or(|d| d == id) && self.from <= now && now < self.until
     }
+}
+
+/// When, in a run's life, the simulated power cord is pulled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash at the first disk submission at or after this simulated
+    /// time.
+    AtTime(Ns),
+    /// Crash at the Nth disk submission (0-based: `AtOp(0)` kills the
+    /// very first request).
+    AtOp(u64),
+}
+
+/// A whole-machine crash schedule: the power loss point plus whether
+/// in-flight multi-sector page writes may land *partially* (torn).
+/// With `torn_writes` off, a write either fully completed before the
+/// crash or left the old page image intact; with it on, a write caught
+/// mid-air lands a sector prefix of the new image over the old one,
+/// leaving the stored page checksum stale — the detectable-corruption
+/// case recovery must handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// When the power is cut.
+    pub point: CrashPoint,
+    /// Whether in-flight writes may tear.
+    pub torn_writes: bool,
 }
 
 /// A memory-pressure storm: between `from` and `until` the machine's
@@ -158,6 +194,8 @@ pub struct FaultPlan {
     pub bitvec_stale_prob: f64,
     /// Memory-pressure windows (interpreted by the OS/bench layers).
     pub pressure_storms: Vec<PressureStorm>,
+    /// Optional whole-machine power loss (torn-write model included).
+    pub crash: Option<CrashSpec>,
 }
 
 impl FaultPlan {
@@ -174,6 +212,7 @@ impl FaultPlan {
             brownouts: Vec::new(),
             bitvec_stale_prob: 0.0,
             pressure_storms: Vec::new(),
+            crash: None,
         }
     }
 
@@ -210,6 +249,12 @@ impl FaultPlan {
     /// Add a memory-pressure storm window.
     pub fn with_pressure_storm(mut self, s: PressureStorm) -> Self {
         self.pressure_storms.push(s);
+        self
+    }
+
+    /// Schedule a whole-machine power loss.
+    pub fn with_crash(mut self, spec: CrashSpec) -> Self {
+        self.crash = Some(spec);
         self
     }
 
@@ -274,6 +319,7 @@ impl FaultPlan {
             || self.write_error_prob > 0.0
             || self.straggler_prob > 0.0
             || !self.brownouts.is_empty()
+            || self.crash.is_some()
     }
 
     /// Error probability for a request class.
@@ -313,6 +359,11 @@ pub enum Injection {
 pub struct FaultInjector {
     plan: FaultPlan,
     streams: Vec<SimRng>,
+    /// Submissions seen so far (only counted when a crash is scheduled,
+    /// so crash-free plans keep their exact historical decision order).
+    ops: u64,
+    /// Simulated time of the power loss, once it has happened.
+    crashed_at: Option<Ns>,
 }
 
 impl FaultInjector {
@@ -323,7 +374,12 @@ impl FaultInjector {
             // sequences are decorrelated even for adjacent seeds.
             .map(|i| SimRng::new(plan.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             .collect();
-        Self { plan, streams }
+        Self {
+            plan,
+            streams,
+            ops: 0,
+            crashed_at: None,
+        }
     }
 
     /// The plan this injector executes.
@@ -331,14 +387,37 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Simulated time of the scheduled power loss, once it has tripped.
+    pub fn crashed_at(&self) -> Option<Ns> {
+        self.crashed_at
+    }
+
     /// Decide the fate of one request on disk `id` at time `now`.
     ///
-    /// Brownout windows are checked first (they are time-driven, not
-    /// random); then the per-class error draw; then the straggler draw.
-    /// Both draws are always consumed so the stream position depends
-    /// only on the request count, keeping sibling fault classes
-    /// independent of each other's probabilities.
+    /// A scheduled crash is checked first and latches permanently: once
+    /// the power is out, every subsequent request on every disk fails
+    /// with the same [`IoError::Crashed`] and no rng draws are
+    /// consumed. Brownout windows come next (time-driven, not random);
+    /// then the per-class error draw; then the straggler draw. Both
+    /// draws are always consumed so the stream position depends only on
+    /// the request count, keeping sibling fault classes independent of
+    /// each other's probabilities.
     pub fn decide(&mut self, id: usize, now: Ns, req: &Request) -> Injection {
+        if let Some(spec) = self.plan.crash {
+            if let Some(at) = self.crashed_at {
+                return Injection::Fail(IoError::Crashed { at });
+            }
+            let tripped = match spec.point {
+                CrashPoint::AtTime(t) if now >= t => Some(t),
+                CrashPoint::AtOp(n) if self.ops >= n => Some(now),
+                _ => None,
+            };
+            self.ops += 1;
+            if let Some(at) = tripped {
+                self.crashed_at = Some(at);
+                return Injection::Fail(IoError::Crashed { at });
+            }
+        }
         for b in &self.plan.brownouts {
             if b.covers(id, now) {
                 return Injection::Fail(IoError::Brownout {
@@ -444,6 +523,95 @@ mod tests {
         assert_eq!(inj.decide(1, 200, &r), Injection::None);
         // Other disks unaffected.
         assert_eq!(inj.decide(0, 150, &r), Injection::None);
+    }
+
+    #[test]
+    fn brownout_covers_pins_window_edges() {
+        let b = Brownout {
+            disk: Some(2),
+            from: 100,
+            until: 200,
+        };
+        // Inclusive start, exclusive end.
+        assert!(!b.covers(2, 99));
+        assert!(b.covers(2, 100));
+        assert!(b.covers(2, 199));
+        assert!(!b.covers(2, 200));
+        // Disk filter: only the named disk is covered.
+        assert!(!b.covers(1, 150));
+        // A whole-array window covers every disk.
+        let all = Brownout {
+            disk: None,
+            from: 100,
+            until: 200,
+        };
+        assert!(all.covers(0, 150) && all.covers(7, 150));
+        // A zero-length window covers nothing, not even its own edge.
+        let empty = Brownout {
+            disk: None,
+            from: 100,
+            until: 100,
+        };
+        assert!(!empty.covers(0, 99) && !empty.covers(0, 100) && !empty.covers(0, 101));
+    }
+
+    #[test]
+    fn crash_at_op_latches_on_every_disk() {
+        let plan = FaultPlan::none(3).with_crash(CrashSpec {
+            point: CrashPoint::AtOp(2),
+            torn_writes: false,
+        });
+        let mut inj = FaultInjector::new(plan, 2);
+        let r = read(ReqKind::Write);
+        assert!(inj.crashed_at().is_none());
+        assert_eq!(inj.decide(0, 10, &r), Injection::None);
+        assert_eq!(inj.decide(1, 20, &r), Injection::None);
+        // Third submission (0-based op 2) trips the crash at its time.
+        assert_eq!(
+            inj.decide(0, 30, &r),
+            Injection::Fail(IoError::Crashed { at: 30 })
+        );
+        assert_eq!(inj.crashed_at(), Some(30));
+        // Latched: every later request on any disk fails identically.
+        assert_eq!(
+            inj.decide(1, 99, &read(ReqKind::DemandRead)),
+            Injection::Fail(IoError::Crashed { at: 30 })
+        );
+    }
+
+    #[test]
+    fn crash_at_time_trips_on_first_submission_past_the_point() {
+        let plan = FaultPlan::none(3).with_crash(CrashSpec {
+            point: CrashPoint::AtTime(500),
+            torn_writes: true,
+        });
+        let mut inj = FaultInjector::new(plan, 1);
+        let r = read(ReqKind::DemandRead);
+        assert_eq!(inj.decide(0, 499, &r), Injection::None);
+        // The power loss time is the scheduled instant, not the
+        // (possibly later) submission that observed it.
+        assert_eq!(
+            inj.decide(0, 700, &r),
+            Injection::Fail(IoError::Crashed { at: 500 })
+        );
+        assert_eq!(inj.crashed_at(), Some(500));
+    }
+
+    #[test]
+    fn crash_consumes_no_rng_draws() {
+        // With errors enabled, a crash-bearing plan must make the same
+        // pre-crash error decisions as the crash-free plan.
+        let base = FaultPlan::none(77).with_errors(0.3, 0.3, 0.3);
+        let crashy = base.clone().with_crash(CrashSpec {
+            point: CrashPoint::AtOp(50),
+            torn_writes: false,
+        });
+        let mut a = FaultInjector::new(base, 1);
+        let mut b = FaultInjector::new(crashy, 1);
+        let r = read(ReqKind::DemandRead);
+        for i in 0..50 {
+            assert_eq!(a.decide(0, i, &r), b.decide(0, i, &r), "op {i}");
+        }
     }
 
     #[test]

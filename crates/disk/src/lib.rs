@@ -21,6 +21,8 @@ pub mod model;
 pub mod sched;
 
 pub use array::DiskArray;
-pub use fault::{Brownout, FaultInjector, FaultPlan, Injection, IoError, PressureStorm};
+pub use fault::{
+    Brownout, CrashPoint, CrashSpec, FaultInjector, FaultPlan, Injection, IoError, PressureStorm,
+};
 pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};
 pub use sched::{SchedConfig, SchedPolicy, Ticket};

@@ -105,6 +105,17 @@ impl FileSystem {
         self.disks[d].free_blocks()
     }
 
+    /// Allocate a raw contiguous extent of `blocks` on disk `d`,
+    /// outside any file. This is how the writeback journal claims its
+    /// per-disk ring area: extent-allocated like data, so journal and
+    /// data blocks share one address space and can never overlap.
+    pub fn alloc_raw(&mut self, d: usize, blocks: u64) -> Result<Extent, FsError> {
+        self.disks[d].alloc(blocks).ok_or(FsError::NoSpace {
+            disk: d,
+            needed: blocks,
+        })
+    }
+
     /// Create a file of `pages` pages, striped across all disks.
     ///
     /// All-or-nothing: on failure, any partial per-disk allocations are

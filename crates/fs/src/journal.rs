@@ -1,0 +1,223 @@
+//! Per-disk write-ahead journal rings for dirty-page writeback.
+//!
+//! Crash consistency for writebacks follows the classic WAL discipline:
+//! before the OS overwrites a page's home block, it appends an *intent
+//! record* to a small journal area on the same disk — a two-block slot
+//! holding a descriptor (vpage, home block, payload checksum, commit
+//! mark) and a full copy of the new page image. Once the in-place data
+//! write is durable, the descriptor is rewritten with its commit mark
+//! set and the slot becomes reclaimable. After a power loss, recovery
+//! scans the rings: a sealed record whose data write may not have
+//! landed is *replayed* from the journal payload; an unsealed record is
+//! void and the home block still holds the old image by the write
+//! barrier (data is never issued before the seal is durable).
+//!
+//! This module owns only the *geometry and accounting* of the rings —
+//! slot addressing, reservation, and in-order reclamation. What the
+//! records say (and which of their blocks became durable before the
+//! crash) is the OS layer's business: the simulator has no real bits on
+//! disk, so the durable journal contents live beside the durable page
+//! images in the machine's crash model.
+
+use crate::extent::Extent;
+use crate::file::{FileSystem, FsError};
+
+/// Blocks per journal record: one descriptor block + one payload block.
+pub const RECORD_BLOCKS: u64 = 2;
+
+/// A reserved journal slot: where this record's two blocks live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalSlot {
+    /// Monotone record sequence number (never reused).
+    pub seq: u64,
+    /// Disk holding the slot.
+    pub disk: usize,
+    /// Block of the descriptor (vpage, home block, checksum, commit mark).
+    pub desc_block: u64,
+    /// Block of the page-image payload.
+    pub payload_block: u64,
+}
+
+struct Ring {
+    extent: Extent,
+    slots: u64,
+    /// Next sequence number to hand out.
+    head: u64,
+    /// Oldest live sequence number; `head - tail` slots are in use.
+    tail: u64,
+    /// Retirement flags for in-use records, indexed by `seq % slots`.
+    retired: Vec<bool>,
+}
+
+impl Ring {
+    fn blocks_of(&self, seq: u64) -> (u64, u64) {
+        let base = self.extent.start + (seq % self.slots) * RECORD_BLOCKS;
+        (base, base + 1)
+    }
+}
+
+/// The write-ahead journal: one fixed-size ring of record slots per
+/// disk, extent-allocated from the same space as file data.
+pub struct WriteJournal {
+    rings: Vec<Ring>,
+}
+
+impl WriteJournal {
+    /// Claim `blocks_per_disk` journal blocks on every disk of `fs`.
+    ///
+    /// `blocks_per_disk` must be at least [`RECORD_BLOCKS`]; odd sizes
+    /// round down to whole slots. All-or-nothing like `create_file`.
+    pub fn create(fs: &mut FileSystem, blocks_per_disk: u64) -> Result<Self, FsError> {
+        assert!(
+            blocks_per_disk >= RECORD_BLOCKS,
+            "journal needs at least one {RECORD_BLOCKS}-block slot per disk"
+        );
+        let slots = blocks_per_disk / RECORD_BLOCKS;
+        let mut rings = Vec::with_capacity(fs.ndisks());
+        for d in 0..fs.ndisks() {
+            match fs.alloc_raw(d, slots * RECORD_BLOCKS) {
+                Ok(extent) => rings.push(Ring {
+                    extent,
+                    slots,
+                    head: 0,
+                    tail: 0,
+                    retired: vec![false; slots as usize],
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Self { rings })
+    }
+
+    /// Slots per ring.
+    pub fn slots(&self, d: usize) -> u64 {
+        self.rings[d].slots
+    }
+
+    /// Records currently occupying slots on disk `d`.
+    pub fn in_use(&self, d: usize) -> u64 {
+        self.rings[d].head - self.rings[d].tail
+    }
+
+    /// Reserve the next slot on disk `d`, or `None` if the ring is full
+    /// (the caller must retire the oldest record first — in the OS this
+    /// is a synchronous journal stall).
+    pub fn reserve(&mut self, d: usize) -> Option<JournalSlot> {
+        let ring = &mut self.rings[d];
+        if ring.head - ring.tail >= ring.slots {
+            return None;
+        }
+        let seq = ring.head;
+        ring.head += 1;
+        ring.retired[(seq % ring.slots) as usize] = false;
+        let (desc_block, payload_block) = ring.blocks_of(seq);
+        Some(JournalSlot {
+            seq,
+            disk: d,
+            desc_block,
+            payload_block,
+        })
+    }
+
+    /// The oldest unretired record on disk `d`, if any.
+    pub fn oldest_live(&self, d: usize) -> Option<u64> {
+        let ring = &self.rings[d];
+        (ring.tail < ring.head).then_some(ring.tail)
+    }
+
+    /// Retire record `seq` on disk `d` (its data write is durable and
+    /// its commit mark written). Slots free in order: the tail advances
+    /// over the contiguous retired prefix, so an out-of-order retire
+    /// frees nothing until its predecessors retire too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not currently in use on disk `d`.
+    pub fn retire(&mut self, d: usize, seq: u64) {
+        let ring = &mut self.rings[d];
+        assert!(
+            seq >= ring.tail && seq < ring.head,
+            "retire of record {seq} outside live window [{}, {})",
+            ring.tail,
+            ring.head
+        );
+        ring.retired[(seq % ring.slots) as usize] = true;
+        while ring.tail < ring.head && ring.retired[(ring.tail % ring.slots) as usize] {
+            ring.retired[(ring.tail % ring.slots) as usize] = false;
+            ring.tail += 1;
+        }
+    }
+
+    /// The ring area on disk `d`, for recovery's full-ring scan read.
+    pub fn extent(&self, d: usize) -> Extent {
+        self.rings[d].extent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(slots: u64) -> (FileSystem, WriteJournal) {
+        let mut fs = FileSystem::new(2, 1000);
+        let j = WriteJournal::create(&mut fs, slots * RECORD_BLOCKS).unwrap();
+        (fs, j)
+    }
+
+    #[test]
+    fn journal_blocks_do_not_overlap_file_data() {
+        let mut fs = FileSystem::new(2, 100);
+        let j = WriteJournal::create(&mut fs, 8).unwrap();
+        let f = fs.create_file(40).unwrap();
+        for p in 0..40 {
+            let (d, b) = fs.place(f, p).unwrap();
+            let e = j.extent(d);
+            assert!(
+                b < e.start || b >= e.start + e.len,
+                "page {p} lands inside the disk {d} journal ring"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_reuses_slots() {
+        let (_, mut j) = setup(3);
+        let first = j.reserve(0).unwrap();
+        j.retire(0, first.seq);
+        for _ in 0..7 {
+            let s = j.reserve(0).unwrap();
+            j.retire(0, s.seq);
+        }
+        // Slot addressing wraps: seq 8 reuses seq 2's blocks (8 % 3 == 2).
+        let s = j.reserve(0).unwrap();
+        assert_eq!(s.seq, 8);
+        let base = j.extent(0).start;
+        assert_eq!(s.desc_block, base + (8 % 3) * RECORD_BLOCKS);
+        assert_eq!(s.payload_block, s.desc_block + 1);
+    }
+
+    #[test]
+    fn full_ring_refuses_until_oldest_retires() {
+        let (_, mut j) = setup(2);
+        let a = j.reserve(0).unwrap();
+        let b = j.reserve(0).unwrap();
+        assert_eq!(j.reserve(0), None);
+        assert_eq!(j.oldest_live(0), Some(a.seq));
+        // Retiring the *newest* record frees nothing: reclamation is
+        // in-order.
+        j.retire(0, b.seq);
+        assert_eq!(j.reserve(0), None);
+        j.retire(0, a.seq);
+        assert_eq!(j.in_use(0), 0);
+        assert!(j.reserve(0).is_some());
+    }
+
+    #[test]
+    fn rings_are_per_disk() {
+        let (_, mut j) = setup(1);
+        assert!(j.reserve(0).is_some());
+        assert_eq!(j.reserve(0), None);
+        // Disk 1's ring is independent.
+        assert!(j.reserve(1).is_some());
+    }
+}

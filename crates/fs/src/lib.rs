@@ -19,6 +19,8 @@
 
 pub mod extent;
 pub mod file;
+pub mod journal;
 
 pub use extent::{Extent, ExtentAllocator};
 pub use file::{FileId, FileSystem, FsError, PlacedRun};
+pub use journal::{JournalSlot, WriteJournal, RECORD_BLOCKS};

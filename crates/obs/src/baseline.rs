@@ -98,6 +98,22 @@ pub struct BaselineRun {
     pub lead_time: HistSummary,
     /// Arrival-to-first-use distribution.
     pub arrival_to_use: HistSummary,
+    /// Write-ahead journal intents appended (write amplification).
+    pub journal_appends: u64,
+    /// Writebacks that stalled waiting for a journal ring slot.
+    pub journal_stalls: u64,
+    /// Crash recovery: journal payloads replayed onto home blocks.
+    pub recovery_replayed: u64,
+    /// Crash recovery: in-flight updates discarded (old image kept).
+    pub recovery_discarded: u64,
+    /// Crash recovery: torn home blocks caught by their checksum.
+    pub recovery_torn: u64,
+    /// Crash recovery: pages lost for good. Zero whenever the journal
+    /// is on; the chaos `--no-journal` gate proves it goes positive
+    /// without one.
+    pub recovery_unrecoverable: u64,
+    /// Simulated time the recovery pass took (zero if never crashed).
+    pub recovery_ns: u64,
 }
 
 /// How a metric's drift reads in a report.
@@ -173,6 +189,17 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
         ("hist.arrival_to_use.p50", r.arrival_to_use.p50, Neutral),
         ("hist.arrival_to_use.p95", r.arrival_to_use.p95, Neutral),
         ("hist.arrival_to_use.p99", r.arrival_to_use.p99, Neutral),
+        ("journal.appends", r.journal_appends, HigherWorse),
+        ("journal.stalls", r.journal_stalls, HigherWorse),
+        ("recovery.pages_replayed", r.recovery_replayed, Neutral),
+        ("recovery.pages_discarded", r.recovery_discarded, Neutral),
+        ("recovery.torn_detected", r.recovery_torn, Neutral),
+        (
+            "recovery.unrecoverable",
+            r.recovery_unrecoverable,
+            HigherWorse,
+        ),
+        ("recovery.recovery_ns", r.recovery_ns, HigherWorse),
     ]
 }
 
@@ -246,6 +273,18 @@ fn run_json(r: &BaselineRun) -> Json {
                 ("arrival_to_use", r.arrival_to_use.to_json()),
             ]),
         ),
+        (
+            "recovery",
+            Json::obj([
+                ("journal_appends", Json::U64(r.journal_appends)),
+                ("journal_stalls", Json::U64(r.journal_stalls)),
+                ("pages_replayed", Json::U64(r.recovery_replayed)),
+                ("pages_discarded", Json::U64(r.recovery_discarded)),
+                ("torn_detected", Json::U64(r.recovery_torn)),
+                ("unrecoverable", Json::U64(r.recovery_unrecoverable)),
+                ("recovery_ns", Json::U64(r.recovery_ns)),
+            ]),
+        ),
     ])
 }
 
@@ -303,6 +342,22 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         unused_at_end: req_u64(ledger_v, "unused_at_end", &ctx)?,
     };
     let hist = req_obj(v, "hist", &ctx)?;
+    // Baselines captured before the crash-consistency subsystem carry
+    // no `recovery` block; they parse as all-zero so old trajectory
+    // entries stay comparable. When the block is present it must be
+    // complete — partial blocks are corruption, not history.
+    let rec = match v.get("recovery") {
+        None => [0u64; 7],
+        Some(rv) => [
+            req_u64(rv, "journal_appends", &ctx)?,
+            req_u64(rv, "journal_stalls", &ctx)?,
+            req_u64(rv, "pages_replayed", &ctx)?,
+            req_u64(rv, "pages_discarded", &ctx)?,
+            req_u64(rv, "torn_detected", &ctx)?,
+            req_u64(rv, "unrecoverable", &ctx)?,
+            req_u64(rv, "recovery_ns", &ctx)?,
+        ],
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -315,6 +370,13 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         fault_wait: HistSummary::parse(req_obj(hist, "fault_wait", &ctx)?, &ctx)?,
         lead_time: HistSummary::parse(req_obj(hist, "lead_time", &ctx)?, &ctx)?,
         arrival_to_use: HistSummary::parse(req_obj(hist, "arrival_to_use", &ctx)?, &ctx)?,
+        journal_appends: rec[0],
+        journal_stalls: rec[1],
+        recovery_replayed: rec[2],
+        recovery_discarded: rec[3],
+        recovery_torn: rec[4],
+        recovery_unrecoverable: rec[5],
+        recovery_ns: rec[6],
         kernel,
         config,
     };
@@ -617,6 +679,13 @@ mod tests {
                 p95: 900,
                 p99: 1100,
             },
+            journal_appends: 40,
+            journal_stalls: 2,
+            recovery_replayed: 3,
+            recovery_discarded: 1,
+            recovery_torn: 1,
+            recovery_unrecoverable: 0,
+            recovery_ns: 77,
         }
     }
 
@@ -651,6 +720,39 @@ mod tests {
         assert!(parse_baseline(&baseline_json(&b))
             .unwrap_err()
             .contains("duplicate"));
+    }
+
+    #[test]
+    fn pre_crash_baselines_parse_with_zeroed_recovery() {
+        // A trajectory entry captured before the crash subsystem has no
+        // `recovery` block; it must still load, reading as all-zero.
+        let b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                for run in runs {
+                    if let Json::Obj(run) = run {
+                        run.retain(|(k, _)| k != "recovery");
+                    }
+                }
+            }
+        }
+        let back = parse_baseline(&doc).unwrap();
+        assert_eq!(back.runs[0].journal_appends, 0);
+        assert_eq!(back.runs[0].recovery_ns, 0);
+        // But a present-yet-partial block is corruption.
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, Json::Obj(rec))) = run.iter_mut().find(|(k, _)| k == "recovery")
+                    {
+                        rec.retain(|(k, _)| k != "unrecoverable");
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc).unwrap_err().contains("unrecoverable"));
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub enum OsError {
         /// The resident-frame limit.
         limit: u64,
     },
+    /// The machine suffered a simulated power loss: the disks are gone
+    /// and no request can complete. The run is over; the only way
+    /// forward is [`crate::Machine::recover`].
+    Crashed {
+        /// Simulated time of the power loss.
+        at: Ns,
+    },
 }
 
 impl fmt::Display for OsError {
@@ -83,9 +90,39 @@ impl fmt::Display for OsError {
                 f,
                 "out of frames: {resident} resident, {inflight} in flight, limit {limit}"
             ),
+            OsError::Crashed { at } => {
+                write!(f, "machine crashed (simulated power loss at {at} ns)")
+            }
         }
     }
 }
+
+/// Dirty pages that could not be made durable by the end of a run:
+/// write-backs abandoned after exhausted retries, or pages still dirty
+/// when a crash cut the disks off. Returned by
+/// [`crate::Machine::try_finish`] so callers can distinguish a clean
+/// finish ("every result is on disk") from silent data loss. Carries
+/// the affected pages, so it is deliberately not `Copy` like
+/// [`OsError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlushError {
+    /// Virtual pages whose final contents never reached the disks,
+    /// sorted and deduplicated.
+    pub vpages: Vec<u64>,
+}
+
+impl fmt::Display for FlushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dirty page(s) were not flushed durably (first: {:?})",
+            self.vpages.len(),
+            self.vpages.first()
+        )
+    }
+}
+
+impl std::error::Error for FlushError {}
 
 impl std::error::Error for OsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {

@@ -28,21 +28,25 @@ pub mod metrics;
 pub mod params;
 pub mod posix;
 pub mod stats;
+pub mod store;
 pub mod trace;
 
 pub use bitvec::ResidencyBits;
-pub use error::OsError;
+pub use error::{FlushError, OsError};
 pub use export::chrome_trace_json;
 // Fault-injection types, re-exported so layers above the OS (the
 // run-time filter, the bench harness) can build plans without a direct
 // disk-crate dependency.
-pub use machine::{Machine, Segment};
+pub use machine::{DurableRecord, Machine, RecoveryReport, Segment};
 pub use metrics::{MetricsReport, ObsMetrics};
 // Observability types that appear in this crate's public API, re-
 // exported for the same reason as the fault-injection types above.
-pub use oocp_disk::{Brownout, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy};
+pub use oocp_disk::{
+    Brownout, CrashPoint, CrashSpec, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy,
+};
 pub use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger, TimeAttribution};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};
+pub use store::{page_checksum, DurableStore, SECTOR_BYTES};
 pub use trace::{SpanLifecycle, Trace, TraceEvent, TraceRecord};

@@ -4,17 +4,18 @@
 use std::collections::VecDeque;
 
 use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
-use oocp_fs::{FileId, FileSystem};
+use oocp_fs::{FileId, FileSystem, WriteJournal};
 use oocp_obs::TimeAttribution;
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
 use oocp_sim::time::{Ns, TimeBreakdown, TimeCategory};
 
 use crate::bitvec::ResidencyBits;
-use crate::error::OsError;
+use crate::error::{FlushError, OsError};
 use crate::metrics::{MetricsReport, ObsMetrics};
 use crate::params::MachineParams;
 use crate::stats::OsStats;
+use crate::store::{DurableStore, SECTOR_BYTES};
 use crate::trace::{Trace, TraceEvent};
 
 /// A page-aligned region of the virtual address space backing one array.
@@ -74,6 +75,78 @@ impl Page {
             span: 0,
         }
     }
+}
+
+/// One journaled writeback whose commit protocol is in flight: the
+/// journal slot it reserved, a snapshot of the page image being
+/// written, and the tickets of the protocol's four writes (descriptor,
+/// payload, in-place data, commit mark). A ticket is `None` when the
+/// submission itself was refused (crash or exhausted retries) — the
+/// write never reached the media, so its effective completion time is
+/// "never".
+struct WalRecord {
+    seq: u64,
+    disk: usize,
+    vpage: u64,
+    payload: Vec<u8>,
+    desc: Option<Ticket>,
+    pay: Option<Ticket>,
+    data: Option<Ticket>,
+    commit: Option<Ticket>,
+}
+
+/// An unjournaled durable write in flight (durability mode with the
+/// journal disabled — the configuration the negative CI gate uses to
+/// prove torn writes lose data without WAL protection).
+struct PlainWrite {
+    vpage: u64,
+    payload: Vec<u8>,
+    data: Ticket,
+}
+
+/// A journal record whose journal blocks were durable when the power
+/// died — exactly what a recovery scan of the rings can see.
+#[derive(Clone, Debug)]
+pub struct DurableRecord {
+    /// Record sequence number (per-disk monotone).
+    pub seq: u64,
+    /// Disk whose ring holds the record.
+    pub disk: usize,
+    /// The page the record describes.
+    pub vpage: u64,
+    /// The full page image from the journal's payload block.
+    pub payload: Vec<u8>,
+    /// Whether the commit mark was durable too (the in-place data
+    /// write is then guaranteed durable by the write barrier).
+    pub committed: bool,
+}
+
+/// What [`Machine::recover`] found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Simulated time of the power loss (0 if the machine never
+    /// crashed and recovery was a no-op).
+    pub crashed_at: Ns,
+    /// Sealed journal records the ring scan found.
+    pub scanned_records: u64,
+    /// Pages replayed from journal payloads onto their home blocks
+    /// (uncommitted records, plus any page whose image failed its
+    /// checksum).
+    pub pages_replayed: u64,
+    /// In-flight updates discarded because their intent record was not
+    /// durably sealed — the home block kept its last durable version.
+    pub pages_discarded: u64,
+    /// Home blocks whose stored checksum failed: torn writes caught
+    /// mid-air by the crash.
+    pub torn_detected: u64,
+    /// Torn/lost pages with no journal payload to repair from. Always
+    /// zero with the journal enabled; the negative gate proves it goes
+    /// positive without one.
+    pub unrecoverable: u64,
+    /// The unrecoverable pages themselves.
+    pub unrecoverable_pages: Vec<u64>,
+    /// Simulated time the recovery pass took (scan + replay + verify).
+    pub recovery_ns: Ns,
 }
 
 /// The simulated machine.
@@ -144,6 +217,39 @@ pub struct Machine {
     /// OS-level knobs like bit-vector staleness, which the disk array's
     /// injector does not carry).
     fault_plan: Option<FaultPlan>,
+    /// Durable (on-media) page images + checksums. Present only in
+    /// durability mode (a crash is scheduled, or this machine came out
+    /// of a recovery), so default runs pay nothing.
+    durable: Option<DurableStore>,
+    /// Per-disk write-ahead journal rings (durability mode with
+    /// `params.journal`).
+    journal: Option<WriteJournal>,
+    /// Journaled writebacks whose commit protocol is in flight.
+    wal_pending: Vec<WalRecord>,
+    /// Unjournaled durable writes in flight (journal disabled).
+    plain_pending: Vec<PlainWrite>,
+    /// Journal records durable at crash time, as a recovery scan would
+    /// find them.
+    wal_durable: Vec<DurableRecord>,
+    /// Simulated time of the power loss, once it happened. From then on
+    /// the machine is a "zombie": accesses are served from the
+    /// in-memory image with no disk and no time, so the interpreter can
+    /// run to completion and the harness can recover.
+    crashed: Option<Ns>,
+    /// Whether crash resolution (freezing the in-flight writes into
+    /// durable state) has run.
+    crash_resolved: bool,
+    /// Whether in-flight writes may tear at the crash.
+    torn_writes: bool,
+    /// Seeded stream deciding how many sectors of each in-flight write
+    /// land (the torn-write model).
+    crash_rng: Option<SimRng>,
+    /// Updates lost at the crash: writebacks whose intent record was
+    /// never sealed (journaled) or whose write never landed (plain).
+    crash_discarded: Vec<u64>,
+    /// Dirty pages whose final contents never became durable:
+    /// abandoned writebacks plus everything cut off by a crash.
+    flush_failures: Vec<u64>,
 }
 
 impl Machine {
@@ -207,6 +313,17 @@ impl Machine {
             next_span: 1,
             chaos_bits: None,
             fault_plan: None,
+            durable: None,
+            journal: None,
+            wal_pending: Vec::new(),
+            plain_pending: Vec::new(),
+            wal_durable: Vec::new(),
+            crashed: None,
+            crash_resolved: false,
+            torn_writes: false,
+            crash_rng: None,
+            crash_discarded: Vec::new(),
+            flush_failures: Vec::new(),
         })
     }
 
@@ -232,9 +349,46 @@ impl Machine {
             self.set_pressure_schedule(schedule);
         }
         self.disks.set_fault_plan(plan.clone());
+        if let Some(spec) = plan.crash {
+            // Durability mode: from here on the simulator distinguishes
+            // the in-memory image from what has durably landed.
+            self.torn_writes = spec.torn_writes;
+            self.crash_rng = Some(SimRng::new(plan.seed ^ 0x70B5_C4A5_11ED));
+            if self.durable.is_none() {
+                self.durable = Some(DurableStore::new(
+                    self.total_pages(),
+                    self.params.page_bytes,
+                ));
+            }
+            if self.params.journal && self.journal.is_none() {
+                self.journal = Some(
+                    WriteJournal::create(&mut self.fs, self.params.journal_blocks_per_disk)
+                        .expect("disks must have room for the writeback journal"),
+                );
+            }
+        }
         let has_effect =
             plan.is_active() || plan.bitvec_stale_prob > 0.0 || !plan.pressure_storms.is_empty();
         self.fault_plan = has_effect.then(|| plan.clone());
+    }
+
+    /// Simulated time of the power loss, if one has happened.
+    pub fn crashed_at(&self) -> Option<Ns> {
+        self.crashed
+    }
+
+    /// Whether this machine keeps a durable page store (a crash is
+    /// scheduled, or it came out of a recovery).
+    pub fn durability_enabled(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Take the lazy durable-baseline snapshot if durability mode is on
+    /// and it has not been taken yet (first timed access).
+    fn ensure_durable_snapshot(&mut self) {
+        if let Some(d) = &mut self.durable {
+            d.ensure_snapshot(&self.data);
+        }
     }
 
     /// The installed fault plan, if it injects anything at all.
@@ -587,6 +741,12 @@ impl Machine {
                     // Logic errors: retrying cannot help.
                     return Err(OsError::Io(e));
                 }
+                Err(IoError::Crashed { at }) => {
+                    // Power loss: latch it. Not retryable, not counted
+                    // against the retry budget — the disks are gone.
+                    self.crashed = Some(at);
+                    return Err(OsError::Crashed { at });
+                }
                 Err(IoError::QueueFull { retry_at, disk: d }) => {
                     // Each wait ends with at least one slot free, so a
                     // blocked demand access always makes progress.
@@ -637,17 +797,117 @@ impl Machine {
         }
     }
 
+    /// Like [`Machine::submit_with_retry`] but returns a tracked
+    /// [`Ticket`] instead of blocking — the submission shape the
+    /// durable writeback protocol needs, since it must learn each
+    /// write's exact completion time at crash resolution. Same retry,
+    /// backoff, and backpressure behaviour; a power loss latches the
+    /// crash and surfaces immediately (not retryable).
+    fn submit_tracked_with_retry(
+        &mut self,
+        disk: usize,
+        req: Request,
+        vpage: u64,
+    ) -> Result<Ticket, OsError> {
+        let mut attempts: u32 = 1;
+        let mut waited: Ns = 0;
+        let mut backoff = self.params.io_backoff_base_ns.max(1);
+        loop {
+            match self.disks.try_track(disk, self.now, req) {
+                Ok(ticket) => return Ok(ticket),
+                Err(e @ (IoError::EmptyRequest | IoError::OutOfRange { .. })) => {
+                    return Err(OsError::Io(e));
+                }
+                Err(IoError::Crashed { at }) => {
+                    self.crashed = Some(at);
+                    return Err(OsError::Crashed { at });
+                }
+                Err(IoError::QueueFull { retry_at, disk: d }) => {
+                    let wait = retry_at.saturating_sub(self.now).max(1);
+                    self.charge(TimeCategory::Idle, wait);
+                    self.stats.queue_full_waits += 1;
+                    self.stats.queue_full_wait_ns += wait;
+                    if let Some(mx) = &mut self.metrics {
+                        mx.queue_wait.record(wait);
+                    }
+                    self.trace_event(TraceEvent::QueueFullWait {
+                        page: vpage,
+                        disk: d,
+                        wait,
+                    });
+                }
+                Err(e) => {
+                    self.stats.io_errors_observed += 1;
+                    self.trace_event(TraceEvent::IoError {
+                        page: Some(vpage),
+                        disk,
+                    });
+                    let wait = match e {
+                        IoError::Brownout { until, .. } => {
+                            until.saturating_sub(self.now).max(backoff)
+                        }
+                        _ => backoff,
+                    };
+                    if attempts > self.params.io_max_retries
+                        || waited.saturating_add(wait) > self.params.io_retry_budget_ns
+                    {
+                        return Err(OsError::RetriesExhausted {
+                            last: e,
+                            attempts,
+                            waited_ns: waited,
+                            page: vpage,
+                        });
+                    }
+                    self.charge(TimeCategory::Idle, wait);
+                    self.stats.io_retries += 1;
+                    self.stats.io_retry_wait_ns += wait;
+                    self.trace_event(TraceEvent::IoRetry { page: vpage, wait });
+                    waited += wait;
+                    backoff = backoff.saturating_mul(2);
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Snapshot the current in-memory image of `vpage` (the bytes a
+    /// writeback would persist).
+    fn page_image(&self, vpage: u64) -> Vec<u8> {
+        let start = (vpage * self.params.page_bytes) as usize;
+        self.data[start..start + self.params.page_bytes as usize].to_vec()
+    }
+
     /// Schedule a write-back of `vpage`'s current contents.
     ///
     /// Failures are retried with backoff; if retries exhaust, the
-    /// write-back is abandoned and counted — the simulator's backing
-    /// store is authoritative, so abandonment affects the durability
-    /// ledger, never the computed results.
+    /// write-back is abandoned, counted, and the page recorded for
+    /// [`Machine::try_finish`]'s [`FlushError`] — the simulator's
+    /// backing store is authoritative, so abandonment affects the
+    /// durability ledger, never the computed results. In durability
+    /// mode the write goes through the write-ahead journal (or, with
+    /// the journal disabled, as a bare tracked write), so crash
+    /// resolution can decide exactly what landed.
     fn writeback(&mut self, vpage: u64) {
+        if self.crashed.is_some() {
+            // Power is out: the write can never happen.
+            self.stats.writebacks_abandoned += 1;
+            self.flush_failures.push(vpage);
+            return;
+        }
         let (disk, block) = self
             .fs
             .place(self.swap, vpage)
             .expect("resident page must have backing blocks");
+        if self.durable.is_some() {
+            self.ensure_durable_snapshot();
+            let payload = self.page_image(vpage);
+            if self.journal.is_some() {
+                self.writeback_journaled(vpage, disk, block, payload);
+            } else {
+                self.writeback_plain(vpage, disk, block, payload);
+            }
+            return;
+        }
         match self.submit_with_retry(disk, Request::new(ReqKind::Write, block, 1), vpage) {
             Ok(_) => {
                 self.stats.writebacks += 1;
@@ -655,8 +915,132 @@ impl Machine {
             }
             Err(_) => {
                 self.stats.writebacks_abandoned += 1;
+                self.flush_failures.push(vpage);
             }
         }
+    }
+
+    /// The WAL commit protocol for one writeback. All four writes are
+    /// issued up front on the page's disk; ordering is enforced
+    /// *logically* by effective completion times (each stage's
+    /// effective time is the max of its own completion and the prior
+    /// stage's), which models a per-disk write barrier without
+    /// serializing the physical queue:
+    ///
+    /// 1. descriptor + payload into the journal slot  (seal),
+    /// 2. the in-place data write to the home block   (apply),
+    /// 3. the descriptor rewritten with its commit mark (commit).
+    fn writeback_journaled(&mut self, vpage: u64, disk: usize, block: u64, payload: Vec<u8>) {
+        let slot = loop {
+            let j = self.journal.as_mut().expect("journaled writeback");
+            match j.reserve(disk) {
+                Some(slot) => break slot,
+                None => {
+                    if !self.force_retire_oldest(disk) {
+                        self.stats.writebacks_abandoned += 1;
+                        self.flush_failures.push(vpage);
+                        return;
+                    }
+                }
+            }
+        };
+        self.stats.journal_appends += 1;
+        let issue = |m: &mut Self, b: u64| {
+            m.submit_tracked_with_retry(disk, Request::new(ReqKind::Write, b, 1), vpage)
+                .ok()
+        };
+        let desc = issue(self, slot.desc_block);
+        let pay = issue(self, slot.payload_block);
+        let data = issue(self, block);
+        let commit = issue(self, slot.desc_block);
+        let complete = desc.is_some() && pay.is_some() && data.is_some() && commit.is_some();
+        self.wal_pending.push(WalRecord {
+            seq: slot.seq,
+            disk,
+            vpage,
+            payload,
+            desc,
+            pay,
+            data,
+            commit,
+        });
+        if complete {
+            self.stats.writebacks += 1;
+            self.trace_event(TraceEvent::Writeback { page: vpage });
+        } else if self.crashed.is_none() {
+            // Retries exhausted mid-protocol with the power still on:
+            // the update may never land, so report it as unflushed.
+            self.stats.writebacks_abandoned += 1;
+            self.flush_failures.push(vpage);
+        }
+    }
+
+    /// Durable writeback without WAL protection: one bare tracked
+    /// write. A crash catching it mid-air can tear the home block with
+    /// no payload to repair from — the unrecoverable case.
+    fn writeback_plain(&mut self, vpage: u64, disk: usize, block: u64, payload: Vec<u8>) {
+        match self.submit_tracked_with_retry(disk, Request::new(ReqKind::Write, block, 1), vpage) {
+            Ok(data) => {
+                self.stats.writebacks += 1;
+                self.trace_event(TraceEvent::Writeback { page: vpage });
+                self.plain_pending.push(PlainWrite {
+                    vpage,
+                    payload,
+                    data,
+                });
+            }
+            Err(OsError::Crashed { .. }) => {
+                // Never accepted: the home block keeps the old image;
+                // the update is simply lost.
+                self.crash_discarded.push(vpage);
+                self.flush_failures.push(vpage);
+            }
+            Err(_) => {
+                self.stats.writebacks_abandoned += 1;
+                self.flush_failures.push(vpage);
+            }
+        }
+    }
+
+    /// Synchronously make the oldest journal record on `disk` durable
+    /// and reclaim its slot (the ring is full). Returns `false` if
+    /// there is nothing to retire.
+    fn force_retire_oldest(&mut self, disk: usize) -> bool {
+        let Some(seq) = self.journal.as_ref().and_then(|j| j.oldest_live(disk)) else {
+            return false;
+        };
+        let Some(idx) = self
+            .wal_pending
+            .iter()
+            .position(|r| r.disk == disk && r.seq == seq)
+        else {
+            // Already resolved elsewhere; just reclaim the slot.
+            self.journal.as_mut().expect("journal").retire(disk, seq);
+            return true;
+        };
+        let rec = self.wal_pending.remove(idx);
+        let done = [rec.desc, rec.pay, rec.data, rec.commit]
+            .into_iter()
+            .flatten()
+            .map(|t| self.disks.wait_for(t))
+            .max()
+            .unwrap_or(self.now);
+        self.stall_until(done);
+        self.stats.journal_stalls += 1;
+        if rec.data.is_some() {
+            if let Some(d) = &mut self.durable {
+                d.write_page(rec.vpage, &rec.payload);
+            }
+        }
+        self.journal.as_mut().expect("journal").retire(disk, seq);
+        self.wal_durable.push(DurableRecord {
+            seq: rec.seq,
+            disk: rec.disk,
+            vpage: rec.vpage,
+            payload: rec.payload,
+            committed: true,
+        });
+        true
     }
 
     /// Move a resident page to the free list (daemon eviction path).
@@ -787,11 +1171,23 @@ impl Machine {
     /// retried later.
     pub fn try_touch(&mut self, addr: u64, len: u64, write: bool) -> Result<u64, OsError> {
         debug_assert!(!self.finished, "touch after finish()");
-        if !self.pressure.is_empty() {
-            self.apply_pressure();
+        if self.durable.is_some() {
+            self.ensure_durable_snapshot();
         }
         let first = self.page_of(addr);
         let last = self.page_of(addr + len.max(1) - 1);
+        if self.crashed.is_some() {
+            // Zombie mode: the power is out, so there is no disk and no
+            // time — serve from the in-memory image so the interpreter
+            // can run to completion and the harness can recover.
+            for vpage in first..=last {
+                self.touch_page_crashed(vpage, write);
+            }
+            return Ok(0);
+        }
+        if !self.pressure.is_empty() {
+            self.apply_pressure();
+        }
         let mut faults = 0;
         for vpage in first..=last {
             if self.touch_page(vpage, write)? {
@@ -799,6 +1195,34 @@ impl Machine {
             }
         }
         Ok(faults)
+    }
+
+    /// Post-crash page touch: pure metadata bookkeeping, no disk, no
+    /// time, no fault statistics. Keeps frame counters consistent so a
+    /// later [`Machine::recover`] starts from sane accounting.
+    fn touch_page_crashed(&mut self, vpage: u64, write: bool) {
+        let page = self.pages[vpage as usize];
+        match page.state {
+            PageState::Resident {
+                on_free_list: true, ..
+            } => self.reclaimable -= 1,
+            PageState::Resident { .. } => {}
+            PageState::InFlight { .. } => {
+                self.inflight -= 1;
+                self.resident += 1;
+            }
+            PageState::Unmapped => self.resident += 1,
+        }
+        let dirty = matches!(page.state, PageState::Resident { dirty: true, .. });
+        let p = &mut self.pages[vpage as usize];
+        p.state = PageState::Resident {
+            dirty: dirty || write,
+            referenced: true,
+            on_free_list: false,
+        };
+        p.touched = true;
+        p.prefetch_tag = false;
+        p.span = 0;
     }
 
     /// Touch one page; returns whether it hard-faulted (stalled on disk).
@@ -937,11 +1361,31 @@ impl Machine {
                 }
                 self.alloc_frame_demand()?;
                 let (disk, block) = self.fs.place(self.swap, vpage).map_err(OsError::Fs)?;
-                let done = self.submit_with_retry(
+                let done = match self.submit_with_retry(
                     disk,
                     Request::new(ReqKind::DemandRead, block, 1),
                     vpage,
-                )?;
+                ) {
+                    Ok(done) => done,
+                    Err(OsError::Crashed { .. }) => {
+                        // The power died under this very fault. Serve it
+                        // zombie-style (the in-memory image is still
+                        // authoritative for the interpreter) so `touch`
+                        // callers do not panic mid-kernel.
+                        let p = &mut self.pages[vpage as usize];
+                        p.state = PageState::Resident {
+                            dirty: write,
+                            referenced: true,
+                            on_free_list: false,
+                        };
+                        p.touched = true;
+                        p.prefetch_tag = false;
+                        p.span = 0;
+                        self.resident += 1;
+                        return Ok(true);
+                    }
+                    Err(e) => return Err(e),
+                };
                 let waited = self.stall_until(done);
                 self.stats.fault_wait.push(waited as f64);
                 if let Some(mx) = &mut self.metrics {
@@ -991,6 +1435,13 @@ impl Machine {
 
     fn hint_call(&mut self, prefetch: Option<(u64, u64)>, release: Option<(u64, u64)>) {
         debug_assert!(!self.finished, "hint after finish()");
+        if self.durable.is_some() {
+            self.ensure_durable_snapshot();
+        }
+        if self.crashed.is_some() {
+            // Hints are advice; a dead machine takes none.
+            return;
+        }
         if !self.pressure.is_empty() {
             self.apply_pressure();
         }
@@ -1162,6 +1613,24 @@ impl Machine {
                             self.stats.hints_dropped_queue_full += 1;
                         }
                     }
+                    Err(IoError::Crashed { at }) => {
+                        // Power loss caught by a prefetch submission:
+                        // latch the crash and drop the hint silently
+                        // (zombie mode takes over from here).
+                        self.crashed = Some(at);
+                        for i in 0..run.nblocks {
+                            let vpage = first + i * n;
+                            debug_assert!(matches!(
+                                self.pages[vpage as usize].state,
+                                PageState::Unmapped
+                            ));
+                            self.inflight -= 1;
+                            self.bit_out(vpage);
+                            self.pages[vpage as usize].span = 0;
+                            self.stats.prefetch_pages_issued -= 1;
+                            self.stats.prefetch_pages_dropped += 1;
+                        }
+                    }
                     Err(_) => {
                         // Prefetches are hints: no retry, no surfaced
                         // error. Revert the pages to dropped-hint
@@ -1321,12 +1790,39 @@ impl Machine {
 
     /// End the run: flush dirty pages and (by default) stall until the
     /// disks drain, mirroring the paper's applications writing their
-    /// results back to disk.
+    /// results back to disk. Flush failures are swallowed; callers who
+    /// care about durability use [`Machine::try_finish`].
     pub fn finish(&mut self) {
-        if self.finished {
-            return;
+        let _ = self.try_finish();
+    }
+
+    /// Like [`Machine::finish`], but reports every dirty page whose
+    /// final contents did not durably reach the disks — write-backs
+    /// abandoned after exhausted retries, and everything cut off by a
+    /// simulated power loss — as a typed [`FlushError`] instead of
+    /// dropping the information. Idempotent: a second call returns the
+    /// same verdict without redoing any work.
+    pub fn try_finish(&mut self) -> Result<(), FlushError> {
+        if !self.finished {
+            self.finished = true;
+            if self.crashed.is_some() {
+                self.finish_crashed();
+            } else {
+                self.finish_clean();
+            }
+            self.flush_failures.sort_unstable();
+            self.flush_failures.dedup();
         }
-        self.finished = true;
+        if self.flush_failures.is_empty() {
+            Ok(())
+        } else {
+            Err(FlushError {
+                vpages: self.flush_failures.clone(),
+            })
+        }
+    }
+
+    fn finish_clean(&mut self) {
         for vpage in 0..self.total_pages() {
             self.settle(vpage);
             if let PageState::Resident { dirty: true, .. } = self.pages[vpage as usize].state {
@@ -1345,10 +1841,17 @@ impl Machine {
                 }
             }
         }
+        // The final flush itself can be the submission that trips the
+        // crash point: hand over to the crashed path if it did.
+        if self.crashed.is_some() {
+            self.finish_crashed();
+            return;
+        }
         // Dispatch everything still queued regardless of the stall
         // policy, so busy-time/utilization stats cover all accepted
         // work; only the *stall* is optional.
         let drain = self.disks.drain_all();
+        self.settle_pending_durable(drain);
         if self.params.drain_at_exit {
             self.stall_until(drain);
             // Everything has completed: settle stragglers so frame
@@ -1363,6 +1866,364 @@ impl Machine {
             mx.ledger.finalize();
         }
         self.note_free_level();
+    }
+
+    fn finish_crashed(&mut self) {
+        self.resolve_crash();
+        // Every page still dirty in memory never made it to disk.
+        for vpage in 0..self.total_pages() {
+            if let PageState::Resident { dirty: true, .. } = self.pages[vpage as usize].state {
+                self.flush_failures.push(vpage);
+            }
+        }
+        if let Some(mx) = &mut self.metrics {
+            mx.ledger.finalize();
+        }
+        self.note_free_level();
+    }
+
+    /// Power stayed on to the end: every accepted durable write lands
+    /// in full. Apply them to the durable store in issue order and
+    /// retire their journal slots.
+    fn settle_pending_durable(&mut self, drain: Ns) {
+        if self.durable.is_none() {
+            return;
+        }
+        for rec in std::mem::take(&mut self.wal_pending) {
+            for t in [rec.desc, rec.pay, rec.data, rec.commit]
+                .into_iter()
+                .flatten()
+            {
+                let _ = self.disks.poll(t, drain);
+            }
+            if rec.data.is_some() {
+                if let Some(d) = &mut self.durable {
+                    d.write_page(rec.vpage, &rec.payload);
+                }
+            }
+            if let Some(j) = &mut self.journal {
+                j.retire(rec.disk, rec.seq);
+            }
+            // Keep the committed record as scrubber repair state (the
+            // simulator's stand-in for the journal's retired history).
+            self.wal_durable.push(DurableRecord {
+                seq: rec.seq,
+                disk: rec.disk,
+                vpage: rec.vpage,
+                payload: rec.payload,
+                committed: true,
+            });
+        }
+        for w in std::mem::take(&mut self.plain_pending) {
+            let _ = self.disks.poll(w.data, drain);
+            if let Some(d) = &mut self.durable {
+                d.write_page(w.vpage, &w.payload);
+            }
+        }
+    }
+
+    /// Freeze the in-flight writes into durable on-media state as of
+    /// the power loss. Deferred (and idempotent) so submission paths
+    /// only have to latch the crash; the heavy classification runs once,
+    /// from [`Machine::try_finish`] or [`Machine::recover`].
+    ///
+    /// The per-disk write barrier makes each protocol stage's
+    /// *effective* completion the max of its own completion and the
+    /// prior stage's, so classification reduces to comparing effective
+    /// times against the crash instant `T`:
+    ///
+    /// * seal after `T` — the intent never became durable; the home
+    ///   block kept its old image (barrier): the update is discarded.
+    /// * seal at/before `T`, data write still in flight — the home
+    ///   block may be torn; the sealed journal payload can repair it.
+    /// * data write done by `T` — the new image is durable.
+    fn resolve_crash(&mut self) {
+        let Some(t_crash) = self.crashed else {
+            return;
+        };
+        if self.crash_resolved {
+            return;
+        }
+        self.crash_resolved = true;
+        let drain = self.disks.drain_all();
+        let per_page = self.params.page_bytes / SECTOR_BYTES;
+        let poll = |disks: &mut DiskArray, t: Option<Ticket>| -> Ns {
+            t.and_then(|t| disks.poll(t, drain)).unwrap_or(Ns::MAX)
+        };
+        for rec in std::mem::take(&mut self.wal_pending) {
+            let desc_done = poll(&mut self.disks, rec.desc);
+            let pay_done = poll(&mut self.disks, rec.pay);
+            let data_done = poll(&mut self.disks, rec.data);
+            let commit_done = poll(&mut self.disks, rec.commit);
+            let sealed_eff = desc_done.max(pay_done);
+            let applied_eff = data_done.max(sealed_eff);
+            let committed_eff = commit_done.max(applied_eff);
+            if sealed_eff > t_crash {
+                // Intent never sealed: the barrier kept the home block's
+                // old image intact. The update is simply lost.
+                self.crash_discarded.push(rec.vpage);
+                self.flush_failures.push(rec.vpage);
+                continue;
+            }
+            if applied_eff <= t_crash {
+                // Data durably landed before the lights went out.
+                if let Some(d) = &mut self.durable {
+                    d.write_page(rec.vpage, &rec.payload);
+                }
+            } else if self.torn_writes {
+                // The data write was caught mid-air: an arbitrary
+                // sector prefix landed (possibly none, possibly all).
+                let k = self
+                    .crash_rng
+                    .as_mut()
+                    .expect("torn writes need the crash rng")
+                    .next_below(per_page + 1);
+                if let Some(d) = &mut self.durable {
+                    d.tear_page(rec.vpage, &rec.payload, k);
+                }
+            }
+            // Either way the sealed record is what a recovery scan of
+            // the rings will find.
+            self.wal_durable.push(DurableRecord {
+                seq: rec.seq,
+                disk: rec.disk,
+                vpage: rec.vpage,
+                payload: rec.payload,
+                committed: committed_eff <= t_crash,
+            });
+        }
+        for w in std::mem::take(&mut self.plain_pending) {
+            let done = self.disks.poll(w.data, drain).unwrap_or(Ns::MAX);
+            if done <= t_crash {
+                if let Some(d) = &mut self.durable {
+                    d.write_page(w.vpage, &w.payload);
+                }
+                continue;
+            }
+            let mut landed_fully = false;
+            if self.torn_writes {
+                let k = self
+                    .crash_rng
+                    .as_mut()
+                    .expect("torn writes need the crash rng")
+                    .next_below(per_page + 1);
+                landed_fully = k >= per_page;
+                if let Some(d) = &mut self.durable {
+                    d.tear_page(w.vpage, &w.payload, k);
+                }
+            }
+            if !landed_fully {
+                self.crash_discarded.push(w.vpage);
+                self.flush_failures.push(w.vpage);
+            }
+        }
+    }
+
+    /// Recover from a simulated power loss: scan the journal rings,
+    /// replay committed-but-unapplied intents, discard torn and
+    /// uncommitted updates (falling back to the last durable version),
+    /// verify every page's stored checksum, resync the residency bit
+    /// vector, and hand back a clean machine whose memory image is
+    /// exactly the durable state. Consumes the crashed machine.
+    ///
+    /// On a machine that never crashed this is a no-op returning `self`
+    /// and a default report.
+    pub fn recover(mut self) -> (Machine, RecoveryReport) {
+        let Some(t_crash) = self.crashed else {
+            return (self, RecoveryReport::default());
+        };
+        self.resolve_crash();
+        let mut durable = self.durable.take().expect("crash implies durability mode");
+        let wal_durable = std::mem::take(&mut self.wal_durable);
+        let discarded = std::mem::take(&mut self.crash_discarded);
+        let total = self.total_pages();
+        let mut report = RecoveryReport {
+            crashed_at: t_crash,
+            scanned_records: wal_durable.len() as u64,
+            pages_discarded: discarded.len() as u64,
+            ..RecoveryReport::default()
+        };
+
+        // A fresh machine: same geometry, same (deterministic) swap
+        // layout, clock restarted at zero — the reboot.
+        let mut m = Machine::try_new(self.params, total * self.params.page_bytes)
+            .expect("the crashed machine's geometry was valid");
+        if self.params.journal {
+            m.journal = Some(
+                WriteJournal::create(&mut m.fs, self.params.journal_blocks_per_disk)
+                    .expect("journal fit before the crash, so it fits now"),
+            );
+        }
+
+        // Phase 1: sequential scan of every journal ring (one read per
+        // disk covering the whole ring extent).
+        if let Some(j) = &m.journal {
+            let mut done = 0;
+            for d in 0..m.fs.ndisks() {
+                let ext = j.extent(d);
+                if let Ok(t) = m.disks.try_submit(
+                    d,
+                    m.now,
+                    Request::new(ReqKind::DemandRead, ext.start, ext.len),
+                ) {
+                    done = done.max(t);
+                }
+            }
+            m.stall_until(done);
+        }
+
+        // Phase 2: replay. Uncommitted sealed records must be replayed
+        // (their data write may or may not have landed — the journal
+        // payload is authoritative either way); committed records are
+        // guaranteed applied and only need replay if verification says
+        // otherwise (it never does — this is an invariant, not a
+        // branch we expect to take).
+        let mut replay_done = m.now;
+        for rec in &wal_durable {
+            if !durable.verify(rec.vpage) {
+                report.torn_detected += 1;
+            }
+            if !rec.committed || !durable.verify(rec.vpage) {
+                durable.write_page(rec.vpage, &rec.payload);
+                report.pages_replayed += 1;
+                if let Ok((disk, block)) = m.fs.place(m.swap, rec.vpage) {
+                    if let Ok(t) =
+                        m.disks
+                            .try_submit(disk, m.now, Request::new(ReqKind::Write, block, 1))
+                    {
+                        replay_done = replay_done.max(t);
+                    }
+                }
+            }
+        }
+        m.stall_until(replay_done);
+
+        // Phase 3: full-surface verification sweep (one sequential read
+        // per disk over the swap area), catching torn home blocks that
+        // had no journal record — with the journal disabled, or plain
+        // writes torn mid-air. No payload to repair from makes the page
+        // unrecoverable: it reverts to whatever the torn image holds.
+        let mut scan_done = m.now;
+        let ndisks = m.fs.ndisks() as u64;
+        for d in 0..m.fs.ndisks() {
+            let pages_on_disk = (total.saturating_sub(d as u64)).div_ceil(ndisks);
+            if pages_on_disk == 0 {
+                continue;
+            }
+            if let Ok((disk, block)) = m.fs.place(m.swap, d as u64) {
+                if let Ok(t) = m.disks.try_submit(
+                    disk,
+                    m.now,
+                    Request::new(ReqKind::DemandRead, block, pages_on_disk),
+                ) {
+                    scan_done = scan_done.max(t);
+                }
+            }
+        }
+        m.stall_until(scan_done);
+        for vpage in 0..total {
+            if durable.verify(vpage) {
+                continue;
+            }
+            report.torn_detected += 1;
+            // Last committed journal payload for this page, if any.
+            if let Some(rec) = wal_durable.iter().rev().find(|r| r.vpage == vpage) {
+                durable.write_page(vpage, &rec.payload);
+                report.pages_replayed += 1;
+            } else {
+                report.unrecoverable += 1;
+                report.unrecoverable_pages.push(vpage);
+            }
+        }
+
+        // Adopt the durable image as the reborn machine's memory state.
+        m.data.copy_from_slice(durable.images());
+        m.resync_bits();
+        report.recovery_ns = m.now();
+        m.stats.recovery_pages_replayed = report.pages_replayed;
+        m.stats.recovery_pages_discarded = report.pages_discarded;
+        m.stats.recovery_torn_detected = report.torn_detected;
+        m.stats.recovery_unrecoverable = report.unrecoverable;
+        m.stats.recovery_ns = report.recovery_ns;
+        // The recovered machine keeps durability tracking (it has a
+        // durable store with a settled baseline) but no scheduled
+        // crash: the re-run is an ordinary one.
+        m.durable = Some(durable);
+        m.wal_durable = wal_durable;
+        (m, report)
+    }
+
+    /// Background scrubber: verify the stored checksums of up to
+    /// `max_pages` cold (unmapped) pages against the durable store and
+    /// repair any corruption from committed journal state. Returns
+    /// `(verified, repaired)`. A no-op outside durability mode or after
+    /// a crash.
+    pub fn scrub(&mut self, max_pages: u64) -> (u64, u64) {
+        if self.crashed.is_some() || self.durable.is_none() {
+            return (0, 0);
+        }
+        self.ensure_durable_snapshot();
+        let (mut verified, mut repaired) = (0, 0);
+        for vpage in 0..self.total_pages() {
+            if verified >= max_pages {
+                break;
+            }
+            if !matches!(self.pages[vpage as usize].state, PageState::Unmapped) {
+                continue;
+            }
+            // Model the verification read; the scrubber runs in the
+            // background, so nothing stalls on it.
+            if let Ok((disk, block)) = self.fs.place(self.swap, vpage) {
+                let _ = self.disks.try_post(
+                    disk,
+                    self.now,
+                    Request::new(ReqKind::DemandRead, block, 1),
+                );
+            }
+            verified += 1;
+            let ok = self
+                .durable
+                .as_ref()
+                .map(|d| d.verify(vpage))
+                .unwrap_or(true);
+            if ok {
+                continue;
+            }
+            if let Some(rec) = self
+                .wal_durable
+                .iter()
+                .rev()
+                .find(|r| r.vpage == vpage && r.committed)
+            {
+                let payload = rec.payload.clone();
+                if let Some(d) = &mut self.durable {
+                    d.write_page(vpage, &payload);
+                }
+                if let Ok((disk, block)) = self.fs.place(self.swap, vpage) {
+                    let _ =
+                        self.disks
+                            .try_post(disk, self.now, Request::new(ReqKind::Write, block, 1));
+                }
+                repaired += 1;
+            }
+        }
+        self.stats.scrub_pages_verified += verified;
+        self.stats.scrub_pages_repaired += repaired;
+        (verified, repaired)
+    }
+
+    /// Test hook: flip bits in a durable page image without updating
+    /// its stored checksum (latent media corruption for scrubber
+    /// tests). Returns `false` outside durability mode.
+    pub fn corrupt_durable_page(&mut self, vpage: u64) -> bool {
+        self.ensure_durable_snapshot();
+        match &mut self.durable {
+            Some(d) => {
+                d.corrupt(vpage);
+                true
+            }
+            None => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2113,5 +2974,225 @@ mod tests {
         m.tick_user(oocp_sim::time::SECOND);
         m.note_free_level();
         assert!(m.avg_free_frames() < initial.max(32.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Crash consistency
+    // ------------------------------------------------------------------
+
+    use oocp_disk::{CrashPoint, CrashSpec};
+
+    fn crash_plan(seed: u64, point: CrashPoint, torn: bool) -> FaultPlan {
+        FaultPlan::none(seed).with_crash(CrashSpec {
+            point,
+            torn_writes: torn,
+        })
+    }
+
+    #[test]
+    fn crash_latches_and_the_zombie_run_completes() {
+        let mut m = tiny();
+        m.set_fault_plan(&crash_plan(5, CrashPoint::AtOp(10), false));
+        for p in 0..64u64 {
+            m.store_f64(p * 4096, p as f64);
+        }
+        assert!(m.crashed_at().is_some(), "the 10th disk op tripped it");
+        for p in 0..64u64 {
+            assert_eq!(m.peek_f64(p * 4096), p as f64, "zombie served store {p}");
+        }
+        let err = m.try_finish().unwrap_err();
+        assert!(!err.vpages.is_empty(), "dirty pages were cut off");
+        assert!(
+            err.vpages.windows(2).all(|w| w[0] < w[1]),
+            "sorted and deduplicated"
+        );
+        // Idempotent: a second call reports the same verdict.
+        assert_eq!(m.try_finish().unwrap_err(), err);
+    }
+
+    #[test]
+    fn crash_during_prefetch_submission_drops_the_hint_and_latches() {
+        let mut m = tiny();
+        m.set_fault_plan(&crash_plan(6, CrashPoint::AtOp(2), false));
+        m.touch(0, 8, false); // op 1
+        m.sys_prefetch(8, 4); // one of these submissions trips the crash
+        assert!(m.crashed_at().is_some());
+        // Zombie mode: everything still "works", data intact.
+        for p in 0..16u64 {
+            m.store_f64(p * 4096, 3.0 * p as f64);
+        }
+        for p in 0..16u64 {
+            assert_eq!(m.peek_f64(p * 4096), 3.0 * p as f64);
+        }
+    }
+
+    #[test]
+    fn recovery_after_torn_crash_is_exact_with_the_journal() {
+        let mut m = tiny();
+        // Op 100 lands among the eviction writebacks, so WAL records
+        // are genuinely in flight when the power dies.
+        m.set_fault_plan(&crash_plan(7, CrashPoint::AtOp(100), true));
+        for p in 0..64u64 {
+            m.store_f64(p * 4096, 100.0 + p as f64);
+        }
+        m.finish();
+        let (m2, report) = m.recover();
+        assert!(report.crashed_at > 0);
+        assert_eq!(
+            report.unrecoverable, 0,
+            "the journal makes every page recoverable: {report:?}"
+        );
+        for p in 0..64u64 {
+            let v = m2.peek_f64(p * 4096);
+            assert!(
+                v == 0.0 || v == 100.0 + p as f64,
+                "page {p} must hold its old or new image, got {v}"
+            );
+        }
+        assert_eq!(m2.stats().recovery_pages_replayed, report.pages_replayed);
+        assert_eq!(m2.stats().recovery_pages_discarded, report.pages_discarded);
+        assert_eq!(m2.stats().recovery_ns, report.recovery_ns);
+        assert!(m2.now() > 0, "recovery consumed simulated time");
+        assert!(m2.crashed_at().is_none(), "the recovered machine is clean");
+        assert!(m2.durability_enabled());
+    }
+
+    #[test]
+    fn recovery_of_an_uncrashed_machine_is_a_no_op() {
+        let mut m = tiny();
+        m.store_f64(0, 4.5);
+        let (m2, report) = m.recover();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(m2.peek_f64(0), 4.5);
+    }
+
+    #[test]
+    fn torn_writes_without_a_journal_lose_data() {
+        let mut p = MachineParams::small();
+        p.resident_limit = 32;
+        p.demand_reserve = 2;
+        p.low_water = 4;
+        p.high_water = 8;
+        p.journal = false;
+        let mut m = Machine::new(p, 64 * 4096);
+        m.set_fault_plan(&crash_plan(21, CrashPoint::AtOp(100), true));
+        for page in 0..64u64 {
+            m.store_f64(page * 4096, 7.0 + page as f64);
+        }
+        m.finish();
+        let (_, report) = m.recover();
+        assert!(report.torn_detected > 0, "a torn home block was found");
+        assert!(
+            report.unrecoverable > 0,
+            "without WAL there is no payload to repair from: {report:?}"
+        );
+        assert_eq!(
+            report.unrecoverable_pages.len() as u64,
+            report.unrecoverable
+        );
+    }
+
+    #[test]
+    fn full_journal_ring_stalls_and_retires_in_order() {
+        let mut p = MachineParams::small();
+        p.resident_limit = 32;
+        p.demand_reserve = 2;
+        p.low_water = 4;
+        p.high_water = 8;
+        p.journal_blocks_per_disk = 2; // one record slot per disk
+        let mut m = Machine::new(p, 64 * 4096);
+        // Durability mode with a crash point that never trips.
+        m.set_fault_plan(&crash_plan(3, CrashPoint::AtOp(u64::MAX), false));
+        for page in 0..64u64 {
+            m.store_f64(page * 4096, page as f64);
+        }
+        m.try_finish().expect("no crash fires, everything flushes");
+        let s = *m.stats();
+        assert!(s.journal_appends > 0);
+        assert!(s.journal_stalls > 0, "1-slot rings must force retirement");
+    }
+
+    #[test]
+    fn crash_at_time_zero_discards_everything_but_recovers_the_baseline() {
+        let mut m = tiny();
+        m.set_fault_plan(&crash_plan(13, CrashPoint::AtTime(0), false));
+        for p in 0..8u64 {
+            m.store_f64(p * 4096, 9.0);
+        }
+        assert_eq!(m.crashed_at(), Some(0));
+        m.finish();
+        let (m2, report) = m.recover();
+        assert_eq!(report.unrecoverable, 0);
+        for p in 0..8u64 {
+            assert_eq!(m2.peek_f64(p * 4096), 0.0, "baseline image restored");
+        }
+    }
+
+    #[test]
+    fn scrubber_detects_and_repairs_latent_corruption() {
+        let mut m = tiny();
+        m.set_fault_plan(&crash_plan(9, CrashPoint::AtOp(u64::MAX), false));
+        for page in 0..64u64 {
+            m.store_f64(page * 4096, page as f64);
+        }
+        m.try_finish().expect("clean durable run");
+        for page in 0..64u64 {
+            assert!(m.corrupt_durable_page(page));
+        }
+        let (verified, repaired) = m.scrub(u64::MAX);
+        assert!(verified > 0, "cold pages were verified");
+        assert!(repaired > 0, "journal state repaired corrupt pages");
+        assert_eq!(m.stats().scrub_pages_verified, verified);
+        assert_eq!(m.stats().scrub_pages_repaired, repaired);
+    }
+
+    #[test]
+    fn pressure_storm_from_edge_is_inclusive_and_zero_length_nets_out() {
+        // A storm whose window is [from, until): the limit lands at
+        // `from` itself (inclusive) ...
+        let mut m = tiny();
+        m.set_fault_plan(
+            &FaultPlan::none(1).with_pressure_storm(oocp_disk::PressureStorm {
+                from: 0,
+                until: Ns::MAX,
+                limit_frames: 16,
+            }),
+        );
+        assert_eq!(m.params().resident_limit, 16, "limit applies at t == from");
+        // ... and a zero-length storm nets out to the restore (the
+        // restore entry is sorted stably after the limit entry).
+        let mut m2 = tiny();
+        m2.set_fault_plan(
+            &FaultPlan::none(1).with_pressure_storm(oocp_disk::PressureStorm {
+                from: 0,
+                until: 0,
+                limit_frames: 16,
+            }),
+        );
+        assert_eq!(
+            m2.params().resident_limit,
+            32,
+            "zero-length storm has no lasting effect"
+        );
+    }
+
+    #[test]
+    fn pressure_storm_restores_at_until() {
+        let mut m = tiny();
+        m.set_fault_plan(
+            &FaultPlan::none(1).with_pressure_storm(oocp_disk::PressureStorm {
+                from: 500,
+                until: 1000,
+                limit_frames: 16,
+            }),
+        );
+        assert_eq!(m.params().resident_limit, 32, "before the storm");
+        m.tick_user(500); // now == from: inclusive edge
+        m.touch(0, 8, false);
+        assert_eq!(m.params().resident_limit, 16, "inside the window");
+        // The fault above pushed `now` far past `until`; the next
+        // hint/touch applies the restore entry.
+        m.touch(4096, 8, false);
+        assert_eq!(m.params().resident_limit, 32, "restored at t >= until");
     }
 }

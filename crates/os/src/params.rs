@@ -56,6 +56,14 @@ pub struct MachineParams {
     /// Total time one request may spend waiting between retries before
     /// the error surfaces regardless of the retry count.
     pub io_retry_budget_ns: Ns,
+    /// Whether dirty-page writebacks go through the write-ahead journal
+    /// when the machine runs in durability mode (a crash is scheduled).
+    /// Disabling it is how the negative CI gate proves a torn write
+    /// without WAL protection loses data. Fault-free runs never
+    /// journal regardless, so the default timings are unaffected.
+    pub journal: bool,
+    /// Journal ring size per disk, in blocks (two blocks per record).
+    pub journal_blocks_per_disk: u64,
 }
 
 impl MachineParams {
@@ -87,6 +95,8 @@ impl MachineParams {
             io_max_retries: 6,
             io_backoff_base_ns: 2 * MILLISECOND,
             io_retry_budget_ns: 2000 * MILLISECOND,
+            journal: true,
+            journal_blocks_per_disk: 64,
         }
     }
 
@@ -112,6 +122,8 @@ impl MachineParams {
             io_max_retries: 6,
             io_backoff_base_ns: 100 * MICROSECOND,
             io_retry_budget_ns: 500 * MILLISECOND,
+            journal: true,
+            journal_blocks_per_disk: 64,
         }
     }
 
@@ -194,6 +206,10 @@ impl MachineParams {
         assert_eq!(
             self.disk.block_bytes, self.page_bytes,
             "disk block size must equal the page size"
+        );
+        assert!(
+            !self.journal || self.journal_blocks_per_disk >= 2,
+            "journal needs at least one two-block record slot per disk"
         );
         self.sched.validate();
     }

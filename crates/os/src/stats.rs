@@ -95,6 +95,35 @@ pub struct OsStats {
     pub bitvec_resyncs: u64,
     /// Stale bits fixed across all resyncs.
     pub bitvec_stale_fixed: u64,
+    /// Intent records appended to the write-ahead writeback journal.
+    pub journal_appends: u64,
+    /// Times a writeback stalled synchronously because its disk's
+    /// journal ring was full and the oldest record had to be forced
+    /// durable first.
+    pub journal_stalls: u64,
+    /// Recovery: journal records replayed onto their home blocks
+    /// (sealed before the crash, data write possibly lost).
+    pub recovery_pages_replayed: u64,
+    /// Recovery: in-flight updates discarded because their journal
+    /// record was not yet durably sealed (the home block kept the old
+    /// image by the write barrier).
+    pub recovery_pages_discarded: u64,
+    /// Recovery: home blocks whose stored checksum failed — a torn
+    /// write caught mid-air by the crash.
+    pub recovery_torn_detected: u64,
+    /// Recovery: torn or lost pages with no journal payload to replay
+    /// from. Zero whenever the journal was enabled; the negative CI
+    /// gate proves it goes positive without one.
+    pub recovery_unrecoverable: u64,
+    /// Simulated time the recovery pass spent scanning, replaying, and
+    /// verifying (charged as idle on the recovered machine).
+    pub recovery_ns: Ns,
+    /// Cold pages whose durable checksum the background scrubber
+    /// verified.
+    pub scrub_pages_verified: u64,
+    /// Scrubbed pages found corrupt and repaired from committed journal
+    /// state.
+    pub scrub_pages_repaired: u64,
 }
 
 impl OsStats {

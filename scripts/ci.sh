@@ -64,6 +64,30 @@ else
     echo "no BENCH_<n>.json baseline found; run scripts/bench.sh to capture one"
 fi
 
+echo "== crash-recovery gate (power loss -> journal replay -> verified restart)"
+# The chaos binary's crash sweep: kill each kernel mid-run (torn writes
+# included), recover through the writeback journal, and require an
+# application restart to match the never-crashed reference bit for bit.
+cargo run --release -q -p oocp-bench --bin chaos -- --crash --smoke
+# The oracle proptest in its quick profile (one kernel, full crash
+# matrix); the full five-kernel matrix runs with plain `cargo test`.
+CRASH_ORACLE_QUICK=1 cargo test -q --test proptest_crash
+
+echo "== crash negative gate (a disabled journal must lose data)"
+# Inverted expectation: with --no-journal the same sweep must go
+# unrecoverable and exit non-zero — otherwise the oracle has no teeth.
+if cargo run --release -q -p oocp-bench --bin chaos -- \
+    --crash --smoke --no-journal > /tmp/oocp-nj.$$ 2>&1; then
+    cat /tmp/oocp-nj.$$
+    rm -f /tmp/oocp-nj.$$
+    echo "chaos --crash --no-journal lost nothing: the negative gate has no teeth"
+    exit 1
+fi
+grep -q "unrecoverable (expected)" /tmp/oocp-nj.$$ || {
+    cat /tmp/oocp-nj.$$; rm -f /tmp/oocp-nj.$$
+    echo "chaos --crash --no-journal failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-nj.$$
+
 # Clippy needs its component installed; offline or minimal toolchains
 # may not have it, and the gate should not fail for that.
 if cargo clippy --version >/dev/null 2>&1; then

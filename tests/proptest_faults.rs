@@ -46,6 +46,59 @@ fn faulted_kernels_match_fault_free_results() {
     }
 }
 
+/// [`FaultPlan::sample`] only ever produces well-formed plans: every
+/// per-class error probability stays in [0, 1], straggler parameters
+/// are physical (multiplier >= 1, probability in [0, 1]), brownout
+/// windows are ordered, no crash is scheduled (crash coverage has its
+/// own dedicated oracle suite), and `is_active()` agrees with its
+/// definition — true exactly when some disk-level fault class is on.
+#[test]
+fn sampled_plans_are_always_well_formed() {
+    use oocp::disk::ReqKind;
+    let mut g = SimRng::new(0xFA_0003);
+    for case in 0..512 {
+        let plan = random_plan(&mut g);
+        for kind in [ReqKind::DemandRead, ReqKind::PrefetchRead, ReqKind::Write] {
+            let p = plan.error_prob(kind);
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "case {case}: error_prob({kind:?}) = {p} out of range"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&plan.straggler_prob),
+            "case {case}: straggler_prob out of range"
+        );
+        assert!(
+            plan.straggler_mult >= 1.0,
+            "case {case}: straggler_mult {} would shrink service times",
+            plan.straggler_mult
+        );
+        assert!(
+            (0.0..=1.0).contains(&plan.bitvec_stale_prob),
+            "case {case}: bitvec_stale_prob out of range"
+        );
+        for b in &plan.brownouts {
+            assert!(b.from <= b.until, "case {case}: inverted brownout window");
+        }
+        assert!(
+            plan.crash.is_none(),
+            "case {case}: sample() must not schedule crashes"
+        );
+        let expect_active = plan.error_prob(ReqKind::DemandRead) > 0.0
+            || plan.error_prob(ReqKind::PrefetchRead) > 0.0
+            || plan.error_prob(ReqKind::Write) > 0.0
+            || plan.straggler_prob > 0.0
+            || !plan.brownouts.is_empty()
+            || plan.crash.is_some();
+        assert_eq!(
+            plan.is_active(),
+            expect_active,
+            "case {case}: is_active() disagrees with its definition"
+        );
+    }
+}
+
 const PAGES: u64 = 96;
 const FRAMES: u64 = 24;
 
