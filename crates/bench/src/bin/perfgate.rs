@@ -23,8 +23,10 @@
 //!
 //! Exit status: 0 clean, 1 gate failure, 2 usage or I/O error.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 
+use oocp_bench::tenants as mt;
 use oocp_bench::{report, run_ir_traced, run_workload_traced, secs, Config, Mode, RunResult};
 use oocp_ir::parse_program;
 use oocp_nas::{build, App};
@@ -323,6 +325,11 @@ fn run_matrix(
             runs.push(report::baseline_run(&kernel.name(), spec.name, &r));
         }
     }
+    // The multi-tenant cells ride on their own canonical platform, so
+    // they are skipped whenever compare overrides retune the scheduler.
+    if !overrides.any() {
+        runs.extend(tenant_runs(only)?);
+    }
     if runs.is_empty() {
         return Err(match only {
             Some(f) => format!("--only {f} matches no kernel"),
@@ -339,13 +346,64 @@ fn selected(kernel: &Kernel, only: &Option<String>) -> bool {
     }
 }
 
+/// Co-scheduling widths of the multi-tenant trajectory cells.
+const TENANT_WIDTHS: [usize; 2] = [4, 16];
+
+/// Whether the multi-tenant pseudo-kernel passes the `--only` filter.
+fn tenants_selected(only: &Option<String>) -> bool {
+    match only {
+        None => true,
+        Some(f) => mt::KERNEL.contains(&f.to_lowercase()),
+    }
+}
+
+/// The multi-tenant trajectory cells: `tenants/co4` and `tenants/co16`
+/// on the canonical co-scheduling platform. These pin down the fairness
+/// surface (worst per-tenant p95 demand stall, per-reason hint drops,
+/// quota evictions) next to the single-tenant matrix, so a scheduler or
+/// arbiter change that shifts multi-tenant behaviour trips the same
+/// gate as a single-tenant regression. Scheduler overrides (`--sched`,
+/// `--queue-depth`) deliberately do not apply: the tenant platform is
+/// its own canonical configuration.
+fn tenant_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
+    if !tenants_selected(only) {
+        return Ok(Vec::new());
+    }
+    let cfg = mt::platform();
+    let mut solos = HashMap::new();
+    let mut runs = Vec::new();
+    for &n in &TENANT_WIDTHS {
+        let opts = mt::CoOptions {
+            metrics: true,
+            ..Default::default()
+        };
+        let cell =
+            mt::co_run(&cfg, n, &opts, &mut solos).map_err(|e| format!("tenants/co{n}: {e}"))?;
+        if let Err(e) = &cell.verified {
+            return Err(format!("tenants/co{n} failed to verify: {e}"));
+        }
+        eprintln!(
+            "  ran {:<14} {:<10} elapsed {}s",
+            mt::KERNEL,
+            format!("co{n}"),
+            secs(cell.hub.elapsed_ns)
+        );
+        runs.push(mt::tenant_baseline_run(&format!("co{n}"), &cell));
+    }
+    Ok(runs)
+}
+
 fn read_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     oocp_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn capture(o: &Options) -> Result<(), String> {
-    eprintln!("perfgate: capturing baseline (matrix of 13 kernels x 4 configs)");
+    eprintln!(
+        "perfgate: capturing baseline (matrix of 13 kernels x 4 configs \
+         + {} multi-tenant cells)",
+        TENANT_WIDTHS.len()
+    );
     let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default())?;
     let b = Baseline {
         index: o.index,
@@ -509,12 +567,17 @@ fn compare(o: &Options, path: &str) -> Result<bool, String> {
     let base_index = base.index;
     eprintln!("perfgate: comparing against {path} (index {base_index})");
     let current = run_matrix(&o.only, &o.kernels_dir, &o.overrides)?;
-    // Cells excluded by --only are out of scope, not missing.
+    // Cells excluded by --only are out of scope, not missing; likewise
+    // the multi-tenant cells whenever overrides retune the scheduler
+    // (they run their own canonical platform and are not re-run then).
     let scoped = Baseline {
         runs: base
             .runs
             .iter()
             .filter(|r| {
+                if r.kernel == mt::KERNEL {
+                    return tenants_selected(&o.only) && !o.overrides.any();
+                }
                 kernels()
                     .iter()
                     .any(|k| k.name() == r.kernel && selected(k, &o.only))

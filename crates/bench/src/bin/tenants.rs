@@ -1,0 +1,411 @@
+//! `tenants` — the multi-tenant fairness and throughput sweep.
+//!
+//! Co-schedules 1 → N copies of the EMBAR kernel on one shared
+//! machine (see `oocp_bench::tenants` for the canonical cell: fixed
+//! per-tenant memory reservations, bounded prefetch pipelines, a
+//! Guaranteed/Burstable/BestEffort QoS mix) and reports, per cell,
+//! the makespan against the serial schedule of solo runs and the
+//! worst per-tenant p95 demand stall against its solo baseline.
+//!
+//! The gate cell (16 tenants by default, 4 under `--smoke`) enforces
+//! the multi-tenant contract:
+//!
+//! * every tenant's final segment checksum is bit-identical to its
+//!   solo run (co-scheduling is invisible to correctness);
+//! * no tenant's p95 demand stall exceeds 3x its solo baseline
+//!   (floored at one disk access) under DemandPriority + quotas;
+//! * the co-scheduled makespan beats the serial schedule (sharing the
+//!   machine must actually buy throughput);
+//! * a chaos re-run of the gate cell (disk errors + stragglers, one
+//!   tenant killed mid-run) leaves every survivor bit-exact.
+//!
+//! `--quota-gate` runs the memory-isolation check instead: two
+//! accumulating (hint-free) tenants overcommitting memory 2x, each
+//! limited to its fair share — every tenant's final residency must
+//! respect its quota, and enforcement must have actually fired. With
+//! `--no-quotas` the same cell runs unlimited and the binary must
+//! *fail*, naming the tenant that overran its share — the negative
+//! gate `scripts/ci.sh` greps for.
+//!
+//! Exit status: 0 all gates pass, 1 gate failure, 2 usage error.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use oocp_bench::tenants::{
+    co_run, fairness_failures, qos_for, quota_frames, seed_of, tenant_baseline_run, CoCell,
+    CoOptions, Solo,
+};
+use oocp_bench::{exit_on, exit_on_bad_config, report, secs, Config};
+use oocp_obs::baseline::{self, Baseline};
+use oocp_os::TenantSpec;
+use oocp_rt::{TenantHub, TenantProgram};
+use oocp_sim::time::Ns;
+
+/// Fairness bound: co-scheduled p95 demand stall vs. solo.
+const P95_FACTOR: u64 = 3;
+
+/// Kill point for the chaos cell's crashing tenant, in VM operations —
+/// early enough that the victim still holds pages and in-flight
+/// prefetches when it dies.
+const KILL_AT_OP: u64 = 2_000;
+
+struct Opt {
+    smoke: bool,
+    full: bool,
+    json: Option<String>,
+    csv: Option<String>,
+    quota_gate: bool,
+    no_quotas: bool,
+    seed: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tenants [--smoke | --full] [--seed N] [--json FILE] [--csv FILE]\n\
+         \x20      tenants --quota-gate [--no-quotas]\n\
+         sweep: co-schedule 1..16 EMBAR tenants (--smoke: 1..4; --full: 1..128)\n\
+         quota-gate: prove per-tenant memory quotas hold (--no-quotas must fail)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opt {
+    let mut o = Opt {
+        smoke: false,
+        full: false,
+        json: None,
+        csv: None,
+        quota_gate: false,
+        no_quotas: false,
+        seed: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--full" => o.full = true,
+            "--json" => o.json = Some(value()),
+            "--csv" => o.csv = Some(value()),
+            "--quota-gate" => o.quota_gate = true,
+            "--no-quotas" => o.no_quotas = true,
+            "--seed" => o.seed = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if o.smoke && o.full {
+        usage();
+    }
+    if o.no_quotas && !o.quota_gate {
+        usage();
+    }
+    o
+}
+
+/// The sweep platform (see [`oocp_bench::tenants::platform`]):
+/// DemandPriority with binding per-tenant queue shares.
+fn config(o: &Opt) -> Config {
+    let mut cfg = oocp_bench::tenants::platform();
+    if let Some(s) = o.seed {
+        cfg.seed = s;
+    }
+    exit_on_bad_config(&cfg);
+    cfg
+}
+
+fn ratio(num: Ns, den: Ns) -> f64 {
+    num as f64 / den.max(1) as f64
+}
+
+fn print_cell(label: &str, cell: &CoCell) {
+    let worst = cell
+        .hub
+        .tenants
+        .iter()
+        .zip(&cell.solo)
+        .filter(|(t, _)| !t.killed)
+        .map(|(t, s)| ratio(t.demand_stall_p95_ns, s.p95_ns.max(1)))
+        .fold(0.0f64, f64::max);
+    let dropped_quota: u64 = cell
+        .hub
+        .tenants
+        .iter()
+        .map(|t| t.os.hints_dropped_quota)
+        .sum();
+    let dropped_pressure: u64 = cell
+        .hub
+        .tenants
+        .iter()
+        .map(|t| t.os.hints_dropped_pressure)
+        .sum();
+    let evictions: u64 = cell.hub.tenants.iter().map(|t| t.os.quota_evictions).sum();
+    println!(
+        "{label:>8}  elapsed {:>8}s  serial {:>8}s  speedup {:>5.2}x  worst-p95 {:>7.2}x  \
+         drops q/p {dropped_quota}/{dropped_pressure}  evict {evictions}",
+        secs(cell.hub.elapsed_ns),
+        secs(cell.serial_ns),
+        ratio(cell.serial_ns, cell.hub.elapsed_ns),
+        worst,
+    );
+}
+
+fn print_tenants(cell: &CoCell) {
+    println!("  per-tenant breakdown ({} tenants):", cell.n);
+    for (t, (out, solo)) in cell.hub.tenants.iter().zip(&cell.solo).enumerate() {
+        let fate = if out.killed { "killed" } else { "ok" };
+        println!(
+            "    t{t:<3} {:<10} {fate:<6} p95 {:>9} ns (solo {:>9} ns)  stalls {:>5}  \
+             drops q/p {}/{}  evict {}  resident {} frames",
+            format!("{:?}", qos_for(t)),
+            out.demand_stall_p95_ns,
+            solo.p95_ns,
+            out.demand_stalls,
+            out.os.hints_dropped_quota,
+            out.os.hints_dropped_pressure,
+            out.os.quota_evictions,
+            out.resident_frames,
+        );
+    }
+}
+
+fn csv_rows(cells: &[(String, CoCell)]) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (label, cell) in cells {
+        for (t, (out, solo)) in cell.hub.tenants.iter().zip(&cell.solo).enumerate() {
+            rows.push(format!(
+                "{label},{n},{t},{qos:?},{killed},{p95},{solo_p95},{stalls},{dq},{dp},{ev},{res},{elapsed},{serial}",
+                n = cell.n,
+                qos = qos_for(t),
+                killed = out.killed,
+                p95 = out.demand_stall_p95_ns,
+                solo_p95 = solo.p95_ns,
+                stalls = out.demand_stalls,
+                dq = out.os.hints_dropped_quota,
+                dp = out.os.hints_dropped_pressure,
+                ev = out.os.quota_evictions,
+                res = out.resident_frames,
+                elapsed = cell.hub.elapsed_ns,
+                serial = cell.serial_ns,
+            ));
+        }
+    }
+    rows
+}
+
+/// The fairness/throughput sweep plus the chaos re-run of the gate
+/// cell. Returns the gate failures.
+fn sweep(o: &Opt) -> Vec<String> {
+    let cfg = config(o);
+    let counts: Vec<usize> = if o.smoke {
+        vec![1, 2, 4]
+    } else if o.full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let gate_n = if o.smoke { 4 } else { 16 };
+    let stall_floor = cfg.machine.disk.avg_access_ns() + cfg.machine.fault_overhead_ns;
+    println!(
+        "tenants: co-scheduling EMBAR x{:?} on {} MiB / {} disks (DemandPriority, \
+         quota {} frames + {}-deep pipeline per tenant, gate at {gate_n})",
+        counts,
+        cfg.machine.memory_bytes() >> 20,
+        cfg.machine.ndisks,
+        quota_frames(&cfg),
+        8,
+    );
+
+    let mut solos: HashMap<u64, Solo> = HashMap::new();
+    let mut cells: Vec<(String, CoCell)> = Vec::new();
+    let mut failures = Vec::new();
+
+    for &n in &counts {
+        let cell = match co_run(&cfg, n, &CoOptions::default(), &mut solos) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: invalid machine configuration: {e}");
+                std::process::exit(2);
+            }
+        };
+        print_cell(&format!("co{n}"), &cell);
+        // Correctness is not negotiable at any width; the p95 and
+        // throughput SLOs are gated at the canonical cell.
+        for f in fairness_failures(&cell, u64::MAX, 0) {
+            failures.push(format!("co{n}: {f}"));
+        }
+        if n == gate_n {
+            for f in fairness_failures(&cell, P95_FACTOR, stall_floor) {
+                failures.push(format!("co{n}: {f}"));
+            }
+            if cell.hub.elapsed_ns >= cell.serial_ns {
+                failures.push(format!(
+                    "co{n}: makespan {} ns did not beat the serial schedule {} ns",
+                    cell.hub.elapsed_ns, cell.serial_ns
+                ));
+            }
+            print_tenants(&cell);
+        }
+        cells.push((format!("co{n}"), cell));
+    }
+
+    // Chaos: the gate cell again under disk errors and stragglers,
+    // with the last tenant (a BestEffort one) crashing early. Faults
+    // cost time and a crash truncates the victim — every survivor
+    // must still match its solo checksum bit for bit.
+    let chaos_opts = CoOptions {
+        faults: true,
+        kill: Some((gate_n - 1, KILL_AT_OP)),
+        ..Default::default()
+    };
+    match co_run(&cfg, gate_n, &chaos_opts, &mut solos) {
+        Ok(cell) => {
+            print_cell(&format!("chaos{gate_n}"), &cell);
+            if !cell.hub.tenants[gate_n - 1].killed {
+                failures.push(format!(
+                    "chaos{gate_n}: tenant {} was not killed at op {KILL_AT_OP}",
+                    gate_n - 1
+                ));
+            }
+            for f in fairness_failures(&cell, u64::MAX, 0) {
+                failures.push(format!("chaos{gate_n}: {f}"));
+            }
+            cells.push((format!("chaos{gate_n}"), cell));
+        }
+        Err(e) => {
+            eprintln!("error: invalid machine configuration: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &o.csv {
+        let header = "cell,n,tenant,qos,killed,p95_ns,solo_p95_ns,stalls,dropped_quota,\
+                      dropped_pressure,quota_evictions,resident_frames,elapsed_ns,serial_ns";
+        if let Err(e) = oocp_bench::write_csv(path, header, &csv_rows(&cells)) {
+            exit_on(e);
+        }
+    }
+    if let Some(path) = &o.json {
+        // Re-run the sweep cells with metrics on? No — metrics are
+        // timing-neutral but the sweep already ran; distill what we
+        // have. Cells carry the tenant summary either way.
+        let runs = cells
+            .iter()
+            .map(|(label, cell)| tenant_baseline_run(label, cell))
+            .collect();
+        let b = Baseline {
+            index: 0,
+            seed: cfg.seed,
+            runs,
+        };
+        let doc = baseline::baseline_json(&b);
+        if let Err(e) = baseline::parse_baseline(&doc) {
+            failures.push(format!("emitted report failed its own validation: {e}"));
+        }
+        if let Err(e) = report::write_report(path, &doc) {
+            exit_on(e);
+        }
+    }
+    failures
+}
+
+/// The memory-isolation gate: a small, well-behaved victim (working
+/// set inside its fair share) shares the machine with a hint-free hog
+/// whose working set alone equals all of physical memory. With quotas
+/// the hog is capped at its fair share (and its own pages are the
+/// eviction victims); with `--no-quotas` the hog's residency overruns
+/// its share at the victim's expense — and this binary must fail
+/// saying so.
+fn quota_gate(o: &Opt) -> Vec<String> {
+    let mut cfg = Config::default_platform();
+    cfg.machine = cfg.machine.with_memory_bytes(1 << 20);
+    if let Some(s) = o.seed {
+        cfg.seed = s;
+    }
+    exit_on_bad_config(&cfg);
+    let n = 2usize;
+    let share = cfg.machine.resident_limit / n as u64;
+    let victim_bytes = (share / 2) * cfg.machine.page_bytes;
+    let hog_bytes = cfg.machine.resident_limit * cfg.machine.page_bytes;
+    let victim = oocp_nas::build(oocp_nas::App::Embar, victim_bytes);
+    let hog = oocp_nas::build(oocp_nas::App::Embar, hog_bytes);
+    println!(
+        "tenants --quota-gate: hint-free EMBAR victim ({} pages) vs hog ({} pages) \
+         on {} frames (fair share {share} frames, quotas {})",
+        victim_bytes / cfg.machine.page_bytes,
+        hog_bytes / cfg.machine.page_bytes,
+        cfg.machine.resident_limit,
+        if o.no_quotas { "OFF" } else { "ON" },
+    );
+
+    // The original (uncompiled) programs issue no release hints, so a
+    // tenant's working set only grows — exactly the anti-social
+    // neighbour quotas exist for. Only the hog can overrun the share.
+    let programs = [&victim, &hog]
+        .iter()
+        .map(|w| {
+            let spec = if o.no_quotas {
+                TenantSpec::unlimited()
+            } else {
+                TenantSpec::unlimited().with_memory_frames(share)
+            };
+            TenantProgram::new(w.prog.clone(), w.param_values.clone()).with_spec(spec)
+        })
+        .collect();
+    let mut hub = match TenantHub::new(cfg.machine, programs) {
+        Ok(h) => h.with_cost(cfg.cost),
+        Err(e) => {
+            eprintln!("error: invalid machine configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    for (t, w) in [&victim, &hog].iter().enumerate() {
+        let binds = hub.binds(t).to_vec();
+        w.init(&binds, &mut hub.data(), seed_of(&cfg, t));
+    }
+    let r = hub.run();
+
+    let mut failures = Vec::new();
+    for (t, out) in r.tenants.iter().enumerate() {
+        println!(
+            "  tenant {t}: resident {} frames (share {share}), quota evictions {}",
+            out.resident_frames, out.os.quota_evictions
+        );
+        if out.resident_frames > share {
+            failures.push(format!(
+                "quota-gate: FAIL tenant {t} resident {} frames exceeds fair share {share}",
+                out.resident_frames
+            ));
+        }
+    }
+    if !o.no_quotas {
+        let evictions: u64 = r.tenants.iter().map(|t| t.os.quota_evictions).sum();
+        if evictions == 0 {
+            failures.push(
+                "quota-gate: FAIL quotas never fired (no quota evictions on a 2x overcommit)"
+                    .to_string(),
+            );
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let failures = if o.quota_gate {
+        quota_gate(&o)
+    } else {
+        sweep(&o)
+    };
+    if failures.is_empty() {
+        println!("tenants: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            println!("{f}");
+        }
+        println!("tenants: FAIL ({} gate violation(s))", failures.len());
+        ExitCode::FAILURE
+    }
+}

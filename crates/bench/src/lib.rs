@@ -9,6 +9,7 @@
 
 pub mod microbench;
 pub mod report;
+pub mod tenants;
 
 use oocp_core::{compile, CompileReport, CompilerParams};
 use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
@@ -649,6 +650,7 @@ impl Args {
             }
             i += 2;
         }
+        exit_on_bad_config(&cfg);
         Self {
             cfg,
             ratio,
@@ -658,6 +660,17 @@ impl Args {
             crash,
             no_journal,
         }
+    }
+}
+
+/// Reject an invalid machine configuration with a typed
+/// [`oocp_os::ConfigError`] message and exit code 2 (operator error),
+/// instead of letting `Machine::new` panic mid-run. Every binary that
+/// accepts machine overrides funnels through here.
+pub fn exit_on_bad_config(cfg: &Config) {
+    if let Err(e) = cfg.machine.check() {
+        eprintln!("error: invalid machine configuration: {e}");
+        std::process::exit(2);
     }
 }
 

@@ -99,6 +99,29 @@ pub fn run_json(name: &str, r: &RunResult) -> Json {
             ]),
         ),
         (
+            // Per-reason dropped-hint counts: `no_memory` is the
+            // remainder of the machine's total after the four
+            // attributed reasons, so the five always sum to `total`.
+            "dropped_hints",
+            Json::obj([
+                ("total", Json::U64(r.os.prefetch_pages_dropped)),
+                (
+                    "no_memory",
+                    Json::U64(
+                        r.os.prefetch_pages_dropped
+                            - r.os.hints_dropped_on_error
+                            - r.os.hints_dropped_queue_full
+                            - r.os.hints_dropped_quota
+                            - r.os.hints_dropped_pressure,
+                    ),
+                ),
+                ("io_error", Json::U64(r.os.hints_dropped_on_error)),
+                ("queue_full", Json::U64(r.os.hints_dropped_queue_full)),
+                ("quota", Json::U64(r.os.hints_dropped_quota)),
+                ("pressure", Json::U64(r.os.hints_dropped_pressure)),
+            ]),
+        ),
+        (
             "recovery",
             Json::obj([
                 ("journal_appends", Json::U64(r.os.journal_appends)),
@@ -136,6 +159,8 @@ pub fn run_json(name: &str, r: &RunResult) -> Json {
                             Json::U64(obs.ledger.dropped_queue_full),
                         ),
                         ("dropped_io_error", Json::U64(obs.ledger.dropped_io_error)),
+                        ("dropped_quota", Json::U64(obs.ledger.dropped_quota)),
+                        ("dropped_pressure", Json::U64(obs.ledger.dropped_pressure)),
                         ("evicted_unused", Json::U64(obs.ledger.evicted_unused)),
                         ("unused_at_end", Json::U64(obs.ledger.unused_at_end)),
                     ]),
@@ -206,6 +231,9 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
         recovery_torn: r.os.recovery_torn_detected,
         recovery_unrecoverable: r.os.recovery_unrecoverable,
         recovery_ns: r.os.recovery_ns,
+        // Solo cells carry no tenant block; the `tenants` bench fills
+        // it in for co-scheduled cells.
+        tenant: None,
     }
 }
 
@@ -220,7 +248,7 @@ fn field_u64(run: &Json, obj: &str, key: &str) -> Result<u64, String> {
 ///
 /// * every run's seven attribution buckets sum to its `total_ns`
 ///   exactly, and that total matches `elapsed_ns` within 0.1%;
-/// * when observability data is present, the seven ledger outcomes plus
+/// * when observability data is present, the nine ledger outcomes plus
 ///   the open count sum to the entries *exactly* (a partition, not an
 ///   approximation), and the histogram bucket counts sum to `count`.
 ///
@@ -279,6 +307,8 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 + get("dropped_no_memory")?
                 + get("dropped_queue_full")?
                 + get("dropped_io_error")?
+                + get("dropped_quota")?
+                + get("dropped_pressure")?
                 + get("evicted_unused")?
                 + get("unused_at_end")?;
             if closed + get("open")? != get("entries")? {

@@ -56,6 +56,15 @@ impl DiskArray {
         self.disks[0].sched()
     }
 
+    /// Declare how many tenants share the array (see
+    /// [`Disk::set_tenant_count`]). The default of 1 leaves scheduling
+    /// and queue admission exactly as before.
+    pub fn set_tenant_count(&mut self, n: usize) {
+        for d in &mut self.disks {
+            d.set_tenant_count(n);
+        }
+    }
+
     /// Install a fault plan; subsequent [`DiskArray::try_submit`] calls
     /// consult it. A plan with no disk-level faults enabled is not
     /// installed at all (the fault-free fast path stays branch-free).
@@ -190,6 +199,12 @@ impl DiskArray {
     /// Panics if the ticket is unknown or fully redeemed.
     pub fn wait_for(&mut self, t: Ticket) -> Ns {
         self.disks[t.disk].wait_for(t.seq)
+    }
+
+    /// Promote `t`'s still-queued prefetch read to demand class (see
+    /// [`Disk::promote`]); call when a consumer blocks on the ticket.
+    pub fn promote(&mut self, t: Ticket, now: Ns) -> bool {
+        self.disks[t.disk].promote(t.seq, now)
     }
 
     /// Dispatch every queued request on every disk; returns the time at

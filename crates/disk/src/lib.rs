@@ -25,4 +25,4 @@ pub use fault::{
     Brownout, CrashPoint, CrashSpec, FaultInjector, FaultPlan, Injection, IoError, PressureStorm,
 };
 pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};
-pub use sched::{SchedConfig, SchedPolicy, Ticket};
+pub use sched::{SchedConfig, SchedError, SchedPolicy, Ticket};

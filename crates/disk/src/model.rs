@@ -7,7 +7,7 @@ use oocp_obs::LatencyHist;
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 use crate::fault::IoError;
-use crate::sched::{Pending, Picked, SchedConfig};
+use crate::sched::{Pending, PickState, Picked, SchedConfig};
 
 /// Kind of request submitted to a disk.
 ///
@@ -32,6 +32,11 @@ pub struct Request {
     pub start_block: u64,
     /// Number of contiguous blocks; must be at least 1.
     pub nblocks: u64,
+    /// Tenant the request is submitted on behalf of. Single-program
+    /// machines leave this at 0 (the default); the multi-tenant OS tags
+    /// it so tenant-aware scheduling and per-tenant queue shares can
+    /// tell traffic streams apart.
+    pub tenant: u32,
 }
 
 impl Request {
@@ -48,7 +53,15 @@ impl Request {
             kind,
             start_block,
             nblocks,
+            tenant: 0,
         }
+    }
+
+    /// Same request tagged with a submitting tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -199,6 +212,14 @@ pub struct DiskStats {
     pub prefetch_aged: u64,
     /// Enqueue attempts rejected because the bounded queue was full.
     pub queue_full_rejections: u64,
+    /// Prefetch enqueues rejected because the submitting tenant had
+    /// already consumed its per-tenant share of the queue (a subset of
+    /// `queue_full_rejections`; zero on single-tenant machines).
+    pub share_rejections: u64,
+    /// Queued prefetch reads reclassified as demand because a consumer
+    /// blocked on them before dispatch (multi-tenant DemandPriority —
+    /// a late prefetch must not wait out the prefetch class).
+    pub promotions: u64,
     /// Queueing-delay distribution across all classes (arrival to
     /// dispatch). Log2 buckets; sums are exact.
     pub queue_wait_hist: LatencyHist,
@@ -276,6 +297,8 @@ impl DiskStats {
         self.preemptions += o.preemptions;
         self.prefetch_aged += o.prefetch_aged;
         self.queue_full_rejections += o.queue_full_rejections;
+        self.share_rejections += o.share_rejections;
+        self.promotions += o.promotions;
         self.queue_wait_hist.merge(&o.queue_wait_hist);
         self.demand_service_hist.merge(&o.demand_service_hist);
         self.prefetch_service_hist.merge(&o.prefetch_service_hist);
@@ -313,8 +336,12 @@ pub struct Disk {
     stats: DiskStats,
     /// Undispatched requests, in arrival order (ascending ticket seq).
     queue: Vec<Pending>,
-    /// Elevator sweep direction for [`crate::SchedPolicy::Scan`].
-    scan_up: bool,
+    /// Scheduler state carried across picks (elevator direction and the
+    /// tenant round-robin cursor).
+    pick_state: PickState,
+    /// Tenants sharing this disk; divides the queue depth into
+    /// per-tenant prefetch shares when greater than one.
+    tenant_count: usize,
     next_seq: u64,
     /// Completions of dispatched tracked/blocking requests:
     /// `seq -> (completion time, units left to redeem)`.
@@ -343,7 +370,8 @@ impl Disk {
             busy_until: 0,
             stats: DiskStats::default(),
             queue: Vec::new(),
-            scan_up: true,
+            pick_state: PickState::default(),
+            tenant_count: 1,
             next_seq: 0,
             done: HashMap::new(),
         }
@@ -368,6 +396,15 @@ impl Disk {
     pub fn set_sched(&mut self, sched: SchedConfig) {
         sched.validate();
         self.sched = sched;
+    }
+
+    /// Declare how many tenants share this disk. With more than one,
+    /// each tenant's queued prefetches are capped at an equal share of
+    /// the queue depth (`max(1, depth / tenants)`), so one tenant's
+    /// hint storm cannot occupy the whole queue. The default of 1
+    /// leaves behavior exactly as before.
+    pub fn set_tenant_count(&mut self, n: usize) {
+        self.tenant_count = n.max(1);
     }
 
     /// Submit a request at simulated time `now`; returns completion time.
@@ -467,6 +504,26 @@ impl Disk {
         let seq = self.next_seq;
         let merged = self.sched.coalesce && self.try_coalesce(&req, mult, add_ns, seq, units);
         if !merged {
+            if req.kind == ReqKind::PrefetchRead && self.tenant_count > 1 {
+                // Per-tenant queue share: a tenant may hold at most an
+                // equal fraction of the queue in undispatched
+                // prefetches. Demand reads and writes are exempt — the
+                // share exists precisely to keep slots open for them.
+                let share = (self.sched.queue_depth / self.tenant_count).max(1);
+                let held = self
+                    .queue
+                    .iter()
+                    .filter(|p| p.req.kind == ReqKind::PrefetchRead && p.req.tenant == req.tenant)
+                    .count();
+                if held >= share {
+                    self.stats.queue_full_rejections += 1;
+                    self.stats.share_rejections += 1;
+                    return Err(IoError::QueueFull {
+                        disk: 0,
+                        retry_at: self.busy_until.max(now + 1),
+                    });
+                }
+            }
             if self.queue.len() >= self.sched.queue_depth {
                 self.stats.queue_full_rejections += 1;
                 // After advance(now), a non-empty queue implies the
@@ -562,7 +619,7 @@ impl Disk {
             self.head,
             start,
             self.sched.prefetch_age_ns,
-            &mut self.scan_up,
+            &mut self.pick_state,
         );
         let p = self.queue.remove(idx);
         let base = self.params.service_ns(self.head, &p.req);
@@ -618,6 +675,24 @@ impl Disk {
             self.done.remove(&seq);
         }
         Some(at)
+    }
+
+    /// Reclassify the still-queued prefetch read holding ticket `seq`
+    /// as a demand read: a consumer is now blocked on it, so letting
+    /// it wait out the prefetch class (and every per-tenant share and
+    /// aging rule that applies to hints) would serve nobody. Requests
+    /// whose dispatch slot already passed by `now` are on the media
+    /// and keep their class. Returns whether a promotion happened.
+    pub fn promote(&mut self, seq: u64, now: Ns) -> bool {
+        self.advance(now);
+        for p in &mut self.queue {
+            if p.req.kind == ReqKind::PrefetchRead && p.tickets.iter().any(|&(s, _)| s == seq) {
+                p.req.kind = ReqKind::DemandRead;
+                self.stats.promotions += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Non-blocking completion check for a tracked request: if ticket
@@ -1049,5 +1124,49 @@ mod tests {
         let s = *d.stats();
         assert_eq!(s.service_ns(), s.busy_ns, "service partition covers busy");
         assert!(s.wait_ns() > 0, "later requests queued behind the first");
+    }
+
+    #[test]
+    fn tenant_prefetch_share_caps_one_tenants_queue_slots() {
+        let mut d = Disk::new(DiskParams::default());
+        d.set_sched(SchedConfig::default().with_queue_depth(4));
+        d.set_tenant_count(2);
+        // Depth 4 shared by 2 tenants: each may hold 2 queued
+        // prefetches. The first submission dispatches immediately, so
+        // tenant 0 fits two more in its share before the cap fires.
+        for i in 0..3 {
+            d.try_track(
+                0,
+                req(ReqKind::PrefetchRead, 10_000 * (i + 1), 1).with_tenant(0),
+            )
+            .unwrap();
+        }
+        let err = d
+            .try_track(0, req(ReqKind::PrefetchRead, 90_000, 1).with_tenant(0))
+            .unwrap_err();
+        assert!(matches!(err, IoError::QueueFull { .. }));
+        assert_eq!(d.stats().share_rejections, 1);
+        // Tenant 1 still has its own share...
+        d.try_track(0, req(ReqKind::PrefetchRead, 50_000, 1).with_tenant(1))
+            .unwrap();
+        // ...and tenant 0's non-prefetch traffic is exempt from the
+        // share: only the global depth bounds it.
+        d.try_post(0, req(ReqKind::Write, 70_000, 1).with_tenant(0))
+            .unwrap();
+        d.try_post(0, req(ReqKind::Write, 80_000, 1).with_tenant(0))
+            .unwrap_err(); // the queue itself is now full at depth 4
+        assert!(d.stats().queue_full_rejections > d.stats().share_rejections);
+    }
+
+    #[test]
+    fn single_tenant_share_never_binds() {
+        let mut d = Disk::new(DiskParams::default());
+        d.set_sched(SchedConfig::default().with_queue_depth(4));
+        // tenant_count defaults to 1: only the global depth applies.
+        for i in 0..5u64 {
+            d.try_track(0, req(ReqKind::PrefetchRead, 10_000 * (i + 1), 1))
+                .unwrap();
+        }
+        assert_eq!(d.stats().share_rejections, 0);
     }
 }

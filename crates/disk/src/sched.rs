@@ -30,9 +30,33 @@
 //! reads, so computed results are identical across policies (the
 //! property `tests/proptest_sched.rs` checks).
 
+use std::fmt;
+
 use oocp_sim::time::{Ns, MILLISECOND};
 
 use crate::model::ReqKind;
+
+/// A structurally invalid scheduler configuration.
+///
+/// Produced by [`SchedConfig::check`]; the panicking
+/// [`SchedConfig::validate`] wraps it for callers that treat a bad
+/// configuration as a programming error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// `queue_depth` was zero: a disk that can never accept a request
+    /// is a configuration error, not a backpressure state.
+    ZeroQueueDepth,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::ZeroQueueDepth => write!(f, "queue depth must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
 
 /// Which queued request a disk dispatches when the media goes idle.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -144,14 +168,25 @@ impl SchedConfig {
         self
     }
 
+    /// Check internal consistency, returning a typed error.
+    pub fn check(&self) -> Result<(), SchedError> {
+        if self.queue_depth == 0 {
+            return Err(SchedError::ZeroQueueDepth);
+        }
+        Ok(())
+    }
+
     /// Validate internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if `queue_depth` is zero (a disk that can never accept a
-    /// request is a configuration error, not a backpressure state).
+    /// Panics if [`SchedConfig::check`] fails (a disk that can never
+    /// accept a request is a configuration error, not a backpressure
+    /// state).
     pub fn validate(&self) {
-        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -191,6 +226,29 @@ pub(crate) struct Pending {
     pub(crate) tickets: Vec<(u64, u64)>,
 }
 
+/// Mutable scheduler state a disk carries across picks: the elevator
+/// sweep direction and the tenant round-robin cursor.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PickState {
+    /// Elevator sweep direction for [`SchedPolicy::Scan`].
+    pub(crate) scan_up: bool,
+    /// Tenant most recently served by the tenant rotation of
+    /// [`SchedPolicy::DemandPriority`]; the next pick within a class
+    /// starts cyclically after it. Untouched (and unread) while the
+    /// eligible set names a single tenant, so solo traffic dispatches
+    /// exactly as before.
+    pub(crate) rr_tenant: u32,
+}
+
+impl Default for PickState {
+    fn default() -> Self {
+        Self {
+            scan_up: true,
+            rr_tenant: 0,
+        }
+    }
+}
+
 /// Outcome of a policy pick: which queue index to dispatch, plus
 /// whether the choice preempted older lower-priority traffic or was
 /// forced by the aging bound.
@@ -217,7 +275,7 @@ impl SchedPolicy {
         head: u64,
         start: Ns,
         age_limit: Ns,
-        scan_up: &mut bool,
+        state: &mut PickState,
     ) -> Picked {
         let idxs: Vec<usize> = (0..q.len()).filter(|i| q[*i].arrival <= start).collect();
         debug_assert!(!idxs.is_empty(), "dispatch with no eligible request");
@@ -239,14 +297,16 @@ impl SchedPolicy {
                 }
             }
             SchedPolicy::Scan => {
-                let idx = Self::pick_scan(q, &idxs, head, scan_up);
+                let idx = Self::pick_scan(q, &idxs, head, &mut state.scan_up);
                 Picked {
                     idx,
                     preempted: false,
                     aged: false,
                 }
             }
-            SchedPolicy::DemandPriority => Self::pick_demand_priority(q, &idxs, start, age_limit),
+            SchedPolicy::DemandPriority => {
+                Self::pick_demand_priority(q, &idxs, start, age_limit, &mut state.rr_tenant)
+            }
         }
     }
 
@@ -275,24 +335,76 @@ impl SchedPolicy {
 
     /// Demand > write > prefetch, FCFS within a class; a prefetch past
     /// the aging bound jumps the order so hints cannot starve.
-    fn pick_demand_priority(q: &[Pending], idxs: &[usize], start: Ns, age_limit: Ns) -> Picked {
+    ///
+    /// When the eligible set names more than one tenant, the pick is
+    /// tenant-aware: every tenant's *oldest* queued prefetch carries
+    /// its own aging clock, and within a class tenants are served
+    /// round-robin (cursor in `rr`) so one tenant's burst cannot starve
+    /// another's traffic of the same class. With a single tenant both
+    /// refinements reduce exactly to the historical behavior — the
+    /// oldest prefetch overall is the only aging candidate and FCFS
+    /// order wins within each class — so solo timing is bit-identical.
+    fn pick_demand_priority(
+        q: &[Pending],
+        idxs: &[usize],
+        start: Ns,
+        age_limit: Ns,
+        rr: &mut u32,
+    ) -> Picked {
         let class = |i: usize| q[i].req.kind;
-        let oldest_of = |kind: ReqKind| idxs.iter().copied().find(|&i| class(i) == kind);
-        let oldest_pf = oldest_of(ReqKind::PrefetchRead);
-        if let Some(pf) = oldest_pf {
-            if start.saturating_sub(q[pf].arrival) > age_limit {
-                // Starvation bound: the aged prefetch goes next. Count
-                // it only when it actually bypassed something.
-                let bypassed = idxs.iter().any(|&i| class(i) != ReqKind::PrefetchRead);
-                return Picked {
-                    idx: pf,
-                    preempted: false,
-                    aged: bypassed,
-                };
+        let tenant = |i: usize| q[i].req.tenant;
+        let multi = idxs.iter().any(|&i| tenant(i) != tenant(idxs[0]));
+        // Rotation key: how far cyclically past the last-served tenant.
+        let rr_dist = |i: usize, rr: u32| tenant(i).wrapping_sub(rr).wrapping_sub(1);
+        // Aging: each tenant's oldest queued prefetch carries its own
+        // clock; when several tenants' prefetches are past the bound,
+        // the rotation shares the aged dispatches instead of letting
+        // the deepest backlog monopolize them.
+        let mut aged_set: Vec<usize> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        for &i in idxs {
+            if class(i) != ReqKind::PrefetchRead || seen.contains(&tenant(i)) {
+                continue;
+            }
+            seen.push(tenant(i));
+            if start.saturating_sub(q[i].arrival) > age_limit {
+                aged_set.push(i);
             }
         }
+        if !aged_set.is_empty() {
+            let pf = if multi {
+                let i = aged_set
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| rr_dist(i, *rr))
+                    .expect("aged set is non-empty");
+                *rr = tenant(i);
+                i
+            } else {
+                aged_set[0]
+            };
+            // Starvation bound: the aged prefetch goes next. Count it
+            // only when it actually bypassed something.
+            let bypassed = idxs.iter().any(|&i| class(i) != ReqKind::PrefetchRead);
+            return Picked {
+                idx: pf,
+                preempted: false,
+                aged: bypassed,
+            };
+        }
         for kind in [ReqKind::DemandRead, ReqKind::Write, ReqKind::PrefetchRead] {
-            if let Some(i) = oldest_of(kind) {
+            let in_class = || idxs.iter().copied().filter(|&i| class(i) == kind);
+            let picked = if multi {
+                // Serve the tenant cyclically after the last-served
+                // one; within a tenant, oldest first (queue order).
+                in_class().min_by_key(|&i| (rr_dist(i, *rr), i))
+            } else {
+                in_class().next()
+            };
+            if let Some(i) = picked {
+                if multi {
+                    *rr = tenant(i);
+                }
                 let preempted = kind == ReqKind::DemandRead
                     && idxs
                         .iter()
@@ -314,8 +426,12 @@ mod tests {
     use crate::model::Request;
 
     fn pend(kind: ReqKind, start_block: u64, arrival: Ns) -> Pending {
+        pend_t(kind, start_block, arrival, 0)
+    }
+
+    fn pend_t(kind: ReqKind, start_block: u64, arrival: Ns, tenant: u32) -> Pending {
         Pending {
-            req: Request::new(kind, start_block, 1),
+            req: Request::new(kind, start_block, 1).with_tenant(tenant),
             arrival,
             mult: 1.0,
             add_ns: 0,
@@ -352,8 +468,8 @@ mod tests {
             pend(ReqKind::PrefetchRead, 900, 0),
             pend(ReqKind::DemandRead, 10, 1),
         ];
-        let mut up = true;
-        let p = SchedPolicy::Fcfs.pick(&q, 0, 5, Ns::MAX, &mut up);
+        let mut st = PickState::default();
+        let p = SchedPolicy::Fcfs.pick(&q, 0, 5, Ns::MAX, &mut st);
         assert_eq!(p.idx, 0);
     }
 
@@ -364,8 +480,8 @@ mod tests {
             pend(ReqKind::DemandRead, 110, 0),
             pend(ReqKind::DemandRead, 4_000, 0),
         ];
-        let mut up = true;
-        let p = SchedPolicy::Sstf.pick(&q, 100, 0, Ns::MAX, &mut up);
+        let mut st = PickState::default();
+        let p = SchedPolicy::Sstf.pick(&q, 100, 0, Ns::MAX, &mut st);
         assert_eq!(p.idx, 1, "block 110 is nearest to head 100");
     }
 
@@ -376,13 +492,13 @@ mod tests {
             pend(ReqKind::DemandRead, 200, 0),
             pend(ReqKind::DemandRead, 500, 0),
         ];
-        let mut up = true;
+        let mut st = PickState::default();
         // Head at 100 moving up: 200 first, not the nearer 50.
-        assert_eq!(SchedPolicy::Scan.pick(&q, 100, 0, Ns::MAX, &mut up).idx, 1);
+        assert_eq!(SchedPolicy::Scan.pick(&q, 100, 0, Ns::MAX, &mut st).idx, 1);
         // Head at 600 moving up: nothing ahead, so reverse to 500.
-        let p = SchedPolicy::Scan.pick(&q, 600, 0, Ns::MAX, &mut up);
+        let p = SchedPolicy::Scan.pick(&q, 600, 0, Ns::MAX, &mut st);
         assert_eq!(p.idx, 2);
-        assert!(!up, "direction flipped to downward");
+        assert!(!st.scan_up, "direction flipped to downward");
     }
 
     #[test]
@@ -392,8 +508,8 @@ mod tests {
             pend(ReqKind::Write, 20, 1),
             pend(ReqKind::DemandRead, 900, 2),
         ];
-        let mut up = true;
-        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut up);
+        let mut st = PickState::default();
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut st);
         assert_eq!(p.idx, 2, "demand read first");
         assert!(p.preempted, "it bypassed older queued traffic");
         assert!(!p.aged);
@@ -406,13 +522,83 @@ mod tests {
             pend(ReqKind::PrefetchRead, 10, 0),
             pend(ReqKind::DemandRead, 900, 5),
         ];
-        let mut up = true;
-        let p = SchedPolicy::DemandPriority.pick(&q, 0, age + 1, age, &mut up);
+        let mut st = PickState::default();
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age + 1, age, &mut st);
         assert_eq!(p.idx, 0, "prefetch waited past the bound");
         assert!(p.aged);
         // Under the bound the demand read still wins.
-        let p = SchedPolicy::DemandPriority.pick(&q, 0, age, age, &mut up);
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age, age, &mut st);
         assert_eq!(p.idx, 1);
+    }
+
+    #[test]
+    fn check_reports_zero_queue_depth_as_typed_error() {
+        assert_eq!(
+            SchedConfig::default().with_queue_depth(0).check(),
+            Err(SchedError::ZeroQueueDepth)
+        );
+        assert_eq!(SchedConfig::default().check(), Ok(()));
+        assert_eq!(
+            SchedError::ZeroQueueDepth.to_string(),
+            "queue depth must be at least 1"
+        );
+    }
+
+    #[test]
+    fn demand_priority_round_robins_tenants_within_class() {
+        // Tenant 0 floods the demand class; tenant 1 queues one demand
+        // read behind the flood.
+        let q = vec![
+            pend_t(ReqKind::DemandRead, 10, 0, 0),
+            pend_t(ReqKind::DemandRead, 20, 1, 0),
+            pend_t(ReqKind::DemandRead, 30, 2, 1),
+        ];
+        let mut st = PickState::default();
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut st);
+        assert_eq!(p.idx, 2, "tenant 1 is cyclically next after cursor 0");
+        assert_eq!(st.rr_tenant, 1);
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut st);
+        assert_eq!(p.idx, 0, "rotation returns to tenant 0's oldest");
+        assert_eq!(st.rr_tenant, 0);
+    }
+
+    #[test]
+    fn single_tenant_pick_ignores_the_rotation_cursor() {
+        // A non-zero cursor must not perturb a single-tenant queue:
+        // FCFS within the class, exactly the historical order.
+        let q = vec![
+            pend_t(ReqKind::DemandRead, 10, 0, 3),
+            pend_t(ReqKind::DemandRead, 20, 1, 3),
+        ];
+        let mut st = PickState {
+            scan_up: true,
+            rr_tenant: 7,
+        };
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, 5, Ns::MAX, &mut st);
+        assert_eq!(p.idx, 0);
+        assert_eq!(st.rr_tenant, 7, "cursor untouched for a single tenant");
+    }
+
+    #[test]
+    fn aged_prefetches_rotate_across_tenants() {
+        let age = 1_000;
+        // Both tenants' oldest prefetches are past the bound; tenant
+        // 0's arrived first. The rotation (cursor 0) still serves
+        // tenant 1 next, so one tenant's deep backlog of stale hints
+        // cannot monopolize the aging escape hatch.
+        let q = vec![
+            pend_t(ReqKind::PrefetchRead, 10, 0, 0),
+            pend_t(ReqKind::PrefetchRead, 20, 1, 1),
+            pend_t(ReqKind::DemandRead, 900, 2, 0),
+        ];
+        let mut st = PickState::default();
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age + 2, age, &mut st);
+        assert_eq!(p.idx, 1, "tenant 1's aged prefetch rotates in first");
+        assert!(p.aged);
+        assert_eq!(st.rr_tenant, 1);
+        let p = SchedPolicy::DemandPriority.pick(&q, 0, age + 2, age, &mut st);
+        assert_eq!(p.idx, 0, "then tenant 0's");
+        assert!(p.aged);
     }
 
     #[test]
@@ -421,9 +607,9 @@ mod tests {
             pend(ReqKind::DemandRead, 10, 100),
             pend(ReqKind::DemandRead, 20, 0),
         ];
-        let mut up = true;
+        let mut st = PickState::default();
         // At start=50 only the second request has arrived.
-        let p = SchedPolicy::Sstf.pick(&q, 10, 50, Ns::MAX, &mut up);
+        let p = SchedPolicy::Sstf.pick(&q, 10, 50, Ns::MAX, &mut st);
         assert_eq!(p.idx, 1);
     }
 }

@@ -66,6 +66,48 @@ impl HistSummary {
     }
 }
 
+/// Multi-tenant summary of a co-scheduled run: the fairness numbers
+/// the `tenants` bench gates on, folded into the trajectory so quota
+/// and arbitration changes are visible across commits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantSummary {
+    /// Tenants co-scheduled in the cell.
+    pub count: u64,
+    /// Worst per-tenant p95 demand stall across the fleet.
+    pub p95_stall_max_ns: u64,
+    /// Hints dropped by per-tenant quota enforcement.
+    pub hints_dropped_quota: u64,
+    /// Hints shed by the pressure arbiter.
+    pub hints_dropped_pressure: u64,
+    /// Frames an over-quota tenant recycled from its own segment.
+    pub quota_evictions: u64,
+}
+
+impl TenantSummary {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("p95_stall_max_ns", Json::U64(self.p95_stall_max_ns)),
+            ("hints_dropped_quota", Json::U64(self.hints_dropped_quota)),
+            (
+                "hints_dropped_pressure",
+                Json::U64(self.hints_dropped_pressure),
+            ),
+            ("quota_evictions", Json::U64(self.quota_evictions)),
+        ])
+    }
+
+    fn parse(v: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(Self {
+            count: req_u64(v, "count", ctx)?,
+            p95_stall_max_ns: req_u64(v, "p95_stall_max_ns", ctx)?,
+            hints_dropped_quota: req_u64(v, "hints_dropped_quota", ctx)?,
+            hints_dropped_pressure: req_u64(v, "hints_dropped_pressure", ctx)?,
+            quota_evictions: req_u64(v, "quota_evictions", ctx)?,
+        })
+    }
+}
+
 /// One benchmark execution in the trajectory: a (kernel, config) cell
 /// of the capture matrix with every gated metric.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -114,6 +156,9 @@ pub struct BaselineRun {
     pub recovery_unrecoverable: u64,
     /// Simulated time the recovery pass took (zero if never crashed).
     pub recovery_ns: u64,
+    /// Multi-tenant fairness summary; `None` for solo cells and for
+    /// baselines captured before the multi-tenant machine existed.
+    pub tenant: Option<TenantSummary>,
 }
 
 /// How a metric's drift reads in a report.
@@ -133,7 +178,7 @@ pub enum Direction {
 pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
     use Direction::*;
     let a = &r.attr;
-    vec![
+    let mut m = vec![
         ("elapsed_ns", r.elapsed_ns, HigherWorse),
         ("attr.compute_ns", a.compute_ns, Neutral),
         ("attr.fault_overhead_ns", a.fault_overhead_ns, HigherWorse),
@@ -171,6 +216,12 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
             r.ledger.dropped_io_error,
             HigherWorse,
         ),
+        ("ledger.dropped_quota", r.ledger.dropped_quota, HigherWorse),
+        (
+            "ledger.dropped_pressure",
+            r.ledger.dropped_pressure,
+            HigherWorse,
+        ),
         (
             "ledger.evicted_unused",
             r.ledger.evicted_unused,
@@ -200,7 +251,19 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
             HigherWorse,
         ),
         ("recovery.recovery_ns", r.recovery_ns, HigherWorse),
-    ]
+    ];
+    if let Some(t) = &r.tenant {
+        m.push(("tenant.count", t.count, Neutral));
+        m.push(("tenant.p95_stall_max_ns", t.p95_stall_max_ns, HigherWorse));
+        m.push(("tenant.dropped_quota", t.hints_dropped_quota, HigherWorse));
+        m.push((
+            "tenant.dropped_pressure",
+            t.hints_dropped_pressure,
+            HigherWorse,
+        ));
+        m.push(("tenant.quota_evictions", t.quota_evictions, HigherWorse));
+    }
+    m
 }
 
 impl BaselineRun {
@@ -238,7 +301,7 @@ fn attr_json(a: &TimeAttribution) -> Json {
 }
 
 fn run_json(r: &BaselineRun) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("kernel", Json::Str(r.kernel.clone())),
         ("config", Json::Str(r.config.clone())),
         ("elapsed_ns", Json::U64(r.elapsed_ns)),
@@ -261,6 +324,8 @@ fn run_json(r: &BaselineRun) -> Json {
                 ("dropped_no_memory", Json::U64(r.ledger.dropped_no_memory)),
                 ("dropped_queue_full", Json::U64(r.ledger.dropped_queue_full)),
                 ("dropped_io_error", Json::U64(r.ledger.dropped_io_error)),
+                ("dropped_quota", Json::U64(r.ledger.dropped_quota)),
+                ("dropped_pressure", Json::U64(r.ledger.dropped_pressure)),
                 ("evicted_unused", Json::U64(r.ledger.evicted_unused)),
                 ("unused_at_end", Json::U64(r.ledger.unused_at_end)),
             ]),
@@ -285,7 +350,11 @@ fn run_json(r: &BaselineRun) -> Json {
                 ("recovery_ns", Json::U64(r.recovery_ns)),
             ]),
         ),
-    ])
+    ];
+    if let Some(t) = &r.tenant {
+        fields.push(("tenant", t.to_json()));
+    }
+    Json::obj(fields)
 }
 
 /// Serialize a baseline as an `oocp-bench-v1` document.
@@ -306,6 +375,17 @@ fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
 
 fn req_obj<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
     v.get(key).ok_or_else(|| format!("{ctx}: missing {key}"))
+}
+
+/// Like [`req_u64`] but a missing key reads as zero — for outcome
+/// counters added after older baselines were captured.
+fn opt_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: {key} is not an integer")),
+    }
 }
 
 fn parse_run(v: &Json) -> Result<BaselineRun, String> {
@@ -338,6 +418,10 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         dropped_no_memory: req_u64(ledger_v, "dropped_no_memory", &ctx)?,
         dropped_queue_full: req_u64(ledger_v, "dropped_queue_full", &ctx)?,
         dropped_io_error: req_u64(ledger_v, "dropped_io_error", &ctx)?,
+        // Added with the multi-tenant machine; absent (zero) in older
+        // trajectory entries.
+        dropped_quota: opt_u64(ledger_v, "dropped_quota", &ctx)?,
+        dropped_pressure: opt_u64(ledger_v, "dropped_pressure", &ctx)?,
         evicted_unused: req_u64(ledger_v, "evicted_unused", &ctx)?,
         unused_at_end: req_u64(ledger_v, "unused_at_end", &ctx)?,
     };
@@ -358,6 +442,12 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
             req_u64(rv, "recovery_ns", &ctx)?,
         ],
     };
+    // Solo cells and pre-multi-tenant baselines carry no `tenant`
+    // block; when present it must be complete, like `recovery`.
+    let tenant = match v.get("tenant") {
+        None => None,
+        Some(tv) => Some(TenantSummary::parse(tv, &ctx)?),
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -377,6 +467,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         recovery_torn: rec[4],
         recovery_unrecoverable: rec[5],
         recovery_ns: rec[6],
+        tenant,
         kernel,
         config,
     };
@@ -686,6 +777,7 @@ mod tests {
             recovery_torn: 1,
             recovery_unrecoverable: 0,
             recovery_ns: 77,
+            tenant: None,
         }
     }
 

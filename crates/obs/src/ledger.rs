@@ -45,6 +45,12 @@ pub struct LedgerCounts {
     pub dropped_queue_full: u64,
     /// Dropped at submit time: the disk read failed.
     pub dropped_io_error: u64,
+    /// Dropped at hint time: the issuing tenant's prefetch-slot or
+    /// memory quota was exhausted.
+    pub dropped_quota: u64,
+    /// Dropped at hint time: shed by the pressure arbiter (elevation
+    /// clamp or brownout).
+    pub dropped_pressure: u64,
     /// Arrived but evicted before first use (wasted I/O).
     pub evicted_unused: u64,
     /// Never touched by the end of the run (wasted I/O).
@@ -59,6 +65,8 @@ impl LedgerCounts {
             + self.dropped_no_memory
             + self.dropped_queue_full
             + self.dropped_io_error
+            + self.dropped_quota
+            + self.dropped_pressure
             + self.evicted_unused
             + self.unused_at_end
     }
@@ -66,7 +74,12 @@ impl LedgerCounts {
     /// Entries whose disk read actually started (everything except the
     /// pre-issue drops).
     pub fn issued(&self) -> u64 {
-        self.sum() - self.dropped_no_memory - self.dropped_queue_full - self.dropped_io_error
+        self.sum()
+            - self.dropped_no_memory
+            - self.dropped_queue_full
+            - self.dropped_io_error
+            - self.dropped_quota
+            - self.dropped_pressure
     }
 
     /// Entries whose I/O completed but bought nothing.
@@ -175,6 +188,19 @@ impl PrefetchLedger {
         self.counts.dropped_no_memory += 1;
     }
 
+    /// A prefetch page was dropped before issue: the issuing tenant's
+    /// quota was exhausted.
+    pub fn dropped_quota(&mut self) {
+        self.entries += 1;
+        self.counts.dropped_quota += 1;
+    }
+
+    /// A prefetch page was dropped before issue by the pressure arbiter.
+    pub fn dropped_pressure(&mut self) {
+        self.entries += 1;
+        self.counts.dropped_pressure += 1;
+    }
+
     /// An issued page was reverted: the bounded disk queue was full.
     pub fn dropped_queue_full(&mut self, page: u64) {
         if self.open.remove(&page).is_some() {
@@ -270,6 +296,9 @@ mod tests {
         l.arrived(5, 15);
         l.evicted(5);
 
+        l.dropped_quota();
+        l.dropped_pressure();
+
         l.issued(6, 10);
         l.finalize(); // unused at end
 
@@ -279,9 +308,11 @@ mod tests {
         assert_eq!(c.dropped_no_memory, 1);
         assert_eq!(c.dropped_queue_full, 1);
         assert_eq!(c.dropped_io_error, 1);
+        assert_eq!(c.dropped_quota, 1);
+        assert_eq!(c.dropped_pressure, 1);
         assert_eq!(c.evicted_unused, 1);
         assert_eq!(c.unused_at_end, 1);
-        assert_eq!(l.entries(), 7);
+        assert_eq!(l.entries(), 9);
         assert!(l.partition_ok());
         assert_eq!(c.issued(), 4);
         assert_eq!(c.wasted(), 2);

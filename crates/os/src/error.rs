@@ -8,9 +8,133 @@
 
 use std::fmt;
 
-use oocp_disk::IoError;
+use oocp_disk::{IoError, SchedError};
 use oocp_fs::FsError;
 use oocp_sim::time::Ns;
+
+/// A nonsensical [`crate::MachineParams`] configuration, reported by
+/// [`crate::MachineParams::check`].
+///
+/// Historically these were `assert!` panics inside `validate()`; typed
+/// variants let the bench binaries turn a bad `--queue-depth 0` or
+/// `--memory 0` into an exit-with-message instead of a backtrace. The
+/// `Display` strings deliberately contain the same key phrases the old
+/// panics used ("power of two", "watermark", "queue depth", ...) so
+/// message-matching callers keep working.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Page size is zero, not a power of two, or below 512 bytes.
+    BadPageSize {
+        /// The rejected page size.
+        page_bytes: u64,
+    },
+    /// Fewer than 8 resident frames (effectively zero-page memory).
+    TooFewFrames {
+        /// The rejected resident limit.
+        resident_limit: u64,
+    },
+    /// The demand reserve leaves no frames for the application.
+    ReserveTooLarge {
+        /// The rejected reserve.
+        demand_reserve: u64,
+        /// The resident limit it must stay below.
+        resident_limit: u64,
+    },
+    /// Pageout watermarks out of order (low above high).
+    InvertedWatermarks {
+        /// Low watermark.
+        low_water: u64,
+        /// High watermark.
+        high_water: u64,
+    },
+    /// The high watermark is not below the resident limit.
+    HighWaterTooHigh {
+        /// High watermark.
+        high_water: u64,
+        /// The resident limit it must stay below.
+        resident_limit: u64,
+    },
+    /// A diskless machine cannot run the simulator.
+    NoDisks,
+    /// Disk block size disagrees with the page size.
+    BlockSizeMismatch {
+        /// Disk block size in bytes.
+        block_bytes: u64,
+        /// Page size in bytes.
+        page_bytes: u64,
+    },
+    /// Journaling enabled with a ring too small for one record.
+    JournalTooSmall {
+        /// The rejected ring size in blocks.
+        journal_blocks_per_disk: u64,
+    },
+    /// The disk scheduler configuration is invalid.
+    Sched(SchedError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::BadPageSize { page_bytes } => {
+                write!(
+                    f,
+                    "page size must be a power of two >= 512 (got {page_bytes})"
+                )
+            }
+            ConfigError::TooFewFrames { resident_limit } => {
+                write!(f, "need at least 8 frames (got {resident_limit})")
+            }
+            ConfigError::ReserveTooLarge {
+                demand_reserve,
+                resident_limit,
+            } => write!(
+                f,
+                "demand reserve must leave frames for the application \
+                 (reserve {demand_reserve}, limit {resident_limit})"
+            ),
+            ConfigError::InvertedWatermarks {
+                low_water,
+                high_water,
+            } => write!(
+                f,
+                "low watermark above high watermark ({low_water} > {high_water})"
+            ),
+            ConfigError::HighWaterTooHigh {
+                high_water,
+                resident_limit,
+            } => write!(
+                f,
+                "high watermark must be below the resident limit \
+                 ({high_water} >= {resident_limit})"
+            ),
+            ConfigError::NoDisks => write!(f, "need at least one disk"),
+            ConfigError::BlockSizeMismatch {
+                block_bytes,
+                page_bytes,
+            } => write!(
+                f,
+                "disk block size must equal the page size \
+                 (block {block_bytes}, page {page_bytes})"
+            ),
+            ConfigError::JournalTooSmall {
+                journal_blocks_per_disk,
+            } => write!(
+                f,
+                "journal needs at least one two-block record slot per disk \
+                 (got {journal_blocks_per_disk} blocks)"
+            ),
+            ConfigError::Sched(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SchedError> for ConfigError {
+    fn from(e: SchedError) -> Self {
+        ConfigError::Sched(e)
+    }
+}
 
 /// An error surfaced by the machine's request path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -163,6 +163,24 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 at,
                 Json::obj([("page", Json::U64(page)), ("count", Json::U64(count))]),
             ),
+            TraceEvent::HintDropQuota { page, tenant } => instant(
+                "hint_drop_quota",
+                TID_HINT,
+                at,
+                Json::obj([
+                    ("page", Json::U64(page)),
+                    ("tenant", Json::U64(tenant as u64)),
+                ]),
+            ),
+            TraceEvent::HintDropPressure { page, tenant } => instant(
+                "hint_drop_pressure",
+                TID_HINT,
+                at,
+                Json::obj([
+                    ("page", Json::U64(page)),
+                    ("tenant", Json::U64(tenant as u64)),
+                ]),
+            ),
             TraceEvent::QueueFullWait { page, disk, wait } => complete(
                 "queue_full_wait",
                 TID_APP,

@@ -29,15 +29,16 @@ pub mod params;
 pub mod posix;
 pub mod stats;
 pub mod store;
+pub mod tenant;
 pub mod trace;
 
 pub use bitvec::ResidencyBits;
-pub use error::{FlushError, OsError};
+pub use error::{ConfigError, FlushError, OsError};
 pub use export::chrome_trace_json;
 // Fault-injection types, re-exported so layers above the OS (the
 // run-time filter, the bench harness) can build plans without a direct
 // disk-crate dependency.
-pub use machine::{DurableRecord, Machine, RecoveryReport, Segment};
+pub use machine::{DurableRecord, Machine, RecoveryReport, Segment, Touch};
 pub use metrics::{MetricsReport, ObsMetrics};
 // Observability types that appear in this crate's public API, re-
 // exported for the same reason as the fault-injection types above.
@@ -49,4 +50,7 @@ pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};
 pub use store::{page_checksum, DurableStore, SECTOR_BYTES};
+pub use tenant::{
+    PressureLevel, QosClass, TenantId, TenantSpec, TenantStats, ELEVATED_BEST_EFFORT_SLOTS,
+};
 pub use trace::{SpanLifecycle, Trace, TraceEvent, TraceRecord};

@@ -16,6 +16,9 @@ use crate::metrics::{MetricsReport, ObsMetrics};
 use crate::params::MachineParams;
 use crate::stats::OsStats;
 use crate::store::{DurableStore, SECTOR_BYTES};
+use crate::tenant::{
+    PressureLevel, QosClass, TenantId, TenantSpec, TenantStats, ELEVATED_BEST_EFFORT_SLOTS,
+};
 use crate::trace::{Trace, TraceEvent};
 
 /// A page-aligned region of the virtual address space backing one array.
@@ -25,6 +28,39 @@ pub struct Segment {
     pub base: u64,
     /// Length in bytes (rounded up to whole pages at allocation).
     pub bytes: u64,
+}
+
+/// One registered tenant: its policy, the page range it owns, its
+/// residency view, and its counters.
+struct TenantInfo {
+    spec: TenantSpec,
+    /// First page of the tenant's segment.
+    first_page: u64,
+    /// Pages in the tenant's segment.
+    pages: u64,
+    /// Tenant-local clock hand for quota self-eviction.
+    hand: u64,
+    stats: TenantStats,
+}
+
+/// Outcome of a non-blocking demand access ([`Machine::touch_nb`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Touch {
+    /// Every page is resident; the access is complete.
+    Done {
+        /// Pages that hard-faulted during this access.
+        faults: u64,
+    },
+    /// A page's disk read completes at `until`. All fault bookkeeping
+    /// (overhead charge, counters, stall samples, state transition) has
+    /// already happened; only the wait itself is left to the caller.
+    /// The caller must not run this tenant again until the clock
+    /// reaches `until`, then simply retry the access (the now-resident
+    /// pages take the free fast path).
+    Blocked {
+        /// Absolute completion time of the blocking read.
+        until: Ns,
+    },
 }
 
 /// Residency state of one virtual page.
@@ -250,6 +286,17 @@ pub struct Machine {
     /// Dirty pages whose final contents never became durable:
     /// abandoned writebacks plus everything cut off by a crash.
     flush_failures: Vec<u64>,
+    /// Registered tenants in registration order (each owns one
+    /// segment). Empty for the classic single-program machine, which
+    /// behaves as one implicit guaranteed tenant with no quotas.
+    tenants: Vec<TenantInfo>,
+    /// The tenant whose accesses and hints are currently executing
+    /// (set by the co-scheduling hub before each slice; 0 otherwise).
+    cur_tenant: TenantId,
+    /// Per-tenant residency bit vectors (same geometry as the shared
+    /// one; each tracks only its owner's pages). Present only when
+    /// tenants are registered.
+    tenant_bits: Vec<ResidencyBits>,
 }
 
 impl Machine {
@@ -324,6 +371,9 @@ impl Machine {
             crash_rng: None,
             crash_discarded: Vec::new(),
             flush_failures: Vec::new(),
+            tenants: Vec::new(),
+            cur_tenant: 0,
+            tenant_bits: Vec::new(),
         })
     }
 
@@ -443,14 +493,28 @@ impl Machine {
     /// `attribution().total() == breakdown().total() == now()`.
     pub fn attribution(&self) -> TimeAttribution {
         let b = self.breakdown;
+        let mut backpressure = self.stats.queue_full_wait_ns + self.stats.io_retry_wait_ns;
+        let mut fault_wait = self.stats.fault_wait.sum() as Ns;
+        let mut late = self.stats.late_prefetch_stall_ns;
+        if self.tenants.len() > 1 {
+            // Co-scheduled tenants overlap their disk waits with each
+            // other's execution, so the per-fault wait sum can exceed
+            // the machine's idle time. The attribution partitions the
+            // *machine's* elapsed time, so the stall buckets are
+            // clamped to the idle they refine; the overlap is visible
+            // per tenant in `TenantStats::fault_wait_ns` instead.
+            backpressure = backpressure.min(b.idle);
+            fault_wait = fault_wait.min(b.idle - backpressure);
+            late = late.min(fault_wait);
+        }
         TimeAttribution::new(
             b.user,
             b.sys_fault,
             b.sys_prefetch,
             b.idle,
-            self.stats.fault_wait.sum() as Ns,
-            self.stats.late_prefetch_stall_ns,
-            self.stats.queue_full_wait_ns + self.stats.io_retry_wait_ns,
+            fault_wait,
+            late,
+            backpressure,
         )
     }
 
@@ -539,6 +603,228 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Tenants
+    // ------------------------------------------------------------------
+
+    /// Register a tenant owning a fresh segment of `bytes`. Returns the
+    /// tenant id (dense, registration order) and its segment.
+    ///
+    /// Declares the new tenant count to the disk scheduler so its
+    /// round-robin shares adjust. A machine with no registered tenants
+    /// is the classic single-program machine: one implicit guaranteed
+    /// tenant with no quotas and unchanged behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space is exhausted (see
+    /// [`Machine::alloc_segment`]).
+    pub fn register_tenant(&mut self, spec: TenantSpec, bytes: u64) -> (TenantId, Segment) {
+        let seg = self.alloc_segment(bytes);
+        let id = self.tenants.len() as TenantId;
+        self.tenants.push(TenantInfo {
+            spec,
+            first_page: seg.base / self.params.page_bytes,
+            pages: seg.bytes / self.params.page_bytes,
+            hand: 0,
+            stats: TenantStats::default(),
+        });
+        self.tenant_bits.push(ResidencyBits::new(
+            self.total_pages(),
+            self.params.page_bytes,
+        ));
+        self.disks.set_tenant_count(self.tenants.len());
+        (id, seg)
+    }
+
+    /// Select the tenant whose accesses and hints execute next (the
+    /// co-scheduling hub calls this before each slice).
+    pub fn set_tenant(&mut self, t: TenantId) {
+        debug_assert!(
+            (t as usize) < self.tenants.len().max(1),
+            "unknown tenant {t}"
+        );
+        self.cur_tenant = t;
+    }
+
+    /// The currently selected tenant (0 without registrations).
+    pub fn cur_tenant(&self) -> TenantId {
+        self.cur_tenant
+    }
+
+    /// Number of tenants sharing the machine (1 without registrations).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len().max(1)
+    }
+
+    /// A tenant's policy (the implicit solo tenant is unlimited).
+    pub fn tenant_spec(&self, t: TenantId) -> TenantSpec {
+        self.tenants
+            .get(t as usize)
+            .map_or_else(TenantSpec::unlimited, |i| i.spec)
+    }
+
+    /// A tenant's counters (zeros for the implicit solo tenant — its
+    /// events live in the shared [`OsStats`]).
+    pub fn tenant_stats(&self, t: TenantId) -> TenantStats {
+        self.tenants
+            .get(t as usize)
+            .map(|i| i.stats)
+            .unwrap_or_default()
+    }
+
+    /// A tenant's private residency bit vector (its own pages only).
+    /// Falls back to the shared vector without registrations.
+    pub fn tenant_bits_of(&self, t: TenantId) -> &ResidencyBits {
+        self.tenant_bits.get(t as usize).unwrap_or(&self.bits)
+    }
+
+    /// Frames currently charged to a tenant: active resident pages plus
+    /// in-flight prefetches inside its segment (free-list pages are
+    /// reclaimable by anyone and charged to no one). For the implicit
+    /// solo tenant this is the machine-wide occupancy.
+    pub fn tenant_usage(&self, t: TenantId) -> u64 {
+        let Some(info) = self.tenants.get(t as usize) else {
+            return self.resident + self.inflight;
+        };
+        let mut used = 0;
+        for v in info.first_page..info.first_page + info.pages {
+            match self.pages[v as usize].state {
+                PageState::Resident {
+                    on_free_list: false,
+                    ..
+                }
+                | PageState::InFlight { .. } => used += 1,
+                _ => {}
+            }
+        }
+        used
+    }
+
+    /// Classify global memory pressure from the free pool against the
+    /// pageout watermarks. The arbiter sheds hint load in QoS order as
+    /// this rises; the hub additionally pushes low-QoS tenants into
+    /// demand-only degraded mode under [`PressureLevel::Brownout`].
+    pub fn pressure_level(&self) -> PressureLevel {
+        let pool = self.truly_free() + self.free_list_len();
+        if pool >= self.params.high_water {
+            PressureLevel::Nominal
+        } else if pool >= self.params.low_water {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Brownout
+        }
+    }
+
+    /// Advance the clock to `until`, charging the gap as idle — the
+    /// hub's "every tenant is blocked on disk" stall. A no-op if the
+    /// clock is already past `until`.
+    pub fn advance_idle_to(&mut self, until: Ns) {
+        self.stall_until(until);
+    }
+
+    /// The tenant owning `vpage`, if any segment covers it.
+    fn owner_of(&self, vpage: u64) -> Option<TenantId> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        // Segments are allocated in ascending page order.
+        let idx = self
+            .tenants
+            .partition_point(|i| i.first_page <= vpage)
+            .checked_sub(1)?;
+        let info = &self.tenants[idx];
+        (vpage < info.first_page + info.pages).then_some(idx as TenantId)
+    }
+
+    /// Adjust the owner's in-flight prefetch gauge when a page enters
+    /// or leaves `InFlight` (no-op without registered tenants).
+    #[inline]
+    fn note_tenant_inflight(&mut self, vpage: u64, delta: i64) {
+        if self.tenants.is_empty() {
+            return;
+        }
+        if let Some(t) = self.owner_of(vpage) {
+            let g = &mut self.tenants[t as usize].stats.inflight_prefetch;
+            *g = (*g as i64 + delta) as u64;
+        }
+    }
+
+    /// Attribute a demand fault and its stall to the current tenant.
+    #[inline]
+    fn note_tenant_fault(&mut self, waited: Ns) {
+        if let Some(info) = self.tenants.get_mut(self.cur_tenant as usize) {
+            info.stats.demand_faults += 1;
+            info.stats.fault_wait_ns += waited;
+        }
+    }
+
+    /// Memory-quota enforcement on the demand path: while the current
+    /// tenant is at or over its frame quota, evict one of its *own*
+    /// pages, so over-quota tenants recycle their own frames instead of
+    /// taking anyone else's — and a quota-starved tenant still makes
+    /// progress.
+    fn enforce_memory_quota(&mut self) {
+        let Some(info) = self.tenants.get(self.cur_tenant as usize) else {
+            return;
+        };
+        let Some(q) = info.spec.memory_frames else {
+            return;
+        };
+        let q = q.max(1);
+        while self.tenant_usage(self.cur_tenant) >= q {
+            if !self.evict_own_page(self.cur_tenant) {
+                break; // everything left is in flight; let it land
+            }
+        }
+    }
+
+    /// Clock-scan the tenant's segment and evict one of its active
+    /// resident pages (second chance on the first pass). Returns
+    /// `false` if nothing was evictable.
+    fn evict_own_page(&mut self, t: TenantId) -> bool {
+        let (first, pages) = {
+            let i = &self.tenants[t as usize];
+            (i.first_page, i.pages)
+        };
+        let mut scanned = 0;
+        while scanned < 2 * pages {
+            let hand = self.tenants[t as usize].hand;
+            let v = first + hand;
+            self.tenants[t as usize].hand = (hand + 1) % pages;
+            scanned += 1;
+            self.settle(v);
+            if let PageState::Resident {
+                dirty,
+                referenced,
+                on_free_list: false,
+            } = self.pages[v as usize].state
+            {
+                if referenced && scanned <= pages {
+                    self.pages[v as usize].state = PageState::Resident {
+                        dirty,
+                        referenced: false,
+                        on_free_list: false,
+                    };
+                } else {
+                    // Through the free list so dirty pages get their
+                    // writeback, then straight back off it: the frame
+                    // goes to the global pool, not to a neighbour's
+                    // reclaim.
+                    self.queue_on_free_list(v, true);
+                    if let Some(p) = self.pop_free_list() {
+                        debug_assert_eq!(p, v);
+                        self.reclaim(p);
+                    }
+                    self.tenants[t as usize].stats.quota_evictions += 1;
+                    self.trace_event(TraceEvent::Eviction { page: v });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
     // Time accounting
     // ------------------------------------------------------------------
 
@@ -575,6 +861,11 @@ impl Machine {
         if !p.bit_noted {
             p.bit_noted = true;
             self.bits.note_resident(vpage);
+            if !self.tenant_bits.is_empty() {
+                if let Some(t) = self.owner_of(vpage) {
+                    self.tenant_bits[t as usize].note_resident(vpage);
+                }
+            }
         }
     }
 
@@ -598,6 +889,11 @@ impl Machine {
                 }
             }
             self.bits.note_gone(vpage);
+            if !self.tenant_bits.is_empty() {
+                if let Some(t) = self.owner_of(vpage) {
+                    self.tenant_bits[t as usize].note_gone(vpage);
+                }
+            }
         }
     }
 
@@ -615,6 +911,16 @@ impl Machine {
         }
         let fixed = before.saturating_sub(fresh.set_bits());
         self.bits = fresh;
+        for t in 0..self.tenant_bits.len() {
+            let mut tv = ResidencyBits::new(self.total_pages(), self.params.page_bytes);
+            let info = &self.tenants[t];
+            for v in info.first_page..info.first_page + info.pages {
+                if self.pages[v as usize].bit_noted {
+                    tv.note_resident(v);
+                }
+            }
+            self.tenant_bits[t] = tv;
+        }
         self.stats.bitvec_resyncs += 1;
         self.stats.bitvec_stale_fixed += fixed;
         self.trace_event(TraceEvent::BitvecResync { fixed });
@@ -649,6 +955,7 @@ impl Machine {
                 };
                 self.pages[vpage as usize].touched = false;
                 self.inflight -= 1;
+                self.note_tenant_inflight(vpage, -1);
                 self.resident += 1;
                 // `done` is the read's exact completion time even when
                 // this observation is late (completions settle lazily).
@@ -908,7 +1215,12 @@ impl Machine {
             }
             return;
         }
-        match self.submit_with_retry(disk, Request::new(ReqKind::Write, block, 1), vpage) {
+        let owner = self.owner_of(vpage).unwrap_or(0);
+        match self.submit_with_retry(
+            disk,
+            Request::new(ReqKind::Write, block, 1).with_tenant(owner),
+            vpage,
+        ) {
             Ok(_) => {
                 self.stats.writebacks += 1;
                 self.trace_event(TraceEvent::Writeback { page: vpage });
@@ -1197,6 +1509,159 @@ impl Machine {
         Ok(faults)
     }
 
+    /// Non-blocking variant of [`Machine::try_touch`] for co-scheduling
+    /// hubs: all fault bookkeeping (kernel overhead, counters, stall
+    /// samples, residency transitions) happens exactly as in the
+    /// blocking path, but instead of charging the disk wait as idle the
+    /// call returns [`Touch::Blocked`] with the read's completion time.
+    /// The hub runs other tenants during the gap (or
+    /// [`Machine::advance_idle_to`] if everyone is blocked), then
+    /// simply retries the access: completed pages take the free
+    /// resident fast path, so no event is double-counted.
+    ///
+    /// Queue-full and retry backoff waits inside the submission path
+    /// still block globally (they are idle waits of the shared kernel,
+    /// not of one tenant) — rare by construction, since demand reads
+    /// bypass the per-tenant queue shares.
+    pub fn touch_nb(&mut self, addr: u64, len: u64, write: bool) -> Result<Touch, OsError> {
+        debug_assert!(!self.finished, "touch after finish()");
+        if self.durable.is_some() {
+            self.ensure_durable_snapshot();
+        }
+        let first = self.page_of(addr);
+        let last = self.page_of(addr + len.max(1) - 1);
+        if self.crashed.is_some() {
+            for vpage in first..=last {
+                self.touch_page_crashed(vpage, write);
+            }
+            return Ok(Touch::Done { faults: 0 });
+        }
+        if !self.pressure.is_empty() {
+            self.apply_pressure();
+        }
+        let mut faults = 0;
+        for vpage in first..=last {
+            match self.touch_page_nb(vpage, write)? {
+                None => {}
+                Some(until) if until > self.now => {
+                    // Counted faults on earlier pages stay counted in
+                    // the stats; the retry re-reports only the rest.
+                    return Ok(Touch::Blocked { until });
+                }
+                Some(_) => faults += 1,
+            }
+        }
+        Ok(Touch::Done { faults })
+    }
+
+    /// Touch one page without stalling. `Ok(None)` means no hard fault;
+    /// `Ok(Some(done))` means the page hard-faulted and its read
+    /// completes at `done` (which may be in the past — then the fault
+    /// cost nothing but overhead, exactly like a zero-wait stall).
+    fn touch_page_nb(&mut self, vpage: u64, write: bool) -> Result<Option<Ns>, OsError> {
+        self.settle(vpage);
+        let page = self.pages[vpage as usize];
+        match page.state {
+            PageState::Resident { .. } => self.touch_page(vpage, write).map(|_| None),
+            PageState::InFlight { ticket } => {
+                // Same bookkeeping as the blocking in-flight arm, minus
+                // the stall itself.
+                self.charge(TimeCategory::SystemFault, self.params.fault_overhead_ns);
+                self.stats.hard_faults += 1;
+                self.stats.prefetched_faults_inflight += 1;
+                if !self.tenants.is_empty() {
+                    self.disks.promote(ticket, self.now);
+                }
+                let arrival = self.disks.wait_for(ticket);
+                let waited = arrival.saturating_sub(self.now);
+                self.stats.fault_wait.push(waited as f64);
+                self.stats.late_prefetch_stall_ns += waited;
+                if let Some(mx) = &mut self.metrics {
+                    mx.fault_wait.record(waited);
+                    mx.ledger.consumed_late(vpage, arrival);
+                }
+                if page.span != 0 {
+                    self.trace_event(TraceEvent::PrefetchConsume {
+                        page: vpage,
+                        span: page.span,
+                        late: true,
+                    });
+                }
+                self.inflight -= 1;
+                self.note_tenant_inflight(vpage, -1);
+                self.note_tenant_fault(waited);
+                self.resident += 1;
+                let p = &mut self.pages[vpage as usize];
+                p.touched = true;
+                p.prefetch_tag = false;
+                p.span = 0;
+                p.state = PageState::Resident {
+                    dirty: write,
+                    referenced: true,
+                    on_free_list: false,
+                };
+                Ok(Some(arrival))
+            }
+            PageState::Unmapped => {
+                self.charge(TimeCategory::SystemFault, self.params.fault_overhead_ns);
+                self.stats.hard_faults += 1;
+                if page.prefetch_tag {
+                    self.stats.prefetched_faults_lost += 1;
+                } else {
+                    self.stats.non_prefetched_faults += 1;
+                }
+                self.enforce_memory_quota();
+                self.alloc_frame_demand()?;
+                let (disk, block) = self.fs.place(self.swap, vpage).map_err(OsError::Fs)?;
+                let done = match self.submit_with_retry(
+                    disk,
+                    Request::new(ReqKind::DemandRead, block, 1).with_tenant(self.cur_tenant),
+                    vpage,
+                ) {
+                    Ok(done) => done,
+                    Err(OsError::Crashed { .. }) => {
+                        let p = &mut self.pages[vpage as usize];
+                        p.state = PageState::Resident {
+                            dirty: write,
+                            referenced: true,
+                            on_free_list: false,
+                        };
+                        p.touched = true;
+                        p.prefetch_tag = false;
+                        p.span = 0;
+                        self.resident += 1;
+                        return Ok(Some(self.now));
+                    }
+                    Err(e) => return Err(e),
+                };
+                let waited = done.saturating_sub(self.now);
+                self.stats.fault_wait.push(waited as f64);
+                self.note_tenant_fault(waited);
+                if let Some(mx) = &mut self.metrics {
+                    mx.fault_wait.record(waited);
+                }
+                self.trace_event(TraceEvent::HardFault {
+                    page: vpage,
+                    waited,
+                });
+                let p = &mut self.pages[vpage as usize];
+                p.state = PageState::Resident {
+                    dirty: write,
+                    referenced: true,
+                    on_free_list: false,
+                };
+                p.touched = true;
+                p.prefetch_tag = false;
+                p.span = 0;
+                self.resident += 1;
+                self.bit_in(vpage);
+                self.run_daemon();
+                self.note_free_level();
+                Ok(Some(done))
+            }
+        }
+    }
+
     /// Post-crash page touch: pure metadata bookkeeping, no disk, no
     /// time, no fault statistics. Keeps frame counters consistent so a
     /// later [`Machine::recover`] starts from sane accounting.
@@ -1209,6 +1674,7 @@ impl Machine {
             PageState::Resident { .. } => {}
             PageState::InFlight { .. } => {
                 self.inflight -= 1;
+                self.note_tenant_inflight(vpage, -1);
                 self.resident += 1;
             }
             PageState::Unmapped => self.resident += 1,
@@ -1316,9 +1782,15 @@ impl Machine {
                 // stall for the residual latency only. `wait_for`
                 // redeems this page's completion unit, so the page
                 // transitions directly (a settle would redeem twice).
+                // On a multi-tenant machine the queued read is first
+                // promoted to demand class — somebody is blocked on it
+                // now, and it must not wait out the hint shares.
                 self.charge(TimeCategory::SystemFault, self.params.fault_overhead_ns);
                 self.stats.hard_faults += 1;
                 self.stats.prefetched_faults_inflight += 1;
+                if !self.tenants.is_empty() {
+                    self.disks.promote(ticket, self.now);
+                }
                 let arrival = self.disks.wait_for(ticket);
                 let waited = self.stall_until(arrival);
                 self.stats.fault_wait.push(waited as f64);
@@ -1335,6 +1807,8 @@ impl Machine {
                     });
                 }
                 self.inflight -= 1;
+                self.note_tenant_inflight(vpage, -1);
+                self.note_tenant_fault(waited);
                 self.resident += 1;
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
@@ -1359,11 +1833,12 @@ impl Machine {
                 } else {
                     self.stats.non_prefetched_faults += 1;
                 }
+                self.enforce_memory_quota();
                 self.alloc_frame_demand()?;
                 let (disk, block) = self.fs.place(self.swap, vpage).map_err(OsError::Fs)?;
                 let done = match self.submit_with_retry(
                     disk,
-                    Request::new(ReqKind::DemandRead, block, 1),
+                    Request::new(ReqKind::DemandRead, block, 1).with_tenant(self.cur_tenant),
                     vpage,
                 ) {
                     Ok(done) => done,
@@ -1388,6 +1863,7 @@ impl Machine {
                 };
                 let waited = self.stall_until(done);
                 self.stats.fault_wait.push(waited as f64);
+                self.note_tenant_fault(waited);
                 if let Some(mx) = &mut self.metrics {
                     mx.fault_wait.record(waited);
                 }
@@ -1465,6 +1941,12 @@ impl Machine {
     fn do_release(&mut self, start: u64, n: u64) {
         let end = (start + n).min(self.total_pages());
         for vpage in start.min(self.total_pages())..end {
+            // On a multi-tenant machine a release is advice about the
+            // caller's own pages only: a hint that runs past the
+            // segment boundary must not evict a neighbour.
+            if !self.tenants.is_empty() && self.owner_of(vpage) != Some(self.cur_tenant) {
+                continue;
+            }
             self.stats.release_pages += 1;
             self.settle(vpage);
             if let PageState::Resident {
@@ -1489,9 +1971,50 @@ impl Machine {
         }
     }
 
+    /// Drop one prefetch hint page at the arbitration gate, attributed
+    /// to the current tenant's `quota` (true) or to pressure shedding
+    /// (false).
+    fn drop_hint(&mut self, vpage: u64, quota: bool) {
+        self.stats.prefetch_pages_dropped += 1;
+        let t = self.cur_tenant;
+        if quota {
+            self.stats.hints_dropped_quota += 1;
+            self.tenants[t as usize].stats.hints_dropped_quota += 1;
+            if let Some(mx) = &mut self.metrics {
+                mx.ledger.dropped_quota();
+            }
+            self.trace_event(TraceEvent::HintDropQuota {
+                page: vpage,
+                tenant: t,
+            });
+        } else {
+            self.stats.hints_dropped_pressure += 1;
+            self.tenants[t as usize].stats.hints_dropped_pressure += 1;
+            if let Some(mx) = &mut self.metrics {
+                mx.ledger.dropped_pressure();
+            }
+            self.trace_event(TraceEvent::HintDropPressure {
+                page: vpage,
+                tenant: t,
+            });
+        }
+        // Like a memory-pressure drop: keep the tag so a later fault on
+        // the page classifies as "prefetched but lost" (Figure 4(a)).
+        self.pages[vpage as usize].prefetch_tag = true;
+    }
+
     fn do_prefetch(&mut self, start: u64, n: u64) {
         let end = (start + n).min(self.total_pages());
         let start = start.min(self.total_pages());
+        // Arbitration state for this hint: the pressure level at entry,
+        // the issuing tenant's policy, and (if it has a frame quota) a
+        // running count of its charged frames, maintained incrementally
+        // so the per-page gate stays O(1).
+        let multi = !self.tenants.is_empty();
+        let level = self.pressure_level();
+        let spec = self.tenant_spec(self.cur_tenant);
+        let mut mem_used =
+            (multi && spec.memory_frames.is_some()).then(|| self.tenant_usage(self.cur_tenant));
         // Pages that need disk reads, grouped into contiguous spans.
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for vpage in start..end {
@@ -1520,11 +2043,42 @@ impl Machine {
                     p.prefetch_tag = true;
                     self.stats.prefetch_pages_reclaimed += 1;
                     self.bit_in(vpage);
+                    if let Some(u) = &mut mem_used {
+                        *u += 1; // free-list page back on the books
+                    }
                 }
                 PageState::InFlight { .. } => {
                     self.stats.prefetch_pages_inflight += 1;
                 }
                 PageState::Unmapped => {
+                    if multi {
+                        let t = self.cur_tenant;
+                        let inflight = self.tenants[t as usize].stats.inflight_prefetch;
+                        // Pressure shedding, strictly QoS-ordered:
+                        // brownout drops every non-guaranteed hint;
+                        // elevation clamps best-effort pipelining.
+                        let shed = match (spec.qos, level) {
+                            (QosClass::Guaranteed, _) => false,
+                            (_, PressureLevel::Brownout) => true,
+                            (QosClass::BestEffort, PressureLevel::Elevated) => {
+                                inflight >= ELEVATED_BEST_EFFORT_SLOTS
+                            }
+                            _ => false,
+                        };
+                        if shed {
+                            self.drop_hint(vpage, false);
+                            continue;
+                        }
+                        let over_slots = spec.prefetch_slots.is_some_and(|q| inflight >= q);
+                        let over_mem = match (mem_used, spec.memory_frames) {
+                            (Some(u), Some(q)) => u >= q.max(1),
+                            _ => false,
+                        };
+                        if over_slots || over_mem {
+                            self.drop_hint(vpage, true);
+                            continue;
+                        }
+                    }
                     if !self.alloc_frame_prefetch() {
                         self.stats.prefetch_pages_dropped += 1;
                         if let Some(mx) = &mut self.metrics {
@@ -1538,6 +2092,13 @@ impl Machine {
                         continue;
                     }
                     self.inflight += 1;
+                    self.note_tenant_inflight(vpage, 1);
+                    if let Some(info) = self.tenants.get_mut(self.cur_tenant as usize) {
+                        info.stats.prefetch_pages_issued += 1;
+                    }
+                    if let Some(u) = &mut mem_used {
+                        *u += 1;
+                    }
                     self.stats.prefetch_pages_issued += 1;
                     // Span ids are allocated in page order, so a
                     // contiguous issue span holds consecutive ids (the
@@ -1578,7 +2139,8 @@ impl Machine {
                 match self.disks.try_track(
                     run.disk,
                     self.now,
-                    Request::new(ReqKind::PrefetchRead, run.start_block, run.nblocks),
+                    Request::new(ReqKind::PrefetchRead, run.start_block, run.nblocks)
+                        .with_tenant(self.cur_tenant),
                 ) {
                     Ok(ticket) => {
                         // Every page of the run redeems one unit of the
@@ -1603,6 +2165,7 @@ impl Machine {
                                 PageState::Unmapped
                             ));
                             self.inflight -= 1;
+                            self.note_tenant_inflight(vpage, -1);
                             self.bit_out(vpage);
                             if let Some(mx) = &mut self.metrics {
                                 mx.ledger.dropped_queue_full(vpage);
@@ -1625,6 +2188,7 @@ impl Machine {
                                 PageState::Unmapped
                             ));
                             self.inflight -= 1;
+                            self.note_tenant_inflight(vpage, -1);
                             self.bit_out(vpage);
                             self.pages[vpage as usize].span = 0;
                             self.stats.prefetch_pages_issued -= 1;
@@ -1653,6 +2217,7 @@ impl Machine {
                                 PageState::Unmapped
                             ));
                             self.inflight -= 1;
+                            self.note_tenant_inflight(vpage, -1);
                             self.bit_out(vpage);
                             if let Some(mx) = &mut self.metrics {
                                 mx.ledger.dropped_io_error(vpage);
@@ -3194,5 +3759,182 @@ mod tests {
         // hint/touch applies the restore entry.
         m.touch(4096, 8, false);
         assert_eq!(m.params().resident_limit, 32, "restored at t >= until");
+    }
+
+    // --------------------------------------------------------------
+    // Multi-tenant machine
+    // --------------------------------------------------------------
+
+    /// A tiny machine with one 16-page tenant per spec.
+    fn multi(specs: &[TenantSpec]) -> (Machine, Vec<Segment>) {
+        let mut m = tiny();
+        let segs = specs
+            .iter()
+            .map(|s| m.register_tenant(*s, 16 * 4096).1)
+            .collect();
+        (m, segs)
+    }
+
+    #[test]
+    fn tenant_registration_partitions_the_address_space() {
+        let (m, segs) = multi(&[
+            TenantSpec::unlimited(),
+            TenantSpec::unlimited().with_qos(QosClass::BestEffort),
+        ]);
+        assert_eq!(m.tenant_count(), 2);
+        assert_eq!(segs[0].base, 0);
+        assert_eq!(segs[1].base, segs[0].bytes, "segments are disjoint");
+        assert_eq!(m.cur_tenant(), 0);
+        assert_eq!(m.tenant_spec(0).qos, QosClass::Guaranteed);
+        assert_eq!(m.tenant_spec(1).qos, QosClass::BestEffort);
+        // Out-of-range lookups read as the implicit unlimited tenant.
+        assert_eq!(m.tenant_spec(9).memory_frames, None);
+    }
+
+    #[test]
+    fn tenant_residency_bits_are_private() {
+        let (mut m, segs) = multi(&[TenantSpec::unlimited(), TenantSpec::unlimited()]);
+        m.set_tenant(0);
+        m.touch(segs[0].base, 8, true);
+        m.set_tenant(1);
+        m.touch(segs[1].base, 8, true);
+        let p0 = segs[0].base / 4096;
+        let p1 = segs[1].base / 4096;
+        assert!(m.tenant_bits_of(0).test(p0));
+        assert!(!m.tenant_bits_of(0).test(p1), "t0 never sees t1's pages");
+        assert!(m.tenant_bits_of(1).test(p1));
+        assert!(!m.tenant_bits_of(1).test(p0), "t1 never sees t0's pages");
+        // The shared vector still sees both.
+        assert!(m.bits().test(p0) && m.bits().test(p1));
+    }
+
+    #[test]
+    fn prefetch_slot_quota_drops_excess_hints() {
+        let (mut m, segs) = multi(&[
+            TenantSpec::unlimited().with_prefetch_slots(2),
+            TenantSpec::unlimited(),
+        ]);
+        m.set_tenant(0);
+        m.sys_prefetch(segs[0].base / 4096, 8);
+        let s = m.stats();
+        assert_eq!(s.prefetch_pages_issued, 2, "quota admits two in flight");
+        assert_eq!(s.hints_dropped_quota, 6, "the rest drop with reason quota");
+        assert_eq!(s.hints_dropped_pressure, 0);
+        let ts = m.tenant_stats(0);
+        assert_eq!(ts.hints_dropped_quota, 6);
+        assert_eq!(ts.inflight_prefetch, 2);
+        assert_eq!(m.tenant_stats(1).hints_dropped_quota, 0);
+        // Partition invariant survives the quota path.
+        assert_eq!(
+            s.prefetch_pages_requested,
+            s.prefetch_pages_issued
+                + s.prefetch_pages_unnecessary
+                + s.prefetch_pages_reclaimed
+                + s.prefetch_pages_inflight
+                + s.prefetch_pages_dropped
+        );
+    }
+
+    #[test]
+    fn brownout_sheds_non_guaranteed_hints_only() {
+        let (mut m, segs) = multi(&[
+            TenantSpec::unlimited(),
+            TenantSpec::unlimited().with_qos(QosClass::BestEffort),
+        ]);
+        // The guaranteed tenant saturates memory with in-flight
+        // prefetches: the pool drains to the demand reserve (2), under
+        // the low watermark (4) -- a brownout.
+        m.set_tenant(0);
+        m.sys_prefetch(segs[0].base / 4096, 16);
+        m.sys_prefetch(32, 14); // overflow into unowned address space
+        assert_eq!(m.pressure_level(), PressureLevel::Brownout);
+        // A best-effort hint is shed before touching memory at all.
+        m.set_tenant(1);
+        let before = *m.stats();
+        m.sys_prefetch(segs[1].base / 4096, 4);
+        let s = m.stats();
+        assert_eq!(s.hints_dropped_pressure - before.hints_dropped_pressure, 4);
+        assert_eq!(m.tenant_stats(1).hints_dropped_pressure, 4);
+        assert_eq!(m.tenant_stats(1).inflight_prefetch, 0, "nothing issued");
+        // A guaranteed hint is never shed: it falls through to the
+        // ordinary no-memory drop instead.
+        m.set_tenant(0);
+        let before = *m.stats();
+        m.sys_prefetch(segs[0].base / 4096, 16);
+        let s = m.stats();
+        assert_eq!(
+            s.hints_dropped_pressure, before.hints_dropped_pressure,
+            "guaranteed hints are not shed"
+        );
+        assert_eq!(s.hints_dropped_quota, before.hints_dropped_quota);
+    }
+
+    #[test]
+    fn memory_quota_tenant_recycles_its_own_frames() {
+        let (mut m, segs) = multi(&[
+            TenantSpec::unlimited().with_memory_frames(4),
+            TenantSpec::unlimited(),
+        ]);
+        // The unlimited tenant fills its working set first.
+        m.set_tenant(1);
+        for p in 0..16u64 {
+            m.store_f64(segs[1].base + p * 4096, p as f64);
+        }
+        assert_eq!(m.tenant_usage(1), 16);
+        // The quota'd tenant walks its whole segment: every fault past
+        // the quota recycles one of its *own* frames.
+        m.set_tenant(0);
+        for p in 0..16u64 {
+            m.store_f64(segs[0].base + p * 4096, p as f64);
+            assert!(m.tenant_usage(0) <= 4, "usage capped at the quota");
+        }
+        assert!(m.tenant_stats(0).quota_evictions >= 12);
+        assert_eq!(m.tenant_usage(1), 16, "the neighbour lost nothing");
+        for p in 0..16u64 {
+            assert_eq!(m.peek_f64(segs[1].base + p * 4096), p as f64);
+            assert_eq!(m.peek_f64(segs[0].base + p * 4096), p as f64);
+        }
+    }
+
+    #[test]
+    fn quota_of_one_frame_still_terminates() {
+        let (mut m, segs) = multi(&[TenantSpec::unlimited().with_memory_frames(0)]);
+        // Even a zero quota is clamped to one frame: progress, not
+        // livelock, one fault per touch.
+        m.set_tenant(0);
+        for p in 0..16u64 {
+            m.store_f64(segs[0].base + p * 4096, p as f64);
+        }
+        for p in 0..16u64 {
+            assert_eq!(m.peek_f64(segs[0].base + p * 4096), p as f64);
+        }
+        assert!(m.tenant_stats(0).quota_evictions >= 15);
+    }
+
+    #[test]
+    fn touch_nb_blocked_then_idle_matches_blocking_touch() {
+        // The hub's non-blocking demand path must account identically
+        // to the classic blocking path when driven solo.
+        let mut a = tiny();
+        let mut b = tiny();
+        let drive = |m: &mut Machine, addr: u64, write: bool| loop {
+            match m.touch_nb(addr, 8, write).unwrap() {
+                Touch::Done { .. } => break,
+                Touch::Blocked { until } => m.advance_idle_to(until),
+            }
+        };
+        a.sys_prefetch(0, 8);
+        b.sys_prefetch(0, 8);
+        for p in 0..24u64 {
+            a.touch(p * 4096, 8, p % 2 == 0);
+            drive(&mut b, p * 4096, p % 2 == 0);
+        }
+        assert_eq!(a.now(), b.now(), "clocks agree");
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.hard_faults, sb.hard_faults);
+        assert_eq!(sa.prefetched_hits, sb.prefetched_hits);
+        assert_eq!(sa.prefetched_faults_inflight, sb.prefetched_faults_inflight);
+        assert_eq!(sa.late_prefetch_stall_ns, sb.late_prefetch_stall_ns);
+        assert_eq!(a.breakdown(), b.breakdown(), "attribution identical");
     }
 }

@@ -3,6 +3,8 @@
 use oocp_disk::{DiskParams, SchedConfig};
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
+use crate::error::ConfigError;
+
 /// Configuration of the simulated machine: memory geometry, OS overheads,
 /// and the disk subsystem.
 ///
@@ -177,41 +179,70 @@ impl MachineParams {
         self.resident_limit * self.page_bytes
     }
 
+    /// Check internal consistency, reporting the first problem found as
+    /// a typed [`ConfigError`]. The bench binaries call this on every
+    /// command-line-assembled configuration and exit with the message
+    /// instead of panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(self.page_bytes.is_power_of_two() && self.page_bytes >= 512) {
+            return Err(ConfigError::BadPageSize {
+                page_bytes: self.page_bytes,
+            });
+        }
+        if self.resident_limit < 8 {
+            return Err(ConfigError::TooFewFrames {
+                resident_limit: self.resident_limit,
+            });
+        }
+        if self.demand_reserve >= self.resident_limit {
+            return Err(ConfigError::ReserveTooLarge {
+                demand_reserve: self.demand_reserve,
+                resident_limit: self.resident_limit,
+            });
+        }
+        if self.low_water > self.high_water {
+            return Err(ConfigError::InvertedWatermarks {
+                low_water: self.low_water,
+                high_water: self.high_water,
+            });
+        }
+        if self.high_water >= self.resident_limit {
+            return Err(ConfigError::HighWaterTooHigh {
+                high_water: self.high_water,
+                resident_limit: self.resident_limit,
+            });
+        }
+        if self.ndisks == 0 {
+            return Err(ConfigError::NoDisks);
+        }
+        if self.disk.block_bytes != self.page_bytes {
+            return Err(ConfigError::BlockSizeMismatch {
+                block_bytes: self.disk.block_bytes,
+                page_bytes: self.page_bytes,
+            });
+        }
+        if self.journal && self.journal_blocks_per_disk < 2 {
+            return Err(ConfigError::JournalTooSmall {
+                journal_blocks_per_disk: self.journal_blocks_per_disk,
+            });
+        }
+        self.sched.check()?;
+        Ok(())
+    }
+
     /// Validate internal consistency; called by the machine constructor.
     ///
     /// # Panics
     ///
     /// Panics on nonsensical configurations (zero/non-power-of-two page
     /// size, watermarks out of order, no disks, reserve exceeding
-    /// memory). These are programming errors in experiment setup.
+    /// memory). These are programming errors in experiment setup;
+    /// callers assembling parameters from untrusted input use
+    /// [`MachineParams::check`] instead.
     pub fn validate(&self) {
-        assert!(
-            self.page_bytes.is_power_of_two() && self.page_bytes >= 512,
-            "page size must be a power of two >= 512"
-        );
-        assert!(self.resident_limit >= 8, "need at least 8 frames");
-        assert!(
-            self.demand_reserve < self.resident_limit,
-            "demand reserve must leave frames for the application"
-        );
-        assert!(
-            self.low_water <= self.high_water,
-            "low watermark above high watermark"
-        );
-        assert!(
-            self.high_water < self.resident_limit,
-            "high watermark must be below the resident limit"
-        );
-        assert!(self.ndisks > 0, "need at least one disk");
-        assert_eq!(
-            self.disk.block_bytes, self.page_bytes,
-            "disk block size must equal the page size"
-        );
-        assert!(
-            !self.journal || self.journal_blocks_per_disk >= 2,
-            "journal needs at least one two-block record slot per disk"
-        );
-        self.sched.validate();
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -260,5 +291,22 @@ mod tests {
         let mut p = MachineParams::small();
         p.low_water = p.high_water + 1;
         p.validate();
+    }
+
+    #[test]
+    fn check_reports_typed_errors() {
+        let mut p = MachineParams::small();
+        p.resident_limit = 0;
+        assert_eq!(
+            p.check(),
+            Err(ConfigError::TooFewFrames { resident_limit: 0 })
+        );
+
+        let mut p = MachineParams::small();
+        p.sched.queue_depth = 0;
+        assert!(matches!(p.check(), Err(ConfigError::Sched(_))));
+        assert!(p.check().unwrap_err().to_string().contains("queue depth"));
+
+        assert_eq!(MachineParams::paper_platform().check(), Ok(()));
     }
 }

@@ -79,6 +79,14 @@ pub struct OsStats {
     /// Prefetch pages dropped because the target disk's bounded request
     /// queue was full (backpressure, not a fault — no error counted).
     pub hints_dropped_queue_full: u64,
+    /// Prefetch pages dropped because the issuing tenant's prefetch-slot
+    /// or memory quota was exhausted. Always zero without registered
+    /// tenants (the implicit solo tenant is unlimited).
+    pub hints_dropped_quota: u64,
+    /// Prefetch pages shed by the pressure arbiter (elevation clamp on
+    /// best-effort tenants, or a brownout dropping all non-guaranteed
+    /// hints). Always zero without registered tenants.
+    pub hints_dropped_pressure: u64,
     /// Times a demand read or write-back blocked on a full disk queue
     /// before being accepted.
     pub queue_full_waits: u64,

@@ -122,6 +122,22 @@ pub enum TraceEvent {
         /// Nanoseconds waited for the slot.
         wait: Ns,
     },
+    /// A prefetch hint page was dropped because the issuing tenant's
+    /// prefetch-slot or memory quota was exhausted.
+    HintDropQuota {
+        /// The page whose hint was dropped.
+        page: u64,
+        /// The tenant whose quota bound.
+        tenant: u32,
+    },
+    /// A prefetch hint page was shed by the pressure arbiter (elevation
+    /// clamp or brownout, in QoS order).
+    HintDropPressure {
+        /// The page whose hint was dropped.
+        page: u64,
+        /// The tenant whose hint was shed.
+        tenant: u32,
+    },
     /// The shared residency bit vector was rebuilt from page states.
     BitvecResync {
         /// Stale bits cleared by the rebuild.
@@ -150,6 +166,8 @@ impl TraceEvent {
             TraceEvent::IoRetry { .. } => "RETRY",
             TraceEvent::HintDropOnError { .. } => "HDROP",
             TraceEvent::HintDropQueueFull { .. } => "QDROP",
+            TraceEvent::HintDropQuota { .. } => "QUOTA",
+            TraceEvent::HintDropPressure { .. } => "SHED",
             TraceEvent::QueueFullWait { .. } => "QFULL",
             TraceEvent::BitvecResync { .. } => "RESYNC",
             TraceEvent::DegradedEnter => "DEGR+",
@@ -389,6 +407,8 @@ mod tests {
             TraceEvent::IoRetry { page: 0, wait: 0 }.tag(),
             TraceEvent::HintDropOnError { page: 0, count: 1 }.tag(),
             TraceEvent::HintDropQueueFull { page: 0, count: 1 }.tag(),
+            TraceEvent::HintDropQuota { page: 0, tenant: 0 }.tag(),
+            TraceEvent::HintDropPressure { page: 0, tenant: 0 }.tag(),
             TraceEvent::QueueFullWait {
                 page: 0,
                 disk: 0,
@@ -401,7 +421,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(tags.len(), 17);
+        assert_eq!(tags.len(), 19);
     }
 
     #[test]

@@ -21,6 +21,10 @@ use oocp_ir::{ArrayBinding, ArrayData, PagedVm, Program};
 use oocp_os::{Machine, MachineParams};
 use oocp_sim::time::{Ns, MICROSECOND};
 
+pub mod tenants;
+
+pub use tenants::{segment_checksum, HubData, HubResult, TenantHub, TenantOutcome, TenantProgram};
+
 /// Whether the user-level filter is active.
 ///
 /// `Disabled` reproduces Figure 4(c)'s "no run-time layer" configuration:

@@ -1,0 +1,1108 @@
+//! Multi-tenant co-scheduling hub: N IR programs interleaved on one
+//! shared machine.
+//!
+//! The paper models one out-of-core application owning the whole
+//! machine. This module turns the same substrate into a *multi-tenant*
+//! machine: each tenant is an IR program with its own address-space
+//! segment, residency bit vector, QoS class, and quotas
+//! ([`TenantSpec`]), all sharing one free list, one pageout daemon, and
+//! one disk array on a single simulated clock.
+//!
+//! # Interleaving model
+//!
+//! The interpreter is run-to-completion, so each tenant runs on its own
+//! OS thread and the hub passes a *baton* between them: exactly one
+//! thread touches the machine at a time, and every hand-off point is a
+//! deterministic function of simulated state (a blocked demand fault,
+//! or the per-slice operation budget). Wall-clock thread scheduling
+//! cannot change the simulated interleaving, so co-scheduled runs are
+//! exactly reproducible.
+//!
+//! A tenant that hard-faults uses the machine's non-blocking touch
+//! ([`Machine::touch_nb`]): all fault bookkeeping happens at block
+//! time, the baton passes to the next runnable tenant, and the clock
+//! only advances idle when *every* tenant is blocked on disk
+//! ([`Machine::advance_idle_to`]). Driven with a single tenant this
+//! degenerates to exactly the classic blocking path, so solo-via-hub
+//! runs are bit- and cycle-identical to [`crate::Runtime`] runs.
+//!
+//! # Graceful degradation
+//!
+//! Each tenant carries its own user-level hint filter and degraded-mode
+//! state machine (same constants as [`crate::Runtime`]). On top of the
+//! error-window entry path, the pressure arbiter pushes non-guaranteed
+//! tenants into demand-only degraded mode whenever global pressure
+//! reaches brownout; recovery works by the same probing scheme — every
+//! Nth hint is issued for real, and a streak of clean probes (no error
+//! drops, no pressure sheds) re-enables hinting with a bit-vector
+//! resync.
+//!
+//! # Crash (kill) modeling
+//!
+//! A tenant may be killed after a fixed number of VM operations: from
+//! that point its VM methods are no-ops (loads return zero) and its
+//! interpreter finishes at native speed with zero simulated cost. Its
+//! resident pages linger until the pageout daemon reclaims them —
+//! exactly what happens to a SIGKILLed process's page cache.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, PagedVm, Program};
+use oocp_os::{
+    ConfigError, Machine, MachineParams, MetricsReport, OsStats, PressureLevel, QosClass, Segment,
+    TenantSpec, TenantStats, TimeAttribution, Touch,
+};
+use oocp_sim::time::{Ns, TimeBreakdown};
+
+use crate::{FilterMode, RtStats, Runtime};
+
+/// One tenant's program and policy, as submitted to the hub.
+pub struct TenantProgram {
+    /// The (already compiled, if desired) program to execute.
+    pub prog: Program,
+    /// Runtime parameter values, one per program parameter.
+    pub params: Vec<i64>,
+    /// QoS class and quotas.
+    pub spec: TenantSpec,
+    /// Whether the user-level hint filter is active for this tenant.
+    pub mode: FilterMode,
+    /// Kill the tenant after this many VM operations (crash modeling).
+    pub kill_at_op: Option<u64>,
+}
+
+impl TenantProgram {
+    /// A guaranteed, unlimited, filtered tenant — the default citizen.
+    pub fn new(prog: Program, params: Vec<i64>) -> Self {
+        Self {
+            prog,
+            params,
+            spec: TenantSpec::unlimited(),
+            mode: FilterMode::Enabled,
+            kill_at_op: None,
+        }
+    }
+
+    /// Same tenant with a different policy.
+    pub fn with_spec(mut self, spec: TenantSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Same tenant, killed after `n` VM operations.
+    pub fn with_kill_at(mut self, n: u64) -> Self {
+        self.kill_at_op = Some(n);
+        self
+    }
+}
+
+/// Per-tenant outcome of a co-scheduled run.
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// FNV-1a checksum of the tenant's final segment contents,
+    /// bit-comparable to a solo run of the same program (segments are
+    /// page-aligned and programs address arrays relative to their
+    /// bindings, so the byte images coincide).
+    pub checksum: u64,
+    /// Whether the tenant was killed mid-run.
+    pub killed: bool,
+    /// Simulated time the tenant's interpreter finished.
+    pub finished_at: Ns,
+    /// Exact 95th-percentile demand stall the tenant experienced:
+    /// the page-in service time from blocking to arrival. CPU queueing
+    /// behind other tenants after the page lands is scheduler wait,
+    /// not demand stall (solo runs resume at arrival, so the two
+    /// definitions coincide there).
+    pub demand_stall_p95_ns: Ns,
+    /// Demand-stall episodes sampled.
+    pub demand_stalls: u64,
+    /// Frames the tenant still holds (active resident + in-flight)
+    /// after the run finished — the quota-enforcement witness.
+    pub resident_frames: u64,
+    /// The machine's per-tenant counters (faults, drops, evictions).
+    pub os: TenantStats,
+    /// The tenant's user-level filter counters.
+    pub rt: RtStats,
+}
+
+/// Whole-machine outcome of a co-scheduled run.
+#[derive(Clone, Debug)]
+pub struct HubResult {
+    /// End-to-end simulated time.
+    pub elapsed_ns: Ns,
+    /// Machine time ledger (user / fault / prefetch / idle).
+    pub time: TimeBreakdown,
+    /// Shared OS counters.
+    pub os: OsStats,
+    /// Figure-5 attribution of the elapsed time.
+    pub attr: TimeAttribution,
+    /// Observability snapshot, if metrics were enabled.
+    pub obs: Option<MetricsReport>,
+    /// Per-tenant outcomes, in registration order.
+    pub tenants: Vec<TenantOutcome>,
+}
+
+/// Scheduler state of one tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    /// Runnable (or currently running).
+    Ready,
+    /// Blocked on a demand read completing at the given time.
+    Blocked(Ns),
+    /// Interpreter finished.
+    Done,
+}
+
+/// Shared mutable state: the machine plus the baton scheduler.
+struct Core {
+    machine: Machine,
+    /// Tenant currently holding the baton (`None` once all are done).
+    running: Option<usize>,
+    state: Vec<Run>,
+    /// Round-robin cursor: last scheduled tenant.
+    rr: usize,
+    /// Per-tenant demand-stall samples (exact, for honest p95s).
+    stalls: Vec<Vec<Ns>>,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// Pick the next tenant and hand it the baton. Runs under the core
+/// lock; every call site is a deterministic point in simulated time,
+/// so the schedule is a pure function of program behaviour.
+fn schedule(core: &mut Core, cv: &Condvar) {
+    let n = core.state.len();
+    loop {
+        let now = core.machine.now();
+        let mut pick = None;
+        for k in 1..=n {
+            let t = (core.rr + k) % n;
+            match core.state[t] {
+                Run::Ready => {
+                    pick = Some(t);
+                    break;
+                }
+                Run::Blocked(u) if u <= now => {
+                    pick = Some(t);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(t) = pick {
+            core.state[t] = Run::Ready;
+            core.rr = t;
+            core.running = Some(t);
+            core.machine.set_tenant(t as u32);
+            cv.notify_all();
+            return;
+        }
+        // No tenant is runnable. If any are blocked, the whole machine
+        // is waiting on disk: advance the clock (charged as idle) to
+        // the earliest completion and try again. Otherwise all are
+        // done and the baton retires.
+        let next = core
+            .state
+            .iter()
+            .filter_map(|s| match s {
+                Run::Blocked(u) => Some(*u),
+                _ => None,
+            })
+            .min();
+        match next {
+            Some(u) => core.machine.advance_idle_to(u),
+            None => {
+                core.running = None;
+                cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Acquire the baton for tenant `id` (blocks the OS thread, never the
+/// sim clock). A free function so the guard borrows the caller's local
+/// `Arc` clone rather than the `TenantVm` itself.
+fn acquire(sh: &Shared, id: usize) -> MutexGuard<'_, Core> {
+    let mut core = sh.core.lock().unwrap();
+    while core.running != Some(id) {
+        core = sh.cv.wait(core).unwrap();
+    }
+    core
+}
+
+/// VM operations between cooperative yields. Small enough that a
+/// compute-bound tenant cannot starve its neighbours, large enough
+/// that baton traffic is noise.
+const OPS_PER_SLICE: u32 = 256;
+
+/// One tenant's virtual machine: the per-tenant half of the runtime
+/// layer (filter + degraded mode) bound to the shared machine through
+/// the baton.
+struct TenantVm {
+    sh: Arc<Shared>,
+    id: usize,
+    spec: TenantSpec,
+    mode: FilterMode,
+    /// User-level cost of one bit-vector check (see [`Runtime::new`]).
+    check_ns: Ns,
+    page_bytes: u64,
+    /// First page and page count of the tenant's segment (hints are
+    /// clamped to it).
+    seg_first: u64,
+    seg_pages: u64,
+    kill_at_op: Option<u64>,
+    ops: u64,
+    ops_since_yield: u32,
+    killed: bool,
+    stats: RtStats,
+    // Degraded-mode state machine, mirroring `Runtime`.
+    degraded: bool,
+    degraded_since: Ns,
+    win_err: u32,
+    win_len: u32,
+    clean_probes: u32,
+    since_probe: u32,
+    hint_seq: u64,
+}
+
+impl TenantVm {
+    /// Count one VM operation; returns `true` when the op must be
+    /// swallowed because the tenant is (now) dead.
+    fn note_op(&mut self) -> bool {
+        if self.killed {
+            return true;
+        }
+        self.ops += 1;
+        if self.kill_at_op.is_some_and(|k| self.ops > k) {
+            self.killed = true;
+            return true;
+        }
+        false
+    }
+
+    /// End-of-op bookkeeping: hand the baton on after a full slice.
+    fn maybe_yield(&mut self, core: &mut Core) {
+        self.ops_since_yield += 1;
+        if self.ops_since_yield >= OPS_PER_SLICE {
+            self.ops_since_yield = 0;
+            schedule(core, &self.sh.cv);
+        }
+    }
+
+    /// Demand-touch with baton hand-off on every blocked fault.
+    fn touch(&mut self, addr: u64, len: u64, write: bool) {
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        // The stall sample is the page-in *service* time: from blocking
+        // to the page's arrival. Alone on the machine the tenant also
+        // resumes at exactly that moment, so the sample equals the
+        // wall-clock wait; co-scheduled, any further delay before the
+        // interpreter runs again is CPU queueing behind other tenants —
+        // scheduler wait, not demand stall, and not what the disk
+        // scheduler and quotas are answerable for.
+        let mut io_wait: Ns = 0;
+        let mut blocked = false;
+        loop {
+            match core.machine.touch_nb(addr, len, write) {
+                Ok(Touch::Done { .. }) => break,
+                Ok(Touch::Blocked { until }) => {
+                    blocked = true;
+                    io_wait += until.saturating_sub(core.machine.now());
+                    core.state[self.id] = Run::Blocked(until);
+                    schedule(&mut core, &self.sh.cv);
+                    while core.running != Some(self.id) {
+                        core = self.sh.cv.wait(core).unwrap();
+                    }
+                }
+                Err(e) => panic!("page-in failed: {e}"),
+            }
+        }
+        if blocked {
+            core.stalls[self.id].push(io_wait);
+        }
+        self.maybe_yield(&mut core);
+    }
+
+    /// Check one page's residency bit in the tenant's private vector,
+    /// charging the user-level cost.
+    fn check(&mut self, core: &mut Core, page: u64) -> bool {
+        self.stats.bit_checks += 1;
+        core.machine.tick_user(self.check_ns);
+        core.machine.tenant_bits_of(self.id as u32).test(page)
+    }
+
+    /// Per-hint-op bookkeeping (see [`Runtime`]): periodic resync,
+    /// arbiter-driven degradation, degraded-mode drops and probes.
+    /// `true` means the op was swallowed cheaply.
+    fn begin_hint_op(&mut self, core: &mut Core, probe_eligible: bool) -> bool {
+        if self.mode != FilterMode::Enabled {
+            return false;
+        }
+        self.hint_seq += 1;
+        if self.hint_seq.is_multiple_of(Runtime::RESYNC_INTERVAL)
+            && core
+                .machine
+                .fault_plan()
+                .is_some_and(|p| p.bitvec_stale_prob > 0.0)
+        {
+            self.stats.periodic_resyncs += 1;
+            core.machine.resync_bits();
+        }
+        // The pressure arbiter's strongest lever: a brownout pushes
+        // non-guaranteed tenants straight into demand-only mode; the
+        // probing recovery below notices when pressure has passed.
+        if !self.degraded
+            && self.spec.qos != QosClass::Guaranteed
+            && core.machine.pressure_level() == PressureLevel::Brownout
+        {
+            self.enter_degraded(core);
+        }
+        if !self.degraded {
+            return false;
+        }
+        if probe_eligible {
+            self.since_probe += 1;
+            if self.since_probe >= Runtime::PROBE_INTERVAL {
+                self.since_probe = 0;
+                return false; // issue this one for real, as a probe
+            }
+        }
+        self.stats.hints_dropped_degraded += 1;
+        core.machine.tick_user(Runtime::SUPPRESS_NS);
+        true
+    }
+
+    /// Record a hint syscall's health: `err` is set when the OS dropped
+    /// any of its pages on an I/O error — or, for non-guaranteed
+    /// tenants, shed them under pressure.
+    fn note_hint_outcome(&mut self, core: &mut Core, err: bool) {
+        if self.degraded {
+            self.stats.degraded_probes += 1;
+            if err {
+                self.clean_probes = 0;
+            } else {
+                self.clean_probes += 1;
+                if self.clean_probes >= Runtime::EXIT_CLEAN_PROBES {
+                    self.exit_degraded(core);
+                }
+            }
+        } else {
+            self.win_err = (self.win_err << 1) | err as u32;
+            self.win_len = (self.win_len + 1).min(Runtime::DEGRADE_WINDOW);
+            if self.win_len >= Runtime::DEGRADE_MIN_SAMPLES
+                && Runtime::DEGRADE_NUM * self.win_err.count_ones() >= self.win_len
+            {
+                self.enter_degraded(core);
+            }
+        }
+    }
+
+    fn enter_degraded(&mut self, core: &mut Core) {
+        self.degraded = true;
+        self.degraded_since = core.machine.now();
+        self.clean_probes = 0;
+        self.since_probe = 0;
+        self.stats.degraded_entries += 1;
+        core.machine.note_degraded(true);
+    }
+
+    fn exit_degraded(&mut self, core: &mut Core) {
+        self.degraded = false;
+        self.stats.degraded_exits += 1;
+        self.stats.degraded_ns += core.machine.now().saturating_sub(self.degraded_since);
+        self.win_err = 0;
+        self.win_len = 0;
+        core.machine.resync_bits();
+        core.machine.note_degraded(false);
+    }
+
+    /// Issue a prefetch syscall and observe its health.
+    fn sys_prefetch(&mut self, core: &mut Core, start: u64, pages: u64) {
+        self.stats.prefetch_syscalls += 1;
+        let before = *core.machine.stats();
+        core.machine.sys_prefetch(start, pages);
+        let after = core.machine.stats();
+        let err = after.hints_dropped_on_error > before.hints_dropped_on_error
+            || (self.spec.qos != QosClass::Guaranteed
+                && after.hints_dropped_pressure > before.hints_dropped_pressure);
+        self.note_hint_outcome(core, err);
+    }
+
+    /// Clamp a hint to the tenant's segment and its pipelining-depth
+    /// quota (tightened for best-effort tenants under elevated
+    /// pressure: the arbiter's second lever).
+    fn clamp_hint(&self, core: &Core, start: u64, pages: u64) -> u64 {
+        let end = self.seg_first + self.seg_pages;
+        let mut pages = pages.min(end.saturating_sub(start));
+        if let Some(d) = self.spec.max_pipeline_depth {
+            pages = pages.min(d.max(1));
+        }
+        if self.spec.qos == QosClass::BestEffort
+            && core.machine.pressure_level() == PressureLevel::Elevated
+        {
+            pages = pages.min(oocp_os::ELEVATED_BEST_EFFORT_SLOTS);
+        }
+        pages
+    }
+
+    /// Finish: mark Done and pass the baton on if this tenant held it.
+    fn finish(&self) -> Ns {
+        let mut core = self.sh.core.lock().unwrap();
+        core.state[self.id] = Run::Done;
+        let at = core.machine.now();
+        if core.running == Some(self.id) {
+            schedule(&mut core, &self.sh.cv);
+        } else {
+            self.sh.cv.notify_all();
+        }
+        at
+    }
+}
+
+impl PagedVm for TenantVm {
+    fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    fn tick_user(&mut self, ns: u64) {
+        if self.note_op() {
+            return;
+        }
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        core.machine.tick_user(ns);
+        self.maybe_yield(&mut core);
+    }
+
+    fn load_f64(&mut self, addr: u64) -> f64 {
+        if self.note_op() {
+            return 0.0;
+        }
+        self.touch(addr, 8, false);
+        let sh = Arc::clone(&self.sh);
+        let core = acquire(&sh, self.id);
+        core.machine.peek_f64(addr)
+    }
+
+    fn store_f64(&mut self, addr: u64, v: f64) {
+        if self.note_op() {
+            return;
+        }
+        self.touch(addr, 8, true);
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        core.machine.poke_f64(addr, v);
+    }
+
+    fn load_i64(&mut self, addr: u64) -> i64 {
+        if self.note_op() {
+            return 0;
+        }
+        self.touch(addr, 8, false);
+        let sh = Arc::clone(&self.sh);
+        let core = acquire(&sh, self.id);
+        core.machine.peek_i64(addr)
+    }
+
+    fn store_i64(&mut self, addr: u64, v: i64) {
+        if self.note_op() {
+            return;
+        }
+        self.touch(addr, 8, true);
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        core.machine.poke_i64(addr, v);
+    }
+
+    fn prefetch(&mut self, addr: u64, pages: u64) {
+        if self.note_op() {
+            return;
+        }
+        self.stats.prefetch_ops += 1;
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        if self.begin_hint_op(&mut core, true) {
+            self.maybe_yield(&mut core);
+            return;
+        }
+        let start = addr / self.page_bytes;
+        let pages = self.clamp_hint(&core, start, pages);
+        self.stats.prefetch_pages += pages;
+        if pages == 0 {
+            self.maybe_yield(&mut core);
+            return;
+        }
+        match self.mode {
+            FilterMode::Disabled => {
+                self.stats.prefetch_syscalls += 1;
+                core.machine.sys_prefetch(start, pages);
+            }
+            FilterMode::Enabled => {
+                let mut k = 0;
+                while k < pages && self.check(&mut core, start + k) {
+                    self.stats.pages_filtered += 1;
+                    k += 1;
+                }
+                if k == pages {
+                    self.stats.ops_fully_filtered += 1;
+                } else {
+                    self.sys_prefetch(&mut core, start + k, pages - k);
+                }
+            }
+        }
+        self.maybe_yield(&mut core);
+    }
+
+    fn release(&mut self, addr: u64, pages: u64) {
+        if self.note_op() {
+            return;
+        }
+        self.stats.release_ops += 1;
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        if self.begin_hint_op(&mut core, false) {
+            self.maybe_yield(&mut core);
+            return;
+        }
+        self.stats.release_syscalls += 1;
+        // Raw page count, exactly like `Runtime`: the hint charge is a
+        // function of the pages *named*, and the OS itself refuses to
+        // release pages the tenant does not own.
+        let start = addr / self.page_bytes;
+        core.machine.sys_release(start, pages);
+        self.maybe_yield(&mut core);
+    }
+
+    fn prefetch_release(&mut self, pf_addr: u64, pf_pages: u64, rel_addr: u64, rel_pages: u64) {
+        if self.note_op() {
+            return;
+        }
+        self.stats.prefetch_ops += 1;
+        self.stats.release_ops += 1;
+        let sh = Arc::clone(&self.sh);
+        let mut core = acquire(&sh, self.id);
+        if self.begin_hint_op(&mut core, true) {
+            self.maybe_yield(&mut core);
+            return;
+        }
+        let pf_start = pf_addr / self.page_bytes;
+        let rel_start = rel_addr / self.page_bytes;
+        let pf_pages = self.clamp_hint(&core, pf_start, pf_pages);
+        self.stats.prefetch_pages += pf_pages;
+        if pf_pages == 0 {
+            self.stats.release_syscalls += 1;
+            core.machine.sys_release(rel_start, rel_pages);
+            self.maybe_yield(&mut core);
+            return;
+        }
+        match self.mode {
+            FilterMode::Disabled => {
+                self.stats.prefetch_syscalls += 1;
+                self.stats.release_syscalls += 1;
+                core.machine
+                    .sys_prefetch_release(pf_start, pf_pages, rel_start, rel_pages);
+            }
+            FilterMode::Enabled => {
+                let mut k = 0;
+                while k < pf_pages && self.check(&mut core, pf_start + k) {
+                    self.stats.pages_filtered += 1;
+                    k += 1;
+                }
+                if k == pf_pages {
+                    self.stats.ops_fully_filtered += 1;
+                    self.stats.release_syscalls += 1;
+                    core.machine.sys_release(rel_start, rel_pages);
+                } else {
+                    self.stats.prefetch_syscalls += 1;
+                    self.stats.release_syscalls += 1;
+                    let before = *core.machine.stats();
+                    core.machine.sys_prefetch_release(
+                        pf_start + k,
+                        pf_pages - k,
+                        rel_start,
+                        rel_pages,
+                    );
+                    let after = core.machine.stats();
+                    let err = after.hints_dropped_on_error > before.hints_dropped_on_error
+                        || (self.spec.qos != QosClass::Guaranteed
+                            && after.hints_dropped_pressure > before.hints_dropped_pressure);
+                    self.note_hint_outcome(&mut core, err);
+                }
+            }
+        }
+        self.maybe_yield(&mut core);
+    }
+}
+
+/// One registered tenant inside the hub.
+struct Entry {
+    prog: Program,
+    binds: Vec<ArrayBinding>,
+    params: Vec<i64>,
+    spec: TenantSpec,
+    mode: FilterMode,
+    kill_at_op: Option<u64>,
+    seg: Segment,
+}
+
+/// The hub: a machine with N registered tenants, ready to run.
+pub struct TenantHub {
+    machine: Machine,
+    entries: Vec<Entry>,
+    cost: CostModel,
+}
+
+/// Init/verify view of a machine's backing store (zero-cost
+/// peek/poke), bridging [`Machine`] to [`oocp_ir::ArrayData`] for
+/// workload initializers and verifiers.
+pub struct HubData<'a>(pub &'a mut Machine);
+
+impl ArrayData for HubData<'_> {
+    fn peek_f64(&self, addr: u64) -> f64 {
+        self.0.peek_f64(addr)
+    }
+
+    fn poke_f64(&mut self, addr: u64, v: f64) {
+        self.0.poke_f64(addr, v);
+    }
+
+    fn peek_i64(&self, addr: u64) -> i64 {
+        self.0.peek_i64(addr)
+    }
+
+    fn poke_i64(&mut self, addr: u64, v: i64) {
+        self.0.poke_i64(addr, v);
+    }
+}
+
+impl TenantHub {
+    /// Build a machine hosting `programs` as tenants.
+    ///
+    /// Each program's arrays are laid out by
+    /// [`ArrayBinding::sequential`] inside a private page-aligned
+    /// segment; the returned bindings (one `Vec` per tenant, in order)
+    /// are segment-offset and ready for initialization through
+    /// [`TenantHub::data`]. Machine parameters are validated up front —
+    /// a misconfigured machine is a typed [`ConfigError`], not a panic.
+    pub fn new(params: MachineParams, programs: Vec<TenantProgram>) -> Result<Self, ConfigError> {
+        params.check()?;
+        assert!(!programs.is_empty(), "a hub needs at least one tenant");
+        let layouts: Vec<(Vec<ArrayBinding>, u64)> = programs
+            .iter()
+            .map(|t| ArrayBinding::sequential(&t.prog, params.page_bytes))
+            .collect();
+        let total: u64 = layouts.iter().map(|(_, b)| b).sum();
+        let mut machine = Machine::new(params, total);
+        let entries = programs
+            .into_iter()
+            .zip(layouts)
+            .map(|(t, (mut binds, bytes))| {
+                let (_, seg) = machine.register_tenant(t.spec, bytes);
+                for b in &mut binds {
+                    b.base += seg.base;
+                }
+                Entry {
+                    prog: t.prog,
+                    binds,
+                    params: t.params,
+                    spec: t.spec,
+                    mode: t.mode,
+                    kill_at_op: t.kill_at_op,
+                    seg,
+                }
+            })
+            .collect();
+        Ok(Self {
+            machine,
+            entries,
+            cost: CostModel::default(),
+        })
+    }
+
+    /// Same hub with a different interpreter cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The shared machine (fault plans, metrics, preloading).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// A tenant's segment-offset array bindings.
+    pub fn binds(&self, t: usize) -> &[ArrayBinding] {
+        &self.entries[t].binds
+    }
+
+    /// A tenant's segment.
+    pub fn segment(&self, t: usize) -> Segment {
+        self.entries[t].seg
+    }
+
+    /// Zero-cost data view for workload initialization.
+    pub fn data(&mut self) -> HubData<'_> {
+        HubData(&mut self.machine)
+    }
+
+    /// Run every tenant to completion, interleaved on the shared
+    /// machine, and collect the per-tenant and machine-wide outcomes.
+    pub fn run(self) -> HubResult {
+        self.run_full().0
+    }
+
+    /// [`TenantHub::run`], additionally handing back the finished
+    /// machine (for workload verifiers and post-mortems).
+    pub fn run_full(self) -> (HubResult, Machine) {
+        let n = self.entries.len();
+        let check_ns = (self.machine.params().hint_syscall_ns / 100).max(1);
+        let page_bytes = self.machine.params().page_bytes;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                machine: self.machine,
+                running: None,
+                state: vec![Run::Ready; n],
+                rr: n - 1,
+                stalls: vec![Vec::new(); n],
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut core = shared.core.lock().unwrap();
+            schedule(&mut core, &shared.cv);
+        }
+        let cost = self.cost;
+        let mut joined: Vec<Option<(RtStats, bool, Ns)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(id, e)| {
+                    let sh = Arc::clone(&shared);
+                    s.spawn(move || {
+                        let mut vm = TenantVm {
+                            sh,
+                            id,
+                            spec: e.spec,
+                            mode: e.mode,
+                            check_ns,
+                            page_bytes,
+                            seg_first: e.seg.base / page_bytes,
+                            seg_pages: e.seg.bytes / page_bytes,
+                            kill_at_op: e.kill_at_op,
+                            ops: 0,
+                            ops_since_yield: 0,
+                            killed: false,
+                            stats: RtStats::default(),
+                            degraded: false,
+                            degraded_since: 0,
+                            win_err: 0,
+                            win_len: 0,
+                            clean_probes: 0,
+                            since_probe: 0,
+                            hint_seq: 0,
+                        };
+                        run_program(&e.prog, &e.binds, &e.params, cost, &mut vm);
+                        let at = vm.finish();
+                        (vm.stats, vm.killed, at)
+                    })
+                })
+                .collect();
+            for (id, h) in handles.into_iter().enumerate() {
+                joined[id] = Some(h.join().expect("tenant thread panicked"));
+            }
+        });
+        let core = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| unreachable!("all tenant threads joined"))
+            .core
+            .into_inner()
+            .unwrap();
+        let mut machine = core.machine;
+        let stalls = core.stalls;
+        // Flush leftover dirty pages exactly like a solo run's finish.
+        let _ = machine.try_finish();
+        let tenants = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(t, e)| {
+                let (rt, killed, finished_at) = joined[t].take().expect("every tenant joined");
+                let mut sorted = stalls[t].clone();
+                sorted.sort_unstable();
+                let p95 = if sorted.is_empty() {
+                    0
+                } else {
+                    sorted[(sorted.len() - 1) * 95 / 100]
+                };
+                TenantOutcome {
+                    checksum: segment_checksum(&machine, e.seg),
+                    killed,
+                    finished_at,
+                    demand_stall_p95_ns: p95,
+                    demand_stalls: sorted.len() as u64,
+                    resident_frames: machine.tenant_usage(t as u32),
+                    os: machine.tenant_stats(t as u32),
+                    rt,
+                }
+            })
+            .collect();
+        let res = HubResult {
+            elapsed_ns: machine.now(),
+            time: machine.breakdown(),
+            os: *machine.stats(),
+            attr: machine.attribution(),
+            obs: machine.metrics_report(),
+            tenants,
+        };
+        (res, machine)
+    }
+}
+
+/// FNV-1a over one segment's final bytes, word by word — the same
+/// algorithm (and thus the same value) as the bench harness's
+/// whole-space checksum of a solo run of the same program.
+pub fn segment_checksum(machine: &Machine, seg: Segment) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut off = 0;
+    while off + 8 <= seg.bytes {
+        for b in (machine.peek_i64(seg.base + off) as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        off += 8;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocp_ir::{lin, var, ArrayRef, ElemType, Expr, HintTarget, Stmt};
+
+    const PAGE: u64 = 4096;
+    const WORDS: i64 = (PAGE / 8) as i64;
+
+    /// A paged streaming kernel with compiler-style hints: for each of
+    /// `pages` pages, prefetch a 4-page block ahead, bump the page's
+    /// first word, and release the page behind.
+    fn stream(pages: i64) -> Program {
+        let mut p = Program::new("stream");
+        let a = p.array("a", ElemType::F64, vec![pages * WORDS]);
+        let at = |idx: oocp_ir::LinExpr| ArrayRef::affine(a, vec![idx]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(pages),
+            1,
+            vec![
+                Stmt::Prefetch {
+                    target: HintTarget {
+                        target: at(var(i).scale(WORDS)),
+                    },
+                    pages: 4,
+                },
+                Stmt::Store {
+                    dst: at(var(i).scale(WORDS)),
+                    value: Expr::add(Expr::LoadF(at(var(i).scale(WORDS))), Expr::ConstF(1.0)),
+                },
+                Stmt::Release {
+                    target: HintTarget {
+                        target: at(var(i).scale(WORDS)),
+                    },
+                    pages: 1,
+                },
+            ],
+        )];
+        p
+    }
+
+    /// The same data transformation as [`stream`] with no hints at
+    /// all: every page is a blocking demand fault, and used pages
+    /// accumulate until the daemon (or a memory quota) evicts them.
+    fn demand(pages: i64) -> Program {
+        let mut p = Program::new("demand");
+        let a = p.array("a", ElemType::F64, vec![pages * WORDS]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(pages),
+            1,
+            vec![Stmt::Store {
+                dst: ArrayRef::affine(a, vec![var(i).scale(WORDS)]),
+                value: Expr::add(
+                    Expr::LoadF(ArrayRef::affine(a, vec![var(i).scale(WORDS)])),
+                    Expr::ConstF(1.0),
+                ),
+            }],
+        )];
+        p
+    }
+
+    /// An out-of-core machine: 64 frames against 256-page tenants.
+    fn params() -> MachineParams {
+        let mut p = MachineParams::small();
+        p.resident_limit = 64;
+        p.demand_reserve = 4;
+        p.low_water = 8;
+        p.high_water = 16;
+        p
+    }
+
+    /// Deterministic per-tenant fill pattern.
+    fn fill(data: &mut dyn ArrayData, base: u64, bytes: u64, salt: u64) {
+        let mut off = 0;
+        while off < bytes {
+            data.poke_f64(base + off, (off / 8 + salt) as f64);
+            off += 8;
+        }
+    }
+
+    /// Run `prog` alone through the classic blocking [`Runtime`].
+    fn solo_runtime(prog: &Program, salt: u64) -> (u64, Ns, oocp_os::OsStats) {
+        let (bytes, _) = layout_bytes(prog);
+        let (mut rt, binds) = Runtime::for_program(params(), prog, FilterMode::Enabled);
+        fill(&mut rt, 0, bytes, salt);
+        run_program(prog, &binds, &[], CostModel::default(), &mut rt);
+        let mut machine = rt.into_machine();
+        machine.try_finish().unwrap();
+        let sum = segment_checksum(&machine, Segment { base: 0, bytes });
+        (sum, machine.now(), *machine.stats())
+    }
+
+    fn layout_bytes(prog: &Program) -> (u64, Vec<ArrayBinding>) {
+        let (binds, bytes) = ArrayBinding::sequential(prog, PAGE);
+        (bytes, binds)
+    }
+
+    /// Run `prog` alone through the hub (one registered tenant).
+    fn solo_hub(prog: &Program, salt: u64) -> HubResult {
+        let mut hub =
+            TenantHub::new(params(), vec![TenantProgram::new(prog.clone(), vec![])]).unwrap();
+        let seg = hub.segment(0);
+        fill(&mut hub.data(), seg.base, seg.bytes, salt);
+        hub.run()
+    }
+
+    #[test]
+    fn solo_via_hub_is_cycle_identical_to_runtime() {
+        let prog = stream(256);
+        let (sum, elapsed, os) = solo_runtime(&prog, 3);
+        let hub = solo_hub(&prog, 3);
+        assert_eq!(hub.tenants[0].checksum, sum, "data image must match");
+        assert_eq!(hub.elapsed_ns, elapsed, "sim clock must match");
+        assert_eq!(hub.os.hard_faults, os.hard_faults);
+        assert_eq!(hub.os.soft_faults, os.soft_faults);
+        assert_eq!(hub.os.prefetch_pages_issued, os.prefetch_pages_issued);
+        assert_eq!(hub.os.hint_syscalls, os.hint_syscalls);
+        assert_eq!(hub.os.fault_wait.sum(), os.fault_wait.sum());
+        assert!(!hub.tenants[0].killed);
+    }
+
+    #[test]
+    fn co_scheduled_tenants_keep_their_solo_checksums_and_beat_serial() {
+        // A demand-bound workload: one outstanding disk read per solo
+        // tenant, so a lone run leaves the array idle and co-scheduling
+        // has stalls to overlap.
+        let prog = demand(256);
+        let solo: Vec<HubResult> = (0..3).map(|t| solo_hub(&prog, t)).collect();
+        let mut hub = TenantHub::new(
+            params(),
+            (0..3)
+                .map(|_| TenantProgram::new(prog.clone(), vec![]))
+                .collect(),
+        )
+        .unwrap();
+        for t in 0..3 {
+            let seg = hub.segment(t);
+            fill(&mut hub.data(), seg.base, seg.bytes, t as u64);
+        }
+        let res = hub.run();
+        for (t, s) in solo.iter().enumerate() {
+            assert_eq!(
+                res.tenants[t].checksum, s.tenants[0].checksum,
+                "tenant {t} must be bit-identical to its solo run"
+            );
+            assert!(res.tenants[t].demand_stalls > 0, "tenant {t} paged");
+        }
+        // The run truly interleaved: the clock beats the serial sum of
+        // the solo runs because their demand stalls overlap.
+        let serial: Ns = solo.iter().map(|r| r.elapsed_ns).sum();
+        assert!(
+            res.elapsed_ns < serial,
+            "co-scheduling ({}) must beat serial ({serial})",
+            res.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn killed_tenant_leaves_the_survivor_bit_exact() {
+        let prog = stream(256);
+        let survivor_solo = solo_hub(&prog, 0).tenants[0].checksum;
+        let mut hub = TenantHub::new(
+            params(),
+            vec![
+                TenantProgram::new(prog.clone(), vec![]),
+                TenantProgram::new(prog.clone(), vec![]).with_kill_at(500),
+            ],
+        )
+        .unwrap();
+        for t in 0..2 {
+            let seg = hub.segment(t);
+            fill(&mut hub.data(), seg.base, seg.bytes, t as u64);
+        }
+        let res = hub.run();
+        assert!(res.tenants[1].killed, "tenant 1 must have been killed");
+        assert!(!res.tenants[0].killed);
+        assert_eq!(
+            res.tenants[0].checksum, survivor_solo,
+            "the survivor's data must be untouched by the crash"
+        );
+    }
+
+    #[test]
+    fn quota_starved_tenant_still_terminates_with_correct_data() {
+        // No releases: used pages pile up, so the 2-frame quota forces
+        // the starved tenant to recycle its own frames on every fault.
+        let prog = demand(128);
+        let solo = solo_hub(&prog, 9).tenants[0].checksum;
+        let starved = TenantSpec::unlimited().with_memory_frames(2);
+        let mut hub = TenantHub::new(
+            params(),
+            vec![
+                TenantProgram::new(prog.clone(), vec![]),
+                TenantProgram::new(prog.clone(), vec![]).with_spec(starved),
+            ],
+        )
+        .unwrap();
+        for t in 0..2 {
+            let seg = hub.segment(t);
+            fill(&mut hub.data(), seg.base, seg.bytes, 9);
+        }
+        let res = hub.run();
+        for t in 0..2 {
+            assert_eq!(res.tenants[t].checksum, solo, "tenant {t} data");
+        }
+        assert!(
+            res.tenants[1].os.quota_evictions > 0,
+            "the starved tenant must have recycled its own frames"
+        );
+    }
+
+    #[test]
+    fn bad_machine_params_surface_as_config_error() {
+        let mut p = params();
+        p.low_water = p.high_water + 1;
+        let err = TenantHub::new(p, vec![TenantProgram::new(stream(8), vec![])])
+            .err()
+            .expect("inverted watermarks must be rejected");
+        assert!(err.to_string().contains("low watermark"));
+    }
+}

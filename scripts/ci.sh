@@ -16,6 +16,33 @@ cargo test -q
 echo "== schedsweep smoke (policy sweep correctness gate)"
 cargo run --release -q -p oocp-bench --bin schedsweep -- --smoke
 
+echo "== tenants smoke (multi-tenant fairness + isolation gates)"
+# Co-schedule 1/2/4 kernels on one machine: every tenant's checksum
+# must match its solo run, worst p95 demand stall within 3x solo, and
+# the co-scheduled makespan must beat the serial schedule; a chaos
+# cell (disk faults + one tenant killed) must leave survivors
+# bit-exact. The binary gates all of this itself and exits non-zero.
+cargo run --release -q -p oocp-bench --bin tenants -- --smoke
+
+echo "== tenants quota gates (enforcement, then a required failure)"
+# Positive: a hint-free hog sharing the machine with a small victim is
+# clamped at its fair share, with quota evictions as the witness.
+cargo run --release -q -p oocp-bench --bin tenants -- --quota-gate
+# Negative: with quotas disabled the same hog must overrun its share
+# and the binary must fail saying so — otherwise the quota machinery
+# is decorative.
+if cargo run --release -q -p oocp-bench --bin tenants -- \
+    --quota-gate --no-quotas > /tmp/oocp-nq.$$ 2>&1; then
+    cat /tmp/oocp-nq.$$
+    rm -f /tmp/oocp-nq.$$
+    echo "tenants --no-quotas saw no overrun: the quota gate has no teeth"
+    exit 1
+fi
+grep -q "exceeds fair share" /tmp/oocp-nq.$$ || {
+    cat /tmp/oocp-nq.$$; rm -f /tmp/oocp-nq.$$
+    echo "tenants --no-quotas failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-nq.$$
+
 echo "== obsreport smoke (observability invariants + JSON round-trip)"
 # The binary asserts the attribution and ledger invariants itself, and
 # --json makes it re-read, re-parse, and re-validate the emitted file.
