@@ -1,6 +1,6 @@
 //! Ablation studies of the design choices DESIGN.md calls out.
 //!
-//! Four sweeps, each isolating one mechanism the paper motivates:
+//! Six sweeps, each isolating one mechanism the paper motivates:
 //!
 //! 1. **Block-prefetch size** (the paper picks 4 pages "arbitrarily"):
 //!    how does B affect the streaming apps?
@@ -10,16 +10,189 @@
 //!    Off / Conservative / Aggressive.
 //! 4. **Disk count** (the "buy more disks for bandwidth" argument of
 //!    section 2.1): speedup as the stripe widens.
+//! 5. **Prefetch-distance sensitivity**: how wrong can the compiler's
+//!    latency estimate be before speedup erodes?
+//! 6. **Prefetch policy x kernel**: the pluggable policies of
+//!    `oocp-policy` raced against the compiler over all 13 kernels
+//!    (8 NAS + 5 `.ook`). Every cell's final checksum must match the
+//!    no-prefetch run — policies are timing-only by contract.
 //!
 //! Run: `cargo run --release -p oocp-bench --bin ablations`
+//! CI:  `... --bin ablations -- --smoke` (policy matrix only, 2 kernels).
 
-use oocp_bench::{pct, run_workload, run_workload_with, Args, Mode};
+use oocp_bench::{
+    pct, run_ir_program, run_workload, run_workload_with, Args, Config, Mode, RunResult,
+};
 use oocp_core::ReleaseMode;
+use oocp_ir::parse_program;
 use oocp_nas::{build, App};
+use oocp_os::PolicyKind;
+
+/// One row of the policy matrix: a NAS benchmark or a sample `.ook`
+/// kernel (same canonical set as perfgate's capture matrix).
+enum PolicyKernel {
+    Nas(App),
+    Ook {
+        file: &'static str,
+        params: &'static [i64],
+        mem_mb: u64,
+    },
+}
+
+impl PolicyKernel {
+    fn name(&self) -> String {
+        match self {
+            PolicyKernel::Nas(app) => app.name().to_string(),
+            PolicyKernel::Ook { file, .. } => format!("ook:{}", file.trim_end_matches(".ook")),
+        }
+    }
+}
+
+fn policy_kernels(smoke: bool) -> Vec<PolicyKernel> {
+    if smoke {
+        // One streaming NAS kernel plus one .ook kernel keeps the CI
+        // gate representative of both substrates but quick.
+        return vec![
+            PolicyKernel::Nas(App::Embar),
+            PolicyKernel::Ook {
+                file: "sumreduce.ook",
+                params: &[],
+                mem_mb: 2,
+            },
+        ];
+    }
+    let mut v: Vec<PolicyKernel> = App::ALL.iter().map(|&a| PolicyKernel::Nas(a)).collect();
+    v.extend([
+        PolicyKernel::Ook {
+            file: "histogram.ook",
+            params: &[500_000],
+            mem_mb: 2,
+        },
+        PolicyKernel::Ook {
+            file: "matmul.ook",
+            params: &[],
+            mem_mb: 1,
+        },
+        PolicyKernel::Ook {
+            file: "stencil.ook",
+            params: &[],
+            mem_mb: 4,
+        },
+        PolicyKernel::Ook {
+            file: "sumreduce.ook",
+            params: &[],
+            mem_mb: 2,
+        },
+        PolicyKernel::Ook {
+            file: "transpose.ook",
+            params: &[],
+            mem_mb: 4,
+        },
+    ]);
+    v
+}
+
+/// The execution mode each policy naturally runs under. The reactive
+/// policies (readahead, replay) compete with the compiler from a plain
+/// `Original` build — no hints, the policy is the only prefetcher. The
+/// hint-extending policies ride on the compiler's `Prefetch` build.
+fn policy_mode(kind: PolicyKind) -> Mode {
+    match kind {
+        PolicyKind::CompilerOnly | PolicyKind::AdaptiveDistance => Mode::Prefetch,
+        PolicyKind::Readahead | PolicyKind::HistoryReplay | PolicyKind::Broken => Mode::Original,
+    }
+}
+
+/// Run one policy-matrix cell and enforce the timing-only contract:
+/// the run verifies and its checksum matches the no-prefetch run.
+fn policy_cell(k: &PolicyKernel, cfg: &Config, mode: Mode, oracle: Option<u64>) -> RunResult {
+    let r = match k {
+        PolicyKernel::Nas(app) => {
+            let w = build(*app, cfg.bytes_for_ratio(2.0));
+            run_workload(&w, cfg, mode)
+        }
+        PolicyKernel::Ook { file, params, .. } => {
+            let path = format!("kernels/{file}");
+            let src = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let prog = parse_program(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+            run_ir_program(&prog, params, cfg, mode)
+        }
+    };
+    let policy = r.policy.unwrap_or("compiler");
+    if let Err(e) = &r.verified {
+        eprintln!("ablation 6: {}/{policy} failed to verify: {e}", k.name());
+        std::process::exit(1);
+    }
+    if let Some(want) = oracle {
+        if r.checksum != want {
+            eprintln!(
+                "ablation 6: {}/{policy} checksum {:#018x} != no-prefetch {want:#018x} — \
+                 a policy changed the computed data",
+                k.name(),
+                r.checksum
+            );
+            std::process::exit(1);
+        }
+    }
+    r
+}
+
+/// Late-arrival rate of a run as a percentage string ("-" when the run
+/// issued no prefetches at all).
+fn late(r: &RunResult) -> String {
+    match &r.obs {
+        Some(o) if o.ledger.consumed() > 0 => pct(o.ledger.late_arrival_rate()),
+        _ => "-".to_string(),
+    }
+}
+
+/// Ablation 6: the policy x kernel matrix. Prints speedup over the
+/// no-prefetch run and the late-arrival rate for every shippable
+/// policy, and dies if any policy breaks the timing-only contract.
+fn policy_matrix(args: &Args) {
+    println!(
+        "{} ablation 6: prefetch policy x kernel (speedup vs no-prefetch | late arrivals) ===",
+        if args.smoke { "===" } else { "\n===" }
+    );
+    print!("{:<14} {:>9}", "kernel", "orig(s)");
+    for kind in PolicyKind::MATRIX {
+        print!(" {:>17}", kind.name());
+    }
+    println!();
+    for k in policy_kernels(args.smoke) {
+        let mut cfg = args.cfg;
+        cfg.metrics = true;
+        if let PolicyKernel::Ook { mem_mb, .. } = k {
+            cfg.machine = cfg.machine.with_memory_bytes(mem_mb * 1024 * 1024);
+        }
+        let orig = policy_cell(&k, &cfg, Mode::Original, None);
+        print!("{:<14} {:>9.3}", k.name(), orig.total() as f64 / 1e9);
+        for kind in PolicyKind::MATRIX {
+            let mut c = cfg;
+            c.machine = c.machine.with_prefetch_policy(kind);
+            let r = policy_cell(&k, &c, policy_mode(kind), Some(orig.checksum));
+            print!(
+                " {:>10} {:>6}",
+                format!("{:.2}x", orig.total() as f64 / r.total() as f64),
+                late(&r)
+            );
+        }
+        println!();
+    }
+    println!("ablation 6: all cells verified; checksums bit-identical to no-prefetch");
+}
 
 fn main() {
     let args = Args::parse();
     let cfg = args.cfg;
+
+    // The CI smoke gate runs only the policy matrix (the sweep with a
+    // built-in correctness oracle) on a reduced kernel set.
+    if args.smoke {
+        policy_matrix(&args);
+        return;
+    }
 
     println!("=== ablation 1: block-prefetch size (EMBAR + MGRID, speedup vs original) ===");
     println!(
@@ -147,4 +320,6 @@ fn main() {
             );
         }
     }
+
+    policy_matrix(&args);
 }

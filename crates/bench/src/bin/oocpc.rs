@@ -14,7 +14,9 @@ use std::process::ExitCode;
 
 use oocp_core::{compile, CompilerParams};
 use oocp_ir::{parse_program, run_program, ArrayBinding, CostModel, PagedVm, Program};
-use oocp_os::{chrome_trace_json, Machine, MachineParams};
+use oocp_os::{
+    chrome_trace_json, HistoryReplay, Machine, MachineParams, PolicyKind, PrefetchPolicy,
+};
 use oocp_rt::{FilterMode, Runtime};
 use oocp_sim::time::fmt_ns;
 
@@ -27,13 +29,15 @@ struct Options {
     mem_mb: u64,
     block: u64,
     two_version: bool,
+    policy: PolicyKind,
     params: Vec<(String, i64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: oocpc <file> [--run] [--quiet] [--trace N] [--trace-out FILE] \
-         [--mem-mb N] [--block N] [--two-version] [--param name=value]..."
+         [--mem-mb N] [--block N] [--two-version] [--policy <name>] \
+         [--param name=value]..."
     );
     std::process::exit(2);
 }
@@ -48,6 +52,7 @@ fn parse_args() -> Options {
         mem_mb: 8,
         block: 4,
         two_version: false,
+        policy: PolicyKind::CompilerOnly,
         params: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -69,6 +74,13 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage())
             }
             "--trace-out" => opts.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--policy" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                opts.policy = PolicyKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("oocpc: unknown prefetch policy {v}");
+                    usage()
+                });
+            }
             "--block" => {
                 opts.block = argv
                     .next()
@@ -123,7 +135,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let machine = MachineParams::paper_platform().with_memory_bytes(opts.mem_mb * 1024 * 1024);
+    let machine = MachineParams::paper_platform()
+        .with_memory_bytes(opts.mem_mb * 1024 * 1024)
+        .with_prefetch_policy(opts.policy);
     let cparams = CompilerParams::new(
         machine.page_bytes,
         machine.memory_bytes(),
@@ -165,13 +179,28 @@ fn main() -> ExitCode {
     let mut totals = Vec::new();
     for (label, p) in [("original", &prog), ("prefetch", &xformed)] {
         let (binds, bytes) = ArrayBinding::sequential(&prog, machine.page_bytes);
-        let mut m = Machine::new(machine, bytes);
-        if trace_cap > 0 {
-            m.enable_trace(trace_cap);
+        let run_once = |policy_override: Option<Box<dyn PrefetchPolicy>>| {
+            let mut m = Machine::new(machine, bytes);
+            if let Some(pol) = policy_override {
+                m.set_policy(pol);
+            }
+            if trace_cap > 0 {
+                m.enable_trace(trace_cap);
+            }
+            let mut rt = Runtime::new(m, FilterMode::Enabled);
+            run_program(p, &binds, &pvals, CostModel::default(), &mut rt);
+            rt.machine_mut().finish();
+            rt
+        };
+        let mut rt = run_once(None);
+        // A replay policy records the miss trace on the first pass and
+        // injects on the second; report the replay pass, exactly like
+        // the bench harness does.
+        if opts.policy == PolicyKind::HistoryReplay {
+            if let Some(miss) = rt.machine().policy_miss_trace() {
+                rt = run_once(Some(Box::new(HistoryReplay::replaying(miss))));
+            }
         }
-        let mut rt = Runtime::new(m, FilterMode::Enabled);
-        run_program(p, &binds, &pvals, CostModel::default(), &mut rt);
-        rt.machine_mut().finish();
         if trace_cap > 0 {
             if let Some(trace) = rt.machine_mut().take_trace() {
                 if opts.trace > 0 {

@@ -34,7 +34,7 @@ use oocp_obs::baseline::{
     self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding,
 };
 use oocp_obs::{tracediff, Json};
-use oocp_os::{chrome_trace_json, SchedPolicy, Trace};
+use oocp_os::{chrome_trace_json, PolicyKind, SchedPolicy, Trace};
 
 /// Ring capacity for tracediff re-runs: deep enough to hold every event
 /// of a matrix cell, so span alignment sees the whole timeline.
@@ -329,6 +329,7 @@ fn run_matrix(
     // they are skipped whenever compare overrides retune the scheduler.
     if !overrides.any() {
         runs.extend(tenant_runs(only)?);
+        runs.extend(policy_runs(only)?);
     }
     if runs.is_empty() {
         return Err(match only {
@@ -393,6 +394,55 @@ fn tenant_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
     Ok(runs)
 }
 
+/// Pseudo-kernel name of the prefetch-policy trajectory cells.
+const POLICY_KERNEL: &str = "ablations";
+
+/// Whether the policy pseudo-kernel passes the `--only` filter.
+fn policy_selected(only: &Option<String>) -> bool {
+    match only {
+        None => true,
+        Some(f) => POLICY_KERNEL.contains(&f.to_lowercase()),
+    }
+}
+
+/// The prefetch-policy trajectory cells: `ablations/readahead` (EMBAR
+/// with no compiler hints, the reactive readahead policy alone) and
+/// `ablations/adaptive` (EMBAR with compiler hints plus the online
+/// distance controller). These pin down the policy subsystem's
+/// surface — injected page counts, window peak, retunes, and the
+/// late-arrival rate — so a policy change trips the gate like any
+/// other regression, while the `CompilerOnly` default leaves every
+/// pre-existing cell bit-identical. Like the tenant cells, they skip
+/// compare runs with scheduler overrides.
+fn policy_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
+    if !policy_selected(only) {
+        return Ok(Vec::new());
+    }
+    let cells = [
+        ("readahead", Mode::Original, PolicyKind::Readahead),
+        ("adaptive", Mode::Prefetch, PolicyKind::AdaptiveDistance),
+    ];
+    let mut runs = Vec::new();
+    for (name, mode, kind) in cells {
+        let mut cfg = cell_config(&Kernel::Nas(App::Embar), &CONFIGS[0]);
+        cfg.machine = cfg.machine.with_prefetch_policy(kind);
+        let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+        let (r, _) = run_workload_traced(&w, &cfg, mode, 0);
+        if let Err(e) = &r.verified {
+            return Err(format!("{POLICY_KERNEL}/{name} failed to verify: {e}"));
+        }
+        if let Some(f) = &r.flush {
+            return Err(format!("{POLICY_KERNEL}/{name}: {f}"));
+        }
+        eprintln!(
+            "  ran {POLICY_KERNEL:<14} {name:<10} elapsed {}s",
+            secs(r.total())
+        );
+        runs.push(report::baseline_run(POLICY_KERNEL, name, &r));
+    }
+    Ok(runs)
+}
+
 fn read_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     oocp_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -401,7 +451,7 @@ fn read_json(path: &str) -> Result<Json, String> {
 fn capture(o: &Options) -> Result<(), String> {
     eprintln!(
         "perfgate: capturing baseline (matrix of 13 kernels x 4 configs \
-         + {} multi-tenant cells)",
+         + {} multi-tenant cells + 2 prefetch-policy cells)",
         TENANT_WIDTHS.len()
     );
     let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default())?;
@@ -577,6 +627,9 @@ fn compare(o: &Options, path: &str) -> Result<bool, String> {
             .filter(|r| {
                 if r.kernel == mt::KERNEL {
                     return tenants_selected(&o.only) && !o.overrides.any();
+                }
+                if r.kernel == POLICY_KERNEL {
+                    return policy_selected(&o.only) && !o.overrides.any();
                 }
                 kernels()
                     .iter()

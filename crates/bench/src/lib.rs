@@ -16,7 +16,8 @@ use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Progra
 use oocp_nas::Workload;
 use oocp_obs::TimeAttribution;
 use oocp_os::{
-    FaultPlan, FlushError, MachineParams, MetricsReport, OsStats, RecoveryReport, Trace,
+    FaultPlan, FlushError, HistoryReplay, MachineParams, MetricsReport, OsStats, PolicyKind,
+    PrefetchPolicy, RecoveryReport, Trace,
 };
 use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
@@ -125,6 +126,9 @@ pub struct RunResult {
     /// abandoned after exhausted retries, or pages cut off by a
     /// simulated power loss). `None` means every result flushed clean.
     pub flush: Option<FlushError>,
+    /// Name of the prefetch policy installed on the machine; `None`
+    /// for the compiler-only default (no policy object at all).
+    pub policy: Option<&'static str>,
 }
 
 impl RunResult {
@@ -296,9 +300,15 @@ fn collect_result(
         verified,
         checksum,
         flush,
+        policy: m.policy_name(),
     }
 }
 
+/// Run a workload, handling the [`PolicyKind::HistoryReplay`] two-pass
+/// protocol: pass 1 runs with the recorder the machine installed by
+/// default, pass 2 re-runs the same workload with the recorded miss
+/// trace replayed as injected prefetches. All other policies (and the
+/// policy-free default) are a single pass.
 fn run_workload_inner(
     w: &Workload,
     cfg: &Config,
@@ -308,7 +318,47 @@ fn run_workload_inner(
     plan: Option<&FaultPlan>,
     trace_cap: usize,
 ) -> (RunResult, Option<Trace>) {
-    let (prog, report) = prepare_program(w, mode, &cparams);
+    let (result, trace, miss) = run_workload_once(
+        w,
+        cfg,
+        mode,
+        &cparams,
+        pressure.clone(),
+        plan,
+        trace_cap,
+        None,
+    );
+    if cfg.machine.policy == PolicyKind::HistoryReplay {
+        if let Some(miss) = miss {
+            let replay: Box<dyn PrefetchPolicy> = Box::new(HistoryReplay::replaying(miss));
+            let (result, trace, _) = run_workload_once(
+                w,
+                cfg,
+                mode,
+                &cparams,
+                pressure,
+                plan,
+                trace_cap,
+                Some(replay),
+            );
+            return (result, trace);
+        }
+    }
+    (result, trace)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_workload_once(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: &CompilerParams,
+    pressure: Vec<(Ns, u64)>,
+    plan: Option<&FaultPlan>,
+    trace_cap: usize,
+    policy_override: Option<Box<dyn PrefetchPolicy>>,
+) -> (RunResult, Option<Trace>, Option<Vec<u64>>) {
+    let (prog, report) = prepare_program(w, mode, cparams);
     let filter = if mode == Mode::PrefetchNoFilter {
         FilterMode::Disabled
     } else {
@@ -318,6 +368,9 @@ fn run_workload_inner(
     // versions see identical address spaces.
     let (binds, bytes) = ArrayBinding::sequential(&w.prog, cfg.machine.page_bytes);
     let mut machine = oocp_os::Machine::new(cfg.machine, bytes);
+    if let Some(pol) = policy_override {
+        machine.set_policy(pol);
+    }
     if !pressure.is_empty() {
         machine.set_pressure_schedule(pressure);
     }
@@ -351,8 +404,9 @@ fn run_workload_inner(
     let verified = w.verify(&binds, &rt);
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
+    let miss = rt.machine().policy_miss_trace();
     let result = collect_result(mode, &rt, exec, report, verified, checksum, flush);
-    (result, trace)
+    (result, trace, miss)
 }
 
 /// A crash-recovery round trip of one workload. The fault plan must
@@ -468,6 +522,26 @@ pub fn run_ir_traced(
     mode: Mode,
     trace_cap: usize,
 ) -> (RunResult, Option<Trace>) {
+    let (result, trace, miss) = run_ir_once(prog, param_values, cfg, mode, trace_cap, None);
+    if cfg.machine.policy == PolicyKind::HistoryReplay {
+        if let Some(miss) = miss {
+            let replay: Box<dyn PrefetchPolicy> = Box::new(HistoryReplay::replaying(miss));
+            let (result, trace, _) =
+                run_ir_once(prog, param_values, cfg, mode, trace_cap, Some(replay));
+            return (result, trace);
+        }
+    }
+    (result, trace)
+}
+
+fn run_ir_once(
+    prog: &Program,
+    param_values: &[i64],
+    cfg: &Config,
+    mode: Mode,
+    trace_cap: usize,
+    policy_override: Option<Box<dyn PrefetchPolicy>>,
+) -> (RunResult, Option<Trace>, Option<Vec<u64>>) {
     let cparams = cfg.compiler_params();
     let (run_prog, report): (Program, Option<CompileReport>) = match mode {
         Mode::Original => (prog.clone(), None),
@@ -487,6 +561,9 @@ pub fn run_ir_traced(
     };
     let (binds, bytes) = ArrayBinding::sequential(prog, cfg.machine.page_bytes);
     let mut machine = oocp_os::Machine::new(cfg.machine, bytes);
+    if let Some(pol) = policy_override {
+        machine.set_policy(pol);
+    }
     if trace_cap > 0 {
         machine.enable_trace(trace_cap);
     }
@@ -498,8 +575,9 @@ pub fn run_ir_traced(
     let flush = rt.machine_mut().try_finish().err();
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
+    let miss = rt.machine().policy_miss_trace();
     let result = collect_result(mode, &rt, exec, report, Ok(()), checksum, flush);
-    (result, trace)
+    (result, trace, miss)
 }
 
 /// FNV-1a over the whole simulated address space, read word-by-word
@@ -556,8 +634,8 @@ pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns)
 ///
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
 /// `--csv <path>`, `--json <path>`, `--sched <policy>`,
-/// `--queue-depth <n>`, `--coalesce`, `--smoke`, `--crash`,
-/// `--no-journal`.
+/// `--queue-depth <n>`, `--policy <name>`, `--coalesce`, `--smoke`,
+/// `--crash`, `--no-journal`.
 pub struct Args {
     /// Parsed configuration (including any `--sched`/`--queue-depth`/
     /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
@@ -645,6 +723,11 @@ impl Args {
                 "--queue-depth" => {
                     let depth: usize = v.parse().expect("--queue-depth takes an integer");
                     cfg.machine.sched = cfg.machine.sched.with_queue_depth(depth);
+                }
+                "--policy" => {
+                    let kind = PolicyKind::parse(v)
+                        .unwrap_or_else(|| panic!("unknown prefetch policy {v}"));
+                    cfg.machine = cfg.machine.with_prefetch_policy(kind);
                 }
                 other => panic!("unknown argument {other}"),
             }

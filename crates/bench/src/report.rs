@@ -11,7 +11,7 @@
 //! can parse an emitted file and prove the exporter did not lose or
 //! double-count anything.
 
-use oocp_obs::baseline::{BaselineRun, HistSummary};
+use oocp_obs::baseline::{BaselineRun, HistSummary, PolicySummary};
 use oocp_obs::{Json, LatencyHist, TimeAttribution};
 
 use crate::{RunResult, WriteError};
@@ -163,8 +163,35 @@ pub fn run_json(name: &str, r: &RunResult) -> Json {
                         ("dropped_pressure", Json::U64(obs.ledger.dropped_pressure)),
                         ("evicted_unused", Json::U64(obs.ledger.evicted_unused)),
                         ("unused_at_end", Json::U64(obs.ledger.unused_at_end)),
+                        (
+                            "late_arrival_rate",
+                            Json::F64(obs.ledger.late_arrival_rate()),
+                        ),
                     ]),
                 ),
+            ]),
+        ));
+    }
+    if let Some(name) = r.policy {
+        fields.push((
+            "policy",
+            Json::obj([
+                ("name", Json::Str(name.to_string())),
+                (
+                    "injected_prefetch_pages",
+                    Json::U64(r.os.policy_injected_prefetch_pages),
+                ),
+                (
+                    "injected_release_pages",
+                    Json::U64(r.os.policy_injected_release_pages),
+                ),
+                ("window_peak", Json::U64(r.os.policy_window_peak)),
+                ("distance_retunes", Json::U64(r.os.policy_distance_retunes)),
+                (
+                    "late_rate_samples",
+                    Json::U64(r.os.policy_late_rate_samples),
+                ),
+                ("injected_disk_reqs", Json::U64(r.disk.policy_injected_reqs)),
             ]),
         ));
     }
@@ -234,6 +261,17 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
         // Solo cells carry no tenant block; the `tenants` bench fills
         // it in for co-scheduled cells.
         tenant: None,
+        policy: r.policy.map(|name| PolicySummary {
+            name: name.to_string(),
+            injected_prefetch_pages: r.os.policy_injected_prefetch_pages,
+            injected_release_pages: r.os.policy_injected_release_pages,
+            window_peak: r.os.policy_window_peak,
+            distance_retunes: r.os.policy_distance_retunes,
+            late_rate_samples: r.os.policy_late_rate_samples,
+            late_arrival_bp: r.obs.as_ref().map_or(0, |o| {
+                (o.ledger.late_arrival_rate() * 10_000.0).round() as u64
+            }),
+        }),
     }
 }
 

@@ -357,5 +357,7 @@ pub fn tenant_baseline_run(config: &str, cell: &CoCell) -> BaselineRun {
         recovery_unrecoverable: r.os.recovery_unrecoverable,
         recovery_ns: r.os.recovery_ns,
         tenant: Some(tenant),
+        // The co-scheduled cell runs the compiler's hints only.
+        policy: None,
     }
 }

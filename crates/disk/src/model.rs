@@ -37,6 +37,10 @@ pub struct Request {
     /// it so tenant-aware scheduling and per-tenant queue shares can
     /// tell traffic streams apart.
     pub tenant: u32,
+    /// Whether the request was injected by a prefetch policy rather
+    /// than issued for a compiler hint or a demand fault. Attribution
+    /// only; scheduling treats both identically.
+    pub policy_injected: bool,
 }
 
 impl Request {
@@ -54,6 +58,7 @@ impl Request {
             start_block,
             nblocks,
             tenant: 0,
+            policy_injected: false,
         }
     }
 
@@ -61,6 +66,13 @@ impl Request {
     #[must_use]
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Same request marked as injected by a prefetch policy.
+    #[must_use]
+    pub fn with_policy_injected(mut self, injected: bool) -> Self {
+        self.policy_injected = injected;
         self
     }
 }
@@ -229,6 +241,9 @@ pub struct DiskStats {
     pub prefetch_service_hist: LatencyHist,
     /// Media-time distribution of writes.
     pub write_service_hist: LatencyHist,
+    /// Prefetch reads injected by a prefetch policy rather than issued
+    /// for compiler hints (a subset of `prefetch_reads`).
+    pub policy_injected_reqs: u64,
 }
 
 impl DiskStats {
@@ -298,6 +313,7 @@ impl DiskStats {
         self.prefetch_aged += o.prefetch_aged;
         self.queue_full_rejections += o.queue_full_rejections;
         self.share_rejections += o.share_rejections;
+        self.policy_injected_reqs += o.policy_injected_reqs;
         self.promotions += o.promotions;
         self.queue_wait_hist.merge(&o.queue_wait_hist);
         self.demand_service_hist.merge(&o.demand_service_hist);
@@ -555,6 +571,9 @@ impl Disk {
             ReqKind::PrefetchRead => {
                 self.stats.prefetch_reads += 1;
                 self.stats.prefetch_blocks += req.nblocks;
+                if req.policy_injected {
+                    self.stats.policy_injected_reqs += 1;
+                }
             }
             ReqKind::Write => {
                 self.stats.writes += 1;

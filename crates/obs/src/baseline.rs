@@ -108,6 +108,64 @@ impl TenantSummary {
     }
 }
 
+/// Prefetch-policy summary of a run that raced a policy against (or
+/// instead of) the compiler's hints: the injection and controller
+/// counters the `ablations` policy matrix gates on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PolicySummary {
+    /// Policy name (`readahead`, `adaptive-distance`, …).
+    pub name: String,
+    /// Prefetch pages the policy injected beyond the compiler's hints.
+    pub injected_prefetch_pages: u64,
+    /// Release pages the policy injected.
+    pub injected_release_pages: u64,
+    /// Peak readahead window / lead distance reached, in pages.
+    pub window_peak: u64,
+    /// Times the distance controller retuned its lead.
+    pub distance_retunes: u64,
+    /// Late-rate observation windows the controller completed.
+    pub late_rate_samples: u64,
+    /// Late-arrival rate of consumed prefetches, in basis points
+    /// (1/100 of a percent) so the trajectory stays integer-valued.
+    pub late_arrival_bp: u64,
+}
+
+impl PolicySummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            (
+                "injected_prefetch_pages",
+                Json::U64(self.injected_prefetch_pages),
+            ),
+            (
+                "injected_release_pages",
+                Json::U64(self.injected_release_pages),
+            ),
+            ("window_peak", Json::U64(self.window_peak)),
+            ("distance_retunes", Json::U64(self.distance_retunes)),
+            ("late_rate_samples", Json::U64(self.late_rate_samples)),
+            ("late_arrival_bp", Json::U64(self.late_arrival_bp)),
+        ])
+    }
+
+    fn parse(v: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(Self {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{ctx}: policy block missing name"))?
+                .to_string(),
+            injected_prefetch_pages: req_u64(v, "injected_prefetch_pages", ctx)?,
+            injected_release_pages: req_u64(v, "injected_release_pages", ctx)?,
+            window_peak: req_u64(v, "window_peak", ctx)?,
+            distance_retunes: req_u64(v, "distance_retunes", ctx)?,
+            late_rate_samples: req_u64(v, "late_rate_samples", ctx)?,
+            late_arrival_bp: req_u64(v, "late_arrival_bp", ctx)?,
+        })
+    }
+}
+
 /// One benchmark execution in the trajectory: a (kernel, config) cell
 /// of the capture matrix with every gated metric.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -159,6 +217,9 @@ pub struct BaselineRun {
     /// Multi-tenant fairness summary; `None` for solo cells and for
     /// baselines captured before the multi-tenant machine existed.
     pub tenant: Option<TenantSummary>,
+    /// Prefetch-policy summary; `None` for compiler-only cells and for
+    /// baselines captured before the policy subsystem existed.
+    pub policy: Option<PolicySummary>,
 }
 
 /// How a metric's drift reads in a report.
@@ -263,6 +324,22 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
         ));
         m.push(("tenant.quota_evictions", t.quota_evictions, HigherWorse));
     }
+    if let Some(p) = &r.policy {
+        m.push((
+            "policy.injected_prefetch_pages",
+            p.injected_prefetch_pages,
+            Neutral,
+        ));
+        m.push((
+            "policy.injected_release_pages",
+            p.injected_release_pages,
+            Neutral,
+        ));
+        m.push(("policy.window_peak", p.window_peak, Neutral));
+        m.push(("policy.distance_retunes", p.distance_retunes, Neutral));
+        m.push(("policy.late_rate_samples", p.late_rate_samples, Neutral));
+        m.push(("policy.late_arrival_bp", p.late_arrival_bp, HigherWorse));
+    }
     m
 }
 
@@ -353,6 +430,9 @@ fn run_json(r: &BaselineRun) -> Json {
     ];
     if let Some(t) = &r.tenant {
         fields.push(("tenant", t.to_json()));
+    }
+    if let Some(p) = &r.policy {
+        fields.push(("policy", p.to_json()));
     }
     Json::obj(fields)
 }
@@ -448,6 +528,12 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         None => None,
         Some(tv) => Some(TenantSummary::parse(tv, &ctx)?),
     };
+    // Compiler-only cells and pre-policy baselines carry no `policy`
+    // block; when present it must be complete, like `tenant`.
+    let policy = match v.get("policy") {
+        None => None,
+        Some(pv) => Some(PolicySummary::parse(pv, &ctx)?),
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -468,6 +554,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         recovery_unrecoverable: rec[5],
         recovery_ns: rec[6],
         tenant,
+        policy,
         kernel,
         config,
     };
@@ -778,6 +865,7 @@ mod tests {
             recovery_unrecoverable: 0,
             recovery_ns: 77,
             tenant: None,
+            policy: None,
         }
     }
 
@@ -845,6 +933,42 @@ mod tests {
             }
         }
         assert!(parse_baseline(&doc).unwrap_err().contains("unrecoverable"));
+    }
+
+    #[test]
+    fn policy_block_roundtrips_and_rejects_partials() {
+        let mut b = sample_baseline();
+        b.runs[0].policy = Some(PolicySummary {
+            name: "readahead".into(),
+            injected_prefetch_pages: 512,
+            injected_release_pages: 16,
+            window_peak: 64,
+            distance_retunes: 0,
+            late_rate_samples: 0,
+            late_arrival_bp: 250,
+        });
+        let doc = baseline_json(&b);
+        let back = parse_baseline(&doc).unwrap();
+        assert_eq!(back, b);
+        // Policy metrics appear only for cells that ran a policy.
+        assert!(metrics(&back.runs[0])
+            .iter()
+            .any(|(n, v, _)| *n == "policy.injected_prefetch_pages" && *v == 512));
+        assert!(!metrics(&back.runs[1])
+            .iter()
+            .any(|(n, _, _)| n.starts_with("policy.")));
+        // A present-yet-partial block is corruption.
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, Json::Obj(p))) = run.iter_mut().find(|(k, _)| k == "policy") {
+                        p.retain(|(k, _)| k != "window_peak");
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc).unwrap_err().contains("window_peak"));
     }
 
     #[test]

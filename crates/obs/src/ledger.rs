@@ -86,6 +86,23 @@ impl LedgerCounts {
     pub fn wasted(&self) -> u64 {
         self.evicted_unused + self.unused_at_end
     }
+
+    /// Entries actually consumed by a demand touch, timely or late.
+    pub fn consumed(&self) -> u64 {
+        self.timely_hits + self.late_inflight
+    }
+
+    /// Fraction of consumed prefetches that arrived late — the signal a
+    /// distance controller (3PO-style) tunes against. Zero when nothing
+    /// was consumed.
+    pub fn late_arrival_rate(&self) -> f64 {
+        let consumed = self.consumed();
+        if consumed == 0 {
+            0.0
+        } else {
+            self.late_inflight as f64 / consumed as f64
+        }
+    }
 }
 
 /// An open entry: issued, not yet consumed, dropped, or evicted.
@@ -316,6 +333,13 @@ mod tests {
         assert!(l.partition_ok());
         assert_eq!(c.issued(), 4);
         assert_eq!(c.wasted(), 2);
+        assert_eq!(c.consumed(), 2);
+        assert!((c.late_arrival_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_arrival_rate_guards_empty() {
+        assert_eq!(LedgerCounts::default().late_arrival_rate(), 0.0);
     }
 
     #[test]

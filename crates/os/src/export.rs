@@ -196,6 +196,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             ),
             TraceEvent::DegradedEnter => instant("degraded_enter", TID_OS, at, Json::obj([])),
             TraceEvent::DegradedExit => instant("degraded_exit", TID_OS, at, Json::obj([])),
+            TraceEvent::PolicyInject { page, count } => instant(
+                "policy_inject",
+                TID_HINT,
+                at,
+                Json::obj([("page", Json::U64(page)), ("count", Json::U64(count))]),
+            ),
         };
         events.push(ev);
     }

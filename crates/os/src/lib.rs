@@ -46,6 +46,12 @@ pub use oocp_disk::{
     Brownout, CrashPoint, CrashSpec, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy,
 };
 pub use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger, TimeAttribution};
+// Prefetch-policy types, re-exported so the runtime and bench layers
+// can select and install policies without a direct policy-crate
+// dependency.
+pub use oocp_policy::{
+    HistoryReplay, PolicyActions, PolicyCounters, PolicyKind, PrefetchPolicy, TouchKind,
+};
 pub use params::MachineParams;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};

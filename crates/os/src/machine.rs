@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
 use oocp_fs::{FileId, FileSystem, WriteJournal};
 use oocp_obs::TimeAttribution;
+use oocp_policy::{PolicyActions, PrefetchPolicy, TouchKind};
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
 use oocp_sim::time::{Ns, TimeBreakdown, TimeCategory};
@@ -297,6 +298,17 @@ pub struct Machine {
     /// one; each tracks only its owner's pages). Present only when
     /// tenants are registered.
     tenant_bits: Vec<ResidencyBits>,
+    /// Installed prefetch policy. `None` under the default
+    /// `PolicyKind::CompilerOnly`, which keeps every paging path
+    /// bit-identical to a build without the policy subsystem.
+    policy: Option<Box<dyn PrefetchPolicy>>,
+    /// Set while policy-requested actions are applied, so `do_prefetch`
+    /// and `do_release` attribute the pages to the policy and tag the
+    /// disk requests as policy-injected.
+    policy_issue: bool,
+    /// Policy hooks suspended (the runtime pauses reactive policies
+    /// while it is degraded to demand-only paging).
+    policy_paused: bool,
 }
 
 impl Machine {
@@ -374,6 +386,9 @@ impl Machine {
             tenants: Vec::new(),
             cur_tenant: 0,
             tenant_bits: Vec::new(),
+            policy: oocp_policy::build(params.policy),
+            policy_issue: false,
+            policy_paused: false,
         })
     }
 
@@ -968,12 +983,18 @@ impl Machine {
                     span,
                     arrival: done,
                 });
+                if self.policy_ready() {
+                    if let Some(pol) = self.policy.as_mut() {
+                        pol.on_prefetch_arrived(vpage, done);
+                    }
+                }
             }
         }
     }
 
     /// Unmap a free-list page, returning its frame to the free pool.
     fn reclaim(&mut self, vpage: u64) {
+        let wasted = self.pages[vpage as usize].prefetch_tag && !self.pages[vpage as usize].touched;
         let page = &mut self.pages[vpage as usize];
         debug_assert!(matches!(
             page.state,
@@ -1001,6 +1022,11 @@ impl Machine {
             mx.ledger.evicted(vpage);
         }
         self.pages[vpage as usize].span = 0;
+        if wasted && self.policy_ready() {
+            if let Some(pol) = self.policy.as_mut() {
+                pol.on_prefetch_evicted_unused(vpage);
+            }
+        }
     }
 
     /// Pop the next live free-list page, skipping stale entries.
@@ -1600,6 +1626,7 @@ impl Machine {
                     referenced: true,
                     on_free_list: false,
                 };
+                self.policy_touch(vpage, TouchKind::PrefetchedLate);
                 Ok(Some(arrival))
             }
             PageState::Unmapped => {
@@ -1657,6 +1684,7 @@ impl Machine {
                 self.bit_in(vpage);
                 self.run_daemon();
                 self.note_free_level();
+                self.policy_touch(vpage, TouchKind::HardFault);
                 Ok(Some(done))
             }
         }
@@ -1721,6 +1749,7 @@ impl Machine {
                         // at fault time.
                     }
                 }
+                let first_touch = !page.touched;
                 let p = &mut self.pages[vpage as usize];
                 p.touched = true;
                 p.prefetch_tag = false;
@@ -1730,6 +1759,9 @@ impl Machine {
                     referenced: true,
                     on_free_list: false,
                 };
+                if first_touch && page.prefetch_tag {
+                    self.policy_touch(vpage, TouchKind::PrefetchedTimely);
+                }
                 Ok(false)
             }
             PageState::Resident {
@@ -1775,6 +1807,7 @@ impl Machine {
                 // cleared it). The stale deque entry is pruned lazily.
                 self.bit_in(vpage);
                 self.note_free_level();
+                self.policy_touch(vpage, TouchKind::SoftFault);
                 Ok(false)
             }
             PageState::InFlight { ticket } => {
@@ -1819,6 +1852,7 @@ impl Machine {
                     referenced: true,
                     on_free_list: false,
                 };
+                self.policy_touch(vpage, TouchKind::PrefetchedLate);
                 Ok(true)
             }
             PageState::Unmapped => {
@@ -1884,9 +1918,119 @@ impl Machine {
                 self.bit_in(vpage);
                 self.run_daemon();
                 self.note_free_level();
+                self.policy_touch(vpage, TouchKind::HardFault);
                 Ok(true)
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch policy (the pluggable rival of the compiler's hints)
+    // ------------------------------------------------------------------
+
+    /// Replace the installed prefetch policy. The bench harness uses
+    /// this to install a replaying [`oocp_policy::HistoryReplay`] for
+    /// the second pass of a record/replay run.
+    pub fn set_policy(&mut self, pol: Box<dyn PrefetchPolicy>) {
+        self.policy = Some(pol);
+    }
+
+    /// Name of the installed policy, if any.
+    pub fn policy_name(&self) -> Option<&'static str> {
+        self.policy.as_ref().map(|p| p.name())
+    }
+
+    /// The miss trace recorded by the installed policy, if it is a
+    /// recorder (see [`oocp_policy::PrefetchPolicy::miss_trace`]).
+    pub fn policy_miss_trace(&self) -> Option<Vec<u64>> {
+        self.policy.as_ref()?.miss_trace().map(<[u64]>::to_vec)
+    }
+
+    /// Suspend or resume the policy hooks. The runtime pauses reactive
+    /// policies while it is degraded to demand-only paging (injected
+    /// hint traffic is exactly what degraded mode exists to stop) and
+    /// resumes them on recovery. The policy object keeps its state.
+    pub fn set_policy_enabled(&mut self, enabled: bool) {
+        self.policy_paused = !enabled;
+    }
+
+    /// Whether the observation hooks should fire at all.
+    #[inline]
+    fn policy_ready(&self) -> bool {
+        self.policy.is_some() && !self.policy_paused && self.crashed.is_none()
+    }
+
+    /// Mirror the policy's own counters into [`OsStats`] so reports and
+    /// baselines see them without reaching into the trait object.
+    fn sync_policy_counters(&mut self) {
+        if let Some(pol) = &self.policy {
+            let c = pol.counters();
+            self.stats.policy_window_peak = c.window_peak;
+            self.stats.policy_distance_retunes = c.distance_retunes;
+            self.stats.policy_late_rate_samples = c.late_rate_samples;
+        }
+    }
+
+    /// Observation hook: a first demand touch (or fault) resolved.
+    fn policy_touch(&mut self, vpage: u64, kind: TouchKind) {
+        if !self.policy_ready() {
+            return;
+        }
+        let now = self.now;
+        let mut act = PolicyActions::default();
+        if let Some(pol) = self.policy.as_mut() {
+            pol.on_touch(vpage, kind, now, &mut act);
+        }
+        self.sync_policy_counters();
+        if !act.is_empty() {
+            self.apply_policy_actions(act);
+        }
+    }
+
+    /// Observation hook: the program issued a hint call.
+    fn policy_hint(&mut self, prefetch: Option<(u64, u64)>, release: Option<(u64, u64)>) {
+        if !self.policy_ready() {
+            return;
+        }
+        let now = self.now;
+        let mut act = PolicyActions::default();
+        if let Some(pol) = self.policy.as_mut() {
+            pol.on_hint(prefetch, release, now, &mut act);
+        }
+        self.sync_policy_counters();
+        if !act.is_empty() {
+            self.apply_policy_actions(act);
+        }
+    }
+
+    /// Apply the actions a hook requested. Injected prefetches and
+    /// releases flow through the ordinary hint machinery (`do_prefetch`
+    /// / `do_release`) but charge no hint-syscall time — the policy
+    /// lives inside the kernel, like Linux readahead, rather than
+    /// calling into it. The `policy_issue` flag makes those paths
+    /// attribute the pages to the policy and tag the disk requests.
+    fn apply_policy_actions(&mut self, act: PolicyActions) {
+        self.policy_issue = true;
+        // Releases first: a streaming policy frees the pages behind its
+        // window in the same action batch that extends it ahead, and the
+        // freed frames must be visible to the prefetch admission check.
+        for (start, count) in act.release {
+            self.do_release(start, count);
+        }
+        for (start, count) in act.prefetch {
+            self.trace_event(TraceEvent::PolicyInject { page: start, count });
+            self.do_prefetch(start, count);
+        }
+        self.policy_issue = false;
+        // The deliberate rule-breaker: only `BrokenPolicy` ever asks for
+        // this, and only so the timing-only oracle can prove it notices.
+        for vpage in act.corrupt {
+            if vpage < self.total_pages() {
+                let off = (vpage * self.params.page_bytes) as usize;
+                self.data[off] ^= 0xFF;
+            }
+        }
+        self.note_free_level();
     }
 
     // ------------------------------------------------------------------
@@ -1935,6 +2079,7 @@ impl Machine {
         if let Some((start, n)) = prefetch {
             self.do_prefetch(start, n);
         }
+        self.policy_hint(prefetch, release);
         self.note_free_level();
     }
 
@@ -1948,6 +2093,9 @@ impl Machine {
                 continue;
             }
             self.stats.release_pages += 1;
+            if self.policy_issue {
+                self.stats.policy_injected_release_pages += 1;
+            }
             self.settle(vpage);
             if let PageState::Resident {
                 on_free_list: false,
@@ -2019,6 +2167,9 @@ impl Machine {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for vpage in start..end {
             self.stats.prefetch_pages_requested += 1;
+            if self.policy_issue {
+                self.stats.policy_injected_prefetch_pages += 1;
+            }
             self.settle(vpage);
             match self.pages[vpage as usize].state {
                 PageState::Resident {
@@ -2140,7 +2291,8 @@ impl Machine {
                     run.disk,
                     self.now,
                     Request::new(ReqKind::PrefetchRead, run.start_block, run.nblocks)
-                        .with_tenant(self.cur_tenant),
+                        .with_tenant(self.cur_tenant)
+                        .with_policy_injected(self.policy_issue),
                 ) {
                     Ok(ticket) => {
                         // Every page of the run redeems one unit of the

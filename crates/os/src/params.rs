@@ -1,6 +1,7 @@
 //! Machine configuration parameters.
 
 use oocp_disk::{DiskParams, SchedConfig};
+use oocp_policy::PolicyKind;
 use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 use crate::error::ConfigError;
@@ -66,6 +67,11 @@ pub struct MachineParams {
     pub journal: bool,
     /// Journal ring size per disk, in blocks (two blocks per record).
     pub journal_blocks_per_disk: u64,
+    /// Which prefetch policy the machine runs alongside (or instead of)
+    /// the compiler's hints. The default, `CompilerOnly`, installs no
+    /// policy object at all, so the machine is bit-identical to a
+    /// build without the policy subsystem.
+    pub policy: PolicyKind,
 }
 
 impl MachineParams {
@@ -99,6 +105,7 @@ impl MachineParams {
             io_retry_budget_ns: 2000 * MILLISECOND,
             journal: true,
             journal_blocks_per_disk: 64,
+            policy: PolicyKind::CompilerOnly,
         }
     }
 
@@ -126,6 +133,7 @@ impl MachineParams {
             io_retry_budget_ns: 500 * MILLISECOND,
             journal: true,
             journal_blocks_per_disk: 64,
+            policy: PolicyKind::CompilerOnly,
         }
     }
 
@@ -171,6 +179,12 @@ impl MachineParams {
     /// Same configuration with a different I/O scheduler.
     pub fn with_sched(mut self, sched: SchedConfig) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Same configuration with a different prefetch policy.
+    pub fn with_prefetch_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -269,6 +283,17 @@ mod tests {
         assert_eq!(p.page_bytes, 4096);
         assert_eq!(p.ndisks, 7);
         assert_eq!(p.memory_bytes(), 48 * 1024 * 1024);
+    }
+
+    #[test]
+    fn default_policy_is_compiler_only() {
+        assert_eq!(MachineParams::small().policy, PolicyKind::CompilerOnly);
+        assert_eq!(
+            MachineParams::small()
+                .with_prefetch_policy(PolicyKind::Readahead)
+                .policy,
+            PolicyKind::Readahead
+        );
     }
 
     #[test]

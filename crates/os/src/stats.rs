@@ -132,6 +132,18 @@ pub struct OsStats {
     /// Scrubbed pages found corrupt and repaired from committed journal
     /// state.
     pub scrub_pages_repaired: u64,
+    /// Prefetch pages injected by the installed prefetch policy (over
+    /// and above the compiler's hints). Zero under `CompilerOnly`.
+    pub policy_injected_prefetch_pages: u64,
+    /// Release pages injected by the installed prefetch policy.
+    pub policy_injected_release_pages: u64,
+    /// Peak readahead window / lead distance the policy reached, in
+    /// pages (policy-defined; see `oocp_policy::PolicyCounters`).
+    pub policy_window_peak: u64,
+    /// Times the policy's distance controller retuned its lead.
+    pub policy_distance_retunes: u64,
+    /// Late-rate observation windows the policy completed.
+    pub policy_late_rate_samples: u64,
 }
 
 impl OsStats {

@@ -147,6 +147,14 @@ pub enum TraceEvent {
     DegradedEnter,
     /// The runtime left degraded mode and resumed hinting.
     DegradedExit,
+    /// The installed prefetch policy injected a prefetch run (over and
+    /// above the compiler's hints; charged no syscall time).
+    PolicyInject {
+        /// First page of the injected run.
+        page: u64,
+        /// Pages in the run.
+        count: u64,
+    },
 }
 
 impl TraceEvent {
@@ -172,6 +180,7 @@ impl TraceEvent {
             TraceEvent::BitvecResync { .. } => "RESYNC",
             TraceEvent::DegradedEnter => "DEGR+",
             TraceEvent::DegradedExit => "DEGR-",
+            TraceEvent::PolicyInject { .. } => "PINJ",
         }
     }
 }

@@ -352,6 +352,9 @@ impl Runtime {
         self.since_probe = 0;
         self.stats.degraded_entries += 1;
         self.machine.note_degraded(true);
+        // A reactive policy injecting readahead would defeat the whole
+        // point of demand-only mode; pause it for the episode.
+        self.machine.set_policy_enabled(false);
     }
 
     /// Resume hinting: the probe streak showed the path is healthy.
@@ -365,6 +368,7 @@ impl Runtime {
         self.win_len = 0;
         self.machine.resync_bits();
         self.machine.note_degraded(false);
+        self.machine.set_policy_enabled(true);
     }
 
     /// Run-time-layer counters.

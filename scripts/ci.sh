@@ -16,6 +16,29 @@ cargo test -q
 echo "== schedsweep smoke (policy sweep correctness gate)"
 cargo run --release -q -p oocp-bench --bin schedsweep -- --smoke
 
+echo "== ablations smoke (policy x kernel matrix + checksum oracle)"
+# The policy matrix gates itself: every policy cell must verify and
+# its final checksum must equal the no-prefetch run — policies are
+# timing-only by contract.
+cargo run --release -q -p oocp-bench --bin ablations -- --smoke
+
+echo "== policy negative gate (a data-corrupting policy must be caught)"
+# Install the test-only broken policy; the same matrix must now fail
+# with a verification error or checksum divergence — otherwise the
+# timing-only oracle has no teeth. The proptest twin of this gate is
+# tests/proptest_policy.rs::broken_policy_is_caught.
+if cargo run --release -q -p oocp-bench --bin ablations -- \
+    --smoke --policy broken > /tmp/oocp-bp.$$ 2>&1; then
+    cat /tmp/oocp-bp.$$
+    rm -f /tmp/oocp-bp.$$
+    echo "ablations --policy broken passed: the policy oracle has no teeth"
+    exit 1
+fi
+grep -q "failed to verify\|checksum" /tmp/oocp-bp.$$ || {
+    cat /tmp/oocp-bp.$$; rm -f /tmp/oocp-bp.$$
+    echo "ablations --policy broken failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-bp.$$
+
 echo "== tenants smoke (multi-tenant fairness + isolation gates)"
 # Co-schedule 1/2/4 kernels on one machine: every tenant's checksum
 # must match its solo run, worst p95 demand stall within 3x solo, and
