@@ -57,6 +57,7 @@ fn main() {
                 cost: *cost,
                 warm: false,
                 metrics: false,
+                sampler: None,
             };
             let w = build(app, cfg.bytes_for_ratio(2.0));
             let o = run_workload(&w, &cfg, Mode::Original);

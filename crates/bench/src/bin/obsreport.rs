@@ -17,12 +17,22 @@
 //! With `--json <path>` it also writes the machine-readable run report,
 //! re-reads the file, re-parses it with the zero-dependency JSON
 //! parser, and re-validates the invariants on the parsed document —
-//! the end-to-end exporter check CI runs via `--smoke`.
+//! the end-to-end exporter check CI runs via `--smoke`. With
+//! `--metrics-out <prefix>` it attaches the sim-time telemetry sampler
+//! and exports the first prefetch run's registry and time series as
+//! `<prefix>.prom` + `<prefix>.jsonl`.
+//!
+//! Standalone validator modes (no benchmark run; for CI gates):
+//!
+//! * `obsreport --check-report FILE` — parse a run report and re-check
+//!   every invariant, including the whylate partition.
+//! * `obsreport --check-metrics FILE` — structurally check an exported
+//!   `.prom` or `.jsonl` telemetry document.
 //!
 //! Run: `cargo run --release -p oocp-bench --bin obsreport`
 //! CI:  `... --bin obsreport -- --smoke --json /tmp/report.json`
 
-use oocp_bench::{report, run_workload, secs, Args, Mode, RunResult};
+use oocp_bench::{report, run_workload, secs, write_metrics, Args, Mode, RunResult};
 use oocp_nas::{build, App};
 use oocp_obs::TimeAttribution;
 
@@ -30,7 +40,64 @@ fn pct(part: u64, total: u64) -> String {
     format!("{:>5.1}", TimeAttribution::frac(part, total) * 100.0)
 }
 
+fn read_or_exit(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn check_ok<T>(what: &str, path: &str, res: Result<T, String>) -> ! {
+    match res {
+        Ok(_) => {
+            println!("{path}: valid {what}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The validator modes run before [`Args::parse`] (which rejects flags
+/// it does not know) and never start a benchmark.
+fn validator_modes() {
+    let argv: Vec<String> = std::env::args().collect();
+    match argv.get(1).map(String::as_str) {
+        Some("--check-report") => {
+            let path = argv.get(2).unwrap_or_else(|| {
+                eprintln!("usage: obsreport --check-report FILE");
+                std::process::exit(2);
+            });
+            let text = read_or_exit(path);
+            let res = oocp_obs::json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| report::validate_report(&doc));
+            check_ok("run report", path, res);
+        }
+        Some("--check-metrics") => {
+            let path = argv.get(2).unwrap_or_else(|| {
+                eprintln!("usage: obsreport --check-metrics FILE(.prom|.jsonl)");
+                std::process::exit(2);
+            });
+            let text = read_or_exit(path);
+            if path.ends_with(".prom") {
+                check_ok(
+                    "prometheus text",
+                    path,
+                    oocp_obs::check_prometheus_text(&text),
+                );
+            } else {
+                check_ok("metrics jsonl", path, oocp_obs::check_jsonl(&text));
+            }
+        }
+        _ => {}
+    }
+}
+
 fn main() {
+    validator_modes();
     let args = Args::parse();
     let mut cfg = args.cfg;
     // The whole point is the observability snapshot; force it on even
@@ -143,6 +210,46 @@ fn main() {
             pair(&obs.fault_wait),
             pair(&obs.lead_time),
             pair(&obs.arrival_to_use),
+        );
+    }
+
+    println!("\nwhy late (dominant cause per late prefetch, whylate engine):\n");
+    println!(
+        "{:<8} {:>6} | {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "late", "issue", "queue", "svc", "jrnl", "degrade"
+    );
+    for (name, r) in &results {
+        if r.mode != Mode::Prefetch {
+            continue;
+        }
+        let obs = r.obs.as_ref().expect("metrics were enabled");
+        let w = &obs.whylate;
+        assert!(
+            w.partitions(&obs.ledger),
+            "{name}: whylate causes do not partition the ledger outcomes"
+        );
+        println!(
+            "{:<8} {:>6} | {:>7} {:>7} {:>7} {:>7} {:>7}",
+            name.split('/').next().unwrap(),
+            w.late_total(),
+            w.late_issue_lag,
+            w.late_queue_wait,
+            w.late_service_time,
+            w.late_journal_stall,
+            w.late_degraded_pause,
+        );
+    }
+
+    if let Some(prefix) = &args.metrics_out {
+        let (name, r) = results
+            .iter()
+            .find(|(_, r)| r.mode == Mode::Prefetch && r.telemetry.is_some())
+            .expect("--metrics-out attaches a sampler to every run");
+        let (reg, ring) = r.telemetry.as_ref().unwrap();
+        write_metrics(prefix, reg, ring).unwrap_or_else(|e| oocp_bench::exit_on(e));
+        println!(
+            "\nmetrics exported for {name}: {prefix}.prom + {prefix}.jsonl ({} samples)",
+            ring.len()
         );
     }
 

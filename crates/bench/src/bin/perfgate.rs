@@ -33,7 +33,7 @@ use oocp_nas::{build, App};
 use oocp_obs::baseline::{
     self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding,
 };
-use oocp_obs::{tracediff, Json};
+use oocp_obs::{tracediff, Json, WhylateSummary};
 use oocp_os::{chrome_trace_json, PolicyKind, SchedPolicy, Trace};
 
 /// Ring capacity for tracediff re-runs: deep enough to hold every event
@@ -306,6 +306,14 @@ fn run_cell(
     Ok((r, trace))
 }
 
+/// Stamp the wall-clock-derived simulation throughput (simulated ns per
+/// host second) on a freshly distilled cell. Noisy by nature — the
+/// `simthroughput.*` allowance band is deliberately wide.
+fn stamp_throughput(run: &mut BaselineRun, sim_ns: u64, host: std::time::Duration) {
+    let secs = host.as_secs_f64().max(1e-9);
+    run.sim_throughput = Some((sim_ns as f64 / secs) as u64);
+}
+
 /// Run the whole (possibly filtered) matrix and distill baseline runs.
 fn run_matrix(
     only: &Option<String>,
@@ -315,14 +323,18 @@ fn run_matrix(
     let mut runs = Vec::new();
     for kernel in kernels().iter().filter(|k| selected(k, only)) {
         for spec in &CONFIGS {
+            let started = std::time::Instant::now();
             let (r, _) = run_cell(kernel, spec, kernels_dir, overrides, false)?;
+            let host = started.elapsed();
             eprintln!(
                 "  ran {:<14} {:<10} elapsed {}s",
                 kernel.name(),
                 spec.name,
                 secs(r.total())
             );
-            runs.push(report::baseline_run(&kernel.name(), spec.name, &r));
+            let mut run = report::baseline_run(&kernel.name(), spec.name, &r);
+            stamp_throughput(&mut run, r.total(), host);
+            runs.push(run);
         }
     }
     // The multi-tenant cells ride on their own canonical platform, so
@@ -378,8 +390,10 @@ fn tenant_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
             metrics: true,
             ..Default::default()
         };
+        let started = std::time::Instant::now();
         let cell =
             mt::co_run(&cfg, n, &opts, &mut solos).map_err(|e| format!("tenants/co{n}: {e}"))?;
+        let host = started.elapsed();
         if let Err(e) = &cell.verified {
             return Err(format!("tenants/co{n} failed to verify: {e}"));
         }
@@ -389,7 +403,9 @@ fn tenant_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
             format!("co{n}"),
             secs(cell.hub.elapsed_ns)
         );
-        runs.push(mt::tenant_baseline_run(&format!("co{n}"), &cell));
+        let mut run = mt::tenant_baseline_run(&format!("co{n}"), &cell);
+        stamp_throughput(&mut run, cell.hub.elapsed_ns, host);
+        runs.push(run);
     }
     Ok(runs)
 }
@@ -427,7 +443,9 @@ fn policy_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
         let mut cfg = cell_config(&Kernel::Nas(App::Embar), &CONFIGS[0]);
         cfg.machine = cfg.machine.with_prefetch_policy(kind);
         let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+        let started = std::time::Instant::now();
         let (r, _) = run_workload_traced(&w, &cfg, mode, 0);
+        let host = started.elapsed();
         if let Err(e) = &r.verified {
             return Err(format!("{POLICY_KERNEL}/{name} failed to verify: {e}"));
         }
@@ -438,7 +456,9 @@ fn policy_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
             "  ran {POLICY_KERNEL:<14} {name:<10} elapsed {}s",
             secs(r.total())
         );
-        runs.push(report::baseline_run(POLICY_KERNEL, name, &r));
+        let mut run = report::baseline_run(POLICY_KERNEL, name, &r);
+        stamp_throughput(&mut run, r.total(), host);
+        runs.push(run);
     }
     Ok(runs)
 }
@@ -455,10 +475,22 @@ fn capture(o: &Options) -> Result<(), String> {
         TENANT_WIDTHS.len()
     );
     let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default())?;
+    // Baseline-level whylate: the sum of the per-cell cause vectors, so
+    // the trajectory answers "why are prefetches late overall" at a
+    // glance without re-summing 58 cells.
+    let mut agg = WhylateSummary::default();
+    let mut any = false;
+    for r in &runs {
+        if let Some(w) = &r.whylate {
+            agg.merge(w);
+            any = true;
+        }
+    }
     let b = Baseline {
         index: o.index,
         seed: Config::default_platform().seed,
         runs,
+        whylate: any.then_some(agg),
     };
     let doc = baseline::baseline_json(&b);
     // Prove what we wrote is what a compare will read.
@@ -474,7 +506,14 @@ fn capture(o: &Options) -> Result<(), String> {
 }
 
 fn validate(path: &str) -> Result<(), String> {
-    let b = baseline::parse_baseline(&read_json(path)?)?;
+    let doc = read_json(path)?;
+    // Report the document's own schema tag (v1 and v2 both parse).
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("<missing schema>")
+        .to_string();
+    let b = baseline::parse_baseline(&doc)?;
     let mut kernels: Vec<&str> = b.runs.iter().map(|r| r.kernel.as_str()).collect();
     kernels.sort_unstable();
     kernels.dedup();
@@ -482,13 +521,20 @@ fn validate(path: &str) -> Result<(), String> {
     configs.sort_unstable();
     configs.dedup();
     println!(
-        "{path}: valid {} (index {}, {} runs, {} kernels x {} configs)",
-        baseline::SCHEMA,
+        "{path}: valid {schema} (index {}, {} runs, {} kernels x {} configs)",
         b.index,
         b.runs.len(),
         kernels.len(),
         configs.len()
     );
+    if let Some(w) = &b.whylate {
+        println!(
+            "  whylate: {} late / {} dropped / {} wasted across the matrix",
+            w.late_total(),
+            w.drop_total(),
+            w.wasted_total()
+        );
+    }
     Ok(())
 }
 

@@ -298,6 +298,7 @@ fn sweep(o: &Opt) -> Vec<String> {
             index: 0,
             seed: cfg.seed,
             runs,
+            whylate: None,
         };
         let doc = baseline::baseline_json(&b);
         if let Err(e) = baseline::parse_baseline(&doc) {

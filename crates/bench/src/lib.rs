@@ -16,8 +16,8 @@ use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Progra
 use oocp_nas::Workload;
 use oocp_obs::TimeAttribution;
 use oocp_os::{
-    FaultPlan, FlushError, HistoryReplay, MachineParams, MetricsReport, OsStats, PolicyKind,
-    PrefetchPolicy, RecoveryReport, Trace,
+    FaultPlan, FlushError, HistoryReplay, MachineParams, MetricsRegistry, MetricsReport, OsStats,
+    PolicyKind, PrefetchPolicy, RecoveryReport, TimeSeriesRing, Trace,
 };
 use oocp_rt::{FilterMode, RtStats, Runtime};
 use oocp_sim::time::{Ns, TimeBreakdown};
@@ -129,6 +129,10 @@ pub struct RunResult {
     /// Name of the prefetch policy installed on the machine; `None`
     /// for the compiler-only default (no policy object at all).
     pub policy: Option<&'static str>,
+    /// Continuous-telemetry output: the metrics registry (final values)
+    /// and the sampled time-series ring. Present when
+    /// [`Config::sampler`] was set.
+    pub telemetry: Option<(MetricsRegistry, TimeSeriesRing)>,
 }
 
 impl RunResult {
@@ -152,6 +156,11 @@ pub struct Config {
     /// Enable the machine's observability layer (timing-neutral; fills
     /// [`RunResult::obs`]).
     pub metrics: bool,
+    /// Attach the sim-time telemetry sampler: `(interval_ns, ring_cap)`.
+    /// Implies metrics on the machine; timing-neutral like `metrics`
+    /// (the sampler only reads counters at clock-advance points). Fills
+    /// [`RunResult::telemetry`].
+    pub sampler: Option<(Ns, usize)>,
 }
 
 impl Config {
@@ -166,6 +175,7 @@ impl Config {
             cost: CostModel::default(),
             warm: false,
             metrics: false,
+            sampler: None,
         }
     }
 
@@ -301,7 +311,19 @@ fn collect_result(
         checksum,
         flush,
         policy: m.policy_name(),
+        // Pulled separately by the run paths: sampler_output needs the
+        // machine mutably to refresh the registry.
+        telemetry: None,
     }
+}
+
+/// Pull the telemetry sampler's output (if one was attached) off the
+/// finished runtime into the result.
+fn collect_telemetry(rt: &mut Runtime, result: &mut RunResult) {
+    result.telemetry = rt
+        .machine_mut()
+        .sampler_output()
+        .map(|(reg, ring)| (reg.clone(), ring.clone()));
 }
 
 /// Run a workload, handling the [`PolicyKind::HistoryReplay`] two-pass
@@ -384,6 +406,9 @@ fn run_workload_once(
     if cfg.metrics {
         rt = rt.with_metrics();
     }
+    if let Some((interval, cap)) = cfg.sampler {
+        rt.machine_mut().attach_sampler(interval, cap);
+    }
     w.init(&binds, &mut rt, cfg.seed);
     if cfg.warm {
         let m = rt.machine_mut();
@@ -405,7 +430,8 @@ fn run_workload_once(
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
     let miss = rt.machine().policy_miss_trace();
-    let result = collect_result(mode, &rt, exec, report, verified, checksum, flush);
+    let mut result = collect_result(mode, &rt, exec, report, verified, checksum, flush);
+    collect_telemetry(&mut rt, &mut result);
     (result, trace, miss)
 }
 
@@ -571,12 +597,16 @@ fn run_ir_once(
     if cfg.metrics {
         rt = rt.with_metrics();
     }
+    if let Some((interval, cap)) = cfg.sampler {
+        rt.machine_mut().attach_sampler(interval, cap);
+    }
     let exec = run_program(&run_prog, &binds, param_values, cfg.cost, &mut rt);
     let flush = rt.machine_mut().try_finish().err();
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();
     let miss = rt.machine().policy_miss_trace();
-    let result = collect_result(mode, &rt, exec, report, Ok(()), checksum, flush);
+    let mut result = collect_result(mode, &rt, exec, report, Ok(()), checksum, flush);
+    collect_telemetry(&mut rt, &mut result);
     (result, trace, miss)
 }
 
@@ -630,12 +660,20 @@ pub fn print_breakdown_row(name: &str, label: &str, t: &TimeBreakdown, norm: Ns)
     );
 }
 
+/// Default telemetry sampling interval: one row per simulated
+/// millisecond — a few thousand rows across a typical matrix cell.
+pub const SAMPLE_INTERVAL_NS: Ns = 1_000_000;
+
+/// Default time-series ring capacity (oldest rows evicted beyond it).
+pub const SAMPLE_RING_CAP: usize = 8192;
+
 /// Parse `--key value` style overrides shared by the binaries.
 ///
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
-/// `--csv <path>`, `--json <path>`, `--sched <policy>`,
-/// `--queue-depth <n>`, `--policy <name>`, `--coalesce`, `--smoke`,
-/// `--crash`, `--no-journal`.
+/// `--csv <path>`, `--json <path>`, `--metrics-out <prefix>`,
+/// `--sample-interval-us <n>`, `--sched <policy>`, `--queue-depth <n>`,
+/// `--policy <name>`, `--coalesce`, `--smoke`, `--crash`,
+/// `--no-journal`.
 pub struct Args {
     /// Parsed configuration (including any `--sched`/`--queue-depth`/
     /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
@@ -649,6 +687,11 @@ pub struct Args {
     /// `--json` also enables [`Config::metrics`], so the report carries
     /// histograms and the lifecycle ledger.
     pub json: Option<String>,
+    /// Optional telemetry export prefix: binaries that support it write
+    /// `<prefix>.prom` (Prometheus text format) and `<prefix>.jsonl`
+    /// (time-series rows) from [`RunResult::telemetry`]. Giving
+    /// `--metrics-out` attaches the sampler ([`Config::sampler`]).
+    pub metrics_out: Option<String>,
     /// Quick-gate mode: binaries that support it shrink to a single
     /// small kernel so CI can run them on every change.
     pub smoke: bool,
@@ -668,6 +711,8 @@ impl Args {
         let mut ratio = 2.0;
         let mut csv = None;
         let mut json = None;
+        let mut metrics_out = None;
+        let mut sample_interval = SAMPLE_INTERVAL_NS;
         let mut smoke = false;
         let mut crash = false;
         let mut no_journal = false;
@@ -715,6 +760,15 @@ impl Args {
                     json = Some(v.clone());
                     cfg.metrics = true;
                 }
+                "--metrics-out" => {
+                    metrics_out = Some(v.clone());
+                    cfg.metrics = true;
+                }
+                "--sample-interval-us" => {
+                    let us: u64 = v.parse().expect("--sample-interval-us takes an integer");
+                    assert!(us > 0, "--sample-interval-us must be positive");
+                    sample_interval = us * 1_000;
+                }
                 "--sched" => {
                     let policy = oocp_os::SchedPolicy::parse(v)
                         .unwrap_or_else(|| panic!("unknown scheduling policy {v}"));
@@ -733,17 +787,43 @@ impl Args {
             }
             i += 2;
         }
+        if metrics_out.is_some() {
+            cfg.sampler = Some((sample_interval, SAMPLE_RING_CAP));
+        }
         exit_on_bad_config(&cfg);
         Self {
             cfg,
             ratio,
             csv,
             json,
+            metrics_out,
             smoke,
             crash,
             no_journal,
         }
     }
+}
+
+/// Write a run's telemetry as `<prefix>.prom` (Prometheus text format)
+/// and `<prefix>.jsonl` (the sampled time series). Both documents are
+/// validated by `oocp_obs::check_prometheus_text` / `check_jsonl`
+/// before touching the filesystem — an exporter bug should fail the
+/// run, not land a corrupt file.
+pub fn write_metrics(
+    prefix: &str,
+    reg: &MetricsRegistry,
+    ring: &TimeSeriesRing,
+) -> Result<(), WriteError> {
+    let prom = oocp_obs::prometheus_text(reg);
+    oocp_obs::check_prometheus_text(&prom).expect("prometheus exporter invariant");
+    let jsonl = oocp_obs::jsonl_series(reg, ring);
+    oocp_obs::check_jsonl(&jsonl).expect("jsonl exporter invariant");
+    for (ext, text) in [("prom", prom), ("jsonl", jsonl)] {
+        let path = format!("{prefix}.{ext}");
+        std::fs::write(&path, text).map_err(|source| WriteError { path, source })?;
+        eprintln!("wrote {prefix}.{ext}");
+    }
+    Ok(())
 }
 
 /// Reject an invalid machine configuration with a typed

@@ -12,7 +12,7 @@
 //! double-count anything.
 
 use oocp_obs::baseline::{BaselineRun, HistSummary, PolicySummary};
-use oocp_obs::{Json, LatencyHist, TimeAttribution};
+use oocp_obs::{Json, LatencyHist, TimeAttribution, WhylateSummary};
 
 use crate::{RunResult, WriteError};
 
@@ -169,6 +169,11 @@ pub fn run_json(name: &str, r: &RunResult) -> Json {
                         ),
                     ]),
                 ),
+                // Whylate causal attribution: one dominant cause per
+                // late/dropped/wasted entry; partitions the ledger
+                // outcomes above (validate_report re-checks this on the
+                // serialized document).
+                ("whylate", obs.whylate.to_json()),
             ]),
         ));
     }
@@ -272,6 +277,10 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
                 (o.ledger.late_arrival_rate() * 10_000.0).round() as u64
             }),
         }),
+        whylate: r.obs.as_ref().map(|o| o.whylate),
+        // Wall-clock throughput is a matrix-capture concern: perfgate
+        // stamps it per cell; single-run reports leave it absent.
+        sim_throughput: None,
     }
 }
 
@@ -352,6 +361,37 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             if closed + get("open")? != get("entries")? {
                 return Err(format!("{name}: ledger outcomes do not partition entries"));
             }
+            // Whylate block (present in every report this version
+            // emits alongside obs): each cause vector must partition
+            // its ledger outcome exactly — a mis-attributed or
+            // double-counted cause is corruption, not drift.
+            let wv = obs
+                .get("whylate")
+                .ok_or_else(|| format!("{name}: obs block has no whylate"))?;
+            let w = WhylateSummary::parse(wv).map_err(|e| format!("{name}: {e}"))?;
+            if w.late_total() != get("late_inflight")? {
+                return Err(format!(
+                    "{name}: whylate late causes sum {} != ledger late_inflight {}",
+                    w.late_total(),
+                    get("late_inflight")?
+                ));
+            }
+            for (cause, outcome) in [
+                (w.drop_no_memory, "dropped_no_memory"),
+                (w.drop_queue_full, "dropped_queue_full"),
+                (w.drop_io_error, "dropped_io_error"),
+                (w.drop_quota, "dropped_quota"),
+                (w.drop_pressure, "dropped_pressure"),
+                (w.wasted_evicted_unused, "evicted_unused"),
+                (w.wasted_unused_at_end, "unused_at_end"),
+            ] {
+                if cause != get(outcome)? {
+                    return Err(format!(
+                        "{name}: whylate cause {cause} != ledger {outcome} {}",
+                        get(outcome)?
+                    ));
+                }
+            }
             for h in ["fault_wait", "queue_wait", "lead_time", "arrival_to_use"] {
                 let hist = obs.get(h).ok_or_else(|| format!("{name}: missing {h}"))?;
                 let count = hist
@@ -428,6 +468,7 @@ mod tests {
         let b = baseline::Baseline {
             index: 1,
             seed: 1,
+            whylate: None,
             runs: vec![entry],
         };
         let text = baseline::baseline_json(&b).to_string();

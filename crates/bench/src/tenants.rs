@@ -359,5 +359,7 @@ pub fn tenant_baseline_run(config: &str, cell: &CoCell) -> BaselineRun {
         tenant: Some(tenant),
         // The co-scheduled cell runs the compiler's hints only.
         policy: None,
+        whylate: r.obs.as_ref().map(|o| o.whylate),
+        sim_throughput: None,
     }
 }

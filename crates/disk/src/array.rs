@@ -3,7 +3,7 @@
 use oocp_sim::time::Ns;
 
 use crate::fault::{FaultInjector, FaultPlan, Injection, IoError};
-use crate::model::{Disk, DiskParams, DiskStats, Request};
+use crate::model::{Completion, Disk, DiskParams, DiskStats, Request};
 use crate::sched::{SchedConfig, Ticket};
 
 /// A bank of `n` identical, independently-queued disks.
@@ -191,6 +191,12 @@ impl DiskArray {
         self.disks[t.disk].poll(t.seq, now)
     }
 
+    /// Like [`DiskArray::poll`] but returns the full [`Completion`]
+    /// detail (queue wait and service split).
+    pub fn poll_detail(&mut self, t: Ticket, now: Ns) -> Option<Completion> {
+        self.disks[t.disk].poll_detail(t.seq, now)
+    }
+
     /// Block until `t`'s request completes, redeeming one unit; returns
     /// the completion time.
     ///
@@ -199,6 +205,22 @@ impl DiskArray {
     /// Panics if the ticket is unknown or fully redeemed.
     pub fn wait_for(&mut self, t: Ticket) -> Ns {
         self.disks[t.disk].wait_for(t.seq)
+    }
+
+    /// Like [`DiskArray::wait_for`] but returns the full [`Completion`]
+    /// detail; timing is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket is unknown or fully redeemed.
+    pub fn wait_for_detail(&mut self, t: Ticket) -> Completion {
+        self.disks[t.disk].wait_for_detail(t.seq)
+    }
+
+    /// Undispatched requests queued on disk `id` — the queue-depth
+    /// gauge the telemetry sampler reads.
+    pub fn queue_len(&self, id: usize) -> usize {
+        self.disks[id].queue_len()
     }
 
     /// Promote `t`'s still-queued prefetch read to demand class (see

@@ -24,5 +24,5 @@ pub use array::DiskArray;
 pub use fault::{
     Brownout, CrashPoint, CrashSpec, FaultInjector, FaultPlan, Injection, IoError, PressureStorm,
 };
-pub use model::{Disk, DiskParams, DiskStats, ReqKind, Request};
+pub use model::{Completion, Disk, DiskParams, DiskStats, ReqKind, Request};
 pub use sched::{SchedConfig, SchedError, SchedPolicy, Ticket};

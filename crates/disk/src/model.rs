@@ -360,8 +360,26 @@ pub struct Disk {
     tenant_count: usize,
     next_seq: u64,
     /// Completions of dispatched tracked/blocking requests:
-    /// `seq -> (completion time, units left to redeem)`.
-    done: HashMap<u64, (Ns, u64)>,
+    /// `seq -> (completion detail, units left to redeem)`.
+    done: HashMap<u64, (Completion, u64)>,
+}
+
+/// Completion detail of a tracked request: when it finished and how the
+/// time between submission and completion split between sitting in the
+/// queue and occupying the media. The whylate attribution engine uses
+/// the split to decide whether a late prefetch was a scheduling problem
+/// (queue wait dominates) or a bandwidth problem (service dominates).
+///
+/// Coalesced tickets share their carrier request's wait and service —
+/// the blocks arrived under one dispatch, so that is the physical truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Simulated time the request completed.
+    pub at: Ns,
+    /// Time the request spent queued before dispatch.
+    pub wait: Ns,
+    /// Media service time, including any injected straggle.
+    pub service: Ns,
 }
 
 impl Disk {
@@ -676,9 +694,14 @@ impl Disk {
         if aged {
             self.stats.prefetch_aged += 1;
         }
+        let completion = Completion {
+            at: done,
+            wait,
+            service,
+        };
         for (seq, units) in p.tickets {
             if units > 0 {
-                self.done.insert(seq, (done, units));
+                self.done.insert(seq, (completion, units));
             }
         }
         done
@@ -686,14 +709,14 @@ impl Disk {
 
     /// Consume one completion unit of ticket `seq` if its request has
     /// been dispatched.
-    fn take_done(&mut self, seq: u64) -> Option<Ns> {
+    fn take_done(&mut self, seq: u64) -> Option<Completion> {
         let entry = self.done.get_mut(&seq)?;
-        let at = entry.0;
+        let c = entry.0;
         entry.1 -= 1;
         if entry.1 == 0 {
             self.done.remove(&seq);
         }
-        Some(at)
+        Some(c)
     }
 
     /// Reclassify the still-queued prefetch read holding ticket `seq`
@@ -718,9 +741,15 @@ impl Disk {
     /// `seq` completed by `now`, consume one unit and return the
     /// completion time.
     pub fn poll(&mut self, seq: u64, now: Ns) -> Option<Ns> {
+        self.poll_detail(seq, now).map(|c| c.at)
+    }
+
+    /// Like [`Disk::poll`] but returns the full [`Completion`] detail
+    /// (queue wait and service split) instead of just the time.
+    pub fn poll_detail(&mut self, seq: u64, now: Ns) -> Option<Completion> {
         self.advance(now);
-        let (at, _) = *self.done.get(&seq)?;
-        if at <= now {
+        let (c, _) = *self.done.get(&seq)?;
+        if c.at <= now {
             self.take_done(seq)
         } else {
             None
@@ -736,9 +765,21 @@ impl Disk {
     /// Panics if `seq` was never issued or all its units were already
     /// redeemed — redeeming a ticket twice is a logic error.
     pub fn wait_for(&mut self, seq: u64) -> Ns {
+        self.wait_for_detail(seq).at
+    }
+
+    /// Like [`Disk::wait_for`] but returns the full [`Completion`]
+    /// detail. Timing is identical to `wait_for` — the detail is
+    /// recorded at dispatch either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` was never issued or all its units were already
+    /// redeemed — redeeming a ticket twice is a logic error.
+    pub fn wait_for_detail(&mut self, seq: u64) -> Completion {
         loop {
-            if let Some(at) = self.take_done(seq) {
-                return at;
+            if let Some(c) = self.take_done(seq) {
+                return c;
             }
             assert!(
                 !self.queue.is_empty(),
@@ -937,6 +978,31 @@ mod tests {
         assert_eq!(d.poll(t, done), Some(done));
         assert_eq!(d.wait_for(t), done, "third unit still redeemable");
         assert_eq!(d.poll(t, done), None, "all units consumed");
+    }
+
+    #[test]
+    fn completion_detail_splits_wait_and_service() {
+        let mut d = Disk::new(DiskParams::default());
+        // Two tracked reads: the second waits out the first's service.
+        let t1 = d.try_track(0, req(ReqKind::PrefetchRead, 0, 1)).unwrap();
+        let t2 = d
+            .try_track(0, req(ReqKind::PrefetchRead, 50_000, 1))
+            .unwrap();
+        let c1 = d.wait_for_detail(t1);
+        let c2 = d.wait_for_detail(t2);
+        assert_eq!(c1.wait, 0, "first request dispatches immediately");
+        assert!(c1.service > 0);
+        assert_eq!(c1.at, c1.wait + c1.service);
+        assert_eq!(c2.wait, c1.at, "second waited out the first");
+        assert_eq!(c2.at, c2.wait + c2.service);
+        // The detail-free path sees identical timing.
+        let mut e = Disk::new(DiskParams::default());
+        let u1 = e.try_track(0, req(ReqKind::PrefetchRead, 0, 1)).unwrap();
+        let u2 = e
+            .try_track(0, req(ReqKind::PrefetchRead, 50_000, 1))
+            .unwrap();
+        assert_eq!(e.wait_for(u1), c1.at);
+        assert_eq!(e.wait_for(u2), c2.at);
     }
 
     #[test]

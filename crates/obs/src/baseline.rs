@@ -4,7 +4,8 @@
 //! The within-run layer (attribution, ledger, histograms) explains one
 //! execution; this module makes those numbers *comparable across
 //! commits*. A capture run of the benchmark matrix is serialized as an
-//! `oocp-bench-v1` document (`BENCH_<n>.json` at the repo root); a
+//! `oocp-bench-v2` document (`BENCH_<n>.json` at the repo root; v1
+//! documents remain readable); a
 //! later compare run re-executes the same matrix and diffs every metric
 //! against the stored trajectory entry. The simulator is deterministic,
 //! so the default contract is *identical-by-default*: any drift at all
@@ -17,10 +18,17 @@
 //! but both are drift and both fail the gate until the baseline is
 //! re-captured — that is what keeps the committed trajectory honest.
 
-use crate::{Json, LatencyHist, LedgerCounts, TimeAttribution};
+use crate::{Json, LatencyHist, LedgerCounts, TimeAttribution, WhylateSummary};
 
-/// Schema identifier written into every baseline document.
+/// Original schema identifier; still accepted on read.
 pub const SCHEMA: &str = "oocp-bench-v1";
+
+/// Current schema identifier, written by every new capture. v2 adds
+/// the optional per-run `whylate` cause vector, the optional
+/// wall-clock-derived `sim_throughput`, and a baseline-level aggregate
+/// `whylate` block. Every v1 document is a valid v2 document with all
+/// three absent, so old trajectory entries keep loading.
+pub const SCHEMA_V2: &str = "oocp-bench-v2";
 
 /// Compact summary of a [`LatencyHist`]: the quantiles the trajectory
 /// tracks, without the 64 raw buckets.
@@ -220,6 +228,15 @@ pub struct BaselineRun {
     /// Prefetch-policy summary; `None` for compiler-only cells and for
     /// baselines captured before the policy subsystem existed.
     pub policy: Option<PolicySummary>,
+    /// Whylate causal attribution of the cell's late/dropped/wasted
+    /// prefetches; `None` for baselines captured before the telemetry
+    /// subsystem existed.
+    pub whylate: Option<WhylateSummary>,
+    /// Simulated nanoseconds advanced per host-wall-clock second while
+    /// executing the cell. Wall-clock-derived and therefore noisy —
+    /// gated only under a wide `simthroughput.*` allowance band.
+    /// `None` for pre-v2 baselines.
+    pub sim_throughput: Option<u64>,
 }
 
 /// How a metric's drift reads in a report.
@@ -340,6 +357,48 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
         m.push(("policy.late_rate_samples", p.late_rate_samples, Neutral));
         m.push(("policy.late_arrival_bp", p.late_arrival_bp, HigherWorse));
     }
+    // v2 additions ride strictly at the tail: compare() zips metric
+    // lists positionally, so a BENCH_4-era cell (whylate/sim_throughput
+    // absent) zips against the same prefix of a v2 capture and the new
+    // tail goes uncompared — which is exactly the backward-compat
+    // contract.
+    if let Some(w) = &r.whylate {
+        m.push(("whylate.late_issue_lag", w.late_issue_lag, HigherWorse));
+        m.push(("whylate.late_queue_wait", w.late_queue_wait, HigherWorse));
+        m.push((
+            "whylate.late_service_time",
+            w.late_service_time,
+            HigherWorse,
+        ));
+        m.push((
+            "whylate.late_journal_stall",
+            w.late_journal_stall,
+            HigherWorse,
+        ));
+        m.push((
+            "whylate.late_degraded_pause",
+            w.late_degraded_pause,
+            HigherWorse,
+        ));
+        m.push(("whylate.drop_no_memory", w.drop_no_memory, HigherWorse));
+        m.push(("whylate.drop_queue_full", w.drop_queue_full, HigherWorse));
+        m.push(("whylate.drop_io_error", w.drop_io_error, HigherWorse));
+        m.push(("whylate.drop_quota", w.drop_quota, HigherWorse));
+        m.push(("whylate.drop_pressure", w.drop_pressure, HigherWorse));
+        m.push((
+            "whylate.wasted_evicted_unused",
+            w.wasted_evicted_unused,
+            HigherWorse,
+        ));
+        m.push((
+            "whylate.wasted_unused_at_end",
+            w.wasted_unused_at_end,
+            HigherWorse,
+        ));
+    }
+    if let Some(st) = r.sim_throughput {
+        m.push(("simthroughput.sim_ns_per_host_s", st, LowerWorse));
+    }
     m
 }
 
@@ -359,6 +418,9 @@ pub struct Baseline {
     pub seed: u64,
     /// One entry per (kernel, config) cell.
     pub runs: Vec<BaselineRun>,
+    /// Aggregate whylate cause vector across every cell (the sum of the
+    /// per-run blocks); `None` for pre-v2 baselines.
+    pub whylate: Option<WhylateSummary>,
 }
 
 fn attr_json(a: &TimeAttribution) -> Json {
@@ -434,17 +496,27 @@ fn run_json(r: &BaselineRun) -> Json {
     if let Some(p) = &r.policy {
         fields.push(("policy", p.to_json()));
     }
+    if let Some(w) = &r.whylate {
+        fields.push(("whylate", w.to_json()));
+    }
+    if let Some(st) = r.sim_throughput {
+        fields.push(("sim_throughput", Json::U64(st)));
+    }
     Json::obj(fields)
 }
 
-/// Serialize a baseline as an `oocp-bench-v1` document.
+/// Serialize a baseline as an `oocp-bench-v2` document.
 pub fn baseline_json(b: &Baseline) -> Json {
-    Json::obj([
-        ("schema", Json::Str(SCHEMA.to_string())),
+    let mut fields = vec![
+        ("schema", Json::Str(SCHEMA_V2.to_string())),
         ("index", Json::U64(b.index)),
         ("seed", Json::U64(b.seed)),
         ("runs", Json::Arr(b.runs.iter().map(run_json).collect())),
-    ])
+    ];
+    if let Some(w) = &b.whylate {
+        fields.push(("whylate", w.to_json()));
+    }
+    Json::obj(fields)
 }
 
 fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
@@ -534,6 +606,19 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         None => None,
         Some(pv) => Some(PolicySummary::parse(pv, &ctx)?),
     };
+    // v2 additions: pre-telemetry cells carry neither; when the whylate
+    // block is present it must be complete, like `tenant` and `policy`.
+    let whylate = match v.get("whylate") {
+        None => None,
+        Some(wv) => Some(WhylateSummary::parse(wv).map_err(|e| format!("{ctx}: {e}"))?),
+    };
+    let sim_throughput = match v.get("sim_throughput") {
+        None => None,
+        Some(sv) => Some(
+            sv.as_u64()
+                .ok_or_else(|| format!("{ctx}: sim_throughput is not an integer"))?,
+        ),
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -555,6 +640,8 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         recovery_ns: rec[6],
         tenant,
         policy,
+        whylate,
+        sim_throughput,
         kernel,
         config,
     };
@@ -581,8 +668,8 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
 /// function from matrix cell to measurement.
 pub fn parse_baseline(doc: &Json) -> Result<Baseline, String> {
     match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == SCHEMA => {}
-        Some(s) => return Err(format!("schema is {s}, expected {SCHEMA}")),
+        Some(s) if s == SCHEMA || s == SCHEMA_V2 => {}
+        Some(s) => return Err(format!("schema is {s}, expected {SCHEMA} or {SCHEMA_V2}")),
         None => return Err("missing schema field".into()),
     }
     let runs_v = doc
@@ -601,10 +688,15 @@ pub fn parse_baseline(doc: &Json) -> Result<Baseline, String> {
     if runs.is_empty() {
         return Err("baseline holds no runs".into());
     }
+    let whylate = match doc.get("whylate") {
+        None => None,
+        Some(wv) => Some(WhylateSummary::parse(wv).map_err(|e| format!("baseline: {e}"))?),
+    };
     Ok(Baseline {
         index: req_u64(doc, "index", "baseline")?,
         seed: req_u64(doc, "seed", "baseline")?,
         runs,
+        whylate,
     })
 }
 
@@ -866,6 +958,8 @@ mod tests {
             recovery_ns: 77,
             tenant: None,
             policy: None,
+            whylate: None,
+            sim_throughput: None,
         }
     }
 
@@ -877,6 +971,7 @@ mod tests {
                 sample_run("EMBAR", "pf+fcfs"),
                 sample_run("BUK", "orig+fcfs"),
             ],
+            whylate: None,
         }
     }
 
@@ -969,6 +1064,63 @@ mod tests {
             }
         }
         assert!(parse_baseline(&doc).unwrap_err().contains("window_peak"));
+    }
+
+    #[test]
+    fn v1_documents_still_parse_and_v2_additions_roundtrip() {
+        // A committed BENCH_<n>.json from before the telemetry PR
+        // carries the v1 schema tag and no whylate/sim_throughput
+        // anywhere — it must keep loading, with all v2 fields None.
+        let b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str(SCHEMA.into());
+        }
+        let back = parse_baseline(&doc).unwrap();
+        assert_eq!(back, b);
+        assert!(back.whylate.is_none());
+        assert!(back.runs[0].sim_throughput.is_none());
+
+        // v2 captures round-trip the new blocks exactly, and the new
+        // metrics ride strictly behind every v1 metric so positional
+        // compare against a v1-era cell stays aligned.
+        let mut b2 = sample_baseline();
+        let w = WhylateSummary {
+            late_queue_wait: 5,
+            drop_no_memory: 2,
+            wasted_unused_at_end: 1,
+            ..WhylateSummary::default()
+        };
+        b2.runs[0].whylate = Some(w);
+        b2.runs[0].sim_throughput = Some(123_456_789);
+        b2.whylate = Some(w);
+        let back = parse_baseline(&baseline_json(&b2)).unwrap();
+        assert_eq!(back, b2);
+        let old_m = metrics(&b.runs[0]);
+        let new_m = metrics(&back.runs[0]);
+        assert!(new_m.len() > old_m.len());
+        for ((on, ..), (nn, ..)) in old_m.iter().zip(&new_m) {
+            assert_eq!(on, nn, "v2 metrics must extend, not reorder");
+        }
+        assert_eq!(
+            new_m.last().unwrap().0,
+            "simthroughput.sim_ns_per_host_s",
+            "sim_throughput is the final metric"
+        );
+        // A present-yet-partial whylate block is corruption.
+        let mut doc = baseline_json(&b2);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, Json::Obj(wf))) = run.iter_mut().find(|(k, _)| k == "whylate") {
+                        wf.retain(|(k, _)| k != "late_queue_wait");
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc)
+            .unwrap_err()
+            .contains("late_queue_wait"));
     }
 
     #[test]

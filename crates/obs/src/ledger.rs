@@ -105,12 +105,72 @@ impl LedgerCounts {
     }
 }
 
+/// The single dominant cause the whylate attribution engine assigns to
+/// a late (in-flight) consumption. Exactly one cause per late entry, so
+/// the per-cause counts partition [`LedgerCounts::late_inflight`].
+///
+/// The decision tree (applied by the OS at the stalling touch, in
+/// order):
+///
+/// 1. **DegradedPause** — the runtime entered or left degraded mode
+///    while the prefetch was in flight; the pause, not the I/O path,
+///    dominated.
+/// 2. **JournalStall** — a writeback-journal ring-full stall occurred
+///    during the flight and the read's queue wait dominated its media
+///    time (the journal's synchronous retirement backed up the disk).
+/// 3. **IssueLag** — the touch came sooner after issue than the read's
+///    own media time: even an idle disk could not have finished, so the
+///    prefetch was simply issued too late.
+/// 4. **QueueWait** — the read waited in the disk queue at least as
+///    long as it spent on the media.
+/// 5. **ServiceTime** — none of the above: the media time itself
+///    dominated (seek/rotation/transfer, possibly straggler-inflated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LateCause {
+    /// Prefetch issued too close to the touch (compiler/policy lag).
+    IssueLag = 0,
+    /// Dominated by time queued behind other disk traffic.
+    QueueWait = 1,
+    /// Dominated by the media time of the read itself.
+    ServiceTime = 2,
+    /// A journal ring-full stall backed up the disk during the flight.
+    JournalStall = 3,
+    /// Degraded-mode transition paused hint traffic mid-flight.
+    DegradedPause = 4,
+}
+
+impl LateCause {
+    /// All causes, in index order.
+    pub const ALL: [LateCause; 5] = [
+        LateCause::IssueLag,
+        LateCause::QueueWait,
+        LateCause::ServiceTime,
+        LateCause::JournalStall,
+        LateCause::DegradedPause,
+    ];
+
+    /// Stable snake_case name (report/JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            LateCause::IssueLag => "issue_lag",
+            LateCause::QueueWait => "queue_wait",
+            LateCause::ServiceTime => "service_time",
+            LateCause::JournalStall => "journal_stall",
+            LateCause::DegradedPause => "degraded_pause",
+        }
+    }
+}
+
 /// An open entry: issued, not yet consumed, dropped, or evicted.
 #[derive(Clone, Copy, Debug)]
 struct Open {
     issued_at: Ns,
     /// Completion time of the disk read, once known.
     arrived_at: Option<Ns>,
+    /// Machine-wide journal-stall count at issue (whylate context).
+    journal_stalls: u64,
+    /// Degraded-mode epoch at issue (whylate context).
+    degrade_epoch: u64,
 }
 
 /// Tracks every prefetch page from issue to its terminal outcome.
@@ -142,6 +202,9 @@ pub struct PrefetchLedger {
     entries: u64,
     lead_time: LatencyHist,
     arrival_to_use: LatencyHist,
+    /// Per-cause counts for the late entries, indexed by `LateCause as
+    /// usize`. Invariant: the counts sum to `counts.late_inflight`.
+    late_causes: [u64; 5],
 }
 
 impl PrefetchLedger {
@@ -179,6 +242,20 @@ impl PrefetchLedger {
         &self.arrival_to_use
     }
 
+    /// Fraction of consumed prefetches that arrived late. Delegates to
+    /// [`LedgerCounts::late_arrival_rate`], which returns 0.0 (not NaN)
+    /// when nothing was consumed — e.g. a policy-off run with no
+    /// prefetch traffic at all.
+    pub fn late_arrival_rate(&self) -> f64 {
+        self.counts.late_arrival_rate()
+    }
+
+    /// Per-cause counts for the late entries, indexed by
+    /// [`LateCause`] discriminant. Sums to `counts().late_inflight`.
+    pub fn late_causes(&self) -> [u64; 5] {
+        self.late_causes
+    }
+
     /// The partition invariant: every opened entry is closed with
     /// exactly one outcome (true only after [`PrefetchLedger::finalize`]
     /// or while no entries are open).
@@ -188,15 +265,33 @@ impl PrefetchLedger {
 
     /// A prefetch page's disk read was issued at `now`.
     pub fn issued(&mut self, page: u64, now: Ns) {
+        self.issued_ctx(page, now, 0, 0);
+    }
+
+    /// Like [`PrefetchLedger::issued`], with the whylate issue context:
+    /// the machine's journal-stall count and degraded-mode epoch at
+    /// issue time, read back via [`PrefetchLedger::issue_ctx`] when the
+    /// entry closes late so the OS can classify the cause.
+    pub fn issued_ctx(&mut self, page: u64, now: Ns, journal_stalls: u64, degrade_epoch: u64) {
         self.entries += 1;
         let prev = self.open.insert(
             page,
             Open {
                 issued_at: now,
                 arrived_at: None,
+                journal_stalls,
+                degrade_epoch,
             },
         );
         debug_assert!(prev.is_none(), "page {page} already has an open entry");
+    }
+
+    /// Issue context of an open entry:
+    /// `(issued_at, journal_stalls_at_issue, degrade_epoch_at_issue)`.
+    pub fn issue_ctx(&self, page: u64) -> Option<(Ns, u64, u64)> {
+        self.open
+            .get(&page)
+            .map(|e| (e.issued_at, e.journal_stalls, e.degrade_epoch))
     }
 
     /// A prefetch page was dropped before issue for lack of memory.
@@ -260,10 +355,19 @@ impl PrefetchLedger {
     /// First demand touch found the page still in flight and stalled
     /// until `arrival`. Records the lead time if the arrival had not
     /// been observed yet; arrival-to-use is zero by definition (the
-    /// touch consumes the page the moment it lands).
+    /// touch consumes the page the moment it lands). Attributed to
+    /// [`LateCause::IssueLag`]; callers with real completion detail use
+    /// [`PrefetchLedger::consumed_late_caused`].
     pub fn consumed_late(&mut self, page: u64, arrival: Ns) {
+        self.consumed_late_caused(page, arrival, LateCause::IssueLag);
+    }
+
+    /// Like [`PrefetchLedger::consumed_late`], recording the dominant
+    /// cause the whylate engine assigned to this stall.
+    pub fn consumed_late_caused(&mut self, page: u64, arrival: Ns, cause: LateCause) {
         if let Some(e) = self.open.remove(&page) {
             self.counts.late_inflight += 1;
+            self.late_causes[cause as usize] += 1;
             if e.arrived_at.is_none() {
                 self.lead_time.record(arrival.saturating_sub(e.issued_at));
             }
@@ -340,6 +444,42 @@ mod tests {
     #[test]
     fn late_arrival_rate_guards_empty() {
         assert_eq!(LedgerCounts::default().late_arrival_rate(), 0.0);
+    }
+
+    #[test]
+    fn ledger_late_arrival_rate_is_zero_not_nan_without_arrivals() {
+        // A policy-off run issues nothing: the delegate must report 0.0
+        // (a finite number for --json), never NaN.
+        let l = PrefetchLedger::new();
+        let rate = l.late_arrival_rate();
+        assert!(rate.is_finite());
+        assert_eq!(rate, 0.0);
+        // Drops alone still leave consumed() == 0.
+        let mut l = PrefetchLedger::new();
+        l.dropped_no_memory();
+        l.dropped_quota();
+        assert_eq!(l.late_arrival_rate(), 0.0);
+    }
+
+    #[test]
+    fn late_causes_partition_the_late_count() {
+        let mut l = PrefetchLedger::new();
+        l.issued_ctx(1, 10, 0, 0);
+        l.consumed_late_caused(1, 50, LateCause::QueueWait);
+        l.issued(2, 10);
+        l.consumed_late(2, 60); // legacy path: IssueLag
+        l.issued_ctx(3, 10, 2, 1);
+        assert_eq!(l.issue_ctx(3), Some((10, 2, 1)));
+        l.consumed_late_caused(3, 70, LateCause::JournalStall);
+        let causes = l.late_causes();
+        assert_eq!(causes[LateCause::IssueLag as usize], 1);
+        assert_eq!(causes[LateCause::QueueWait as usize], 1);
+        assert_eq!(causes[LateCause::JournalStall as usize], 1);
+        assert_eq!(
+            causes.iter().sum::<u64>(),
+            l.counts().late_inflight,
+            "cause counts partition the late total"
+        );
     }
 
     #[test]

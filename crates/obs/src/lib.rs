@@ -24,6 +24,12 @@
 //! * [`tracediff`] — aligns two Chrome trace exports by prefetch span
 //!   id and reports the first divergent lifecycle event, turning a
 //!   metric regression into a timeline location.
+//! * [`registry`] — the *continuous* layer: a typed metrics registry
+//!   every crate publishes into, sampled on the sim clock into a
+//!   bounded time-series ring with Prometheus/JSONL exporters.
+//! * [`whylate`] — causal attribution: every late, dropped, or wasted
+//!   prefetch gets exactly one dominant cause, partition-checked
+//!   against the ledger.
 //!
 //! Everything here is passive bookkeeping: recording never advances the
 //! simulated clock, so enabling observability cannot change a single
@@ -35,11 +41,18 @@ pub mod baseline;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod registry;
 pub mod tracediff;
+pub mod whylate;
 
 pub use attr::TimeAttribution;
 pub use baseline::{Allowance, Baseline, BaselineRun, CompareReport, HistSummary};
 pub use hist::LatencyHist;
 pub use json::Json;
-pub use ledger::{LedgerCounts, PrefetchLedger};
+pub use ledger::{LateCause, LedgerCounts, PrefetchLedger};
+pub use registry::{
+    check_jsonl, check_prometheus_text, jsonl_series, prometheus_text, MetricsRegistry, SeriesDef,
+    SeriesKind, TimeSeriesRing, METRICS_SCHEMA,
+};
 pub use tracediff::{Divergence, SpanRecord};
+pub use whylate::{WhylateSummary, WHYLATE_CAUSES, WHYLATE_NAMES};

@@ -1,0 +1,564 @@
+//! Continuous telemetry: a typed metrics registry sampled on the sim
+//! clock into an in-memory time-series ring, with Prometheus text and
+//! JSONL exporters.
+//!
+//! End-of-run aggregates (the baseline schema, the `--json` report)
+//! answer "how did the run do"; phase-level failures — readahead's
+//! late-arrival collapse on transpose, a brownout shedding one tenant's
+//! hints for a window — are invisible in totals. The registry gives
+//! every layer (disk, os, fs, policy, rt) a place to publish counters
+//! and gauges by name; a sampler attached to the machine snapshots the
+//! whole value vector at a fixed simulated interval. Sampling is
+//! *pull-based* and entirely passive: nothing here ever advances the
+//! sim clock, so a run with no sampler attached is bit-identical to one
+//! that never linked this module.
+
+use crate::hist::LatencyHist;
+use crate::json::{self, Json};
+use oocp_sim::time::Ns;
+
+/// Schema tag written at the head of the JSONL time-series dump.
+pub const METRICS_SCHEMA: &str = "oocp-metrics-v1";
+
+/// How a series' values combine across samples and merges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone running total; merging two registries adds counters.
+    Counter,
+    /// Instantaneous level; merging takes the max (peak occupancy).
+    Gauge,
+}
+
+/// One registered series.
+#[derive(Clone, Debug)]
+pub struct SeriesDef {
+    /// Dotted series name, e.g. `disk0.queue_len`.
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: SeriesKind,
+    /// One-line help text (the Prometheus `# HELP` line).
+    pub help: String,
+}
+
+/// A registry of named counters, gauges, and log2 histograms.
+///
+/// Layers register series at construction and get back a dense integer
+/// id; updating a value is one array store. The registry itself holds
+/// no time — the machine's sampler snapshots [`MetricsRegistry::values`]
+/// rows into a [`TimeSeriesRing`] on the sim clock.
+///
+/// # Examples
+///
+/// ```
+/// use oocp_obs::{MetricsRegistry, SeriesKind};
+///
+/// let mut r = MetricsRegistry::new();
+/// let faults = r.counter("os.hard_faults", "demand faults");
+/// let depth = r.gauge("disk0.queue_len", "queued requests");
+/// r.add(faults, 3);
+/// r.set(depth, 7);
+/// assert_eq!(r.values(), &[3, 7]);
+/// assert_eq!(r.defs()[1].kind, SeriesKind::Gauge);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    defs: Vec<SeriesDef>,
+    values: Vec<u64>,
+    hists: Vec<(String, String, LatencyHist)>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series(&mut self, name: &str, kind: SeriesKind, help: &str) -> usize {
+        assert!(
+            !self.defs.iter().any(|d| d.name == name),
+            "duplicate series name {name}"
+        );
+        self.defs.push(SeriesDef {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+        });
+        self.values.push(0);
+        self.values.len() - 1
+    }
+
+    /// Register a counter; returns its dense id.
+    pub fn counter(&mut self, name: &str, help: &str) -> usize {
+        self.series(name, SeriesKind::Counter, help)
+    }
+
+    /// Register a gauge; returns its dense id.
+    pub fn gauge(&mut self, name: &str, help: &str) -> usize {
+        self.series(name, SeriesKind::Gauge, help)
+    }
+
+    /// Register a histogram; returns its id in the histogram space
+    /// (histograms are exported but not sampled per-row — the row is
+    /// the scalar vector only).
+    pub fn hist(&mut self, name: &str, help: &str) -> usize {
+        assert!(
+            !self.hists.iter().any(|(n, _, _)| n == name),
+            "duplicate histogram name {name}"
+        );
+        self.hists
+            .push((name.to_string(), help.to_string(), LatencyHist::new()));
+        self.hists.len() - 1
+    }
+
+    /// Set a series to an absolute value (gauges, or counters mirrored
+    /// from an external accumulator).
+    #[inline]
+    pub fn set(&mut self, id: usize, v: u64) {
+        self.values[id] = v;
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn add(&mut self, id: usize, v: u64) {
+        self.values[id] += v;
+    }
+
+    /// Current value of a series.
+    pub fn get(&self, id: usize) -> u64 {
+        self.values[id]
+    }
+
+    /// Record one sample into histogram `id`.
+    #[inline]
+    pub fn record(&mut self, id: usize, v: Ns) {
+        self.hists[id].2.record(v);
+    }
+
+    /// Replace histogram `id` wholesale (mirroring an external hist).
+    pub fn set_hist(&mut self, id: usize, h: LatencyHist) {
+        self.hists[id].2 = h;
+    }
+
+    /// Registered scalar series, in registration order.
+    pub fn defs(&self) -> &[SeriesDef] {
+        &self.defs
+    }
+
+    /// Current scalar values, aligned with [`MetricsRegistry::defs`].
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Registered histograms as `(name, help, hist)`.
+    pub fn hists(&self) -> &[(String, String, LatencyHist)] {
+        &self.hists
+    }
+
+    /// Snapshot the scalar vector (one time-series row).
+    pub fn snapshot_row(&self) -> Vec<u64> {
+        self.values.clone()
+    }
+
+    /// Fold another registry with the *same schema* into this one:
+    /// counters add, gauges take the max, histograms merge via
+    /// [`LatencyHist::merge`] — the same algebra the per-disk stats use,
+    /// so aggregation order never matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ (series registered in a different
+    /// order or under different names/kinds) — merging mismatched
+    /// registries is a programming error, not data.
+    pub fn merge(&mut self, o: &MetricsRegistry) {
+        assert_eq!(self.defs.len(), o.defs.len(), "registry schema mismatch");
+        for (a, b) in self.defs.iter().zip(o.defs.iter()) {
+            assert!(
+                a.name == b.name && a.kind == b.kind,
+                "registry schema mismatch at series {}",
+                a.name
+            );
+        }
+        for (i, v) in o.values.iter().enumerate() {
+            match self.defs[i].kind {
+                SeriesKind::Counter => self.values[i] += v,
+                SeriesKind::Gauge => self.values[i] = self.values[i].max(*v),
+            }
+        }
+        assert_eq!(self.hists.len(), o.hists.len(), "registry schema mismatch");
+        for (mine, theirs) in self.hists.iter_mut().zip(o.hists.iter()) {
+            assert_eq!(mine.0, theirs.0, "registry schema mismatch");
+            mine.2.merge(&theirs.2);
+        }
+    }
+}
+
+/// A bounded in-memory time series of sampled registry rows.
+///
+/// Rows are `(sim_time, values)` with `values` aligned to the
+/// registry's series definitions. When the ring overflows, the oldest
+/// rows are dropped and counted — a flight recorder, like the trace.
+#[derive(Clone, Debug)]
+pub struct TimeSeriesRing {
+    interval: Ns,
+    cap: usize,
+    rows: Vec<(Ns, Vec<u64>)>,
+    dropped: u64,
+}
+
+impl TimeSeriesRing {
+    /// Create a ring sampling every `interval` ns, keeping at most
+    /// `cap` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or capacity.
+    pub fn new(interval: Ns, cap: usize) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        assert!(cap > 0, "ring capacity must be positive");
+        Self {
+            interval,
+            cap,
+            rows: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Ns {
+        self.interval
+    }
+
+    /// Append a row, evicting the oldest when full.
+    pub fn push(&mut self, t: Ns, row: Vec<u64>) {
+        if self.rows.len() == self.cap {
+            self.rows.remove(0);
+            self.dropped += 1;
+        }
+        self.rows.push((t, row));
+    }
+
+    /// Retained rows, oldest first.
+    pub fn rows(&self) -> &[(Ns, Vec<u64>)] {
+        &self.rows
+    }
+
+    /// Rows evicted by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Sanitize a dotted series name into a Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("oocp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the registry's current state in the Prometheus text
+/// exposition format: scalars as `counter`/`gauge`, histograms as
+/// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (d, v) in reg.defs().iter().zip(reg.values()) {
+        let name = prom_name(&d.name);
+        let kind = match d.kind {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        };
+        out.push_str(&format!("# HELP {name} {}\n", d.help));
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for (raw, help, h) in reg.hists() {
+        let name = prom_name(raw);
+        out.push_str(&format!("# HELP {name} {help}\n"));
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let bound = LatencyHist::bucket_bound(i);
+            if bound == Ns::MAX {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            } else {
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+            }
+        }
+        if cum < h.count() {
+            // Unreachable by construction, but keep +Inf total exact.
+            cum = h.count();
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+        out.push_str(&format!("{name}_sum {}\n", h.sum_ns()));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Render the sampled time series as JSONL: a header object
+/// (`schema`, `interval_ns`, `dropped_rows`, `series`) followed by one
+/// `{"t": ..., "v": [...]}` object per retained row.
+pub fn jsonl_series(reg: &MetricsRegistry, ring: &TimeSeriesRing) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("schema", Json::Str(METRICS_SCHEMA.into())),
+        ("interval_ns", Json::U64(ring.interval())),
+        ("dropped_rows", Json::U64(ring.dropped())),
+        (
+            "series",
+            Json::Arr(
+                reg.defs()
+                    .iter()
+                    .map(|d| Json::Str(d.name.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    out.push_str(&header.to_string());
+    out.push('\n');
+    for (t, row) in ring.rows() {
+        let obj = Json::obj([
+            ("t", Json::U64(*t)),
+            ("v", Json::Arr(row.iter().map(|&v| Json::U64(v)).collect())),
+        ]);
+        out.push_str(&obj.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Validate a Prometheus text dump: every sample line's metric must be
+/// declared by a preceding `# TYPE`, and values must parse as numbers.
+/// Returns the number of sample lines.
+pub fn check_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or(format!("line {n}: TYPE missing name"))?;
+            let kind = it.next().ok_or(format!("line {n}: TYPE missing kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown TYPE kind '{kind}'"));
+            }
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: malformed sample"))?;
+        let base = metric.split('{').next().unwrap_or(metric);
+        let base = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .unwrap_or(base);
+        if !typed.iter().any(|t| t == base) {
+            return Err(format!("line {n}: sample for undeclared metric '{base}'"));
+        }
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {n}: non-numeric value '{value}'"))?;
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in Prometheus dump".into());
+    }
+    Ok(samples)
+}
+
+/// Validate a JSONL time-series dump produced by [`jsonl_series`]:
+/// correct schema tag, and every row's value vector as wide as the
+/// header's series list with monotonically increasing timestamps.
+/// Returns the number of rows.
+pub fn check_jsonl(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header =
+        json::parse(lines.next().ok_or("empty JSONL dump")?).map_err(|e| format!("header: {e}"))?;
+    let schema = header
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("header missing schema")?;
+    if schema != METRICS_SCHEMA {
+        return Err(format!("unknown metrics schema '{schema}'"));
+    }
+    header
+        .get("interval_ns")
+        .and_then(Json::as_u64)
+        .filter(|&i| i > 0)
+        .ok_or("header missing positive interval_ns")?;
+    let width = header
+        .get("series")
+        .and_then(Json::as_arr)
+        .ok_or("header missing series list")?
+        .len();
+    let mut rows = 0usize;
+    let mut last_t: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        let n = i + 2;
+        let row = json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let t = row
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or(format!("line {n}: row missing t"))?;
+        if let Some(prev) = last_t {
+            if t <= prev {
+                return Err(format!("line {n}: non-increasing timestamp {t} <= {prev}"));
+            }
+        }
+        last_t = Some(t);
+        let v = row
+            .get("v")
+            .and_then(Json::as_arr)
+            .ok_or(format!("line {n}: row missing v"))?;
+        if v.len() != width {
+            return Err(format!(
+                "line {n}: row width {} != series width {width}",
+                v.len()
+            ));
+        }
+        if v.iter().any(|x| x.as_u64().is_none()) {
+            return Err(format!("line {n}: non-integer value in row"));
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("os.hard_faults", "demand faults");
+        let g = r.gauge("disk0.queue_len", "queued requests");
+        let h = r.hist("os.fault_wait_ns", "hard-fault stall");
+        r.add(c, 5);
+        r.set(g, 3);
+        r.record(h, 1_000);
+        r.record(h, 0);
+        r
+    }
+
+    #[test]
+    fn ids_are_dense_and_values_align() {
+        let r = sample_registry();
+        assert_eq!(r.values(), &[5, 3]);
+        assert_eq!(r.defs()[0].name, "os.hard_faults");
+        assert_eq!(r.defs()[0].kind, SeriesKind::Counter);
+        assert_eq!(r.defs()[1].kind, SeriesKind::Gauge);
+        assert_eq!(r.hists()[0].2.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series name")]
+    fn duplicate_names_panic() {
+        let mut r = MetricsRegistry::new();
+        r.counter("a", "");
+        r.gauge("a", "");
+    }
+
+    #[test]
+    fn merge_algebra_counters_add_gauges_max_hists_merge() {
+        let mut a = sample_registry();
+        let mut b = sample_registry();
+        b.set(1, 9); // deeper queue in b
+        b.record(0, 7_777);
+        let expect_hist = {
+            let mut h = a.hists()[0].2;
+            h.merge(&b.hists()[0].2);
+            h
+        };
+        a.merge(&b);
+        assert_eq!(a.get(0), 10, "counters add");
+        assert_eq!(a.get(1), 9, "gauges take the max");
+        assert_eq!(a.hists()[0].2, expect_hist, "hists merge exactly");
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut ring = TimeSeriesRing::new(100, 2);
+        ring.push(100, vec![1]);
+        ring.push(200, vec![2]);
+        ring.push(300, vec![3]);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.rows()[0].0, 200, "oldest evicted first");
+    }
+
+    #[test]
+    fn prometheus_export_validates() {
+        let text = prometheus_text(&sample_registry());
+        assert!(text.contains("# TYPE oocp_os_hard_faults counter"));
+        assert!(text.contains("oocp_disk0_queue_len 3"));
+        assert!(text.contains("oocp_os_fault_wait_ns_count 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        let n = check_prometheus_text(&text).expect("valid dump");
+        assert!(n >= 4);
+    }
+
+    #[test]
+    fn prometheus_checker_rejects_undeclared_metrics() {
+        assert!(check_prometheus_text("oocp_mystery 1\n").is_err());
+        assert!(check_prometheus_text("").is_err());
+    }
+
+    #[test]
+    fn jsonl_export_roundtrips_through_checker() {
+        let reg = sample_registry();
+        let mut ring = TimeSeriesRing::new(1_000, 16);
+        ring.push(1_000, reg.snapshot_row());
+        ring.push(2_000, reg.snapshot_row());
+        let text = jsonl_series(&reg, &ring);
+        assert_eq!(check_jsonl(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn jsonl_checker_rejects_width_and_order_violations() {
+        let reg = sample_registry();
+        let mut ring = TimeSeriesRing::new(1_000, 16);
+        ring.push(1_000, vec![1]); // too narrow for 2 series
+        let text = jsonl_series(&reg, &ring);
+        assert!(check_jsonl(&text).is_err());
+        let bad_order = format!(
+            "{}\n{}\n{}\n",
+            Json::obj([
+                ("schema", Json::Str(METRICS_SCHEMA.into())),
+                ("interval_ns", Json::U64(10)),
+                ("dropped_rows", Json::U64(0)),
+                ("series", Json::Arr(vec![Json::Str("a".into())])),
+            ]),
+            "{\"t\":20,\"v\":[1]}",
+            "{\"t\":10,\"v\":[1]}",
+        );
+        assert!(check_jsonl(&bad_order).is_err());
+    }
+}

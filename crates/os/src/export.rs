@@ -11,6 +11,10 @@
 //!   time, and `"e"` at the first demand touch. A span with no `"e"`
 //!   was dropped, evicted, or never used — visible at a glance as an
 //!   unterminated bar.
+//! * Policy injections become zero-length async spans (`"b"` + `"e"` at
+//!   the injection instant) under their own span id — allocated from
+//!   the same counter as prefetch spans, so the two families never
+//!   collide and `tracediff` can align injections across runs.
 //! * Everything else becomes an instant event (`ph: "i"`).
 //!
 //! Timestamps are microseconds (the trace-event convention) with
@@ -196,12 +200,28 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             ),
             TraceEvent::DegradedEnter => instant("degraded_enter", TID_OS, at, Json::obj([])),
             TraceEvent::DegradedExit => instant("degraded_exit", TID_OS, at, Json::obj([])),
-            TraceEvent::PolicyInject { page, count } => instant(
-                "policy_inject",
-                TID_HINT,
-                at,
-                Json::obj([("page", Json::U64(page)), ("count", Json::U64(count))]),
-            ),
+            TraceEvent::PolicyInject { page, count, span } => {
+                // A policy injection is a first-class zero-length async
+                // span in the same id family as prefetch lifecycles, so
+                // tracediff aligns injections across runs instead of
+                // skipping instants.
+                let args = Json::obj([("page", Json::U64(page)), ("count", Json::U64(count))]);
+                let fields = |args| {
+                    vec![
+                        ("cat", Json::Str("policy".into())),
+                        ("id", Json::U64(span)),
+                        ("args", args),
+                    ]
+                };
+                events.push(event(
+                    "policy_inject",
+                    "b",
+                    TID_HINT,
+                    at,
+                    fields(args.clone()),
+                ));
+                event("policy_inject", "e", TID_HINT, at, fields(args))
+            }
         };
         events.push(ev);
     }
@@ -321,6 +341,62 @@ mod tests {
     fn pageless_io_error_exports_null_page() {
         let json = chrome_trace_json(&sample_trace());
         assert!(json.contains("\"page\":null"));
+    }
+
+    #[test]
+    fn policy_inject_exports_as_span_pair_and_aligns() {
+        let mut t = Trace::new(64);
+        t.push(
+            1_000,
+            TraceEvent::PrefetchIssue {
+                page: 5,
+                count: 1,
+                span: 1,
+            },
+        );
+        t.push(
+            2_000,
+            TraceEvent::PolicyInject {
+                page: 40,
+                count: 8,
+                span: 2,
+            },
+        );
+        let doc = oocp_obs::json::parse(&chrome_trace_json(&t)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let inj: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("policy_inject"))
+            .collect();
+        assert_eq!(inj.len(), 2, "one begin + one end, no instant");
+        for e in &inj {
+            assert_eq!(e.get("id").and_then(|i| i.as_u64()), Some(2));
+            assert_eq!(e.get("ts").unwrap().as_f64(), Some(2.0));
+        }
+        let phases: Vec<&str> = inj
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phases, ["b", "e"]);
+        // The tracediff consumer aligns the injection span exactly as
+        // the in-process view does, with no id collision against the
+        // prefetch lifecycle span.
+        let from_json = oocp_obs::tracediff::index_spans(&doc).unwrap();
+        let in_process = t.span_lifecycles();
+        assert_eq!(from_json.len(), 2);
+        assert_eq!(in_process.len(), 2);
+        for (j, p) in from_json.iter().zip(&in_process) {
+            assert_eq!(j.id, p.span);
+            assert_eq!(j.page, Some(p.page));
+            assert_eq!(
+                j.begin.map(|us| (us * 1000.0) as u64),
+                p.issued_at,
+                "span {}: issue time",
+                p.span
+            );
+            assert_eq!(j.end.map(|us| (us * 1000.0) as u64), p.consumed_at);
+            assert_eq!(j.late, p.late);
+        }
     }
 
     #[test]

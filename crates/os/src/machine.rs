@@ -3,9 +3,9 @@
 
 use std::collections::VecDeque;
 
-use oocp_disk::{DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
+use oocp_disk::{Completion, DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
 use oocp_fs::{FileId, FileSystem, WriteJournal};
-use oocp_obs::TimeAttribution;
+use oocp_obs::{LateCause, MetricsRegistry, TimeAttribution, TimeSeriesRing};
 use oocp_policy::{PolicyActions, PrefetchPolicy, TouchKind};
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
@@ -309,6 +309,31 @@ pub struct Machine {
     /// Policy hooks suspended (the runtime pauses reactive policies
     /// while it is degraded to demand-only paging).
     policy_paused: bool,
+    /// Degraded-mode generation counter: bumped every time the runtime
+    /// enters degraded (demand-only) paging. A prefetch that was in
+    /// flight across a bump was paused on, not raced — the whylate
+    /// engine attributes its lateness to the mode switch.
+    degrade_epoch: u64,
+    /// Continuous-telemetry sampler. `None` by default: the only cost
+    /// an unattached run pays is one `is_some` branch per clock
+    /// advance, so default runs stay bit-identical (the sampler itself
+    /// is pull-only and never advances the clock).
+    sampler: Option<SamplerState>,
+}
+
+/// The attached sampler: a metrics registry whose scalar vector is
+/// refilled from live machine state and snapshotted into a bounded
+/// time-series ring every `interval` of *simulated* time.
+struct SamplerState {
+    reg: MetricsRegistry,
+    ring: TimeSeriesRing,
+    /// Next sim time a row is due.
+    next_due: Ns,
+    /// Disk count captured at attach (fixed for the machine's life).
+    ndisks: usize,
+    /// Tenants registered when the sampler attached; later
+    /// registrations are not sampled (attach after setup to see them).
+    ntenants: usize,
 }
 
 impl Machine {
@@ -389,6 +414,8 @@ impl Machine {
             policy: oocp_policy::build(params.policy),
             policy_issue: false,
             policy_paused: false,
+            degrade_epoch: 0,
+            sampler: None,
         })
     }
 
@@ -500,6 +527,173 @@ impl Machine {
         self.metrics.as_ref().map(|m| m.report())
     }
 
+    /// Attach the continuous-telemetry sampler: every `interval_ns` of
+    /// simulated time, the full registry of counters and gauges (disk
+    /// queue depths and per-class waits, residency and free-frame
+    /// levels, journal occupancy, ledger and policy counters, ops
+    /// retired) is snapshotted into a ring holding up to `capacity`
+    /// rows. Implies [`Machine::enable_metrics`]. Pull-based and
+    /// passive: sampling reads state the machine already keeps and
+    /// never advances the clock, so a sampled run's simulated timeline
+    /// is identical to an unsampled one.
+    ///
+    /// Per-tenant series cover the tenants registered at attach time;
+    /// attach after `register_tenant` calls to see them all.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or capacity.
+    pub fn attach_sampler(&mut self, interval_ns: Ns, capacity: usize) {
+        self.enable_metrics();
+        let ndisks = self.params.ndisks;
+        let ntenants = self.tenants.len();
+        let mut reg = MetricsRegistry::new();
+        reg.counter("os.user_ops", "interpreter operations retired");
+        reg.counter("os.hard_faults", "demand faults that went to disk");
+        reg.counter("os.soft_faults", "reclaims from the free list");
+        reg.counter("os.prefetch_pages_issued", "prefetch pages put in flight");
+        reg.counter("os.prefetch_pages_dropped", "hint pages dropped");
+        reg.counter(
+            "os.late_prefetch_stall_ns",
+            "time stalled on in-flight prefetches",
+        );
+        reg.gauge("os.resident_pages", "pages resident in memory");
+        reg.gauge("os.free_frames", "unallocated plus reclaimable frames");
+        reg.gauge("os.inflight_prefetch", "prefetch pages in flight");
+        reg.counter("ledger.timely_hits", "prefetches that arrived before use");
+        reg.counter(
+            "ledger.late_inflight",
+            "prefetches consumed while in flight",
+        );
+        reg.counter("journal.appends", "write-ahead journal intents appended");
+        reg.counter("journal.stalls", "writebacks that waited for a ring slot");
+        reg.gauge("journal.ring_in_use", "live journal slots across all rings");
+        reg.counter(
+            "policy.injected_prefetch_pages",
+            "prefetch pages injected by the policy",
+        );
+        reg.counter(
+            "policy.injected_release_pages",
+            "release pages injected by the policy",
+        );
+        reg.counter("disk.demand_wait_ns", "demand-read queue wait, all disks");
+        reg.counter(
+            "disk.prefetch_wait_ns",
+            "prefetch-read queue wait, all disks",
+        );
+        reg.counter("disk.write_wait_ns", "write queue wait, all disks");
+        for d in 0..ndisks {
+            reg.gauge(
+                &format!("disk{d}.queue_len"),
+                "undispatched requests queued",
+            );
+        }
+        for t in 0..ntenants {
+            reg.gauge(
+                &format!("tenant{t}.resident_pages"),
+                "pages resident in the tenant's segment",
+            );
+            reg.gauge(
+                &format!("tenant{t}.inflight_prefetch"),
+                "tenant prefetch pages in flight",
+            );
+        }
+        reg.hist("os.fault_wait_ns", "demand-fault stall distribution");
+        self.sampler = Some(SamplerState {
+            reg,
+            ring: TimeSeriesRing::new(interval_ns, capacity),
+            next_due: self.now + interval_ns,
+            ndisks,
+            ntenants,
+        });
+    }
+
+    /// The sampled telemetry (registry in its end-of-run state plus the
+    /// time-series ring), if a sampler is attached. Refreshes the
+    /// registry first so exports reflect the final counters.
+    pub fn sampler_output(&mut self) -> Option<(&MetricsRegistry, &TimeSeriesRing)> {
+        let mut s = self.sampler.take()?;
+        self.fill_registry(&mut s);
+        self.sampler = Some(s);
+        self.sampler.as_ref().map(|s| (&s.reg, &s.ring))
+    }
+
+    /// Refill the registry's scalar vector from live machine state, in
+    /// exactly the order [`Machine::attach_sampler`] registered it.
+    fn fill_registry(&self, s: &mut SamplerState) {
+        let st = &self.stats;
+        let ledger = self.metrics.as_ref().map(|m| *m.ledger.counts());
+        let lc = ledger.unwrap_or_default();
+        let journal_in_use: u64 = match &self.journal {
+            Some(j) => (0..s.ndisks).map(|d| j.in_use(d)).sum(),
+            None => 0,
+        };
+        let disk = self.disks.total_stats();
+        let mut v = vec![
+            st.user_ops,
+            st.hard_faults,
+            st.soft_faults,
+            st.prefetch_pages_issued,
+            st.prefetch_pages_dropped,
+            st.late_prefetch_stall_ns,
+            self.resident,
+            self.truly_free() + self.free_list_len(),
+            self.inflight,
+            lc.timely_hits,
+            lc.late_inflight,
+            st.journal_appends,
+            st.journal_stalls,
+            journal_in_use,
+            st.policy_injected_prefetch_pages,
+            st.policy_injected_release_pages,
+            disk.demand_wait_ns,
+            disk.prefetch_wait_ns,
+            disk.write_wait_ns,
+        ];
+        for d in 0..s.ndisks {
+            v.push(self.disks.queue_len(d) as u64);
+        }
+        for t in 0..s.ntenants {
+            let info = &self.tenants[t];
+            let resident = self.tenant_bits.get(t).map_or(0, ResidencyBits::set_bits);
+            v.push(resident);
+            v.push(info.stats.inflight_prefetch);
+        }
+        debug_assert_eq!(v.len(), s.reg.values().len());
+        for (i, val) in v.into_iter().enumerate() {
+            s.reg.set(i, val);
+        }
+        if let Some(m) = &self.metrics {
+            s.reg.set_hist(0, m.fault_wait);
+        }
+    }
+
+    /// Emit any sample rows that came due as the clock advanced. Rows
+    /// are stamped at their scheduled tick (the state is read at the
+    /// first instant the machine observes the tick has passed — the
+    /// sim-time analogue of a scrape).
+    #[inline]
+    fn maybe_sample(&mut self) {
+        if self.sampler.is_none() {
+            return;
+        }
+        self.do_sample();
+    }
+
+    fn do_sample(&mut self) {
+        let Some(mut s) = self.sampler.take() else {
+            return;
+        };
+        while s.next_due <= self.now {
+            self.fill_registry(&mut s);
+            let row = s.reg.snapshot_row();
+            let due = s.next_due;
+            s.ring.push(due, row);
+            s.next_due = due + s.ring.interval();
+        }
+        self.sampler = Some(s);
+    }
+
     /// Figure-5 time attribution of every nanosecond elapsed so far.
     ///
     /// Works with or without [`Machine::enable_metrics`] — it is built
@@ -537,6 +731,9 @@ impl Machine {
     /// machine itself lives in the run-time layer, which has no trace
     /// of its own).
     pub fn note_degraded(&mut self, entered: bool) {
+        if entered {
+            self.degrade_epoch += 1;
+        }
         self.trace_event(if entered {
             TraceEvent::DegradedEnter
         } else {
@@ -847,11 +1044,14 @@ impl Machine {
     pub fn tick_user(&mut self, ns: Ns) {
         self.now += ns;
         self.breakdown.charge(TimeCategory::User, ns);
+        self.stats.user_ops += 1;
+        self.maybe_sample();
     }
 
     fn charge(&mut self, cat: TimeCategory, ns: Ns) {
         self.now += ns;
         self.breakdown.charge(cat, ns);
+        self.maybe_sample();
     }
 
     /// Stall until absolute time `until`, attributing the wait to idle.
@@ -1580,6 +1780,36 @@ impl Machine {
         Ok(Touch::Done { faults })
     }
 
+    /// Assign the single dominant cause of a late prefetch: the page
+    /// was touched at `touch` (before any stall) while its read, whose
+    /// completion detail is `c`, was still in flight. The decision tree
+    /// (documented on [`LateCause`]) checks environmental interference
+    /// first, then asks whether even an uncontended disk could have made
+    /// the deadline, then splits the remainder by where the flight time
+    /// actually went.
+    fn classify_late(&self, vpage: u64, touch: Ns, c: Completion) -> LateCause {
+        let Some((issued_at, js0, de0)) = self
+            .metrics
+            .as_ref()
+            .and_then(|m| m.ledger.issue_ctx(vpage))
+        else {
+            return LateCause::IssueLag;
+        };
+        if self.degrade_epoch != de0 {
+            return LateCause::DegradedPause;
+        }
+        if self.stats.journal_stalls > js0 && c.wait >= c.service {
+            return LateCause::JournalStall;
+        }
+        if touch.saturating_sub(issued_at) < c.service {
+            return LateCause::IssueLag;
+        }
+        if c.wait >= c.service {
+            return LateCause::QueueWait;
+        }
+        LateCause::ServiceTime
+    }
+
     /// Touch one page without stalling. `Ok(None)` means no hard fault;
     /// `Ok(Some(done))` means the page hard-faulted and its read
     /// completes at `done` (which may be in the past — then the fault
@@ -1598,13 +1828,15 @@ impl Machine {
                 if !self.tenants.is_empty() {
                     self.disks.promote(ticket, self.now);
                 }
-                let arrival = self.disks.wait_for(ticket);
+                let completion = self.disks.wait_for_detail(ticket);
+                let arrival = completion.at;
+                let cause = self.classify_late(vpage, self.now, completion);
                 let waited = arrival.saturating_sub(self.now);
                 self.stats.fault_wait.push(waited as f64);
                 self.stats.late_prefetch_stall_ns += waited;
                 if let Some(mx) = &mut self.metrics {
                     mx.fault_wait.record(waited);
-                    mx.ledger.consumed_late(vpage, arrival);
+                    mx.ledger.consumed_late_caused(vpage, arrival, cause);
                 }
                 if page.span != 0 {
                     self.trace_event(TraceEvent::PrefetchConsume {
@@ -1824,13 +2056,15 @@ impl Machine {
                 if !self.tenants.is_empty() {
                     self.disks.promote(ticket, self.now);
                 }
-                let arrival = self.disks.wait_for(ticket);
+                let completion = self.disks.wait_for_detail(ticket);
+                let arrival = completion.at;
+                let cause = self.classify_late(vpage, self.now, completion);
                 let waited = self.stall_until(arrival);
                 self.stats.fault_wait.push(waited as f64);
                 self.stats.late_prefetch_stall_ns += waited;
                 if let Some(mx) = &mut self.metrics {
                     mx.fault_wait.record(waited);
-                    mx.ledger.consumed_late(vpage, arrival);
+                    mx.ledger.consumed_late_caused(vpage, arrival, cause);
                 }
                 if page.span != 0 {
                     self.trace_event(TraceEvent::PrefetchConsume {
@@ -2018,7 +2252,17 @@ impl Machine {
             self.do_release(start, count);
         }
         for (start, count) in act.prefetch {
-            self.trace_event(TraceEvent::PolicyInject { page: start, count });
+            // Injections get first-class spans from the same counter as
+            // prefetch lifecycle spans, so the two families can never
+            // collide in the Chrome-trace export and tracediff aligns
+            // injections across runs instead of skipping instants.
+            let span = self.next_span;
+            self.next_span += 1;
+            self.trace_event(TraceEvent::PolicyInject {
+                page: start,
+                count,
+                span,
+            });
             self.do_prefetch(start, count);
         }
         self.policy_issue = false;
@@ -2259,8 +2503,13 @@ impl Machine {
                     let p = &mut self.pages[vpage as usize];
                     p.prefetch_tag = true;
                     p.span = sid;
+                    // Record the issue-time environment (journal-stall
+                    // count, degraded-mode epoch) so a late consumption
+                    // can tell interference during the flight from a
+                    // plain short lead.
+                    let (now, js, de) = (self.now, self.stats.journal_stalls, self.degrade_epoch);
                     if let Some(mx) = &mut self.metrics {
-                        mx.ledger.issued(vpage, self.now);
+                        mx.ledger.issued_ctx(vpage, now, js, de);
                     }
                     self.bit_in(vpage);
                     match spans.last_mut() {

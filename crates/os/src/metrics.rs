@@ -7,7 +7,7 @@
 //! metrics on produces byte-identical results and timestamps to the
 //! same run with metrics off (the bench crate proptests this).
 
-use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger};
+use oocp_obs::{LatencyHist, LedgerCounts, PrefetchLedger, WhylateSummary};
 
 /// Live observability state (histograms plus the prefetch ledger).
 ///
@@ -36,6 +36,7 @@ impl ObsMetrics {
             ledger_open: self.ledger.open_entries(),
             lead_time: *self.ledger.lead_time(),
             arrival_to_use: *self.ledger.arrival_to_use(),
+            whylate: WhylateSummary::from_ledger(&self.ledger),
         }
     }
 }
@@ -62,6 +63,10 @@ pub struct MetricsReport {
     pub lead_time: LatencyHist,
     /// Arrival-to-first-use distribution for timely hits.
     pub arrival_to_use: LatencyHist,
+    /// Whylate causal attribution of the late/dropped/wasted entries;
+    /// partitions the corresponding `ledger` outcomes exactly
+    /// ([`oocp_obs::WhylateSummary::partitions`]).
+    pub whylate: WhylateSummary,
 }
 
 impl MetricsReport {
@@ -90,5 +95,6 @@ mod tests {
         assert!(r.partition_ok());
         assert_eq!(r.fault_wait.count(), 1);
         assert_eq!(r.lead_time.sum_ns(), 490);
+        assert!(r.whylate.partitions(&r.ledger));
     }
 }

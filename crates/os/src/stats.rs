@@ -144,6 +144,12 @@ pub struct OsStats {
     pub policy_distance_retunes: u64,
     /// Late-rate observation windows the policy completed.
     pub policy_late_rate_samples: u64,
+    /// Interpreter operations retired (one per [`tick_user`] call) —
+    /// the telemetry sampler's progress counter. Not gated in
+    /// baselines: it measures the driver, not the paging system.
+    ///
+    /// [`tick_user`]: crate::Machine::tick_user
+    pub user_ops: u64,
 }
 
 impl OsStats {

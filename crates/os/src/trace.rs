@@ -154,6 +154,12 @@ pub enum TraceEvent {
         page: u64,
         /// Pages in the run.
         count: u64,
+        /// Injection span id, allocated from the same counter as
+        /// prefetch lifecycle spans so the two families never collide.
+        /// The Chrome-trace exporter emits the injection as a
+        /// first-class span under this id, which lets `tracediff`
+        /// align injections across runs instead of skipping instants.
+        span: u64,
     },
 }
 
@@ -327,6 +333,13 @@ impl Trace {
                     e.consumed_at = Some(rec.at);
                     e.late = Some(late);
                 }
+                TraceEvent::PolicyInject { page, span, .. } => {
+                    // Injections are zero-length spans: opened and
+                    // closed at the decision instant, never late.
+                    let e = entry(&mut spans, span, page);
+                    e.issued_at = Some(rec.at);
+                    e.consumed_at = Some(rec.at);
+                }
                 _ => {}
             }
         }
@@ -497,6 +510,34 @@ mod tests {
         assert_eq!(spans[1].late, Some(true));
         assert_eq!(spans[3].span, 42);
         assert_eq!(spans[3].issued_at, None, "orphan keeps unknown issue");
+    }
+
+    #[test]
+    fn policy_injections_are_zero_length_spans() {
+        let mut t = Trace::new(64);
+        t.push(
+            5,
+            TraceEvent::PrefetchIssue {
+                page: 10,
+                count: 1,
+                span: 1,
+            },
+        );
+        t.push(
+            8,
+            TraceEvent::PolicyInject {
+                page: 20,
+                count: 4,
+                span: 2,
+            },
+        );
+        let spans = t.span_lifecycles();
+        assert_eq!(spans.len(), 2, "injection opens exactly one span");
+        assert_eq!(spans[1].span, 2);
+        assert_eq!(spans[1].page, 20);
+        assert_eq!(spans[1].issued_at, Some(8));
+        assert_eq!(spans[1].consumed_at, Some(8), "closed at the instant");
+        assert_eq!(spans[1].late, None, "injections are never late");
     }
 
     #[test]

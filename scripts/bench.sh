@@ -5,9 +5,12 @@
 # plus the 5 sample .ook kernels, each under the original, both
 # prefetching, and demand-priority configurations) — and writes it to
 # the next free BENCH_<n>.json at the repo root, then re-validates the
-# file with the schema validator. Commit the new file together with
-# the change that motivated it; `scripts/ci.sh` compares every build
-# against the newest baseline.
+# file with the schema validator. From BENCH_5 the file carries the
+# oocp-bench-v2 schema: per-run whylate cause vectors, a matrix-level
+# whylate roll-up, and sim_throughput (simulated ns per host second,
+# gated only under the wide simthroughput.* band). Commit the new file
+# together with the change that motivated it; `scripts/ci.sh` compares
+# every build against the newest baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

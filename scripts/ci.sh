@@ -67,13 +67,43 @@ grep -q "exceeds fair share" /tmp/oocp-nq.$$ || {
 rm -f /tmp/oocp-nq.$$
 
 echo "== obsreport smoke (observability invariants + JSON round-trip)"
-# The binary asserts the attribution and ledger invariants itself, and
-# --json makes it re-read, re-parse, and re-validate the emitted file.
+# The binary asserts the attribution, ledger, and whylate-partition
+# invariants itself; --json makes it re-read, re-parse, and
+# re-validate the emitted file; --metrics-out attaches the sim-time
+# sampler and exports the time series, which must pass the structural
+# validators from the outside.
 OBS_JSON="$(mktemp /tmp/oocp-report-XXXXXX.json)"
 TRACE_JSON="$(mktemp /tmp/oocp-trace-XXXXXX.json)"
-trap 'rm -f "$OBS_JSON" "$TRACE_JSON"' EXIT
-cargo run --release -q -p oocp-bench --bin obsreport -- --smoke --json "$OBS_JSON"
+MET_PREFIX="/tmp/oocp-met.$$"
+trap 'rm -f "$OBS_JSON" "$TRACE_JSON" "$MET_PREFIX.prom" "$MET_PREFIX.jsonl"' EXIT
+cargo run --release -q -p oocp-bench --bin obsreport -- --smoke --json "$OBS_JSON" \
+    --metrics-out "$MET_PREFIX"
 test -s "$OBS_JSON" || { echo "obsreport wrote an empty report"; exit 1; }
+
+echo "== telemetry export smoke (prom + jsonl validate, dash renders)"
+cargo run --release -q -p oocp-bench --bin obsreport -- --check-metrics "$MET_PREFIX.prom"
+cargo run --release -q -p oocp-bench --bin obsreport -- --check-metrics "$MET_PREFIX.jsonl"
+cargo run --release -q -p oocp-bench --bin obsreport -- --check-report "$OBS_JSON"
+cargo run --release -q -p oocp-bench --bin dash -- "$MET_PREFIX.jsonl" \
+    --report "$OBS_JSON" > /dev/null
+
+echo "== whylate negative gate (a mis-attributed cause table must be caught)"
+# Corrupt one whylate cause count in the emitted report; the partition
+# check inside --check-report must fail — otherwise the causal
+# attribution is decorative.
+BAD_JSON="/tmp/oocp-bad.$$"
+sed 's/"late_queue_wait":\([0-9][0-9]*\)/"late_queue_wait":9999999/' "$OBS_JSON" > "$BAD_JSON"
+if cargo run --release -q -p oocp-bench --bin obsreport -- \
+    --check-report "$BAD_JSON" > /tmp/oocp-wl.$$ 2>&1; then
+    cat /tmp/oocp-wl.$$
+    rm -f /tmp/oocp-wl.$$ "$BAD_JSON"
+    echo "obsreport --check-report accepted a corrupted whylate table"
+    exit 1
+fi
+grep -q "whylate" /tmp/oocp-wl.$$ || {
+    cat /tmp/oocp-wl.$$; rm -f /tmp/oocp-wl.$$ "$BAD_JSON"
+    echo "obsreport --check-report failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-wl.$$ "$BAD_JSON"
 
 echo "== oocpc --trace-out smoke (Chrome trace export parses)"
 # Compile-and-run one sample kernel with the trace exporter on; the

@@ -39,6 +39,7 @@ fn baseline_roundtrip_self_compares_clean() {
     let b = Baseline {
         index: 7,
         seed: cfg.seed,
+        whylate: None,
         runs,
     };
 
@@ -93,6 +94,7 @@ fn faulted_baseline_roundtrips_and_reproduces() {
         let b = Baseline {
             index: 1,
             seed: cfg.seed,
+            whylate: None,
             runs: vec![capture(())],
         };
 

@@ -53,6 +53,24 @@ fn check_run(r: &RunResult, baseline: u64, what: &str) {
         o.ledger_entries,
         "{what}: ledger outcomes no longer partition the issue decisions"
     );
+    // The whylate causal attribution must partition the very same
+    // outcomes: every late, dropped, and wasted prefetch carries
+    // exactly one dominant cause, with nothing double-counted.
+    assert!(
+        o.whylate.partitions(&o.ledger),
+        "{what}: whylate causes do not partition the ledger \
+         (late {} vs {}, dropped {} vs {}, wasted {} vs {})",
+        o.whylate.late_total(),
+        o.ledger.late_inflight,
+        o.whylate.drop_total(),
+        o.ledger.dropped_no_memory
+            + o.ledger.dropped_queue_full
+            + o.ledger.dropped_io_error
+            + o.ledger.dropped_quota
+            + o.ledger.dropped_pressure,
+        o.whylate.wasted_total(),
+        o.ledger.evicted_unused + o.ledger.unused_at_end,
+    );
 }
 
 fn policy_run(w: &Workload, cfg: &Config, kind: PolicyKind, mode: Mode) -> RunResult {
