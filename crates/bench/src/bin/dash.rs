@@ -10,10 +10,14 @@
 //!
 //! Usage:
 //!   dash METRICS.jsonl [--out DASH.html] [--report REPORT.json]
+//!   dash --flame CAPTURE.prof [--out FLAME.svg]
 //!
 //! `--report` attaches the whylate cause table from a run report to
 //! the page, so one artifact answers both "when was it slow" and "why
-//! were prefetches late".
+//! were prefetches late". `--flame` instead renders a host-time
+//! profile capture (written by the `profile` bin) as a self-contained
+//! SVG flamegraph — where the *host* spends wall-clock time, the
+//! sibling question to the simulated-time charts.
 
 use oocp_obs::json::{self, Json};
 use oocp_obs::{WhylateSummary, METRICS_SCHEMA};
@@ -203,21 +207,59 @@ fn whylate_rows(doc: &Json) -> Vec<(String, WhylateSummary)> {
     out
 }
 
+/// `dash --flame CAPTURE.prof --out FLAME.svg`: render a host-time
+/// profile (written by the `profile` bin) as a self-contained SVG
+/// flamegraph. Exits the process either way.
+fn flame_mode(prof_path: &str, out: Option<&str>) -> ! {
+    let text = std::fs::read_to_string(prof_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {prof_path}: {e}");
+        std::process::exit(1);
+    });
+    let prof = oocp_obs::prof::Profile::parse_text(&text).unwrap_or_else(|e| {
+        eprintln!("error: {prof_path}: {e}");
+        std::process::exit(1);
+    });
+    let svg = oocp_obs::flamegraph_svg(&prof);
+    match out {
+        Some(path) => {
+            std::fs::write(path, &svg).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wrote {path} ({} sites, {} host ns)",
+                prof.rows().len(),
+                prof.total_ns()
+            );
+        }
+        None => print!("{svg}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut jsonl: Option<String> = None;
     let mut out: Option<String> = None;
     let mut report: Option<String> = None;
+    let mut flame: Option<String> = None;
     let mut it = argv.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = it.next().cloned(),
             "--report" => report = it.next().cloned(),
+            "--flame" => flame = it.next().cloned(),
             _ => jsonl = Some(a.clone()),
         }
     }
+    if let Some(prof_path) = flame {
+        flame_mode(&prof_path, out.as_deref());
+    }
     let Some(jsonl) = jsonl else {
-        eprintln!("usage: dash METRICS.jsonl [--out DASH.html] [--report REPORT.json]");
+        eprintln!(
+            "usage: dash METRICS.jsonl [--out DASH.html] [--report REPORT.json]\n\
+             \x20      dash --flame CAPTURE.prof [--out FLAME.svg]"
+        );
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(&jsonl).unwrap_or_else(|e| {

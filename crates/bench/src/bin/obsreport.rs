@@ -27,7 +27,10 @@
 //! * `obsreport --check-report FILE` — parse a run report and re-check
 //!   every invariant, including the whylate partition.
 //! * `obsreport --check-metrics FILE` — structurally check an exported
-//!   `.prom` or `.jsonl` telemetry document.
+//!   `.prom` or `.jsonl` telemetry document (jsonl rows must sit on
+//!   contiguous `interval_ns` multiples).
+//! * `obsreport --check-collapsed FILE` — structurally check a
+//!   collapsed-stack profile dump written by the `profile` bin.
 //!
 //! Run: `cargo run --release -p oocp-bench --bin obsreport`
 //! CI:  `... --bin obsreport -- --smoke --json /tmp/report.json`
@@ -47,7 +50,7 @@ fn read_or_exit(path: &str) -> String {
     })
 }
 
-fn check_ok<T>(what: &str, path: &str, res: Result<T, String>) -> ! {
+fn check_ok<T, E: std::fmt::Display>(what: &str, path: &str, res: Result<T, E>) -> ! {
     match res {
         Ok(_) => {
             println!("{path}: valid {what}");
@@ -91,6 +94,14 @@ fn validator_modes() {
             } else {
                 check_ok("metrics jsonl", path, oocp_obs::check_jsonl(&text));
             }
+        }
+        Some("--check-collapsed") => {
+            let path = argv.get(2).unwrap_or_else(|| {
+                eprintln!("usage: obsreport --check-collapsed FILE");
+                std::process::exit(2);
+            });
+            let text = read_or_exit(path);
+            check_ok("collapsed stacks", path, oocp_obs::check_collapsed(&text));
         }
         _ => {}
     }

@@ -27,11 +27,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use oocp_bench::tenants as mt;
-use oocp_bench::{report, run_ir_traced, run_workload_traced, secs, Config, Mode, RunResult};
+use oocp_bench::{
+    report, run_ir_profiled, run_ir_traced, run_workload_profiled, run_workload_traced, secs,
+    Config, Mode, RunResult,
+};
 use oocp_ir::parse_program;
 use oocp_nas::{build, App};
 use oocp_obs::baseline::{
-    self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding,
+    self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding, ProfileSummary,
 };
 use oocp_obs::{tracediff, Json, WhylateSummary};
 use oocp_os::{chrome_trace_json, PolicyKind, SchedPolicy, Trace};
@@ -169,11 +172,12 @@ struct Options {
     allowances_file: Option<String>,
     overrides: Overrides,
     no_tracediff: bool,
+    profile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perfgate --capture [--out FILE] [--index N]\n\
+        "usage: perfgate --capture [--out FILE] [--index N] [--profile]\n\
          \x20      perfgate --compare FILE [--allow metric=pct]... [--allowances FILE]\n\
          \x20                             [--only KERNEL] [--sched POLICY] [--queue-depth N]\n\
          \x20                             [--coalesce] [--no-tracediff]\n\
@@ -198,6 +202,7 @@ fn parse_args() -> Options {
         allowances_file: None,
         overrides: Overrides::default(),
         no_tracediff: false,
+        profile: false,
     };
     let mut argv = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
@@ -227,6 +232,7 @@ fn parse_args() -> Options {
                 o.overrides.sched = Some(SchedPolicy::parse(&value()).unwrap_or_else(|| usage()))
             }
             "--no-tracediff" => o.no_tracediff = true,
+            "--profile" => o.profile = true,
             "--help" | "-h" => usage(),
             p if !p.starts_with('-') => positional.push(p.to_string()),
             _ => usage(),
@@ -314,11 +320,52 @@ fn stamp_throughput(run: &mut BaselineRun, sim_ns: u64, host: std::time::Duratio
     run.sim_throughput = Some((sim_ns as f64 / secs) as u64);
 }
 
+/// Number of top self-time sites stamped into a profiled capture.
+const PROFILE_TOP_SITES: usize = 5;
+
+/// Re-run one matrix cell under the host-time profiler and distill the
+/// compact summary stamped into a v3 baseline. This is a *second* run,
+/// separate from the timed one, so probe overhead never leaks into the
+/// (gated, if widely allowed) `sim_throughput`; the profiled run's
+/// sim-visible state is bit-identical to the detached run by
+/// construction, so the profile annotates exactly the cell it rode on.
+fn profile_cell(
+    kernel: &Kernel,
+    spec: &ConfigSpec,
+    kernels_dir: &str,
+) -> Result<ProfileSummary, String> {
+    let cfg = cell_config(kernel, spec);
+    let prof = match kernel {
+        Kernel::Nas(app) => {
+            let w = build(*app, cfg.bytes_for_ratio(2.0));
+            run_workload_profiled(&w, &cfg, spec.mode).1
+        }
+        Kernel::Ook { file, params, .. } => {
+            let path = format!("{kernels_dir}/{file}");
+            let src =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let prog = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            run_ir_profiled(&prog, params, &cfg, spec.mode).1
+        }
+    };
+    Ok(ProfileSummary {
+        total_host_ns: prof.total_ns(),
+        sites: prof
+            .top_self(PROFILE_TOP_SITES)
+            .into_iter()
+            .map(|r| (r.path, r.self_ns))
+            .collect(),
+    })
+}
+
 /// Run the whole (possibly filtered) matrix and distill baseline runs.
+/// With `profile`, each single-kernel cell gets a second, profiled run
+/// whose summary is stamped as the report-only v3 `profile` block.
 fn run_matrix(
     only: &Option<String>,
     kernels_dir: &str,
     overrides: &Overrides,
+    profile: bool,
 ) -> Result<Vec<BaselineRun>, String> {
     let mut runs = Vec::new();
     for kernel in kernels().iter().filter(|k| selected(k, only)) {
@@ -334,6 +381,9 @@ fn run_matrix(
             );
             let mut run = report::baseline_run(&kernel.name(), spec.name, &r);
             stamp_throughput(&mut run, r.total(), host);
+            if profile {
+                run.profile = Some(profile_cell(kernel, spec, kernels_dir)?);
+            }
             runs.push(run);
         }
     }
@@ -474,7 +524,7 @@ fn capture(o: &Options) -> Result<(), String> {
          + {} multi-tenant cells + 2 prefetch-policy cells)",
         TENANT_WIDTHS.len()
     );
-    let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default())?;
+    let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default(), o.profile)?;
     // Baseline-level whylate: the sum of the per-cell cause vectors, so
     // the trajectory answers "why are prefetches late overall" at a
     // glance without re-summing 58 cells.
@@ -662,7 +712,10 @@ fn compare(o: &Options, path: &str) -> Result<bool, String> {
     }
     let base_index = base.index;
     eprintln!("perfgate: comparing against {path} (index {base_index})");
-    let current = run_matrix(&o.only, &o.kernels_dir, &o.overrides)?;
+    // Compare runs never profile: the profile block is report-only and
+    // positionally invisible to the metric zip, so re-deriving it here
+    // would only slow the gate down.
+    let current = run_matrix(&o.only, &o.kernels_dir, &o.overrides, false)?;
     // Cells excluded by --only are out of scope, not missing; likewise
     // the multi-tenant cells whenever overrides retune the scheduler
     // (they run their own canonical platform and are not re-run then).

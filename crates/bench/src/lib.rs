@@ -12,9 +12,11 @@ pub mod report;
 pub mod tenants;
 
 use oocp_core::{compile, CompileReport, CompilerParams};
-use oocp_ir::{run_program, ArrayBinding, ArrayData, CostModel, ExecStats, Program};
+use oocp_ir::{
+    run_program, run_program_profiled, ArrayBinding, ArrayData, CostModel, ExecStats, Program,
+};
 use oocp_nas::Workload;
-use oocp_obs::TimeAttribution;
+use oocp_obs::{HostProf, MachineProf, Profile, TimeAttribution};
 use oocp_os::{
     FaultPlan, FlushError, HistoryReplay, MachineParams, MetricsRegistry, MetricsReport, OsStats,
     PolicyKind, PrefetchPolicy, RecoveryReport, TimeSeriesRing, Trace,
@@ -195,9 +197,55 @@ impl Config {
     }
 }
 
+/// Host-time capture threaded through a profiled run: the
+/// interpreter's site tree plus the machine's flat charge-path
+/// buckets, combined into one [`Profile`] by [`ProfCapture::finish`].
+#[derive(Default)]
+pub struct ProfCapture {
+    /// Interpreter-side scoped collector.
+    pub host: HostProf,
+    /// Machine-side buckets, taken off the machine after the run.
+    pub machine: MachineProf,
+}
+
+impl ProfCapture {
+    /// A fresh, empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze into a [`Profile`]: the interpreter tree with the
+    /// machine buckets grafted under the root as a `machine` subtree.
+    pub fn finish(self) -> Profile {
+        let mut p = self.host.finish();
+        p.attach_machine(&self.machine);
+        p
+    }
+}
+
 /// Compile (or not) and execute one workload; verify the results.
 pub fn run_workload(w: &Workload, cfg: &Config, mode: Mode) -> RunResult {
     run_workload_with(w, cfg, mode, cfg.compiler_params())
+}
+
+/// [`run_workload`] under the host-time profiler: same simulated run
+/// (bit-identical results, stats, and timestamps — the probes read
+/// only the host clock), plus the wall-clock attribution [`Profile`].
+/// Under [`PolicyKind::HistoryReplay`] the *measured* second pass is
+/// the one profiled.
+pub fn run_workload_profiled(w: &Workload, cfg: &Config, mode: Mode) -> (RunResult, Profile) {
+    let mut cap = ProfCapture::new();
+    let (result, _) = run_workload_inner_prof(
+        w,
+        cfg,
+        mode,
+        cfg.compiler_params(),
+        Vec::new(),
+        None,
+        0,
+        Some(&mut cap),
+    );
+    (result, cap.finish())
 }
 
 /// [`run_workload`] with explicit compiler parameters (ablations).
@@ -239,6 +287,29 @@ pub fn run_workload_faulted(w: &Workload, cfg: &Config, mode: Mode, plan: &Fault
         0,
     )
     .0
+}
+
+/// [`run_workload_faulted`] under the host-time profiler — the
+/// cross-product tests/proptest_prof.rs sweeps to prove attachment is
+/// host-time-only even while a fault plan is active.
+pub fn run_workload_profiled_faulted(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    plan: &FaultPlan,
+) -> (RunResult, Profile) {
+    let mut cap = ProfCapture::new();
+    let (result, _) = run_workload_inner_prof(
+        w,
+        cfg,
+        mode,
+        cfg.compiler_params(),
+        Vec::new(),
+        Some(plan),
+        0,
+        Some(&mut cap),
+    );
+    (result, cap.finish())
 }
 
 /// [`run_workload`] with the machine's event trace enabled: returns the
@@ -340,6 +411,20 @@ fn run_workload_inner(
     plan: Option<&FaultPlan>,
     trace_cap: usize,
 ) -> (RunResult, Option<Trace>) {
+    run_workload_inner_prof(w, cfg, mode, cparams, pressure, plan, trace_cap, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_workload_inner_prof(
+    w: &Workload,
+    cfg: &Config,
+    mode: Mode,
+    cparams: CompilerParams,
+    pressure: Vec<(Ns, u64)>,
+    plan: Option<&FaultPlan>,
+    trace_cap: usize,
+    mut prof: Option<&mut ProfCapture>,
+) -> (RunResult, Option<Trace>) {
     let (result, trace, miss) = run_workload_once(
         w,
         cfg,
@@ -349,9 +434,15 @@ fn run_workload_inner(
         plan,
         trace_cap,
         None,
+        prof.as_deref_mut(),
     );
     if cfg.machine.policy == PolicyKind::HistoryReplay {
         if let Some(miss) = miss {
+            // The replayed second pass is the measured one — restart
+            // the capture so the profile covers only it.
+            if let Some(p) = prof.as_deref_mut() {
+                *p = ProfCapture::new();
+            }
             let replay: Box<dyn PrefetchPolicy> = Box::new(HistoryReplay::replaying(miss));
             let (result, trace, _) = run_workload_once(
                 w,
@@ -362,6 +453,7 @@ fn run_workload_inner(
                 plan,
                 trace_cap,
                 Some(replay),
+                prof,
             );
             return (result, trace);
         }
@@ -379,6 +471,7 @@ fn run_workload_once(
     plan: Option<&FaultPlan>,
     trace_cap: usize,
     policy_override: Option<Box<dyn PrefetchPolicy>>,
+    prof: Option<&mut ProfCapture>,
 ) -> (RunResult, Option<Trace>, Option<Vec<u64>>) {
     let (prog, report) = prepare_program(w, mode, cparams);
     let filter = if mode == Mode::PrefetchNoFilter {
@@ -424,7 +517,24 @@ fn run_workload_once(
         debug_assert_eq!(ap, param_values.len());
         param_values.push(cfg.machine.memory_bytes() as i64);
     }
-    let exec = run_program(&prog, &binds, &param_values, cfg.cost, &mut rt);
+    let exec = match prof {
+        Some(cap) => {
+            rt.machine_mut().attach_host_prof();
+            let exec = run_program_profiled(
+                &prog,
+                &binds,
+                &param_values,
+                cfg.cost,
+                &mut rt,
+                &mut cap.host,
+            );
+            if let Some(mp) = rt.machine_mut().take_host_prof() {
+                cap.machine = mp;
+            }
+            exec
+        }
+        None => run_program(&prog, &binds, &param_values, cfg.cost, &mut rt),
+    };
     let flush = rt.machine_mut().try_finish().err();
     let verified = w.verify(&binds, &rt);
     let checksum = data_checksum(&rt, bytes);
@@ -548,16 +658,50 @@ pub fn run_ir_traced(
     mode: Mode,
     trace_cap: usize,
 ) -> (RunResult, Option<Trace>) {
-    let (result, trace, miss) = run_ir_once(prog, param_values, cfg, mode, trace_cap, None);
+    let (result, trace, _) = run_ir_inner(prog, param_values, cfg, mode, trace_cap, None);
+    (result, trace)
+}
+
+/// [`run_ir_program`] under the host-time profiler (see
+/// [`run_workload_profiled`]).
+pub fn run_ir_profiled(
+    prog: &Program,
+    param_values: &[i64],
+    cfg: &Config,
+    mode: Mode,
+) -> (RunResult, Profile) {
+    let mut cap = ProfCapture::new();
+    let (result, _, _) = run_ir_inner(prog, param_values, cfg, mode, 0, Some(&mut cap));
+    (result, cap.finish())
+}
+
+fn run_ir_inner(
+    prog: &Program,
+    param_values: &[i64],
+    cfg: &Config,
+    mode: Mode,
+    trace_cap: usize,
+    mut prof: Option<&mut ProfCapture>,
+) -> (RunResult, Option<Trace>, Option<Vec<u64>>) {
+    let (result, trace, miss) = run_ir_once(
+        prog,
+        param_values,
+        cfg,
+        mode,
+        trace_cap,
+        None,
+        prof.as_deref_mut(),
+    );
     if cfg.machine.policy == PolicyKind::HistoryReplay {
         if let Some(miss) = miss {
+            if let Some(p) = prof.as_deref_mut() {
+                *p = ProfCapture::new();
+            }
             let replay: Box<dyn PrefetchPolicy> = Box::new(HistoryReplay::replaying(miss));
-            let (result, trace, _) =
-                run_ir_once(prog, param_values, cfg, mode, trace_cap, Some(replay));
-            return (result, trace);
+            return run_ir_once(prog, param_values, cfg, mode, trace_cap, Some(replay), prof);
         }
     }
-    (result, trace)
+    (result, trace, miss)
 }
 
 fn run_ir_once(
@@ -567,6 +711,7 @@ fn run_ir_once(
     mode: Mode,
     trace_cap: usize,
     policy_override: Option<Box<dyn PrefetchPolicy>>,
+    prof: Option<&mut ProfCapture>,
 ) -> (RunResult, Option<Trace>, Option<Vec<u64>>) {
     let cparams = cfg.compiler_params();
     let (run_prog, report): (Program, Option<CompileReport>) = match mode {
@@ -600,7 +745,24 @@ fn run_ir_once(
     if let Some((interval, cap)) = cfg.sampler {
         rt.machine_mut().attach_sampler(interval, cap);
     }
-    let exec = run_program(&run_prog, &binds, param_values, cfg.cost, &mut rt);
+    let exec = match prof {
+        Some(cap) => {
+            rt.machine_mut().attach_host_prof();
+            let exec = run_program_profiled(
+                &run_prog,
+                &binds,
+                param_values,
+                cfg.cost,
+                &mut rt,
+                &mut cap.host,
+            );
+            if let Some(mp) = rt.machine_mut().take_host_prof() {
+                cap.machine = mp;
+            }
+            exec
+        }
+        None => run_program(&run_prog, &binds, param_values, cfg.cost, &mut rt),
+    };
     let flush = rt.machine_mut().try_finish().err();
     let checksum = data_checksum(&rt, bytes);
     let trace = rt.machine_mut().take_trace();

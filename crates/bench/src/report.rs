@@ -279,8 +279,11 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
         }),
         whylate: r.obs.as_ref().map(|o| o.whylate),
         // Wall-clock throughput is a matrix-capture concern: perfgate
-        // stamps it per cell; single-run reports leave it absent.
+        // stamps it per cell; single-run reports leave it absent. The
+        // host-time profile likewise comes from a separate profiled
+        // run, stamped only by `perfgate --capture --profile`.
         sim_throughput: None,
+        profile: None,
     }
 }
 

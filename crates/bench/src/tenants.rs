@@ -361,5 +361,8 @@ pub fn tenant_baseline_run(config: &str, cell: &CoCell) -> BaselineRun {
         policy: None,
         whylate: r.obs.as_ref().map(|o| o.whylate),
         sim_throughput: None,
+        // Tenant cells run a whole hub, not one interpreter; the
+        // single-kernel host-time profiler does not apply to them.
+        profile: None,
     }
 }

@@ -3,6 +3,7 @@
 use crate::expr::{BinOp, CmpOp, Cond, Expr, LinExpr, Sym, UnOp};
 use crate::program::{ArrayRef, ElemType, Index, Loop, Program, Stmt};
 use crate::vm::{CostModel, PagedVm};
+use oocp_obs::prof::{HostProf, NoProf, ProfSink};
 
 /// Placement of one array in the virtual address space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +75,15 @@ impl V {
 }
 
 /// Interpreter state for one run.
-pub struct Executor<'a, M: PagedVm> {
+///
+/// Generic over a host-time [`ProfSink`]: the default [`NoProf`] sink
+/// has `ACTIVE = false` and empty inline methods, so every probe site
+/// below monomorphizes to nothing and a detached run compiles to the
+/// same code as before the profiler existed. Attach a live collector
+/// with [`Executor::with_prof`] (or [`run_program_profiled`]); probes
+/// only read the host clock, never the simulated one, so attachment
+/// cannot change any simulated timestamp or computed result.
+pub struct Executor<'a, M: PagedVm, P: ProfSink = NoProf> {
     prog: &'a Program,
     binds: &'a [ArrayBinding],
     params: &'a [i64],
@@ -85,9 +94,14 @@ pub struct Executor<'a, M: PagedVm> {
     iscalars: Vec<i64>,
     pending_ns: u64,
     stats: ExecStats,
+    prof: P,
+    /// `for#<var>` site labels, formatted once here so the per-entry
+    /// probe in [`Executor::exec_loop`] never allocates. Empty when the
+    /// sink is inactive.
+    loop_labels: Vec<String>,
 }
 
-impl<'a, M: PagedVm> Executor<'a, M> {
+impl<'a, M: PagedVm> Executor<'a, M, NoProf> {
     /// Prepare an execution of `prog`.
     ///
     /// # Panics
@@ -100,6 +114,25 @@ impl<'a, M: PagedVm> Executor<'a, M> {
         params: &'a [i64],
         cost: CostModel,
         vm: &'a mut M,
+    ) -> Self {
+        Self::with_prof(prog, binds, params, cost, vm, NoProf)
+    }
+}
+
+impl<'a, M: PagedVm, P: ProfSink> Executor<'a, M, P> {
+    /// Like [`Executor::new`], but host time is attributed into `prof`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding or parameter counts do not match the
+    /// program, or if the program fails validation.
+    pub fn with_prof(
+        prog: &'a Program,
+        binds: &'a [ArrayBinding],
+        params: &'a [i64],
+        cost: CostModel,
+        vm: &'a mut M,
+        prof: P,
     ) -> Self {
         assert_eq!(
             binds.len(),
@@ -118,6 +151,11 @@ impl<'a, M: PagedVm> Executor<'a, M> {
             prog.name,
             problems.join("; ")
         );
+        let loop_labels = if P::ACTIVE {
+            (0..prog.num_vars).map(|v| format!("for#{v}")).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             prog,
             binds,
@@ -129,14 +167,23 @@ impl<'a, M: PagedVm> Executor<'a, M> {
             iscalars: vec![0; prog.num_iscalars],
             pending_ns: 0,
             stats: ExecStats::default(),
+            prof,
+            loop_labels,
         }
     }
 
     /// Execute the program to completion, returning dynamic counts.
     pub fn run(mut self) -> ExecStats {
+        if P::ACTIVE {
+            let prog = self.prog;
+            self.prof.enter(&prog.name);
+        }
         let body = &self.prog.body;
         self.exec_block(body);
         self.flush();
+        if P::ACTIVE {
+            self.prof.exit();
+        }
         self.stats
     }
 
@@ -178,6 +225,17 @@ impl<'a, M: PagedVm> Executor<'a, M> {
     /// addresses may legally run past the iteration space. Without it,
     /// out-of-bounds subscripts panic (a kernel bug).
     fn ref_addr(&mut self, r: &ArrayRef, clamp: bool) -> u64 {
+        if P::ACTIVE {
+            self.prof.enter("op:addr");
+        }
+        let addr = self.ref_addr_inner(r, clamp);
+        if P::ACTIVE {
+            self.prof.exit();
+        }
+        addr
+    }
+
+    fn ref_addr_inner(&mut self, r: &ArrayRef, clamp: bool) -> u64 {
         let decl = &self.prog.arrays[r.array];
         let rank = decl.dims.len();
         let mut flat: i64 = 0;
@@ -212,15 +270,22 @@ impl<'a, M: PagedVm> Executor<'a, M> {
     }
 
     fn load_ref(&mut self, r: &ArrayRef) -> V {
+        if P::ACTIVE {
+            self.prof.enter("op:load");
+        }
         let elem = self.prog.arrays[r.array].elem;
         let addr = self.ref_addr(r, false);
         self.pending_ns += self.cost.ns_per_access;
         self.flush();
         self.stats.loads += 1;
-        match elem {
+        let v = match elem {
             ElemType::F64 => V::F(self.vm.load_f64(addr)),
             ElemType::I64 => V::I(self.vm.load_i64(addr)),
+        };
+        if P::ACTIVE {
+            self.prof.exit();
         }
+        v
     }
 
     fn eval(&mut self, e: &Expr) -> V {
@@ -337,10 +402,38 @@ impl<'a, M: PagedVm> Executor<'a, M> {
     }
 
     fn exec(&mut self, s: &Stmt) {
+        if P::ACTIVE {
+            // Loops get their own `for#<var>` site in `exec_loop`; every
+            // other statement class is a site whose *self* time is the
+            // expression-evaluation / dispatch work not claimed by an
+            // `op:*` leaf below it.
+            let label = match s {
+                Stmt::For(_) => None,
+                Stmt::Store { .. } => Some("stmt:store"),
+                Stmt::LetF { .. } | Stmt::LetI { .. } => Some("stmt:let"),
+                Stmt::If { .. } => Some("stmt:if"),
+                Stmt::Prefetch { .. } => Some("stmt:prefetch"),
+                Stmt::Release { .. } => Some("stmt:release"),
+                Stmt::PrefetchRelease { .. } => Some("stmt:prefetch_release"),
+            };
+            if let Some(label) = label {
+                self.prof.enter(label);
+                self.exec_inner(s);
+                self.prof.exit();
+                return;
+            }
+        }
+        self.exec_inner(s);
+    }
+
+    fn exec_inner(&mut self, s: &Stmt) {
         match s {
             Stmt::For(l) => self.exec_loop(l),
             Stmt::Store { dst, value } => {
                 let v = self.eval(value);
+                if P::ACTIVE {
+                    self.prof.enter("op:store");
+                }
                 let elem = self.prog.arrays[dst.array].elem;
                 let addr = self.ref_addr(dst, false);
                 self.pending_ns += self.cost.ns_per_access;
@@ -349,6 +442,9 @@ impl<'a, M: PagedVm> Executor<'a, M> {
                 match elem {
                     ElemType::F64 => self.vm.store_f64(addr, v.as_f()),
                     ElemType::I64 => self.vm.store_i64(addr, v.as_i()),
+                }
+                if P::ACTIVE {
+                    self.prof.exit();
                 }
             }
             Stmt::LetF { dst, value } => {
@@ -368,18 +464,30 @@ impl<'a, M: PagedVm> Executor<'a, M> {
             }
             Stmt::Prefetch { target, pages } => {
                 let addr = self.ref_addr(&target.target, true);
+                if P::ACTIVE {
+                    self.prof.enter("op:hint");
+                }
                 self.pending_ns += self.cost.ns_per_hint_issue;
                 self.flush();
                 self.stats.prefetch_stmts += 1;
                 self.stats.prefetch_pages += pages;
                 self.vm.prefetch(addr, *pages);
+                if P::ACTIVE {
+                    self.prof.exit();
+                }
             }
             Stmt::Release { target, pages } => {
                 let addr = self.ref_addr(&target.target, true);
+                if P::ACTIVE {
+                    self.prof.enter("op:hint");
+                }
                 self.pending_ns += self.cost.ns_per_hint_issue;
                 self.flush();
                 self.stats.release_stmts += 1;
                 self.vm.release(addr, *pages);
+                if P::ACTIVE {
+                    self.prof.exit();
+                }
             }
             Stmt::PrefetchRelease {
                 pf,
@@ -389,6 +497,9 @@ impl<'a, M: PagedVm> Executor<'a, M> {
             } => {
                 let pf_addr = self.ref_addr(&pf.target, true);
                 let rel_addr = self.ref_addr(&rel.target, true);
+                if P::ACTIVE {
+                    self.prof.enter("op:hint");
+                }
                 self.pending_ns += self.cost.ns_per_hint_issue;
                 self.flush();
                 self.stats.prefetch_stmts += 1;
@@ -396,11 +507,19 @@ impl<'a, M: PagedVm> Executor<'a, M> {
                 self.stats.prefetch_pages += pf_pages;
                 self.vm
                     .prefetch_release(pf_addr, *pf_pages, rel_addr, *rel_pages);
+                if P::ACTIVE {
+                    self.prof.exit();
+                }
             }
         }
     }
 
     fn exec_loop(&mut self, l: &Loop) {
+        // One site per loop *entry*, not per iteration: a probe pair
+        // inside the iteration latch would dominate what it measures.
+        if P::ACTIVE {
+            self.prof.enter(&self.loop_labels[l.var]);
+        }
         // Bounds are computed once at loop entry, Fortran-style.
         let lo = self.eval_lin(&l.lo);
         let mut hi = self.eval_lin(&l.hi);
@@ -420,6 +539,9 @@ impl<'a, M: PagedVm> Executor<'a, M> {
             self.exec_block(&l.body);
             i += l.step;
         }
+        if P::ACTIVE {
+            self.prof.exit();
+        }
     }
 }
 
@@ -432,6 +554,20 @@ pub fn run_program<M: PagedVm>(
     vm: &mut M,
 ) -> ExecStats {
     Executor::new(prog, binds, params, cost, vm).run()
+}
+
+/// Like [`run_program`], but with host-time attribution into `prof`:
+/// the run lands as a `<prog.name>` subtree of sites (loop nests,
+/// statement classes, opcode classes) under the collector's root.
+pub fn run_program_profiled<M: PagedVm>(
+    prog: &Program,
+    binds: &[ArrayBinding],
+    params: &[i64],
+    cost: CostModel,
+    vm: &mut M,
+    prof: &mut HostProf,
+) -> ExecStats {
+    Executor::with_prof(prog, binds, params, cost, vm, prof).run()
 }
 
 #[cfg(test)]
@@ -698,6 +834,102 @@ mod tests {
         // c[2][3] = 23 at flat index 2*4+3 = 11.
         assert_eq!(vm.peek_f64(binds[c].base + 11 * 8), 23.0);
         assert_eq!(vm.peek_f64(binds[c].base + 4 * 8), 10.0);
+    }
+
+    #[test]
+    fn profiled_run_is_sim_identical_and_attributes_sites() {
+        let p = axpy(100);
+        let (binds, mut vm) = setup(&p);
+        let (binds2, mut vm2) = setup(&p);
+        for i in 0..100u64 {
+            vm.poke_f64(binds[0].base + i * 8, i as f64);
+            vm.poke_f64(binds[1].base + i * 8, 1.0);
+            vm2.poke_f64(binds2[0].base + i * 8, i as f64);
+            vm2.poke_f64(binds2[1].base + i * 8, 1.0);
+        }
+        let bare = run_program(&p, &binds, &[], CostModel::default(), &mut vm);
+        let mut prof = oocp_obs::HostProf::new();
+        let profiled =
+            run_program_profiled(&p, &binds2, &[], CostModel::default(), &mut vm2, &mut prof);
+        // Host-time-only: identical stats, simulated time, and data.
+        assert_eq!(bare, profiled);
+        assert_eq!(vm.user_ns, vm2.user_ns);
+        for i in 0..100u64 {
+            assert_eq!(
+                vm.peek_f64(binds[1].base + i * 8),
+                vm2.peek_f64(binds2[1].base + i * 8)
+            );
+        }
+        // The capture has the expected shape and counts.
+        let capture = prof.finish();
+        let rows = capture.rows();
+        let find = |path: &str| {
+            rows.iter()
+                .find(|r| r.path == path)
+                .unwrap_or_else(|| panic!("no site {path}"))
+        };
+        assert_eq!(find("all;axpy").count, 1);
+        assert_eq!(
+            find("all;axpy;for#0").count,
+            1,
+            "entered once, not per iter"
+        );
+        assert_eq!(find("all;axpy;for#0;stmt:store").count, 100);
+        assert_eq!(find("all;axpy;for#0;stmt:store;op:load").count, 200);
+        assert_eq!(find("all;axpy;for#0;stmt:store;op:store").count, 100);
+        assert_eq!(
+            find("all;axpy;for#0;stmt:store;op:load;op:addr").count,
+            200,
+            "addresses resolve under their loads"
+        );
+        oocp_obs::check_collapsed(&capture.collapsed()).expect("collapsed output validates");
+    }
+
+    #[test]
+    fn profiled_hints_and_indirection_land_in_their_sites() {
+        let mut p = Program::new("hinted");
+        let x = p.array("x", ElemType::F64, vec![10]);
+        let b = p.array("b", ElemType::I64, vec![10]);
+        let i = p.fresh_var();
+        p.body = vec![Stmt::for_(
+            i,
+            lin(0),
+            lin(10),
+            1,
+            vec![
+                Stmt::Prefetch {
+                    target: HintTarget {
+                        target: ArrayRef::affine(x, vec![var(i)]),
+                    },
+                    pages: 1,
+                },
+                Stmt::Store {
+                    dst: ArrayRef {
+                        array: x,
+                        idx: vec![Index::Ind {
+                            array: b,
+                            idx: vec![var(i)],
+                        }],
+                    },
+                    value: Expr::ConstF(1.0),
+                },
+            ],
+        )];
+        let (binds, mut vm) = setup(&p);
+        for j in 0..10u64 {
+            vm.poke_i64(binds[b].base + j * 8, j as i64);
+        }
+        let mut prof = oocp_obs::HostProf::new();
+        run_program_profiled(&p, &binds, &[], CostModel::free(), &mut vm, &mut prof);
+        let capture = prof.finish();
+        let rows = capture.rows();
+        let count = |path: &str| rows.iter().find(|r| r.path == path).map_or(0, |r| r.count);
+        assert_eq!(count("all;hinted;for#0;stmt:prefetch;op:hint"), 10);
+        // The indirect subscript resolves as a nested op:addr.
+        assert_eq!(
+            count("all;hinted;for#0;stmt:store;op:store;op:addr;op:addr"),
+            10
+        );
     }
 
     #[test]

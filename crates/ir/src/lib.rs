@@ -23,7 +23,7 @@ pub mod parse;
 pub mod program;
 pub mod vm;
 
-pub use exec::{run_program, ArrayBinding, ExecStats, Executor};
+pub use exec::{run_program, run_program_profiled, ArrayBinding, ExecStats, Executor};
 pub use expr::{lin, param, var, BinOp, CmpOp, Cond, Expr, LinExpr, Sym, UnOp};
 pub use parse::{parse_program, ParseError};
 pub use program::{ArrayDecl, ArrayRef, ElemType, HintTarget, Index, Loop, Program, Stmt};

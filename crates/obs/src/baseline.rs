@@ -30,6 +30,15 @@ pub const SCHEMA: &str = "oocp-bench-v1";
 /// three absent, so old trajectory entries keep loading.
 pub const SCHEMA_V2: &str = "oocp-bench-v2";
 
+/// Current schema identifier, written by every new capture. v3 adds
+/// the optional per-run `profile` block — a compact host-time profile
+/// summary (total host nanoseconds plus the top self-time sites).
+/// Profile fields are **report-only**: they never appear in
+/// [`metrics`] and can never gate, because host time is wall-clock
+/// noise by construction. Every v2 document is a valid v3 document
+/// with the block absent, so old trajectory entries keep loading.
+pub const SCHEMA_V3: &str = "oocp-bench-v3";
+
 /// Compact summary of a [`LatencyHist`]: the quantiles the trajectory
 /// tracks, without the 64 raw buckets.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -174,6 +183,68 @@ impl PolicySummary {
     }
 }
 
+/// Compact host-time profile of one cell: where the interpreter and
+/// machine spent wall-clock time while executing it. Stamped by
+/// `perfgate --capture --profile` from a second, profiled run of the
+/// cell (the timed run stays detached so `sim_throughput` is not
+/// polluted by probe overhead).
+///
+/// Report-only by design: none of these numbers appear in [`metrics`],
+/// so they can drift freely between machines without tripping the
+/// gate. They exist to make "where does host time go" diffable across
+/// trajectory entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSummary {
+    /// Total host nanoseconds attributed by the profiler root.
+    pub total_host_ns: u64,
+    /// Top self-time sites as (`;`-joined site path, self ns), in
+    /// descending self-time order.
+    pub sites: Vec<(String, u64)>,
+}
+
+impl ProfileSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_host_ns", Json::U64(self.total_host_ns)),
+            (
+                "sites",
+                Json::Arr(
+                    self.sites
+                        .iter()
+                        .map(|(path, ns)| {
+                            Json::obj([
+                                ("path", Json::Str(path.clone())),
+                                ("self_ns", Json::U64(*ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn parse(v: &Json, ctx: &str) -> Result<Self, String> {
+        let sites_v = v
+            .get("sites")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: profile block missing sites array"))?;
+        let mut sites = Vec::with_capacity(sites_v.len());
+        for s in sites_v {
+            let path = s
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{ctx}: profile site missing path"))?
+                .to_string();
+            let ns = req_u64(s, "self_ns", ctx)?;
+            sites.push((path, ns));
+        }
+        Ok(Self {
+            total_host_ns: req_u64(v, "total_host_ns", ctx)?,
+            sites,
+        })
+    }
+}
+
 /// One benchmark execution in the trajectory: a (kernel, config) cell
 /// of the capture matrix with every gated metric.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -237,6 +308,10 @@ pub struct BaselineRun {
     /// gated only under a wide `simthroughput.*` allowance band.
     /// `None` for pre-v2 baselines.
     pub sim_throughput: Option<u64>,
+    /// v3 addition: compact host-time profile summary. Report-only —
+    /// deliberately excluded from [`metrics`] and therefore never
+    /// gated. `None` for pre-v3 baselines and unprofiled captures.
+    pub profile: Option<ProfileSummary>,
 }
 
 /// How a metric's drift reads in a report.
@@ -502,13 +577,16 @@ fn run_json(r: &BaselineRun) -> Json {
     if let Some(st) = r.sim_throughput {
         fields.push(("sim_throughput", Json::U64(st)));
     }
+    if let Some(p) = &r.profile {
+        fields.push(("profile", p.to_json()));
+    }
     Json::obj(fields)
 }
 
-/// Serialize a baseline as an `oocp-bench-v2` document.
+/// Serialize a baseline as an `oocp-bench-v3` document.
 pub fn baseline_json(b: &Baseline) -> Json {
     let mut fields = vec![
-        ("schema", Json::Str(SCHEMA_V2.to_string())),
+        ("schema", Json::Str(SCHEMA_V3.to_string())),
         ("index", Json::U64(b.index)),
         ("seed", Json::U64(b.seed)),
         ("runs", Json::Arr(b.runs.iter().map(run_json).collect())),
@@ -619,6 +697,12 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
                 .ok_or_else(|| format!("{ctx}: sim_throughput is not an integer"))?,
         ),
     };
+    // v3 addition: unprofiled captures carry no `profile` block; when
+    // present it must be complete, like the other optional blocks.
+    let profile = match v.get("profile") {
+        None => None,
+        Some(pv) => Some(ProfileSummary::parse(pv, &ctx)?),
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -642,6 +726,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         policy,
         whylate,
         sim_throughput,
+        profile,
         kernel,
         config,
     };
@@ -660,7 +745,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
     Ok(run)
 }
 
-/// Parse and validate an `oocp-bench-v1` document.
+/// Parse and validate an `oocp-bench-v1`/`-v2`/`-v3` document.
 ///
 /// Beyond shape checking this enforces the cross-layer invariants on
 /// every entry (attribution covers elapsed exactly) and rejects
@@ -668,8 +753,12 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
 /// function from matrix cell to measurement.
 pub fn parse_baseline(doc: &Json) -> Result<Baseline, String> {
     match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == SCHEMA || s == SCHEMA_V2 => {}
-        Some(s) => return Err(format!("schema is {s}, expected {SCHEMA} or {SCHEMA_V2}")),
+        Some(s) if s == SCHEMA || s == SCHEMA_V2 || s == SCHEMA_V3 => {}
+        Some(s) => {
+            return Err(format!(
+                "schema is {s}, expected {SCHEMA}, {SCHEMA_V2} or {SCHEMA_V3}"
+            ))
+        }
         None => return Err("missing schema field".into()),
     }
     let runs_v = doc
@@ -960,6 +1049,7 @@ mod tests {
             policy: None,
             whylate: None,
             sim_throughput: None,
+            profile: None,
         }
     }
 
@@ -1121,6 +1211,52 @@ mod tests {
         assert!(parse_baseline(&doc)
             .unwrap_err()
             .contains("late_queue_wait"));
+    }
+
+    #[test]
+    fn v2_documents_still_parse_and_v3_profile_roundtrips() {
+        // A committed BENCH_<n>.json from before the profiler PR
+        // carries the v2 schema tag and no profile block anywhere — it
+        // must keep loading, with `profile` None everywhere.
+        let b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str(SCHEMA_V2.into());
+        }
+        let back = parse_baseline(&doc).unwrap();
+        assert_eq!(back, b);
+        assert!(back.runs[0].profile.is_none());
+
+        // v3 captures round-trip the profile block exactly, and the
+        // block is report-only: the gated metric list must be
+        // bit-identical with and without it.
+        let mut b3 = sample_baseline();
+        b3.runs[0].profile = Some(ProfileSummary {
+            total_host_ns: 5_000_000,
+            sites: vec![
+                ("all;EMBAR;for#0;stmt:store;op:load".into(), 3_000_000),
+                ("all;machine;residency".into(), 1_200_000),
+            ],
+        });
+        let back = parse_baseline(&baseline_json(&b3)).unwrap();
+        assert_eq!(back, b3);
+        assert_eq!(
+            metrics(&back.runs[0]),
+            metrics(&b.runs[0]),
+            "profile fields must never appear in the gated metrics"
+        );
+        // A present-yet-partial profile block is corruption.
+        let mut doc = baseline_json(&b3);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, Json::Obj(p))) = run.iter_mut().find(|(k, _)| k == "profile") {
+                        p.retain(|(k, _)| k != "total_host_ns");
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc).unwrap_err().contains("total_host_ns"));
     }
 
     #[test]

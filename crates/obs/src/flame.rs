@@ -1,0 +1,198 @@
+//! Self-contained SVG flamegraph rendering for host-time [`Profile`]s.
+//!
+//! One function, no dependencies, no scripts: [`flamegraph_svg`] lays
+//! the site tree out as an icicle graph (root on top, one row per
+//! depth, box width proportional to inclusive host time) and returns a
+//! single SVG document with `<title>` hover tooltips. The `dash` bin
+//! exposes it as `--flame capture.prof`.
+
+use crate::prof::{ProfNode, Profile};
+
+const WIDTH: f64 = 1200.0;
+const ROW_H: f64 = 18.0;
+const PAD: f64 = 4.0;
+/// Boxes narrower than this many pixels are dropped — they would be
+/// invisible anyway and keep the document small on deep captures.
+const MIN_W: f64 = 0.4;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic warm color per site name (FNV-1a over the bytes).
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 110) as u8;
+    let b = 20 + ((h >> 16) % 40) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn depth(n: &ProfNode) -> usize {
+    1 + n.children.iter().map(depth).max().unwrap_or(0)
+}
+
+struct Render {
+    boxes: Vec<String>,
+    total: f64,
+}
+
+impl Render {
+    fn node(&mut self, n: &ProfNode, x: f64, row: usize, path: &str) {
+        let w = if self.total > 0.0 {
+            n.total_ns as f64 / self.total * (WIDTH - 2.0 * PAD)
+        } else {
+            0.0
+        };
+        if w < MIN_W {
+            return;
+        }
+        let path = if path.is_empty() {
+            n.name.clone()
+        } else {
+            format!("{path};{}", n.name)
+        };
+        let y = PAD + row as f64 * (ROW_H + 1.0);
+        let pct = if self.total > 0.0 {
+            n.total_ns as f64 / self.total * 100.0
+        } else {
+            0.0
+        };
+        let label = if w > 40.0 {
+            let mut name = n.name.clone();
+            // ~7px per character in a 12px monospace font.
+            let max = ((w - 6.0) / 7.0) as usize;
+            if name.len() > max {
+                name.truncate(max.saturating_sub(1));
+                name.push('…');
+            }
+            format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" font-family=\"monospace\" fill=\"#000\">{}</text>",
+                x + 3.0,
+                y + ROW_H - 5.0,
+                esc(&name)
+            )
+        } else {
+            String::new()
+        };
+        self.boxes.push(format!(
+            "<g><title>{} — {} ns total ({:.1}%), {} ns self, {} calls</title>\
+             <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{ROW_H}\" \
+             fill=\"{}\" rx=\"2\"/>{}</g>",
+            esc(&path),
+            n.total_ns,
+            pct,
+            n.self_ns(),
+            n.count,
+            x,
+            y,
+            w,
+            color(&n.name),
+            label
+        ));
+        let mut cx = x;
+        for c in &n.children {
+            self.node(c, cx, row + 1, &path);
+            if self.total > 0.0 {
+                cx += c.total_ns as f64 / self.total * (WIDTH - 2.0 * PAD);
+            }
+        }
+    }
+}
+
+/// Render a capture as a single self-contained SVG document.
+pub fn flamegraph_svg(p: &Profile) -> String {
+    let rows = depth(&p.root);
+    let height = 2.0 * PAD + rows as f64 * (ROW_H + 1.0) + 16.0;
+    let mut r = Render {
+        boxes: Vec::new(),
+        total: p.total_ns() as f64,
+    };
+    r.node(&p.root, PAD, 0, "");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH} {height:.0}\">\n\
+         <rect x=\"0\" y=\"0\" width=\"{WIDTH}\" height=\"{height:.0}\" fill=\"#fdf6ec\"/>\n"
+    ));
+    for b in &r.boxes {
+        out.push_str(b);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "<text x=\"{PAD}\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\" \
+         fill=\"#555\">host-time flamegraph — {} ns total, width ∝ inclusive time</text>\n</svg>\n",
+        height - 5.0,
+        p.total_ns()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prof::HostProf;
+    use crate::prof::ProfSink;
+
+    fn capture() -> Profile {
+        let mut p = HostProf::new();
+        {
+            let mut s = &mut p;
+            s.enter("kern");
+            s.enter("for#i");
+            s.enter("op:load");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            s.exit();
+            s.exit();
+            s.exit();
+        }
+        p.finish()
+    }
+
+    #[test]
+    fn renders_self_contained_svg() {
+        let p = capture();
+        let svg = flamegraph_svg(&p);
+        assert!(svg.starts_with("<svg xmlns="));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("op:load"));
+        assert!(svg.contains("<title>all;kern;for#i;op:load"));
+        assert!(!svg.contains("<script"), "self-contained, no scripts");
+    }
+
+    #[test]
+    fn empty_profile_still_renders() {
+        let p = HostProf::new().finish();
+        let svg = flamegraph_svg(&p);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("0 ns total"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut p = HostProf::new();
+        {
+            let mut s = &mut p;
+            s.enter("a<b>&\"c");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            s.exit();
+        }
+        let svg = flamegraph_svg(&p.finish());
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c"));
+        assert!(!svg.contains("a<b>"));
+    }
+}

@@ -30,6 +30,12 @@
 //! * [`whylate`] — causal attribution: every late, dropped, or wasted
 //!   prefetch gets exactly one dominant cause, partition-checked
 //!   against the ledger.
+//! * [`prof`] — the *host-time* layer: scoped, monomorphized probes
+//!   attribute wall-clock nanoseconds to a site tree (kernel → loop →
+//!   statement → opcode class, plus machine-side buckets), with
+//!   collapsed-stack export, merge, and differential alignment.
+//! * [`flame`] — renders a [`prof::Profile`] as a self-contained SVG
+//!   flamegraph.
 //!
 //! Everything here is passive bookkeeping: recording never advances the
 //! simulated clock, so enabling observability cannot change a single
@@ -38,21 +44,27 @@
 
 pub mod attr;
 pub mod baseline;
+pub mod flame;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod prof;
 pub mod registry;
 pub mod tracediff;
 pub mod whylate;
 
 pub use attr::TimeAttribution;
-pub use baseline::{Allowance, Baseline, BaselineRun, CompareReport, HistSummary};
+pub use baseline::{Allowance, Baseline, BaselineRun, CompareReport, HistSummary, ProfileSummary};
+pub use flame::flamegraph_svg;
 pub use hist::LatencyHist;
 pub use json::Json;
 pub use ledger::{LateCause, LedgerCounts, PrefetchLedger};
+pub use prof::{
+    check_collapsed, HostProf, MachineBucket, MachineProf, NoProf, ProfSink, Profile, PROF_SCHEMA,
+};
 pub use registry::{
-    check_jsonl, check_prometheus_text, jsonl_series, prometheus_text, MetricsRegistry, SeriesDef,
-    SeriesKind, TimeSeriesRing, METRICS_SCHEMA,
+    check_jsonl, check_prometheus_text, jsonl_series, prometheus_text, JsonlError, MetricsRegistry,
+    SeriesDef, SeriesKind, TimeSeriesRing, METRICS_SCHEMA,
 };
 pub use tracediff::{Divergence, SpanRecord};
 pub use whylate::{WhylateSummary, WHYLATE_CAUSES, WHYLATE_NAMES};

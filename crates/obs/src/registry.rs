@@ -394,58 +394,126 @@ pub fn check_prometheus_text(text: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Why a JSONL time-series dump failed [`check_jsonl`]. Row-level
+/// variants carry the 1-based line number of the **first** offending
+/// row so a corrupted capture can be located without re-parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonlError {
+    /// The dump has no header line at all.
+    Empty,
+    /// The header line is broken: bad JSON, a missing field, or an
+    /// unknown schema tag. The payload says which.
+    Header(String),
+    /// A row is malformed: bad JSON, missing `t`/`v`, a value vector
+    /// of the wrong width, or a non-integer value.
+    Malformed { line: usize, reason: String },
+    /// A row's timestamp is not a multiple of the header's
+    /// `interval_ns` — the sampler only stamps on the interval grid.
+    OffGrid {
+        line: usize,
+        t: u64,
+        interval_ns: u64,
+    },
+    /// A row's timestamp does not follow its predecessor by exactly
+    /// one `interval_ns` — retained rows must be contiguous (the ring
+    /// evicts only from the front, never from the middle).
+    Gap { line: usize, t: u64, expected: u64 },
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonlError::Empty => write!(f, "empty JSONL dump"),
+            JsonlError::Header(e) => write!(f, "header: {e}"),
+            JsonlError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            JsonlError::OffGrid {
+                line,
+                t,
+                interval_ns,
+            } => write!(
+                f,
+                "line {line}: timestamp {t} is not a multiple of interval_ns {interval_ns}"
+            ),
+            JsonlError::Gap { line, t, expected } => write!(
+                f,
+                "line {line}: timestamp {t} breaks contiguity (expected {expected})"
+            ),
+        }
+    }
+}
+
 /// Validate a JSONL time-series dump produced by [`jsonl_series`]:
-/// correct schema tag, and every row's value vector as wide as the
-/// header's series list with monotonically increasing timestamps.
-/// Returns the number of rows.
-pub fn check_jsonl(text: &str) -> Result<usize, String> {
+/// correct schema tag, every row's value vector as wide as the
+/// header's series list, and timestamps that sit on **contiguous**
+/// multiples of the header's `interval_ns` — the sampler stamps a row
+/// at every interval boundary it crosses and the ring evicts only its
+/// oldest rows, so the first retained row may be any grid point but
+/// each successive row must be exactly one interval later (which also
+/// makes them strictly increasing). Returns the number of rows; the
+/// error names the first bad row.
+pub fn check_jsonl(text: &str) -> Result<usize, JsonlError> {
     let mut lines = text.lines();
-    let header =
-        json::parse(lines.next().ok_or("empty JSONL dump")?).map_err(|e| format!("header: {e}"))?;
+    let header = json::parse(lines.next().ok_or(JsonlError::Empty)?)
+        .map_err(|e| JsonlError::Header(e.to_string()))?;
     let schema = header
         .get("schema")
         .and_then(Json::as_str)
-        .ok_or("header missing schema")?;
+        .ok_or_else(|| JsonlError::Header("missing schema".into()))?;
     if schema != METRICS_SCHEMA {
-        return Err(format!("unknown metrics schema '{schema}'"));
+        return Err(JsonlError::Header(format!(
+            "unknown metrics schema '{schema}'"
+        )));
     }
-    header
+    let interval_ns = header
         .get("interval_ns")
         .and_then(Json::as_u64)
         .filter(|&i| i > 0)
-        .ok_or("header missing positive interval_ns")?;
+        .ok_or_else(|| JsonlError::Header("missing positive interval_ns".into()))?;
     let width = header
         .get("series")
         .and_then(Json::as_arr)
-        .ok_or("header missing series list")?
+        .ok_or_else(|| JsonlError::Header("missing series list".into()))?
         .len();
     let mut rows = 0usize;
     let mut last_t: Option<u64> = None;
     for (i, line) in lines.enumerate() {
         let n = i + 2;
-        let row = json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let malformed = |reason: String| JsonlError::Malformed { line: n, reason };
+        let row = json::parse(line).map_err(|e| malformed(e.to_string()))?;
         let t = row
             .get("t")
             .and_then(Json::as_u64)
-            .ok_or(format!("line {n}: row missing t"))?;
+            .ok_or_else(|| malformed("row missing t".into()))?;
+        if !t.is_multiple_of(interval_ns) {
+            return Err(JsonlError::OffGrid {
+                line: n,
+                t,
+                interval_ns,
+            });
+        }
         if let Some(prev) = last_t {
-            if t <= prev {
-                return Err(format!("line {n}: non-increasing timestamp {t} <= {prev}"));
+            let expected = prev + interval_ns;
+            if t != expected {
+                return Err(JsonlError::Gap {
+                    line: n,
+                    t,
+                    expected,
+                });
             }
         }
         last_t = Some(t);
         let v = row
             .get("v")
             .and_then(Json::as_arr)
-            .ok_or(format!("line {n}: row missing v"))?;
+            .ok_or_else(|| malformed("row missing v".into()))?;
         if v.len() != width {
-            return Err(format!(
-                "line {n}: row width {} != series width {width}",
+            return Err(malformed(format!(
+                "row width {} != series width {width}",
                 v.len()
-            ));
+            )));
         }
         if v.iter().any(|x| x.as_u64().is_none()) {
-            return Err(format!("line {n}: non-integer value in row"));
+            return Err(malformed("non-integer value in row".into()));
         }
         rows += 1;
     }
@@ -559,6 +627,49 @@ mod tests {
             "{\"t\":20,\"v\":[1]}",
             "{\"t\":10,\"v\":[1]}",
         );
-        assert!(check_jsonl(&bad_order).is_err());
+        assert_eq!(
+            check_jsonl(&bad_order),
+            Err(JsonlError::Gap {
+                line: 3,
+                t: 10,
+                expected: 30
+            })
+        );
+    }
+
+    #[test]
+    fn jsonl_checker_names_first_off_grid_and_gapped_row() {
+        let header = Json::obj([
+            ("schema", Json::Str(METRICS_SCHEMA.into())),
+            ("interval_ns", Json::U64(100)),
+            ("dropped_rows", Json::U64(0)),
+            ("series", Json::Arr(vec![Json::Str("a".into())])),
+        ]);
+        // A first retained row at any grid point is fine (the ring may
+        // have evicted everything before it)...
+        let ok = format!("{header}\n{{\"t\":700,\"v\":[1]}}\n{{\"t\":800,\"v\":[2]}}\n");
+        assert_eq!(check_jsonl(&ok).unwrap(), 2);
+        // ...but a timestamp off the interval grid is named exactly...
+        let off = format!("{header}\n{{\"t\":700,\"v\":[1]}}\n{{\"t\":850,\"v\":[2]}}\n");
+        assert_eq!(
+            check_jsonl(&off),
+            Err(JsonlError::OffGrid {
+                line: 3,
+                t: 850,
+                interval_ns: 100
+            })
+        );
+        // ...and so is a skipped interval, even though both rows sit
+        // on the grid and increase monotonically.
+        let gap = format!("{header}\n{{\"t\":700,\"v\":[1]}}\n{{\"t\":900,\"v\":[2]}}\n");
+        assert_eq!(
+            check_jsonl(&gap),
+            Err(JsonlError::Gap {
+                line: 3,
+                t: 900,
+                expected: 800
+            })
+        );
+        assert!(check_jsonl("").unwrap_err().to_string().contains("empty"));
     }
 }

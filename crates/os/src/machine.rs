@@ -5,7 +5,9 @@ use std::collections::VecDeque;
 
 use oocp_disk::{Completion, DiskArray, FaultPlan, IoError, ReqKind, Request, Ticket};
 use oocp_fs::{FileId, FileSystem, WriteJournal};
-use oocp_obs::{LateCause, MetricsRegistry, TimeAttribution, TimeSeriesRing};
+use oocp_obs::{
+    LateCause, MachineBucket, MachineProf, MetricsRegistry, TimeAttribution, TimeSeriesRing,
+};
 use oocp_policy::{PolicyActions, PrefetchPolicy, TouchKind};
 use oocp_sim::rng::SimRng;
 use oocp_sim::stats::TimeWeighted;
@@ -319,6 +321,13 @@ pub struct Machine {
     /// advance, so default runs stay bit-identical (the sampler itself
     /// is pull-only and never advances the clock).
     sampler: Option<SamplerState>,
+    /// Host-time profiler buckets for the machine's charge paths
+    /// (residency / ledger / journal / sampler). `None` by default,
+    /// following the trace/sampler precedent: detached runs pay one
+    /// `is_some` branch per probed boundary and read no clocks. Plain
+    /// data — no `Instant` stored — so the machine stays `Send` for
+    /// the multi-tenant hub.
+    host_prof: Option<MachineProf>,
 }
 
 /// The attached sampler: a metrics registry whose scalar vector is
@@ -416,6 +425,7 @@ impl Machine {
             policy_paused: false,
             degrade_epoch: 0,
             sampler: None,
+            host_prof: None,
         })
     }
 
@@ -681,6 +691,7 @@ impl Machine {
     }
 
     fn do_sample(&mut self) {
+        let t0 = self.prof_start();
         let Some(mut s) = self.sampler.take() else {
             return;
         };
@@ -692,6 +703,38 @@ impl Machine {
             s.next_due = due + s.ring.interval();
         }
         self.sampler = Some(s);
+        self.prof_end(t0, MachineBucket::Sampler);
+    }
+
+    /// Attach the host-time profiler: from now on the machine's charge
+    /// paths accrue wall-clock nanoseconds into four flat buckets
+    /// (residency / ledger / journal / sampler). Probes read only the
+    /// host clock, so simulated time, stats, and data stay
+    /// bit-identical to a detached run.
+    pub fn attach_host_prof(&mut self) {
+        self.host_prof = Some(MachineProf::default());
+    }
+
+    /// Detach the host-time profiler and return its buckets, if one
+    /// was attached.
+    pub fn take_host_prof(&mut self) -> Option<MachineProf> {
+        self.host_prof.take()
+    }
+
+    #[inline]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        if self.host_prof.is_some() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn prof_end(&mut self, t0: Option<std::time::Instant>, bucket: MachineBucket) {
+        if let (Some(t0), Some(p)) = (t0, &mut self.host_prof) {
+            p.record(bucket, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Figure-5 time attribution of every nanosecond elapsed so far.
@@ -1469,6 +1512,12 @@ impl Machine {
     /// 2. the in-place data write to the home block   (apply),
     /// 3. the descriptor rewritten with its commit mark (commit).
     fn writeback_journaled(&mut self, vpage: u64, disk: usize, block: u64, payload: Vec<u8>) {
+        let t0 = self.prof_start();
+        self.writeback_journaled_inner(vpage, disk, block, payload);
+        self.prof_end(t0, MachineBucket::Journal);
+    }
+
+    fn writeback_journaled_inner(&mut self, vpage: u64, disk: usize, block: u64, payload: Vec<u8>) {
         let slot = loop {
             let j = self.journal.as_mut().expect("journaled writeback");
             match j.reserve(disk) {
@@ -1708,6 +1757,13 @@ impl Machine {
     /// touched; the failing page is left unmapped, so the access can be
     /// retried later.
     pub fn try_touch(&mut self, addr: u64, len: u64, write: bool) -> Result<u64, OsError> {
+        let t0 = self.prof_start();
+        let r = self.try_touch_inner(addr, len, write);
+        self.prof_end(t0, MachineBucket::Residency);
+        r
+    }
+
+    fn try_touch_inner(&mut self, addr: u64, len: u64, write: bool) -> Result<u64, OsError> {
         debug_assert!(!self.finished, "touch after finish()");
         if self.durable.is_some() {
             self.ensure_durable_snapshot();
@@ -1750,6 +1806,13 @@ impl Machine {
     /// not of one tenant) — rare by construction, since demand reads
     /// bypass the per-tenant queue shares.
     pub fn touch_nb(&mut self, addr: u64, len: u64, write: bool) -> Result<Touch, OsError> {
+        let t0 = self.prof_start();
+        let r = self.touch_nb_inner(addr, len, write);
+        self.prof_end(t0, MachineBucket::Residency);
+        r
+    }
+
+    fn touch_nb_inner(&mut self, addr: u64, len: u64, write: bool) -> Result<Touch, OsError> {
         debug_assert!(!self.finished, "touch after finish()");
         if self.durable.is_some() {
             self.ensure_durable_snapshot();
@@ -1830,6 +1893,7 @@ impl Machine {
                 }
                 let completion = self.disks.wait_for_detail(ticket);
                 let arrival = completion.at;
+                let lt0 = self.prof_start();
                 let cause = self.classify_late(vpage, self.now, completion);
                 let waited = arrival.saturating_sub(self.now);
                 self.stats.fault_wait.push(waited as f64);
@@ -1838,6 +1902,7 @@ impl Machine {
                     mx.fault_wait.record(waited);
                     mx.ledger.consumed_late_caused(vpage, arrival, cause);
                 }
+                self.prof_end(lt0, MachineBucket::Ledger);
                 if page.span != 0 {
                     self.trace_event(TraceEvent::PrefetchConsume {
                         page: vpage,
@@ -1966,9 +2031,11 @@ impl Machine {
                 if !page.touched {
                     if page.prefetch_tag {
                         self.stats.prefetched_hits += 1;
+                        let lt0 = self.prof_start();
                         if let Some(mx) = &mut self.metrics {
                             mx.ledger.consumed(vpage, self.now);
                         }
+                        self.prof_end(lt0, MachineBucket::Ledger);
                         if page.span != 0 {
                             self.trace_event(TraceEvent::PrefetchConsume {
                                 page: vpage,

@@ -22,7 +22,7 @@ pub enum FaultKind {
 ///
 /// All figures and tables of the paper's evaluation are computed from
 /// these (plus the per-disk counters in the disk crate).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OsStats {
     /// Distribution of hard-fault disk waits (mean/min/max), the
     /// latency the whole scheme exists to hide.

@@ -21,7 +21,7 @@
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.max(), Some(3.0));
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RunningStat {
     count: u64,
     mean: f64,

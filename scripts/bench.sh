@@ -8,9 +8,14 @@
 # file with the schema validator. From BENCH_5 the file carries the
 # oocp-bench-v2 schema: per-run whylate cause vectors, a matrix-level
 # whylate roll-up, and sim_throughput (simulated ns per host second,
-# gated only under the wide simthroughput.* band). Commit the new file
-# together with the change that motivated it; `scripts/ci.sh` compares
-# every build against the newest baseline.
+# gated only under the wide simthroughput.* band). From BENCH_6 the
+# schema is oocp-bench-v3: `--profile` stamps each single-kernel cell
+# with a host-time profile summary (total host ns + top self-time
+# sites) from a second, profiled run — report-only context for the
+# bytecode-compilation push, never gated and never polluting the
+# detached sim_throughput measurement. Commit the new file together
+# with the change that motivated it; `scripts/ci.sh` compares every
+# build against the newest baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +31,7 @@ out="BENCH_${n}.json"
 
 echo "== perfgate --capture (index ${n} -> ${out})"
 cargo run --release -q -p oocp-bench --bin perfgate -- \
-    --capture --out "$out" --index "$n" "$@"
+    --capture --out "$out" --index "$n" --profile "$@"
 
 echo "== perfgate --validate ${out}"
 cargo run --release -q -p oocp-bench --bin perfgate -- --validate "$out"

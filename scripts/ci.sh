@@ -87,6 +87,38 @@ cargo run --release -q -p oocp-bench --bin obsreport -- --check-report "$OBS_JSO
 cargo run --release -q -p oocp-bench --bin dash -- "$MET_PREFIX.jsonl" \
     --report "$OBS_JSON" > /dev/null
 
+echo "== profile smoke (host-time capture -> validator -> flamegraph)"
+# Run one sample kernel under the host-time profiler; the collapsed
+# dump must pass the structural validator from the outside and the
+# dash flamegraph renderer must accept the site tree. The profiled
+# run's sim state stays bit-identical to a detached run — that line is
+# held by tests/proptest_prof.rs, already run by `cargo test` above.
+PROF_PREFIX="/tmp/oocp-prof.$$"
+cargo run --release -q -p oocp-bench --bin profile -- kernels/stencil.ook \
+    --mem-mb 4 --out "$PROF_PREFIX" > /dev/null
+test -s "$PROF_PREFIX.prof" || { echo "profile wrote an empty site tree"; exit 1; }
+cargo run --release -q -p oocp-bench --bin obsreport -- \
+    --check-collapsed "$PROF_PREFIX.collapsed"
+cargo run --release -q -p oocp-bench --bin dash -- \
+    --flame "$PROF_PREFIX.prof" > /dev/null
+
+echo "== profile negative gate (a corrupted collapsed stack must be rejected)"
+# Break the first line's sample count; the validator must refuse the
+# file and say why — otherwise the smoke gate above proves nothing.
+BAD_COLL="/tmp/oocp-badcoll.$$"
+sed '1s/ [0-9][0-9]*$/ not-a-number/' "$PROF_PREFIX.collapsed" > "$BAD_COLL"
+if cargo run --release -q -p oocp-bench --bin obsreport -- \
+    --check-collapsed "$BAD_COLL" > /tmp/oocp-cc.$$ 2>&1; then
+    cat /tmp/oocp-cc.$$
+    rm -f /tmp/oocp-cc.$$ "$BAD_COLL" "$PROF_PREFIX.prof" "$PROF_PREFIX.collapsed"
+    echo "obsreport --check-collapsed accepted a corrupted stack line"
+    exit 1
+fi
+grep -q "not an unsigned integer" /tmp/oocp-cc.$$ || {
+    cat /tmp/oocp-cc.$$; rm -f /tmp/oocp-cc.$$ "$BAD_COLL"
+    echo "obsreport --check-collapsed failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-cc.$$ "$BAD_COLL" "$PROF_PREFIX.prof" "$PROF_PREFIX.collapsed"
+
 echo "== whylate negative gate (a mis-attributed cause table must be caught)"
 # Corrupt one whylate cause count in the emitted report; the partition
 # check inside --check-report must fail — otherwise the causal
