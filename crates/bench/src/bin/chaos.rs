@@ -27,6 +27,17 @@
 //! pages (exit non-zero), proving the oracle has teeth. CI runs both
 //! directions.
 //!
+//! With `--disk-death` the binary sweeps permanent *whole-disk death*
+//! (death time x kernel x prefetch policy) under `--redundancy parity`
+//! (the default in this mode): every run must serve the lost disk's
+//! pages by survivor reconstruction, rebuild onto the hot spare, and
+//! finish bit-identical to the fault-free reference. Passing
+//! `--redundancy none` inverts it into the negative gate: the first
+//! read of the dead disk must abort the run with the typed
+//! "no redundancy: data lost" error. `--corrupt-parity` adds the
+//! latent-corruption gate: parity flipped via the debug hook before a
+//! death must be detected by the rebuild's verify sweep.
+//!
 //! Run: `cargo run --release -p oocp-bench --bin chaos`
 
 use oocp_bench::{
@@ -34,7 +45,7 @@ use oocp_bench::{
     RunResult,
 };
 use oocp_nas::{build, App};
-use oocp_os::{CrashPoint, CrashSpec, FaultPlan};
+use oocp_os::{CrashPoint, CrashSpec, DiskDeath, FaultPlan, PolicyKind, Redundancy};
 use oocp_sim::time::MILLISECOND;
 
 /// Fault seed, independent of the workload seed so `--seed` sweeps the
@@ -176,12 +187,165 @@ fn crash_sweep(cfg: &Config, ratio: f64, smoke: bool, journal: bool) -> u64 {
     lost
 }
 
+/// The `--disk-death` sweep: permanent whole-disk death at several
+/// points of each kernel's run, across prefetch policies, under parity
+/// redundancy. Every cell must serve the dead disk's pages by survivor
+/// reconstruction, rebuild onto the hot spare, and finish bit-identical
+/// to its fault-free reference.
+fn disk_death_sweep(cfg: &Config, ratio: f64, smoke: bool) {
+    let apps = if smoke {
+        vec![App::Embar]
+    } else {
+        vec![App::Embar, App::Buk, App::Cgm, App::Fft, App::Mgrid]
+    };
+    let policies = if smoke {
+        vec![PolicyKind::CompilerOnly]
+    } else {
+        vec![PolicyKind::CompilerOnly, PolicyKind::Readahead]
+    };
+    let mut degraded = 0u64;
+    let mut rerouted = 0u64;
+    let mut hedged = 0u64;
+    let mut completed_rebuilds = 0u32;
+    let mut mismatches = 0u32;
+    for &app in &apps {
+        // Mode x policy: the demand-paged original (every read a fault,
+        // so dead-disk pages reconstruct on demand) and the prefetching
+        // build under each policy (dead-disk hints reroute instead).
+        let mut cells = vec![(Mode::Original, PolicyKind::CompilerOnly)];
+        cells.extend(policies.iter().map(|&p| (Mode::Prefetch, p)));
+        for (mode, policy) in cells {
+            let mut cell = *cfg;
+            cell.machine = cell.machine.with_prefetch_policy(policy);
+            let w = build(app, cell.bytes_for_ratio(ratio));
+            let base = run_workload(&w, &cell, mode);
+            base.verified
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{app:?} fault-free parity run failed to verify: {e}"));
+            // Kill a different disk early and late in the run.
+            for (num, den, disk) in [(1u64, 4u64, 1usize), (3, 5, 2)] {
+                let at = (base.total() * num / den).max(1);
+                let plan = FaultPlan::none(FAULT_SEED).with_disk_death(DiskDeath { disk, at });
+                let r = run_workload_faulted(&w, &cell, mode, &plan);
+                r.verified.as_ref().unwrap_or_else(|e| {
+                    panic!("{app:?}/{} death run failed to verify: {e}", policy.name())
+                });
+                if r.checksum != base.checksum {
+                    mismatches += 1;
+                }
+                degraded += r.os.degraded_reads;
+                rerouted += r.os.hints_rerouted_degraded;
+                hedged += r.os.hedged_reads;
+                if r.os.rebuild_ns > 0 {
+                    completed_rebuilds += 1;
+                }
+                println!(
+                    "{:<8} {:<12} disk {disk} dies {:>7}s | time {:>8}s (x{:.2}) | \
+                     degraded {:>5} | rerouted {:>4} | hedged {:>4}/{:<4} | \
+                     rebuilt {:>4} rows in {:>7}s | {}",
+                    format!("{app:?}"),
+                    format!("{}/{}", mode.label(), policy.name()),
+                    secs(at),
+                    secs(r.total()),
+                    r.total() as f64 / base.total().max(1) as f64,
+                    r.os.degraded_reads,
+                    r.os.hints_rerouted_degraded,
+                    r.os.hedged_wins,
+                    r.os.hedged_reads,
+                    r.os.rebuild_rows,
+                    secs(r.os.rebuild_ns),
+                    if r.checksum == base.checksum {
+                        "data OK"
+                    } else {
+                        "DATA MISMATCH"
+                    },
+                );
+            }
+        }
+    }
+    println!("---");
+    println!(
+        "totals: degraded reads {degraded}, hints rerouted {rerouted}, hedged {hedged}, \
+         rebuilds completed {completed_rebuilds}, checksum mismatches {mismatches}"
+    );
+    assert_eq!(mismatches, 0, "a disk death must never change results");
+    assert!(degraded > 0, "the sweep must serve degraded reads");
+    assert!(
+        completed_rebuilds > 0,
+        "at least one run must finish its online rebuild"
+    );
+    println!("disk-death sweep passed: losing a whole disk costs time, never data");
+}
+
+/// The `--corrupt-parity` gate: latent parity corruption planted via
+/// the debug hook while the array is healthy must be detected (and
+/// healed) by the rebuild's verify sweep after a disk death.
+fn corrupt_parity_gate(cfg: &Config) {
+    let params = cfg
+        .machine
+        .with_memory_bytes(64 * cfg.machine.page_bytes)
+        .with_redundancy(Redundancy::Parity);
+    let pages = 256u64;
+    let mut m = oocp_os::Machine::new(params, pages * params.page_bytes);
+    for p in 0..pages {
+        m.store_f64(p * params.page_bytes, p as f64);
+    }
+    assert!(m.corrupt_parity_row(1), "hook needs a parity layout");
+    assert!(m.corrupt_parity_row(5));
+    let death = DiskDeath {
+        disk: 2,
+        at: m.now() + 1,
+    };
+    m.set_fault_plan(&FaultPlan::none(FAULT_SEED).with_disk_death(death));
+    // Trip detection (page 2 of stripe row 0 lives on disk 2), then
+    // drive the rebuild across every row.
+    m.touch(2 * params.page_bytes, 8, false);
+    m.finish_rebuild();
+    let caught = m.stats().rebuild_verify_mismatches;
+    for p in 0..pages {
+        assert_eq!(
+            m.peek_f64(p * params.page_bytes),
+            p as f64,
+            "data survives parity corruption"
+        );
+    }
+    println!("corrupt-parity gate: {caught} corrupted rows detected by rebuild verify");
+    assert_eq!(caught, 2, "the verify sweep must catch both corrupted rows");
+}
+
 fn main() {
     let args = Args::parse();
     let mut cfg = args.cfg;
     // Small memory keeps the sweep quick; ratios are what matter.
     if std::env::args().all(|a| a != "--mem-mb") {
         cfg.machine = cfg.machine.with_memory_bytes(2 * 1024 * 1024);
+    }
+    if args.corrupt_parity {
+        corrupt_parity_gate(&cfg);
+        return;
+    }
+    if args.disk_death {
+        // Parity is the point of this sweep; an explicit `--redundancy
+        // none` inverts it into the negative data-loss gate.
+        if std::env::args().all(|a| a != "--redundancy") {
+            cfg.machine.redundancy = Redundancy::Parity;
+        }
+        if cfg.machine.redundancy == Redundancy::None {
+            // Negative gate: the first read of the dead disk must abort
+            // the run with the typed data-loss error (a panic carrying
+            // "no redundancy: data lost").
+            let w = build(App::Embar, cfg.bytes_for_ratio(args.ratio));
+            let base = run_workload(&w, &cfg, Mode::Prefetch);
+            let plan = FaultPlan::none(FAULT_SEED).with_disk_death(DiskDeath {
+                disk: 1,
+                at: (base.total() / 4).max(1),
+            });
+            let _ = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
+            println!("disk death with no redundancy did not lose data: the gate has no teeth");
+            return;
+        }
+        disk_death_sweep(&cfg, args.ratio, args.smoke);
+        return;
     }
     if args.crash {
         let journal = !args.no_journal;

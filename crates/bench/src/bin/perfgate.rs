@@ -28,8 +28,8 @@ use std::process::ExitCode;
 
 use oocp_bench::tenants as mt;
 use oocp_bench::{
-    report, run_ir_profiled, run_ir_traced, run_workload_profiled, run_workload_traced, secs,
-    Config, Mode, RunResult,
+    report, run_ir_profiled, run_ir_traced, run_workload, run_workload_faulted,
+    run_workload_profiled, run_workload_traced, secs, Config, Mode, RunResult,
 };
 use oocp_ir::parse_program;
 use oocp_nas::{build, App};
@@ -37,7 +37,9 @@ use oocp_obs::baseline::{
     self, Allowance, Baseline, BaselineRun, CompareReport, DriftKind, Finding, ProfileSummary,
 };
 use oocp_obs::{tracediff, Json, WhylateSummary};
-use oocp_os::{chrome_trace_json, PolicyKind, SchedPolicy, Trace};
+use oocp_os::{
+    chrome_trace_json, DiskDeath, FaultPlan, PolicyKind, Redundancy, SchedPolicy, Trace,
+};
 
 /// Ring capacity for tracediff re-runs: deep enough to hold every event
 /// of a matrix cell, so span alignment sees the whole timeline.
@@ -392,6 +394,7 @@ fn run_matrix(
     if !overrides.any() {
         runs.extend(tenant_runs(only)?);
         runs.extend(policy_runs(only)?);
+        runs.extend(redundancy_runs(only)?);
     }
     if runs.is_empty() {
         return Err(match only {
@@ -513,6 +516,75 @@ fn policy_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
     Ok(runs)
 }
 
+/// Pseudo-kernel name of the disk-redundancy trajectory cells.
+const REDUNDANCY_KERNEL: &str = "redundancy";
+
+/// Seed of the redundancy cells' fault plans. Deaths are scheduled
+/// deterministically (fractions of the fault-free elapsed time), so the
+/// seed only feeds the plan's unused probabilistic knobs.
+const REDUNDANCY_FAULT_SEED: u64 = 0x0d15_0dea;
+
+/// Whether the redundancy pseudo-kernel passes the `--only` filter.
+fn redundancy_selected(only: &Option<String>) -> bool {
+    match only {
+        None => true,
+        Some(f) => REDUNDANCY_KERNEL.contains(&f.to_lowercase()),
+    }
+}
+
+/// The disk-redundancy trajectory cells, all EMBAR under rotating
+/// parity: `redundancy/parity` (fault-free, pinning the write-path
+/// parity overhead), `redundancy/degraded` (demand-paged with a disk
+/// death a third of the way in — degraded demand reads and hedging),
+/// and `redundancy/rebuild` (prefetching with an early death — hint
+/// rerouting and the online rebuild racing the app). The simulator is
+/// deterministic, so each death point is anchored to the cell's own
+/// fault-free elapsed time. The `--redundancy none` default leaves
+/// every pre-existing cell bit-identical; like the tenant and policy
+/// cells, these skip compare runs with scheduler overrides.
+fn redundancy_runs(only: &Option<String>) -> Result<Vec<BaselineRun>, String> {
+    if !redundancy_selected(only) {
+        return Ok(Vec::new());
+    }
+    // (cell, mode, death point as a fraction of the fault-free total).
+    let cells = [
+        ("parity", Mode::Prefetch, None),
+        ("degraded", Mode::Original, Some((1u64, 3u64))),
+        ("rebuild", Mode::Prefetch, Some((1, 4))),
+    ];
+    let mut runs = Vec::new();
+    for (name, mode, death) in cells {
+        let mut cfg = cell_config(&Kernel::Nas(App::Embar), &CONFIGS[0]);
+        cfg.machine = cfg.machine.with_redundancy(Redundancy::Parity);
+        let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
+        let plan = death.map(|(num, den)| {
+            let base = run_workload(&w, &cfg, mode);
+            let at = (base.total() * num / den).max(1);
+            FaultPlan::none(REDUNDANCY_FAULT_SEED).with_disk_death(DiskDeath { disk: 1, at })
+        });
+        let started = std::time::Instant::now();
+        let r = match &plan {
+            None => run_workload(&w, &cfg, mode),
+            Some(p) => run_workload_faulted(&w, &cfg, mode, p),
+        };
+        let host = started.elapsed();
+        if let Err(e) = &r.verified {
+            return Err(format!("{REDUNDANCY_KERNEL}/{name} failed to verify: {e}"));
+        }
+        if let Some(f) = &r.flush {
+            return Err(format!("{REDUNDANCY_KERNEL}/{name}: {f}"));
+        }
+        eprintln!(
+            "  ran {REDUNDANCY_KERNEL:<14} {name:<10} elapsed {}s",
+            secs(r.total())
+        );
+        let mut run = report::baseline_run(REDUNDANCY_KERNEL, name, &r);
+        stamp_throughput(&mut run, r.total(), host);
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
 fn read_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     oocp_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -521,7 +593,7 @@ fn read_json(path: &str) -> Result<Json, String> {
 fn capture(o: &Options) -> Result<(), String> {
     eprintln!(
         "perfgate: capturing baseline (matrix of 13 kernels x 4 configs \
-         + {} multi-tenant cells + 2 prefetch-policy cells)",
+         + {} multi-tenant cells + 2 prefetch-policy cells + 3 redundancy cells)",
         TENANT_WIDTHS.len()
     );
     let runs = run_matrix(&o.only, &o.kernels_dir, &Overrides::default(), o.profile)?;
@@ -729,6 +801,9 @@ fn compare(o: &Options, path: &str) -> Result<bool, String> {
                 }
                 if r.kernel == POLICY_KERNEL {
                     return policy_selected(&o.only) && !o.overrides.any();
+                }
+                if r.kernel == REDUNDANCY_KERNEL {
+                    return redundancy_selected(&o.only) && !o.overrides.any();
                 }
                 kernels()
                     .iter()

@@ -834,8 +834,9 @@ pub const SAMPLE_RING_CAP: usize = 8192;
 /// Supported: `--mem-mb <n>`, `--seed <n>`, `--ratio <f>`, `--disks <n>`,
 /// `--csv <path>`, `--json <path>`, `--metrics-out <prefix>`,
 /// `--sample-interval-us <n>`, `--sched <policy>`, `--queue-depth <n>`,
-/// `--policy <name>`, `--coalesce`, `--smoke`, `--crash`,
-/// `--no-journal`.
+/// `--policy <name>`, `--redundancy <none|parity>`, `--coalesce`,
+/// `--smoke`, `--crash`, `--no-journal`, `--disk-death`,
+/// `--corrupt-parity`.
 pub struct Args {
     /// Parsed configuration (including any `--sched`/`--queue-depth`/
     /// `--coalesce` scheduler overrides, applied to `cfg.machine.sched`).
@@ -864,6 +865,16 @@ pub struct Args {
     /// Combined with `--crash` this is the *negative* gate: torn writes
     /// must then lose data, proving the crash oracle has teeth.
     pub no_journal: bool,
+    /// Disk-death sweep mode (the chaos binary): kill one whole disk at
+    /// several points of each kernel's run and check degraded reads,
+    /// online rebuild, and bit-identical results under `--redundancy
+    /// parity`. With `--redundancy none` the sweep must instead die
+    /// with the typed data-loss error (the negative gate).
+    pub disk_death: bool,
+    /// Latent-corruption gate (the chaos binary): flip bits in stripe
+    /// parity via the debug hook before a disk death; the rebuild's
+    /// verify sweep must detect every corrupted row.
+    pub corrupt_parity: bool,
 }
 
 impl Args {
@@ -878,6 +889,8 @@ impl Args {
         let mut smoke = false;
         let mut crash = false;
         let mut no_journal = false;
+        let mut disk_death = false;
+        let mut corrupt_parity = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -901,6 +914,16 @@ impl Args {
                 "--no-journal" => {
                     no_journal = true;
                     cfg.machine.journal = false;
+                    i += 1;
+                    continue;
+                }
+                "--disk-death" => {
+                    disk_death = true;
+                    i += 1;
+                    continue;
+                }
+                "--corrupt-parity" => {
+                    corrupt_parity = true;
                     i += 1;
                     continue;
                 }
@@ -945,6 +968,11 @@ impl Args {
                         .unwrap_or_else(|| panic!("unknown prefetch policy {v}"));
                     cfg.machine = cfg.machine.with_prefetch_policy(kind);
                 }
+                "--redundancy" => {
+                    let r = oocp_os::Redundancy::parse(v)
+                        .unwrap_or_else(|| panic!("unknown redundancy scheme {v}"));
+                    cfg.machine.redundancy = r;
+                }
                 other => panic!("unknown argument {other}"),
             }
             i += 2;
@@ -962,6 +990,8 @@ impl Args {
             smoke,
             crash,
             no_journal,
+            disk_death,
+            corrupt_parity,
         }
     }
 }

@@ -11,7 +11,7 @@
 //! can parse an emitted file and prove the exporter did not lose or
 //! double-count anything.
 
-use oocp_obs::baseline::{BaselineRun, HistSummary, PolicySummary};
+use oocp_obs::baseline::{BaselineRun, HistSummary, PolicySummary, RedundancySummary};
 use oocp_obs::{Json, LatencyHist, TimeAttribution, WhylateSummary};
 
 use crate::{RunResult, WriteError};
@@ -278,6 +278,7 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
             }),
         }),
         whylate: r.obs.as_ref().map(|o| o.whylate),
+        redundancy: redundancy_summary(r),
         // Wall-clock throughput is a matrix-capture concern: perfgate
         // stamps it per cell; single-run reports leave it absent. The
         // host-time profile likewise comes from a separate profiled
@@ -285,6 +286,31 @@ pub fn baseline_run(kernel: &str, config: &str, r: &RunResult) -> BaselineRun {
         sim_throughput: None,
         profile: None,
     }
+}
+
+/// The baseline's redundancy block: present only when the run exercised
+/// the parity subsystem at all (parity writes, degraded service, or a
+/// rebuild), so plain-striping cells serialize exactly as they did
+/// before redundancy existed.
+pub fn redundancy_summary(r: &RunResult) -> Option<RedundancySummary> {
+    let o = &r.os;
+    let active = o.parity_writes
+        + o.degraded_reads
+        + o.hints_rerouted_degraded
+        + o.hedged_reads
+        + o.rebuild_rows
+        > 0;
+    active.then_some(RedundancySummary {
+        degraded_reads: o.degraded_reads,
+        degraded_read_ns: o.degraded_read_ns,
+        hints_rerouted: o.hints_rerouted_degraded,
+        hedged_reads: o.hedged_reads,
+        hedged_wins: o.hedged_wins,
+        rebuild_rows: o.rebuild_rows,
+        rebuild_ns: o.rebuild_ns,
+        verify_mismatches: o.rebuild_verify_mismatches,
+        parity_writes: o.parity_writes,
+    })
 }
 
 fn field_u64(run: &Json, obj: &str, key: &str) -> Result<u64, String> {

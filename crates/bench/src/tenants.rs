@@ -360,6 +360,9 @@ pub fn tenant_baseline_run(config: &str, cell: &CoCell) -> BaselineRun {
         // The co-scheduled cell runs the compiler's hints only.
         policy: None,
         whylate: r.obs.as_ref().map(|o| o.whylate),
+        // Co-scheduled cells run plain striping; the redundancy block
+        // belongs to the dedicated `redundancy/*` cells.
+        redundancy: None,
         sim_throughput: None,
         // Tenant cells run a whole hub, not one interpreter; the
         // single-kernel host-time profiler does not apply to them.

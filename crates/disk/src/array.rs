@@ -86,6 +86,16 @@ impl DiskArray {
         self.injector.as_ref().and_then(|i| i.crashed_at())
     }
 
+    /// Install a hot spare in slot `id`: the injector's scheduled death
+    /// for that slot is cleared, so subsequent requests reach fresh
+    /// media. The disk's queue and statistics carry over — the slot is
+    /// the same logical position in the array, only the media is new.
+    pub fn install_spare(&mut self, id: usize) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.install_spare(id);
+        }
+    }
+
     /// Number of disks in the array.
     pub fn len(&self) -> usize {
         self.disks.len()

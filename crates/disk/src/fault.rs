@@ -70,6 +70,16 @@ pub enum IoError {
         /// Simulated time of the power loss.
         at: Ns,
     },
+    /// The disk died permanently at simulated time `at`. Unlike a
+    /// brownout there is no `until`: retrying is futile forever, and
+    /// the only ways forward are parity reconstruction from the
+    /// survivors or accepting the data as lost.
+    DiskDead {
+        /// Index of the dead disk.
+        disk: usize,
+        /// Simulated time of the death.
+        at: Ns,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -99,7 +109,20 @@ impl fmt::Display for IoError {
             IoError::Crashed { at } => {
                 write!(f, "simulated power loss at {at} ns")
             }
+            IoError::DiskDead { disk, at } => {
+                write!(f, "disk {disk} died permanently at {at} ns")
+            }
         }
+    }
+}
+
+impl IoError {
+    /// Whether retrying this error can ever succeed. Transients and
+    /// backpressure clear on their own; brownouts lift at a known time;
+    /// a crash or a dead disk never comes back, so retry loops must
+    /// classify them as futile and escalate instead of burning budget.
+    pub fn retry_is_futile(&self) -> bool {
+        matches!(self, IoError::Crashed { .. } | IoError::DiskDead { .. })
     }
 }
 
@@ -150,6 +173,19 @@ pub struct CrashSpec {
     pub torn_writes: bool,
 }
 
+/// A permanent whole-disk death: from `at` onward every request on
+/// disk `disk` fails with [`IoError::DiskDead`] until a hot spare is
+/// installed in the slot ([`FaultInjector::install_spare`]). Like a
+/// brownout the event is time-driven and consumes no rng draws, so a
+/// plan without deaths keeps its exact historical decision streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskDeath {
+    /// Index of the disk that dies.
+    pub disk: usize,
+    /// Simulated time of the death.
+    pub at: Ns,
+}
+
 /// A memory-pressure storm: between `from` and `until` the machine's
 /// resident-frame limit is squeezed to `limit_frames` (the
 /// multiprogramming model — another job grabbing memory — which is
@@ -196,6 +232,9 @@ pub struct FaultPlan {
     pub pressure_storms: Vec<PressureStorm>,
     /// Optional whole-machine power loss (torn-write model included).
     pub crash: Option<CrashSpec>,
+    /// Permanent whole-disk deaths (at most one per disk; well-formed
+    /// plans never schedule more deaths than parity can tolerate).
+    pub disk_deaths: Vec<DiskDeath>,
 }
 
 impl FaultPlan {
@@ -213,6 +252,7 @@ impl FaultPlan {
             bitvec_stale_prob: 0.0,
             pressure_storms: Vec::new(),
             crash: None,
+            disk_deaths: Vec::new(),
         }
     }
 
@@ -258,6 +298,21 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a permanent whole-disk death.
+    pub fn with_disk_death(mut self, d: DiskDeath) -> Self {
+        self.disk_deaths.push(d);
+        self
+    }
+
+    /// Drop every scheduled disk death. Suites whose machines run
+    /// without redundancy strip deaths from sampled plans: losing a
+    /// disk with no parity is *designed* to be fatal, so a survivable
+    /// "bad day" plan for them must not include one.
+    pub fn without_disk_deaths(mut self) -> Self {
+        self.disk_deaths.clear();
+        self
+    }
+
     /// Draw a random but bounded plan from `g`: modest error rates
     /// (the OS retry budget is sized for transient faults, not a dead
     /// array), optional stragglers, an optional bounded brownout, and
@@ -288,6 +343,17 @@ impl FaultPlan {
         }
         if g.next_f64() < 0.5 {
             plan = plan.with_bitvec_staleness(g.next_f64() * 0.10);
+        }
+        // At most ONE death per plan: single parity tolerates exactly
+        // one lost disk, and a well-formed plan never schedules more
+        // deaths than parity can absorb (with `ndisks == 2` that rules
+        // out losing disk 0 and disk 1 simultaneously). Disk indices
+        // stay below 2 so the plan fits any redundant array.
+        if g.next_f64() < 0.25 {
+            plan = plan.with_disk_death(DiskDeath {
+                disk: g.next_below(2) as usize,
+                at: (50 + g.next_below(400)) * MILLISECOND,
+            });
         }
         plan
     }
@@ -320,6 +386,7 @@ impl FaultPlan {
             || self.straggler_prob > 0.0
             || !self.brownouts.is_empty()
             || self.crash.is_some()
+            || !self.disk_deaths.is_empty()
     }
 
     /// Error probability for a request class.
@@ -364,6 +431,10 @@ pub struct FaultInjector {
     ops: u64,
     /// Simulated time of the power loss, once it has happened.
     crashed_at: Option<Ns>,
+    /// Per-slot scheduled death time. `None` when the slot has no
+    /// pending death — either none was planned, or a hot spare has
+    /// been installed over the corpse.
+    death_at: Vec<Option<Ns>>,
 }
 
 impl FaultInjector {
@@ -374,11 +445,29 @@ impl FaultInjector {
             // sequences are decorrelated even for adjacent seeds.
             .map(|i| SimRng::new(plan.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
             .collect();
+        let mut death_at = vec![None; ndisks];
+        for d in &plan.disk_deaths {
+            if let Some(slot) = death_at.get_mut(d.disk) {
+                // At most one death per disk; keep the earliest.
+                *slot = Some(slot.map_or(d.at, |t: Ns| t.min(d.at)));
+            }
+        }
         Self {
             plan,
             streams,
             ops: 0,
             crashed_at: None,
+            death_at,
+        }
+    }
+
+    /// Install a hot spare in slot `id`: the scheduled death (if any)
+    /// is cleared and subsequent requests to the slot reach the fresh
+    /// media. The rebuild scrubber above decides when the spare's
+    /// contents are trustworthy; the injector only models the swap.
+    pub fn install_spare(&mut self, id: usize) {
+        if let Some(slot) = self.death_at.get_mut(id) {
+            *slot = None;
         }
     }
 
@@ -397,11 +486,15 @@ impl FaultInjector {
     /// A scheduled crash is checked first and latches permanently: once
     /// the power is out, every subsequent request on every disk fails
     /// with the same [`IoError::Crashed`] and no rng draws are
-    /// consumed. Brownout windows come next (time-driven, not random);
+    /// consumed. A scheduled disk death comes next — time-driven like
+    /// a brownout, permanent until [`install_spare`], no draws
+    /// consumed. Brownout windows follow (time-driven, not random);
     /// then the per-class error draw; then the straggler draw. Both
     /// draws are always consumed so the stream position depends only on
     /// the request count, keeping sibling fault classes independent of
     /// each other's probabilities.
+    ///
+    /// [`install_spare`]: FaultInjector::install_spare
     pub fn decide(&mut self, id: usize, now: Ns, req: &Request) -> Injection {
         if let Some(spec) = self.plan.crash {
             if let Some(at) = self.crashed_at {
@@ -416,6 +509,11 @@ impl FaultInjector {
             if let Some(at) = tripped {
                 self.crashed_at = Some(at);
                 return Injection::Fail(IoError::Crashed { at });
+            }
+        }
+        if let Some(at) = self.death_at.get(id).copied().flatten() {
+            if now >= at {
+                return Injection::Fail(IoError::DiskDead { disk: id, at });
             }
         }
         for b in &self.plan.brownouts {
@@ -612,6 +710,51 @@ mod tests {
         for i in 0..50 {
             assert_eq!(a.decide(0, i, &r), b.decide(0, i, &r), "op {i}");
         }
+    }
+
+    #[test]
+    fn disk_death_is_permanent_until_spared() {
+        let plan = FaultPlan::none(5).with_disk_death(DiskDeath { disk: 1, at: 100 });
+        let mut inj = FaultInjector::new(plan, 3);
+        let r = read(ReqKind::DemandRead);
+        assert_eq!(inj.decide(1, 99, &r), Injection::None);
+        let dead = Injection::Fail(IoError::DiskDead { disk: 1, at: 100 });
+        assert_eq!(inj.decide(1, 100, &r), dead);
+        // Permanent: no brownout-style recovery, any later time fails.
+        assert_eq!(inj.decide(1, 1_000_000, &r), dead);
+        // Other disks unaffected.
+        assert_eq!(inj.decide(0, 150, &r), Injection::None);
+        assert_eq!(inj.decide(2, 150, &r), Injection::None);
+        // A hot spare in the slot serves requests again.
+        inj.install_spare(1);
+        assert_eq!(inj.decide(1, 200, &r), Injection::None);
+    }
+
+    #[test]
+    fn disk_death_consumes_no_rng_draws() {
+        // With errors enabled, a death-bearing plan must make the same
+        // decisions on the surviving disks as the death-free plan.
+        let base = FaultPlan::none(88).with_errors(0.3, 0.3, 0.3);
+        let deadly = base.clone().with_disk_death(DiskDeath { disk: 0, at: 0 });
+        let mut a = FaultInjector::new(base, 2);
+        let mut b = FaultInjector::new(deadly, 2);
+        let r = read(ReqKind::DemandRead);
+        for i in 0..200 {
+            assert_eq!(a.decide(1, i, &r), b.decide(1, i, &r), "op {i}");
+        }
+    }
+
+    #[test]
+    fn futility_classification_matches_variants() {
+        assert!(IoError::Crashed { at: 1 }.retry_is_futile());
+        assert!(IoError::DiskDead { disk: 0, at: 1 }.retry_is_futile());
+        assert!(!IoError::Transient { disk: 0 }.retry_is_futile());
+        assert!(!IoError::Brownout { disk: 0, until: 9 }.retry_is_futile());
+        assert!(!IoError::QueueFull {
+            disk: 0,
+            retry_at: 9
+        }
+        .retry_is_futile());
     }
 
     #[test]

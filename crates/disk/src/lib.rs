@@ -22,7 +22,8 @@ pub mod sched;
 
 pub use array::DiskArray;
 pub use fault::{
-    Brownout, CrashPoint, CrashSpec, FaultInjector, FaultPlan, Injection, IoError, PressureStorm,
+    Brownout, CrashPoint, CrashSpec, DiskDeath, FaultInjector, FaultPlan, Injection, IoError,
+    PressureStorm,
 };
 pub use model::{Completion, Disk, DiskParams, DiskStats, ReqKind, Request};
 pub use sched::{SchedConfig, SchedError, SchedPolicy, Ticket};

@@ -61,19 +61,33 @@ pub struct PlacedRun {
 }
 
 struct FileMeta {
-    /// Per-disk extent backing this file's stripe; `extents[d]` holds the
-    /// pages `p` with `p % ndisks == d`, in order, contiguously.
+    /// Per-disk extent backing this file's stripe. Plain files:
+    /// `extents[d]` holds the pages `p` with `p % ndisks == d`, in
+    /// order, contiguously. Parity files: every disk's extent is
+    /// `rows` blocks long and holds one block per stripe row — a data
+    /// page or that row's parity, per the rotating layout.
     extents: Vec<Extent>,
     pages: u64,
+    /// Whether the file carries RAID-5-style rotating parity.
+    parity: bool,
     live: bool,
 }
 
 /// The striped file system: one extent allocator per disk plus file
 /// metadata.
 ///
-/// Page `p` of a file lives on disk `p % ndisks`, at block
+/// Plain files: page `p` lives on disk `p % ndisks`, at block
 /// `extent[d].start + p / ndisks`. This is HFS's round-robin striping
 /// with extent-based per-disk layout.
+///
+/// Parity files ([`FileSystem::create_parity_file`]) use RAID-5-style
+/// left-symmetric rotating parity instead: each stripe *row* `r` spans
+/// one block on every disk and carries `ndisks - 1` data pages plus
+/// one XOR parity block on disk `ndisks - 1 - (r % ndisks)`. Data page
+/// `p` has row `r = p / (ndisks-1)` and offset `o = p % (ndisks-1)`,
+/// and lives on disk `(parity_disk + 1 + o) % ndisks` at block
+/// `extent.start + r`. Losing any single disk loses at most one block
+/// per row — reconstructible by XOR-ing the row's survivors.
 pub struct FileSystem {
     disks: Vec<ExtentAllocator>,
     files: Vec<FileMeta>,
@@ -155,6 +169,53 @@ impl FileSystem {
         self.files.push(FileMeta {
             extents,
             pages,
+            parity: false,
+            live: true,
+        });
+        Ok(id)
+    }
+
+    /// Create a file of `pages` pages with rotating parity: every
+    /// stripe row of width `ndisks` carries `ndisks - 1` data pages
+    /// plus one XOR parity block on a rotating disk. Each disk's
+    /// extent is exactly `rows = ceil(pages / (ndisks - 1))` blocks.
+    ///
+    /// All-or-nothing like [`FileSystem::create_file`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has fewer than two disks: parity needs at
+    /// least one survivor to reconstruct from.
+    pub fn create_parity_file(&mut self, pages: u64) -> Result<FileId, FsError> {
+        let n = self.disks.len() as u64;
+        assert!(n >= 2, "rotating parity needs at least two disks");
+        let rows = pages.div_ceil(n - 1);
+        let mut extents = Vec::with_capacity(self.disks.len());
+        for (d, alloc) in self.disks.iter_mut().enumerate() {
+            if rows == 0 {
+                extents.push(Extent { start: 0, len: 0 });
+                continue;
+            }
+            match alloc.alloc(rows) {
+                Some(e) => extents.push(e),
+                None => {
+                    for (pd, pe) in extents.into_iter().enumerate() {
+                        if pe.len > 0 {
+                            self.disks[pd].free(pe);
+                        }
+                    }
+                    return Err(FsError::NoSpace {
+                        disk: d,
+                        needed: rows,
+                    });
+                }
+            }
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta {
+            extents,
+            pages,
+            parity: true,
             live: true,
         });
         Ok(id)
@@ -189,9 +250,98 @@ impl FileSystem {
             return Err(FsError::BadPage { file: id, page });
         }
         let n = self.disks.len() as u64;
+        if meta.parity {
+            let row = page / (n - 1);
+            let o = page % (n - 1);
+            let pd = n - 1 - (row % n);
+            let d = ((pd + 1 + o) % n) as usize;
+            return Ok((d, meta.extents[d].start + row));
+        }
         let d = (page % n) as usize;
         let block = meta.extents[d].start + page / n;
         Ok((d, block))
+    }
+
+    /// Whether a file carries rotating parity.
+    pub fn is_parity(&self, id: FileId) -> Result<bool, FsError> {
+        self.meta(id).map(|m| m.parity)
+    }
+
+    /// Number of stripe rows in a parity file (zero for a plain file:
+    /// plain rows have no parity and nothing to reconstruct).
+    pub fn rows(&self, id: FileId) -> Result<u64, FsError> {
+        let meta = self.meta(id)?;
+        if !meta.parity {
+            return Ok(0);
+        }
+        Ok(meta.pages.div_ceil(self.disks.len() as u64 - 1))
+    }
+
+    /// Stripe row of a data page in a parity file.
+    pub fn row_of(&self, id: FileId, page: u64) -> Result<u64, FsError> {
+        let meta = self.meta(id)?;
+        debug_assert!(meta.parity, "row_of is only meaningful with parity");
+        if page >= meta.pages {
+            return Err(FsError::BadPage { file: id, page });
+        }
+        Ok(page / (self.disks.len() as u64 - 1))
+    }
+
+    /// The data pages of stripe row `row` of a parity file, in order.
+    /// The final row may be short when `pages % (ndisks-1) != 0`.
+    pub fn row_pages(&self, id: FileId, row: u64) -> Result<std::ops::Range<u64>, FsError> {
+        let meta = self.meta(id)?;
+        debug_assert!(meta.parity, "row_pages is only meaningful with parity");
+        let k = self.disks.len() as u64 - 1;
+        let first = row * k;
+        if first >= meta.pages && meta.pages > 0 {
+            return Err(FsError::BadPage {
+                file: id,
+                page: first,
+            });
+        }
+        Ok(first..meta.pages.min(first + k))
+    }
+
+    /// Placement of stripe row `row`'s parity block: `(disk, block)`.
+    pub fn parity_place(&self, id: FileId, row: u64) -> Result<(usize, u64), FsError> {
+        let meta = self.meta(id)?;
+        debug_assert!(meta.parity, "parity_place needs a parity file");
+        let n = self.disks.len() as u64;
+        let rows = meta.pages.div_ceil(n - 1);
+        if row >= rows {
+            return Err(FsError::BadPage {
+                file: id,
+                page: row * (n - 1),
+            });
+        }
+        let pd = (n - 1 - (row % n)) as usize;
+        Ok((pd, meta.extents[pd].start + row))
+    }
+
+    /// Inverse placement: the data page stored at `(disk, block)`, or
+    /// `None` when the block is outside the file or holds parity.
+    /// For every in-range data page, `page_at(place(p)) == Some(p)` in
+    /// both layouts.
+    pub fn page_at(&self, id: FileId, disk: usize, block: u64) -> Result<Option<u64>, FsError> {
+        let meta = self.meta(id)?;
+        let n = self.disks.len() as u64;
+        let ext = &meta.extents[disk];
+        if block < ext.start || block >= ext.start + ext.len {
+            return Ok(None);
+        }
+        let idx = block - ext.start;
+        if meta.parity {
+            let pd = n - 1 - (idx % n);
+            let o = (disk as u64 + n - (pd + 1)) % n;
+            if o == n - 1 {
+                return Ok(None); // the row's parity block
+            }
+            let page = idx * (n - 1) + o;
+            return Ok((page < meta.pages).then_some(page));
+        }
+        let page = idx * n + disk as u64;
+        Ok((page < meta.pages).then_some(page))
     }
 
     /// Group a span of consecutive file pages into minimal per-disk runs.
@@ -212,6 +362,36 @@ impl FileSystem {
             });
         }
         let n = self.disks.len() as u64;
+        if meta.parity {
+            // The rotating parity block interleaves with the data, so
+            // a disk's touched data blocks need not be contiguous (the
+            // disk is some rows' parity home). Walk the span page by
+            // page and merge adjacent blocks per disk; pages ascend,
+            // so each disk's block list is strictly increasing.
+            let mut by_disk: Vec<Vec<u64>> = vec![Vec::new(); self.disks.len()];
+            for p in page..page + count {
+                let (d, b) = self.place(id, p)?;
+                by_disk[d].push(b);
+            }
+            let mut runs = Vec::new();
+            for (d, blocks) in by_disk.iter().enumerate() {
+                let mut i = 0;
+                while i < blocks.len() {
+                    let start = blocks[i];
+                    let mut len = 1usize;
+                    while i + len < blocks.len() && blocks[i + len] == start + len as u64 {
+                        len += 1;
+                    }
+                    runs.push(PlacedRun {
+                        disk: d,
+                        start_block: start,
+                        nblocks: len as u64,
+                    });
+                    i += len;
+                }
+            }
+            return Ok(runs);
+        }
         let mut runs = Vec::with_capacity(n.min(count) as usize);
         for d in 0..self.disks.len() as u64 {
             // Pages on disk d within [page, page+count): those congruent
@@ -345,6 +525,92 @@ mod tests {
         assert_eq!(fs.free_blocks(2), 97);
         let (d, _) = fs.place(f, 9).unwrap();
         assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn parity_rotates_and_never_collides_with_data() {
+        let mut fs = FileSystem::new(4, 1000);
+        let f = fs.create_parity_file(30).unwrap();
+        assert!(fs.is_parity(f).unwrap());
+        let rows = fs.rows(f).unwrap();
+        assert_eq!(rows, 10); // ceil(30 / 3)
+        for row in 0..rows {
+            let (pd, pb) = fs.parity_place(f, row).unwrap();
+            // Left-symmetric rotation: parity walks backwards from
+            // the last disk.
+            assert_eq!(pd as u64, 4 - 1 - (row % 4));
+            for p in fs.row_pages(f, row).unwrap() {
+                assert_eq!(fs.row_of(f, p).unwrap(), row);
+                let (d, b) = fs.place(f, p).unwrap();
+                assert_ne!((d, b), (pd, pb), "page {p} shares the parity block");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_row_loses_at_most_one_block_per_disk() {
+        // The whole point of the layout: a single dead disk costs each
+        // row at most one block (data or parity), so XOR of the
+        // survivors always reconstructs it.
+        let mut fs = FileSystem::new(3, 1000);
+        let f = fs.create_parity_file(20).unwrap();
+        for row in 0..fs.rows(f).unwrap() {
+            for dead in 0..3usize {
+                let mut lost = 0;
+                if fs.parity_place(f, row).unwrap().0 == dead {
+                    lost += 1;
+                }
+                for p in fs.row_pages(f, row).unwrap() {
+                    if fs.place(f, p).unwrap().0 == dead {
+                        lost += 1;
+                    }
+                }
+                assert!(lost <= 1, "row {row} loses {lost} blocks to disk {dead}");
+            }
+        }
+    }
+
+    #[test]
+    fn page_at_inverts_place_in_both_layouts() {
+        let mut fs = FileSystem::new(5, 1000);
+        let plain = fs.create_file(40).unwrap();
+        let par = fs.create_parity_file(40).unwrap();
+        for f in [plain, par] {
+            for p in 0..40 {
+                let (d, b) = fs.place(f, p).unwrap();
+                assert_eq!(fs.page_at(f, d, b).unwrap(), Some(p));
+            }
+        }
+        // Parity blocks invert to None.
+        for row in 0..fs.rows(par).unwrap() {
+            let (pd, pb) = fs.parity_place(par, row).unwrap();
+            assert_eq!(fs.page_at(par, pd, pb).unwrap(), None);
+        }
+        // Out-of-extent blocks invert to None, not an error.
+        assert_eq!(fs.page_at(plain, 0, 999).unwrap(), None);
+    }
+
+    #[test]
+    fn parity_place_run_covers_every_page_exactly_once() {
+        let mut fs = FileSystem::new(4, 1000);
+        let f = fs.create_parity_file(50).unwrap();
+        for start in [0u64, 1, 3, 7, 44] {
+            for count in [1u64, 2, 5, 6, 12] {
+                if start + count > 50 {
+                    continue;
+                }
+                let runs = fs.place_run(f, start, count).unwrap();
+                let total: u64 = runs.iter().map(|r| r.nblocks).sum();
+                assert_eq!(total, count, "start={start} count={count}");
+                for p in start..start + count {
+                    let (d, b) = fs.place(f, p).unwrap();
+                    let covered = runs.iter().any(|r| {
+                        r.disk == d && (r.start_block..r.start_block + r.nblocks).contains(&b)
+                    });
+                    assert!(covered, "page {p} not covered");
+                }
+            }
+        }
     }
 
     #[test]

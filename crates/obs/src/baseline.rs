@@ -30,7 +30,7 @@ pub const SCHEMA: &str = "oocp-bench-v1";
 /// three absent, so old trajectory entries keep loading.
 pub const SCHEMA_V2: &str = "oocp-bench-v2";
 
-/// Current schema identifier, written by every new capture. v3 adds
+/// Previous schema identifier; still accepted on read. v3 adds
 /// the optional per-run `profile` block — a compact host-time profile
 /// summary (total host nanoseconds plus the top self-time sites).
 /// Profile fields are **report-only**: they never appear in
@@ -38,6 +38,14 @@ pub const SCHEMA_V2: &str = "oocp-bench-v2";
 /// noise by construction. Every v2 document is a valid v3 document
 /// with the block absent, so old trajectory entries keep loading.
 pub const SCHEMA_V3: &str = "oocp-bench-v3";
+
+/// Current schema identifier, written by every new capture. v4 adds
+/// the optional per-run `redundancy` block (degraded reads, hedging,
+/// and rebuild counters for parity cells) and the two redundancy
+/// whylate causes, all riding strictly behind every v3 metric so
+/// positional compare against a v3-era cell stays aligned. Every v3
+/// document is a valid v4 document with the block absent.
+pub const SCHEMA_V4: &str = "oocp-bench-v4";
 
 /// Compact summary of a [`LatencyHist`]: the quantiles the trajectory
 /// tracks, without the 64 raw buckets.
@@ -183,6 +191,63 @@ impl PolicySummary {
     }
 }
 
+/// Redundancy summary of a parity cell: the degraded-read, hedging,
+/// and rebuild counters the `redundancy` matrix gates on. Absent for
+/// `--redundancy none` cells, so every pre-parity cell keeps its exact
+/// metric list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RedundancySummary {
+    /// Demand reads served by survivor fan-out reconstruction.
+    pub degraded_reads: u64,
+    /// Total stall time of degraded demand reconstructions.
+    pub degraded_read_ns: u64,
+    /// Prefetch hints rerouted from a dead disk into survivor fan-outs.
+    pub hints_rerouted: u64,
+    /// Degraded reads that armed the hedging deadline.
+    pub hedged_reads: u64,
+    /// Hedged races the speculative reconstruction won.
+    pub hedged_wins: u64,
+    /// Stripe rows rebuilt onto the hot spare.
+    pub rebuild_rows: u64,
+    /// Simulated time from death detection to rebuild completion.
+    pub rebuild_ns: u64,
+    /// Rebuilt rows that failed verification (zero unless the debug
+    /// parity-corruption hook fired).
+    pub verify_mismatches: u64,
+    /// Parity blocks written.
+    pub parity_writes: u64,
+}
+
+impl RedundancySummary {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("degraded_reads", Json::U64(self.degraded_reads)),
+            ("degraded_read_ns", Json::U64(self.degraded_read_ns)),
+            ("hints_rerouted", Json::U64(self.hints_rerouted)),
+            ("hedged_reads", Json::U64(self.hedged_reads)),
+            ("hedged_wins", Json::U64(self.hedged_wins)),
+            ("rebuild_rows", Json::U64(self.rebuild_rows)),
+            ("rebuild_ns", Json::U64(self.rebuild_ns)),
+            ("verify_mismatches", Json::U64(self.verify_mismatches)),
+            ("parity_writes", Json::U64(self.parity_writes)),
+        ])
+    }
+
+    fn parse(v: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(Self {
+            degraded_reads: req_u64(v, "degraded_reads", ctx)?,
+            degraded_read_ns: req_u64(v, "degraded_read_ns", ctx)?,
+            hints_rerouted: req_u64(v, "hints_rerouted", ctx)?,
+            hedged_reads: req_u64(v, "hedged_reads", ctx)?,
+            hedged_wins: req_u64(v, "hedged_wins", ctx)?,
+            rebuild_rows: req_u64(v, "rebuild_rows", ctx)?,
+            rebuild_ns: req_u64(v, "rebuild_ns", ctx)?,
+            verify_mismatches: req_u64(v, "verify_mismatches", ctx)?,
+            parity_writes: req_u64(v, "parity_writes", ctx)?,
+        })
+    }
+}
+
 /// Compact host-time profile of one cell: where the interpreter and
 /// machine spent wall-clock time while executing it. Stamped by
 /// `perfgate --capture --profile` from a second, profiled run of the
@@ -312,6 +377,9 @@ pub struct BaselineRun {
     /// deliberately excluded from [`metrics`] and therefore never
     /// gated. `None` for pre-v3 baselines and unprofiled captures.
     pub profile: Option<ProfileSummary>,
+    /// v4 addition: parity redundancy counters. `None` for
+    /// `--redundancy none` cells and pre-v4 baselines.
+    pub redundancy: Option<RedundancySummary>,
 }
 
 /// How a metric's drift reads in a report.
@@ -474,6 +542,42 @@ pub fn metrics(r: &BaselineRun) -> Vec<(&'static str, u64, Direction)> {
     if let Some(st) = r.sim_throughput {
         m.push(("simthroughput.sim_ns_per_host_s", st, LowerWorse));
     }
+    // v4 additions ride behind the entire v2/v3 tail for the same
+    // positional reason: a BENCH_6-era cell's whylate block parses with
+    // the two redundancy causes defaulted to zero, so its metric list
+    // matches a fresh non-parity capture element for element, and the
+    // `redundancy` block only exists on parity cells (all new keys).
+    if let Some(w) = &r.whylate {
+        m.push((
+            "whylate.late_degraded_read",
+            w.late_degraded_read,
+            HigherWorse,
+        ));
+        m.push((
+            "whylate.late_rebuild_contention",
+            w.late_rebuild_contention,
+            HigherWorse,
+        ));
+    }
+    if let Some(rd) = &r.redundancy {
+        m.push(("redundancy.degraded_reads", rd.degraded_reads, Neutral));
+        m.push((
+            "redundancy.degraded_read_ns",
+            rd.degraded_read_ns,
+            HigherWorse,
+        ));
+        m.push(("redundancy.hints_rerouted", rd.hints_rerouted, Neutral));
+        m.push(("redundancy.hedged_reads", rd.hedged_reads, Neutral));
+        m.push(("redundancy.hedged_wins", rd.hedged_wins, Neutral));
+        m.push(("redundancy.rebuild_rows", rd.rebuild_rows, Neutral));
+        m.push(("redundancy.rebuild_ns", rd.rebuild_ns, HigherWorse));
+        m.push((
+            "redundancy.verify_mismatches",
+            rd.verify_mismatches,
+            HigherWorse,
+        ));
+        m.push(("redundancy.parity_writes", rd.parity_writes, HigherWorse));
+    }
     m
 }
 
@@ -580,13 +684,16 @@ fn run_json(r: &BaselineRun) -> Json {
     if let Some(p) = &r.profile {
         fields.push(("profile", p.to_json()));
     }
+    if let Some(rd) = &r.redundancy {
+        fields.push(("redundancy", rd.to_json()));
+    }
     Json::obj(fields)
 }
 
-/// Serialize a baseline as an `oocp-bench-v3` document.
+/// Serialize a baseline as an `oocp-bench-v4` document.
 pub fn baseline_json(b: &Baseline) -> Json {
     let mut fields = vec![
-        ("schema", Json::Str(SCHEMA_V3.to_string())),
+        ("schema", Json::Str(SCHEMA_V4.to_string())),
         ("index", Json::U64(b.index)),
         ("seed", Json::U64(b.seed)),
         ("runs", Json::Arr(b.runs.iter().map(run_json).collect())),
@@ -703,6 +810,12 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         None => None,
         Some(pv) => Some(ProfileSummary::parse(pv, &ctx)?),
     };
+    // v4 addition: non-parity cells carry no `redundancy` block; when
+    // present it must be complete, like the other optional blocks.
+    let redundancy = match v.get("redundancy") {
+        None => None,
+        Some(rv) => Some(RedundancySummary::parse(rv, &ctx)?),
+    };
     let run = BaselineRun {
         elapsed_ns: req_u64(v, "elapsed_ns", &ctx)?,
         checksum: req_u64(v, "checksum", &ctx)?,
@@ -727,6 +840,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
         whylate,
         sim_throughput,
         profile,
+        redundancy,
         kernel,
         config,
     };
@@ -745,7 +859,7 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
     Ok(run)
 }
 
-/// Parse and validate an `oocp-bench-v1`/`-v2`/`-v3` document.
+/// Parse and validate an `oocp-bench-v1`/`-v2`/`-v3`/`-v4` document.
 ///
 /// Beyond shape checking this enforces the cross-layer invariants on
 /// every entry (attribution covers elapsed exactly) and rejects
@@ -753,10 +867,10 @@ fn parse_run(v: &Json) -> Result<BaselineRun, String> {
 /// function from matrix cell to measurement.
 pub fn parse_baseline(doc: &Json) -> Result<Baseline, String> {
     match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == SCHEMA || s == SCHEMA_V2 || s == SCHEMA_V3 => {}
+        Some(s) if s == SCHEMA || s == SCHEMA_V2 || s == SCHEMA_V3 || s == SCHEMA_V4 => {}
         Some(s) => {
             return Err(format!(
-                "schema is {s}, expected {SCHEMA}, {SCHEMA_V2} or {SCHEMA_V3}"
+                "schema is {s}, expected {SCHEMA}, {SCHEMA_V2}, {SCHEMA_V3} or {SCHEMA_V4}"
             ))
         }
         None => return Err("missing schema field".into()),
@@ -1050,6 +1164,7 @@ mod tests {
             whylate: None,
             sim_throughput: None,
             profile: None,
+            redundancy: None,
         }
     }
 
@@ -1194,8 +1309,19 @@ mod tests {
         }
         assert_eq!(
             new_m.last().unwrap().0,
-            "simthroughput.sim_ns_per_host_s",
-            "sim_throughput is the final metric"
+            "whylate.late_rebuild_contention",
+            "without a redundancy block the v4 whylate tail is final"
+        );
+        assert!(
+            new_m
+                .iter()
+                .position(|(n, ..)| *n == "simthroughput.sim_ns_per_host_s")
+                .unwrap()
+                < new_m
+                    .iter()
+                    .position(|(n, ..)| *n == "whylate.late_degraded_read")
+                    .unwrap(),
+            "v4 whylate causes ride behind the whole v2 tail"
         );
         // A present-yet-partial whylate block is corruption.
         let mut doc = baseline_json(&b2);
@@ -1257,6 +1383,62 @@ mod tests {
             }
         }
         assert!(parse_baseline(&doc).unwrap_err().contains("total_host_ns"));
+    }
+
+    #[test]
+    fn v3_documents_still_parse_and_v4_redundancy_roundtrips() {
+        // A committed BENCH_<n>.json from before the redundancy PR
+        // carries the v3 schema tag and no redundancy block anywhere —
+        // it must keep loading, with `redundancy` None everywhere, and
+        // its gated metric list must be identical to a fresh non-parity
+        // capture's (positional-zip compatibility across the PR).
+        let b = sample_baseline();
+        let mut doc = baseline_json(&b);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str(SCHEMA_V3.into());
+        }
+        let back = parse_baseline(&doc).unwrap();
+        assert_eq!(back, b);
+        assert!(back.runs[0].redundancy.is_none());
+        assert_eq!(metrics(&back.runs[0]), metrics(&b.runs[0]));
+
+        // v4 parity cells round-trip the block exactly and append every
+        // redundancy metric strictly behind the non-parity list.
+        let mut b4 = sample_baseline();
+        b4.runs[0].redundancy = Some(RedundancySummary {
+            degraded_reads: 31,
+            degraded_read_ns: 900_000,
+            hints_rerouted: 12,
+            hedged_reads: 3,
+            hedged_wins: 1,
+            rebuild_rows: 64,
+            rebuild_ns: 4_000_000,
+            verify_mismatches: 0,
+            parity_writes: 80,
+        });
+        let back = parse_baseline(&baseline_json(&b4)).unwrap();
+        assert_eq!(back, b4);
+        let plain = metrics(&b.runs[0]);
+        let par = metrics(&back.runs[0]);
+        for ((on, ..), (nn, ..)) in plain.iter().zip(&par) {
+            assert_eq!(on, nn, "redundancy metrics must extend, not reorder");
+        }
+        assert_eq!(par.len(), plain.len() + 9);
+        assert_eq!(par.last().unwrap().0, "redundancy.parity_writes");
+        // A present-yet-partial redundancy block is corruption.
+        let mut doc = baseline_json(&b4);
+        if let Json::Obj(fields) = &mut doc {
+            if let Json::Arr(runs) = &mut fields[3].1 {
+                if let Json::Obj(run) = &mut runs[0] {
+                    if let Some((_, Json::Obj(rd))) =
+                        run.iter_mut().find(|(k, _)| k == "redundancy")
+                    {
+                        rd.retain(|(k, _)| k != "rebuild_rows");
+                    }
+                }
+            }
+        }
+        assert!(parse_baseline(&doc).unwrap_err().contains("rebuild_rows"));
     }
 
     #[test]

@@ -125,6 +125,12 @@ impl LedgerCounts {
 ///    long as it spent on the media.
 /// 5. **ServiceTime** — none of the above: the media time itself
 ///    dominated (seek/rotation/transfer, possibly straggler-inflated).
+///
+/// With parity redundancy two further causes precede the tree: a
+/// **DegradedRead** was issued as a survivor fan-out for a dead disk
+/// (the reconstruction itself is the cost), and **RebuildContention**
+/// marks a queue-wait-dominated stall while the online rebuild
+/// scrubber was sharing the survivors' queues.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LateCause {
     /// Prefetch issued too close to the touch (compiler/policy lag).
@@ -137,16 +143,22 @@ pub enum LateCause {
     JournalStall = 3,
     /// Degraded-mode transition paused hint traffic mid-flight.
     DegradedPause = 4,
+    /// Issued as a degraded survivor fan-out (dead-disk reconstruction).
+    DegradedRead = 5,
+    /// Queue wait dominated while the rebuild scrubber shared the disks.
+    RebuildContention = 6,
 }
 
 impl LateCause {
     /// All causes, in index order.
-    pub const ALL: [LateCause; 5] = [
+    pub const ALL: [LateCause; 7] = [
         LateCause::IssueLag,
         LateCause::QueueWait,
         LateCause::ServiceTime,
         LateCause::JournalStall,
         LateCause::DegradedPause,
+        LateCause::DegradedRead,
+        LateCause::RebuildContention,
     ];
 
     /// Stable snake_case name (report/JSON key).
@@ -157,9 +169,18 @@ impl LateCause {
             LateCause::ServiceTime => "service_time",
             LateCause::JournalStall => "journal_stall",
             LateCause::DegradedPause => "degraded_pause",
+            LateCause::DegradedRead => "degraded_read",
+            LateCause::RebuildContention => "rebuild_contention",
         }
     }
 }
+
+/// Issue-context flag: the page was issued as a degraded survivor
+/// fan-out (its home disk was dead). See [`PrefetchLedger::issued_ctx_flags`].
+pub const ISSUE_DEGRADED: u64 = 1 << 0;
+/// Issue-context flag: the online rebuild scrubber was active when the
+/// page was issued.
+pub const ISSUE_REBUILD_ACTIVE: u64 = 1 << 1;
 
 /// An open entry: issued, not yet consumed, dropped, or evicted.
 #[derive(Clone, Copy, Debug)]
@@ -171,6 +192,8 @@ struct Open {
     journal_stalls: u64,
     /// Degraded-mode epoch at issue (whylate context).
     degrade_epoch: u64,
+    /// Redundancy issue flags ([`ISSUE_DEGRADED`] | [`ISSUE_REBUILD_ACTIVE`]).
+    flags: u64,
 }
 
 /// Tracks every prefetch page from issue to its terminal outcome.
@@ -204,7 +227,7 @@ pub struct PrefetchLedger {
     arrival_to_use: LatencyHist,
     /// Per-cause counts for the late entries, indexed by `LateCause as
     /// usize`. Invariant: the counts sum to `counts.late_inflight`.
-    late_causes: [u64; 5],
+    late_causes: [u64; 7],
 }
 
 impl PrefetchLedger {
@@ -252,7 +275,7 @@ impl PrefetchLedger {
 
     /// Per-cause counts for the late entries, indexed by
     /// [`LateCause`] discriminant. Sums to `counts().late_inflight`.
-    pub fn late_causes(&self) -> [u64; 5] {
+    pub fn late_causes(&self) -> [u64; 7] {
         self.late_causes
     }
 
@@ -273,6 +296,21 @@ impl PrefetchLedger {
     /// issue time, read back via [`PrefetchLedger::issue_ctx`] when the
     /// entry closes late so the OS can classify the cause.
     pub fn issued_ctx(&mut self, page: u64, now: Ns, journal_stalls: u64, degrade_epoch: u64) {
+        self.issued_ctx_flags(page, now, journal_stalls, degrade_epoch, 0);
+    }
+
+    /// Like [`PrefetchLedger::issued_ctx`], also recording the
+    /// redundancy issue flags ([`ISSUE_DEGRADED`],
+    /// [`ISSUE_REBUILD_ACTIVE`]) for the degraded-read and
+    /// rebuild-contention whylate causes.
+    pub fn issued_ctx_flags(
+        &mut self,
+        page: u64,
+        now: Ns,
+        journal_stalls: u64,
+        degrade_epoch: u64,
+        flags: u64,
+    ) {
         self.entries += 1;
         let prev = self.open.insert(
             page,
@@ -281,6 +319,7 @@ impl PrefetchLedger {
                 arrived_at: None,
                 journal_stalls,
                 degrade_epoch,
+                flags,
             },
         );
         debug_assert!(prev.is_none(), "page {page} already has an open entry");
@@ -292,6 +331,12 @@ impl PrefetchLedger {
         self.open
             .get(&page)
             .map(|e| (e.issued_at, e.journal_stalls, e.degrade_epoch))
+    }
+
+    /// Redundancy issue flags of an open entry (zero unless issued
+    /// through [`PrefetchLedger::issued_ctx_flags`]).
+    pub fn issue_flags(&self, page: u64) -> Option<u64> {
+        self.open.get(&page).map(|e| e.flags)
     }
 
     /// A prefetch page was dropped before issue for lack of memory.
@@ -470,11 +515,22 @@ mod tests {
         l.consumed_late(2, 60); // legacy path: IssueLag
         l.issued_ctx(3, 10, 2, 1);
         assert_eq!(l.issue_ctx(3), Some((10, 2, 1)));
+        assert_eq!(l.issue_flags(3), Some(0));
         l.consumed_late_caused(3, 70, LateCause::JournalStall);
+        l.issued_ctx_flags(4, 10, 0, 0, ISSUE_DEGRADED | ISSUE_REBUILD_ACTIVE);
+        assert_eq!(
+            l.issue_flags(4),
+            Some(ISSUE_DEGRADED | ISSUE_REBUILD_ACTIVE)
+        );
+        l.consumed_late_caused(4, 80, LateCause::DegradedRead);
+        l.issued_ctx_flags(5, 10, 0, 0, ISSUE_REBUILD_ACTIVE);
+        l.consumed_late_caused(5, 90, LateCause::RebuildContention);
         let causes = l.late_causes();
         assert_eq!(causes[LateCause::IssueLag as usize], 1);
         assert_eq!(causes[LateCause::QueueWait as usize], 1);
         assert_eq!(causes[LateCause::JournalStall as usize], 1);
+        assert_eq!(causes[LateCause::DegradedRead as usize], 1);
+        assert_eq!(causes[LateCause::RebuildContention as usize], 1);
         assert_eq!(
             causes.iter().sum::<u64>(),
             l.counts().late_inflight,

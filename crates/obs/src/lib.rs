@@ -54,11 +54,13 @@ pub mod tracediff;
 pub mod whylate;
 
 pub use attr::TimeAttribution;
-pub use baseline::{Allowance, Baseline, BaselineRun, CompareReport, HistSummary, ProfileSummary};
+pub use baseline::{
+    Allowance, Baseline, BaselineRun, CompareReport, HistSummary, ProfileSummary, RedundancySummary,
+};
 pub use flame::flamegraph_svg;
 pub use hist::LatencyHist;
 pub use json::Json;
-pub use ledger::{LateCause, LedgerCounts, PrefetchLedger};
+pub use ledger::{LateCause, LedgerCounts, PrefetchLedger, ISSUE_DEGRADED, ISSUE_REBUILD_ACTIVE};
 pub use prof::{
     check_collapsed, HostProf, MachineBucket, MachineProf, NoProf, ProfSink, Profile, PROF_SCHEMA,
 };

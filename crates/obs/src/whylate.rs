@@ -5,18 +5,18 @@
 //! completion detail the disk exposes ([`oocp_disk`]'s per-request wait
 //! and service times) and assigns every late stall a single dominant
 //! cause via the decision tree on [`crate::LateCause`]; drops and
-//! wasted entries map 1:1 onto their ledger outcomes. The twelve counts
-//! therefore exactly partition the ledger's
+//! wasted entries map 1:1 onto their ledger outcomes. The fourteen
+//! counts therefore exactly partition the ledger's
 //! `late + dropped + wasted` total — a checked invariant, like the
 //! ledger partition itself.
 
 use crate::json::Json;
 use crate::ledger::{LateCause, LedgerCounts};
 
-/// Number of whylate causes (5 late + 5 drop + 2 wasted).
-pub const WHYLATE_CAUSES: usize = 12;
+/// Number of whylate causes (7 late + 5 drop + 2 wasted).
+pub const WHYLATE_CAUSES: usize = 14;
 
-/// Stable snake_case names for the twelve causes, in
+/// Stable snake_case names for the fourteen causes, in
 /// [`WhylateSummary::as_array`] order.
 pub const WHYLATE_NAMES: [&str; WHYLATE_CAUSES] = [
     "late_issue_lag",
@@ -24,6 +24,8 @@ pub const WHYLATE_NAMES: [&str; WHYLATE_CAUSES] = [
     "late_service_time",
     "late_journal_stall",
     "late_degraded_pause",
+    "late_degraded_read",
+    "late_rebuild_contention",
     "drop_no_memory",
     "drop_queue_full",
     "drop_io_error",
@@ -62,6 +64,10 @@ pub struct WhylateSummary {
     pub late_journal_stall: u64,
     /// Late: a degraded-mode transition paused hints mid-flight.
     pub late_degraded_pause: u64,
+    /// Late: the read was a degraded survivor fan-out for a dead disk.
+    pub late_degraded_read: u64,
+    /// Late: queue wait dominated while the rebuild scrubber ran.
+    pub late_rebuild_contention: u64,
     /// Dropped: no free frame at hint time.
     pub drop_no_memory: u64,
     /// Dropped: bounded disk queue was full.
@@ -91,6 +97,8 @@ impl WhylateSummary {
             late_service_time: lc[LateCause::ServiceTime as usize],
             late_journal_stall: lc[LateCause::JournalStall as usize],
             late_degraded_pause: lc[LateCause::DegradedPause as usize],
+            late_degraded_read: lc[LateCause::DegradedRead as usize],
+            late_rebuild_contention: lc[LateCause::RebuildContention as usize],
             drop_no_memory: c.dropped_no_memory,
             drop_queue_full: c.dropped_queue_full,
             drop_io_error: c.dropped_io_error,
@@ -101,7 +109,7 @@ impl WhylateSummary {
         }
     }
 
-    /// The twelve counts in [`WHYLATE_NAMES`] order.
+    /// The fourteen counts in [`WHYLATE_NAMES`] order.
     pub fn as_array(&self) -> [u64; WHYLATE_CAUSES] {
         [
             self.late_issue_lag,
@@ -109,6 +117,8 @@ impl WhylateSummary {
             self.late_service_time,
             self.late_journal_stall,
             self.late_degraded_pause,
+            self.late_degraded_read,
+            self.late_rebuild_contention,
             self.drop_no_memory,
             self.drop_queue_full,
             self.drop_io_error,
@@ -127,23 +137,27 @@ impl WhylateSummary {
             late_service_time: a[2],
             late_journal_stall: a[3],
             late_degraded_pause: a[4],
-            drop_no_memory: a[5],
-            drop_queue_full: a[6],
-            drop_io_error: a[7],
-            drop_quota: a[8],
-            drop_pressure: a[9],
-            wasted_evicted_unused: a[10],
-            wasted_unused_at_end: a[11],
+            late_degraded_read: a[5],
+            late_rebuild_contention: a[6],
+            drop_no_memory: a[7],
+            drop_queue_full: a[8],
+            drop_io_error: a[9],
+            drop_quota: a[10],
+            drop_pressure: a[11],
+            wasted_evicted_unused: a[12],
+            wasted_unused_at_end: a[13],
         }
     }
 
-    /// Sum of the five late causes.
+    /// Sum of the seven late causes.
     pub fn late_total(&self) -> u64 {
         self.late_issue_lag
             + self.late_queue_wait
             + self.late_service_time
             + self.late_journal_stall
             + self.late_degraded_pause
+            + self.late_degraded_read
+            + self.late_rebuild_contention
     }
 
     /// Sum of the five drop causes.
@@ -197,16 +211,21 @@ impl WhylateSummary {
     }
 
     /// Parse a JSON object produced by [`WhylateSummary::to_json`].
-    /// All twelve fields must be present (a partial block is corruption,
-    /// not a version skew — absence of the whole block is the
-    /// backward-compat path).
+    /// All fields must be present (a partial block is corruption, not a
+    /// version skew — absence of the whole block is the backward-compat
+    /// path), except the two redundancy causes `late_degraded_read` and
+    /// `late_rebuild_contention`, which default to zero: pre-redundancy
+    /// baselines (schema v3 and older) could not have recorded them.
     pub fn parse(doc: &Json) -> Result<Self, String> {
         let mut a = [0u64; WHYLATE_CAUSES];
         for (slot, name) in a.iter_mut().zip(WHYLATE_NAMES) {
-            *slot = doc
-                .get(name)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("whylate block missing field '{name}'"))?;
+            match doc.get(name).and_then(Json::as_u64) {
+                Some(v) => *slot = v,
+                None if matches!(name, "late_degraded_read" | "late_rebuild_contention") => {
+                    *slot = 0;
+                }
+                None => return Err(format!("whylate block missing field '{name}'")),
+            }
         }
         Ok(Self::from_array(a))
     }
@@ -267,6 +286,28 @@ mod tests {
         w.late_journal_stall = 7;
         w.late_degraded_pause = 9;
         let back = WhylateSummary::parse(&w.to_json()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn parse_defaults_missing_redundancy_causes_to_zero() {
+        // A pre-redundancy (schema <= v3) whylate block lacks the two
+        // redundancy causes; parse must default them, not reject.
+        let mut w = WhylateSummary::from_ledger(&busy_ledger());
+        w.late_degraded_read = 4;
+        w.late_rebuild_contention = 2;
+        let Json::Obj(fields) = w.to_json() else {
+            panic!("to_json must emit an object");
+        };
+        let old: Vec<_> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "late_degraded_read" && k != "late_rebuild_contention")
+            .collect();
+        let back = WhylateSummary::parse(&Json::Obj(old)).unwrap();
+        assert_eq!(back.late_degraded_read, 0);
+        assert_eq!(back.late_rebuild_contention, 0);
+        w.late_degraded_read = 0;
+        w.late_rebuild_contention = 0;
         assert_eq!(back, w);
     }
 

@@ -68,6 +68,11 @@ pub enum ConfigError {
         /// The rejected ring size in blocks.
         journal_blocks_per_disk: u64,
     },
+    /// Parity redundancy on an array too small to reconstruct from.
+    ParityNeedsTwoDisks {
+        /// The rejected disk count.
+        ndisks: usize,
+    },
     /// The disk scheduler configuration is invalid.
     Sched(SchedError),
 }
@@ -122,6 +127,10 @@ impl fmt::Display for ConfigError {
                 f,
                 "journal needs at least one two-block record slot per disk \
                  (got {journal_blocks_per_disk} blocks)"
+            ),
+            ConfigError::ParityNeedsTwoDisks { ndisks } => write!(
+                f,
+                "parity redundancy needs at least two disks (got {ndisks})"
             ),
             ConfigError::Sched(e) => write!(f, "{e}"),
         }
@@ -181,6 +190,16 @@ pub enum OsError {
         /// Simulated time of the power loss.
         at: Ns,
     },
+    /// A disk died permanently and the machine runs without redundancy:
+    /// every page striped onto it is gone and no retry or recovery pass
+    /// can bring it back. Fatal by design — the CI negative gate proves
+    /// this surfaces instead of being retried into oblivion.
+    DiskLost {
+        /// Index of the dead disk.
+        disk: usize,
+        /// Simulated time of the death.
+        at: Ns,
+    },
 }
 
 impl fmt::Display for OsError {
@@ -217,6 +236,10 @@ impl fmt::Display for OsError {
             OsError::Crashed { at } => {
                 write!(f, "machine crashed (simulated power loss at {at} ns)")
             }
+            OsError::DiskLost { disk, at } => write!(
+                f,
+                "disk {disk} died at {at} ns with no redundancy: data lost"
+            ),
         }
     }
 }

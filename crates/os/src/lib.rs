@@ -26,6 +26,7 @@ pub mod export;
 pub mod machine;
 pub mod metrics;
 pub mod params;
+pub mod parity;
 pub mod posix;
 pub mod stats;
 pub mod store;
@@ -43,7 +44,8 @@ pub use metrics::{MetricsReport, ObsMetrics};
 // Observability types that appear in this crate's public API, re-
 // exported for the same reason as the fault-injection types above.
 pub use oocp_disk::{
-    Brownout, CrashPoint, CrashSpec, FaultPlan, IoError, PressureStorm, SchedConfig, SchedPolicy,
+    Brownout, CrashPoint, CrashSpec, DiskDeath, FaultPlan, IoError, PressureStorm, SchedConfig,
+    SchedPolicy,
 };
 pub use oocp_obs::{
     LateCause, LatencyHist, LedgerCounts, MachineBucket, MachineProf, MetricsRegistry,
@@ -55,7 +57,8 @@ pub use oocp_obs::{
 pub use oocp_policy::{
     HistoryReplay, PolicyActions, PolicyCounters, PolicyKind, PrefetchPolicy, TouchKind,
 };
-pub use params::MachineParams;
+pub use params::{MachineParams, Redundancy};
+pub use parity::ParityStore;
 pub use posix::{madvise, Advice, MadviseError};
 pub use stats::{FaultKind, OsStats};
 pub use store::{page_checksum, DurableStore, SECTOR_BYTES};

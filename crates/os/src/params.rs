@@ -6,6 +6,40 @@ use oocp_sim::time::{Ns, MICROSECOND, MILLISECOND};
 
 use crate::error::ConfigError;
 
+/// Redundancy scheme of the swap file's on-disk layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Redundancy {
+    /// Plain round-robin striping, no redundancy: a permanent disk
+    /// death loses data. The default — every pre-existing cell stays
+    /// bit-identical.
+    #[default]
+    None,
+    /// RAID-5-style rotating parity: each stripe row of width `ndisks`
+    /// carries one XOR parity block on a rotating disk, so the machine
+    /// survives any single whole-disk death via degraded reads and an
+    /// online rebuild onto a hot spare.
+    Parity,
+}
+
+impl Redundancy {
+    /// Parse a `--redundancy` command-line value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Redundancy::None),
+            "parity" => Some(Redundancy::Parity),
+            _ => None,
+        }
+    }
+
+    /// The command-line name of this scheme.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Redundancy::None => "none",
+            Redundancy::Parity => "parity",
+        }
+    }
+}
+
 /// Configuration of the simulated machine: memory geometry, OS overheads,
 /// and the disk subsystem.
 ///
@@ -72,6 +106,11 @@ pub struct MachineParams {
     /// policy object at all, so the machine is bit-identical to a
     /// build without the policy subsystem.
     pub policy: PolicyKind,
+    /// On-disk redundancy of the swap file. The default, `None`,
+    /// keeps the exact historical striping formulas and issues no
+    /// parity I/O, so every pre-existing cell stays bit-identical;
+    /// `Parity` survives one whole-disk death.
+    pub redundancy: Redundancy,
 }
 
 impl MachineParams {
@@ -106,6 +145,7 @@ impl MachineParams {
             journal: true,
             journal_blocks_per_disk: 64,
             policy: PolicyKind::CompilerOnly,
+            redundancy: Redundancy::None,
         }
     }
 
@@ -134,6 +174,7 @@ impl MachineParams {
             journal: true,
             journal_blocks_per_disk: 64,
             policy: PolicyKind::CompilerOnly,
+            redundancy: Redundancy::None,
         }
     }
 
@@ -188,6 +229,12 @@ impl MachineParams {
         self
     }
 
+    /// Same configuration with a different redundancy scheme.
+    pub fn with_redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
     /// Application-available memory in bytes.
     pub fn memory_bytes(&self) -> u64 {
         self.resident_limit * self.page_bytes
@@ -238,6 +285,11 @@ impl MachineParams {
         if self.journal && self.journal_blocks_per_disk < 2 {
             return Err(ConfigError::JournalTooSmall {
                 journal_blocks_per_disk: self.journal_blocks_per_disk,
+            });
+        }
+        if self.redundancy == Redundancy::Parity && self.ndisks < 2 {
+            return Err(ConfigError::ParityNeedsTwoDisks {
+                ndisks: self.ndisks,
             });
         }
         self.sched.check()?;

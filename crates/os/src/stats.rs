@@ -150,6 +150,33 @@ pub struct OsStats {
     ///
     /// [`tick_user`]: crate::Machine::tick_user
     pub user_ops: u64,
+    /// Demand reads served by degraded reconstruction: the page's home
+    /// disk was dead, so the row's survivors were read and XOR-ed.
+    pub degraded_reads: u64,
+    /// Total stall time of degraded demand reconstructions.
+    pub degraded_read_ns: Ns,
+    /// Prefetch pages whose home disk was dead and whose hint was
+    /// rerouted into a survivor fan-out instead of being dropped.
+    pub hints_rerouted_degraded: u64,
+    /// Degraded demand reads that blew the hedging deadline and raced
+    /// a speculative reconstruction against the straggling original.
+    pub hedged_reads: u64,
+    /// Hedged races the speculative reconstruction won.
+    pub hedged_wins: u64,
+    /// Stripe rows the online rebuild scrubber reconstructed onto the
+    /// hot spare.
+    pub rebuild_rows: u64,
+    /// Rebuilt rows whose reconstructed block failed verification
+    /// against the durable content model. Zero unless the debug
+    /// parity-corruption hook fired; the CI negative gate proves the
+    /// verify sweep catches it.
+    pub rebuild_verify_mismatches: u64,
+    /// Simulated time from death detection to rebuild completion.
+    /// Zero while a rebuild is still running.
+    pub rebuild_ns: Ns,
+    /// Parity blocks written (one per writeback row update plus one
+    /// per rebuilt parity-home row).
+    pub parity_writes: u64,
 }
 
 impl OsStats {

@@ -200,6 +200,39 @@ grep -q "unrecoverable (expected)" /tmp/oocp-nj.$$ || {
     echo "chaos --crash --no-journal failed for the wrong reason"; exit 1; }
 rm -f /tmp/oocp-nj.$$
 
+echo "== disk-death gate (parity survival: degraded reads -> online rebuild)"
+# The chaos binary's disk-death sweep: kill a whole disk mid-run under
+# rotating parity, serve the hole through survivor reconstruction, and
+# require every cell's final data to match the fault-free reference bit
+# for bit while the online rebuild completes.
+cargo run --release -q -p oocp-bench --bin chaos -- --disk-death --smoke
+# The oracle proptest in its quick profile (one kernel, early + mid
+# deaths); the full kernel x death-time x policy matrix runs with plain
+# `cargo test`.
+DISKFAIL_ORACLE_QUICK=1 cargo test -q --test proptest_diskfail
+
+echo "== disk-death negative gate (no redundancy must be fatal, and typed)"
+# Inverted expectation: the same death on a plain striped array must
+# abort with the typed data-loss error — if it survives, degraded reads
+# are fabricating data from nowhere.
+if cargo run --release -q -p oocp-bench --bin chaos -- \
+    --disk-death --smoke --redundancy none > /tmp/oocp-nr.$$ 2>&1; then
+    cat /tmp/oocp-nr.$$
+    rm -f /tmp/oocp-nr.$$
+    echo "chaos --disk-death --redundancy none survived: the parity gate has no teeth"
+    exit 1
+fi
+grep -q "no redundancy: data lost" /tmp/oocp-nr.$$ || {
+    cat /tmp/oocp-nr.$$; rm -f /tmp/oocp-nr.$$
+    echo "chaos --disk-death --redundancy none failed for the wrong reason"; exit 1; }
+rm -f /tmp/oocp-nr.$$
+
+echo "== parity-corruption gate (latent bad parity must be caught by rebuild verify)"
+# Corrupt two parity rows behind the machine's back; the rebuild's
+# verify sweep must detect exactly those rows, heal them from the
+# durable data pages, and reconstruct the dead disk correctly anyway.
+cargo run --release -q -p oocp-bench --bin chaos -- --corrupt-parity
+
 # Clippy needs its component installed; offline or minimal toolchains
 # may not have it, and the gate should not fail for that.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -83,7 +83,9 @@ fn faulted_baseline_roundtrips_and_reproduces() {
     let mut g = SimRng::new(0xBA5E_0001);
     let w = build(App::Buk, cfg.bytes_for_ratio(2.0));
     for case in 0..3 {
-        let plan = FaultPlan::sample(&mut g);
+        // Plain striping: a sampled whole-disk death would be
+        // (correctly) fatal here, so survivable plans strip them.
+        let plan = FaultPlan::sample(&mut g).without_disk_deaths();
         let capture = |()| {
             let r = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
             r.verified

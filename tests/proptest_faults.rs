@@ -16,9 +16,13 @@ use oocp_bench::{run_workload, run_workload_faulted, Config, Mode};
 use oocp_nas::{build, App};
 
 /// The shared bounded-plan generator (also used by the baseline
-/// round-trip test, so both suites cover the same fault space).
+/// round-trip test, so both suites cover the same fault space). The
+/// machines here run the plain `--redundancy none` layout, where losing
+/// a whole disk is *designed* to be fatal — so the survivable plans
+/// strip sampled deaths; `tests/proptest_diskfail.rs` owns the
+/// parity-mode death coverage.
 fn random_plan(g: &mut SimRng) -> FaultPlan {
-    FaultPlan::sample(g)
+    FaultPlan::sample(g).without_disk_deaths()
 }
 
 /// Any seeded fault plan leaves every kernel's final data bit-identical
@@ -50,14 +54,16 @@ fn faulted_kernels_match_fault_free_results() {
 /// per-class error probability stays in [0, 1], straggler parameters
 /// are physical (multiplier >= 1, probability in [0, 1]), brownout
 /// windows are ordered, no crash is scheduled (crash coverage has its
-/// own dedicated oracle suite), and `is_active()` agrees with its
-/// definition — true exactly when some disk-level fault class is on.
+/// own dedicated oracle suite), at most one disk death lands on a disk
+/// a minimum redundant array can lose, and `is_active()` agrees with
+/// its definition — true exactly when some disk-level fault class is
+/// on. This test samples *raw* plans (deaths included) on purpose.
 #[test]
 fn sampled_plans_are_always_well_formed() {
     use oocp::disk::ReqKind;
     let mut g = SimRng::new(0xFA_0003);
     for case in 0..512 {
-        let plan = random_plan(&mut g);
+        let plan = FaultPlan::sample(&mut g);
         for kind in [ReqKind::DemandRead, ReqKind::PrefetchRead, ReqKind::Write] {
             let p = plan.error_prob(kind);
             assert!(
@@ -85,12 +91,28 @@ fn sampled_plans_are_always_well_formed() {
             plan.crash.is_none(),
             "case {case}: sample() must not schedule crashes"
         );
+        assert!(
+            plan.disk_deaths.len() <= 1,
+            "case {case}: more deaths than single parity can tolerate"
+        );
+        for d in &plan.disk_deaths {
+            assert!(
+                d.disk < 2,
+                "case {case}: death on disk {} misses a two-disk array",
+                d.disk
+            );
+        }
+        assert!(
+            plan.clone().without_disk_deaths().disk_deaths.is_empty(),
+            "case {case}: without_disk_deaths() left a death behind"
+        );
         let expect_active = plan.error_prob(ReqKind::DemandRead) > 0.0
             || plan.error_prob(ReqKind::PrefetchRead) > 0.0
             || plan.error_prob(ReqKind::Write) > 0.0
             || plan.straggler_prob > 0.0
             || !plan.brownouts.is_empty()
-            || plan.crash.is_some();
+            || plan.crash.is_some()
+            || !plan.disk_deaths.is_empty();
         assert_eq!(
             plan.is_active(),
             expect_active,

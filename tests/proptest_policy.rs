@@ -117,7 +117,9 @@ fn policies_survive_fault_plans_bit_identically() {
     base.verified.as_ref().expect("fault-free run verifies");
     for kind in PolicyKind::MATRIX {
         for case in 0..2 {
-            let plan = FaultPlan::sample(&mut g);
+            // Plain striping: a sampled whole-disk death would be
+            // (correctly) fatal here, so survivable plans strip them.
+            let plan = FaultPlan::sample(&mut g).without_disk_deaths();
             let mut c = cfg;
             c.machine = c.machine.with_prefetch_policy(kind);
             let r = run_workload_faulted(&w, &c, natural_mode(kind), &plan);

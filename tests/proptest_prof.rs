@@ -164,7 +164,9 @@ fn profiled_runs_are_sim_identical_under_fault_plans() {
     let cfg = platform();
     let w = build(App::Embar, cfg.bytes_for_ratio(2.0));
     for case in 0..3 {
-        let plan = FaultPlan::sample(&mut g);
+        // Plain striping: a sampled whole-disk death would be
+        // (correctly) fatal here, so survivable plans strip them.
+        let plan = FaultPlan::sample(&mut g).without_disk_deaths();
         let detached = run_workload_faulted(&w, &cfg, Mode::Prefetch, &plan);
         let (profiled, prof) = run_workload_profiled_faulted(&w, &cfg, Mode::Prefetch, &plan);
         let what = format!("EMBAR/P/case {case} plan {plan:?}");
